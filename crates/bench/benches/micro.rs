@@ -1,0 +1,127 @@
+//! Criterion micro-benchmarks of the building blocks: invalidation-table
+//! operations, cache-store operations under both replacement policies, Zipf
+//! sampling, wire-codec round trips and the Table 1 interpreter.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wcc_cache::{CacheStore, Freshness, ReplacementPolicy};
+use wcc_core::analytical::{parse_stream, simulate};
+use wcc_core::{InvalidationTable, ProtocolConfig, ProtocolKind};
+use wcc_proto::{decode, encode, GetRequest, HttpMsg, RequestId};
+use wcc_traces::Zipf;
+use wcc_types::{ByteSize, ClientId, DocMeta, ServerId, SimTime, Url};
+
+fn bench_invalidation_table(c: &mut Criterion) {
+    let mut group = c.benchmark_group("invalidation_table");
+    group.bench_function("register_1k_take", |b| {
+        b.iter(|| {
+            let mut table = InvalidationTable::new();
+            let url = Url::new(ServerId::new(0), 1);
+            for i in 0..1_000u32 {
+                table.register(url, ClientId::from_raw(i), SimTime::NEVER);
+            }
+            black_box(table.take_sites(url, SimTime::from_secs(1)))
+        })
+    });
+    group.bench_function("stats_over_1k_docs", |b| {
+        let mut table = InvalidationTable::new();
+        for doc in 0..1_000u32 {
+            for i in 0..8u32 {
+                table.register(
+                    Url::new(ServerId::new(0), doc),
+                    ClientId::from_raw(i),
+                    SimTime::NEVER,
+                );
+            }
+        }
+        b.iter(|| black_box(table.stats()))
+    });
+    group.bench_function("purge_expired_8k", |b| {
+        b.iter(|| {
+            let mut table = InvalidationTable::new();
+            for doc in 0..1_000u32 {
+                for i in 0..8u32 {
+                    table.register(
+                        Url::new(ServerId::new(0), doc),
+                        ClientId::from_raw(i),
+                        SimTime::from_secs((i as u64) * 100),
+                    );
+                }
+            }
+            black_box(table.purge_expired(SimTime::from_secs(350)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_cache_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_store");
+    for policy in [ReplacementPolicy::Lru, ReplacementPolicy::ExpiredFirstLru] {
+        group.bench_function(format!("churn_2k_{}", policy.name()), |b| {
+            b.iter(|| {
+                let mut cache =
+                    CacheStore::new(ByteSize::from_kib(512), policy);
+                for i in 0..2_000u32 {
+                    let key = Url::new(ServerId::new(0), i % 400)
+                        .scoped(ClientId::from_raw(i % 16));
+                    let now = SimTime::from_secs(i as u64);
+                    let meta = DocMeta::new(ByteSize::from_kib(8), SimTime::ZERO);
+                    let fresh = Freshness {
+                        ttl_expires: now + wcc_types::SimDuration::from_secs(100),
+                        ..Freshness::default()
+                    };
+                    cache.insert(key, meta, now, fresh);
+                    cache.touch(key, now);
+                }
+                black_box(cache.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let zipf = Zipf::new(4_096, 0.85);
+    let mut rng = StdRng::seed_from_u64(7);
+    c.bench_function("zipf_sample_4096", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let msg = HttpMsg::Get(GetRequest {
+        req: RequestId::new(42),
+        url: Url::new(ServerId::new(0), 123),
+        client: ClientId::from_raw(77),
+        ims: Some(SimTime::from_secs(99)),
+        issued_at: SimTime::from_secs(100),
+        cache_hits: 3,
+    });
+    c.bench_function("wire_encode_get", |b| b.iter(|| black_box(encode(&msg))));
+    let bytes = encode(&msg);
+    c.bench_function("wire_decode_get", |b| {
+        b.iter(|| {
+            let mut cursor = bytes.as_slice();
+            black_box(decode(&mut cursor).expect("valid"))
+        })
+    });
+}
+
+fn bench_analytical(c: &mut Criterion) {
+    let events = parse_stream(&"rrrmmrrrmr".repeat(50), 60);
+    let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
+    c.bench_function("analytical_simulate_500ev", |b| {
+        b.iter(|| black_box(simulate(&cfg, &events)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_invalidation_table,
+    bench_cache_store,
+    bench_zipf,
+    bench_codec,
+    bench_analytical
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Ablation A3: lease-duration sweep.
+//!
+//! §6: "if the lease is three days, the total size of site lists is bounded
+//! by the total number of requests seen by the server for the last three
+//! days" — shorter leases trade site-list storage and invalidation fan-out
+//! for extra `If-Modified-Since` revalidations. This sweep quantifies the
+//! trade-off on the 8-day SASK trace.
+
+use wcc_bench::{parse_scale, TABLE_SEED};
+use wcc_core::{ProtocolConfig, ProtocolKind};
+use wcc_replay::{run_experiment, ExperimentConfig};
+use wcc_traces::TraceSpec;
+use wcc_types::SimDuration;
+
+fn main() {
+    let scale = parse_scale(std::env::args());
+    println!("=== Ablation A3: lease-duration sweep (SASK, scale 1/{scale}) ===\n");
+    println!(
+        "{:<12}{:>12}{:>12}{:>14}{:>14}{:>12}{:>12}",
+        "lease", "entries", "storage", "invalidations", "IMS", "messages", "violations"
+    );
+    let leases = [
+        ("1h", SimDuration::from_hours(1)),
+        ("6h", SimDuration::from_hours(6)),
+        ("1d", SimDuration::from_days(1)),
+        ("3d", SimDuration::from_days(3)),
+        ("8d", SimDuration::from_days(8)),
+        ("30d", SimDuration::from_days(30)),
+    ];
+    for (label, lease) in leases {
+        let cfg = ExperimentConfig::builder(TraceSpec::sask().scaled_down(scale))
+            .protocol_config(ProtocolConfig::new(ProtocolKind::LeaseInvalidation).with_lease(lease))
+            .mean_lifetime(SimDuration::from_days(14))
+            .seed(TABLE_SEED)
+            .build();
+        let r = run_experiment(&cfg);
+        println!(
+            "{:<12}{:>12}{:>12}{:>14}{:>14}{:>12}{:>12}",
+            label,
+            r.raw.sitelist.total_entries,
+            r.raw.sitelist.storage.to_string(),
+            r.raw.invalidations,
+            r.raw.ims,
+            r.raw.total_messages,
+            r.raw.final_violations,
+        );
+    }
+    // Plain (infinite-lease) invalidation as the upper anchor.
+    let plain = run_experiment(
+        &ExperimentConfig::builder(TraceSpec::sask().scaled_down(scale))
+            .protocol(ProtocolKind::Invalidation)
+            .mean_lifetime(SimDuration::from_days(14))
+            .seed(TABLE_SEED)
+            .build(),
+    );
+    println!(
+        "{:<12}{:>12}{:>12}{:>14}{:>14}{:>12}{:>12}",
+        "infinite",
+        plain.raw.sitelist.total_entries,
+        plain.raw.sitelist.storage.to_string(),
+        plain.raw.invalidations,
+        plain.raw.ims,
+        plain.raw.total_messages,
+        plain.raw.final_violations,
+    );
+    println!(
+        "\nExpected shape: entries/storage grow monotonically with the lease;\n\
+         IMS shrinks as the lease grows; consistency violations stay zero at\n\
+         every point (leases are a *strong*-consistency mechanism)."
+    );
+}

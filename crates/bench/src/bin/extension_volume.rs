@@ -1,0 +1,82 @@
+//! Extension E4: volume leases (Yin, Alvisi, Dahlin & Lin).
+//!
+//! The paper's §4 concedes that "it is difficult to maintain strong
+//! consistency in the event of network partition" and falls back to TCP
+//! retry. Volume leases are the published fix: a long per-object lease plus
+//! a short per-server *volume* lease renewed by every reply. A copy is
+//! served only while both are live, so the server never waits longer than
+//! the volume length for an unreachable client — and the client learns of
+//! missed invalidations via the piggyback on its first renewal.
+
+use wcc_bench::{parse_scale, TABLE_SEED};
+use wcc_core::{ProtocolConfig, ProtocolKind};
+use wcc_replay::experiment::{materialise, run_on};
+use wcc_replay::{partition_scenario, ExperimentConfig};
+use wcc_traces::TraceSpec;
+use wcc_types::SimDuration;
+
+fn main() {
+    let scale = parse_scale(std::env::args());
+    println!("=== Extension E4: volume leases (SASK, scale 1/{scale}) ===\n");
+    let base = ExperimentConfig::builder(TraceSpec::sask().scaled_down(scale))
+        .mean_lifetime(SimDuration::from_days(14))
+        .seed(TABLE_SEED)
+        .build();
+    let (trace, mods) = materialise(&base);
+
+    println!("Normal operation — the volume-length trade-off:");
+    println!(
+        "{:<18}{:>12}{:>14}{:>12}{:>12}{:>12}",
+        "volume lease", "messages", "invalidations", "IMS", "piggybacked", "violations"
+    );
+    let volumes = [
+        ("30s", SimDuration::from_secs(30)),
+        ("2m", SimDuration::from_mins(2)),
+        ("10m", SimDuration::from_mins(10)),
+        ("1h", SimDuration::from_hours(1)),
+    ];
+    for (label, volume) in volumes {
+        let mut cfg = base.clone();
+        cfg.protocol =
+            ProtocolConfig::new(ProtocolKind::VolumeLease).with_volume_lease(volume);
+        let r = run_on(&cfg, &trace, &mods).raw;
+        println!(
+            "{:<18}{:>12}{:>14}{:>12}{:>12}{:>12}",
+            label, r.total_messages, r.invalidations, r.ims, r.piggybacked, r.final_violations,
+        );
+    }
+    let mut plain = base.clone();
+    plain.protocol = ProtocolConfig::new(ProtocolKind::Invalidation);
+    let p = run_on(&plain, &trace, &mods).raw;
+    println!(
+        "{:<18}{:>12}{:>14}{:>12}{:>12}{:>12}",
+        "plain (∞)", p.total_messages, p.invalidations, p.ims, p.piggybacked, p.final_violations,
+    );
+
+    println!("\nPartition (server↔proxy 0, 30%→70% of the run):");
+    let scenario = |kind: ProtocolKind| {
+        let mut cfg = ExperimentConfig::builder(TraceSpec::epa().scaled_down(scale.max(50)))
+            .mean_lifetime(SimDuration::from_hours(4))
+            .seed(TABLE_SEED)
+            .build();
+        cfg.protocol = ProtocolConfig::new(kind).with_volume_lease(SimDuration::from_mins(5));
+        partition_scenario(&cfg, 0.3, 0.7)
+    };
+    for kind in [ProtocolKind::Invalidation, ProtocolKind::VolumeLease] {
+        let out = scenario(kind);
+        let r = &out.report.raw;
+        println!(
+            "  {:<16} retries {:>4}  writes complete {:>5}  violations {}",
+            kind.name(),
+            r.invalidation_retries,
+            r.writes_complete,
+            r.final_violations,
+        );
+    }
+    println!(
+        "\nExpected shape: volume leases trade a few renewal IMS for fewer\n\
+         pushes (expired-volume clients are piggybacked) and, under the\n\
+         partition, complete every write within the volume length instead of\n\
+         hammering TCP retries — the §4 open problem, closed."
+    );
+}

@@ -1,0 +1,131 @@
+//! Model-based property test: with unbounded capacity the store must agree
+//! exactly with a reference `HashMap` on presence, metadata, freshness and
+//! hit counters under arbitrary operation sequences.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use wcc_cache::{CacheStore, Freshness, ReplacementPolicy};
+use wcc_types::{ByteSize, ClientId, DocMeta, ScopedUrl, ServerId, SimTime, Url};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { doc: u32, size_kib: u64, mtime: u64, ttl: u64 },
+    Remove { doc: u32 },
+    Touch { doc: u32 },
+    Hit { doc: u32 },
+    TakeHits { doc: u32 },
+    MarkAll,
+    MarkServer,
+    ReplaceMeta { doc: u32, size_kib: u64, mtime: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..12, 1u64..64, 0u64..1_000, 0u64..1_000)
+            .prop_map(|(doc, size_kib, mtime, ttl)| Op::Insert { doc, size_kib, mtime, ttl }),
+        (0u32..12).prop_map(|doc| Op::Remove { doc }),
+        (0u32..12).prop_map(|doc| Op::Touch { doc }),
+        (0u32..12).prop_map(|doc| Op::Hit { doc }),
+        (0u32..12).prop_map(|doc| Op::TakeHits { doc }),
+        Just(Op::MarkAll),
+        Just(Op::MarkServer),
+        (0u32..12, 1u64..64, 0u64..1_000)
+            .prop_map(|(doc, size_kib, mtime)| Op::ReplaceMeta { doc, size_kib, mtime }),
+    ]
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct ModelEntry {
+    meta: DocMeta,
+    freshness: Freshness,
+    unreported: u64,
+}
+
+fn key(doc: u32) -> ScopedUrl {
+    Url::new(ServerId::new(0), doc).scoped(ClientId::from_raw(7))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn unbounded_store_matches_reference_model(
+        ops in proptest::collection::vec(op_strategy(), 1..150),
+        policy in prop_oneof![Just(ReplacementPolicy::Lru), Just(ReplacementPolicy::ExpiredFirstLru)],
+    ) {
+        let mut store = CacheStore::unbounded(policy);
+        let mut model: HashMap<ScopedUrl, ModelEntry> = HashMap::new();
+        let mut now = SimTime::ZERO;
+        for op in ops {
+            now += wcc_types::SimDuration::from_secs(1);
+            match op {
+                Op::Insert { doc, size_kib, mtime, ttl } => {
+                    let meta = DocMeta::new(ByteSize::from_kib(size_kib), SimTime::from_secs(mtime));
+                    let fresh = Freshness {
+                        ttl_expires: SimTime::from_secs(ttl),
+                        ..Freshness::default()
+                    };
+                    store.insert(key(doc), meta, now, fresh);
+                    model.insert(key(doc), ModelEntry { meta, freshness: fresh, unreported: 0 });
+                }
+                Op::Remove { doc } => {
+                    let got = store.remove(key(doc));
+                    let want = model.remove(&key(doc));
+                    prop_assert_eq!(got.is_some(), want.is_some());
+                    if let (Some(g), Some(w)) = (got, want) {
+                        prop_assert_eq!(g.meta, w.meta);
+                        prop_assert_eq!(g.unreported_hits, w.unreported);
+                    }
+                }
+                Op::Touch { doc } => {
+                    prop_assert_eq!(store.touch(key(doc), now).is_some(),
+                                    model.contains_key(&key(doc)));
+                }
+                Op::Hit { doc } => {
+                    store.add_unreported_hit(key(doc));
+                    if let Some(e) = model.get_mut(&key(doc)) {
+                        e.unreported += 1;
+                    }
+                }
+                Op::TakeHits { doc } => {
+                    let got = store.take_unreported_hits(key(doc));
+                    let want = model.get_mut(&key(doc)).map(|e| std::mem::take(&mut e.unreported)).unwrap_or(0);
+                    prop_assert_eq!(got, want);
+                }
+                Op::MarkAll => {
+                    prop_assert_eq!(store.mark_all_questionable(), model.len());
+                    for e in model.values_mut() {
+                        e.freshness.questionable = true;
+                    }
+                }
+                Op::MarkServer => {
+                    // All keys are on server 0, so this equals MarkAll.
+                    prop_assert_eq!(store.mark_server_questionable(ServerId::new(0)), model.len());
+                    for e in model.values_mut() {
+                        e.freshness.questionable = true;
+                    }
+                }
+                Op::ReplaceMeta { doc, size_kib, mtime } => {
+                    let meta = DocMeta::new(ByteSize::from_kib(size_kib), SimTime::from_secs(mtime));
+                    let ok = store.replace_meta(key(doc), meta, now);
+                    prop_assert_eq!(ok, model.contains_key(&key(doc)));
+                    if let Some(e) = model.get_mut(&key(doc)) {
+                        e.meta = meta; // freshness and hit counter preserved
+                    }
+                }
+            }
+            // Full-state agreement after every operation.
+            prop_assert_eq!(store.len(), model.len());
+            for (k, want) in &model {
+                let got = store.peek(*k).expect("model entry must exist in store");
+                prop_assert_eq!(got.meta, want.meta);
+                prop_assert_eq!(got.freshness, want.freshness);
+                prop_assert_eq!(got.unreported_hits, want.unreported);
+            }
+            let total: ByteSize = model.values().map(|e| e.meta.size()).sum();
+            prop_assert_eq!(store.used(), total);
+            // Unbounded store must never evict.
+            prop_assert_eq!(store.stats().evictions, 0);
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! Protocol selection and tuning knobs.
+
+use core::fmt;
+use wcc_types::SimDuration;
+
+/// Which consistency protocol a deployment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolKind {
+    /// Weak consistency: the Alex protocol — TTL proportional to document
+    /// age, `If-Modified-Since` when an expired copy is hit.
+    AdaptiveTtl,
+    /// Weak consistency with a single fixed time-to-live for every
+    /// document — the baseline Worrell's thesis compared invalidation
+    /// against (the paper cites it in §2). Kept as an ablation baseline;
+    /// adaptive TTL dominates it.
+    FixedTtl,
+    /// Strong consistency by validation: `If-Modified-Since` on every hit.
+    PollEveryTime,
+    /// Strong consistency by server-driven invalidation with unbounded site
+    /// lists (the paper's §4 prototype).
+    Invalidation,
+    /// Invalidation where every reply carries a fixed-length lease; the
+    /// server forgets clients whose leases expired (§6).
+    LeaseInvalidation,
+    /// Two-tier leases: a very short (zero) lease on plain `GET`s, the full
+    /// lease only on `If-Modified-Since` revalidations, so only clients that
+    /// ask for a document a second time are remembered (§6).
+    TwoTierLease,
+    /// Piggyback server invalidation (PSI, Krishnamurthy & Wills — the
+    /// follow-up line of work the paper's related work anticipates): the
+    /// server keeps site lists but *piggybacks* invalidations on the next
+    /// reply to each site instead of pushing them. No extra messages at
+    /// all, but consistency is only as fresh as the site's last contact —
+    /// a middle ground between adaptive TTL and invalidation.
+    PiggybackInvalidation,
+    /// Volume leases (Yin, Alvisi, Dahlin & Lin — the published answer to
+    /// this paper's §4 partition problem): a *long* per-object lease plus a
+    /// *short* per-server "volume" lease that every reply renews. A cached
+    /// copy is served only while **both** are live. On a modification the
+    /// server pushes invalidations to live-volume clients only and simply
+    /// queues piggybacks for the rest — so a write completes after at most
+    /// `max(ack time, volume-lease length)` even through a partition.
+    VolumeLease,
+}
+
+impl ProtocolKind {
+    /// All eight protocols (the paper's five, the fixed-TTL baseline and
+    /// the PSI / volume-lease extensions).
+    pub const ALL: [ProtocolKind; 8] = [
+        ProtocolKind::AdaptiveTtl,
+        ProtocolKind::FixedTtl,
+        ProtocolKind::PollEveryTime,
+        ProtocolKind::Invalidation,
+        ProtocolKind::LeaseInvalidation,
+        ProtocolKind::TwoTierLease,
+        ProtocolKind::PiggybackInvalidation,
+        ProtocolKind::VolumeLease,
+    ];
+
+    /// The three protocols compared head-to-head in Tables 3 and 4.
+    pub const PAPER_TRIO: [ProtocolKind; 3] = [
+        ProtocolKind::AdaptiveTtl,
+        ProtocolKind::PollEveryTime,
+        ProtocolKind::Invalidation,
+    ];
+
+    /// Returns `true` for the protocols that guarantee strong consistency
+    /// (no stale document returned after a write completes).
+    pub fn is_strong(self) -> bool {
+        !matches!(
+            self,
+            ProtocolKind::AdaptiveTtl
+                | ProtocolKind::FixedTtl
+                | ProtocolKind::PiggybackInvalidation
+        )
+    }
+
+    /// Returns `true` for the protocols that *push* `INVALIDATE` messages
+    /// (and therefore guarantee write completion).
+    pub fn uses_invalidation(self) -> bool {
+        matches!(
+            self,
+            ProtocolKind::Invalidation
+                | ProtocolKind::LeaseInvalidation
+                | ProtocolKind::TwoTierLease
+                | ProtocolKind::VolumeLease
+        )
+    }
+
+    /// Returns `true` for every protocol that maintains server-side site
+    /// lists (the push family plus PSI).
+    pub fn uses_site_lists(self) -> bool {
+        self.uses_invalidation() || self == ProtocolKind::PiggybackInvalidation
+    }
+
+    /// A short stable name used in reports and CLI arguments.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProtocolKind::AdaptiveTtl => "adaptive-ttl",
+            ProtocolKind::FixedTtl => "fixed-ttl",
+            ProtocolKind::PollEveryTime => "poll-every-time",
+            ProtocolKind::Invalidation => "invalidation",
+            ProtocolKind::LeaseInvalidation => "lease-invalidation",
+            ProtocolKind::TwoTierLease => "two-tier-lease",
+            ProtocolKind::PiggybackInvalidation => "piggyback",
+            ProtocolKind::VolumeLease => "volume-lease",
+        }
+    }
+
+    /// Parses the name produced by [`ProtocolKind::name`].
+    pub fn from_name(name: &str) -> Option<ProtocolKind> {
+        ProtocolKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Tuning for the adaptive-TTL (Alex) estimator:
+/// `ttl = clamp(threshold × age, floor, cap)`.
+///
+/// The 10 % threshold is the classic Alex value; Harvest shipped comparable
+/// defaults. The cap prevents a years-old document from being trusted for
+/// months; the floor avoids thrashing on just-modified documents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveTtlConfig {
+    /// Fraction of the document's age used as its time-to-live.
+    pub threshold: f64,
+    /// Lower bound on the assigned TTL.
+    pub floor: SimDuration,
+    /// Upper bound on the assigned TTL.
+    pub cap: SimDuration,
+}
+
+impl AdaptiveTtlConfig {
+    /// The TTL assigned to a document of the given age.
+    pub fn ttl_for_age(&self, age: SimDuration) -> SimDuration {
+        let raw = age.mul_f64(self.threshold);
+        raw.max(self.floor).min(self.cap)
+    }
+}
+
+impl Default for AdaptiveTtlConfig {
+    fn default() -> Self {
+        AdaptiveTtlConfig {
+            threshold: 0.1,
+            floor: SimDuration::from_secs(30),
+            cap: SimDuration::from_days(7),
+        }
+    }
+}
+
+/// How the server grants invalidation promises (leases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeasePolicy {
+    /// No promise at all (TTL and polling protocols).
+    None,
+    /// Unbounded promise — the plain invalidation protocol, equivalent to
+    /// "a lease equal to the duration of the trace" (§6).
+    Infinite,
+    /// Every reply carries a lease of the given length.
+    Fixed(SimDuration),
+    /// Plain `GET`s get `get_lease` (typically zero); `If-Modified-Since`
+    /// revalidations get `ims_lease` (the full lease).
+    TwoTier {
+        /// Lease granted on a plain `GET` (usually zero → not tracked).
+        get_lease: SimDuration,
+        /// Lease granted on an `If-Modified-Since` revalidation.
+        ims_lease: SimDuration,
+    },
+}
+
+/// Complete protocol configuration shared by the proxy- and server-side
+/// state machines.
+///
+/// # Examples
+///
+/// ```
+/// use wcc_core::{ProtocolConfig, ProtocolKind};
+/// use wcc_types::SimDuration;
+///
+/// let cfg = ProtocolConfig::new(ProtocolKind::LeaseInvalidation)
+///     .with_lease(SimDuration::from_days(3));
+/// assert!(cfg.kind.uses_invalidation());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolConfig {
+    /// The protocol to run.
+    pub kind: ProtocolKind,
+    /// Adaptive-TTL tuning (used only by [`ProtocolKind::AdaptiveTtl`]).
+    pub adaptive_ttl: AdaptiveTtlConfig,
+    /// Lease duration for [`ProtocolKind::LeaseInvalidation`] and the
+    /// `ims_lease` of [`ProtocolKind::TwoTierLease`]. The paper suggests
+    /// leases of a few days.
+    pub lease: SimDuration,
+    /// The single TTL used by [`ProtocolKind::FixedTtl`].
+    pub fixed_ttl: SimDuration,
+    /// The short per-server volume lease used by
+    /// [`ProtocolKind::VolumeLease`] (Yin et al. use tens of seconds to a
+    /// few minutes).
+    pub volume_lease: SimDuration,
+}
+
+impl ProtocolConfig {
+    /// Configuration with default tuning for `kind`.
+    pub fn new(kind: ProtocolKind) -> Self {
+        ProtocolConfig {
+            kind,
+            adaptive_ttl: AdaptiveTtlConfig::default(),
+            lease: SimDuration::from_days(3),
+            fixed_ttl: SimDuration::from_days(1),
+            volume_lease: SimDuration::from_mins(2),
+        }
+    }
+
+    /// Overrides the lease duration.
+    #[must_use]
+    pub fn with_lease(mut self, lease: SimDuration) -> Self {
+        self.lease = lease;
+        self
+    }
+
+    /// Overrides the adaptive-TTL tuning.
+    #[must_use]
+    pub fn with_adaptive_ttl(mut self, cfg: AdaptiveTtlConfig) -> Self {
+        self.adaptive_ttl = cfg;
+        self
+    }
+
+    /// Overrides the fixed TTL.
+    #[must_use]
+    pub fn with_fixed_ttl(mut self, ttl: SimDuration) -> Self {
+        self.fixed_ttl = ttl;
+        self
+    }
+
+    /// Overrides the volume-lease length.
+    #[must_use]
+    pub fn with_volume_lease(mut self, volume: SimDuration) -> Self {
+        self.volume_lease = volume;
+        self
+    }
+
+    /// The lease policy implied by the protocol kind.
+    pub fn lease_policy(&self) -> LeasePolicy {
+        match self.kind {
+            ProtocolKind::AdaptiveTtl | ProtocolKind::FixedTtl | ProtocolKind::PollEveryTime => {
+                LeasePolicy::None
+            }
+            ProtocolKind::Invalidation
+            | ProtocolKind::PiggybackInvalidation
+            | ProtocolKind::VolumeLease => LeasePolicy::Infinite,
+            ProtocolKind::LeaseInvalidation => LeasePolicy::Fixed(self.lease),
+            ProtocolKind::TwoTierLease => LeasePolicy::TwoTier {
+                get_lease: SimDuration::ZERO,
+                ims_lease: self.lease,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for kind in ProtocolKind::ALL {
+            assert_eq!(ProtocolKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert_eq!(ProtocolKind::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn strength_classification() {
+        assert!(!ProtocolKind::AdaptiveTtl.is_strong());
+        assert!(!ProtocolKind::FixedTtl.is_strong());
+        for kind in [
+            ProtocolKind::PollEveryTime,
+            ProtocolKind::Invalidation,
+            ProtocolKind::LeaseInvalidation,
+            ProtocolKind::TwoTierLease,
+        ] {
+            assert!(kind.is_strong(), "{kind} should be strong");
+        }
+    }
+
+    #[test]
+    fn invalidation_family() {
+        assert!(!ProtocolKind::AdaptiveTtl.uses_invalidation());
+        assert!(!ProtocolKind::FixedTtl.uses_invalidation());
+        assert!(!ProtocolKind::PollEveryTime.uses_invalidation());
+        assert!(ProtocolKind::TwoTierLease.uses_invalidation());
+    }
+
+    #[test]
+    fn adaptive_ttl_clamps() {
+        let cfg = AdaptiveTtlConfig::default();
+        // 10% of 10 days = 1 day.
+        assert_eq!(
+            cfg.ttl_for_age(SimDuration::from_days(10)),
+            SimDuration::from_days(1)
+        );
+        // Very young documents get the floor.
+        assert_eq!(cfg.ttl_for_age(SimDuration::from_secs(10)), cfg.floor);
+        // Ancient documents are capped.
+        assert_eq!(cfg.ttl_for_age(SimDuration::from_days(1000)), cfg.cap);
+    }
+
+    #[test]
+    fn lease_policies_match_kinds() {
+        assert_eq!(
+            ProtocolConfig::new(ProtocolKind::AdaptiveTtl).lease_policy(),
+            LeasePolicy::None
+        );
+        assert_eq!(
+            ProtocolConfig::new(ProtocolKind::Invalidation).lease_policy(),
+            LeasePolicy::Infinite
+        );
+        let lease = SimDuration::from_days(8);
+        assert_eq!(
+            ProtocolConfig::new(ProtocolKind::LeaseInvalidation)
+                .with_lease(lease)
+                .lease_policy(),
+            LeasePolicy::Fixed(lease)
+        );
+        match ProtocolConfig::new(ProtocolKind::TwoTierLease)
+            .with_lease(lease)
+            .lease_policy()
+        {
+            LeasePolicy::TwoTier {
+                get_lease,
+                ims_lease,
+            } => {
+                assert_eq!(get_lease, SimDuration::ZERO);
+                assert_eq!(ims_lease, lease);
+            }
+            other => panic!("unexpected policy {other:?}"),
+        }
+    }
+}

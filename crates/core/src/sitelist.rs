@@ -1,0 +1,288 @@
+//! The accelerator's invalidation table: per-document site lists.
+//!
+//! "To keep track of client sites, the accelerator maintains an invalidation
+//! table which records, for each URL document, a list of remote sites that
+//! accessed the document since the previous invalidation of the document."
+//!
+//! Under the lease protocols each entry carries an expiry; the server only
+//! needs to remember clients whose leases have not expired, which is what
+//! bounds table growth (§6).
+
+use std::collections::HashMap;
+use wcc_types::{ByteSize, ClientId, SimTime, Url};
+
+/// Estimated memory cost of one site-list entry, in bytes. The paper reports
+/// site-list storage "on the order of 20 to 30 bytes per request"; 24 bytes
+/// models a client id, a lease expiry and map overhead.
+pub const ENTRY_BYTES: u64 = 24;
+
+/// Estimated per-document overhead of a non-empty site list, in bytes.
+pub const LIST_OVERHEAD_BYTES: u64 = 48;
+
+/// Aggregate statistics about the table, in the shape of the paper's
+/// Table 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SiteListStats {
+    /// Estimated memory consumed by all site lists.
+    pub storage: ByteSize,
+    /// Total entries across all lists.
+    pub total_entries: u64,
+    /// Number of documents with a non-empty list.
+    pub tracked_documents: u64,
+    /// Longest list.
+    pub max_list_len: u64,
+}
+
+/// The per-document site lists, with lease expiries.
+///
+/// # Examples
+///
+/// ```
+/// use wcc_core::InvalidationTable;
+/// use wcc_types::{ClientId, ServerId, SimTime, Url};
+///
+/// let mut table = InvalidationTable::new();
+/// let url = Url::new(ServerId::new(0), 1);
+/// let c1 = ClientId::from_raw(1);
+/// let c2 = ClientId::from_raw(2);
+/// table.register(url, c1, SimTime::NEVER);
+/// table.register(url, c2, SimTime::from_secs(100));
+///
+/// // At t=200 c2's lease has expired: only c1 must be invalidated.
+/// let sites = table.take_sites(url, SimTime::from_secs(200));
+/// assert_eq!(sites, vec![c1]);
+/// assert_eq!(table.site_count(url), 0); // list reset by the invalidation
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct InvalidationTable {
+    lists: HashMap<Url, HashMap<ClientId, SimTime>>,
+}
+
+impl InvalidationTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        InvalidationTable::default()
+    }
+
+    /// Records that `client` fetched `url` and is promised invalidations
+    /// until `lease_expires`. Re-registering extends the existing promise
+    /// (the later expiry wins).
+    pub fn register(&mut self, url: Url, client: ClientId, lease_expires: SimTime) {
+        let entry = self
+            .lists
+            .entry(url)
+            .or_default()
+            .entry(client)
+            .or_insert(lease_expires);
+        *entry = (*entry).max(lease_expires);
+    }
+
+    /// Removes `client` from `url`'s list, returning whether it was present.
+    pub fn unregister(&mut self, url: Url, client: ClientId) -> bool {
+        match self.lists.get_mut(&url) {
+            Some(list) => {
+                let removed = list.remove(&client).is_some();
+                if list.is_empty() {
+                    self.lists.remove(&url);
+                }
+                removed
+            }
+            None => false,
+        }
+    }
+
+    /// Drains `url`'s site list (the modification just invalidated it) and
+    /// returns the clients whose leases are still live at `now`, sorted for
+    /// determinism. Clients with expired leases are simply dropped — they
+    /// promised to revalidate on their own.
+    pub fn take_sites(&mut self, url: Url, now: SimTime) -> Vec<ClientId> {
+        let Some(list) = self.lists.remove(&url) else {
+            return Vec::new();
+        };
+        let mut live: Vec<ClientId> = list
+            .into_iter()
+            .filter(|&(_, expires)| expires > now)
+            .map(|(client, _)| client)
+            .collect();
+        live.sort_unstable();
+        live
+    }
+
+    /// The number of (live or expired) entries in `url`'s list.
+    pub fn site_count(&self, url: Url) -> usize {
+        self.lists.get(&url).map_or(0, |l| l.len())
+    }
+
+    /// Total entries across all lists.
+    pub fn total_entries(&self) -> u64 {
+        self.lists.values().map(|l| l.len() as u64).sum()
+    }
+
+    /// Drops every entry whose lease expired before `now`. Returns how many
+    /// entries were collected. (The lease-augmented server runs this
+    /// periodically; with infinite leases it is a no-op.)
+    pub fn purge_expired(&mut self, now: SimTime) -> u64 {
+        let mut removed = 0;
+        self.lists.retain(|_, list| {
+            let before = list.len();
+            list.retain(|_, expires| *expires > now);
+            removed += (before - list.len()) as u64;
+            !list.is_empty()
+        });
+        removed
+    }
+
+    /// Table-wide statistics (the paper's Table 5 "Storage" row and friends).
+    pub fn stats(&self) -> SiteListStats {
+        let mut stats = SiteListStats::default();
+        for list in self.lists.values() {
+            let len = list.len() as u64;
+            stats.total_entries += len;
+            stats.tracked_documents += 1;
+            stats.max_list_len = stats.max_list_len.max(len);
+            stats.storage += ByteSize::from_bytes(LIST_OVERHEAD_BYTES + ENTRY_BYTES * len);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcc_types::ServerId;
+
+    fn url(doc: u32) -> Url {
+        Url::new(ServerId::new(0), doc)
+    }
+
+    fn client(raw: u32) -> ClientId {
+        ClientId::from_raw(raw)
+    }
+
+    #[test]
+    fn register_take_cycle() {
+        let mut t = InvalidationTable::new();
+        t.register(url(1), client(5), SimTime::NEVER);
+        t.register(url(1), client(3), SimTime::NEVER);
+        t.register(url(2), client(5), SimTime::NEVER);
+        assert_eq!(t.site_count(url(1)), 2);
+        assert_eq!(t.total_entries(), 3);
+
+        let sites = t.take_sites(url(1), SimTime::from_secs(10));
+        assert_eq!(sites, vec![client(3), client(5)], "sorted for determinism");
+        assert_eq!(t.site_count(url(1)), 0);
+        assert_eq!(t.site_count(url(2)), 1, "other documents untouched");
+        assert!(t.take_sites(url(9), SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn duplicate_registration_keeps_one_entry_latest_lease() {
+        let mut t = InvalidationTable::new();
+        t.register(url(1), client(1), SimTime::from_secs(100));
+        t.register(url(1), client(1), SimTime::from_secs(500));
+        assert_eq!(t.site_count(url(1)), 1);
+        // Live at t=200 because the later lease won.
+        assert_eq!(t.take_sites(url(1), SimTime::from_secs(200)), vec![client(1)]);
+
+        // Re-registering with an *earlier* expiry must not shorten it.
+        t.register(url(1), client(1), SimTime::from_secs(500));
+        t.register(url(1), client(1), SimTime::from_secs(100));
+        assert_eq!(t.take_sites(url(1), SimTime::from_secs(200)), vec![client(1)]);
+    }
+
+    #[test]
+    fn expired_leases_are_not_invalidated() {
+        let mut t = InvalidationTable::new();
+        t.register(url(1), client(1), SimTime::from_secs(50));
+        t.register(url(1), client(2), SimTime::from_secs(150));
+        let sites = t.take_sites(url(1), SimTime::from_secs(100));
+        assert_eq!(sites, vec![client(2)]);
+    }
+
+    #[test]
+    fn unregister() {
+        let mut t = InvalidationTable::new();
+        t.register(url(1), client(1), SimTime::NEVER);
+        assert!(t.unregister(url(1), client(1)));
+        assert!(!t.unregister(url(1), client(1)));
+        assert_eq!(t.total_entries(), 0);
+        // Empty list is fully dropped (no storage cost).
+        assert_eq!(t.stats().tracked_documents, 0);
+    }
+
+    #[test]
+    fn purge_collects_only_expired() {
+        let mut t = InvalidationTable::new();
+        for c in 0..10 {
+            let expiry = SimTime::from_secs(if c % 2 == 0 { 10 } else { 1_000 });
+            t.register(url(c), client(c), expiry);
+        }
+        let removed = t.purge_expired(SimTime::from_secs(100));
+        assert_eq!(removed, 5);
+        assert_eq!(t.total_entries(), 5);
+        assert_eq!(t.purge_expired(SimTime::from_secs(100)), 0);
+    }
+
+    #[test]
+    fn storage_accounting_matches_model() {
+        let mut t = InvalidationTable::new();
+        assert_eq!(t.stats().storage, ByteSize::ZERO);
+        t.register(url(1), client(1), SimTime::NEVER);
+        t.register(url(1), client(2), SimTime::NEVER);
+        t.register(url(2), client(1), SimTime::NEVER);
+        let s = t.stats();
+        assert_eq!(s.tracked_documents, 2);
+        assert_eq!(s.total_entries, 3);
+        assert_eq!(s.max_list_len, 2);
+        assert_eq!(
+            s.storage,
+            ByteSize::from_bytes(2 * LIST_OVERHEAD_BYTES + 3 * ENTRY_BYTES)
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use wcc_types::ServerId;
+
+    proptest! {
+        /// take_sites never returns expired leases and always empties the
+        /// list; total_entries always equals the sum over documents.
+        #[test]
+        fn lease_and_accounting_invariants(
+            regs in proptest::collection::vec((0u32..5, 0u32..8, 0u64..200), 1..100),
+            take_at in 0u64..200,
+        ) {
+            let mut t = InvalidationTable::new();
+            for (doc, client, expiry) in &regs {
+                t.register(
+                    Url::new(ServerId::new(0), *doc),
+                    ClientId::from_raw(*client),
+                    SimTime::from_secs(*expiry),
+                );
+            }
+            let sum: u64 = (0u32..5)
+                .map(|d| t.site_count(Url::new(ServerId::new(0), d)) as u64)
+                .sum();
+            prop_assert_eq!(t.total_entries(), sum);
+
+            let now = SimTime::from_secs(take_at);
+            let url0 = Url::new(ServerId::new(0), 0);
+            let live = t.take_sites(url0, now);
+            // Sorted and unique.
+            let mut sorted = live.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(&sorted, &live);
+            prop_assert_eq!(t.site_count(url0), 0);
+            // Each returned client had at least one registration for doc 0
+            // with expiry after `now`.
+            for c in live {
+                prop_assert!(regs.iter().any(|(d, cl, e)|
+                    *d == 0 && ClientId::from_raw(*cl) == c && SimTime::from_secs(*e) > now));
+            }
+        }
+    }
+}

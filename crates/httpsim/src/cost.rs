@@ -1,0 +1,119 @@
+//! The CPU/disk cost model for the pseudo-server and the proxies.
+//!
+//! The paper measures server load with `iostat` on a SPARC-20; we charge
+//! explicit CPU time per operation instead. Absolute values are calibrated
+//! to mid-1990s workstation magnitudes, but — as the paper itself says of
+//! its load numbers — they are "only meaningful for comparison purposes".
+
+use wcc_types::{ByteSize, SimDuration};
+
+/// Per-operation CPU and disk costs.
+///
+/// # Examples
+///
+/// ```
+/// use wcc_httpsim::CostModel;
+/// use wcc_types::ByteSize;
+///
+/// let costs = CostModel::default();
+/// let big = costs.serve_200_cpu(ByteSize::from_kib(100));
+/// let small = costs.serve_200_cpu(ByteSize::from_kib(1));
+/// assert!(big > small);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CostModel {
+    /// Parsing + dispatching any incoming HTTP request at the server.
+    pub request_parse: SimDuration,
+    /// Appending one line to the server's request log (all three protocols
+    /// log every request — that is why the paper's disk write rates are
+    /// similar across approaches).
+    pub log_write_cpu: SimDuration,
+    /// Base cost of assembling a `200` reply.
+    pub serve_200_base: SimDuration,
+    /// Additional `200` cost per KiB of *stored* (scaled) document.
+    pub serve_200_per_kib: SimDuration,
+    /// Cost of a `304 Not Modified` reply.
+    pub serve_304: SimDuration,
+    /// Reading a document from disk on an accelerator memory-cache miss.
+    pub disk_read_cpu: SimDuration,
+    /// Sending one `INVALIDATE` over TCP (connection setup dominates — this
+    /// is the cost that makes synchronous fan-out stall the server).
+    pub inval_send: SimDuration,
+    /// Processing a modifier check-in.
+    pub notify_cpu: SimDuration,
+    /// Processing an invalidation acknowledgement.
+    pub ack_cpu: SimDuration,
+    /// Proxy-side work to handle one user request (driver + proxy parse).
+    pub proxy_request_cpu: SimDuration,
+    /// Proxy-side work to serve a cache hit locally (also the latency a
+    /// pure cache hit exhibits).
+    pub proxy_hit_cpu: SimDuration,
+    /// Proxy-side work to process an incoming `INVALIDATE`.
+    pub proxy_inval_cpu: SimDuration,
+    /// The factor by which stored documents are scaled down (the paper's
+    /// disk-space trick; message *bytes* are accounted at full size).
+    pub doc_scale: u64,
+}
+
+impl CostModel {
+    /// The `200` serve cost for a document of the given (unscaled) size.
+    pub fn serve_200_cpu(&self, size: ByteSize) -> SimDuration {
+        let scaled_kib = size.as_u64() / self.doc_scale.max(1) / 1024;
+        self.serve_200_base + self.serve_200_per_kib.saturating_mul(scaled_kib + 1)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            request_parse: SimDuration::from_micros(200),
+            log_write_cpu: SimDuration::from_micros(100),
+            serve_200_base: SimDuration::from_micros(500),
+            serve_200_per_kib: SimDuration::from_micros(150),
+            serve_304: SimDuration::from_micros(300),
+            disk_read_cpu: SimDuration::from_micros(800),
+            inval_send: SimDuration::from_micros(1_800),
+            notify_cpu: SimDuration::from_micros(300),
+            ack_cpu: SimDuration::from_micros(100),
+            proxy_request_cpu: SimDuration::from_micros(8_000),
+            proxy_hit_cpu: SimDuration::from_micros(1_500),
+            proxy_inval_cpu: SimDuration::from_micros(300),
+            doc_scale: 100,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_cost_scales_with_size() {
+        let c = CostModel::default();
+        // 21 KiB unscaled → 0.21 KiB stored → base + per_kib ≈ 0.95 ms.
+        let t = c.serve_200_cpu(ByteSize::from_kib(21));
+        assert!(t >= c.serve_200_base);
+        assert!(t < SimDuration::from_millis(2));
+        // 2 MiB unscaled → ~20 KiB stored → noticeably slower.
+        let big = c.serve_200_cpu(ByteSize::from_mib(2));
+        assert!(big > t);
+    }
+
+    #[test]
+    fn zero_scale_guard() {
+        let c = CostModel {
+            doc_scale: 0,
+            ..CostModel::default()
+        };
+        // Must not divide by zero.
+        let _ = c.serve_200_cpu(ByteSize::from_kib(4));
+    }
+
+    #[test]
+    fn inval_send_dominates_304() {
+        // The stall phenomenon requires invalidation sends to be expensive
+        // relative to ordinary request handling.
+        let c = CostModel::default();
+        assert!(c.inval_send > c.serve_304);
+    }
+}

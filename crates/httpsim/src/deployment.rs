@@ -1,0 +1,1009 @@
+//! Deployment assembly and result collection.
+
+use crate::coord::CoordinatorNode;
+use crate::cost::CostModel;
+use crate::modifier::ModifierNode;
+use crate::origin::{OriginCounters, OriginNode};
+use crate::parent::{ParentCounters, ParentNode};
+use crate::proxy::{partition_records, ProxyCounters, ProxyNode};
+use crate::sender::InvalSenderNode;
+use crate::SimMsg;
+use std::collections::HashMap;
+use wcc_cache::{CacheStore, ReplacementPolicy};
+use wcc_core::{ProtocolConfig, ProtocolKind, ProxyPolicy, ServerConsistency, SiteListStats};
+use wcc_simnet::{FaultPlan, LinkSpec, NetworkConfig, Simulation, Summary};
+use wcc_traces::{ModSchedule, Trace};
+use wcc_types::{ByteSize, ClientId, NodeId, SimDuration, SimTime, Url};
+
+/// How the accelerator transmits invalidation batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InvalSendMode {
+    /// The paper's prototype: the accelerator "does not accept new requests
+    /// until it finishes sending all invalidation messages" — fan-out
+    /// occupies the server CPU.
+    #[default]
+    Synchronous,
+    /// The paper's suggested fix: a separate sender process.
+    Decoupled,
+}
+
+/// How proxy caches are scoped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CacheSharing {
+    /// The paper's emulation: one private cache per *real client*
+    /// (`url@clientid` keys), so co-located clients share nothing.
+    #[default]
+    PerClient,
+    /// Deployed-proxy semantics: each pseudo-client is one shared cache and
+    /// presents a single site identity upstream.
+    SharedPerProxy,
+}
+
+/// How the accelerator learns that a document changed (§4: "We identify
+/// two approaches for the accelerator to detect changes to a document").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChangeDetection {
+    /// The check-in utility notifies the accelerator immediately
+    /// ("the check-in utility automatically informs the accelerator").
+    #[default]
+    Notify,
+    /// The accelerator only checks a document's mtime when a request for it
+    /// arrives ("when the proxy server sees a request from the browser for
+    /// a local document, it suggests to the accelerator to check whether
+    /// the document has been modified"). Invalidations are deferred until
+    /// the next request touches the modified document.
+    BrowserBased,
+}
+
+/// The cache topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Topology {
+    /// Every proxy talks to the origin directly (the paper's setting).
+    #[default]
+    Flat,
+    /// Proxies fetch through a shared parent cache; invalidations fan out
+    /// down the tree (the Worrell-style hierarchy of §2). Implies
+    /// [`CacheSharing::SharedPerProxy`].
+    Hierarchy,
+}
+
+/// One user delivery, for the staleness audit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeEvent {
+    /// The document delivered.
+    pub url: Url,
+    /// The receiving real client.
+    pub client: ClientId,
+    /// Trace time of the request.
+    pub trace_at: SimTime,
+    /// `Last-Modified` of the delivered version.
+    pub version: SimTime,
+    /// `true` if served straight from cache (no origin contact).
+    pub from_cache: bool,
+}
+
+/// Knobs for assembling a deployment.
+#[derive(Debug, Clone)]
+pub struct DeploymentOptions {
+    /// Number of pseudo-clients (the paper uses four).
+    pub num_proxies: u32,
+    /// Per-proxy cache capacity (accounted at unscaled document sizes).
+    pub cache_capacity: ByteSize,
+    /// Replacement discipline (Harvest's default evicts expired docs first).
+    pub replacement: ReplacementPolicy,
+    /// Synchronous (paper prototype) or decoupled invalidation sending.
+    pub send_mode: InvalSendMode,
+    /// Per-operation CPU/disk costs.
+    pub costs: CostModel,
+    /// Link parameters.
+    pub network: NetworkConfig,
+    /// Lock-step window (the paper uses five minutes).
+    pub window: SimDuration,
+    /// Accelerator main-memory document cache budget (scaled bytes).
+    pub mem_cache_budget: ByteSize,
+    /// Wall-clock interval between invalidation retransmissions.
+    pub retry_interval: SimDuration,
+    /// Retransmission budget per modification before giving up.
+    pub max_retries: u32,
+    /// Per-client (paper) or shared-per-proxy caches.
+    pub sharing: CacheSharing,
+    /// Immediate check-in notification or lazy browser-based detection.
+    pub detection: ChangeDetection,
+    /// Flat (paper) or hierarchical topology.
+    pub topology: Topology,
+}
+
+impl Default for DeploymentOptions {
+    fn default() -> Self {
+        DeploymentOptions {
+            num_proxies: 4,
+            cache_capacity: ByteSize::from_gib(4),
+            replacement: ReplacementPolicy::ExpiredFirstLru,
+            send_mode: InvalSendMode::Synchronous,
+            costs: CostModel::default(),
+            network: NetworkConfig::lan(),
+            window: SimDuration::from_mins(5),
+            mem_cache_budget: ByteSize::from_mib(8),
+            retry_interval: SimDuration::from_secs(2),
+            max_retries: 20,
+            sharing: CacheSharing::PerClient,
+            detection: ChangeDetection::Notify,
+            topology: Topology::Flat,
+        }
+    }
+}
+
+/// A fully wired replay: the simulation plus handles to every node.
+#[derive(Debug)]
+pub struct Deployment {
+    sim: Simulation<SimMsg>,
+    /// One origin per server, indexed by server index.
+    origins: Vec<NodeId>,
+    sender: Option<NodeId>,
+    parent: Option<NodeId>,
+    proxies: Vec<NodeId>,
+    modifier: NodeId,
+    coordinator: NodeId,
+    protocol: ProtocolKind,
+    trace_duration: SimDuration,
+    ran: bool,
+}
+
+impl Deployment {
+    /// Assembles a deployment for one protocol over one trace + modification
+    /// schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options.num_proxies` is zero.
+    pub fn build(
+        trace: &Trace,
+        mods: &ModSchedule,
+        cfg: &ProtocolConfig,
+        options: DeploymentOptions,
+    ) -> Deployment {
+        Deployment::build_inner(&[(trace.clone(), mods.clone())], cfg, options)
+    }
+
+    /// Assembles a multi-server deployment: one origin (and one modifier)
+    /// per `(trace, schedule)` pair. Trace *i* must be homed on
+    /// `ServerId::new(i)` (see [`Trace::reassign_server`]). Hierarchy mode
+    /// and the decoupled sender are single-server features.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero proxies/servers, mis-homed traces, or an unsupported
+    /// option combination.
+    pub fn build_multi(
+        workloads: &[(Trace, ModSchedule)],
+        cfg: &ProtocolConfig,
+        options: DeploymentOptions,
+    ) -> Deployment {
+        Deployment::build_inner(workloads, cfg, options)
+    }
+
+    fn build_inner(
+        workloads: &[(Trace, ModSchedule)],
+        cfg: &ProtocolConfig,
+        options: DeploymentOptions,
+    ) -> Deployment {
+        assert!(options.num_proxies > 0, "need at least one pseudo-client");
+        assert!(!workloads.is_empty(), "need at least one origin workload");
+        let multi = workloads.len() > 1;
+        if multi {
+            assert_eq!(
+                options.topology,
+                Topology::Flat,
+                "hierarchy mode is single-server"
+            );
+            assert_eq!(
+                options.send_mode,
+                InvalSendMode::Synchronous,
+                "the decoupled sender is single-server"
+            );
+            for (i, (trace, _)) in workloads.iter().enumerate() {
+                assert_eq!(
+                    trace.server.index() as usize,
+                    i,
+                    "trace {i} must be homed on server {i}"
+                );
+            }
+        }
+        let mut sim = Simulation::new(options.network.clone());
+
+        let origins: Vec<NodeId> = workloads
+            .iter()
+            .map(|(trace, _)| {
+                sim.add_node(OriginNode::new(
+                    trace.server,
+                    ServerConsistency::new(cfg, trace.server),
+                    trace.doc_sizes.clone(),
+                    options.costs.clone(),
+                    options.send_mode,
+                    options.detection,
+                    options.mem_cache_budget,
+                    options.retry_interval,
+                    options.max_retries,
+                ))
+            })
+            .collect();
+        let origin = origins[0];
+
+        let sender = match options.send_mode {
+            InvalSendMode::Decoupled => {
+                Some(sim.add_node(InvalSenderNode::new(options.costs.clone())))
+            }
+            InvalSendMode::Synchronous => None,
+        };
+
+        let shared = options.sharing == CacheSharing::SharedPerProxy
+            || options.topology == Topology::Hierarchy;
+        // Merge every trace's records into one time-ordered stream.
+        let mut merged: Vec<wcc_traces::TraceRecord> = workloads
+            .iter()
+            .flat_map(|(trace, _)| trace.records.iter().copied())
+            .collect();
+        merged.sort_by_key(|r| r.at);
+        let duration = workloads
+            .iter()
+            .map(|(t, _)| t.duration)
+            .max()
+            .expect("nonempty");
+        let parts = partition_records(&merged, options.num_proxies);
+        let proxies: Vec<NodeId> = parts
+            .into_iter()
+            .map(|records| {
+                sim.add_node(ProxyNode::new(
+                    ProxyPolicy::new(cfg),
+                    CacheStore::new(options.cache_capacity, options.replacement),
+                    records,
+                    options.costs.clone(),
+                ))
+            })
+            .collect();
+        if shared {
+            // Identity i satisfies partition(num_proxies) == i, so the
+            // origin's routing stays correct in flat-shared mode.
+            for (i, &p) in proxies.iter().enumerate() {
+                sim.node_mut::<ProxyNode>(p)
+                    .set_identity(ClientId::from_raw(i as u32));
+            }
+        }
+        let parent = match options.topology {
+            Topology::Hierarchy => {
+                let identity = ClientId::from_raw(0);
+                let node = sim.add_node(ParentNode::new(
+                    identity,
+                    cfg,
+                    CacheStore::new(options.cache_capacity, options.replacement),
+                    options.costs.clone(),
+                    options.costs.doc_scale,
+                    workloads[0].0.server,
+                ));
+                Some(node)
+            }
+            Topology::Flat => None,
+        };
+
+        let modifiers: Vec<NodeId> = workloads
+            .iter()
+            .map(|(trace, mods)| {
+                sim.add_node(ModifierNode::new(
+                    trace.server,
+                    mods.modifications().to_vec(),
+                ))
+            })
+            .collect();
+        let coordinator = sim.add_node(CoordinatorNode::new(options.window, duration));
+
+        // Wiring. In hierarchy mode the origin (and the decoupled sender)
+        // see a single downstream site — the parent — and the children use
+        // the parent as their upstream.
+        let downstream: Vec<NodeId> = match parent {
+            Some(par) => vec![par],
+            None => proxies.clone(),
+        };
+        for &o in &origins {
+            let node = sim.node_mut::<OriginNode>(o);
+            node.proxies = downstream.clone();
+            node.sender = sender;
+            node.set_coordinator(coordinator);
+        }
+        if let Some(s) = sender {
+            sim.node_mut::<InvalSenderNode>(s).set_proxies(downstream);
+        }
+        if let Some(par) = parent {
+            let routes: HashMap<ClientId, NodeId> = proxies
+                .iter()
+                .enumerate()
+                .map(|(i, &node)| (ClientId::from_raw(i as u32), node))
+                .collect();
+            sim.node_mut::<ParentNode>(par).wire(origin, routes);
+        }
+        let upstreams: Vec<NodeId> = match parent {
+            Some(par) => vec![par],
+            None => origins.clone(),
+        };
+        for &p in &proxies {
+            sim.node_mut::<ProxyNode>(p)
+                .wire_multi(upstreams.clone(), coordinator);
+        }
+        for (i, &m) in modifiers.iter().enumerate() {
+            sim.node_mut::<ModifierNode>(m).wire(origins[i], coordinator);
+        }
+        let mut participants = proxies.clone();
+        participants.extend(&modifiers);
+        participants.extend(&origins);
+        sim.node_mut::<CoordinatorNode>(coordinator)
+            .set_participants(participants);
+
+        Deployment {
+            sim,
+            origins,
+            sender,
+            parent,
+            proxies,
+            modifier: modifiers[0],
+            coordinator,
+            protocol: cfg.kind,
+            trace_duration: duration,
+            ran: false,
+        }
+    }
+
+    /// The local-IPC link spec used between co-located server processes
+    /// (origin ↔ sender ↔ modifier).
+    pub fn local_link() -> LinkSpec {
+        LinkSpec::new(SimDuration::from_micros(5), 1 << 30)
+    }
+
+    /// Schedules a fault plan (crashes / partitions) before running.
+    pub fn apply_faults(&mut self, plan: &FaultPlan) {
+        plan.apply(&mut self.sim);
+    }
+
+    /// Node id of the (first) origin (for fault plans).
+    pub fn origin_id(&self) -> NodeId {
+        self.origins[0]
+    }
+
+    /// Node ids of every origin, indexed by server.
+    pub fn origin_ids(&self) -> &[NodeId] {
+        &self.origins
+    }
+
+    /// Node ids of the proxies (for fault plans).
+    pub fn proxy_ids(&self) -> &[NodeId] {
+        &self.proxies
+    }
+
+    /// Runs the replay to completion. Returns the wall-clock duration.
+    pub fn run(&mut self) -> SimTime {
+        self.ran = true;
+        self.sim.run_until_idle()
+    }
+
+    /// Runs with a wall-clock safety deadline (fault scenarios with retry
+    /// loops can otherwise take long).
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.ran = true;
+        self.sim.run_until(deadline)
+    }
+
+    /// The (first) origin node (after `run`).
+    pub fn origin(&self) -> &OriginNode {
+        self.sim.node_ref(self.origins[0])
+    }
+
+    /// Origin node `i` (after `run`).
+    pub fn origin_at(&self, i: usize) -> &OriginNode {
+        self.sim.node_ref(self.origins[i])
+    }
+
+    /// The proxy nodes (after `run`).
+    pub fn proxy(&self, i: usize) -> &ProxyNode {
+        self.sim.node_ref(self.proxies[i])
+    }
+
+    /// The coordinator (after `run`).
+    pub fn coordinator(&self) -> &CoordinatorNode {
+        self.sim.node_ref(self.coordinator)
+    }
+
+    /// The modifier (after `run`).
+    pub fn modifier(&self) -> &ModifierNode {
+        self.sim.node_ref(self.modifier)
+    }
+
+    /// The parent proxy, if running in hierarchy mode (after `run`).
+    pub fn parent(&self) -> Option<&ParentNode> {
+        self.parent.map(|p| self.sim.node_ref(p))
+    }
+
+    /// Aggregates every counter into a [`RawReport`].
+    pub fn collect(&self) -> RawReport {
+        // Aggregate server-side counters across every origin.
+        let mut oc = OriginCounters::default();
+        let mut sitelist = SiteListStats::default();
+        let mut modified_list_lens: Vec<u64> = Vec::new();
+        let mut inval_time_all = Summary::default();
+        let mut writes_complete = true;
+        let mut piggybacked = 0u64;
+        let mut metered_served = 0u64;
+        let mut metered_reported = 0u64;
+        for i in 0..self.origins.len() {
+            let origin = self.origin_at(i);
+            let c = origin.counters();
+            oc.gets += c.gets;
+            oc.ims += c.ims;
+            oc.replies_200 += c.replies_200;
+            oc.replies_304 += c.replies_304;
+            oc.invalidations_sent += c.invalidations_sent;
+            oc.invalidation_retries += c.invalidation_retries;
+            oc.bulk_invalidations += c.bulk_invalidations;
+            oc.acks += c.acks;
+            oc.notifies += c.notifies;
+            oc.disk_reads += c.disk_reads;
+            oc.disk_writes += c.disk_writes;
+            oc.bytes_sent += c.bytes_sent;
+            oc.gave_up += c.gave_up;
+            oc.deferred_detections += c.deferred_detections;
+            let consistency = origin.consistency();
+            let s = consistency.table().stats();
+            sitelist.storage += s.storage;
+            sitelist.total_entries += s.total_entries;
+            sitelist.tracked_documents += s.tracked_documents;
+            sitelist.max_list_len = sitelist.max_list_len.max(s.max_list_len);
+            modified_list_lens.extend_from_slice(consistency.modified_list_lens());
+            inval_time_all.merge(origin.inval_time());
+            writes_complete &= consistency.writes_complete();
+            piggybacked += consistency.stats().piggybacked;
+            metered_served += origin.meter().served();
+            metered_reported += origin.meter().reported();
+        }
+
+        let mut latency = Summary::default();
+        let mut serves: Vec<ServeEvent> = Vec::new();
+        let mut pc_total = ProxyCounters::default();
+        let mut cache_evictions = 0u64;
+        let mut cache_expired_evictions = 0u64;
+        let mut cache_entries = 0u64;
+        let mut cache_bytes = ByteSize::ZERO;
+        for i in 0..self.proxies.len() {
+            let p = self.proxy(i);
+            latency.merge(p.latency());
+            serves.extend_from_slice(p.serves());
+            let c = p.counters();
+            pc_total.requests += c.requests;
+            pc_total.hits += c.hits;
+            pc_total.gets_sent += c.gets_sent;
+            pc_total.ims_sent += c.ims_sent;
+            pc_total.replies_200 += c.replies_200;
+            pc_total.replies_304 += c.replies_304;
+            pc_total.invalidations_received += c.invalidations_received;
+            pc_total.invalidations_effective += c.invalidations_effective;
+            pc_total.bulk_invalidations_received += c.bulk_invalidations_received;
+            pc_total.revalidation_races += c.revalidation_races;
+            pc_total.reissued_after_crash += c.reissued_after_crash;
+            pc_total.request_timeouts += c.request_timeouts;
+            pc_total.recoveries += c.recoveries;
+            pc_total.questionable_marked += c.questionable_marked;
+            pc_total.bytes_sent += c.bytes_sent;
+            cache_evictions += p.cache().stats().evictions;
+            cache_expired_evictions += p.cache().stats().expired_evictions;
+            cache_entries += p.cache().len() as u64;
+            cache_bytes += p.cache().used();
+        }
+
+        // Staleness audit: compare every cache-served delivery against the
+        // touch-log oracle (keyed by full URL so multi-server documents
+        // with the same index do not collide).
+        let mut touches: HashMap<Url, Vec<SimTime>> = HashMap::new();
+        for i in 0..self.origins.len() {
+            let origin = self.origin_at(i);
+            let server = origin.consistency().server();
+            for &(doc, at) in origin.touch_log() {
+                touches.entry(Url::new(server, doc)).or_default().push(at);
+            }
+        }
+        for times in touches.values_mut() {
+            times.sort_unstable();
+        }
+        let version_at = |url: Url, t: SimTime| -> SimTime {
+            match touches.get(&url) {
+                None => SimTime::ZERO,
+                Some(times) => match times.partition_point(|&m| m <= t) {
+                    0 => SimTime::ZERO,
+                    n => times[n - 1],
+                },
+            }
+        };
+        let stale_hits = serves
+            .iter()
+            .filter(|s| s.from_cache && s.version != version_at(s.url, s.trace_at))
+            .count() as u64;
+
+        // End-of-run freshness: entries still covered by a live invalidation
+        // promise must hold the final version (strong-consistency check).
+        let trace_end = SimTime::ZERO + self.trace_duration;
+        let final_version = |url: Url| -> SimTime {
+            touches
+                .get(&url)
+                .and_then(|t| t.last().copied())
+                .unwrap_or(SimTime::ZERO)
+        };
+        let mut final_violations = 0u64;
+        if self.protocol.uses_invalidation() {
+            let mut audit = |policy: &ProxyPolicy, cache: &CacheStore| {
+                for (key, entry) in cache.iter() {
+                    if policy.promised_fresh(key, &entry.freshness, trace_end)
+                        && entry.meta.last_modified() != final_version(key.url())
+                    {
+                        final_violations += 1;
+                    }
+                }
+            };
+            for i in 0..self.proxies.len() {
+                let p = self.proxy(i);
+                audit(p.policy(), p.cache());
+            }
+            if let Some(parent) = self.parent() {
+                audit(parent.policy(), parent.cache());
+            }
+        }
+
+        let (inval_time, sender_bytes) = match self.sender {
+            Some(s) => {
+                let sender: &InvalSenderNode = self.sim.node_ref(s);
+                (sender.inval_time().clone(), sender.bytes_sent)
+            }
+            None => (inval_time_all, ByteSize::ZERO),
+        };
+
+        // Use the instant the replay drained, not the tail of straggler
+        // timeout timers, as the wall clock for rates and utilisation.
+        let wall = self.coordinator().finished_at().unwrap_or(self.sim.now());
+        let wall_secs = wall.as_secs_f64().max(1e-9);
+        let server_busy: wcc_types::SimDuration = self
+            .origins
+            .iter()
+            .map(|&o| self.sim.busy_time(o))
+            .sum();
+        // Average utilisation per origin machine.
+        let server_cpu = if wall == SimTime::ZERO {
+            0.0
+        } else {
+            server_busy.as_secs_f64() / wall.as_secs_f64() / self.origins.len() as f64
+        };
+
+        let parent_summary = self.parent().map(|p| ParentSummary {
+            counters: *p.counters(),
+            child_sitelist: p.children_state().table().stats(),
+            cache_entries: p.cache().len() as u64,
+        });
+        let control_and_transfers = match &parent_summary {
+            None => {
+                pc_total.gets_sent
+                    + pc_total.ims_sent
+                    + oc.replies_200
+                    + oc.replies_304
+                    + oc.invalidations_sent
+                    + oc.bulk_invalidations
+            }
+            Some(par) => {
+                // Two hops: child↔parent plus parent↔origin, and both
+                // invalidation legs.
+                pc_total.gets_sent
+                    + pc_total.ims_sent
+                    + pc_total.replies_200
+                    + pc_total.replies_304
+                    + par.counters.upstream_gets
+                    + par.counters.upstream_ims
+                    + oc.replies_200
+                    + oc.replies_304
+                    + oc.invalidations_sent
+                    + oc.bulk_invalidations
+                    + par.counters.invalidations_relayed
+            }
+        };
+
+        RawReport {
+            protocol: self.protocol,
+            requests: pc_total.requests,
+            hits: pc_total.hits,
+            gets: pc_total.gets_sent,
+            ims: pc_total.ims_sent,
+            replies_200: oc.replies_200,
+            replies_304: oc.replies_304,
+            invalidations: oc.invalidations_sent,
+            invalidation_retries: oc.invalidation_retries,
+            bulk_invalidations: oc.bulk_invalidations,
+            acks: oc.acks,
+            notifies: oc.notifies,
+            total_messages: control_and_transfers,
+            total_bytes: oc.bytes_sent + pc_total.bytes_sent + sender_bytes,
+            latency,
+            server_cpu,
+            server_busy,
+            disk_reads: oc.disk_reads,
+            disk_writes: oc.disk_writes,
+            disk_reads_per_sec: oc.disk_reads as f64 / wall_secs,
+            disk_writes_per_sec: oc.disk_writes as f64 / wall_secs,
+            wall_duration: wall.saturating_since(SimTime::ZERO),
+            stale_hits,
+            final_violations,
+            piggybacked,
+            metered_served,
+            metered_reported,
+            writes_complete,
+            inval_time,
+            sitelist,
+            modified_list_lens,
+            cache_evictions,
+            cache_expired_evictions,
+            cache_entries,
+            cache_bytes,
+            revalidation_races: pc_total.revalidation_races,
+            reissued_after_crash: pc_total.reissued_after_crash,
+            request_timeouts: pc_total.request_timeouts,
+            proxy_recoveries: pc_total.recoveries,
+            questionable_marked: pc_total.questionable_marked,
+            gave_up: oc.gave_up,
+            steps_run: self.coordinator().steps_run(),
+            finished: self.coordinator().finished(),
+            parent: parent_summary,
+            origin_counters: oc,
+        }
+    }
+}
+
+/// What the parent tier did, when running a hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParentSummary {
+    /// The parent's counters.
+    pub counters: ParentCounters,
+    /// The parent's child-facing site lists at end of run.
+    pub child_sitelist: SiteListStats,
+    /// Entries in the parent's own cache at end of run.
+    pub cache_entries: u64,
+}
+
+/// Everything measured by one replay, before table formatting.
+#[derive(Debug, Clone)]
+pub struct RawReport {
+    /// The protocol replayed.
+    pub protocol: ProtocolKind,
+    /// User requests issued.
+    pub requests: u64,
+    /// Requests that found a cached entry.
+    pub hits: u64,
+    /// Plain `GET`s on the wire.
+    pub gets: u64,
+    /// `If-Modified-Since` requests on the wire.
+    pub ims: u64,
+    /// `200` replies.
+    pub replies_200: u64,
+    /// `304` replies.
+    pub replies_304: u64,
+    /// `INVALIDATE <url>` messages (including retries).
+    pub invalidations: u64,
+    /// Of those, retransmissions.
+    pub invalidation_retries: u64,
+    /// Bulk `INVALIDATE <server>` messages.
+    pub bulk_invalidations: u64,
+    /// Invalidation acknowledgements (transport-level; excluded from
+    /// `total_messages`, as TCP acks are in the paper).
+    pub acks: u64,
+    /// Modifier check-ins (server-local; excluded from `total_messages`).
+    pub notifies: u64,
+    /// The paper's "Total Messages" row.
+    pub total_messages: u64,
+    /// The paper's "Messages Bytes" row.
+    pub total_bytes: ByteSize,
+    /// Per-request latency (wall clock).
+    pub latency: Summary,
+    /// Server CPU utilisation (busy / wall).
+    pub server_cpu: f64,
+    /// Absolute server CPU time.
+    pub server_busy: SimDuration,
+    /// Disk reads at the server.
+    pub disk_reads: u64,
+    /// Disk writes at the server.
+    pub disk_writes: u64,
+    /// The paper's "Disk RW/s" row, reads part.
+    pub disk_reads_per_sec: f64,
+    /// The paper's "Disk RW/s" row, writes part.
+    pub disk_writes_per_sec: f64,
+    /// Wall-clock length of the compressed replay.
+    pub wall_duration: SimDuration,
+    /// Cache-served deliveries of outdated versions (adaptive TTL's stale
+    /// hits; transient in-flight serves for invalidation).
+    pub stale_hits: u64,
+    /// Cache entries still promised-fresh at the end that do not hold the
+    /// final version — must be zero for invalidation when all writes
+    /// completed.
+    pub final_violations: u64,
+    /// Invalidations delivered by piggybacking on replies (PSI).
+    pub piggybacked: u64,
+    /// §7 hit metering: requests the origin answered directly.
+    pub metered_served: u64,
+    /// §7 hit metering: cache hits reported by the caches (on requests and
+    /// invalidation acks).
+    pub metered_reported: u64,
+    /// Whether every invalidation was acknowledged by the end.
+    pub writes_complete: bool,
+    /// Wall time per invalidation batch (Table 5's invalidation time).
+    pub inval_time: Summary,
+    /// Site-list statistics at end of run (Table 5's storage row).
+    pub sitelist: SiteListStats,
+    /// Site-list length at each modification (Table 5's avg/max list rows).
+    pub modified_list_lens: Vec<u64>,
+    /// Proxy cache evictions.
+    pub cache_evictions: u64,
+    /// Of those, victims whose TTL had already expired.
+    pub cache_expired_evictions: u64,
+    /// Proxy cache entries at end of run.
+    pub cache_entries: u64,
+    /// Proxy cache bytes at end of run.
+    pub cache_bytes: ByteSize,
+    /// `304`-vs-eviction races (re-issued as plain GETs).
+    pub revalidation_races: u64,
+    /// Requests re-issued after proxy crashes.
+    pub reissued_after_crash: u64,
+    /// Requests retransmitted after a timeout (lost to crashes/partitions).
+    pub request_timeouts: u64,
+    /// Proxy crash recoveries observed.
+    pub proxy_recoveries: u64,
+    /// Cache entries marked questionable by proxy recoveries.
+    pub questionable_marked: u64,
+    /// Invalidations abandoned after the retry budget.
+    pub gave_up: u64,
+    /// Lock-step windows completed.
+    pub steps_run: u32,
+    /// Whether the coordinator drained the full trace.
+    pub finished: bool,
+    /// The parent tier's summary (hierarchy mode only).
+    pub parent: Option<ParentSummary>,
+    /// Raw origin counters (for debugging and extra rows).
+    pub origin_counters: OriginCounters,
+}
+
+impl RawReport {
+    /// Hit ratio over all requests.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+
+    /// Site-list length stats among modified documents (Table 5):
+    /// `(average, max)`.
+    pub fn modified_list_stats(&self) -> (f64, u64) {
+        if self.modified_list_lens.is_empty() {
+            return (0.0, 0);
+        }
+        let sum: u64 = self.modified_list_lens.iter().sum();
+        let max = *self.modified_list_lens.iter().max().expect("nonempty");
+        (sum as f64 / self.modified_list_lens.len() as f64, max)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)] // option-mutation style is intended
+mod tests {
+    use super::*;
+    use wcc_traces::{synthetic, TraceSpec};
+
+    fn tiny_run(kind: ProtocolKind) -> RawReport {
+        let spec = TraceSpec::epa().scaled_down(200);
+        let trace = synthetic::generate(&spec, 7);
+        // Fast churn so invalidations actually happen in the tiny replay.
+        let mods = ModSchedule::generate(
+            spec.num_docs,
+            SimDuration::from_hours(6),
+            spec.duration,
+            7,
+        );
+        let cfg = ProtocolConfig::new(kind);
+        let mut d = Deployment::build(&trace, &mods, &cfg, DeploymentOptions::default());
+        d.run();
+        d.collect()
+    }
+
+    #[test]
+    fn replay_completes_and_conserves_requests() {
+        for kind in ProtocolKind::PAPER_TRIO {
+            let r = tiny_run(kind);
+            assert!(r.finished, "{kind}: replay did not drain");
+            assert_eq!(r.requests, 203, "{kind}");
+            // Every wire request got exactly one reply.
+            assert_eq!(r.gets + r.ims, r.replies_200 + r.replies_304, "{kind}");
+            // Every request was served exactly once.
+            assert!(r.latency.count() >= r.requests, "{kind}");
+        }
+    }
+
+    #[test]
+    fn polling_contacts_server_every_request() {
+        let r = tiny_run(ProtocolKind::PollEveryTime);
+        assert_eq!(r.gets + r.ims, r.requests + r.revalidation_races);
+        assert_eq!(r.stale_hits, 0, "polling never serves straight from cache");
+    }
+
+    #[test]
+    fn invalidation_strong_consistency_holds() {
+        let r = tiny_run(ProtocolKind::Invalidation);
+        assert!(r.writes_complete, "all invalidations acknowledged");
+        assert_eq!(r.final_violations, 0, "no promised-fresh stale entries");
+        assert!(r.invalidations > 0, "churn must trigger invalidations");
+        assert_eq!(r.gave_up, 0);
+    }
+
+    #[test]
+    fn invalidation_total_messages_fewer_than_polling() {
+        // A workload with locality and paper-scale churn: polling pays an
+        // IMS on every hit, invalidation serves hits locally.
+        let spec = TraceSpec::epa().scaled_down(50);
+        let trace = synthetic::generate(&spec, 21);
+        let mods = ModSchedule::generate(
+            spec.num_docs,
+            spec.default_lifetime,
+            spec.duration,
+            21,
+        );
+        let run = |kind: ProtocolKind| {
+            let cfg = ProtocolConfig::new(kind);
+            let mut d = Deployment::build(&trace, &mods, &cfg, DeploymentOptions::default());
+            d.run();
+            d.collect()
+        };
+        let poll = run(ProtocolKind::PollEveryTime);
+        let inval = run(ProtocolKind::Invalidation);
+        assert!(poll.hits > 0, "workload must have cache hits");
+        assert!(
+            inval.total_messages < poll.total_messages,
+            "invalidation {} vs polling {}",
+            inval.total_messages,
+            poll.total_messages
+        );
+    }
+
+    #[test]
+    fn decoupled_sender_reduces_max_latency() {
+        let spec = TraceSpec::nasa().scaled_down(100);
+        let trace = synthetic::generate(&spec, 9);
+        let mods = ModSchedule::generate(
+            spec.num_docs,
+            SimDuration::from_hours(2),
+            spec.duration,
+            9,
+        );
+        let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
+        let run = |mode: InvalSendMode| {
+            let mut opts = DeploymentOptions::default();
+            opts.send_mode = mode;
+            let mut d = Deployment::build(&trace, &mods, &cfg, opts);
+            d.run();
+            d.collect()
+        };
+        let sync = run(InvalSendMode::Synchronous);
+        let dec = run(InvalSendMode::Decoupled);
+        assert!(sync.invalidations > 0);
+        // Fresh fan-outs are identical; only retransmission counts may
+        // differ (the busier synchronous server acks more slowly).
+        assert_eq!(
+            sync.invalidations - sync.invalidation_retries,
+            dec.invalidations - dec.invalidation_retries
+        );
+        // Decoupling must not make the worst case worse.
+        assert!(dec.latency.max() <= sync.latency.max());
+    }
+
+    #[test]
+    fn adaptive_ttl_can_serve_stale() {
+        // Aggressive churn + generous TTLs → stale hits are very likely.
+        let spec = TraceSpec::sask().scaled_down(100);
+        let trace = synthetic::generate(&spec, 11);
+        let mods = ModSchedule::generate(
+            spec.num_docs,
+            SimDuration::from_hours(12),
+            spec.duration,
+            11,
+        );
+        let cfg = ProtocolConfig::new(ProtocolKind::AdaptiveTtl);
+        let mut d = Deployment::build(&trace, &mods, &cfg, DeploymentOptions::default());
+        d.run();
+        let r = d.collect();
+        assert!(r.finished);
+        assert_eq!(r.invalidations, 0, "TTL sends no invalidations");
+        // Weak consistency: some staleness is expected under this churn.
+        assert!(r.stale_hits > 0, "expected stale hits, got 0");
+    }
+
+    #[test]
+    fn hierarchy_preserves_consistency_and_shrinks_server_fanout() {
+        let spec = TraceSpec::nasa().scaled_down(150);
+        let trace = synthetic::generate(&spec, 31);
+        let mods = ModSchedule::generate(
+            spec.num_docs,
+            SimDuration::from_hours(4),
+            spec.duration,
+            31,
+        );
+        let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
+        let run = |topology: Topology| {
+            let mut opts = DeploymentOptions::default();
+            opts.topology = topology;
+            opts.sharing = CacheSharing::SharedPerProxy;
+            let mut d = Deployment::build(&trace, &mods, &cfg, opts);
+            d.run();
+            d.collect()
+        };
+        let flat = run(Topology::Flat);
+        let tree = run(Topology::Hierarchy);
+        assert!(tree.finished);
+        assert_eq!(tree.requests, flat.requests);
+        assert_eq!(tree.final_violations, 0);
+        assert_eq!(flat.final_violations, 0);
+        let tree_parent = tree.parent.expect("hierarchy has a parent");
+        assert!(flat.parent.is_none());
+        // The origin's fan-out shrinks to at most one INVALIDATE per
+        // modification (only the parent is tracked).
+        assert!(
+            tree.invalidations <= flat.invalidations,
+            "tree {} vs flat {}",
+            tree.invalidations,
+            flat.invalidations
+        );
+        assert!(
+            tree.sitelist.max_list_len <= 1,
+            "origin tracks only the parent"
+        );
+        // The parent relays to children that actually hold copies.
+        assert!(tree_parent.counters.invalidations_relayed > 0);
+        // Origin request load drops: children share the parent cache, so
+        // only parent misses reach the origin.
+        let tree_origin_load =
+            tree_parent.counters.upstream_gets + tree_parent.counters.upstream_ims;
+        assert!(
+            tree_origin_load < flat.gets + flat.ims,
+            "origin load: tree {tree_origin_load} vs flat {}",
+            flat.gets + flat.ims
+        );
+    }
+
+    #[test]
+    fn shared_caches_raise_hit_ratio() {
+        let spec = TraceSpec::nasa().scaled_down(150);
+        let trace = synthetic::generate(&spec, 32);
+        let mods = ModSchedule::none(spec.num_docs);
+        let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
+        let run = |sharing: CacheSharing| {
+            let mut opts = DeploymentOptions::default();
+            opts.sharing = sharing;
+            let mut d = Deployment::build(&trace, &mods, &cfg, opts);
+            d.run();
+            d.collect()
+        };
+        let private = run(CacheSharing::PerClient);
+        let shared = run(CacheSharing::SharedPerProxy);
+        assert!(
+            shared.hit_ratio() > private.hit_ratio(),
+            "shared {} vs private {}",
+            shared.hit_ratio(),
+            private.hit_ratio()
+        );
+        // Shared mode: at most one site per (doc, proxy) at the origin.
+        assert!(shared.sitelist.max_list_len <= 4);
+    }
+
+    #[test]
+    fn report_ratios() {
+        let r = tiny_run(ProtocolKind::Invalidation);
+        assert!(r.hit_ratio() >= 0.0 && r.hit_ratio() <= 1.0);
+        let (avg, max) = r.modified_list_stats();
+        assert!(avg <= max as f64);
+    }
+}

@@ -1,0 +1,452 @@
+//! The pseudo-server: origin Web server + Harvest accelerator in one node.
+
+use crate::cost::CostModel;
+use crate::deployment::{ChangeDetection, InvalSendMode};
+use crate::SimMsg;
+use std::collections::HashMap;
+use wcc_core::{HitMeter, ServerConsistency};
+use wcc_proto::{CoordMsg, GetRequest, HttpMsg, Message, Reply, ReplyStatus};
+use wcc_simnet::{Ctx, Node, Summary};
+use wcc_types::{Body, ByteSize, ClientId, DocMeta, NodeId, ServerId, SimDuration, SimTime, Url};
+
+/// Counters the origin maintains for the report (Tables 3–5 inputs).
+#[derive(Debug, Default, Clone)]
+pub struct OriginCounters {
+    /// Plain `GET` requests received.
+    pub gets: u64,
+    /// `If-Modified-Since` requests received.
+    pub ims: u64,
+    /// `200` replies sent.
+    pub replies_200: u64,
+    /// `304` replies sent.
+    pub replies_304: u64,
+    /// `INVALIDATE <url>` messages sent (including retries).
+    pub invalidations_sent: u64,
+    /// Of those, retransmissions.
+    pub invalidation_retries: u64,
+    /// Bulk `INVALIDATE <server>` messages sent after recovery.
+    pub bulk_invalidations: u64,
+    /// Invalidation acknowledgements received.
+    pub acks: u64,
+    /// Modifier check-ins processed.
+    pub notifies: u64,
+    /// Disk reads (accelerator memory-cache misses).
+    pub disk_reads: u64,
+    /// Disk writes (request log + new-site recovery-list appends).
+    pub disk_writes: u64,
+    /// Bytes of protocol messages sent by the server (excludes acks,
+    /// notifies and coordinator traffic, matching the paper's accounting).
+    pub bytes_sent: ByteSize,
+    /// Invalidation fan-outs abandoned after the retry budget.
+    pub gave_up: u64,
+    /// Modifications detected lazily by the browser-based mechanism.
+    pub deferred_detections: u64,
+}
+
+/// A tiny LRU of documents held in the accelerator's main-memory cache
+/// (its original purpose: "keeping a main memory cache of URL documents").
+#[derive(Debug)]
+struct MemCache {
+    budget: u64,
+    used: u64,
+    seq: u64,
+    entries: HashMap<u32, (u64, u64)>, // doc -> (last-use seq, scaled size)
+    order: std::collections::BTreeSet<(u64, u32)>,
+}
+
+impl MemCache {
+    fn new(budget: ByteSize) -> Self {
+        MemCache {
+            budget: budget.as_u64(),
+            used: 0,
+            seq: 0,
+            entries: HashMap::new(),
+            order: std::collections::BTreeSet::new(),
+        }
+    }
+
+    /// Returns `true` on a hit; on a miss, admits the document (evicting
+    /// LRU entries as needed).
+    fn access(&mut self, doc: u32, scaled_size: u64) -> bool {
+        self.seq += 1;
+        if let Some((old_seq, _)) = self.entries.get_mut(&doc).map(|e| (e.0, e.1)) {
+            self.order.remove(&(old_seq, doc));
+            self.order.insert((self.seq, doc));
+            self.entries.get_mut(&doc).expect("present").0 = self.seq;
+            return true;
+        }
+        if scaled_size > self.budget {
+            return false; // uncacheable; always a disk read
+        }
+        while self.used + scaled_size > self.budget {
+            let &(victim_seq, victim_doc) = self.order.iter().next().expect("over budget implies nonempty");
+            self.order.remove(&(victim_seq, victim_doc));
+            let (_, sz) = self.entries.remove(&victim_doc).expect("indexed");
+            self.used -= sz;
+        }
+        self.entries.insert(doc, (self.seq, scaled_size));
+        self.order.insert((self.seq, doc));
+        self.used += scaled_size;
+        false
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.used = 0;
+    }
+}
+
+/// The pseudo-server node.
+///
+/// Wired up by [`Deployment`](crate::Deployment); not usually constructed
+/// directly.
+#[derive(Debug)]
+pub struct OriginNode {
+    server: ServerId,
+    consistency: ServerConsistency,
+    doc_sizes: Vec<ByteSize>,
+    /// Current trace-time mtimes.
+    versions: Vec<SimTime>,
+    /// (doc, trace time) touch log — the staleness oracle's ground truth.
+    touch_log: Vec<(u32, SimTime)>,
+    mem_cache: MemCache,
+    costs: CostModel,
+    /// Proxy node for each partition index.
+    pub(crate) proxies: Vec<NodeId>,
+    send_mode: InvalSendMode,
+    detection: ChangeDetection,
+    /// Versions the accelerator has already invalidated for (browser-based
+    /// detection compares against this on each request).
+    acked_versions: Vec<SimTime>,
+    pub(crate) sender: Option<NodeId>,
+    coordinator: Option<NodeId>,
+    retry_interval: SimDuration,
+    max_retries: u32,
+    retry_counts: HashMap<u32, u32>,
+    prev_window_end: SimTime,
+    /// Wall time spent sending each modification's full invalidation batch
+    /// (synchronous mode; the decoupled sender keeps its own).
+    pub(crate) inval_time: Summary,
+    /// §7 hit metering: server-side tally of served requests plus hits
+    /// reported by the caches.
+    pub(crate) meter: HitMeter,
+    pub(crate) counters: OriginCounters,
+}
+
+impl OriginNode {
+    #[allow(clippy::too_many_arguments)] // internal constructor mirroring DeploymentOptions
+    pub(crate) fn new(
+        server: ServerId,
+        consistency: ServerConsistency,
+        doc_sizes: Vec<ByteSize>,
+        costs: CostModel,
+        send_mode: InvalSendMode,
+        detection: ChangeDetection,
+        mem_cache_budget: ByteSize,
+        retry_interval: SimDuration,
+        max_retries: u32,
+    ) -> Self {
+        let n = doc_sizes.len();
+        OriginNode {
+            server,
+            consistency,
+            doc_sizes,
+            versions: vec![SimTime::ZERO; n],
+            touch_log: Vec::new(),
+            mem_cache: MemCache::new(mem_cache_budget),
+            costs,
+            proxies: Vec::new(),
+            send_mode,
+            detection,
+            acked_versions: vec![SimTime::ZERO; n],
+            sender: None,
+            coordinator: None,
+            retry_interval,
+            max_retries,
+            retry_counts: HashMap::new(),
+            prev_window_end: SimTime::ZERO,
+            inval_time: Summary::default(),
+            meter: HitMeter::new(),
+            counters: OriginCounters::default(),
+        }
+    }
+
+    pub(crate) fn set_coordinator(&mut self, coord: NodeId) {
+        self.coordinator = Some(coord);
+    }
+
+    /// The server-side protocol state (site lists, pending invalidations).
+    pub fn consistency(&self) -> &ServerConsistency {
+        &self.consistency
+    }
+
+    /// Origin counters.
+    pub fn counters(&self) -> &OriginCounters {
+        &self.counters
+    }
+
+    /// Wall time per synchronous invalidation batch.
+    pub fn inval_time(&self) -> &Summary {
+        &self.inval_time
+    }
+
+    /// The §7 hit meter.
+    pub fn meter(&self) -> &HitMeter {
+        &self.meter
+    }
+
+    /// The touch log: `(doc, trace time)` pairs, in order. This is the
+    /// staleness oracle the replay harness audits serves against.
+    pub fn touch_log(&self) -> &[(u32, SimTime)] {
+        &self.touch_log
+    }
+
+    fn current_meta(&self, doc: u32) -> DocMeta {
+        DocMeta::new(self.doc_sizes[doc as usize], self.versions[doc as usize])
+    }
+
+    fn proxy_of(&self, client: ClientId) -> NodeId {
+        self.proxies[client.partition(self.proxies.len() as u32) as usize]
+    }
+
+    fn handle_get(&mut self, from: NodeId, get: GetRequest, ctx: &mut Ctx<'_, SimMsg>) {
+        ctx.consume(self.costs.request_parse + self.costs.log_write_cpu);
+        self.counters.disk_writes += 1; // request log append
+        // Browser-based change detection: a request for this document makes
+        // the accelerator compare the file's mtime against the version it
+        // last invalidated for, and fan out first if they differ.
+        if self.detection == ChangeDetection::BrowserBased {
+            let doc = get.url.doc() as usize;
+            if self.versions[doc] > self.acked_versions[doc] {
+                self.acked_versions[doc] = self.versions[doc];
+                let at = self.versions[doc];
+                let recipients = self.consistency.on_modify(get.url, at);
+                self.counters.deferred_detections += 1;
+                self.fan_out(get.url, recipients, false, ctx);
+            }
+        }
+        if get.is_ims() {
+            self.counters.ims += 1;
+        } else {
+            self.counters.gets += 1;
+        }
+        let doc = get.url.doc();
+        let meta = self.current_meta(doc);
+        self.meter.record_request(get.url);
+        self.meter.record_report(get.url, get.cache_hits);
+        let grant = self
+            .consistency
+            .on_get(get.url, get.client, get.ims, meta, get.issued_at);
+        if grant.new_site_disk_write {
+            self.counters.disk_writes += 1; // persistent ever-seen list
+            ctx.consume(self.costs.log_write_cpu);
+        }
+        let status = if grant.send_body {
+            let scaled = meta.size().as_u64() / self.costs.doc_scale.max(1);
+            if !self.mem_cache.access(doc, scaled) {
+                self.counters.disk_reads += 1;
+                ctx.consume(self.costs.disk_read_cpu);
+            }
+            ctx.consume(self.costs.serve_200_cpu(meta.size()));
+            self.counters.replies_200 += 1;
+            ReplyStatus::Ok(Body::synthetic(meta, self.costs.doc_scale))
+        } else {
+            ctx.consume(self.costs.serve_304);
+            self.counters.replies_304 += 1;
+            ReplyStatus::NotModified
+        };
+        let reply = HttpMsg::Reply(Reply {
+            req: get.req,
+            url: get.url,
+            client: get.client,
+            status,
+            lease: grant.lease,
+            piggyback: grant.piggyback,
+            volume_lease: grant.volume_lease,
+        });
+        let size = reply.wire_size();
+        self.counters.bytes_sent += size;
+        ctx.send(from, SimMsg::Net(Message::Http(reply)), size);
+    }
+
+    /// Sends (or dispatches) `INVALIDATE <url>` to `recipients`; in
+    /// synchronous mode this occupies the server's CPU for the whole batch —
+    /// the paper's request-stall phenomenon.
+    fn fan_out(
+        &mut self,
+        url: Url,
+        recipients: Vec<ClientId>,
+        retry: bool,
+        ctx: &mut Ctx<'_, SimMsg>,
+    ) {
+        if recipients.is_empty() {
+            return;
+        }
+        let n = recipients.len() as u64;
+        match self.send_mode {
+            InvalSendMode::Synchronous => {
+                for client in recipients {
+                    let msg = HttpMsg::Invalidate { url, client };
+                    let size = msg.wire_size();
+                    self.counters.bytes_sent += size;
+                    ctx.consume(self.costs.inval_send);
+                    ctx.send(self.proxy_of(client), SimMsg::Net(Message::Http(msg)), size);
+                }
+                self.inval_time
+                    .observe(self.costs.inval_send.saturating_mul(n));
+            }
+            InvalSendMode::Decoupled => {
+                let sender = self.sender.expect("decoupled mode requires a sender node");
+                ctx.send(
+                    sender,
+                    SimMsg::Dispatch {
+                        url,
+                        clients: recipients,
+                    },
+                    ByteSize::ZERO,
+                );
+            }
+        }
+        self.counters.invalidations_sent += n;
+        if retry {
+            self.counters.invalidation_retries += n;
+        }
+        // Await acks; retry if they do not arrive.
+        ctx.set_timer(self.retry_interval, url.doc() as u64);
+    }
+
+    fn handle_notify(&mut self, url: Url, at: SimTime, ctx: &mut Ctx<'_, SimMsg>) {
+        ctx.consume(self.costs.notify_cpu);
+        self.counters.notifies += 1;
+        let doc = url.doc();
+        self.versions[doc as usize] = self.versions[doc as usize].max(at);
+        self.touch_log.push((doc, at));
+        if self.detection == ChangeDetection::BrowserBased {
+            // The touch updates the filesystem mtime but nobody tells the
+            // accelerator; detection waits for the next request.
+            return;
+        }
+        self.acked_versions[doc as usize] = self.versions[doc as usize];
+        let recipients = self.consistency.on_modify(url, at);
+        self.fan_out(url, recipients, false, ctx);
+    }
+}
+
+impl Node<SimMsg> for OriginNode {
+    fn on_message(&mut self, from: NodeId, msg: SimMsg, ctx: &mut Ctx<'_, SimMsg>) {
+        match msg {
+            SimMsg::Net(Message::Http(HttpMsg::Get(get))) => self.handle_get(from, get, ctx),
+            SimMsg::Net(Message::Http(HttpMsg::Notify { url, at })) => {
+                self.handle_notify(url, at, ctx)
+            }
+            SimMsg::Net(Message::Http(HttpMsg::InvalAck {
+                url,
+                client,
+                cache_hits,
+            })) => {
+                ctx.consume(self.costs.ack_cpu);
+                self.counters.acks += 1;
+                self.meter.record_report(url, cache_hits);
+                self.consistency.on_inval_ack(url, client);
+            }
+            SimMsg::Net(Message::Coord(CoordMsg::StepStart { step, window_end })) => {
+                // Window boundary: safe point for lease GC (everything that
+                // expired before the window began can go).
+                self.consistency.purge_expired_leases(self.prev_window_end);
+                self.prev_window_end = window_end;
+                if let Some(coord) = self.coordinator {
+                    ctx.send(
+                        coord,
+                        SimMsg::Net(Message::Coord(CoordMsg::StepDone { step })),
+                        Message::Coord(CoordMsg::StepDone { step }).wire_size(),
+                    );
+                }
+            }
+            other => {
+                debug_assert!(false, "origin got unexpected message {other:?}");
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, SimMsg>) {
+        // Retry timer for one document's pending invalidations. Volume
+        // leases first drop pending entries whose volume has expired — the
+        // bounded-write-completion rule.
+        self.consistency.expire_pending(self.prev_window_end);
+        let doc = token as u32;
+        let url = Url::new(self.server, doc);
+        let pending = self.consistency.pending_for(url);
+        if pending.is_empty() {
+            self.retry_counts.remove(&doc);
+            return;
+        }
+        let attempts = self.retry_counts.entry(doc).or_insert(0);
+        *attempts += 1;
+        if *attempts > self.max_retries {
+            self.counters.gave_up += pending.len() as u64;
+            self.retry_counts.remove(&doc);
+            return;
+        }
+        self.fan_out(url, pending, true, ctx);
+    }
+
+    fn on_crash(&mut self, _now: SimTime) {
+        // Main-memory state dies; the request log, documents and the
+        // ever-seen site list are on disk and survive.
+        self.mem_cache.clear();
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, SimMsg>) {
+        let sites = self.consistency.on_server_recover();
+        if sites.is_empty() {
+            return;
+        }
+        // One bulk INVALIDATE <server-addr> per proxy site (each proxy
+        // hosts many real clients; the message marks every copy from this
+        // server questionable).
+        let proxies = self.proxies.clone();
+        for proxy in proxies {
+            let msg = HttpMsg::InvalidateServer {
+                server: self.server,
+            };
+            let size = msg.wire_size();
+            self.counters.bulk_invalidations += 1;
+            self.counters.bytes_sent += size;
+            ctx.consume(self.costs.inval_send);
+            ctx.send(proxy, SimMsg::Net(Message::Http(msg)), size);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_cache_lru_eviction() {
+        let mut mc = MemCache::new(ByteSize::from_bytes(100));
+        assert!(!mc.access(1, 40)); // miss, admitted
+        assert!(!mc.access(2, 40)); // miss, admitted
+        assert!(mc.access(1, 40)); // hit, refreshes recency
+        assert!(!mc.access(3, 40)); // miss: evicts doc 2 (LRU)
+        assert!(mc.access(1, 40));
+        assert!(!mc.access(2, 40)); // doc 2 was evicted
+    }
+
+    #[test]
+    fn mem_cache_rejects_oversized() {
+        let mut mc = MemCache::new(ByteSize::from_bytes(10));
+        assert!(!mc.access(1, 50));
+        assert!(!mc.access(1, 50), "oversized is never admitted");
+        assert_eq!(mc.used, 0);
+    }
+
+    #[test]
+    fn mem_cache_clear() {
+        let mut mc = MemCache::new(ByteSize::from_bytes(100));
+        mc.access(1, 10);
+        mc.clear();
+        assert!(!mc.access(1, 10), "cleared cache misses again");
+    }
+}

@@ -1,0 +1,475 @@
+//! A pseudo-client: Harvest proxy cache + sequential trace driver.
+
+use crate::cost::CostModel;
+use crate::deployment::ServeEvent;
+use crate::SimMsg;
+use std::collections::HashMap;
+use wcc_cache::CacheStore;
+use wcc_core::{ProxyAction, ProxyPolicy};
+use wcc_proto::{CoordMsg, GetRequest, HttpMsg, Message, Reply, ReplyStatus, RequestId};
+use wcc_simnet::{Ctx, Node, Summary};
+use wcc_traces::TraceRecord;
+use wcc_types::{ByteSize, ClientId, NodeId, SimTime};
+
+/// Counters a proxy maintains for the report.
+#[derive(Debug, Default, Clone)]
+pub struct ProxyCounters {
+    /// User requests issued by the driver.
+    pub requests: u64,
+    /// Requests that found a cached entry (the paper's "Hits" row —
+    /// including hits on copies that turn out stale, as the paper counts
+    /// polling-every-time).
+    pub hits: u64,
+    /// Plain `GET`s sent to the origin.
+    pub gets_sent: u64,
+    /// `If-Modified-Since` requests sent.
+    pub ims_sent: u64,
+    /// `200` replies received.
+    pub replies_200: u64,
+    /// `304` replies received.
+    pub replies_304: u64,
+    /// `INVALIDATE <url>` messages received.
+    pub invalidations_received: u64,
+    /// Of those, ones that actually deleted a cached copy.
+    pub invalidations_effective: u64,
+    /// Bulk `INVALIDATE <server>` messages received.
+    pub bulk_invalidations_received: u64,
+    /// Piggybacked invalidations received on replies (PSI).
+    pub piggybacked_received: u64,
+    /// Of those, ones that deleted a cached copy.
+    pub piggybacked_effective: u64,
+    /// Requests re-issued because a `304` raced an eviction.
+    pub revalidation_races: u64,
+    /// Requests re-issued after this proxy crashed mid-flight.
+    pub reissued_after_crash: u64,
+    /// Requests retransmitted after a wall-clock timeout (lost to a crashed
+    /// or partitioned server).
+    pub request_timeouts: u64,
+    /// Replies discarded because an `INVALIDATE` overtook them (the
+    /// callback race); each causes one refetch.
+    pub inval_races: u64,
+    /// Times this proxy recovered from a crash.
+    pub recoveries: u64,
+    /// Cache entries marked questionable by crash recoveries.
+    pub questionable_marked: u64,
+    /// Bytes of protocol messages this proxy sent (requests + acks are
+    /// counted by the byte row only for requests, matching the paper).
+    pub bytes_sent: ByteSize,
+}
+
+#[derive(Debug, Clone)]
+struct Pending {
+    record: TraceRecord,
+    req: RequestId,
+    wall_start: SimTime,
+    /// An `INVALIDATE` for this document arrived while the request was in
+    /// flight: the reply may carry the pre-modification version and must be
+    /// discarded and refetched (the callback-race rule).
+    invalidated: bool,
+}
+
+/// Wall-clock timeout after which an unanswered request is retransmitted
+/// (covers replies lost to crashes and partitions).
+const REQUEST_TIMEOUT: wcc_types::SimDuration = wcc_types::SimDuration::from_secs(10);
+
+/// A pseudo-client node: drives its partition of the trace sequentially
+/// ("generates a corresponding HTTP request and sends it to the proxy, then
+/// waits for the reply") and implements the proxy side of the protocol.
+#[derive(Debug)]
+pub struct ProxyNode {
+    policy: ProxyPolicy,
+    cache: CacheStore,
+    records: Vec<TraceRecord>,
+    costs: CostModel,
+    /// When set, this proxy is a *shared* cache: entries are scoped to this
+    /// identity instead of the requesting real client, and upstream
+    /// requests carry it (so the upstream site list tracks proxy sites, as
+    /// deployed proxies do). `None` reproduces the paper's per-real-client
+    /// emulation.
+    identity: Option<ClientId>,
+    /// Upstream node per origin server index (one entry in single-server
+    /// deployments; the hierarchy parent also appears here).
+    origins: Vec<NodeId>,
+    coordinator: Option<NodeId>,
+    next_idx: usize,
+    window_end: SimTime,
+    step: u32,
+    step_done_sent: bool,
+    outstanding: Option<Pending>,
+    next_req: RequestId,
+    /// Per-request latency (wall clock), the paper's latency rows.
+    pub(crate) latency: Summary,
+    /// Every user delivery, for the staleness audit.
+    pub(crate) serves: Vec<ServeEvent>,
+    pub(crate) counters: ProxyCounters,
+}
+
+impl ProxyNode {
+    pub(crate) fn new(
+        policy: ProxyPolicy,
+        cache: CacheStore,
+        records: Vec<TraceRecord>,
+        costs: CostModel,
+    ) -> Self {
+        ProxyNode {
+            policy,
+            cache,
+            records,
+            costs,
+            identity: None,
+            origins: vec![NodeId::new(0)],
+            coordinator: None,
+            next_idx: 0,
+            window_end: SimTime::ZERO,
+            step: 0,
+            step_done_sent: true,
+            outstanding: None,
+            next_req: RequestId::default(),
+            latency: Summary::default(),
+            serves: Vec::new(),
+            counters: ProxyCounters::default(),
+        }
+    }
+
+    pub(crate) fn wire_multi(&mut self, origins: Vec<NodeId>, coordinator: NodeId) {
+        assert!(!origins.is_empty(), "need at least one origin");
+        self.origins = origins;
+        self.coordinator = Some(coordinator);
+    }
+
+    /// The upstream node serving `server`.
+    fn upstream(&self, server: wcc_types::ServerId) -> NodeId {
+        self.origins[(server.index() as usize).min(self.origins.len() - 1)]
+    }
+
+    pub(crate) fn set_identity(&mut self, identity: ClientId) {
+        self.identity = Some(identity);
+    }
+
+    /// The client id this proxy caches under and presents upstream for
+    /// `record`'s request.
+    fn effective_client(&self, record: &TraceRecord) -> ClientId {
+        self.identity.unwrap_or(record.client)
+    }
+
+    /// Proxy counters.
+    pub fn counters(&self) -> &ProxyCounters {
+        &self.counters
+    }
+
+    /// Per-request wall-clock latency summary.
+    pub fn latency(&self) -> &Summary {
+        &self.latency
+    }
+
+    /// The user-delivery log for the staleness audit.
+    pub fn serves(&self) -> &[ServeEvent] {
+        &self.serves
+    }
+
+    /// The cache store (for end-of-run assertions).
+    pub fn cache(&self) -> &CacheStore {
+        &self.cache
+    }
+
+    /// The protocol policy (for end-of-run assertions).
+    pub fn policy(&self) -> &ProxyPolicy {
+        &self.policy
+    }
+
+    fn send_get(
+        &mut self,
+        record: TraceRecord,
+        ims: Option<SimTime>,
+        report_hits: u64,
+        ctx: &mut Ctx<'_, SimMsg>,
+    ) {
+        let req = self.next_req;
+        self.next_req = self.next_req.next();
+        if ims.is_some() {
+            self.counters.ims_sent += 1;
+        } else {
+            self.counters.gets_sent += 1;
+        }
+        let msg = HttpMsg::Get(GetRequest {
+            req,
+            url: record.url,
+            client: self.effective_client(&record),
+            ims,
+            issued_at: record.at,
+            cache_hits: report_hits,
+        });
+        let size = msg.wire_size();
+        self.counters.bytes_sent += size;
+        self.outstanding = Some(Pending {
+            record,
+            req,
+            wall_start: ctx.now(),
+            invalidated: false,
+        });
+        let upstream = self.upstream(record.url.server());
+        ctx.send(upstream, SimMsg::Net(Message::Http(msg)), size);
+        ctx.set_timer(REQUEST_TIMEOUT, req.get());
+    }
+
+    /// Issues records until one needs the origin (sequential driver) or the
+    /// window is exhausted; cache hits complete inline.
+    fn pump(&mut self, ctx: &mut Ctx<'_, SimMsg>) {
+        while self.outstanding.is_none() {
+            let Some(&record) = self.records.get(self.next_idx) else {
+                break;
+            };
+            if record.at >= self.window_end {
+                break;
+            }
+            self.next_idx += 1;
+            self.counters.requests += 1;
+            ctx.consume(self.costs.proxy_request_cpu);
+            let key = record.url.scoped(self.effective_client(&record));
+            let disposition = self.policy.on_request(key, record.at, &mut self.cache);
+            if disposition.had_entry {
+                self.counters.hits += 1;
+            }
+            match disposition.action {
+                ProxyAction::ServeFromCache => {
+                    ctx.consume(self.costs.proxy_hit_cpu);
+                    self.latency.observe(self.costs.proxy_hit_cpu);
+                    let version = self
+                        .cache
+                        .peek(key)
+                        .expect("serve-from-cache implies entry")
+                        .meta
+                        .last_modified();
+                    self.serves.push(ServeEvent {
+                        url: record.url,
+                        client: record.client,
+                        trace_at: record.at,
+                        version,
+                        from_cache: true,
+                    });
+                }
+                ProxyAction::SendGet { ims } => {
+                    self.send_get(record, ims, disposition.report_hits, ctx);
+                }
+            }
+        }
+        self.maybe_step_done(ctx);
+    }
+
+    fn maybe_step_done(&mut self, ctx: &mut Ctx<'_, SimMsg>) {
+        let window_drained = self
+            .records
+            .get(self.next_idx)
+            .is_none_or(|r| r.at >= self.window_end);
+        if !self.step_done_sent && self.outstanding.is_none() && window_drained {
+            self.step_done_sent = true;
+            if let Some(coord) = self.coordinator {
+                let msg = Message::Coord(CoordMsg::StepDone { step: self.step });
+                let size = msg.wire_size();
+                ctx.send(coord, SimMsg::Net(msg), size);
+            }
+        }
+    }
+
+    fn handle_reply(&mut self, reply: Reply, ctx: &mut Ctx<'_, SimMsg>) {
+        let Some(pending) = self.outstanding.take() else {
+            return; // stale reply after a crash; driver already moved on
+        };
+        if pending.req != reply.req {
+            // A reply from before a crash; ignore it and keep waiting.
+            self.outstanding = Some(pending);
+            return;
+        }
+        if pending.invalidated {
+            // The INVALIDATE overtook this reply: its payload may predate
+            // the modification. Discard and refetch the fresh version.
+            self.counters.inval_races += 1;
+            self.send_get(pending.record, None, 0, ctx);
+            return;
+        }
+        let record = pending.record;
+        let effective = self.effective_client(&record);
+        let key = record.url.scoped(effective);
+        // Volume-lease renewal rides every reply.
+        self.policy.on_volume_grant(key, reply.volume_lease);
+        // PSI: apply any invalidations that rode in on this reply.
+        if !reply.piggyback.is_empty() {
+            self.counters.piggybacked_received += reply.piggyback.len() as u64;
+            self.counters.piggybacked_effective +=
+                self.policy
+                    .on_piggyback(&reply.piggyback, effective, &mut self.cache) as u64;
+        }
+        let version = match reply.status {
+            ReplyStatus::Ok(ref body) => {
+                self.counters.replies_200 += 1;
+                self.policy
+                    .on_reply_200(key, body.meta(), reply.lease, record.at, &mut self.cache);
+                body.meta().last_modified()
+            }
+            ReplyStatus::NotModified => {
+                if !self
+                    .policy
+                    .on_reply_304(key, reply.lease, record.at, &mut self.cache)
+                {
+                    // The entry was evicted while we validated: fall back to
+                    // a plain GET for the body (rare race).
+                    self.counters.revalidation_races += 1;
+                    self.send_get(record, None, 0, ctx);
+                    return;
+                }
+                self.counters.replies_304 += 1;
+                self.cache
+                    .peek(key)
+                    .expect("validated entry present")
+                    .meta
+                    .last_modified()
+            }
+        };
+        self.latency.observe(ctx.now().saturating_since(pending.wall_start));
+        self.serves.push(ServeEvent {
+            url: record.url,
+            client: record.client,
+            trace_at: record.at,
+            version,
+            from_cache: false,
+        });
+        self.pump(ctx);
+    }
+}
+
+impl Node<SimMsg> for ProxyNode {
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, SimMsg>) {
+        // Request-timeout: retransmit if the timed-out request is still the
+        // one we are waiting on.
+        let Some(pending) = self.outstanding.take() else {
+            return;
+        };
+        if pending.req.get() != token {
+            self.outstanding = Some(pending);
+            return;
+        }
+        self.counters.request_timeouts += 1;
+        let record = pending.record;
+        let key = record.url.scoped(record.client);
+        let ims = self.cache.peek(key).map(|e| e.meta.last_modified());
+        self.send_get(record, ims, 0, ctx);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: SimMsg, ctx: &mut Ctx<'_, SimMsg>) {
+        match msg {
+            SimMsg::Net(Message::Coord(CoordMsg::StepStart { step, window_end })) => {
+                self.step = step;
+                self.window_end = window_end;
+                self.step_done_sent = false;
+                self.pump(ctx);
+            }
+            SimMsg::Net(Message::Http(HttpMsg::Reply(reply))) => self.handle_reply(reply, ctx),
+            SimMsg::Net(Message::Http(HttpMsg::Invalidate { url, client })) => {
+                ctx.consume(self.costs.proxy_inval_cpu);
+                self.counters.invalidations_received += 1;
+                let deleted_hits = self.policy.on_invalidate(url, client, &mut self.cache);
+                if deleted_hits.is_some() {
+                    self.counters.invalidations_effective += 1;
+                }
+                // Callback race: a reply in flight for this document may
+                // carry the stale version — poison it.
+                if let Some(pending) = self.outstanding.as_mut() {
+                    if pending.record.url == url
+                        && self.identity.unwrap_or(pending.record.client) == client
+                    {
+                        pending.invalidated = true;
+                    }
+                }
+                let ack = HttpMsg::InvalAck {
+                    url,
+                    client,
+                    cache_hits: deleted_hits.unwrap_or(0),
+                };
+                let size = ack.wire_size();
+                let upstream = self.upstream(url.server());
+                ctx.send(upstream, SimMsg::Net(Message::Http(ack)), size);
+            }
+            SimMsg::Net(Message::Http(HttpMsg::InvalidateServer { server })) => {
+                ctx.consume(self.costs.proxy_inval_cpu);
+                self.counters.bulk_invalidations_received += 1;
+                self.policy.on_invalidate_server(server, &mut self.cache);
+            }
+            other => {
+                debug_assert!(false, "proxy got unexpected message {other:?}");
+            }
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, SimMsg>) {
+        // "Our solution is simply to let the proxy mark all its cache
+        // entries as questionable when it recovers."
+        self.counters.recoveries += 1;
+        self.counters.questionable_marked +=
+            self.policy.on_proxy_recover(&mut self.cache) as u64;
+        // A request in flight when we crashed will never complete: re-issue
+        // it so the driver can make progress.
+        if let Some(pending) = self.outstanding.take() {
+            self.counters.reissued_after_crash += 1;
+            let record = pending.record;
+            let key = record.url.scoped(self.effective_client(&record));
+            let ims = self
+                .cache
+                .peek(key)
+                .map(|e| e.meta.last_modified());
+            self.send_get(record, ims, 0, ctx);
+        } else {
+            self.pump(ctx);
+        }
+    }
+}
+
+/// Partitions trace records across `n` proxies by the paper's rule:
+/// "pseudo-client *i* handles real clients whose clientid mod *n* is *i*".
+pub fn partition_records(records: &[TraceRecord], n: u32) -> Vec<Vec<TraceRecord>> {
+    let mut parts = vec![Vec::new(); n as usize];
+    for rec in records {
+        parts[rec.client.partition(n) as usize].push(*rec);
+    }
+    parts
+}
+
+/// Computes per-proxy record counts keyed by partition — handy in tests.
+pub fn partition_sizes(records: &[TraceRecord], n: u32) -> HashMap<u32, usize> {
+    let mut sizes = HashMap::new();
+    for rec in records {
+        *sizes.entry(rec.client.partition(n)).or_insert(0) += 1;
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcc_types::{ServerId, Url};
+
+    #[test]
+    fn partitioning_follows_clientid_mod_n() {
+        let server = ServerId::new(0);
+        let records: Vec<TraceRecord> = (0..10u32)
+            .map(|i| TraceRecord {
+                at: SimTime::from_secs(i as u64),
+                client: ClientId::from_raw(i),
+                url: Url::new(server, 0),
+            })
+            .collect();
+        let parts = partition_records(&records, 4);
+        assert_eq!(parts.len(), 4);
+        for (i, part) in parts.iter().enumerate() {
+            for rec in part {
+                assert_eq!(rec.client.partition(4), i as u32);
+            }
+        }
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 10);
+        let sizes = partition_sizes(&records, 4);
+        assert_eq!(sizes[&0], 3); // clients 0, 4, 8
+        assert_eq!(sizes[&1], 3); // clients 1, 5, 9
+        assert_eq!(sizes[&2], 2);
+        assert_eq!(sizes[&3], 2);
+    }
+}

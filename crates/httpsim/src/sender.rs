@@ -1,0 +1,78 @@
+//! The decoupled invalidation sender (ablation A1).
+//!
+//! The paper observes that its prototype's worst-case latency comes from the
+//! accelerator not accepting new requests "until it finishes sending all
+//! invalidation messages", and suggests that "a more fine-tuned
+//! implementation would have a separate process sending the invalidation
+//! messages, thus avoiding the maximum latency problem." This node is that
+//! separate process: it receives fan-out jobs from the origin over local
+//! IPC and performs the per-message TCP work on its own CPU.
+
+use crate::cost::CostModel;
+use crate::SimMsg;
+use wcc_proto::{HttpMsg, Message};
+use wcc_simnet::{Ctx, Node, Summary};
+use wcc_types::{ByteSize, ClientId, NodeId};
+
+/// The decoupled sender node.
+#[derive(Debug)]
+pub struct InvalSenderNode {
+    costs: CostModel,
+    proxies: Vec<NodeId>,
+    /// Wall time per dispatched invalidation batch.
+    pub(crate) inval_time: Summary,
+    /// Messages sent.
+    pub(crate) sent: u64,
+    /// Bytes sent.
+    pub(crate) bytes_sent: ByteSize,
+}
+
+impl InvalSenderNode {
+    pub(crate) fn new(costs: CostModel) -> Self {
+        InvalSenderNode {
+            costs,
+            proxies: Vec::new(),
+            inval_time: Summary::default(),
+            sent: 0,
+            bytes_sent: ByteSize::ZERO,
+        }
+    }
+
+    pub(crate) fn set_proxies(&mut self, proxies: Vec<NodeId>) {
+        self.proxies = proxies;
+    }
+
+    /// Wall time per invalidation batch.
+    pub fn inval_time(&self) -> &Summary {
+        &self.inval_time
+    }
+
+    /// Total `INVALIDATE` messages this sender transmitted.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    fn proxy_of(&self, client: ClientId) -> NodeId {
+        self.proxies[client.partition(self.proxies.len() as u32) as usize]
+    }
+}
+
+impl Node<SimMsg> for InvalSenderNode {
+    fn on_message(&mut self, _from: NodeId, msg: SimMsg, ctx: &mut Ctx<'_, SimMsg>) {
+        let SimMsg::Dispatch { url, clients } = msg else {
+            debug_assert!(false, "sender got unexpected message {msg:?}");
+            return;
+        };
+        let n = clients.len() as u64;
+        for client in clients {
+            let inval = HttpMsg::Invalidate { url, client };
+            let size = inval.wire_size();
+            self.bytes_sent += size;
+            self.sent += 1;
+            ctx.consume(self.costs.inval_send);
+            ctx.send(self.proxy_of(client), SimMsg::Net(Message::Http(inval)), size);
+        }
+        self.inval_time
+            .observe(self.costs.inval_send.saturating_mul(n));
+    }
+}

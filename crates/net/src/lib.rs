@@ -1,0 +1,59 @@
+//! Real-TCP prototype of the consistency protocols.
+//!
+//! Where `wcc-httpsim` replays traces through a discrete-event model of the
+//! paper's testbed, this crate runs the *same protocol state machines*
+//! ([`wcc_core::ProxyPolicy`] / [`wcc_core::ServerConsistency`]) over actual
+//! `std::net` sockets with the text codec from [`wcc_proto::wire`] — the
+//! analogue of the paper's Harvest prototype, runnable on loopback.
+//!
+//! * [`NetOrigin`] — origin server + accelerator: serves `GET`/IMS, accepts
+//!   `NOTIFY` check-ins, and pushes `INVALIDATE`s to proxies over
+//!   proxy-initiated persistent channels (firewall-friendly, per the
+//!   paper's §7 remark);
+//! * [`NetProxy`] — a caching proxy with a blocking [`NetProxy::fetch`] API
+//!   for browsers (tests and examples) to call;
+//! * [`NetParent`] — the hierarchy's parent tier: children connect to it as
+//!   if it were an origin, and it proxies misses upstream;
+//! * [`check_in`] — the modifier's check-in utility.
+//!
+//! Logical (trace) time is supplied by the caller on every operation, so
+//! tests are deterministic; the sockets provide real concurrency, real
+//! partial failures (dropped connections) and real wire encoding.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use wcc_core::{ProtocolConfig, ProtocolKind};
+//! use wcc_net::{check_in, NetOrigin, NetProxy, OriginConfig};
+//! use wcc_types::{ByteSize, ClientId, ServerId, SimTime, Url};
+//!
+//! let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
+//! let origin = NetOrigin::spawn(OriginConfig {
+//!     server: ServerId::new(0),
+//!     doc_sizes: vec![ByteSize::from_kib(8); 16],
+//!     protocol: cfg.clone(),
+//!     doc_scale: 100,
+//! })?;
+//! let proxy = NetProxy::spawn(origin.addr(), &cfg, 0, 1, ByteSize::from_mib(64))?;
+//!
+//! let url = Url::new(ServerId::new(0), 3);
+//! let client = ClientId::from_raw(7);
+//! let first = proxy.fetch(client, url, SimTime::from_secs(1))?;
+//! assert!(!first.had_entry);
+//!
+//! // The document changes; the write completes once the proxy acked.
+//! check_in(origin.addr(), url, SimTime::from_secs(10))?;
+//! assert!(origin.wait_writes_complete(std::time::Duration::from_secs(2)));
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod origin;
+mod parent;
+mod proxy;
+
+pub use origin::{check_in, NetOrigin, OriginConfig, OriginSnapshot};
+pub use parent::{NetParent, NetParentCounters};
+pub use proxy::{FetchKind, FetchOutcome, NetProxy, NetProxyCounters};

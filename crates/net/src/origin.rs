@@ -1,0 +1,319 @@
+//! The TCP origin server + accelerator.
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use wcc_core::{ProtocolConfig, ServerConsistency, SiteListStats};
+use wcc_proto::{decode, encode, GetRequest, HttpMsg, Reply, ReplyStatus, WireError};
+use wcc_types::{Body, ByteSize, ClientId, DocMeta, ServerId, SimTime, Url};
+
+/// Configuration for [`NetOrigin::spawn`].
+#[derive(Debug, Clone)]
+pub struct OriginConfig {
+    /// The server's identity (must match the URLs clients request).
+    pub server: ServerId,
+    /// Document sizes, indexed by document id.
+    pub doc_sizes: Vec<ByteSize>,
+    /// The consistency protocol to run.
+    pub protocol: ProtocolConfig,
+    /// Storage scale factor for document payloads (the paper's 100×).
+    pub doc_scale: u64,
+}
+
+/// Counters and state visible through [`NetOrigin::snapshot`].
+#[derive(Debug, Clone, Default)]
+pub struct OriginSnapshot {
+    /// Plain `GET`s served.
+    pub gets: u64,
+    /// `If-Modified-Since` requests served.
+    pub ims: u64,
+    /// `200` replies sent.
+    pub replies_200: u64,
+    /// `304` replies sent.
+    pub replies_304: u64,
+    /// `INVALIDATE`s pushed.
+    pub invalidations: u64,
+    /// Acks received.
+    pub acks: u64,
+    /// Check-ins processed.
+    pub notifies: u64,
+    /// Whether every invalidation has been acknowledged.
+    pub writes_complete: bool,
+    /// Site-list statistics.
+    pub sitelist: SiteListStats,
+}
+
+struct Protected {
+    consistency: ServerConsistency,
+    versions: Vec<SimTime>,
+    counters: OriginSnapshot,
+}
+
+struct State {
+    server: ServerId,
+    doc_sizes: Vec<ByteSize>,
+    doc_scale: u64,
+    protected: Mutex<Protected>,
+    /// Push channels to proxies, keyed by partition index.
+    channels: Mutex<HashMap<u32, Sender<HttpMsg>>>,
+    partitions: AtomicU32,
+    shutdown: AtomicBool,
+}
+
+impl State {
+    fn handle_get(&self, get: &GetRequest) -> HttpMsg {
+        let mut p = self.protected.lock();
+        if get.is_ims() {
+            p.counters.ims += 1;
+        } else {
+            p.counters.gets += 1;
+        }
+        let doc = get.url.doc() as usize;
+        let meta = DocMeta::new(self.doc_sizes[doc], p.versions[doc]);
+        let grant = p
+            .consistency
+            .on_get(get.url, get.client, get.ims, meta, get.issued_at);
+        let status = if grant.send_body {
+            p.counters.replies_200 += 1;
+            ReplyStatus::Ok(Body::synthetic(meta, self.doc_scale))
+        } else {
+            p.counters.replies_304 += 1;
+            ReplyStatus::NotModified
+        };
+        HttpMsg::Reply(Reply {
+            req: get.req,
+            url: get.url,
+            client: get.client,
+            status,
+            lease: grant.lease,
+            piggyback: grant.piggyback,
+            volume_lease: grant.volume_lease,
+        })
+    }
+
+    fn handle_notify(&self, url: Url, at: SimTime) {
+        let recipients = {
+            let mut p = self.protected.lock();
+            p.counters.notifies += 1;
+            let doc = url.doc() as usize;
+            p.versions[doc] = p.versions[doc].max(at);
+            let recipients = p.consistency.on_modify(url, at);
+            p.counters.invalidations += recipients.len() as u64;
+            recipients
+        };
+        let partitions = self.partitions.load(Ordering::SeqCst).max(1);
+        let channels = self.channels.lock();
+        for client in recipients {
+            let partition = client.partition(partitions);
+            if let Some(tx) = channels.get(&partition) {
+                // Best-effort: a dead channel leaves the entry pending; a
+                // re-registered proxy (or the bulk recovery invalidation)
+                // will pick it up.
+                let _ = tx.send(HttpMsg::Invalidate { url, client });
+            }
+        }
+    }
+
+    fn handle_ack(&self, url: Url, client: ClientId) {
+        let mut p = self.protected.lock();
+        p.counters.acks += 1;
+        p.consistency.on_inval_ack(url, client);
+    }
+}
+
+/// A running TCP origin. Shuts down (and joins its threads) on drop.
+pub struct NetOrigin {
+    addr: SocketAddr,
+    state: Arc<State>,
+    accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for NetOrigin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetOrigin").field("addr", &self.addr).finish()
+    }
+}
+
+impl NetOrigin {
+    /// Binds a loopback listener and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket error from binding.
+    pub fn spawn(config: OriginConfig) -> std::io::Result<NetOrigin> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let n = config.doc_sizes.len();
+        let state = Arc::new(State {
+            server: config.server,
+            doc_sizes: config.doc_sizes,
+            doc_scale: config.doc_scale.max(1),
+            protected: Mutex::new(Protected {
+                consistency: ServerConsistency::new(&config.protocol, config.server),
+                versions: vec![SimTime::ZERO; n],
+                counters: OriginSnapshot::default(),
+            }),
+            channels: Mutex::new(HashMap::new()),
+            partitions: AtomicU32::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_state = Arc::clone(&state);
+        let accept_threads = Arc::clone(&conn_threads);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_state = Arc::clone(&accept_state);
+                let handle = std::thread::spawn(move || {
+                    let _ = serve_connection(&conn_state, stream);
+                });
+                accept_threads.lock().push(handle);
+            }
+        });
+
+        Ok(NetOrigin {
+            addr,
+            state,
+            accept_thread: Some(accept_thread),
+            conn_threads,
+        })
+    }
+
+    /// The address to point proxies and the check-in utility at.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A copy of the current counters and site-list stats.
+    pub fn snapshot(&self) -> OriginSnapshot {
+        let p = self.state.protected.lock();
+        let mut snap = p.counters.clone();
+        snap.writes_complete = p.consistency.writes_complete();
+        snap.sitelist = p.consistency.table().stats();
+        snap
+    }
+
+    /// Polls until every outstanding invalidation is acknowledged (the
+    /// paper's write-completion condition) or `timeout` elapses. Returns
+    /// whether completion was reached.
+    pub fn wait_writes_complete(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if self.state.protected.lock().consistency.writes_complete() {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+impl Drop for NetOrigin {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Drop push channels so writer threads exit, then join handlers.
+        self.state.channels.lock().clear();
+        for t in self.conn_threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Serves one connection until it closes or shutdown.
+fn serve_connection(state: &Arc<State>, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    // Writer thread for a registered invalidation channel, if any.
+    let mut push_writer: Option<JoinHandle<()>> = None;
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let msg = match decode(&mut reader) {
+            Ok(msg) => msg,
+            Err(WireError::Closed) => break,
+            Err(WireError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // idle; re-check shutdown
+            }
+            Err(_) => break, // malformed or broken stream
+        };
+        match msg {
+            HttpMsg::Get(get) if get.url.server() == state.server => {
+                let reply = state.handle_get(&get);
+                writer.write_all(&encode(&reply))?;
+                writer.flush()?;
+            }
+            HttpMsg::Notify { url, at } if url.server() == state.server => {
+                state.handle_notify(url, at);
+            }
+            HttpMsg::InvalAck {
+                url,
+                client,
+                cache_hits: _,
+            } => {
+                state.handle_ack(url, client);
+            }
+            HttpMsg::Hello {
+                partition,
+                partitions,
+            } => {
+                state.partitions.store(partitions, Ordering::SeqCst);
+                let (tx, rx) = unbounded::<HttpMsg>();
+                state.channels.lock().insert(partition, tx);
+                let mut push_stream = writer.try_clone()?;
+                // Dedicated writer: pushes INVALIDATEs as they are queued.
+                push_writer = Some(std::thread::spawn(move || {
+                    while let Ok(msg) = rx.recv() {
+                        if push_stream.write_all(&encode(&msg)).is_err() {
+                            break;
+                        }
+                        let _ = push_stream.flush();
+                    }
+                }));
+                // Keep reading this stream for ACKs.
+            }
+            _ => break, // protocol violation
+        }
+    }
+    if let Some(t) = push_writer {
+        // Channel sender may still be registered; dropping happens on
+        // shutdown or re-registration. Detach politely: only join if the
+        // channel was already dropped.
+        drop(t);
+    }
+    Ok(())
+}
+
+/// The modifier's check-in utility: tells the accelerator at `origin` that
+/// `url` was modified at (logical) time `at`.
+///
+/// # Errors
+///
+/// Returns any socket error.
+pub fn check_in(origin: SocketAddr, url: Url, at: SimTime) -> std::io::Result<()> {
+    let mut stream = TcpStream::connect(origin)?;
+    stream.write_all(&encode(&HttpMsg::Notify { url, at }))?;
+    stream.flush()
+}

@@ -1,0 +1,402 @@
+//! The TCP parent-tier proxy: the hierarchy extension over real sockets.
+//!
+//! Children connect to the parent exactly as proxies connect to an origin
+//! (per-request `GET` connections plus a persistent `HELLO` push channel);
+//! the parent in turn is a client of the real origin. It embeds the same
+//! two state-machine halves as the simulator's parent: a
+//! [`ProxyPolicy`] + cache towards the origin and a [`ServerConsistency`]
+//! towards its children.
+//!
+//! Concurrency note: one state lock serialises child requests against the
+//! upstream invalidation listener, which incidentally *prevents* the
+//! invalidation-overtakes-reply race that the simulator's parent must
+//! handle with a poison flag — an `INVALIDATE` is processed either before
+//! an upstream fetch starts or after its result is cached, never between.
+
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use wcc_cache::{CacheStore, ReplacementPolicy};
+use wcc_core::{ProtocolConfig, ProxyAction, ProxyPolicy, ServerConsistency};
+use wcc_proto::{decode, encode, GetRequest, HttpMsg, Reply, ReplyStatus, RequestId, WireError};
+use wcc_types::{Body, ByteSize, ClientId, DocMeta, ServerId, Url};
+
+/// Counters for the TCP parent.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NetParentCounters {
+    /// Requests received from children.
+    pub child_requests: u64,
+    /// Of those, answered from the parent cache.
+    pub parent_hits: u64,
+    /// Requests forwarded to the origin.
+    pub upstream_requests: u64,
+    /// `INVALIDATE`s received from the origin.
+    pub invalidations_received: u64,
+    /// `INVALIDATE`s relayed to children.
+    pub invalidations_relayed: u64,
+}
+
+struct Protected {
+    policy: ProxyPolicy,
+    cache: CacheStore,
+    children: ServerConsistency,
+    next_req: RequestId,
+    /// Latest trace time observed on a child request; used as "now" for
+    /// child-lease decisions when relaying invalidations (which carry no
+    /// timestamp).
+    latest_trace: wcc_types::SimTime,
+    counters: NetParentCounters,
+}
+
+struct ParentState {
+    identity: ClientId,
+    origin: SocketAddr,
+    server: ServerId,
+    doc_scale: u64,
+    protected: Mutex<Protected>,
+    child_channels: Mutex<HashMap<u32, Sender<HttpMsg>>>,
+    child_partitions: AtomicU32,
+    shutdown: AtomicBool,
+}
+
+impl ParentState {
+    /// Fetches `url` from the origin on behalf of a waiting child.
+    /// Caller must hold the `protected` lock (passed in).
+    fn fetch_upstream(
+        &self,
+        p: &mut Protected,
+        url: Url,
+        ims: Option<wcc_types::SimTime>,
+        issued_at: wcc_types::SimTime,
+        report_hits: u64,
+    ) -> std::io::Result<DocMeta> {
+        let req = p.next_req;
+        p.next_req = p.next_req.next();
+        p.counters.upstream_requests += 1;
+        let get = HttpMsg::Get(GetRequest {
+            req,
+            url,
+            client: self.identity,
+            ims,
+            issued_at,
+            cache_hits: report_hits,
+        });
+        let mut stream = TcpStream::connect(self.origin)?;
+        stream.write_all(&encode(&get))?;
+        stream.flush()?;
+        let mut reader = BufReader::new(stream);
+        let reply = decode(&mut reader)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let HttpMsg::Reply(reply) = reply else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "expected a reply",
+            ));
+        };
+        let key = url.scoped(self.identity);
+        let Protected { policy, cache, .. } = &mut *p;
+        policy.on_volume_grant(key, reply.volume_lease);
+        if !reply.piggyback.is_empty() {
+            policy.on_piggyback(&reply.piggyback, self.identity, cache);
+        }
+        match reply.status {
+            ReplyStatus::Ok(body) => {
+                policy.on_reply_200(key, body.meta(), reply.lease, issued_at, cache);
+                Ok(body.meta())
+            }
+            ReplyStatus::NotModified => {
+                if policy.on_reply_304(key, reply.lease, issued_at, cache) {
+                    Ok(cache.peek(key).expect("validated entry").meta)
+                } else {
+                    // Evicted mid-validation: plain refetch.
+                    self.fetch_upstream(p, url, None, issued_at, 0)
+                }
+            }
+        }
+    }
+
+    /// Answers one child `GET` end-to-end (may fetch upstream).
+    fn handle_child_get(&self, get: &GetRequest) -> std::io::Result<HttpMsg> {
+        let mut p = self.protected.lock();
+        p.counters.child_requests += 1;
+        p.latest_trace = p.latest_trace.max(get.issued_at);
+        let key = self.parent_key(get.url);
+        if get.cache_hits > 0 && p.cache.peek(key).is_some() {
+            p.cache.add_unreported_hits(key, get.cache_hits);
+        }
+        let disposition = {
+            let Protected { policy, cache, .. } = &mut *p;
+            policy.on_request(key, get.issued_at, cache)
+        };
+        let meta = match disposition.action {
+            ProxyAction::ServeFromCache => {
+                p.counters.parent_hits += 1;
+                p.cache.peek(key).expect("parent hit").meta
+            }
+            ProxyAction::SendGet { ims } => {
+                let report = disposition.report_hits;
+                self.fetch_upstream(&mut p, get.url, ims, get.issued_at, report)?
+            }
+        };
+        let grant = p
+            .children
+            .on_get(get.url, get.client, get.ims, meta, get.issued_at);
+        let status = if grant.send_body {
+            ReplyStatus::Ok(Body::synthetic(meta, self.doc_scale))
+        } else {
+            ReplyStatus::NotModified
+        };
+        Ok(HttpMsg::Reply(Reply {
+            req: get.req,
+            url: get.url,
+            client: get.client,
+            status,
+            lease: grant.lease,
+            piggyback: grant.piggyback,
+            volume_lease: grant.volume_lease,
+        }))
+    }
+
+    fn parent_key(&self, url: Url) -> wcc_types::ScopedUrl {
+        url.scoped(self.identity)
+    }
+
+    /// Origin pushed an `INVALIDATE`: drop our copy, relay down the tree,
+    /// and return the ack to send upstream.
+    fn handle_invalidate(&self, url: Url) -> HttpMsg {
+        let mut p = self.protected.lock();
+        p.counters.invalidations_received += 1;
+        let own_hits = {
+            let Protected { policy, cache, .. } = &mut *p;
+            policy.on_invalidate(url, self.identity, cache).unwrap_or(0)
+        };
+        let now = p.latest_trace;
+        let recipients = p.children.on_modify(url, now);
+        let partitions = self.child_partitions.load(Ordering::SeqCst).max(1);
+        let channels = self.child_channels.lock();
+        for client in recipients {
+            if let Some(tx) = channels.get(&client.partition(partitions)) {
+                if tx.send(HttpMsg::Invalidate { url, client }).is_ok() {
+                    p.counters.invalidations_relayed += 1;
+                }
+            }
+        }
+        HttpMsg::InvalAck {
+            url,
+            client: self.identity,
+            cache_hits: own_hits,
+        }
+    }
+}
+
+/// A running TCP parent proxy. Shuts down on drop.
+pub struct NetParent {
+    addr: SocketAddr,
+    state: Arc<ParentState>,
+    accept_thread: Option<JoinHandle<()>>,
+    upstream_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl std::fmt::Debug for NetParent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetParent").field("addr", &self.addr).finish()
+    }
+}
+
+impl NetParent {
+    /// Spawns a parent tier in front of `origin`. Children should point
+    /// their [`NetProxy::spawn`](crate::NetProxy::spawn) at
+    /// [`NetParent::addr`].
+    ///
+    /// # Errors
+    ///
+    /// Returns socket errors from binding or the upstream registration.
+    pub fn spawn(
+        origin: SocketAddr,
+        cfg: &ProtocolConfig,
+        server: ServerId,
+        capacity: ByteSize,
+    ) -> std::io::Result<NetParent> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ParentState {
+            identity: ClientId::from_raw(0),
+            origin,
+            server,
+            doc_scale: 100,
+            protected: Mutex::new(Protected {
+                policy: ProxyPolicy::new(cfg),
+                cache: CacheStore::new(capacity, ReplacementPolicy::ExpiredFirstLru),
+                children: ServerConsistency::new(cfg, server),
+                next_req: RequestId::default(),
+                latest_trace: wcc_types::SimTime::ZERO,
+                counters: NetParentCounters::default(),
+            }),
+            child_channels: Mutex::new(HashMap::new()),
+            child_partitions: AtomicU32::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+
+        // Upstream invalidation channel: register with the origin.
+        let mut upstream = TcpStream::connect(origin)?;
+        upstream.set_read_timeout(Some(Duration::from_millis(50)))?;
+        upstream.write_all(&encode(&HttpMsg::Hello {
+            partition: 0,
+            partitions: 1,
+        }))?;
+        upstream.flush()?;
+        let upstream_state = Arc::clone(&state);
+        let upstream_thread = std::thread::spawn(move || {
+            let mut writer = match upstream.try_clone() {
+                Ok(w) => w,
+                Err(_) => return,
+            };
+            let mut reader = BufReader::new(upstream);
+            loop {
+                if upstream_state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match decode(&mut reader) {
+                    Ok(HttpMsg::Invalidate { url, .. }) => {
+                        let ack = upstream_state.handle_invalidate(url);
+                        if writer.write_all(&encode(&ack)).is_err() {
+                            break;
+                        }
+                        let _ = writer.flush();
+                    }
+                    Ok(_) => break,
+                    Err(WireError::Closed) => break,
+                    Err(WireError::Io(e))
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        // Child-facing accept loop.
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_state = Arc::clone(&state);
+        let accept_threads = Arc::clone(&conn_threads);
+        let accept_thread = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let conn_state = Arc::clone(&accept_state);
+                let handle = std::thread::spawn(move || {
+                    let _ = serve_child(&conn_state, stream);
+                });
+                accept_threads.lock().push(handle);
+            }
+        });
+
+        Ok(NetParent {
+            addr,
+            state,
+            accept_thread: Some(accept_thread),
+            upstream_thread: Some(upstream_thread),
+            conn_threads,
+        })
+    }
+
+    /// The address children connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counters.
+    pub fn counters(&self) -> NetParentCounters {
+        self.state.protected.lock().counters
+    }
+}
+
+impl Drop for NetParent {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.upstream_thread.take() {
+            let _ = t.join();
+        }
+        self.state.child_channels.lock().clear();
+        for t in self.conn_threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn serve_child(state: &Arc<ParentState>, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let msg = match decode(&mut reader) {
+            Ok(msg) => msg,
+            Err(WireError::Closed) => break,
+            Err(WireError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        match msg {
+            HttpMsg::Get(get) if get.url.server() == state.server => {
+                let reply = state.handle_child_get(&get)?;
+                writer.write_all(&encode(&reply))?;
+                writer.flush()?;
+            }
+            HttpMsg::Hello {
+                partition,
+                partitions,
+            } => {
+                state.child_partitions.store(partitions, Ordering::SeqCst);
+                let (tx, rx) = unbounded::<HttpMsg>();
+                state.child_channels.lock().insert(partition, tx);
+                let mut push_stream = writer.try_clone()?;
+                std::thread::spawn(move || {
+                    while let Ok(msg) = rx.recv() {
+                        if push_stream.write_all(&encode(&msg)).is_err() {
+                            break;
+                        }
+                        let _ = push_stream.flush();
+                    }
+                });
+            }
+            HttpMsg::InvalAck {
+                url,
+                client,
+                cache_hits,
+            } => {
+                let mut p = state.protected.lock();
+                if cache_hits > 0 {
+                    let key = url.scoped(state.identity);
+                    if p.cache.peek(key).is_some() {
+                        p.cache.add_unreported_hits(key, cache_hits);
+                    }
+                }
+                p.children.on_inval_ack(url, client);
+            }
+            _ => break,
+        }
+    }
+    Ok(())
+}

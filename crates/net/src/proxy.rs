@@ -1,0 +1,285 @@
+//! The TCP caching proxy.
+
+use parking_lot::Mutex;
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use wcc_cache::{CacheStore, ReplacementPolicy};
+use wcc_core::{ProtocolConfig, ProxyAction, ProxyPolicy};
+use wcc_proto::{decode, encode, GetRequest, HttpMsg, ReplyStatus, RequestId, WireError};
+use wcc_types::{ByteSize, ClientId, DocMeta, SimTime, Url};
+
+/// How a [`NetProxy::fetch`] was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchKind {
+    /// Served straight from the cache, no origin contact.
+    CacheHit,
+    /// Validated with `If-Modified-Since`; origin said `304`.
+    Validated,
+    /// Transferred from the origin (`200`).
+    Fetched,
+}
+
+/// The result of one fetch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchOutcome {
+    /// How the request was satisfied.
+    pub kind: FetchKind,
+    /// Whether a cached entry existed when the request arrived.
+    pub had_entry: bool,
+    /// Metadata of the delivered version.
+    pub meta: DocMeta,
+}
+
+/// Counters maintained by the proxy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetProxyCounters {
+    /// Fetches served.
+    pub requests: u64,
+    /// Fetches that found a cached entry.
+    pub hits: u64,
+    /// Plain `GET`s sent upstream.
+    pub gets_sent: u64,
+    /// `If-Modified-Since` requests sent upstream.
+    pub ims_sent: u64,
+    /// `200` replies received.
+    pub replies_200: u64,
+    /// `304` replies received.
+    pub replies_304: u64,
+    /// `INVALIDATE`s received on the push channel.
+    pub invalidations_received: u64,
+    /// Bulk `INVALIDATE <server>`s received.
+    pub bulk_invalidations_received: u64,
+    /// Piggybacked invalidations received (PSI).
+    pub piggybacked_received: u64,
+}
+
+struct ProxyState {
+    policy: Mutex<(ProxyPolicy, CacheStore, RequestId)>,
+    counters: Mutex<NetProxyCounters>,
+    shutdown: AtomicBool,
+}
+
+/// A running caching proxy. Shuts down its invalidation listener on drop.
+pub struct NetProxy {
+    origin: SocketAddr,
+    state: Arc<ProxyState>,
+    inval_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for NetProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetProxy").field("origin", &self.origin).finish()
+    }
+}
+
+impl NetProxy {
+    /// Connects to `origin`, registers the invalidation push channel for
+    /// `partition` of `partitions`, and returns the running proxy.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket error from the registration handshake.
+    pub fn spawn(
+        origin: SocketAddr,
+        cfg: &ProtocolConfig,
+        partition: u32,
+        partitions: u32,
+        capacity: ByteSize,
+    ) -> std::io::Result<NetProxy> {
+        let state = Arc::new(ProxyState {
+            policy: Mutex::new((
+                ProxyPolicy::new(cfg),
+                CacheStore::new(capacity, ReplacementPolicy::ExpiredFirstLru),
+                RequestId::default(),
+            )),
+            counters: Mutex::new(NetProxyCounters::default()),
+            shutdown: AtomicBool::new(false),
+        });
+
+        // Invalidation channel: proxy-initiated persistent connection.
+        let mut channel = TcpStream::connect(origin)?;
+        channel.set_read_timeout(Some(Duration::from_millis(50)))?;
+        channel.write_all(&encode(&HttpMsg::Hello {
+            partition,
+            partitions,
+        }))?;
+        channel.flush()?;
+
+        let listener_state = Arc::clone(&state);
+        let inval_thread = std::thread::spawn(move || {
+            let mut writer = match channel.try_clone() {
+                Ok(w) => w,
+                Err(_) => return,
+            };
+            let mut reader = BufReader::new(channel);
+            loop {
+                if listener_state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match decode(&mut reader) {
+                    Ok(HttpMsg::Invalidate { url, client }) => {
+                        let deleted_hits = {
+                            let mut guard = listener_state.policy.lock();
+                            let (policy, cache, _) = &mut *guard;
+                            policy.on_invalidate(url, client, cache)
+                        };
+                        listener_state.counters.lock().invalidations_received += 1;
+                        let ack = HttpMsg::InvalAck {
+                            url,
+                            client,
+                            cache_hits: deleted_hits.unwrap_or(0),
+                        };
+                        if writer.write_all(&encode(&ack)).is_err() {
+                            break;
+                        }
+                        let _ = writer.flush();
+                    }
+                    Ok(HttpMsg::InvalidateServer { server }) => {
+                        {
+                            let mut guard = listener_state.policy.lock();
+                            let (policy, cache, _) = &mut *guard;
+                            policy.on_invalidate_server(server, cache);
+                        }
+                        listener_state.counters.lock().bulk_invalidations_received += 1;
+                    }
+                    Ok(_) => break, // protocol violation
+                    Err(WireError::Closed) => break,
+                    Err(WireError::Io(e))
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(NetProxy {
+            origin,
+            state,
+            inval_thread: Some(inval_thread),
+        })
+    }
+
+    /// Current counters.
+    pub fn counters(&self) -> NetProxyCounters {
+        *self.state.counters.lock()
+    }
+
+    /// Serves one browser request for `url` on behalf of `client`, at
+    /// logical time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Returns socket errors from the upstream fetch; cache hits are
+    /// infallible.
+    pub fn fetch(&self, client: ClientId, url: Url, now: SimTime) -> std::io::Result<FetchOutcome> {
+        let key = url.scoped(client);
+        let mut guard = self.state.policy.lock();
+        let (policy, cache, next_req) = &mut *guard;
+        self.state.counters.lock().requests += 1;
+        let disposition = policy.on_request(key, now, cache);
+        if disposition.had_entry {
+            self.state.counters.lock().hits += 1;
+        }
+        let report_hits = disposition.report_hits;
+        let mut ims = match disposition.action {
+            ProxyAction::ServeFromCache => {
+                let meta = cache.peek(key).expect("hit implies entry").meta;
+                return Ok(FetchOutcome {
+                    kind: FetchKind::CacheHit,
+                    had_entry: true,
+                    meta,
+                });
+            }
+            ProxyAction::SendGet { ims } => ims,
+        };
+
+        // Up to one retry for the 304-races-eviction corner.
+        for _attempt in 0..2 {
+            let req = *next_req;
+            *next_req = next_req.next();
+            {
+                let mut c = self.state.counters.lock();
+                if ims.is_some() {
+                    c.ims_sent += 1;
+                } else {
+                    c.gets_sent += 1;
+                }
+            }
+            let get = HttpMsg::Get(GetRequest {
+                req,
+                url,
+                client,
+                ims,
+                issued_at: now,
+                cache_hits: report_hits,
+            });
+            let mut stream = TcpStream::connect(self.origin)?;
+            stream.write_all(&encode(&get))?;
+            stream.flush()?;
+            let mut reader = BufReader::new(stream);
+            let reply = decode(&mut reader).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+            })?;
+            let HttpMsg::Reply(reply) = reply else {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "expected a reply",
+                ));
+            };
+            policy.on_volume_grant(key, reply.volume_lease);
+            if !reply.piggyback.is_empty() {
+                policy.on_piggyback(&reply.piggyback, client, cache);
+                self.state.counters.lock().piggybacked_received +=
+                    reply.piggyback.len() as u64;
+            }
+            match reply.status {
+                ReplyStatus::Ok(body) => {
+                    self.state.counters.lock().replies_200 += 1;
+                    policy.on_reply_200(key, body.meta(), reply.lease, now, cache);
+                    return Ok(FetchOutcome {
+                        kind: FetchKind::Fetched,
+                        had_entry: disposition.had_entry,
+                        meta: body.meta(),
+                    });
+                }
+                ReplyStatus::NotModified => {
+                    if policy.on_reply_304(key, reply.lease, now, cache) {
+                        self.state.counters.lock().replies_304 += 1;
+                        let meta = cache.peek(key).expect("validated entry").meta;
+                        return Ok(FetchOutcome {
+                            kind: FetchKind::Validated,
+                            had_entry: disposition.had_entry,
+                            meta,
+                        });
+                    }
+                    // Entry evicted mid-validation: retry as a plain GET.
+                    ims = None;
+                }
+            }
+        }
+        Err(std::io::Error::other(
+            "revalidation race did not resolve",
+        ))
+    }
+
+    /// Number of entries currently cached.
+    pub fn cached_entries(&self) -> usize {
+        self.state.policy.lock().1.len()
+    }
+}
+
+impl Drop for NetProxy {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.inval_thread.take() {
+            let _ = t.join();
+        }
+    }
+}

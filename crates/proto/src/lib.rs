@@ -1,0 +1,31 @@
+//! HTTP message model and wire codec for the `webcache` workspace.
+//!
+//! The paper's protocols speak a small subset of HTTP/1.0 plus one new
+//! message type:
+//!
+//! * `GET` requests, optionally carrying an `If-Modified-Since` validator
+//!   and the real client's id (so the server-side accelerator can register
+//!   the site in its invalidation table);
+//! * `200` replies carrying a document body, and `304 Not Modified` replies;
+//!   under the lease protocols both may carry a lease grant;
+//! * **`INVALIDATE`**, the paper's new message type, carrying "either a URL
+//!   or the Web server address" (the latter is the bulk form used on server
+//!   recovery);
+//! * `NOTIFY`, the check-in message the modifier utility sends the
+//!   accelerator when a document changes;
+//! * coordinator control messages for the lock-step trace replay.
+//!
+//! [`Message`] is the payload type carried by the discrete-event simulator;
+//! [`wire`] provides a text encoding of the same messages for the real TCP
+//! prototype in `wcc-net`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod msg;
+pub mod wire;
+
+pub use msg::{
+    CoordMsg, GetRequest, HttpMsg, Message, Reply, ReplyStatus, RequestId,
+};
+pub use wire::{decode, encode, WireError};

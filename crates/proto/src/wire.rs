@@ -1,0 +1,600 @@
+//! Text wire codec: an HTTP/1.0 subset plus the paper's `INVALIDATE`
+//! message type, used by the real TCP prototype (`wcc-net`).
+//!
+//! The encoding is deliberately conventional — start line, `\r\n`-separated
+//! headers, blank line, optional body — so the messages are readable in a
+//! packet capture:
+//!
+//! ```text
+//! GET /doc/42 HTTP/1.0
+//! Host: server0
+//! X-Client: 0.0.0.42
+//! X-Request-Id: 7
+//! If-Modified-Since: 123456
+//! ```
+//!
+//! Timestamps travel as integer microseconds (the simulator's clock unit).
+//!
+//! # Examples
+//!
+//! ```
+//! use wcc_proto::{decode, encode, GetRequest, HttpMsg, RequestId};
+//! use wcc_types::{ClientId, ServerId, SimTime, Url};
+//!
+//! let msg = HttpMsg::Get(GetRequest {
+//!     req: RequestId::new(7),
+//!     url: Url::new(ServerId::new(0), 42),
+//!     client: ClientId::from_raw(42),
+//!     ims: None,
+//!     issued_at: SimTime::from_secs(12),
+//!     cache_hits: 0,
+//! });
+//! let bytes = encode(&msg);
+//! let decoded = decode(&mut bytes.as_slice())?;
+//! assert_eq!(decoded, msg);
+//! # Ok::<(), wcc_proto::WireError>(())
+//! ```
+
+use crate::msg::{GetRequest, HttpMsg, Reply, ReplyStatus, RequestId};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::BufRead;
+use wcc_types::{Body, ByteSize, ClientId, DocMeta, ServerId, SimTime, Url};
+
+/// Error decoding a wire message.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying stream failed.
+    Io(std::io::Error),
+    /// The stream ended cleanly before a start line (peer closed).
+    Closed,
+    /// The bytes did not form a valid message.
+    Malformed(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Malformed(why) => write!(f, "malformed wire message: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+fn malformed(why: impl Into<String>) -> WireError {
+    WireError::Malformed(why.into())
+}
+
+/// Encodes `msg` into its wire form.
+///
+/// The payload of a `200` reply is the *stored* (possibly scaled) body; the
+/// accounted size travels in the `X-Size` header so byte accounting survives
+/// the scaling trick.
+pub fn encode(msg: &HttpMsg) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    let mut push = |s: &str| out.extend_from_slice(s.as_bytes());
+    match msg {
+        HttpMsg::Get(g) => {
+            push(&format!("GET {} HTTP/1.0\r\n", g.url.path()));
+            push(&format!("Host: {}\r\n", host(g.url.server())));
+            push(&format!("X-Client: {}\r\n", g.client));
+            push(&format!("X-Request-Id: {}\r\n", g.req.get()));
+            push(&format!("Date: {}\r\n", g.issued_at.as_micros()));
+            if g.cache_hits > 0 {
+                push(&format!("X-Hit-Count: {}\r\n", g.cache_hits));
+            }
+            if let Some(validator) = g.ims {
+                push(&format!("If-Modified-Since: {}\r\n", validator.as_micros()));
+            }
+            push("\r\n");
+        }
+        HttpMsg::Reply(r) => {
+            match &r.status {
+                ReplyStatus::Ok(body) => {
+                    push("HTTP/1.0 200 OK\r\n");
+                    push(&format!("Host: {}\r\n", host(r.url.server())));
+                    push(&format!("Content-Location: {}\r\n", r.url.path()));
+                    push(&format!("X-Client: {}\r\n", r.client));
+                    push(&format!("X-Request-Id: {}\r\n", r.req.get()));
+                    push(&format!(
+                        "Last-Modified: {}\r\n",
+                        body.meta().last_modified().as_micros()
+                    ));
+                    push(&format!("X-Size: {}\r\n", body.meta().size().as_u64()));
+                    if let Some(lease) = r.lease {
+                        push(&format!("X-Lease: {}\r\n", lease.as_micros()));
+                    }
+                    if !r.piggyback.is_empty() {
+                        push(&format!("X-Piggyback: {}\r\n", piggyback_list(&r.piggyback)));
+                    }
+                    if let Some(v) = r.volume_lease {
+                        push(&format!("X-Volume-Lease: {}\r\n", v.as_micros()));
+                    }
+                    push(&format!("Content-Length: {}\r\n\r\n", body.payload().len()));
+                    out.extend_from_slice(body.payload());
+                }
+                ReplyStatus::NotModified => {
+                    push("HTTP/1.0 304 Not Modified\r\n");
+                    push(&format!("Host: {}\r\n", host(r.url.server())));
+                    push(&format!("Content-Location: {}\r\n", r.url.path()));
+                    push(&format!("X-Client: {}\r\n", r.client));
+                    push(&format!("X-Request-Id: {}\r\n", r.req.get()));
+                    if let Some(lease) = r.lease {
+                        push(&format!("X-Lease: {}\r\n", lease.as_micros()));
+                    }
+                    if !r.piggyback.is_empty() {
+                        push(&format!("X-Piggyback: {}\r\n", piggyback_list(&r.piggyback)));
+                    }
+                    if let Some(v) = r.volume_lease {
+                        push(&format!("X-Volume-Lease: {}\r\n", v.as_micros()));
+                    }
+                    push("\r\n");
+                }
+            }
+        }
+        HttpMsg::Invalidate { url, client } => {
+            push(&format!("INVALIDATE {} HTTP/1.0\r\n", url.path()));
+            push(&format!("Host: {}\r\n", host(url.server())));
+            push(&format!("X-Client: {client}\r\n"));
+            push("\r\n");
+        }
+        HttpMsg::InvalidateServer { server } => {
+            push("INVALIDATE * HTTP/1.0\r\n");
+            push(&format!("X-Server: {}\r\n", server.index()));
+            push("\r\n");
+        }
+        HttpMsg::InvalAck {
+            url,
+            client,
+            cache_hits,
+        } => {
+            push(&format!("ACK {} HTTP/1.0\r\n", url.path()));
+            push(&format!("Host: {}\r\n", host(url.server())));
+            push(&format!("X-Client: {client}\r\n"));
+            if *cache_hits > 0 {
+                push(&format!("X-Hit-Count: {cache_hits}\r\n"));
+            }
+            push("\r\n");
+        }
+        HttpMsg::Hello {
+            partition,
+            partitions,
+        } => {
+            push(&format!("HELLO {partition}/{partitions} HTTP/1.0\r\n"));
+            push("\r\n");
+        }
+        HttpMsg::Notify { url, at } => {
+            push(&format!("NOTIFY {} HTTP/1.0\r\n", url.path()));
+            push(&format!("Host: {}\r\n", host(url.server())));
+            push(&format!("Date: {}\r\n", at.as_micros()));
+            push("\r\n");
+        }
+    }
+    out
+}
+
+fn host(server: ServerId) -> String {
+    format!("server{}", server.index())
+}
+
+fn piggyback_list(urls: &[Url]) -> String {
+    urls.iter()
+        .map(|u| u.doc().to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_piggyback(
+    headers: &HashMap<String, String>,
+    server: ServerId,
+) -> Result<Vec<Url>, WireError> {
+    let Some(list) = headers.get("x-piggyback") else {
+        return Ok(Vec::new());
+    };
+    list.split(',')
+        .map(|d| {
+            d.trim()
+                .parse()
+                .map(|doc| Url::new(server, doc))
+                .map_err(|_| malformed(format!("bad piggyback entry {d:?}")))
+        })
+        .collect()
+}
+
+fn parse_host(value: &str) -> Result<ServerId, WireError> {
+    let idx = value
+        .strip_prefix("server")
+        .and_then(|rest| rest.parse().ok())
+        .ok_or_else(|| malformed(format!("bad Host: {value}")))?;
+    Ok(ServerId::new(idx))
+}
+
+/// Decodes one message from `reader`.
+///
+/// # Errors
+///
+/// Returns [`WireError::Closed`] on clean EOF before a start line,
+/// [`WireError::Malformed`] on protocol violations, and [`WireError::Io`]
+/// if the stream fails mid-message.
+pub fn decode<R: BufRead>(reader: &mut R) -> Result<HttpMsg, WireError> {
+    let start = match read_line(reader)? {
+        None => return Err(WireError::Closed),
+        Some(line) if line.is_empty() => {
+            return Err(malformed("empty start line"));
+        }
+        Some(line) => line,
+    };
+    let mut headers = HashMap::new();
+    loop {
+        match read_line(reader)? {
+            None => return Err(malformed("eof inside headers")),
+            Some(line) if line.is_empty() => break,
+            Some(line) => {
+                let (name, value) = line
+                    .split_once(':')
+                    .ok_or_else(|| malformed(format!("bad header: {line}")))?;
+                headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+            }
+        }
+    }
+
+    let mut parts = start.split_whitespace();
+    let verb = parts.next().ok_or_else(|| malformed("missing verb"))?;
+    match verb {
+        "GET" => {
+            let path = parts.next().ok_or_else(|| malformed("GET without path"))?;
+            let url = url_from(&headers, path)?;
+            Ok(HttpMsg::Get(GetRequest {
+                req: RequestId::new(required_u64(&headers, "x-request-id")?),
+                url,
+                client: required_client(&headers)?,
+                ims: headers
+                    .get("if-modified-since")
+                    .map(|v| parse_micros(v))
+                    .transpose()?,
+                issued_at: parse_micros(
+                    headers.get("date").map(String::as_str).unwrap_or("0"),
+                )?,
+                cache_hits: headers
+                    .get("x-hit-count")
+                    .map(|v| v.parse().map_err(|_| malformed("bad X-Hit-Count")))
+                    .transpose()?
+                    .unwrap_or(0),
+            }))
+        }
+        "HTTP/1.0" => {
+            let code = parts.next().ok_or_else(|| malformed("reply without code"))?;
+            let path = headers
+                .get("content-location")
+                .ok_or_else(|| malformed("reply without Content-Location"))?
+                .clone();
+            let url = url_from(&headers, &path)?;
+            let req = RequestId::new(required_u64(&headers, "x-request-id")?);
+            let client = required_client(&headers)?;
+            let lease = headers
+                .get("x-lease")
+                .map(|v| parse_micros(v))
+                .transpose()?;
+            let piggyback = parse_piggyback(&headers, url.server())?;
+            let volume_lease = headers
+                .get("x-volume-lease")
+                .map(|v| parse_micros(v))
+                .transpose()?;
+            match code {
+                "200" => {
+                    let len: usize = required_u64(&headers, "content-length")? as usize;
+                    let mut payload = vec![0u8; len];
+                    reader.read_exact(&mut payload)?;
+                    let meta = DocMeta::new(
+                        ByteSize::from_bytes(required_u64(&headers, "x-size")?),
+                        parse_micros(
+                            headers
+                                .get("last-modified")
+                                .ok_or_else(|| malformed("200 without Last-Modified"))?,
+                        )?,
+                    );
+                    Ok(HttpMsg::Reply(Reply {
+                        req,
+                        url,
+                        client,
+                        status: ReplyStatus::Ok(Body::new(meta, payload)),
+                        lease,
+                        piggyback,
+                        volume_lease,
+                    }))
+                }
+                "304" => Ok(HttpMsg::Reply(Reply {
+                    req,
+                    url,
+                    client,
+                    status: ReplyStatus::NotModified,
+                    lease,
+                    piggyback,
+                    volume_lease,
+                })),
+                other => Err(malformed(format!("unsupported status {other}"))),
+            }
+        }
+        "INVALIDATE" => {
+            let target = parts
+                .next()
+                .ok_or_else(|| malformed("INVALIDATE without target"))?;
+            if target == "*" {
+                let idx = required_u64(&headers, "x-server")? as u32;
+                Ok(HttpMsg::InvalidateServer {
+                    server: ServerId::new(idx),
+                })
+            } else {
+                Ok(HttpMsg::Invalidate {
+                    url: url_from(&headers, target)?,
+                    client: required_client(&headers)?,
+                })
+            }
+        }
+        "ACK" => {
+            let path = parts.next().ok_or_else(|| malformed("ACK without path"))?;
+            Ok(HttpMsg::InvalAck {
+                url: url_from(&headers, path)?,
+                client: required_client(&headers)?,
+                cache_hits: headers
+                    .get("x-hit-count")
+                    .map(|v| v.parse().map_err(|_| malformed("bad X-Hit-Count")))
+                    .transpose()?
+                    .unwrap_or(0),
+            })
+        }
+        "HELLO" => {
+            let spec = parts.next().ok_or_else(|| malformed("HELLO without partition"))?;
+            let (p, n) = spec
+                .split_once('/')
+                .ok_or_else(|| malformed("HELLO spec must be p/n"))?;
+            let partition = p.parse().map_err(|_| malformed("bad partition"))?;
+            let partitions: u32 = n.parse().map_err(|_| malformed("bad partitions"))?;
+            if partitions == 0 || partition >= partitions {
+                return Err(malformed("partition out of range"));
+            }
+            Ok(HttpMsg::Hello {
+                partition,
+                partitions,
+            })
+        }
+        "NOTIFY" => {
+            let path = parts.next().ok_or_else(|| malformed("NOTIFY without path"))?;
+            Ok(HttpMsg::Notify {
+                url: url_from(&headers, path)?,
+                at: parse_micros(headers.get("date").map(String::as_str).unwrap_or("0"))?,
+            })
+        }
+        other => Err(malformed(format!("unknown verb {other}"))),
+    }
+}
+
+fn url_from(headers: &HashMap<String, String>, path: &str) -> Result<Url, WireError> {
+    let server = parse_host(
+        headers
+            .get("host")
+            .ok_or_else(|| malformed("missing Host header"))?,
+    )?;
+    Url::from_path(server, path).ok_or_else(|| malformed(format!("bad path {path}")))
+}
+
+fn required_u64(headers: &HashMap<String, String>, name: &str) -> Result<u64, WireError> {
+    headers
+        .get(name)
+        .ok_or_else(|| malformed(format!("missing header {name}")))?
+        .parse()
+        .map_err(|_| malformed(format!("non-numeric header {name}")))
+}
+
+fn required_client(headers: &HashMap<String, String>) -> Result<ClientId, WireError> {
+    headers
+        .get("x-client")
+        .ok_or_else(|| malformed("missing X-Client"))?
+        .parse()
+        .map_err(|_| malformed("bad X-Client"))
+}
+
+fn parse_micros(value: &str) -> Result<SimTime, WireError> {
+    value
+        .parse()
+        .map(SimTime::from_micros)
+        .map_err(|_| malformed(format!("bad timestamp {value}")))
+}
+
+/// Reads one `\r\n`- (or `\n`-) terminated line; `None` on clean EOF.
+fn read_line<R: BufRead>(reader: &mut R) -> Result<Option<String>, WireError> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line)?;
+    if n == 0 {
+        return Ok(None);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(Some(line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_url() -> Url {
+        Url::new(ServerId::new(3), 99)
+    }
+
+    fn sample_client() -> ClientId {
+        ClientId::from_ip([10, 1, 2, 3])
+    }
+
+    fn round_trip(msg: HttpMsg) {
+        let bytes = encode(&msg);
+        let decoded = decode(&mut bytes.as_slice()).expect("decode failed");
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn get_round_trip() {
+        round_trip(HttpMsg::Get(GetRequest {
+            req: RequestId::new(17),
+            url: sample_url(),
+            client: sample_client(),
+            ims: None,
+            issued_at: SimTime::from_secs(55),
+            cache_hits: 0,
+        }));
+    }
+
+    #[test]
+    fn ims_round_trip() {
+        round_trip(HttpMsg::Get(GetRequest {
+            req: RequestId::new(18),
+            url: sample_url(),
+            client: sample_client(),
+            ims: Some(SimTime::from_micros(123_456_789)),
+            issued_at: SimTime::from_micros(123_999_999),
+            cache_hits: 42,
+        }));
+    }
+
+    #[test]
+    fn reply_200_round_trip_with_scaled_body() {
+        let meta = DocMeta::new(ByteSize::from_kib(44), SimTime::from_secs(7));
+        round_trip(HttpMsg::Reply(Reply {
+            req: RequestId::new(5),
+            url: sample_url(),
+            client: sample_client(),
+            status: ReplyStatus::Ok(Body::synthetic(meta, 100)),
+            lease: Some(SimTime::from_secs(86_400 * 3)),
+            piggyback: vec![Url::new(ServerId::new(3), 4), Url::new(ServerId::new(3), 9)],
+            volume_lease: None,
+        }));
+    }
+
+    #[test]
+    fn reply_304_round_trip() {
+        round_trip(HttpMsg::Reply(Reply {
+            req: RequestId::new(6),
+            url: sample_url(),
+            client: sample_client(),
+            status: ReplyStatus::NotModified,
+            lease: None,
+            piggyback: vec![Url::new(ServerId::new(3), 1)],
+            volume_lease: None,
+        }));
+    }
+
+    #[test]
+    fn invalidate_round_trips() {
+        round_trip(HttpMsg::Invalidate {
+            url: sample_url(),
+            client: sample_client(),
+        });
+        round_trip(HttpMsg::InvalidateServer {
+            server: ServerId::new(9),
+        });
+        round_trip(HttpMsg::InvalAck {
+            url: sample_url(),
+            client: sample_client(),
+            cache_hits: 12,
+        });
+        round_trip(HttpMsg::Notify {
+            url: sample_url(),
+            at: SimTime::from_secs(77),
+        });
+        round_trip(HttpMsg::Hello {
+            partition: 2,
+            partitions: 4,
+        });
+    }
+
+    #[test]
+    fn pipelined_messages_decode_in_sequence() {
+        let a = HttpMsg::Notify {
+            url: sample_url(),
+            at: SimTime::ZERO,
+        };
+        let b = HttpMsg::Invalidate {
+            url: sample_url(),
+            client: sample_client(),
+        };
+        let mut bytes = encode(&a);
+        bytes.extend(encode(&b));
+        let mut cursor = bytes.as_slice();
+        assert_eq!(decode(&mut cursor).unwrap(), a);
+        assert_eq!(decode(&mut cursor).unwrap(), b);
+        assert!(matches!(decode(&mut cursor), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn clean_eof_is_closed() {
+        let mut empty: &[u8] = b"";
+        assert!(matches!(decode(&mut empty), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        for bad in [
+            "BOGUS /doc/1 HTTP/1.0\r\n\r\n",
+            "GET /doc/1 HTTP/1.0\r\nnocolon\r\n\r\n",
+            "GET /doc/1 HTTP/1.0\r\n\r\n", // missing Host / X-Client / req id
+            "GET /nope HTTP/1.0\r\nHost: server0\r\nX-Client: 1.2.3.4\r\nX-Request-Id: 0\r\n\r\n",
+            "HTTP/1.0 500 Oops\r\nHost: server0\r\nContent-Location: /doc/1\r\nX-Client: 1.2.3.4\r\nX-Request-Id: 0\r\n\r\n",
+            "GET /doc/1 HTTP/1.0\r\nHost: elsewhere\r\nX-Client: 1.2.3.4\r\nX-Request-Id: 0\r\n\r\n",
+            "HELLO 4/4 HTTP/1.0\r\n\r\n",
+            "HELLO x HTTP/1.0\r\n\r\n",
+        ] {
+            let mut cursor = bad.as_bytes();
+            assert!(
+                matches!(decode(&mut cursor), Err(WireError::Malformed(_))),
+                "accepted: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        let meta = DocMeta::new(ByteSize::from_bytes(1000), SimTime::ZERO);
+        let msg = HttpMsg::Reply(Reply {
+            req: RequestId::new(0),
+            url: sample_url(),
+            client: sample_client(),
+            status: ReplyStatus::Ok(Body::synthetic(meta, 1)),
+            lease: None,
+            piggyback: Vec::new(),
+            volume_lease: None,
+        });
+        let bytes = encode(&msg);
+        let mut truncated = &bytes[..bytes.len() - 10];
+        assert!(matches!(decode(&mut truncated), Err(WireError::Io(_))));
+    }
+
+    #[test]
+    fn bare_lf_lines_accepted() {
+        let text = "NOTIFY /doc/5 HTTP/1.0\nHost: server1\n\n";
+        let mut cursor = text.as_bytes();
+        let msg = decode(&mut cursor).unwrap();
+        assert_eq!(
+            msg,
+            HttpMsg::Notify {
+                url: Url::new(ServerId::new(1), 5),
+                at: SimTime::ZERO,
+            }
+        );
+    }
+}

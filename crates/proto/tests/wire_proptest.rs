@@ -1,0 +1,131 @@
+//! Property test: every well-formed message survives the wire round trip.
+
+use proptest::prelude::*;
+use wcc_proto::{decode, encode, GetRequest, HttpMsg, Reply, ReplyStatus, RequestId};
+use wcc_types::{Body, ByteSize, ClientId, DocMeta, ServerId, SimTime, Url};
+
+fn url_strategy() -> impl Strategy<Value = Url> {
+    (0u32..16, 0u32..10_000).prop_map(|(s, d)| Url::new(ServerId::new(s), d))
+}
+
+fn client_strategy() -> impl Strategy<Value = ClientId> {
+    any::<u32>().prop_map(ClientId::from_raw)
+}
+
+fn time_strategy() -> impl Strategy<Value = SimTime> {
+    (0u64..u64::MAX / 2).prop_map(SimTime::from_micros)
+}
+
+fn body_strategy() -> impl Strategy<Value = Body> {
+    (0u64..100_000, time_strategy(), 1u64..200).prop_map(|(size, mtime, scale)| {
+        Body::synthetic(DocMeta::new(ByteSize::from_bytes(size), mtime), scale)
+    })
+}
+
+fn msg_strategy() -> impl Strategy<Value = HttpMsg> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            url_strategy(),
+            client_strategy(),
+            proptest::option::of(time_strategy()),
+            time_strategy(),
+            any::<u32>(),
+        )
+            .prop_map(|(req, url, client, ims, issued_at, hits)| {
+                HttpMsg::Get(GetRequest {
+                    req: RequestId::new(req),
+                    url,
+                    client,
+                    ims,
+                    issued_at,
+                    cache_hits: hits as u64,
+                })
+            }),
+        (
+            any::<u64>(),
+            url_strategy(),
+            client_strategy(),
+            body_strategy(),
+            proptest::option::of(time_strategy()),
+            proptest::collection::vec(0u32..10_000, 0..8),
+            proptest::option::of(time_strategy()),
+        )
+            .prop_map(|(req, url, client, body, lease, pb, volume)| {
+                HttpMsg::Reply(Reply {
+                    req: RequestId::new(req),
+                    url,
+                    client,
+                    status: ReplyStatus::Ok(body),
+                    lease,
+                    piggyback: pb.into_iter().map(|d| Url::new(url.server(), d)).collect(),
+                    volume_lease: volume,
+                })
+            }),
+        (
+            any::<u64>(),
+            url_strategy(),
+            client_strategy(),
+            proptest::option::of(time_strategy()),
+            proptest::collection::vec(0u32..10_000, 0..8),
+            proptest::option::of(time_strategy()),
+        )
+            .prop_map(|(req, url, client, lease, pb, volume)| {
+                HttpMsg::Reply(Reply {
+                    req: RequestId::new(req),
+                    url,
+                    client,
+                    status: ReplyStatus::NotModified,
+                    lease,
+                    piggyback: pb.into_iter().map(|d| Url::new(url.server(), d)).collect(),
+                    volume_lease: volume,
+                })
+            }),
+        (url_strategy(), client_strategy())
+            .prop_map(|(url, client)| HttpMsg::Invalidate { url, client }),
+        (0u32..64).prop_map(|s| HttpMsg::InvalidateServer {
+            server: ServerId::new(s)
+        }),
+        (url_strategy(), client_strategy(), any::<u32>())
+            .prop_map(|(url, client, hits)| HttpMsg::InvalAck {
+                url,
+                client,
+                cache_hits: hits as u64,
+            }),
+        (url_strategy(), time_strategy()).prop_map(|(url, at)| HttpMsg::Notify { url, at }),
+        (0u32..8, 1u32..9)
+            .prop_filter("partition in range", |(p, n)| p < n)
+            .prop_map(|(partition, partitions)| HttpMsg::Hello {
+                partition,
+                partitions
+            }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn encode_decode_round_trips(msg in msg_strategy()) {
+        let bytes = encode(&msg);
+        let decoded = decode(&mut bytes.as_slice()).expect("well-formed message must decode");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn pipelined_pairs_round_trip(a in msg_strategy(), b in msg_strategy()) {
+        let mut bytes = encode(&a);
+        bytes.extend(encode(&b));
+        let mut cursor = bytes.as_slice();
+        prop_assert_eq!(decode(&mut cursor).expect("first"), a);
+        prop_assert_eq!(decode(&mut cursor).expect("second"), b);
+    }
+
+    #[test]
+    fn truncation_never_panics(msg in msg_strategy(), cut in 0usize..64) {
+        let bytes = encode(&msg);
+        let cut = cut.min(bytes.len());
+        let mut truncated = &bytes[..bytes.len() - cut];
+        let _ = decode(&mut truncated); // any Result is fine; no panic
+    }
+}

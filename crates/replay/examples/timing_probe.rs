@@ -1,0 +1,23 @@
+//! Quick timing probe: one full-size EPA replay under invalidation.
+use wcc_core::ProtocolKind;
+use wcc_replay::{run_experiment, ExperimentConfig};
+use wcc_traces::TraceSpec;
+
+fn main() {
+    let start = std::time::Instant::now();
+    let cfg = ExperimentConfig::builder(TraceSpec::epa())
+        .protocol(ProtocolKind::Invalidation)
+        .seed(42)
+        .build();
+    let report = run_experiment(&cfg);
+    println!(
+        "EPA invalidation: {} requests, {} msgs, {} bytes, hits {}, cpu {:.1}%, wall-sim {}, real {:?}",
+        report.raw.requests,
+        report.raw.total_messages,
+        report.raw.total_bytes,
+        report.raw.hits,
+        report.raw.server_cpu * 100.0,
+        report.raw.wall_duration,
+        start.elapsed()
+    );
+}

@@ -1,0 +1,164 @@
+//! The totally ordered event queue at the heart of the simulator.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use wcc_types::SimTime;
+
+/// A pending event: fires at `at`, ties broken by insertion sequence so the
+/// schedule is a *total* order and runs are reproducible.
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of simulation events ordered by `(time, insertion seq)`.
+///
+/// Events scheduled for the same instant pop in insertion order, which makes
+/// the whole simulation deterministic without any reliance on hash ordering.
+///
+/// # Examples
+///
+/// ```
+/// use wcc_simnet::EventQueue;
+/// use wcc_types::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), "late");
+/// q.schedule(SimTime::from_secs(1), "early");
+/// q.schedule(SimTime::from_secs(1), "early-too");
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "early-too")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `payload` to fire at `at`. Returns the event's sequence
+    /// number (unique per queue, monotonically increasing).
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, payload });
+        seq
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.at, s.payload))
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// The number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_time_then_sequence() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), 'c');
+        q.schedule(SimTime::from_secs(1), 'a');
+        q.schedule(SimTime::from_secs(5), 'd');
+        q.schedule(SimTime::from_secs(3), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!['a', 'b', 'c', 'd']);
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn sequence_numbers_are_unique_and_increasing() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::ZERO, ());
+        let b = q.schedule(SimTime::ZERO, ());
+        assert!(b > a);
+    }
+
+    #[test]
+    fn large_interleaving_stays_sorted() {
+        let mut q = EventQueue::new();
+        // Insert times in a scrambled but deterministic pattern.
+        for i in 0u64..1000 {
+            q.schedule(SimTime::from_micros((i * 7919) % 503), i);
+        }
+        let mut last = (SimTime::ZERO, 0u64);
+        let mut first = true;
+        while let Some((t, i)) = q.pop() {
+            if !first {
+                let same_time_in_order = t == last.0 && i > last.1;
+                assert!(t > last.0 || same_time_in_order, "out of order: {t:?} after {last:?}");
+            }
+            last = (t, i);
+            first = false;
+        }
+    }
+}

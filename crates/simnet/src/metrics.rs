@@ -1,0 +1,290 @@
+//! Metric primitives: counters and min/avg/max summaries.
+
+use core::fmt;
+use wcc_types::{ByteSize, SimDuration};
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use wcc_simnet::Counter;
+///
+/// let mut hits = Counter::default();
+/// hits.incr();
+/// hits.add(2);
+/// assert_eq!(hits.get(), 3);
+/// ```
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 = self.0.saturating_add(n);
+    }
+
+    /// The current count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Aggregate traffic statistics maintained by the simulation engine: every
+/// [`Ctx::send`](crate::Ctx::send) records one message and its bytes;
+/// undeliverable messages also count as `dropped`.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages handed to the network (delivered or not).
+    pub messages: u64,
+    /// Total bytes of those messages (accounted, i.e. unscaled, sizes).
+    pub bytes: ByteSize,
+    /// Messages lost to partitions or crashed destinations.
+    pub dropped: u64,
+}
+
+impl NetStats {
+    pub(crate) fn record(&mut self, size: ByteSize) {
+        self.messages += 1;
+        self.bytes += size;
+    }
+
+    pub(crate) fn record_dropped(&mut self) {
+        self.dropped += 1;
+    }
+}
+
+/// An online min/avg/max summary of simulated durations — the shape of the
+/// paper's latency rows (Avg/Min/Max Latency).
+///
+/// # Examples
+///
+/// ```
+/// use wcc_simnet::Summary;
+/// use wcc_types::SimDuration;
+///
+/// let mut s = Summary::default();
+/// s.observe(SimDuration::from_millis(10));
+/// s.observe(SimDuration::from_millis(30));
+/// assert_eq!(s.min(), Some(SimDuration::from_millis(10)));
+/// assert_eq!(s.max(), Some(SimDuration::from_millis(30)));
+/// assert_eq!(s.mean(), Some(SimDuration::from_millis(20)));
+/// assert_eq!(s.count(), 2);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Summary {
+    count: u64,
+    total: SimDuration,
+    min: Option<SimDuration>,
+    max: Option<SimDuration>,
+    /// All observations, kept for exact quantiles. Replay workloads top out
+    /// at ~10⁵ observations, so exactness is affordable; if that ever
+    /// changes, swap for a sketch behind the same API.
+    samples: Vec<SimDuration>,
+}
+
+impl Summary {
+    /// Records one observation.
+    pub fn observe(&mut self, value: SimDuration) {
+        self.count += 1;
+        self.total += value;
+        self.samples.push(value);
+        self.min = Some(match self.min {
+            Some(m) if m <= value => m,
+            _ => value,
+        });
+        self.max = Some(match self.max {
+            Some(m) if m >= value => m,
+            _ => value,
+        });
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        self.count += other.count;
+        self.total += other.total;
+        self.samples.extend_from_slice(&other.samples);
+        for v in [other.min, other.max].into_iter().flatten() {
+            // min/max update without recounting
+            self.min = Some(match self.min {
+                Some(m) if m <= v => m,
+                _ => v,
+            });
+            self.max = Some(match self.max {
+                Some(m) if m >= v => m,
+                _ => v,
+            });
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Smallest observation, if any.
+    pub fn min(&self) -> Option<SimDuration> {
+        self.min
+    }
+
+    /// Largest observation, if any.
+    pub fn max(&self) -> Option<SimDuration> {
+        self.max
+    }
+
+    /// Mean observation, if any.
+    pub fn mean(&self) -> Option<SimDuration> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.total.div(self.count))
+        }
+    }
+
+    /// Sum of all observations.
+    pub fn total(&self) -> SimDuration {
+        self.total
+    }
+
+    /// The exact `q`-quantile (nearest-rank), e.g. `quantile(0.99)` for the
+    /// p99. Returns `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<SimDuration> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize)
+            .clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    /// The median observation.
+    pub fn median(&self) -> Option<SimDuration> {
+        self.quantile(0.5)
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.mean(), self.min, self.max) {
+            (Some(mean), Some(min), Some(max)) => {
+                write!(f, "avg {mean} / min {min} / max {max} (n={})", self.count)
+            }
+            _ => write!(f, "no observations"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::default();
+        assert_eq!(c.get(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+        assert_eq!(c.to_string(), "10");
+    }
+
+    #[test]
+    fn summary_tracks_extremes_and_mean() {
+        let mut s = Summary::default();
+        for ms in [5u64, 1, 9, 5] {
+            s.observe(SimDuration::from_millis(ms));
+        }
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.min(), Some(SimDuration::from_millis(1)));
+        assert_eq!(s.max(), Some(SimDuration::from_millis(9)));
+        assert_eq!(s.mean(), Some(SimDuration::from_millis(5)));
+        assert_eq!(s.total(), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn empty_summary_reports_none() {
+        let s = Summary::default();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.to_string(), "no observations");
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Summary::default();
+        a.observe(SimDuration::from_millis(2));
+        let mut b = Summary::default();
+        b.observe(SimDuration::from_millis(8));
+        b.observe(SimDuration::from_millis(4));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(SimDuration::from_millis(2)));
+        assert_eq!(a.max(), Some(SimDuration::from_millis(8)));
+        // (2+8+4)/3 ≈ 4.666 ms
+        assert_eq!(a.mean(), Some(SimDuration::from_micros(4_666)));
+    }
+
+    #[test]
+    fn quantiles_are_exact_nearest_rank() {
+        let mut s = Summary::default();
+        for ms in 1..=100u64 {
+            s.observe(SimDuration::from_millis(ms));
+        }
+        assert_eq!(s.quantile(0.5), Some(SimDuration::from_millis(50)));
+        assert_eq!(s.quantile(0.99), Some(SimDuration::from_millis(99)));
+        assert_eq!(s.quantile(1.0), Some(SimDuration::from_millis(100)));
+        assert_eq!(s.quantile(0.0), Some(SimDuration::from_millis(1)));
+        assert_eq!(s.median(), s.quantile(0.5));
+        assert_eq!(Summary::default().quantile(0.9), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn out_of_range_quantile_panics() {
+        let mut s = Summary::default();
+        s.observe(SimDuration::from_millis(1));
+        let _ = s.quantile(1.5);
+    }
+
+    #[test]
+    fn merged_quantiles_see_all_samples() {
+        let mut a = Summary::default();
+        let mut b = Summary::default();
+        for ms in 1..=50u64 {
+            a.observe(SimDuration::from_millis(ms));
+        }
+        for ms in 51..=100u64 {
+            b.observe(SimDuration::from_millis(ms));
+        }
+        a.merge(&b);
+        assert_eq!(a.quantile(0.75), Some(SimDuration::from_millis(75)));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Summary::default();
+        a.observe(SimDuration::from_secs(1));
+        let before = a.clone();
+        a.merge(&Summary::default());
+        assert_eq!(a, before);
+    }
+}

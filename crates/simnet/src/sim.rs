@@ -1,0 +1,489 @@
+//! The simulation engine: owns the nodes, the clock and the event queue.
+
+use crate::metrics::NetStats;
+use crate::net::{NetworkConfig, Reachability};
+use crate::node::{Ctx, Node, TimerId};
+use crate::EventQueue;
+use std::any::Any;
+use std::collections::HashSet;
+use wcc_types::{NodeId, SimDuration, SimTime};
+
+/// Internal engine events.
+#[derive(Debug)]
+pub(crate) enum EngineEvent<M> {
+    /// Deliver `msg` from `src` to `dst`.
+    Deliver {
+        /// Sending node.
+        src: NodeId,
+        /// Receiving node.
+        dst: NodeId,
+        /// Payload.
+        msg: M,
+    },
+    /// Fire timer `id` with `token` on `node`.
+    Timer {
+        /// Owning node.
+        node: NodeId,
+        /// Caller-chosen discriminant.
+        token: u64,
+        /// Cancellation handle.
+        id: TimerId,
+    },
+    /// Apply a fault-plan action.
+    Fault(FaultAction),
+}
+
+/// A scheduled change to the failure state of the network or a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FaultAction {
+    Crash(NodeId),
+    Recover(NodeId),
+    Sever(NodeId, NodeId),
+    Heal(NodeId, NodeId),
+}
+
+/// Object-safe shim that lets the engine downcast nodes back to their
+/// concrete types for inspection in tests and reports.
+trait AnyNode<M>: Node<M> {
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<M, T: Node<M> + Any> AnyNode<M> for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct NodeState {
+    busy_until: SimTime,
+    busy_accum: SimDuration,
+}
+
+/// A deterministic discrete-event simulation over message type `M`.
+///
+/// Construction order fixes [`NodeId`]s: the first [`Simulation::add_node`]
+/// gets `NodeId(0)`, and so on. See the crate-level docs for a full example.
+pub struct Simulation<M> {
+    nodes: Vec<Option<Box<dyn AnyNode<M>>>>,
+    states: Vec<NodeState>,
+    queue: EventQueue<EngineEvent<M>>,
+    config: NetworkConfig,
+    reach: Reachability,
+    stats: NetStats,
+    cancelled: HashSet<TimerId>,
+    next_timer: u64,
+    now: SimTime,
+    started: bool,
+}
+
+impl<M: 'static> Simulation<M> {
+    /// Creates an empty simulation over the given network.
+    pub fn new(config: NetworkConfig) -> Self {
+        Simulation {
+            nodes: Vec::new(),
+            states: Vec::new(),
+            queue: EventQueue::new(),
+            config,
+            reach: Reachability::default(),
+            stats: NetStats::default(),
+            cancelled: HashSet::new(),
+            next_timer: 0,
+            now: SimTime::ZERO,
+            started: false,
+        }
+    }
+
+    /// Registers a node, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after the simulation has started running.
+    pub fn add_node<N: Node<M>>(&mut self, node: N) -> NodeId {
+        assert!(!self.started, "cannot add nodes after the simulation started");
+        let id = NodeId::new(self.nodes.len() as u32);
+        self.nodes.push(Some(Box::new(node)));
+        self.states.push(NodeState::default());
+        id
+    }
+
+    /// The number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Aggregate network statistics (messages, bytes, drops).
+    pub fn net_stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Total CPU time consumed by `node` via [`Ctx::consume`].
+    pub fn busy_time(&self, node: NodeId) -> SimDuration {
+        self.states[node.as_usize()].busy_accum
+    }
+
+    /// CPU utilisation of `node`: busy time over elapsed time (0 if the
+    /// clock has not advanced).
+    pub fn utilisation(&self, node: NodeId) -> f64 {
+        if self.now == SimTime::ZERO {
+            0.0
+        } else {
+            self.busy_time(node).as_secs_f64() / self.now.as_secs_f64()
+        }
+    }
+
+    /// Immutable access to a node, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is of a different type or mid-callback.
+    pub fn node_ref<N: Node<M>>(&self, id: NodeId) -> &N {
+        self.nodes[id.as_usize()]
+            .as_ref()
+            .expect("node is mid-callback")
+            .as_any()
+            .downcast_ref()
+            .expect("node type mismatch")
+    }
+
+    /// Mutable access to a node, downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is of a different type or mid-callback.
+    pub fn node_mut<N: Node<M>>(&mut self, id: NodeId) -> &mut N {
+        self.nodes[id.as_usize()]
+            .as_mut()
+            .expect("node is mid-callback")
+            .as_any_mut()
+            .downcast_mut()
+            .expect("node type mismatch")
+    }
+
+    /// Schedules `node` to crash at `at`: it loses all messages and timers
+    /// until recovered.
+    pub fn schedule_crash(&mut self, node: NodeId, at: SimTime) {
+        self.queue.schedule(at, EngineEvent::Fault(FaultAction::Crash(node)));
+    }
+
+    /// Schedules `node` to recover at `at` (its [`Node::on_recover`] hook
+    /// runs then).
+    pub fn schedule_recover(&mut self, node: NodeId, at: SimTime) {
+        self.queue
+            .schedule(at, EngineEvent::Fault(FaultAction::Recover(node)));
+    }
+
+    /// Schedules a bidirectional partition between `a` and `b` over
+    /// `[from, to)`.
+    pub fn schedule_partition(&mut self, a: NodeId, b: NodeId, from: SimTime, to: SimTime) {
+        self.queue
+            .schedule(from, EngineEvent::Fault(FaultAction::Sever(a, b)));
+        self.queue
+            .schedule(to, EngineEvent::Fault(FaultAction::Heal(a, b)));
+    }
+
+    /// Injects a message into `dst` "from the outside" (source shows as
+    /// `dst` itself). Useful to kick off ad-hoc test scenarios.
+    pub fn inject(&mut self, dst: NodeId, msg: M, at: SimTime) {
+        self.queue.schedule(
+            at,
+            EngineEvent::Deliver {
+                src: dst,
+                dst,
+                msg,
+            },
+        );
+    }
+
+    /// Runs every node's [`Node::on_start`] hook (once).
+    fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            self.with_node(NodeId::new(i as u32), |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    /// Runs until the event queue is empty. Returns the final time.
+    pub fn run_until_idle(&mut self) -> SimTime {
+        self.run_until(SimTime::NEVER)
+    }
+
+    /// Runs until the queue is empty or the next event is later than
+    /// `deadline`; the clock then rests at `min(deadline, last event time)`.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.start();
+        while let Some(at) = self.queue.peek_time() {
+            if at > deadline {
+                break;
+            }
+            let (at, event) = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(at >= self.now, "time moved backwards");
+            self.now = at;
+            self.dispatch(event);
+        }
+        if deadline != SimTime::NEVER && deadline > self.now {
+            self.now = deadline;
+        }
+        self.now
+    }
+
+    fn dispatch(&mut self, event: EngineEvent<M>) {
+        match event {
+            EngineEvent::Deliver { src, dst, msg } => {
+                if self.reach.is_crashed(dst) {
+                    self.stats.record_dropped();
+                    return;
+                }
+                let busy_until = self.states[dst.as_usize()].busy_until;
+                if busy_until > self.now {
+                    // Receiver is mid-CPU-burst: defer, preserving FIFO order
+                    // via the queue's sequence numbers.
+                    self.queue
+                        .schedule(busy_until, EngineEvent::Deliver { src, dst, msg });
+                    return;
+                }
+                self.with_node(dst, |node, ctx| node.on_message(src, msg, ctx));
+            }
+            EngineEvent::Timer { node, token, id } => {
+                if self.cancelled.remove(&id) || self.reach.is_crashed(node) {
+                    return;
+                }
+                self.with_node(node, |n, ctx| n.on_timer(token, ctx));
+            }
+            EngineEvent::Fault(action) => match action {
+                FaultAction::Crash(n) => {
+                    self.reach.crash(n);
+                    let now = self.now;
+                    if let Some(node) = self.nodes[n.as_usize()].as_mut() {
+                        node.on_crash(now);
+                    }
+                }
+                FaultAction::Recover(n) => {
+                    self.reach.recover(n);
+                    self.with_node(n, |node, ctx| node.on_recover(ctx));
+                }
+                FaultAction::Sever(a, b) => self.reach.sever(a, b),
+                FaultAction::Heal(a, b) => self.reach.heal(a, b),
+            },
+        }
+    }
+
+    /// Temporarily removes `id`'s node, builds a [`Ctx`] over the rest of the
+    /// engine, and runs `f`.
+    fn with_node(&mut self, id: NodeId, f: impl FnOnce(&mut dyn AnyNode<M>, &mut Ctx<'_, M>)) {
+        let mut node = self.nodes[id.as_usize()]
+            .take()
+            .expect("reentrant node callback");
+        let state = &mut self.states[id.as_usize()];
+        let mut ctx = Ctx {
+            self_id: id,
+            now: self.now,
+            queue: &mut self.queue,
+            config: &self.config,
+            reach: &self.reach,
+            stats: &mut self.stats,
+            cancelled: &mut self.cancelled,
+            next_timer: &mut self.next_timer,
+            busy_until: &mut state.busy_until,
+            busy_accum: &mut state.busy_accum,
+        };
+        f(node.as_mut(), &mut ctx);
+        self.nodes[id.as_usize()] = Some(node);
+    }
+}
+
+impl<M> std::fmt::Debug for Simulation<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.now)
+            .field("pending_events", &self.queue.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcc_types::ByteSize;
+
+    /// Echoes every message back to its sender.
+    struct Echo {
+        seen: u32,
+    }
+
+    impl Node<u32> for Echo {
+        fn on_message(&mut self, from: NodeId, msg: u32, ctx: &mut Ctx<'_, u32>) {
+            self.seen += 1;
+            if ctx.id() != from {
+                // don't echo injected self-messages forever
+                ctx.send(from, msg, ByteSize::from_bytes(64));
+            }
+        }
+    }
+
+    /// Sends `count` messages at start, counts echoes, records RTTs.
+    struct Caller {
+        peer: Option<NodeId>,
+        count: u32,
+        sent_at: SimTime,
+        echoes: u32,
+        last_rtt: SimDuration,
+    }
+
+    impl Node<u32> for Caller {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            self.sent_at = ctx.now();
+            for i in 0..self.count {
+                ctx.send(self.peer.unwrap(), i, ByteSize::from_bytes(64));
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, _msg: u32, ctx: &mut Ctx<'_, u32>) {
+            self.echoes += 1;
+            self.last_rtt = ctx.now().saturating_since(self.sent_at);
+        }
+    }
+
+    fn pair(count: u32) -> (Simulation<u32>, NodeId, NodeId) {
+        let mut sim = Simulation::new(NetworkConfig::lan());
+        let caller = sim.add_node(Caller {
+            peer: None,
+            count,
+            sent_at: SimTime::ZERO,
+            echoes: 0,
+            last_rtt: SimDuration::ZERO,
+        });
+        let echo = sim.add_node(Echo { seen: 0 });
+        sim.node_mut::<Caller>(caller).peer = Some(echo);
+        (sim, caller, echo)
+    }
+
+    #[test]
+    fn round_trip_counts_and_rtt() {
+        let (mut sim, caller, echo) = pair(5);
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<Caller>(caller).echoes, 5);
+        assert_eq!(sim.node_ref::<Echo>(echo).seen, 5);
+        // 10 messages total on the wire.
+        assert_eq!(sim.net_stats().messages, 10);
+        // RTT at least two propagation latencies.
+        assert!(sim.node_ref::<Caller>(caller).last_rtt >= SimDuration::from_micros(600));
+    }
+
+    #[test]
+    fn crashed_destination_drops_messages() {
+        let (mut sim, caller, echo) = pair(3);
+        sim.schedule_crash(echo, SimTime::ZERO);
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<Caller>(caller).echoes, 0);
+        assert_eq!(sim.node_ref::<Echo>(echo).seen, 0);
+        assert_eq!(sim.net_stats().dropped, 3);
+    }
+
+    #[test]
+    fn partition_blocks_and_heals() {
+        let (mut sim, caller, echo) = pair(2);
+        // Partition only during the initial send window; heal afterwards and
+        // re-inject via a fresh send from the caller through a timer.
+        sim.schedule_partition(caller, echo, SimTime::ZERO, SimTime::from_secs(1));
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(sim.node_ref::<Caller>(caller).echoes, 0);
+        assert_eq!(sim.net_stats().dropped, 2);
+    }
+
+    #[test]
+    fn recovery_hook_runs() {
+        struct Flaky {
+            crashed: bool,
+            recovered: bool,
+        }
+        impl Node<u32> for Flaky {
+            fn on_message(&mut self, _f: NodeId, _m: u32, _c: &mut Ctx<'_, u32>) {}
+            fn on_crash(&mut self, _now: SimTime) {
+                self.crashed = true;
+            }
+            fn on_recover(&mut self, _ctx: &mut Ctx<'_, u32>) {
+                self.recovered = true;
+            }
+        }
+        let mut sim: Simulation<u32> = Simulation::new(NetworkConfig::lan());
+        let n = sim.add_node(Flaky {
+            crashed: false,
+            recovered: false,
+        });
+        sim.schedule_crash(n, SimTime::from_secs(1));
+        sim.schedule_recover(n, SimTime::from_secs(2));
+        sim.run_until_idle();
+        let node = sim.node_ref::<Flaky>(n);
+        assert!(node.crashed);
+        assert!(node.recovered);
+    }
+
+    #[test]
+    fn run_until_advances_clock_to_deadline() {
+        let mut sim: Simulation<u32> = Simulation::new(NetworkConfig::lan());
+        let _ = sim.add_node(Echo { seen: 0 });
+        let end = sim.run_until(SimTime::from_secs(10));
+        assert_eq!(end, SimTime::from_secs(10));
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn injected_message_arrives() {
+        let mut sim: Simulation<u32> = Simulation::new(NetworkConfig::lan());
+        let echo = sim.add_node(Echo { seen: 0 });
+        sim.inject(echo, 42, SimTime::from_secs(1));
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<Echo>(echo).seen, 1);
+    }
+
+    #[test]
+    fn utilisation_reflects_consumed_cpu() {
+        struct Burner;
+        impl Node<u32> for Burner {
+            fn on_message(&mut self, _f: NodeId, _m: u32, ctx: &mut Ctx<'_, u32>) {
+                ctx.consume(SimDuration::from_secs(1));
+            }
+        }
+        let mut sim: Simulation<u32> = Simulation::new(NetworkConfig::lan());
+        let n = sim.add_node(Burner);
+        sim.inject(n, 0, SimTime::from_secs(1));
+        sim.run_until(SimTime::from_secs(4));
+        assert_eq!(sim.busy_time(n), SimDuration::from_secs(1));
+        assert!((sim.utilisation(n) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "after the simulation started")]
+    fn adding_nodes_after_start_panics() {
+        let mut sim: Simulation<u32> = Simulation::new(NetworkConfig::lan());
+        sim.run_until(SimTime::from_secs(1));
+        sim.add_node(Echo { seen: 0 });
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn wrong_downcast_panics() {
+        let mut sim: Simulation<u32> = Simulation::new(NetworkConfig::lan());
+        let n = sim.add_node(Echo { seen: 0 });
+        let _ = sim.node_ref::<Burner>(n);
+    }
+
+    struct Burner;
+    impl Node<u32> for Burner {
+        fn on_message(&mut self, _f: NodeId, _m: u32, _c: &mut Ctx<'_, u32>) {}
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests of the simulator's delivery guarantees.
+
+use proptest::prelude::*;
+use wcc_simnet::{Ctx, NetworkConfig, Node, Simulation};
+use wcc_types::{ByteSize, NodeId, SimDuration, SimTime};
+
+/// Sends a scripted batch of (delay, target, tag) messages from its start
+/// hook; records everything it receives.
+struct Scripted {
+    script: Vec<(u64, usize, u32)>,
+    targets: Vec<NodeId>,
+    received: Vec<(SimTime, u32)>,
+}
+
+impl Node<u32> for Scripted {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+        for &(delay, target, tag) in &self.script {
+            let target = self.targets[target % self.targets.len()];
+            ctx.set_timer(SimDuration::from_millis(delay), ((target.index() as u64) << 32) | tag as u64);
+        }
+    }
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, u32>) {
+        let target = NodeId::new((token >> 32) as u32);
+        let tag = (token & 0xffff_ffff) as u32;
+        ctx.send(target, tag, ByteSize::from_bytes(64));
+    }
+    fn on_message(&mut self, _from: NodeId, msg: u32, ctx: &mut Ctx<'_, u32>) {
+        self.received.push((ctx.now(), msg));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Without faults, every sent message is delivered exactly once, and
+    /// each receiver observes non-decreasing delivery times.
+    #[test]
+    fn faultless_delivery_is_exactly_once(
+        scripts in proptest::collection::vec(
+            proptest::collection::vec((0u64..5_000, 0usize..4, 0u32..1_000), 0..30),
+            2..5,
+        )
+    ) {
+        let mut sim = Simulation::new(NetworkConfig::lan());
+        let n = scripts.len();
+        let ids: Vec<NodeId> = (0..n).map(|i| NodeId::new(i as u32)).collect();
+        let mut sent_tags: Vec<u32> = Vec::new();
+        for script in &scripts {
+            for &(_, _, tag) in script {
+                sent_tags.push(tag);
+            }
+        }
+        for script in scripts {
+            sim.add_node(Scripted {
+                script,
+                targets: ids.clone(),
+                received: Vec::new(),
+            });
+        }
+        sim.run_until_idle();
+
+        let mut got: Vec<u32> = Vec::new();
+        for &id in &ids {
+            let node = sim.node_ref::<Scripted>(id);
+            prop_assert!(node.received.windows(2).all(|w| w[0].0 <= w[1].0));
+            got.extend(node.received.iter().map(|&(_, tag)| tag));
+        }
+        sent_tags.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, sent_tags);
+        prop_assert_eq!(sim.net_stats().dropped, 0);
+    }
+
+    /// With a crashed receiver, deliveries to it are dropped and everything
+    /// else still arrives; messages + drops stay conserved.
+    #[test]
+    fn crashed_node_only_loses_its_own_messages(
+        script in proptest::collection::vec((0u64..5_000, 0usize..3, 0u32..1_000), 1..40),
+    ) {
+        let mut sim = Simulation::new(NetworkConfig::lan());
+        let ids: Vec<NodeId> = (0..3).map(NodeId::new).collect();
+        let to_dead: usize = script.iter().filter(|&&(_, t, _)| t % 3 == 2).count();
+        let total = script.len();
+        sim.add_node(Scripted { script, targets: ids.clone(), received: Vec::new() });
+        for _ in 0..2 {
+            sim.add_node(Scripted { script: Vec::new(), targets: ids.clone(), received: Vec::new() });
+        }
+        // Node 2 is dead from the start.
+        sim.schedule_crash(ids[2], SimTime::ZERO);
+        sim.run_until_idle();
+        let delivered: usize = (0..3)
+            .map(|i| sim.node_ref::<Scripted>(ids[i]).received.len())
+            .sum();
+        prop_assert_eq!(delivered + sim.net_stats().dropped as usize, total);
+        prop_assert!(sim.net_stats().dropped as usize >= to_dead);
+        prop_assert_eq!(sim.node_ref::<Scripted>(ids[2]).received.len(), 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! Common vocabulary types for the `webcache` workspace.
+//!
+//! This crate defines the small, dependency-free building blocks shared by
+//! every other crate in the reproduction of Liu & Cao, *"Maintaining Strong
+//! Cache Consistency in the World-Wide Web"* (ICDCS 1997):
+//!
+//! * [`SimTime`] / [`SimDuration`] — the microsecond-resolution simulated
+//!   clock used by the discrete-event simulator and the trace replayer.
+//! * [`ClientId`] — the 32-bit client identifier the paper derives from the
+//!   four bytes of a client's IP address.
+//! * [`Url`] and [`DocMeta`] — document naming and metadata (size,
+//!   last-modified time).
+//! * [`ByteSize`] — byte quantities with human-readable formatting.
+//!
+//! # Examples
+//!
+//! ```
+//! use wcc_types::{SimTime, SimDuration, ClientId};
+//!
+//! let t0 = SimTime::ZERO;
+//! let t1 = t0 + SimDuration::from_secs(300);
+//! assert_eq!((t1 - t0).as_secs(), 300);
+//!
+//! let client = ClientId::from_ip([128, 105, 2, 17]);
+//! assert_eq!(client.octets(), [128, 105, 2, 17]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bytesize;
+mod id;
+mod time;
+mod url;
+
+pub use bytesize::ByteSize;
+pub use id::{ClientId, NodeId, ServerId};
+pub use time::{SimDuration, SimTime};
+pub use url::{Body, DocMeta, ScopedUrl, Url};
+
+/// A convenience alias used by fallible APIs across the workspace.
+pub type Result<T, E> = core::result::Result<T, E>;

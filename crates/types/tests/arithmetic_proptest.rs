@@ -1,0 +1,71 @@
+//! Algebraic laws of the time and byte arithmetic (all saturating).
+
+use proptest::prelude::*;
+use wcc_types::{ByteSize, SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn time_addition_is_monotone_and_saturating(
+        t in any::<u64>(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+    ) {
+        let t = SimTime::from_micros(t);
+        let a = SimDuration::from_micros(a);
+        let b = SimDuration::from_micros(b);
+        // Monotone.
+        prop_assert!(t + a >= t);
+        // Associative under saturation.
+        prop_assert_eq!((t + a) + b, t + (a + b));
+        // Never exceeds NEVER.
+        prop_assert!(t + a <= SimTime::NEVER);
+    }
+
+    #[test]
+    fn saturating_since_inverts_addition_when_in_range(
+        t in 0u64..u64::MAX / 2,
+        d in 0u64..u64::MAX / 2,
+    ) {
+        let t = SimTime::from_micros(t);
+        let d = SimDuration::from_micros(d);
+        prop_assert_eq!((t + d).saturating_since(t), d);
+        // And the reverse direction clamps.
+        prop_assert_eq!(t.saturating_since(t + d + SimDuration::from_micros(1)),
+                        SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_scaling_laws(d in 0u64..u64::MAX / 4, k in 0u64..1_000) {
+        let d = SimDuration::from_micros(d);
+        prop_assert_eq!(d.saturating_mul(0), SimDuration::ZERO);
+        prop_assert_eq!(d.saturating_mul(1), d);
+        prop_assert_eq!(d.div(0), SimDuration::ZERO);
+        if k > 0 {
+            // div then mul never exceeds the original.
+            prop_assert!(d.div(k).saturating_mul(k) <= d);
+        }
+    }
+
+    #[test]
+    fn byte_size_sum_commutes(a in any::<u64>(), b in any::<u64>()) {
+        let (x, y) = (ByteSize::from_bytes(a), ByteSize::from_bytes(b));
+        prop_assert_eq!(x + y, y + x);
+        prop_assert!(x + y >= x.max(y));
+        prop_assert_eq!(x.saturating_sub(x), ByteSize::ZERO);
+        prop_assert_eq!((x + y).saturating_sub(y).as_u64(),
+                        if a.checked_add(b).is_some() { a } else { u64::MAX - b });
+    }
+
+    #[test]
+    fn mul_f64_matches_integer_scaling_for_small_values(
+        d in 0u64..1_000_000_000u64,
+        k in 1u64..100,
+    ) {
+        let d = SimDuration::from_micros(d);
+        // Float scaling by an integer factor agrees with integer scaling
+        // (values small enough for exact f64 representation).
+        prop_assert_eq!(d.mul_f64(k as f64), d.saturating_mul(k));
+    }
+}

@@ -1,0 +1,59 @@
+//! Hierarchical caching: how a parent tier collapses the origin's
+//! invalidation fan-out (extension E1; cf. Worrell's thesis in the paper's
+//! related work).
+//!
+//! ```sh
+//! cargo run --release --example hierarchy
+//! ```
+
+// Building options by mutating a default is the intended style here.
+#![allow(clippy::field_reassign_with_default)]
+
+use webcache::core::{ProtocolConfig, ProtocolKind};
+use webcache::httpsim::{CacheSharing, Deployment, DeploymentOptions, Topology};
+use webcache::traces::{synthetic, ModSchedule, TraceSpec};
+use webcache::types::SimDuration;
+
+fn main() {
+    let spec = TraceSpec::nasa().scaled_down(20);
+    let trace = synthetic::generate(&spec, 7);
+    let mods = ModSchedule::generate(
+        spec.num_docs,
+        SimDuration::from_days(2),
+        spec.duration,
+        7,
+    );
+    let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
+
+    let run = |topology: Topology, label: &str| {
+        let mut opts = DeploymentOptions::default();
+        opts.topology = topology;
+        opts.sharing = CacheSharing::SharedPerProxy;
+        let mut d = Deployment::build(&trace, &mods, &cfg, opts);
+        d.run();
+        let r = d.collect();
+        println!(
+            "{label:<12} origin INVALIDATEs {:>5} · max site list {:>4} · \
+             site storage {:>10} · violations {}",
+            r.invalidations,
+            r.sitelist.max_list_len,
+            r.sitelist.storage.to_string(),
+            r.final_violations,
+        );
+        if let Some(parent) = r.parent {
+            println!(
+                "{:<12} parent hits {} · relayed {} invalidations to children",
+                "", parent.counters.parent_hits, parent.counters.invalidations_relayed
+            );
+        }
+        r
+    };
+
+    println!("NASA workload (1/20 scale), invalidation protocol:\n");
+    let flat = run(Topology::Flat, "flat");
+    let tree = run(Topology::Hierarchy, "hierarchy");
+    println!(
+        "\nthe parent absorbs {:.0}% of the origin's invalidation fan-out",
+        100.0 * (1.0 - tree.invalidations as f64 / flat.invalidations.max(1) as f64)
+    );
+}

@@ -1,0 +1,100 @@
+//! A step-by-step walk through the §6 two-tier lease protocol, driving the
+//! proxy- and server-side state machines directly — useful to understand
+//! exactly which message is sent when, and what the server remembers.
+//!
+//! ```sh
+//! cargo run --example lease_lifecycle
+//! ```
+
+use webcache::cache::{CacheStore, ReplacementPolicy};
+use webcache::core::{ProtocolConfig, ProtocolKind, ProxyAction, ProxyPolicy, ServerConsistency};
+use webcache::types::{ByteSize, ClientId, DocMeta, ServerId, SimDuration, SimTime, Url};
+
+fn main() {
+    let cfg = ProtocolConfig::new(ProtocolKind::TwoTierLease)
+        .with_lease(SimDuration::from_days(3));
+    let mut proxy = ProxyPolicy::new(&cfg);
+    let mut server = ServerConsistency::new(&cfg, ServerId::new(0));
+    let mut cache = CacheStore::unbounded(ReplacementPolicy::Lru);
+
+    let url = Url::new(ServerId::new(0), 1);
+    let client = ClientId::from_ip([192, 0, 2, 55]);
+    let key = url.scoped(client);
+    let mut doc = DocMeta::new(ByteSize::from_kib(12), SimTime::ZERO);
+
+    println!("two-tier lease walkthrough (full lease = 3 days)\n");
+
+    // t = 1h: first view — a plain GET. The server grants a *zero* lease:
+    // first-time readers are not worth remembering.
+    let t1 = SimTime::from_secs(3_600);
+    let d = proxy.on_request(key, t1, &mut cache);
+    assert!(matches!(d.action, ProxyAction::SendGet { ims: None }));
+    let grant = server.on_get(url, client, None, doc, t1);
+    proxy.on_reply_200(key, doc, grant.lease, t1, &mut cache);
+    println!(
+        "t=1h   GET → 200; lease expires {:?}; server tracks {} site(s)",
+        grant.lease,
+        server.table().site_count(url)
+    );
+
+    // t = 2h: second view. The zero lease has expired, so the proxy keeps
+    // its promise and validates; the revalidation earns the full lease.
+    let t2 = SimTime::from_secs(7_200);
+    let d = proxy.on_request(key, t2, &mut cache);
+    let ProxyAction::SendGet { ims: Some(v) } = d.action else {
+        panic!("expected a revalidation")
+    };
+    let grant = server.on_get(url, client, Some(v), doc, t2);
+    assert!(!grant.send_body);
+    proxy.on_reply_304(key, grant.lease, t2, &mut cache);
+    println!(
+        "t=2h   IMS → 304; full lease until {}; server tracks {} site(s)",
+        grant.lease.expect("two-tier always grants"),
+        server.table().site_count(url)
+    );
+
+    // t = 3h: third view — pure cache hit, zero messages.
+    let t3 = SimTime::from_secs(10_800);
+    let d = proxy.on_request(key, t3, &mut cache);
+    assert_eq!(d.action, ProxyAction::ServeFromCache);
+    println!("t=3h   cache hit — no messages (the lease is the freshness proof)");
+
+    // t = 1d: the author modifies the document. The server invalidates the
+    // one tracked site; the write completes on the ack.
+    let t4 = SimTime::from_secs(86_400);
+    doc = DocMeta::new(doc.size(), t4);
+    let recipients = server.on_modify(url, t4);
+    println!("t=1d   modified → INVALIDATE to {recipients:?}");
+    for c in recipients {
+        proxy.on_invalidate(url, c, &mut cache);
+        server.on_inval_ack(url, c);
+    }
+    assert!(server.writes_complete());
+    println!("       write complete (ack received); proxy copy deleted");
+
+    // t = 1d + 1h: next view is a miss, fetching the new version.
+    let t5 = t4 + SimDuration::from_hours(1);
+    let d = proxy.on_request(key, t5, &mut cache);
+    assert!(!d.had_entry);
+    let grant = server.on_get(url, client, None, doc, t5);
+    proxy.on_reply_200(key, doc, grant.lease, t5, &mut cache);
+    println!("t=1d1h miss → 200 with the new version (strong consistency)");
+
+    // t = 10d: the lease (granted t=2h, never renewed — the copy was
+    // deleted) plays no role; but had the copy survived, it would now be
+    // past its lease and the proxy would revalidate rather than trust it.
+    let t6 = SimTime::from_secs(10 * 86_400);
+    let d = proxy.on_request(key, t6, &mut cache);
+    match d.action {
+        ProxyAction::SendGet { ims: Some(_) } => {
+            println!("t=10d  lease expired → proxy honours its promise and revalidates")
+        }
+        other => println!("t=10d  {other:?}"),
+    }
+    println!(
+        "\nserver stats: {} registrations, {} modifications, {} invalidations",
+        server.stats().registrations,
+        server.stats().modifications,
+        server.stats().invalidations_sent
+    );
+}

@@ -1,0 +1,302 @@
+//! `wcc` — the command-line front end to the webcache reproduction.
+//!
+//! ```text
+//! wcc replay  --trace epa --protocol invalidation [--lifetime-days N]
+//!             [--scale N] [--seed N] [--wan] [--decoupled] [--hierarchy]
+//!             [--shared] [--lease-days N] [--cache-mib N]
+//! wcc trio    --trace sask [--scale N] [--seed N]   # Tables 3/4 block
+//! wcc summary [--scale N] [--seed N]                # Table 2
+//! wcc clf     <path> [--protocol NAME]              # replay a real log
+//! wcc protocols                                     # list protocol names
+//! ```
+
+use std::process::ExitCode;
+use webcache::core::{ProtocolConfig, ProtocolKind};
+use webcache::httpsim::{CacheSharing, Deployment, DeploymentOptions, InvalSendMode, Topology};
+use webcache::replay::tables::{format_table5_column, format_trio_block};
+use webcache::replay::{run_trio, ExperimentConfig, ReplayReport};
+use webcache::simnet::NetworkConfig;
+use webcache::traces::clf::parse_clf;
+use webcache::traces::{synthetic, ModSchedule, TraceSpec, TraceSummary};
+use webcache::types::{ByteSize, SimDuration};
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: impl Iterator<Item = String>) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut raw = raw.peekable();
+        while let Some(arg) = raw.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = match raw.peek() {
+                    Some(v) if !v.starts_with("--") => raw.next(),
+                    _ => None,
+                };
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(arg);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn num(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got {v:?}")),
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:\n  wcc replay  --trace NAME --protocol NAME [--lifetime-days N] [--scale N]\n              [--seed N] [--wan] [--decoupled] [--hierarchy] [--shared]\n              [--lease-days N] [--volume-mins N] [--cache-mib N]\n  wcc trio    --trace NAME [--scale N] [--seed N]\n  wcc compare --trace NAME --protocols a,b,c [--scale N] [--seed N]\n  wcc summary [--scale N] [--seed N]\n  wcc clf     PATH [--protocol NAME]\n  wcc protocols"
+}
+
+fn spec_for(args: &Args) -> Result<TraceSpec, String> {
+    let name = args.value("trace").unwrap_or("epa");
+    let spec = TraceSpec::by_name(name)
+        .ok_or_else(|| format!("unknown trace {name:?}; try epa/sdsc/clarknet/nasa/sask"))?;
+    let scale = args.num("scale", 1)?.max(1);
+    Ok(spec.scaled_down(scale))
+}
+
+fn protocol_for(args: &Args) -> Result<ProtocolConfig, String> {
+    let name = args.value("protocol").unwrap_or("invalidation");
+    let kind = ProtocolKind::from_name(name).ok_or_else(|| {
+        let names: Vec<_> = ProtocolKind::ALL.iter().map(|k| k.name()).collect();
+        format!("unknown protocol {name:?}; one of {}", names.join(", "))
+    })?;
+    let mut cfg = ProtocolConfig::new(kind);
+    if let Some(days) = args.value("lease-days") {
+        let days: u64 = days
+            .parse()
+            .map_err(|_| "--lease-days expects a number".to_string())?;
+        cfg = cfg.with_lease(SimDuration::from_days(days));
+    }
+    if let Some(mins) = args.value("volume-mins") {
+        let mins: u64 = mins
+            .parse()
+            .map_err(|_| "--volume-mins expects a number".to_string())?;
+        cfg = cfg.with_volume_lease(SimDuration::from_mins(mins));
+    }
+    Ok(cfg)
+}
+
+fn options_for(args: &Args) -> Result<DeploymentOptions, String> {
+    let mut options = DeploymentOptions::default();
+    if args.flag("wan") {
+        options.network = NetworkConfig::wan();
+    }
+    if args.flag("decoupled") {
+        options.send_mode = InvalSendMode::Decoupled;
+    }
+    if args.flag("hierarchy") {
+        options.topology = Topology::Hierarchy;
+        options.sharing = CacheSharing::SharedPerProxy;
+    }
+    if args.flag("shared") {
+        options.sharing = CacheSharing::SharedPerProxy;
+    }
+    if let Some(mib) = args.value("cache-mib") {
+        let mib: u64 = mib
+            .parse()
+            .map_err(|_| "--cache-mib expects a number".to_string())?;
+        options.cache_capacity = ByteSize::from_mib(mib.max(1));
+    }
+    Ok(options)
+}
+
+fn print_report(report: &ReplayReport) {
+    let r = &report.raw;
+    println!(
+        "trace {} · protocol {} · lifetime {} · {} modifications · seed {}",
+        report.trace, report.protocol, report.mean_lifetime, report.files_modified, report.seed
+    );
+    println!("  requests        {:>12}", r.requests);
+    println!("  hits            {:>12} ({:.1}%)", r.hits, r.hit_ratio() * 100.0);
+    println!("  GET / IMS       {:>12} / {}", r.gets, r.ims);
+    println!("  200 / 304       {:>12} / {}", r.replies_200, r.replies_304);
+    println!("  invalidations   {:>12}", r.invalidations);
+    println!("  total messages  {:>12}", r.total_messages);
+    println!("  total bytes     {:>12}", r.total_bytes.to_string());
+    let fmt = |d: Option<webcache::types::SimDuration>| {
+        d.map_or("-".to_string(), |d| d.to_string())
+    };
+    println!(
+        "  latency         avg {} / min {} / max {}",
+        fmt(r.latency.mean()),
+        fmt(r.latency.min()),
+        fmt(r.latency.max())
+    );
+    println!("  server CPU      {:>11.1}%", r.server_cpu * 100.0);
+    println!("  stale hits      {:>12}", r.stale_hits);
+    println!(
+        "  strong consistency: violations {} · writes complete {}",
+        r.final_violations, r.writes_complete
+    );
+    if let Some(parent) = &r.parent {
+        println!(
+            "  hierarchy: parent hits {} · relayed {} invalidations · child lists {}",
+            parent.counters.parent_hits,
+            parent.counters.invalidations_relayed,
+            parent.child_sitelist.total_entries
+        );
+    }
+    if report.protocol.uses_invalidation() {
+        println!("\n{}", format_table5_column(report));
+    }
+}
+
+fn cmd_replay(args: &Args) -> Result<(), String> {
+    let spec = spec_for(args)?;
+    let protocol = protocol_for(args)?;
+    let seed = args.num("seed", 1997)?;
+    let lifetime = match args.value("lifetime-days") {
+        Some(d) => {
+            let days: f64 = d
+                .parse()
+                .map_err(|_| "--lifetime-days expects a number".to_string())?;
+            SimDuration::from_secs_f64(days * 86_400.0)
+        }
+        None => spec.default_lifetime,
+    };
+    let options = options_for(args)?;
+
+    let trace = synthetic::generate(&spec, seed);
+    let mods = ModSchedule::generate(spec.num_docs, lifetime, spec.duration, seed);
+    let mut deployment = Deployment::build(&trace, &mods, &protocol, options);
+    deployment.run();
+    let report = ReplayReport {
+        trace: trace.name.clone(),
+        protocol: protocol.kind,
+        mean_lifetime: lifetime,
+        files_modified: mods.modifications().len() as u64,
+        seed,
+        raw: deployment.collect(),
+    };
+    print_report(&report);
+    Ok(())
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let spec = spec_for(args)?;
+    let seed = args.num("seed", 1997)?;
+    let names = args
+        .value("protocols")
+        .unwrap_or("adaptive-ttl,poll-every-time,invalidation,volume-lease");
+    let kinds: Result<Vec<ProtocolKind>, String> = names
+        .split(',')
+        .map(|n| {
+            ProtocolKind::from_name(n.trim())
+                .ok_or_else(|| format!("unknown protocol {n:?} (see `wcc protocols`)"))
+        })
+        .collect();
+    let kinds = kinds?;
+    let base = ExperimentConfig::builder(spec).seed(seed).build();
+    let (trace, mods) = webcache::replay::experiment::materialise(&base);
+    let reports: Vec<ReplayReport> = kinds
+        .into_iter()
+        .map(|kind| {
+            let mut cfg = base.clone();
+            cfg.protocol = ProtocolConfig::new(kind);
+            webcache::replay::experiment::run_on(&cfg, &trace, &mods)
+        })
+        .collect();
+    println!("{}", format_trio_block(&reports));
+    Ok(())
+}
+
+fn cmd_trio(args: &Args) -> Result<(), String> {
+    let spec = spec_for(args)?;
+    let seed = args.num("seed", 1997)?;
+    let cfg = ExperimentConfig::builder(spec).seed(seed).build();
+    let trio = run_trio(&cfg);
+    println!("{}", format_trio_block(&trio));
+    Ok(())
+}
+
+fn cmd_summary(args: &Args) -> Result<(), String> {
+    let scale = args.num("scale", 1)?.max(1);
+    let seed = args.num("seed", 1997)?;
+    println!("{}", TraceSummary::header());
+    for spec in TraceSpec::all() {
+        let trace = synthetic::generate(&spec.scaled_down(scale), seed);
+        println!("{}", TraceSummary::of(&trace));
+    }
+    Ok(())
+}
+
+fn cmd_clf(args: &Args) -> Result<(), String> {
+    let path = args
+        .positional
+        .get(1)
+        .ok_or_else(|| "clf needs a file path".to_string())?;
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let (trace, skipped) = parse_clf(std::io::BufReader::new(file), path)
+        .map_err(|e| format!("cannot parse {path}: {e}"))?;
+    println!(
+        "parsed {} records ({skipped} skipped)\n{}\n{}",
+        trace.records.len(),
+        TraceSummary::header(),
+        TraceSummary::of(&trace)
+    );
+    let protocol = protocol_for(args)?;
+    let mods = ModSchedule::none(trace.doc_count() as u32);
+    let mut deployment =
+        Deployment::build(&trace, &mods, &protocol, DeploymentOptions::default());
+    deployment.run();
+    let report = ReplayReport {
+        trace: trace.name.clone(),
+        protocol: protocol.kind,
+        mean_lifetime: SimDuration::ZERO,
+        files_modified: 0,
+        seed: 0,
+        raw: deployment.collect(),
+    };
+    print_report(&report);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = Args::parse(std::env::args().skip(1));
+    let command = args.positional.first().map(String::as_str);
+    let result = match command {
+        Some("replay") => cmd_replay(&args),
+        Some("trio") => cmd_trio(&args),
+        Some("compare") => cmd_compare(&args),
+        Some("summary") => cmd_summary(&args),
+        Some("clf") => cmd_clf(&args),
+        Some("protocols") => {
+            for kind in ProtocolKind::ALL {
+                let strength = if kind.is_strong() { "strong" } else { "weak" };
+                println!("{:<20} {strength}", kind.name());
+            }
+            Ok(())
+        }
+        _ => Err(usage().to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

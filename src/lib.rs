@@ -1,0 +1,38 @@
+//! # webcache — strong cache consistency for the World-Wide Web
+//!
+//! A from-scratch Rust reproduction of **Liu & Cao, "Maintaining Strong
+//! Cache Consistency in the World-Wide Web" (ICDCS 1997)**: the three
+//! consistency protocols (adaptive TTL, polling-every-time, invalidation),
+//! the lease-augmented and two-tier extensions, a Harvest-style simulated
+//! deployment (origin server + accelerator + proxy caches), calibrated
+//! synthetic versions of the five evaluation traces, a deterministic
+//! discrete-event simulator to replay them, and a real threaded TCP
+//! prototype exercising the same protocol state machines over sockets.
+//!
+//! This facade crate re-exports every sub-crate under a stable module path.
+//! Start with [`replay`] to run a paper experiment, or [`core`] for the
+//! protocol state machines themselves.
+//!
+//! ```
+//! use webcache::replay::{ExperimentConfig, run_experiment};
+//! use webcache::core::ProtocolKind;
+//! use webcache::traces::TraceSpec;
+//!
+//! // A miniature EPA-style replay under the invalidation protocol.
+//! let cfg = ExperimentConfig::builder(TraceSpec::epa().scaled_down(100))
+//!     .protocol(ProtocolKind::Invalidation)
+//!     .seed(42)
+//!     .build();
+//! let report = run_experiment(&cfg);
+//! assert_eq!(report.raw.final_violations, 0); // strong consistency held
+//! ```
+
+pub use wcc_cache as cache;
+pub use wcc_core as core;
+pub use wcc_httpsim as httpsim;
+pub use wcc_net as net;
+pub use wcc_proto as proto;
+pub use wcc_replay as replay;
+pub use wcc_simnet as simnet;
+pub use wcc_traces as traces;
+pub use wcc_types as types;

@@ -1,0 +1,71 @@
+//! The §4 failure scenarios, run across the invalidation protocol family:
+//! plain, lease-augmented and two-tier invalidation must all preserve
+//! strong consistency through proxy crashes, server crashes and partitions.
+
+use wcc_core::{ProtocolConfig, ProtocolKind};
+use wcc_replay::{
+    partition_scenario, proxy_crash_scenario, server_crash_scenario, ExperimentConfig,
+};
+use wcc_traces::TraceSpec;
+use wcc_types::SimDuration;
+
+fn cfg(kind: ProtocolKind) -> ExperimentConfig {
+    ExperimentConfig::builder(TraceSpec::sdsc().scaled_down(200))
+        .protocol_config(ProtocolConfig::new(kind).with_lease(SimDuration::from_days(2)))
+        .mean_lifetime(SimDuration::from_hours(3))
+        .seed(41)
+        .build()
+}
+
+fn inval_family() -> [ProtocolKind; 3] {
+    [
+        ProtocolKind::Invalidation,
+        ProtocolKind::LeaseInvalidation,
+        ProtocolKind::TwoTierLease,
+    ]
+}
+
+#[test]
+fn proxy_crash_matrix() {
+    for kind in inval_family() {
+        let out = proxy_crash_scenario(&cfg(kind), 0.3, 0.6);
+        let r = &out.report.raw;
+        assert!(r.finished, "{kind}");
+        assert_eq!(r.final_violations, 0, "{kind}");
+        assert_eq!(r.proxy_recoveries, 1, "{kind}");
+    }
+}
+
+#[test]
+fn server_crash_matrix() {
+    for kind in inval_family() {
+        let out = server_crash_scenario(&cfg(kind), 0.35, 0.55);
+        let r = &out.report.raw;
+        assert!(r.finished, "{kind}");
+        assert_eq!(r.final_violations, 0, "{kind}");
+        assert_eq!(r.bulk_invalidations, 4, "{kind}: one per proxy");
+    }
+}
+
+#[test]
+fn partition_matrix() {
+    for kind in inval_family() {
+        let out = partition_scenario(&cfg(kind), 0.3, 0.7);
+        let r = &out.report.raw;
+        assert!(r.finished, "{kind}");
+        assert_eq!(r.final_violations, 0, "{kind}");
+        assert!(r.writes_complete || r.gave_up == 0, "{kind}");
+    }
+}
+
+#[test]
+fn weak_protocols_survive_failures_too() {
+    // TTL and polling have no invalidation machinery, but the replay must
+    // still drain through crashes (timeout + retransmit does the work).
+    for kind in [ProtocolKind::AdaptiveTtl, ProtocolKind::PollEveryTime] {
+        let out = server_crash_scenario(&cfg(kind), 0.35, 0.55);
+        assert!(out.report.raw.finished, "{kind}");
+        // No site lists → no bulk invalidations on recovery.
+        assert_eq!(out.report.raw.bulk_invalidations, 0, "{kind}");
+    }
+}

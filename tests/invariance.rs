@@ -1,0 +1,102 @@
+//! Metamorphic invariances of the replay: quantities that must not depend
+//! on incidental deployment choices.
+
+// Building options by mutating a default is the intended style here.
+#![allow(clippy::field_reassign_with_default)]
+
+use wcc_core::{ProtocolConfig, ProtocolKind};
+use wcc_httpsim::{Deployment, DeploymentOptions};
+use wcc_replay::experiment::materialise;
+use wcc_replay::ExperimentConfig;
+use wcc_traces::TraceSpec;
+use wcc_types::SimDuration;
+
+/// With per-client cache scoping (the paper's emulation), every cache is
+/// private to one real client, so the wire-level protocol counters cannot
+/// depend on how clients are spread over pseudo-client machines.
+#[test]
+fn protocol_counters_are_partition_invariant() {
+    let base = ExperimentConfig::builder(TraceSpec::epa().scaled_down(120))
+        .mean_lifetime(SimDuration::from_days(5))
+        .seed(151)
+        .build();
+    let (trace, mods) = materialise(&base);
+    for kind in [
+        ProtocolKind::AdaptiveTtl,
+        ProtocolKind::PollEveryTime,
+        ProtocolKind::Invalidation,
+        ProtocolKind::VolumeLease,
+    ] {
+        let cfg = ProtocolConfig::new(kind);
+        let mut baseline = None;
+        for num_proxies in [1u32, 2, 4, 8] {
+            let mut options = DeploymentOptions::default();
+            options.num_proxies = num_proxies;
+            let mut d = Deployment::build(&trace, &mods, &cfg, options);
+            d.run();
+            let r = d.collect();
+            assert!(r.finished, "{kind}/{num_proxies}");
+            let key = (
+                r.requests,
+                r.hits,
+                r.gets,
+                r.ims,
+                r.replies_200,
+                r.replies_304,
+                r.invalidations - r.invalidation_retries,
+                r.stale_hits,
+                r.final_violations,
+            );
+            match &baseline {
+                None => baseline = Some(key),
+                Some(b) => assert_eq!(
+                    &key, b,
+                    "{kind}: counters changed with {num_proxies} proxies"
+                ),
+            }
+        }
+    }
+}
+
+/// The modifier's schedule (and therefore every protocol decision) runs on
+/// trace time, so scaling the cost model must not change protocol counters —
+/// only wall-clock quantities (latency, CPU).
+#[test]
+fn protocol_counters_are_cost_model_invariant() {
+    let base = ExperimentConfig::builder(TraceSpec::sdsc().scaled_down(120))
+        .mean_lifetime(SimDuration::from_days(3))
+        .seed(152)
+        .build();
+    let (trace, mods) = materialise(&base);
+    let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
+
+    let run = |speedup: u64| {
+        let mut options = DeploymentOptions::default();
+        let c = &mut options.costs;
+        for d in [
+            &mut c.request_parse,
+            &mut c.serve_200_base,
+            &mut c.serve_304,
+            &mut c.proxy_request_cpu,
+            &mut c.proxy_hit_cpu,
+            &mut c.inval_send,
+        ] {
+            *d = d.div(speedup);
+        }
+        let mut d = Deployment::build(&trace, &mods, &cfg, options);
+        d.run();
+        d.collect()
+    };
+    let slow = run(1);
+    let fast = run(4);
+    assert_eq!(slow.gets, fast.gets);
+    assert_eq!(slow.ims, fast.ims);
+    assert_eq!(slow.replies_200, fast.replies_200);
+    assert_eq!(
+        slow.invalidations - slow.invalidation_retries,
+        fast.invalidations - fast.invalidation_retries
+    );
+    assert_eq!(slow.hits, fast.hits);
+    // Wall quantities do change.
+    assert!(fast.wall_duration < slow.wall_duration);
+}

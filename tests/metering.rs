@@ -1,0 +1,90 @@
+//! Integration tests for the §7 hit-metering merge.
+
+use wcc_core::ProtocolKind;
+use wcc_replay::experiment::{materialise, run_on};
+use wcc_replay::ExperimentConfig;
+use wcc_traces::TraceSpec;
+use wcc_types::SimDuration;
+
+fn run_cfg(protocol: wcc_core::ProtocolConfig) -> (u64, wcc_httpsim::RawReport) {
+    let base = ExperimentConfig::builder(TraceSpec::epa().scaled_down(80))
+        .mean_lifetime(SimDuration::from_days(5))
+        .seed(101)
+        .build();
+    let (trace, mods) = materialise(&base);
+    let mut cfg = base.clone();
+    cfg.protocol = protocol;
+    (trace.records.len() as u64, run_on(&cfg, &trace, &mods).raw)
+}
+
+fn run(kind: ProtocolKind) -> (u64, wcc_httpsim::RawReport) {
+    run_cfg(wcc_core::ProtocolConfig::new(kind))
+}
+
+#[test]
+fn metered_views_never_exceed_true_requests() {
+    // Reports can be lost (evictions, end-of-run residue) but never
+    // invented: metered ≤ actual, and metered ≥ server-visible.
+    for kind in ProtocolKind::ALL {
+        let (actual, r) = run(kind);
+        let metered = r.metered_served + r.metered_reported;
+        assert!(
+            metered <= actual,
+            "{kind}: metered {metered} > actual {actual}"
+        );
+        assert!(metered >= r.metered_served);
+        // Retransmissions can inflate server-visible slightly; allow them.
+        assert!(
+            r.metered_served <= r.gets + r.ims,
+            "{kind}: served {} vs wire {}",
+            r.metered_served,
+            r.gets + r.ims
+        );
+    }
+}
+
+#[test]
+fn polling_needs_no_reports_and_misses_nothing() {
+    let (actual, r) = run(ProtocolKind::PollEveryTime);
+    assert_eq!(r.metered_reported, 0);
+    assert_eq!(r.metered_served, actual + r.revalidation_races);
+}
+
+#[test]
+fn validating_protocols_recover_most_views_through_reports() {
+    // Protocols that periodically revalidate get frequent report
+    // opportunities and recover most of the true count. (The lease must be
+    // short enough to expire within the one-day trace.)
+    let cases = [
+        wcc_core::ProtocolConfig::new(ProtocolKind::AdaptiveTtl),
+        wcc_core::ProtocolConfig::new(ProtocolKind::LeaseInvalidation)
+            .with_lease(SimDuration::from_hours(2)),
+    ];
+    for cfg in cases {
+        let kind = cfg.kind;
+        let (actual, r) = run_cfg(cfg);
+        let metered = r.metered_served + r.metered_reported;
+        // The server alone undercounts…
+        assert!(r.metered_served < actual, "{kind}");
+        // …and recovery should beat 80% on this workload.
+        assert!(
+            metered as f64 > actual as f64 * 0.8,
+            "{kind}: recovered only {metered}/{actual}"
+        );
+    }
+    // Plain invalidation (infinite leases) only reports on invalidation
+    // acks, so with low churn recovery is structurally worse — but reports
+    // must still help.
+    let (_, r) = run(ProtocolKind::Invalidation);
+    let metered = r.metered_served + r.metered_reported;
+    assert!(metered > r.metered_served, "acks should add reported hits");
+}
+
+#[test]
+fn invalidation_reports_ride_the_acks() {
+    let (_, r) = run(ProtocolKind::Invalidation);
+    // Plain invalidation never revalidates, so every reported hit must have
+    // arrived on an invalidation acknowledgement.
+    assert_eq!(r.ims, 0);
+    assert!(r.metered_reported > 0, "acks should carry hit reports");
+}

@@ -1,0 +1,65 @@
+//! Integration tests for the PSI (piggyback server invalidation) extension.
+
+use wcc_core::ProtocolKind;
+use wcc_replay::experiment::{materialise, run_on};
+use wcc_replay::ExperimentConfig;
+use wcc_traces::TraceSpec;
+use wcc_types::SimDuration;
+
+fn reports() -> (wcc_httpsim::RawReport, wcc_httpsim::RawReport, wcc_httpsim::RawReport) {
+    let base = ExperimentConfig::builder(TraceSpec::sask().scaled_down(60))
+        .mean_lifetime(SimDuration::from_days(7))
+        .seed(91)
+        .build();
+    let (trace, mods) = materialise(&base);
+    let run = |kind: ProtocolKind| {
+        let mut cfg = base.clone();
+        cfg.protocol = wcc_core::ProtocolConfig::new(kind);
+        run_on(&cfg, &trace, &mods).raw
+    };
+    (
+        run(ProtocolKind::PiggybackInvalidation),
+        run(ProtocolKind::Invalidation),
+        run(ProtocolKind::AdaptiveTtl),
+    )
+}
+
+#[test]
+fn psi_sends_no_dedicated_messages() {
+    let (psi, push, _ttl) = reports();
+    assert_eq!(psi.invalidations, 0, "PSI never pushes");
+    assert_eq!(psi.ims, 0, "PSI trusts its leases; no validations");
+    assert!(psi.piggybacked > 0, "invalidations must ride replies");
+    assert!(push.piggybacked == 0);
+    // Cheapest on the wire: strictly fewer messages than push invalidation.
+    assert!(
+        psi.total_messages < push.total_messages,
+        "psi {} vs push {}",
+        psi.total_messages,
+        push.total_messages
+    );
+}
+
+#[test]
+fn psi_staleness_is_nonzero_but_write_completion_is_trivial() {
+    let (psi, push, _ttl) = reports();
+    // Weak consistency: some staleness expected (copies outlive
+    // modifications until the site's next contact).
+    assert!(psi.stale_hits > 0, "PSI should show bounded staleness");
+    assert_eq!(push.stale_hits, 0);
+    // PSI has no pending pushes by construction.
+    assert!(psi.writes_complete);
+}
+
+#[test]
+fn psi_bytes_track_the_other_protocols() {
+    let (psi, push, ttl) = reports();
+    let base = push.total_bytes.as_u64() as f64;
+    for (name, r) in [("psi", &psi), ("ttl", &ttl)] {
+        let ratio = r.total_bytes.as_u64() as f64 / base;
+        assert!(
+            (0.95..=1.05).contains(&ratio),
+            "{name} byte ratio {ratio}"
+        );
+    }
+}

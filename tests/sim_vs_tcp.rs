@@ -1,0 +1,76 @@
+//! Cross-validation: the DES deployment and the real-TCP prototype run the
+//! same protocol state machines, so an identical request sequence (no
+//! modifications, one proxy) must produce identical protocol counters.
+
+// Building options by mutating a default is the intended style here.
+#![allow(clippy::field_reassign_with_default)]
+
+use wcc_core::{ProtocolConfig, ProtocolKind};
+use wcc_httpsim::{Deployment, DeploymentOptions};
+use wcc_net::{NetOrigin, NetProxy, OriginConfig};
+use wcc_traces::{synthetic, ModSchedule, TraceSpec};
+use wcc_types::ByteSize;
+
+fn crosscheck(kind: ProtocolKind) {
+    let spec = TraceSpec::sdsc().scaled_down(150);
+    let trace = synthetic::generate(&spec, 13);
+    let mods = ModSchedule::none(spec.num_docs);
+    let cfg = ProtocolConfig::new(kind);
+
+    // Simulator, one pseudo-client.
+    let mut options = DeploymentOptions::default();
+    options.num_proxies = 1;
+    let mut deployment = Deployment::build(&trace, &mods, &cfg, options);
+    deployment.run();
+    let sim = deployment.collect();
+
+    // Real TCP, one proxy, same sequential request order.
+    let origin = NetOrigin::spawn(OriginConfig {
+        server: trace.server,
+        doc_sizes: trace.doc_sizes.clone(),
+        protocol: cfg.clone(),
+        doc_scale: 100,
+    })
+    .expect("origin");
+    let proxy =
+        NetProxy::spawn(origin.addr(), &cfg, 0, 1, ByteSize::from_gib(4)).expect("proxy");
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    for rec in &trace.records {
+        proxy
+            .fetch(rec.client, rec.url, rec.at)
+            .expect("fetch over loopback");
+    }
+    let net = proxy.counters();
+    let snap = origin.snapshot();
+
+    assert_eq!(net.requests, sim.requests, "{kind}: requests");
+    assert_eq!(net.hits, sim.hits, "{kind}: hits");
+    assert_eq!(net.gets_sent, sim.gets, "{kind}: GETs");
+    assert_eq!(net.ims_sent, sim.ims, "{kind}: IMS");
+    assert_eq!(net.replies_200, sim.replies_200, "{kind}: 200s");
+    assert_eq!(net.replies_304, sim.replies_304, "{kind}: 304s");
+    assert_eq!(
+        snap.sitelist.total_entries, sim.sitelist.total_entries,
+        "{kind}: site lists"
+    );
+}
+
+#[test]
+fn adaptive_ttl_counters_agree() {
+    crosscheck(ProtocolKind::AdaptiveTtl);
+}
+
+#[test]
+fn polling_counters_agree() {
+    crosscheck(ProtocolKind::PollEveryTime);
+}
+
+#[test]
+fn invalidation_counters_agree() {
+    crosscheck(ProtocolKind::Invalidation);
+}
+
+#[test]
+fn two_tier_counters_agree() {
+    crosscheck(ProtocolKind::TwoTierLease);
+}
