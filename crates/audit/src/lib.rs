@@ -1,0 +1,24 @@
+//! Static verification of the strong-consistency invariants.
+//!
+//! Two engines, both passive:
+//!
+//! * [`audit`] — the **protocol auditor**: replays a recorded
+//!   [`AuditEvent`](wcc_types::AuditEvent) stream (emitted by the replay
+//!   harness when [`DeploymentOptions::audit`] is set) and checks the
+//!   paper's invariants — staleness-freedom, write completion, site-list
+//!   conservation and lease safety — reporting each violation together with
+//!   the offending event subsequence.
+//! * [`lint`] — the **repo lint engine**: a std-only scanner over the
+//!   workspace sources enforcing deny-by-default hygiene rules (no ambient
+//!   wall clocks, no `unwrap` in protocol crates, no `thread::sleep` in
+//!   simulation code, no `todo!`), driven by the `xtask-lint` binary.
+//!
+//! [`DeploymentOptions::audit`]: https://docs.rs/wcc-httpsim
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lint;
+mod protocol;
+
+pub use protocol::{audit, AuditReport, Check, Expectations, Violation};

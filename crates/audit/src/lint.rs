@@ -1,0 +1,472 @@
+//! The repo lint engine: a std-only source scanner enforcing the
+//! workspace's determinism and error-handling rules.
+//!
+//! Deny by default, allow by exception:
+//!
+//! * **wall-clock** — no `SystemTime::now` / `Instant::now` outside the
+//!   [`WallClock`](wcc_types::WallClock) abstraction in
+//!   `crates/types/src/time.rs`. Simulated protocols must take time from
+//!   the discrete-event clock, or determinism dies.
+//! * **unwrap** — no `.unwrap()` / `.expect(` in non-test code of the
+//!   protocol crates (`core`, `proto`, `cache`): protocol paths must handle
+//!   their errors.
+//! * **sleep** — no `std::thread::sleep` in simulation crates (everything
+//!   except `crates/net`, whose whole point is real sockets and real time).
+//! * **todo** — no `todo!` / `unimplemented!` anywhere.
+//!
+//! Matching runs on *code only*: string literals and comments are blanked
+//! first, and items under `#[cfg(test)]` are skipped for all rules except
+//! `todo`. A finding can be waived in place with a
+//! `// xtask-lint: allow(<rule>)` marker on the offending line.
+
+use std::fmt;
+use std::path::Path;
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// What to do about it.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+struct Rule {
+    name: &'static str,
+    needles: &'static [&'static str],
+    message: &'static str,
+    /// Whether the rule applies to this workspace-relative path at all.
+    in_scope: fn(&str) -> bool,
+    /// Whether this path is on the rule's explicit allowlist.
+    allowed: fn(&str) -> bool,
+    /// Whether the rule also inspects `#[cfg(test)]` code.
+    include_tests: bool,
+}
+
+fn protocol_crate(path: &str) -> bool {
+    path.starts_with("crates/core/src/")
+        || path.starts_with("crates/proto/src/")
+        || path.starts_with("crates/cache/src/")
+}
+
+fn simulation_code(path: &str) -> bool {
+    // Everything except the real-network crate runs under the simulated
+    // clock; `crates/net` is the one place wall-time waiting is legitimate.
+    (path.starts_with("crates/") && !path.starts_with("crates/net/")) || path.starts_with("src/")
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        name: "wall-clock",
+        needles: &["SystemTime::now", "Instant::now"],
+        message: "ambient wall clock breaks replay determinism; use \
+                  wcc_types::WallClock (crates/types/src/time.rs)",
+        in_scope: |_| true,
+        allowed: |path| path == "crates/types/src/time.rs",
+        include_tests: false,
+    },
+    Rule {
+        name: "unwrap",
+        needles: &[".unwrap()", ".expect("],
+        message: "protocol crates must not panic on recoverable states; \
+                  return or propagate the error",
+        in_scope: protocol_crate,
+        allowed: |_| false,
+        include_tests: false,
+    },
+    Rule {
+        name: "sleep",
+        needles: &["thread::sleep"],
+        message: "simulation code must advance the discrete-event clock, \
+                  not the OS scheduler",
+        in_scope: simulation_code,
+        allowed: |_| false,
+        include_tests: false,
+    },
+    Rule {
+        name: "todo",
+        needles: &["todo!", "unimplemented!"],
+        message: "no unfinished code paths",
+        in_scope: |_| true,
+        allowed: |_| false,
+        include_tests: true,
+    },
+];
+
+/// Blanks comments, string literals and char literals, preserving line
+/// structure, so needle matching only sees code.
+fn strip_code(source: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+    }
+    let mut state = State::Code;
+    let mut out = Vec::new();
+    for line in source.lines() {
+        let chars: Vec<char> = line.chars().collect();
+        let mut stripped = String::with_capacity(chars.len());
+        let mut i = 0;
+        while i < chars.len() {
+            match state {
+                State::Code => {
+                    let c = chars[i];
+                    let next = chars.get(i + 1).copied();
+                    let raw_str = c == 'r'
+                        && matches!(next, Some('"') | Some('#'))
+                        && !stripped.ends_with(|p: char| p.is_alphanumeric() || p == '_');
+                    if c == '/' && next == Some('/') {
+                        break; // line comment: rest of line is not code
+                    } else if c == '/' && next == Some('*') {
+                        state = State::BlockComment(1);
+                        stripped.push(' ');
+                        i += 2;
+                    } else if c == '"' {
+                        state = State::Str;
+                        stripped.push(' ');
+                        i += 1;
+                    } else if raw_str {
+                        let hashes = chars[i + 1..].iter().take_while(|&&h| h == '#').count();
+                        if chars.get(i + 1 + hashes) == Some(&'"') {
+                            state = State::RawStr(hashes);
+                            stripped.push(' ');
+                            i += 2 + hashes;
+                        } else {
+                            stripped.push(c); // `r#ident` raw identifier
+                            i += 1;
+                        }
+                    } else if c == '\'' {
+                        // Char literal or lifetime. A char literal closes
+                        // within a few chars; a lifetime has no closing '.
+                        let close = if next == Some('\\') {
+                            // escaped char: find the next unescaped quote
+                            chars[i + 2..].iter().position(|&c| c == '\'').map(|p| i + 2 + p)
+                        } else {
+                            (chars.get(i + 2) == Some(&'\'')).then_some(i + 2)
+                        };
+                        match close {
+                            Some(end) => {
+                                stripped.push(' ');
+                                i = end + 1;
+                            }
+                            None => {
+                                stripped.push(c); // lifetime: keep as code
+                                i += 1;
+                            }
+                        }
+                    } else {
+                        stripped.push(c);
+                        i += 1;
+                    }
+                }
+                State::BlockComment(depth) => {
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::BlockComment(depth - 1)
+                        };
+                        i += 2;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::BlockComment(depth + 1);
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::Str => {
+                    if chars[i] == '\\' {
+                        i += 2;
+                    } else if chars[i] == '"' {
+                        state = State::Code;
+                        i += 1;
+                    } else {
+                        i += 1;
+                    }
+                }
+                State::RawStr(hashes) => {
+                    let closed = chars[i] == '"'
+                        && chars[i + 1..].iter().take_while(|&&h| h == '#').count() >= hashes;
+                    if closed {
+                        state = State::Code;
+                        i += 1 + hashes;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(stripped);
+    }
+    out
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item.
+fn test_mask(stripped: &[String]) -> Vec<bool> {
+    let mut mask = vec![false; stripped.len()];
+    let mut i = 0;
+    while i < stripped.len() {
+        if !stripped[i].trim_start().starts_with("#[cfg(test)]") {
+            i += 1;
+            continue;
+        }
+        // Skip to the item's body: the first '{' opens it; a ';' first
+        // means a bodyless item (`mod tests;`).
+        let mut j = i;
+        let mut depth = 0i64;
+        let mut opened = false;
+        'item: while j < stripped.len() {
+            mask[j] = true;
+            for c in stripped[j].chars() {
+                match c {
+                    '{' => {
+                        opened = true;
+                        depth += 1;
+                    }
+                    '}' => {
+                        depth -= 1;
+                        if opened && depth == 0 {
+                            break 'item;
+                        }
+                    }
+                    ';' if !opened => break 'item,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        i = j + 1;
+    }
+    mask
+}
+
+/// Scans one source file. `path` must be workspace-relative with forward
+/// slashes (it selects which rules apply).
+pub fn scan_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    let stripped = strip_code(source);
+    let mask = test_mask(&stripped);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let mut findings = Vec::new();
+    for rule in RULES {
+        if !(rule.in_scope)(path) || (rule.allowed)(path) {
+            continue;
+        }
+        for (idx, code) in stripped.iter().enumerate() {
+            if mask[idx] && !rule.include_tests {
+                continue;
+            }
+            if !rule.needles.iter().any(|n| code.contains(n)) {
+                continue;
+            }
+            let waiver = format!("xtask-lint: allow({})", rule.name);
+            if raw_lines.get(idx).is_some_and(|raw| raw.contains(&waiver)) {
+                continue;
+            }
+            findings.push(Diagnostic {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: rule.name,
+                message: rule.message.to_string(),
+            });
+        }
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Scans the workspace rooted at `root`: `src/` and every `crates/*/src/`.
+/// Vendored shims are never scanned. Returns diagnostics sorted by path
+/// and line.
+pub fn scan_tree(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut files: Vec<std::path::PathBuf> = Vec::new();
+    let src = root.join("src");
+    if src.is_dir() {
+        collect_rs(&src, &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<_> = std::fs::read_dir(&crates)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        members.sort();
+        for member in members {
+            let member_src = member.join("src");
+            if member_src.is_dir() {
+                collect_rs(&member_src, &mut files)?;
+            }
+        }
+    }
+    files.sort();
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&file)?;
+        findings.extend(scan_source(&rel, &source));
+    }
+    Ok(findings)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_fired(path: &str, source: &str) -> Vec<&'static str> {
+        scan_source(path, source).into_iter().map(|d| d.rule).collect()
+    }
+
+    #[test]
+    fn wall_clock_denied_everywhere_but_time_rs() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(rules_fired("crates/simnet/src/lib.rs", src), ["wall-clock"]);
+        assert_eq!(rules_fired("crates/net/src/origin.rs", src), ["wall-clock"]);
+        assert!(rules_fired("crates/types/src/time.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_denied_only_in_protocol_crates() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(rules_fired("crates/core/src/server.rs", src), ["unwrap"]);
+        assert_eq!(rules_fired("crates/proto/src/wire.rs", src), ["unwrap"]);
+        assert_eq!(rules_fired("crates/cache/src/store.rs", src), ["unwrap"]);
+        assert!(rules_fired("crates/httpsim/src/proxy.rs", src).is_empty());
+        let expect = "fn f(x: Option<u32>) -> u32 { x.expect(\"set\") }\n";
+        assert_eq!(rules_fired("crates/core/src/server.rs", expect), ["unwrap"]);
+    }
+
+    #[test]
+    fn sleep_denied_in_simulation_code_allowed_in_net() {
+        let src = "fn f() { std::thread::sleep(d); }\n";
+        assert_eq!(rules_fired("crates/core/src/server.rs", src), ["sleep"]);
+        assert_eq!(rules_fired("src/bin/paper.rs", src), ["sleep"]);
+        assert!(rules_fired("crates/net/src/tcp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn todo_denied_everywhere_even_in_tests() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { todo!() }\n}\n";
+        let d = scan_source("crates/net/src/lib.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "todo");
+        assert_eq!(d[0].line, 3);
+        assert_eq!(
+            rules_fired("crates/traces/src/lib.rs", "fn g() { unimplemented!() }\n"),
+            ["todo"]
+        );
+    }
+
+    #[test]
+    fn cfg_test_items_are_skipped() {
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x = Some(1).unwrap();
+        std::thread::sleep(std::time::Duration::from_secs(1));
+    }
+}
+";
+        assert!(scan_source("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_cfg_test_item_is_still_scanned() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() { Some(1).unwrap(); }
+}
+fn live(x: Option<u32>) -> u32 { x.unwrap() }
+";
+        let d = scan_source("crates/core/src/lib.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 5);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trigger() {
+        let src = "\
+// calls Instant::now() under the hood
+/* and .unwrap() too,
+   across lines */
+fn f() -> &'static str { \"Instant::now() .unwrap() todo!\" }
+/// Docs may say thread::sleep freely.
+fn g() {}
+";
+        assert!(scan_source("crates/core/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_survive_stripping() {
+        let src = "fn f<'a>(x: &'a str) -> char { let q = '\"'; let n = '\\n'; q }\n";
+        assert!(scan_source("crates/core/src/lib.rs", src).is_empty());
+        // The stripper must not let a char literal swallow the rest of the
+        // line as a string.
+        let sneaky = "fn f() { let c = 'x'; Some(1).unwrap(); }\n";
+        assert_eq!(rules_fired("crates/core/src/lib.rs", sneaky), ["unwrap"]);
+    }
+
+    #[test]
+    fn inline_waiver_suppresses_one_line() {
+        let src = "\
+fn f() { Some(1).unwrap() } // xtask-lint: allow(unwrap)
+fn g() { Some(1).unwrap() }
+";
+        let d = scan_source("crates/core/src/lib.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        // The waiver is rule-specific.
+        let wrong = "fn f() { Some(1).unwrap() } // xtask-lint: allow(sleep)\n";
+        assert_eq!(rules_fired("crates/core/src/lib.rs", wrong), ["unwrap"]);
+    }
+
+    #[test]
+    fn diagnostics_carry_position_and_render() {
+        let src = "fn a() {}\nfn f() { Some(1).unwrap(); }\n";
+        let d = scan_source("crates/core/src/server.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+        let rendered = d[0].to_string();
+        assert!(rendered.starts_with("crates/core/src/server.rs:2: [unwrap]"));
+    }
+}

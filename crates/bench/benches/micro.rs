@@ -4,7 +4,6 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 use wcc_cache::{CacheStore, Freshness, ReplacementPolicy};
 use wcc_core::analytical::{parse_stream, simulate};
 use wcc_core::{InvalidationTable, ProtocolConfig, ProtocolKind};

@@ -149,7 +149,9 @@ impl ServerConsistency {
             }
         };
         let mut new_site_disk_write = false;
-        if register {
+        // Every registering policy grants a lease, so destructuring both
+        // together keeps that invariant in the types instead of a panic.
+        if let (true, Some(expiry)) = (register, lease) {
             self.stats.registrations += 1;
             // "A disk access is only necessary when a new client site which
             // has never been seen before contacts the server."
@@ -157,8 +159,7 @@ impl ServerConsistency {
                 self.stats.recovery_disk_writes += 1;
                 new_site_disk_write = true;
             }
-            self.table
-                .register(url, client, lease.expect("registering implies a lease"));
+            self.table.register(url, client, expiry);
         }
         // PSI / volume leases: deliver any invalidations queued for this
         // site on this reply (its own freshly-requested document needs no

@@ -284,5 +284,54 @@ mod proptests {
                     *d == 0 && ClientId::from_raw(*cl) == c && SimTime::from_secs(*e) > now));
             }
         }
+
+        /// Conservation: across any op sequence the table tracks exactly the
+        /// registered-and-not-yet-removed entries — every entry that leaves
+        /// does so through `take_sites`, `purge_expired`, or `unregister`,
+        /// and the live subset returned by `take_sites` matches a shadow map.
+        #[test]
+        fn entries_are_conserved_across_op_sequences(
+            ops in proptest::collection::vec((0u8..4, 0u32..4, 0u32..6, 0u64..100), 1..120),
+        ) {
+            use std::collections::HashMap;
+            let mut t = InvalidationTable::new();
+            // Shadow model: (doc, client) -> lease expiry (max wins).
+            let mut shadow: HashMap<(u32, u32), SimTime> = HashMap::new();
+            for (op, doc, cl, tick) in ops {
+                let u = Url::new(ServerId::new(0), doc);
+                let c = ClientId::from_raw(cl);
+                let at = SimTime::from_secs(tick);
+                match op {
+                    0 => {
+                        t.register(u, c, at);
+                        let e = shadow.entry((doc, cl)).or_insert(at);
+                        *e = (*e).max(at);
+                    }
+                    1 => {
+                        let taken = t.take_sites(u, at);
+                        let mut expect: Vec<ClientId> = shadow
+                            .iter()
+                            .filter(|(&(d, _), &exp)| d == doc && exp > at)
+                            .map(|(&(_, raw), _)| ClientId::from_raw(raw))
+                            .collect();
+                        expect.sort_unstable();
+                        prop_assert_eq!(taken, expect);
+                        shadow.retain(|&(d, _), _| d != doc);
+                    }
+                    2 => {
+                        let purged = t.purge_expired(at);
+                        let before = shadow.len();
+                        shadow.retain(|_, &mut exp| exp > at);
+                        prop_assert_eq!(purged, (before - shadow.len()) as u64);
+                    }
+                    _ => {
+                        let was = t.unregister(u, c);
+                        prop_assert_eq!(was, shadow.remove(&(doc, cl)).is_some());
+                    }
+                }
+                prop_assert_eq!(t.total_entries(), shadow.len() as u64);
+                prop_assert_eq!(t.stats().total_entries, shadow.len() as u64);
+            }
+        }
     }
 }

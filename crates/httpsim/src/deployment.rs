@@ -13,7 +13,7 @@ use wcc_cache::{CacheStore, ReplacementPolicy};
 use wcc_core::{ProtocolConfig, ProtocolKind, ProxyPolicy, ServerConsistency, SiteListStats};
 use wcc_simnet::{FaultPlan, LinkSpec, NetworkConfig, Simulation, Summary};
 use wcc_traces::{ModSchedule, Trace};
-use wcc_types::{ByteSize, ClientId, NodeId, SimDuration, SimTime, Url};
+use wcc_types::{AuditEvent, ByteSize, ClientId, NodeId, SimDuration, SimTime, Url};
 
 /// How the accelerator transmits invalidation batches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -111,6 +111,9 @@ pub struct DeploymentOptions {
     pub detection: ChangeDetection,
     /// Flat (paper) or hierarchical topology.
     pub topology: Topology,
+    /// Record an [`AuditEvent`] stream during the replay so the
+    /// consistency auditor ([`Deployment::audit`]) can verify the run.
+    pub audit: bool,
 }
 
 impl Default for DeploymentOptions {
@@ -129,6 +132,7 @@ impl Default for DeploymentOptions {
             sharing: CacheSharing::PerClient,
             detection: ChangeDetection::Notify,
             topology: Topology::Flat,
+            audit: false,
         }
     }
 }
@@ -336,6 +340,14 @@ impl Deployment {
         participants.extend(&origins);
         sim.node_mut::<CoordinatorNode>(coordinator)
             .set_participants(participants);
+        if options.audit {
+            for &o in &origins {
+                sim.node_mut::<OriginNode>(o).enable_audit();
+            }
+            for &p in &proxies {
+                sim.node_mut::<ProxyNode>(p).enable_audit();
+            }
+        }
 
         Deployment {
             sim,
@@ -418,6 +430,44 @@ impl Deployment {
     /// The parent proxy, if running in hierarchy mode (after `run`).
     pub fn parent(&self) -> Option<&ParentNode> {
         self.parent.map(|p| self.sim.node_ref(p))
+    }
+
+    /// The merged audit-event stream: every origin's log, then every
+    /// proxy's, stably sorted by simulator time (so same-instant events
+    /// keep server-before-proxy, per-node append order). Empty unless the
+    /// deployment was built with [`DeploymentOptions::audit`].
+    pub fn audit_log(&self) -> Vec<AuditEvent> {
+        let mut log: Vec<AuditEvent> = Vec::new();
+        for i in 0..self.origins.len() {
+            log.extend_from_slice(self.origin_at(i).audit_log());
+        }
+        for i in 0..self.proxies.len() {
+            log.extend_from_slice(self.proxy(i).audit_log());
+        }
+        log.sort_by_key(AuditEvent::at);
+        log
+    }
+
+    /// Runs the consistency auditor over the recorded event stream,
+    /// cross-checking it against the servers' own end-of-run counters.
+    /// Meaningful only after [`run`](Deployment::run) on a deployment built
+    /// with [`DeploymentOptions::audit`].
+    pub fn audit(&self) -> wcc_audit::AuditReport {
+        let mut expect = wcc_audit::Expectations::default();
+        expect.writes_complete = true;
+        for i in 0..self.origins.len() {
+            let consistency = self.origin_at(i).consistency();
+            let stats = consistency.stats();
+            expect.registrations += stats.registrations;
+            expect.fresh_invalidations += stats.invalidations_sent;
+            let s = consistency.table().stats();
+            expect.sitelist.storage += s.storage;
+            expect.sitelist.total_entries += s.total_entries;
+            expect.sitelist.tracked_documents += s.tracked_documents;
+            expect.sitelist.max_list_len = expect.sitelist.max_list_len.max(s.max_list_len);
+            expect.writes_complete &= consistency.writes_complete();
+        }
+        wcc_audit::audit(self.protocol, &self.audit_log(), Some(&expect))
     }
 
     /// Aggregates every counter into a [`RawReport`].
@@ -910,6 +960,15 @@ mod tests {
             spec.num_docs,
             SimDuration::from_hours(12),
             spec.duration,
+            11,
+        );
+        // Steer re-reads into the window right after each write so the churn
+        // actually lands on cached copies.
+        let trace = synthetic::with_modification_interest(
+            &trace,
+            &mods,
+            0.5,
+            SimDuration::from_hours(2),
             11,
         );
         let cfg = ProtocolConfig::new(ProtocolKind::AdaptiveTtl);

@@ -7,7 +7,9 @@ use std::collections::HashMap;
 use wcc_core::{HitMeter, ServerConsistency};
 use wcc_proto::{CoordMsg, GetRequest, HttpMsg, Message, Reply, ReplyStatus};
 use wcc_simnet::{Ctx, Node, Summary};
-use wcc_types::{Body, ByteSize, ClientId, DocMeta, NodeId, ServerId, SimDuration, SimTime, Url};
+use wcc_types::{
+    AuditEvent, Body, ByteSize, ClientId, DocMeta, NodeId, ServerId, SimDuration, SimTime, Url,
+};
 
 /// Counters the origin maintains for the report (Tables 3–5 inputs).
 #[derive(Debug, Default, Clone)]
@@ -132,6 +134,8 @@ pub struct OriginNode {
     /// reported by the caches.
     pub(crate) meter: HitMeter,
     pub(crate) counters: OriginCounters,
+    /// Audit-event log, recorded only when the deployment enables auditing.
+    audit: Option<Vec<AuditEvent>>,
 }
 
 impl OriginNode {
@@ -169,11 +173,57 @@ impl OriginNode {
             inval_time: Summary::default(),
             meter: HitMeter::new(),
             counters: OriginCounters::default(),
+            audit: None,
         }
     }
 
     pub(crate) fn set_coordinator(&mut self, coord: NodeId) {
         self.coordinator = Some(coord);
+    }
+
+    pub(crate) fn enable_audit(&mut self) {
+        self.audit = Some(Vec::new());
+    }
+
+    /// The audit-event log (empty slice when auditing is disabled).
+    pub fn audit_log(&self) -> &[AuditEvent] {
+        self.audit.as_deref().unwrap_or(&[])
+    }
+
+    fn record(&mut self, ev: AuditEvent) {
+        if let Some(log) = self.audit.as_mut() {
+            log.push(ev);
+        }
+    }
+
+    /// Runs `on_modify` and records the fan-out decision: `fresh` is what
+    /// the site list contributed this time, `resent` the still-unacked
+    /// leftovers from earlier fan-outs that ride along.
+    fn audited_modify(&mut self, url: Url, version: SimTime, now: SimTime) -> Vec<ClientId> {
+        let pending_before = if self.audit.is_some() {
+            self.consistency.pending_for(url)
+        } else {
+            Vec::new()
+        };
+        let recipients = self.consistency.on_modify(url, version);
+        if self.audit.is_some() {
+            let (mut fresh, mut resent) = (Vec::new(), Vec::new());
+            for &c in &recipients {
+                if pending_before.binary_search(&c).is_ok() {
+                    resent.push(c);
+                } else {
+                    fresh.push(c);
+                }
+            }
+            self.record(AuditEvent::ModifyFanout {
+                url,
+                version,
+                fresh,
+                resent,
+                at: now,
+            });
+        }
+        recipients
     }
 
     /// The server-side protocol state (site lists, pending invalidations).
@@ -221,7 +271,7 @@ impl OriginNode {
             if self.versions[doc] > self.acked_versions[doc] {
                 self.acked_versions[doc] = self.versions[doc];
                 let at = self.versions[doc];
-                let recipients = self.consistency.on_modify(get.url, at);
+                let recipients = self.audited_modify(get.url, at, ctx.now());
                 self.counters.deferred_detections += 1;
                 self.fan_out(get.url, recipients, false, ctx);
             }
@@ -241,6 +291,14 @@ impl OriginNode {
         if grant.new_site_disk_write {
             self.counters.disk_writes += 1; // persistent ever-seen list
             ctx.consume(self.costs.log_write_cpu);
+        }
+        if let (true, Some(lease)) = (grant.register, grant.lease) {
+            self.record(AuditEvent::Register {
+                url: get.url,
+                client: get.client,
+                lease,
+                at: ctx.now(),
+            });
         }
         let status = if grant.send_body {
             let scaled = meta.size().as_u64() / self.costs.doc_scale.max(1);
@@ -283,6 +341,16 @@ impl OriginNode {
         if recipients.is_empty() {
             return;
         }
+        if self.audit.is_some() {
+            for &client in &recipients {
+                self.record(AuditEvent::InvalidateSend {
+                    url,
+                    client,
+                    retry,
+                    at: ctx.now(),
+                });
+            }
+        }
         let n = recipients.len() as u64;
         match self.send_mode {
             InvalSendMode::Synchronous => {
@@ -322,13 +390,18 @@ impl OriginNode {
         let doc = url.doc();
         self.versions[doc as usize] = self.versions[doc as usize].max(at);
         self.touch_log.push((doc, at));
+        self.record(AuditEvent::Touch {
+            url,
+            version: at,
+            at: ctx.now(),
+        });
         if self.detection == ChangeDetection::BrowserBased {
             // The touch updates the filesystem mtime but nobody tells the
             // accelerator; detection waits for the next request.
             return;
         }
         self.acked_versions[doc as usize] = self.versions[doc as usize];
-        let recipients = self.consistency.on_modify(url, at);
+        let recipients = self.audited_modify(url, at, ctx.now());
         self.fan_out(url, recipients, false, ctx);
     }
 }
@@ -349,11 +422,23 @@ impl Node<SimMsg> for OriginNode {
                 self.counters.acks += 1;
                 self.meter.record_report(url, cache_hits);
                 self.consistency.on_inval_ack(url, client);
+                self.record(AuditEvent::InvalidateAck {
+                    url,
+                    client,
+                    at: ctx.now(),
+                });
             }
             SimMsg::Net(Message::Coord(CoordMsg::StepStart { step, window_end })) => {
                 // Window boundary: safe point for lease GC (everything that
                 // expired before the window began can go).
-                self.consistency.purge_expired_leases(self.prev_window_end);
+                let before = self.prev_window_end;
+                let purged = self.consistency.purge_expired_leases(before);
+                self.record(AuditEvent::PurgeExpired {
+                    server: self.server,
+                    before,
+                    purged,
+                    at: ctx.now(),
+                });
                 self.prev_window_end = window_end;
                 if let Some(coord) = self.coordinator {
                     ctx.send(
@@ -373,7 +458,14 @@ impl Node<SimMsg> for OriginNode {
         // Retry timer for one document's pending invalidations. Volume
         // leases first drop pending entries whose volume has expired — the
         // bounded-write-completion rule.
-        self.consistency.expire_pending(self.prev_window_end);
+        let dropped = self.consistency.expire_pending(self.prev_window_end);
+        if dropped > 0 {
+            self.record(AuditEvent::PendingExpired {
+                server: self.server,
+                dropped,
+                at: ctx.now(),
+            });
+        }
         let doc = token as u32;
         let url = Url::new(self.server, doc);
         let pending = self.consistency.pending_for(url);
@@ -386,6 +478,11 @@ impl Node<SimMsg> for OriginNode {
         if *attempts > self.max_retries {
             self.counters.gave_up += pending.len() as u64;
             self.retry_counts.remove(&doc);
+            self.record(AuditEvent::GaveUp {
+                url,
+                abandoned: pending,
+                at: ctx.now(),
+            });
             return;
         }
         self.fan_out(url, pending, true, ctx);
@@ -399,6 +496,12 @@ impl Node<SimMsg> for OriginNode {
 
     fn on_recover(&mut self, ctx: &mut Ctx<'_, SimMsg>) {
         let sites = self.consistency.on_server_recover();
+        // Recorded even with no sites to notify: the volatile site lists
+        // and the pending set were discarded either way.
+        self.record(AuditEvent::ServerRecovered {
+            server: self.server,
+            at: ctx.now(),
+        });
         if sites.is_empty() {
             return;
         }

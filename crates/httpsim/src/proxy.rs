@@ -9,7 +9,7 @@ use wcc_core::{ProxyAction, ProxyPolicy};
 use wcc_proto::{CoordMsg, GetRequest, HttpMsg, Message, Reply, ReplyStatus, RequestId};
 use wcc_simnet::{Ctx, Node, Summary};
 use wcc_traces::TraceRecord;
-use wcc_types::{ByteSize, ClientId, NodeId, SimTime};
+use wcc_types::{AuditEvent, ByteSize, ClientId, NodeId, SimTime};
 
 /// Counters a proxy maintains for the report.
 #[derive(Debug, Default, Clone)]
@@ -102,6 +102,8 @@ pub struct ProxyNode {
     /// Every user delivery, for the staleness audit.
     pub(crate) serves: Vec<ServeEvent>,
     pub(crate) counters: ProxyCounters,
+    /// Audit-event log, recorded only when the deployment enables auditing.
+    audit: Option<Vec<AuditEvent>>,
 }
 
 impl ProxyNode {
@@ -128,6 +130,22 @@ impl ProxyNode {
             latency: Summary::default(),
             serves: Vec::new(),
             counters: ProxyCounters::default(),
+            audit: None,
+        }
+    }
+
+    pub(crate) fn enable_audit(&mut self) {
+        self.audit = Some(Vec::new());
+    }
+
+    /// The audit-event log (empty slice when auditing is disabled).
+    pub fn audit_log(&self) -> &[AuditEvent] {
+        self.audit.as_deref().unwrap_or(&[])
+    }
+
+    fn record(&mut self, ev: AuditEvent) {
+        if let Some(log) = self.audit.as_mut() {
+            log.push(ev);
         }
     }
 
@@ -247,6 +265,13 @@ impl ProxyNode {
                         version,
                         from_cache: true,
                     });
+                    self.record(AuditEvent::Serve {
+                        url: record.url,
+                        client: key.client(),
+                        version,
+                        from_cache: true,
+                        at: ctx.now(),
+                    });
                 }
                 ProxyAction::SendGet { ims } => {
                     self.send_get(record, ims, disposition.report_hits, ctx);
@@ -298,6 +323,15 @@ impl ProxyNode {
             self.counters.piggybacked_effective +=
                 self.policy
                     .on_piggyback(&reply.piggyback, effective, &mut self.cache) as u64;
+            if self.audit.is_some() {
+                for &url in &reply.piggyback {
+                    self.record(AuditEvent::InvalidateDelivered {
+                        url,
+                        client: effective,
+                        at: ctx.now(),
+                    });
+                }
+            }
         }
         let version = match reply.status {
             ReplyStatus::Ok(ref body) => {
@@ -333,6 +367,13 @@ impl ProxyNode {
             version,
             from_cache: false,
         });
+        self.record(AuditEvent::Serve {
+            url: record.url,
+            client: effective,
+            version,
+            from_cache: false,
+            at: ctx.now(),
+        });
         self.pump(ctx);
     }
 }
@@ -367,6 +408,11 @@ impl Node<SimMsg> for ProxyNode {
             SimMsg::Net(Message::Http(HttpMsg::Invalidate { url, client })) => {
                 ctx.consume(self.costs.proxy_inval_cpu);
                 self.counters.invalidations_received += 1;
+                self.record(AuditEvent::InvalidateDelivered {
+                    url,
+                    client,
+                    at: ctx.now(),
+                });
                 let deleted_hits = self.policy.on_invalidate(url, client, &mut self.cache);
                 if deleted_hits.is_some() {
                     self.counters.invalidations_effective += 1;
@@ -393,6 +439,10 @@ impl Node<SimMsg> for ProxyNode {
                 ctx.consume(self.costs.proxy_inval_cpu);
                 self.counters.bulk_invalidations_received += 1;
                 self.policy.on_invalidate_server(server, &mut self.cache);
+                self.record(AuditEvent::BulkInvalidateDelivered {
+                    server,
+                    at: ctx.now(),
+                });
             }
             other => {
                 debug_assert!(false, "proxy got unexpected message {other:?}");

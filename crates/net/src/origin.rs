@@ -11,7 +11,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 use wcc_core::{ProtocolConfig, ServerConsistency, SiteListStats};
 use wcc_proto::{decode, encode, GetRequest, HttpMsg, Reply, ReplyStatus, WireError};
-use wcc_types::{Body, ByteSize, ClientId, DocMeta, ServerId, SimTime, Url};
+use wcc_types::{Body, ByteSize, ClientId, DocMeta, ServerId, SimDuration, SimTime, Url, WallClock};
 
 /// Configuration for [`NetOrigin::spawn`].
 #[derive(Debug, Clone)]
@@ -208,12 +208,15 @@ impl NetOrigin {
     /// paper's write-completion condition) or `timeout` elapses. Returns
     /// whether completion was reached.
     pub fn wait_writes_complete(&self, timeout: Duration) -> bool {
-        let deadline = std::time::Instant::now() + timeout;
+        let clock = WallClock::start();
+        let timeout = SimDuration::from_micros(
+            u64::try_from(timeout.as_micros()).unwrap_or(u64::MAX),
+        );
         loop {
             if self.state.protected.lock().consistency.writes_complete() {
                 return true;
             }
-            if std::time::Instant::now() >= deadline {
+            if clock.has_elapsed(timeout) {
                 return false;
             }
             std::thread::sleep(Duration::from_millis(2));

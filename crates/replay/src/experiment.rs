@@ -1,5 +1,6 @@
 //! Experiment configuration and execution.
 
+use wcc_audit::AuditReport;
 use wcc_core::{ProtocolConfig, ProtocolKind};
 use wcc_httpsim::{Deployment, DeploymentOptions, RawReport};
 use wcc_traces::{synthetic, ModSchedule, Trace, TraceSpec};
@@ -105,6 +106,9 @@ pub struct ReplayReport {
     pub seed: u64,
     /// The measurements.
     pub raw: RawReport,
+    /// The consistency auditor's verdict, when the replay ran with
+    /// [`DeploymentOptions::audit`] set.
+    pub audit: Option<AuditReport>,
 }
 
 /// Materialises the workload for a config (deterministic).
@@ -130,6 +134,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> ReplayReport {
 pub fn run_on(cfg: &ExperimentConfig, trace: &Trace, mods: &ModSchedule) -> ReplayReport {
     let mut deployment = Deployment::build(trace, mods, &cfg.protocol, cfg.options.clone());
     deployment.run();
+    let audit = cfg.options.audit.then(|| deployment.audit());
     ReplayReport {
         trace: trace.name.clone(),
         protocol: cfg.protocol.kind,
@@ -137,6 +142,7 @@ pub fn run_on(cfg: &ExperimentConfig, trace: &Trace, mods: &ModSchedule) -> Repl
         files_modified: mods.modifications().len() as u64,
         seed: cfg.seed,
         raw: deployment.collect(),
+        audit,
     }
 }
 

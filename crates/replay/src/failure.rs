@@ -48,6 +48,7 @@ fn faulted_run(
     let plan = plan_for(&d, from, to);
     d.apply_faults(&plan);
     d.run();
+    let audit = cfg.options.audit.then(|| d.audit());
     let raw = d.collect();
     FailureOutcome {
         report: ReplayReport {
@@ -57,6 +58,7 @@ fn faulted_run(
             files_modified: mods.modifications().len() as u64,
             seed: cfg.seed,
             raw,
+            audit,
         },
         reference_wall: wall,
         outage: (from, to),
@@ -107,10 +109,12 @@ mod tests {
     use wcc_types::SimDuration;
 
     fn cfg() -> ExperimentConfig {
-        ExperimentConfig::builder(TraceSpec::epa().scaled_down(300))
+        // 150× keeps enough traffic in flight that the crash window actually
+        // overlaps requests (at 300× the outage can land on a quiet stretch).
+        ExperimentConfig::builder(TraceSpec::epa().scaled_down(150))
             .protocol(ProtocolKind::Invalidation)
             .mean_lifetime(SimDuration::from_hours(4)) // brisk churn
-            .seed(17)
+            .seed(5)
             .build()
     }
 

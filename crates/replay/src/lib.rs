@@ -40,6 +40,7 @@ pub use experiment::{
     run_experiment, run_trio, two_tier_comparison, ExperimentConfig, ExperimentConfigBuilder,
     ReplayReport, TwoTierComparison,
 };
+pub use wcc_audit::{AuditReport, Violation};
 pub use failure::{
     partition_scenario, proxy_crash_scenario, server_crash_scenario, FailureOutcome,
 };

@@ -7,7 +7,7 @@
 //! days)."
 
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use wcc_types::{SimDuration, SimTime};
 
 /// One modification event: document `doc` is touched (and checked in) at

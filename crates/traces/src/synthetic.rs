@@ -10,7 +10,7 @@ use crate::spec::TraceSpec;
 use crate::zipf::Zipf;
 use crate::{Trace, TraceRecord};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use wcc_types::{ByteSize, ClientId, ServerId, SimTime, Url};
 
 /// Generates a deterministic synthetic [`Trace`] from calibration targets.

@@ -83,7 +83,6 @@ impl Zipf {
 mod tests {
     use super::*;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn uniform_when_s_zero() {

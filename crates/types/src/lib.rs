@@ -29,13 +29,15 @@
 #![warn(missing_docs)]
 
 mod bytesize;
+mod event;
 mod id;
 mod time;
 mod url;
 
 pub use bytesize::ByteSize;
+pub use event::AuditEvent;
 pub use id::{ClientId, NodeId, ServerId};
-pub use time::{SimDuration, SimTime};
+pub use time::{SimDuration, SimTime, WallClock};
 pub use url::{Body, DocMeta, ScopedUrl, Url};
 
 /// A convenience alias used by fallible APIs across the workspace.

@@ -316,6 +316,48 @@ impl fmt::Display for SimDuration {
     }
 }
 
+/// The workspace's single doorway to the host's wall clock.
+///
+/// Everything that genuinely needs real elapsed time (the TCP prototype's
+/// completion waits, bench harnesses) measures it through a `WallClock`
+/// rather than calling `std::time::Instant::now()` directly. The repo lint
+/// (`xtask-lint`) denies raw wall-clock reads everywhere else, which keeps
+/// the simulation crates deterministic by construction.
+///
+/// # Examples
+///
+/// ```
+/// use wcc_types::{SimDuration, WallClock};
+///
+/// let clock = WallClock::start();
+/// assert!(!clock.has_elapsed(SimDuration::from_secs(3600)));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    start: std::time::Instant,
+}
+
+impl WallClock {
+    /// Starts measuring from the current instant.
+    pub fn start() -> Self {
+        WallClock {
+            start: std::time::Instant::now(),
+        }
+    }
+
+    /// Wall time elapsed since [`WallClock::start`], as a [`SimDuration`]
+    /// (microsecond resolution, saturating).
+    pub fn elapsed(&self) -> SimDuration {
+        let micros = self.start.elapsed().as_micros();
+        SimDuration::from_micros(u64::try_from(micros).unwrap_or(u64::MAX))
+    }
+
+    /// Whether at least `timeout` of wall time has passed since the start.
+    pub fn has_elapsed(&self, timeout: SimDuration) -> bool {
+        self.elapsed() >= timeout
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -66,7 +66,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  wcc replay  --trace NAME --protocol NAME [--lifetime-days N] [--scale N]\n              [--seed N] [--wan] [--decoupled] [--hierarchy] [--shared]\n              [--lease-days N] [--volume-mins N] [--cache-mib N]\n  wcc trio    --trace NAME [--scale N] [--seed N]\n  wcc compare --trace NAME --protocols a,b,c [--scale N] [--seed N]\n  wcc summary [--scale N] [--seed N]\n  wcc clf     PATH [--protocol NAME]\n  wcc protocols"
+    "usage:\n  wcc replay  --trace NAME --protocol NAME [--lifetime-days N] [--scale N]\n              [--seed N] [--wan] [--decoupled] [--hierarchy] [--shared]\n              [--lease-days N] [--volume-mins N] [--cache-mib N] [--audit]\n  wcc trio    --trace NAME [--scale N] [--seed N]\n  wcc compare --trace NAME --protocols a,b,c [--scale N] [--seed N]\n  wcc summary [--scale N] [--seed N]\n  wcc clf     PATH [--protocol NAME]\n  wcc protocols"
 }
 
 fn spec_for(args: &Args) -> Result<TraceSpec, String> {
@@ -113,6 +113,9 @@ fn options_for(args: &Args) -> Result<DeploymentOptions, String> {
     }
     if args.flag("shared") {
         options.sharing = CacheSharing::SharedPerProxy;
+    }
+    if args.flag("audit") {
+        options.audit = true;
     }
     if let Some(mib) = args.value("cache-mib") {
         let mib: u64 = mib
@@ -181,6 +184,7 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
 
     let trace = synthetic::generate(&spec, seed);
     let mods = ModSchedule::generate(spec.num_docs, lifetime, spec.duration, seed);
+    let want_audit = options.audit;
     let mut deployment = Deployment::build(&trace, &mods, &protocol, options);
     deployment.run();
     let report = ReplayReport {
@@ -190,8 +194,12 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
         files_modified: mods.modifications().len() as u64,
         seed,
         raw: deployment.collect(),
+        audit: want_audit.then(|| deployment.audit()),
     };
     print_report(&report);
+    if let Some(audit) = &report.audit {
+        println!("{audit}");
+    }
     Ok(())
 }
 
@@ -269,6 +277,7 @@ fn cmd_clf(args: &Args) -> Result<(), String> {
         files_modified: 0,
         seed: 0,
         raw: deployment.collect(),
+        audit: None,
     };
     print_report(&report);
     Ok(())

@@ -1,0 +1,33 @@
+//! Repo lint driver: scans the workspace sources with the deny-by-default
+//! rules in `wcc_audit::lint` and exits non-zero on any finding.
+//!
+//! Run from anywhere in the workspace:
+//!
+//! ```text
+//! cargo run --bin xtask-lint
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // The binary lives in the workspace root package, so its manifest dir
+    // IS the workspace root.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let findings = match wcc_audit::lint::scan_tree(&root) {
+        Ok(f) => f,
+        Err(err) => {
+            eprintln!("xtask-lint: cannot scan {}: {err}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if findings.is_empty() {
+        println!("xtask-lint: clean");
+        return ExitCode::SUCCESS;
+    }
+    for d in &findings {
+        println!("{d}");
+    }
+    eprintln!("xtask-lint: {} violation(s)", findings.len());
+    ExitCode::FAILURE
+}

@@ -105,7 +105,7 @@ fn hierarchy_cuts_origin_invalidation_overhead() {
     assert!(tree.invalidations * 5 < per_client.invalidations);
     assert!(tree.sitelist.max_list_len <= 1);
     assert!(
-        tree.sitelist.storage.as_u64() * 4 < per_client.sitelist.storage.as_u64(),
+        tree.sitelist.storage.as_u64() * 3 < per_client.sitelist.storage.as_u64(),
         "tree {} vs per-client {}",
         tree.sitelist.storage,
         per_client.sitelist.storage

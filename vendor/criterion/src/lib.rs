@@ -1,0 +1,191 @@
+//! Offline vendor shim for `criterion`.
+//!
+//! Provides the subset of the criterion API the workspace's benches use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `black_box`, the `criterion_group!`/`criterion_main!` macros) backed by a
+//! plain `std::time::Instant` timing loop. No statistics, no plots — each
+//! bench runs a warm-up pass plus `sample_size` timed iterations and prints
+//! the mean per-iteration wall time.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies a bench within a group (`group/label/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A bench named by a function label plus a parameter value.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// A bench named by the parameter value alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Top-level harness handle passed to every bench function.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benches.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs a stand-alone bench outside any group.
+    pub fn bench_function(&mut self, name: impl fmt::Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_bench(&name.to_string(), self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benches sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each bench in the group runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a bench identified by `id` within this group.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.sample_size, f);
+        self
+    }
+
+    /// Runs a bench that borrows a setup value.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Timing handle handed to the bench closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench(label: &str, sample_size: usize, mut f: impl FnMut(&mut Bencher)) {
+    // Warm-up: one iteration, also used to pick a per-sample iteration
+    // count that keeps each sample around a millisecond.
+    let mut warm = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut warm);
+    let per_iter = warm.elapsed.max(Duration::from_nanos(1));
+    let iters = (Duration::from_millis(1).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += b.iters;
+    }
+    let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    println!("bench {label:<50} {mean_ns:>12.1} ns/iter ({total_iters} iters)");
+}
+
+/// Declares a bench group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        let mut ran = 0u32;
+        group.bench_function("noop", |b| {
+            ran += 1;
+            b.iter(|| black_box(1 + 1))
+        });
+        group.bench_with_input(BenchmarkId::new("with", 3), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(ran >= 2, "warm-up plus samples should call the closure");
+    }
+}

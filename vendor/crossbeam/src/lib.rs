@@ -1,0 +1,103 @@
+//! Offline vendor shim for `crossbeam`.
+//!
+//! Only the `channel` module's unbounded MPSC surface is provided, backed
+//! by `std::sync::mpsc`. Unlike real crossbeam the receiver is
+//! single-consumer, which is how this workspace uses it (one dedicated
+//! writer thread per receiver).
+
+pub mod channel {
+    use std::fmt;
+    use std::time::Duration;
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T>(std::sync::mpsc::Sender<T>);
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(std::sync::mpsc::Receiver<T>);
+
+    /// Error returned when the receiving half has disconnected.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when the sending half has disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait timed out with the channel still empty.
+        Timeout,
+        /// The sending half disconnected.
+        Disconnected,
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on a disconnected channel")
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Queues `value`, failing only if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocks up to `timeout` for a value.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                std::sync::mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                std::sync::mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Non-blocking receive attempt.
+        pub fn try_recv(&self) -> Option<T> {
+            self.0.try_recv().ok()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trip_and_disconnect() {
+            let (tx, rx) = unbounded::<u32>();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            tx2.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            drop(tx);
+            drop(tx2);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+}

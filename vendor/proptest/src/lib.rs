@@ -1,0 +1,621 @@
+//! Offline vendor shim for `proptest`.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! minimal, std-only stand-in covering the API surface its property tests
+//! use: the `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_oneof!`
+//! macros, the [`strategy::Strategy`] trait with `prop_map` / `prop_filter`,
+//! `any::<T>()`, `Just`, tuple and integer-range strategies,
+//! [`collection::vec`], and [`option::of`].
+//!
+//! Differences from real proptest, by design:
+//! - **No shrinking.** A failing case panics with the assertion message and
+//!   the case number; the per-test RNG seed is deterministic (derived from
+//!   the test's module path and name), so failures reproduce exactly.
+//! - `prop_filter` re-draws locally instead of rejecting the whole case.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+    use std::rc::Rc;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transforms generated values with `f`.
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Keeps only values satisfying `pred`, re-drawing otherwise.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: &'static str,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter {
+                source: self,
+                whence,
+                pred,
+            }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Rc::new(self)
+        }
+    }
+
+    /// A type-erased strategy (shared, cheaply clonable).
+    pub type BoxedStrategy<T> = Rc<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for Rc<dyn Strategy<Value = T>> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        source: S,
+        whence: &'static str,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1_000 {
+                let candidate = self.source.generate(rng);
+                if (self.pred)(&candidate) {
+                    return candidate;
+                }
+            }
+            panic!("prop_filter rejected 1000 draws in a row: {}", self.whence);
+        }
+    }
+
+    /// Weighted choice between strategies of a common value type
+    /// (the expansion target of `prop_oneof!`).
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; weights must sum to a positive value.
+        pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = options.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { options, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (weight, strat) in &self.options {
+                let weight = u64::from(*weight);
+                if pick < weight {
+                    return strat.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("pick below total weight")
+        }
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// The `any::<T>()` strategy.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Unconstrained values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    let span = (end as i128 - start as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t; // full 64-bit domain
+                    }
+                    start.wrapping_add(rng.below(span as u64) as $t)
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($(($T:ident, $idx:tt)),+) => {
+            impl<$($T: Strategy),+> Strategy for ($($T,)+) {
+                type Value = ($($T::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!((A, 0));
+    tuple_strategy!((A, 0), (B, 1));
+    tuple_strategy!((A, 0), (B, 1), (C, 2));
+    tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+    tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+    tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
+    tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6));
+    tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5), (G, 6), (H, 7));
+    tuple_strategy!(
+        (A, 0),
+        (B, 1),
+        (C, 2),
+        (D, 3),
+        (E, 4),
+        (F, 5),
+        (G, 6),
+        (H, 7),
+        (I, 8)
+    );
+    tuple_strategy!(
+        (A, 0),
+        (B, 1),
+        (C, 2),
+        (D, 3),
+        (E, 4),
+        (F, 5),
+        (G, 6),
+        (H, 7),
+        (I, 8),
+        (J, 9)
+    );
+}
+
+/// Collection strategies (subset: `vec`).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (subset: `of`).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some(inner)` half the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// The execution harness behind the `proptest!` macro.
+pub mod test_runner {
+    use crate::strategy::Strategy;
+    use std::collections::hash_map::DefaultHasher;
+    use std::fmt;
+    use std::hash::{Hash, Hasher};
+
+    /// Per-test configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of cases each property runs.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    /// Why a single case failed.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(msg) => f.write_str(msg),
+            }
+        }
+    }
+
+    /// Deterministic per-test random source (SplitMix64).
+    pub struct TestRng {
+        x: u64,
+    }
+
+    impl TestRng {
+        /// Builds a generator from a 64-bit seed.
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { x: seed }
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.x = self.x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)` via 128-bit widening multiply.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+
+    /// Runs one property over many generated cases.
+    pub struct TestRunner {
+        config: Config,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// Builds a runner whose RNG seed is derived from `name`, so each
+        /// property gets a distinct but reproducible stream.
+        pub fn new(config: Config, name: &str) -> Self {
+            let mut hasher = DefaultHasher::new();
+            name.hash(&mut hasher);
+            TestRunner {
+                config,
+                rng: TestRng::from_seed(hasher.finish() ^ 0x5775_6363_5052_3031),
+            }
+        }
+
+        /// Generates and checks `config.cases` inputs, panicking on the
+        /// first failure (no shrinking; the seed is deterministic).
+        pub fn run<S: Strategy>(
+            &mut self,
+            strategy: &S,
+            mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+        ) {
+            for case in 0..self.config.cases {
+                let value = strategy.generate(&mut self.rng);
+                if let Err(err) = test(value) {
+                    panic!(
+                        "proptest: case {}/{} failed: {}",
+                        case + 1,
+                        self.config.cases,
+                        err
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Declares property tests: each `fn` becomes a `#[test]` that draws its
+/// arguments from the given strategies and runs the body per case.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut runner = $crate::test_runner::TestRunner::new(
+                    config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let strategy = ($($strat,)+);
+                runner.run(&strategy, |($($arg,)+)| {
+                    $body
+                    Ok(())
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])+
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                $(#[$meta])+
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Asserts inside a `proptest!` body, failing the case (not panicking
+/// directly) so the harness can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} at {}:{}", format!($($fmt)+), file!(), line!()),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{} (left: `{:?}`, right: `{:?}`)",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Chooses among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strat),+]
+    };
+}
+
+/// The glob-import surface test files use.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_unions_stay_in_bounds() {
+        let mut rng = TestRng::from_seed(3);
+        let strat = prop_oneof![
+            3 => (0u32..4).prop_map(|x| x as u64),
+            1 => Just(99u64),
+        ];
+        let mut saw_just = false;
+        for _ in 0..500 {
+            let v = strat.generate(&mut rng);
+            assert!(v < 4 || v == 99, "out of range: {v}");
+            saw_just |= v == 99;
+        }
+        assert!(saw_just, "weighted arm never chosen");
+    }
+
+    #[test]
+    fn vec_and_option_shapes() {
+        let mut rng = TestRng::from_seed(4);
+        let strat = (
+            crate::collection::vec(0u8..10, 2..5),
+            crate::option::of(1u64..=3),
+        );
+        for _ in 0..200 {
+            let (v, o) = strat.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+            if let Some(x) = o {
+                assert!((1..=3).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn filter_respects_predicate() {
+        let mut rng = TestRng::from_seed(5);
+        let strat = (0u32..8, 1u32..9).prop_filter("lt", |(p, n)| p < n);
+        for _ in 0..200 {
+            let (p, n) = strat.generate(&mut rng);
+            assert!(p < n);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_round_trip(x in any::<u64>(), small in 0u8..16, flag in any::<bool>()) {
+            prop_assert!(small < 16);
+            prop_assert_eq!(x.wrapping_add(1).wrapping_sub(1), x);
+            if flag {
+                prop_assert!(true, "tautology with {}", small);
+            }
+        }
+    }
+}

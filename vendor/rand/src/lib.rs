@@ -1,0 +1,247 @@
+//! Offline vendor shim for the `rand` crate.
+//!
+//! The build environment has no access to the crates registry, so this
+//! workspace vendors a minimal, std-only stand-in that covers exactly the
+//! API surface the workspace uses: [`rngs::StdRng`], [`SeedableRng`],
+//! and the [`Rng`] extension trait (`gen`, `gen_range`).
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — deterministic
+//! for a given seed, which is all the simulation requires. It is **not** a
+//! cryptographic RNG and is not stream-compatible with the real `rand`
+//! crate's `StdRng`.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random `u64`s (the shim's `RngCore`).
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from the "standard" distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_bits(self.next_u64())
+    }
+
+    /// Samples uniformly from `range` (`Range` or `RangeInclusive`).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(&mut || self.next_u64())
+    }
+
+    /// Samples `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let u: f64 = self.gen();
+        u < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable from 64 random bits (the shim's `Standard` distribution).
+pub trait Standard {
+    /// Converts 64 uniform bits into a uniform value of `Self`.
+    fn from_bits(bits: u64) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_bits(bits: u64) -> Self {
+                bits as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_bits(bits: u64) -> Self {
+        (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform sample using `bits` as the entropy source.
+    fn sample(self, bits: &mut dyn FnMut() -> u64) -> T;
+}
+
+/// Unbiased-enough uniform draw in `[0, span)` via 128-bit widening
+/// multiply (Lemire reduction without the rejection step).
+fn mul_reduce(bits: u64, span: u64) -> u64 {
+    ((bits as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, bits: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(mul_reduce(bits(), span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, bits: &mut dyn FnMut() -> u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return bits() as $t; // full 64-bit domain
+                }
+                start.wrapping_add(mul_reduce(bits(), span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, bits: &mut dyn FnMut() -> u64) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let u = f64::from_bits_standard(bits());
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample(self, bits: &mut dyn FnMut() -> u64) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty range");
+        let u = f64::from_bits_standard(bits());
+        start + u * (end - start)
+    }
+}
+
+trait F64Bits {
+    fn from_bits_standard(bits: u64) -> f64;
+}
+
+impl F64Bits for f64 {
+    fn from_bits_standard(bits: u64) -> f64 {
+        <f64 as Standard>::from_bits(bits)
+    }
+}
+
+/// Named generators (subset of `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The shim's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Builds a generator from a 64-bit seed (inherent, so callers do
+        /// not need the [`SeedableRng`] trait in scope).
+        pub fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            let mut s = [next(), next(), next(), next()];
+            if s == [0; 4] {
+                s = [1, 2, 3, 4];
+            }
+            StdRng { s }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng::seed_from_u64(seed)
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s0
+                .wrapping_add(s3)
+                .rotate_left(23)
+                .wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s2 = s2 ^ s0;
+            let mut s3 = s3 ^ s1;
+            let s1 = s1 ^ s2;
+            let s0 = s0 ^ s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            self.s = [s0, s1, s2, s3];
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::Rng;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0u64..=5);
+            assert!(y <= 5);
+            let f = rng.gen_range(-0.25f64..0.25);
+            assert!((-0.25..0.25).contains(&f));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..400 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+}

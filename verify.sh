@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Tier-1 verification: release build, full test suite, repo hygiene lint.
+# Any failing step fails the script.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> xtask-lint"
+cargo run --quiet --bin xtask-lint
+
+echo "verify: OK"
