@@ -1,0 +1,167 @@
+//! Greedy scenario minimisation.
+//!
+//! Given a failing [`Scenario`], repeatedly tries structurally smaller
+//! variants and keeps any that still fail with the **same**
+//! [`FailureKind`](crate::check::FailureKind) — the classic test-case
+//! reduction loop. Candidate moves, roughly most-valuable first:
+//!
+//! * drop one fault-plan entry (or all of them at once),
+//! * halve the request count, document population and client population,
+//! * remove the post-write read steering,
+//! * halve the proxy count.
+//!
+//! Every candidate costs a full oracle evaluation (several replays), so the
+//! search is bounded by an explicit evaluation budget rather than running
+//! to a guaranteed fixpoint.
+
+use crate::check::{check, CheckOptions, FuzzFailure};
+use crate::scenario::Scenario;
+
+/// Default cap on oracle evaluations spent shrinking one failure.
+pub const DEFAULT_SHRINK_BUDGET: usize = 72;
+
+/// The result of a shrink run.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The smallest still-failing scenario found.
+    pub scenario: Scenario,
+    /// The failure the shrunk scenario reproduces (same kind as the
+    /// original; detail may differ).
+    pub failure: FuzzFailure,
+    /// Greedy rounds completed (each round restarts the candidate list).
+    pub rounds: usize,
+    /// Oracle evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Minimises `start`, which must fail `check` with `failure`'s kind under
+/// `opts`. Returns the smallest variant (possibly `start` itself) that
+/// still fails the same way, within `budget` oracle evaluations.
+pub fn shrink(
+    start: &Scenario,
+    failure: &FuzzFailure,
+    opts: &CheckOptions,
+    budget: usize,
+) -> Shrunk {
+    let mut best = start.clone();
+    let mut best_failure = failure.clone();
+    let mut evaluations = 0usize;
+    let mut rounds = 0usize;
+
+    'outer: loop {
+        rounds += 1;
+        let mut improved = false;
+        for candidate in candidates(&best) {
+            if evaluations >= budget {
+                break 'outer;
+            }
+            evaluations += 1;
+            if let Err(f) = check(&candidate, opts) {
+                if f.kind == best_failure.kind {
+                    best = candidate;
+                    best_failure = f;
+                    improved = true;
+                    break;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    Shrunk {
+        scenario: best,
+        failure: best_failure,
+        rounds,
+        evaluations,
+    }
+}
+
+/// Structurally smaller variants of `s`, in preference order.
+fn candidates(s: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    // Faults carry the most diagnostic weight: try removing each entry,
+    // then the whole plan at once.
+    for i in 0..s.faults.len() {
+        let mut c = s.clone();
+        c.faults.remove(i);
+        out.push(c);
+    }
+    if s.faults.len() > 1 {
+        let mut c = s.clone();
+        c.faults.clear();
+        out.push(c);
+    }
+
+    // Workload size, halved with floors that keep the replay meaningful.
+    if s.spec.total_requests > 20 {
+        let mut c = s.clone();
+        c.spec.total_requests = (s.spec.total_requests / 2).max(20);
+        out.push(c);
+    }
+    if s.spec.num_docs > 2 {
+        let mut c = s.clone();
+        c.spec.num_docs = (s.spec.num_docs / 2).max(2);
+        out.push(c);
+    }
+    if s.spec.num_clients > 1 {
+        let mut c = s.clone();
+        c.spec.num_clients = (s.spec.num_clients / 2).max(1);
+        out.push(c);
+    }
+
+    // Simplify the deployment.
+    if s.interest.is_some() {
+        let mut c = s.clone();
+        c.interest = None;
+        out.push(c);
+    }
+    if s.options.num_proxies > 1 {
+        let mut c = s.clone();
+        c.options.num_proxies = (s.options.num_proxies / 2).max(1);
+        out.push(c);
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::FaultSpec;
+
+    #[test]
+    fn candidates_shrink_every_axis() {
+        let mut s = Scenario::generate(7);
+        s.faults = vec![
+            FaultSpec::OriginOutage { from: 0.2, to: 0.3 },
+            FaultSpec::Partition {
+                proxy: 0,
+                from: 0.4,
+                to: 0.5,
+            },
+        ];
+        s.spec.total_requests = 100;
+        s.spec.num_docs = 10;
+        s.spec.num_clients = 8;
+        s.options.num_proxies = 4;
+        let cs = candidates(&s);
+        // 2 single-fault drops + clear-all + 3 workload halvings +
+        // interest (maybe) + proxy halving.
+        assert!(cs.len() >= 7, "only {} candidates", cs.len());
+        assert!(cs.iter().any(|c| c.faults.is_empty()));
+        assert!(cs.iter().any(|c| c.spec.total_requests == 50));
+        assert!(cs.iter().any(|c| c.options.num_proxies == 2));
+        // Floors hold.
+        let mut tiny = s.clone();
+        tiny.faults.clear();
+        tiny.spec.total_requests = 20;
+        tiny.spec.num_docs = 2;
+        tiny.spec.num_clients = 1;
+        tiny.interest = None;
+        tiny.options.num_proxies = 1;
+        assert!(candidates(&tiny).is_empty());
+    }
+}

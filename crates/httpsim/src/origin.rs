@@ -11,6 +11,11 @@ use wcc_types::{
     AuditEvent, Body, ByteSize, ClientId, DocMeta, NodeId, ServerId, SimDuration, SimTime, Url,
 };
 
+/// Timer token for the recovery bulk-invalidation retry loop. Per-document
+/// retry timers use the document index (a `u32`) widened to `u64`, so the
+/// maximum value can never collide.
+const BULK_RETRY_TOKEN: u64 = u64::MAX;
+
 /// Counters the origin maintains for the report (Tables 3–5 inputs).
 #[derive(Debug, Default, Clone)]
 pub struct OriginCounters {
@@ -126,6 +131,13 @@ pub struct OriginNode {
     retry_interval: SimDuration,
     max_retries: u32,
     retry_counts: HashMap<u32, u32>,
+    /// Proxy nodes that have not yet acknowledged the recovery-time bulk
+    /// `INVALIDATE <server-addr>`; re-sent on a timer until empty. A
+    /// partition at recovery time would otherwise swallow the bulk message
+    /// and leave those proxies promising freshness for documents modified
+    /// during the outage.
+    recovery_unacked: Vec<NodeId>,
+    recovery_attempts: u32,
     prev_window_end: SimTime,
     /// Wall time spent sending each modification's full invalidation batch
     /// (synchronous mode; the decoupled sender keeps its own).
@@ -169,6 +181,8 @@ impl OriginNode {
             retry_interval,
             max_retries,
             retry_counts: HashMap::new(),
+            recovery_unacked: Vec::new(),
+            recovery_attempts: 0,
             prev_window_end: SimTime::ZERO,
             inval_time: Summary::default(),
             meter: HitMeter::new(),
@@ -384,6 +398,41 @@ impl OriginNode {
         ctx.set_timer(self.retry_interval, url.doc() as u64);
     }
 
+    /// Sends the recovery bulk `INVALIDATE <server-addr>` to every proxy
+    /// still in [`Self::recovery_unacked`].
+    fn send_bulk_invalidations(&mut self, ctx: &mut Ctx<'_, SimMsg>) {
+        for i in 0..self.recovery_unacked.len() {
+            let proxy = self.recovery_unacked[i];
+            let msg = HttpMsg::InvalidateServer {
+                server: self.server,
+            };
+            let size = msg.wire_size();
+            self.counters.bulk_invalidations += 1;
+            self.counters.bytes_sent += size;
+            ctx.consume(self.costs.inval_send);
+            ctx.send(proxy, SimMsg::Net(Message::Http(msg)), size);
+        }
+    }
+
+    /// Bulk-invalidation retry tick: re-send to proxies that have not
+    /// acked, up to the same retry budget as per-document invalidations.
+    fn retry_bulk_invalidations(&mut self, ctx: &mut Ctx<'_, SimMsg>) {
+        if self.recovery_unacked.is_empty() {
+            return;
+        }
+        self.recovery_attempts += 1;
+        if self.recovery_attempts > self.max_retries {
+            // Same accounting as an abandoned per-document fan-out: these
+            // sites may keep serving promised-fresh copies the recovery
+            // should have voided.
+            self.counters.gave_up += self.recovery_unacked.len() as u64;
+            self.recovery_unacked.clear();
+            return;
+        }
+        self.send_bulk_invalidations(ctx);
+        ctx.set_timer(self.retry_interval, BULK_RETRY_TOKEN);
+    }
+
     fn handle_notify(&mut self, url: Url, at: SimTime, ctx: &mut Ctx<'_, SimMsg>) {
         ctx.consume(self.costs.notify_cpu);
         self.counters.notifies += 1;
@@ -428,6 +477,12 @@ impl Node<SimMsg> for OriginNode {
                     at: ctx.now(),
                 });
             }
+            SimMsg::Net(Message::Http(HttpMsg::InvalidateServerAck { server })) => {
+                debug_assert_eq!(server, self.server);
+                ctx.consume(self.costs.ack_cpu);
+                self.counters.acks += 1;
+                self.recovery_unacked.retain(|&p| p != from);
+            }
             SimMsg::Net(Message::Coord(CoordMsg::StepStart { step, window_end })) => {
                 // Window boundary: safe point for lease GC (everything that
                 // expired before the window began can go).
@@ -455,6 +510,10 @@ impl Node<SimMsg> for OriginNode {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, SimMsg>) {
+        if token == BULK_RETRY_TOKEN {
+            self.retry_bulk_invalidations(ctx);
+            return;
+        }
         // Retry timer for one document's pending invalidations. Volume
         // leases first drop pending entries whose volume has expired — the
         // bounded-write-completion rule.
@@ -492,6 +551,8 @@ impl Node<SimMsg> for OriginNode {
         // Main-memory state dies; the request log, documents and the
         // ever-seen site list are on disk and survive.
         self.mem_cache.clear();
+        self.recovery_unacked.clear();
+        self.recovery_attempts = 0;
     }
 
     fn on_recover(&mut self, ctx: &mut Ctx<'_, SimMsg>) {
@@ -507,18 +568,14 @@ impl Node<SimMsg> for OriginNode {
         }
         // One bulk INVALIDATE <server-addr> per proxy site (each proxy
         // hosts many real clients; the message marks every copy from this
-        // server questionable).
-        let proxies = self.proxies.clone();
-        for proxy in proxies {
-            let msg = HttpMsg::InvalidateServer {
-                server: self.server,
-            };
-            let size = msg.wire_size();
-            self.counters.bulk_invalidations += 1;
-            self.counters.bytes_sent += size;
-            ctx.consume(self.costs.inval_send);
-            ctx.send(proxy, SimMsg::Net(Message::Http(msg)), size);
-        }
+        // server questionable). Delivery must be reliable — a concurrent
+        // partition or proxy crash would otherwise swallow the one message
+        // that voids stale freshness promises — so recipients ack and the
+        // unacked remainder is retried on a timer.
+        self.recovery_unacked = self.proxies.clone();
+        self.recovery_attempts = 0;
+        self.send_bulk_invalidations(ctx);
+        ctx.set_timer(self.retry_interval, BULK_RETRY_TOKEN);
     }
 }
 

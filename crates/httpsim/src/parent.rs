@@ -384,6 +384,14 @@ impl Node<SimMsg> for ParentNode {
                 for node in routes {
                     self.send(node, HttpMsg::InvalidateServer { server }, ctx);
                 }
+                // Ack once the parent itself has applied the bulk
+                // invalidation; relaying to children is best-effort (their
+                // copies are already marked questionable here).
+                self.send(from, HttpMsg::InvalidateServerAck { server }, ctx);
+            }
+            SimMsg::Net(Message::Http(HttpMsg::InvalidateServerAck { .. })) => {
+                // A child acking the relayed bulk invalidation; the origin's
+                // retry loop only tracks its direct peers, so nothing to do.
             }
             other => {
                 debug_assert!(false, "parent got unexpected message {other:?}");

@@ -396,7 +396,7 @@ impl Node<SimMsg> for ProxyNode {
         self.send_get(record, ims, 0, ctx);
     }
 
-    fn on_message(&mut self, _from: NodeId, msg: SimMsg, ctx: &mut Ctx<'_, SimMsg>) {
+    fn on_message(&mut self, from: NodeId, msg: SimMsg, ctx: &mut Ctx<'_, SimMsg>) {
         match msg {
             SimMsg::Net(Message::Coord(CoordMsg::StepStart { step, window_end })) => {
                 self.step = step;
@@ -443,6 +443,12 @@ impl Node<SimMsg> for ProxyNode {
                     server,
                     at: ctx.now(),
                 });
+                // Ack to the sender so the origin stops re-sending; the
+                // recovery invalidation is delivered reliably (retried
+                // through partitions and our own downtime).
+                let ack = HttpMsg::InvalidateServerAck { server };
+                let size = ack.wire_size();
+                ctx.send(from, SimMsg::Net(Message::Http(ack)), size);
             }
             other => {
                 debug_assert!(false, "proxy got unexpected message {other:?}");

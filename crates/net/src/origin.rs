@@ -278,6 +278,11 @@ fn serve_connection(state: &Arc<State>, stream: TcpStream) -> std::io::Result<()
             } => {
                 state.handle_ack(url, client);
             }
+            HttpMsg::InvalidateServerAck { .. } => {
+                // Bulk-invalidation ack; the TCP prototype has no crash
+                // recovery, so there is no retry loop to cancel.
+                state.protected.lock().counters.acks += 1;
+            }
             HttpMsg::Hello {
                 partition,
                 partitions,

@@ -145,6 +145,11 @@ impl NetProxy {
                             policy.on_invalidate_server(server, cache);
                         }
                         listener_state.counters.lock().bulk_invalidations_received += 1;
+                        let ack = HttpMsg::InvalidateServerAck { server };
+                        if writer.write_all(&encode(&ack)).is_err() {
+                            break;
+                        }
+                        let _ = writer.flush();
                     }
                     Ok(_) => break, // protocol violation
                     Err(WireError::Closed) => break,

@@ -139,6 +139,15 @@ pub enum HttpMsg {
         /// The recovered origin server.
         server: ServerId,
     },
+    /// Proxy → origin: acknowledges receipt of an `InvalidateServer` bulk
+    /// message. The recovery invalidation must be delivered reliably —
+    /// a partition at recovery time would otherwise leave the proxy
+    /// promising freshness for documents modified during the outage — so
+    /// the origin retries the bulk message until this ack arrives.
+    InvalidateServerAck {
+        /// The recovered origin server being acknowledged.
+        server: ServerId,
+    },
     /// Proxy → origin: acknowledges receipt of an `Invalidate`, letting the
     /// accelerator delete the client from the document's site list. (Models
     /// the TCP-level delivery confirmation the paper relies on.)
@@ -248,6 +257,7 @@ impl HttpMsg {
             }
             HttpMsg::Invalidate { .. } => INVALIDATE_SIZE,
             HttpMsg::InvalidateServer { .. } => INVALIDATE_SERVER_SIZE,
+            HttpMsg::InvalidateServerAck { .. } => INVAL_ACK_SIZE,
             HttpMsg::InvalAck { .. } => INVAL_ACK_SIZE,
             HttpMsg::Notify { .. } => NOTIFY_SIZE,
             HttpMsg::Hello { .. } => HELLO_SIZE,

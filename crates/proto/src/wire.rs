@@ -159,6 +159,11 @@ pub fn encode(msg: &HttpMsg) -> Vec<u8> {
             push(&format!("X-Server: {}\r\n", server.index()));
             push("\r\n");
         }
+        HttpMsg::InvalidateServerAck { server } => {
+            push("ACK * HTTP/1.0\r\n");
+            push(&format!("X-Server: {}\r\n", server.index()));
+            push("\r\n");
+        }
         HttpMsg::InvalAck {
             url,
             client,
@@ -349,6 +354,12 @@ pub fn decode<R: BufRead>(reader: &mut R) -> Result<HttpMsg, WireError> {
         }
         "ACK" => {
             let path = parts.next().ok_or_else(|| malformed("ACK without path"))?;
+            if path == "*" {
+                let idx = required_u64(&headers, "x-server")? as u32;
+                return Ok(HttpMsg::InvalidateServerAck {
+                    server: ServerId::new(idx),
+                });
+            }
             Ok(HttpMsg::InvalAck {
                 url: url_from(&headers, path)?,
                 client: required_client(&headers)?,
@@ -506,6 +517,9 @@ mod tests {
             client: sample_client(),
         });
         round_trip(HttpMsg::InvalidateServer {
+            server: ServerId::new(9),
+        });
+        round_trip(HttpMsg::InvalidateServerAck {
             server: ServerId::new(9),
         });
         round_trip(HttpMsg::InvalAck {

@@ -100,6 +100,35 @@ pub fn partition_scenario(cfg: &ExperimentConfig, from: f64, to: f64) -> Failure
     )
 }
 
+/// Scenario 2+3 combined: the server site fails, and a partition between
+/// the server and proxy 0 is still up when the server recovers, so the
+/// recovery-time bulk `INVALIDATE <server-addr>` to that proxy is lost in
+/// transit. The origin must retry the bulk message until it is acked
+/// (found by the scenario fuzzer: fire-and-forget recovery invalidations
+/// left proxy 0 holding a live lease on a stale copy).
+///
+/// The outage spans `[from, mid)` and the partition `[mid - ε, to)`, where
+/// `mid` is halfway through the window.
+pub fn server_crash_under_partition_scenario(
+    cfg: &ExperimentConfig,
+    from: f64,
+    to: f64,
+) -> FailureOutcome {
+    faulted_run(
+        cfg,
+        |d, from, to| {
+            let span = to.saturating_since(from);
+            let mid = from + span.mul_f64(0.5);
+            let overlap = mid - SimDuration::from_secs(60);
+            FaultPlan::new()
+                .outage(d.origin_id(), from, mid)
+                .partition(d.origin_id(), d.proxy_ids()[0], overlap, to)
+        },
+        from,
+        to,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -42,5 +42,6 @@ pub use experiment::{
 };
 pub use wcc_audit::{AuditReport, Violation};
 pub use failure::{
-    partition_scenario, proxy_crash_scenario, server_crash_scenario, FailureOutcome,
+    partition_scenario, proxy_crash_scenario, server_crash_scenario,
+    server_crash_under_partition_scenario, FailureOutcome,
 };

@@ -9,14 +9,35 @@
 use crate::Simulation;
 use wcc_types::{NodeId, SimTime};
 
+/// One scheduled fault action inside a [`FaultPlan`].
+///
+/// The entries are public so that scenario generators (the fuzzer) can
+/// sample, inspect and minimise plans entry-by-entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PlannedFault {
-    Crash { node: NodeId, at: SimTime },
-    Recover { node: NodeId, at: SimTime },
+pub enum FaultEntry {
+    /// Crash `node` at `at` (messages to it are lost while down).
+    Crash {
+        /// The node that crashes.
+        node: NodeId,
+        /// When the crash happens.
+        at: SimTime,
+    },
+    /// Recover `node` at `at`.
+    Recover {
+        /// The node that recovers.
+        node: NodeId,
+        /// When the recovery happens.
+        at: SimTime,
+    },
+    /// Bidirectional partition between `a` and `b` over `[from, to)`.
     Partition {
+        /// One side of the partition.
         a: NodeId,
+        /// The other side.
         b: NodeId,
+        /// When the partition starts.
         from: SimTime,
+        /// When it heals.
         to: SimTime,
     },
 }
@@ -49,7 +70,7 @@ enum PlannedFault {
 /// ```
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
-    faults: Vec<PlannedFault>,
+    faults: Vec<FaultEntry>,
 }
 
 impl FaultPlan {
@@ -58,31 +79,63 @@ impl FaultPlan {
         FaultPlan::default()
     }
 
+    /// A plan over the given entries, in order.
+    pub fn from_entries(faults: Vec<FaultEntry>) -> Self {
+        FaultPlan { faults }
+    }
+
     /// Adds a node crash at `at`.
     #[must_use]
     pub fn crash(mut self, node: NodeId, at: SimTime) -> Self {
-        self.faults.push(PlannedFault::Crash { node, at });
+        self.faults.push(FaultEntry::Crash { node, at });
         self
     }
 
     /// Adds a node recovery at `at`.
     #[must_use]
     pub fn recover(mut self, node: NodeId, at: SimTime) -> Self {
-        self.faults.push(PlannedFault::Recover { node, at });
+        self.faults.push(FaultEntry::Recover { node, at });
         self
     }
 
     /// Adds a crash at `at` followed by recovery at `until`.
     #[must_use]
-    pub fn outage(self, node: NodeId, at: SimTime, until: SimTime) -> Self {
-        self.crash(node, at).recover(node, until)
+    pub fn outage(mut self, node: NodeId, at: SimTime, until: SimTime) -> Self {
+        self.faults.push(FaultEntry::Crash { node, at });
+        self.faults.push(FaultEntry::Recover { node, at: until });
+        self
     }
 
     /// Adds a bidirectional partition between `a` and `b` over `[from, to)`.
     #[must_use]
     pub fn partition(mut self, a: NodeId, b: NodeId, from: SimTime, to: SimTime) -> Self {
-        self.faults.push(PlannedFault::Partition { a, b, from, to });
+        self.faults.push(FaultEntry::Partition { a, b, from, to });
         self
+    }
+
+    /// Appends one entry (the non-consuming form of the builder methods).
+    pub fn push(&mut self, entry: FaultEntry) {
+        self.faults.push(entry);
+    }
+
+    /// The scheduled entries, in insertion order.
+    pub fn entries(&self) -> &[FaultEntry] {
+        &self.faults
+    }
+
+    /// The plan with entry `idx` removed (for scenario minimisation).
+    /// Removing a `Crash` whose `Recover` remains leaves a permanent
+    /// outage — shrinkers that want to preserve the outage/partition
+    /// structure should drop both halves of a pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn without(&self, idx: usize) -> FaultPlan {
+        let mut faults = self.faults.clone();
+        faults.remove(idx);
+        FaultPlan { faults }
     }
 
     /// The number of scheduled fault actions.
@@ -95,13 +148,60 @@ impl FaultPlan {
         self.faults.is_empty()
     }
 
+    /// Samples a random plan of up to `max_faults` outages/partitions over
+    /// the nodes in `candidates`, every window inside `[0, horizon)`.
+    ///
+    /// `entropy` supplies uniform random `u64`s (so callers can plug in any
+    /// seeded generator without this crate depending on one); the plan is a
+    /// pure function of the drawn values. Outages pick one node; partitions
+    /// pick an ordered pair (skipped when fewer than two candidates exist).
+    pub fn sampled(
+        entropy: &mut dyn FnMut() -> u64,
+        candidates: &[NodeId],
+        horizon: SimTime,
+        max_faults: usize,
+    ) -> FaultPlan {
+        let mut plan = FaultPlan::new();
+        if candidates.is_empty() || horizon == SimTime::ZERO {
+            return plan;
+        }
+        let span = horizon.saturating_since(SimTime::ZERO);
+        let frac = |bits: u64| (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let count = (entropy() as usize) % (max_faults + 1);
+        for _ in 0..count {
+            let node = candidates[(entropy() as usize) % candidates.len()];
+            // Window inside [0, horizon): start in the first 70%, end after.
+            let from = SimTime::ZERO + span.mul_f64(frac(entropy()) * 0.7);
+            let to = from + span.mul_f64(0.05 + frac(entropy()) * 0.25);
+            let partition = entropy() & 1 == 1 && candidates.len() > 1;
+            if partition {
+                let mut peer = candidates[(entropy() as usize) % candidates.len()];
+                if peer == node {
+                    peer = *candidates
+                        .iter()
+                        .find(|&&c| c != node)
+                        .unwrap_or(&candidates[0]);
+                }
+                plan.push(FaultEntry::Partition {
+                    a: node,
+                    b: peer,
+                    from,
+                    to,
+                });
+            } else {
+                plan = plan.outage(node, from, to);
+            }
+        }
+        plan
+    }
+
     /// Schedules every fault onto `sim`.
     pub fn apply<M: 'static>(&self, sim: &mut Simulation<M>) {
         for fault in &self.faults {
             match *fault {
-                PlannedFault::Crash { node, at } => sim.schedule_crash(node, at),
-                PlannedFault::Recover { node, at } => sim.schedule_recover(node, at),
-                PlannedFault::Partition { a, b, from, to } => {
+                FaultEntry::Crash { node, at } => sim.schedule_crash(node, at),
+                FaultEntry::Recover { node, at } => sim.schedule_recover(node, at),
+                FaultEntry::Partition { a, b, from, to } => {
                     sim.schedule_partition(a, b, from, to)
                 }
             }
@@ -190,5 +290,67 @@ mod tests {
         assert_eq!(plan.len(), 2);
         assert!(!plan.is_empty());
         assert!(FaultPlan::new().is_empty());
+    }
+
+    #[test]
+    fn entries_round_trip_and_without_removes_one() {
+        let plan = FaultPlan::new()
+            .outage(NodeId::new(1), SimTime::from_secs(1), SimTime::from_secs(2))
+            .partition(
+                NodeId::new(0),
+                NodeId::new(2),
+                SimTime::from_secs(3),
+                SimTime::from_secs(4),
+            );
+        assert_eq!(plan.len(), 3);
+        assert_eq!(FaultPlan::from_entries(plan.entries().to_vec()), plan);
+        let shrunk = plan.without(0);
+        assert_eq!(shrunk.len(), 2);
+        assert_eq!(
+            shrunk.entries()[0],
+            FaultEntry::Recover {
+                node: NodeId::new(1),
+                at: SimTime::from_secs(2)
+            }
+        );
+        let mut rebuilt = FaultPlan::new();
+        for &e in plan.entries() {
+            rebuilt.push(e);
+        }
+        assert_eq!(rebuilt, plan);
+    }
+
+    #[test]
+    fn sampled_plans_are_bounded_and_deterministic() {
+        let nodes = [NodeId::new(0), NodeId::new(1), NodeId::new(2)];
+        let horizon = SimTime::from_secs(1_000);
+        // A tiny deterministic entropy source.
+        let make_entropy = || {
+            let mut state = 0x9e37_79b9_7f4a_7c15u64;
+            move || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state
+            }
+        };
+        let a = FaultPlan::sampled(&mut make_entropy(), &nodes, horizon, 3);
+        let b = FaultPlan::sampled(&mut make_entropy(), &nodes, horizon, 3);
+        assert_eq!(a, b, "same entropy stream, same plan");
+        // Every window is inside the horizon and well-formed.
+        for e in a.entries() {
+            match *e {
+                FaultEntry::Crash { at, .. } | FaultEntry::Recover { at, .. } => {
+                    assert!(at <= horizon + wcc_types::SimDuration::from_secs(1_000));
+                }
+                FaultEntry::Partition { a, b, from, to } => {
+                    assert_ne!(a, b);
+                    assert!(from < to);
+                }
+            }
+        }
+        // Degenerate inputs yield empty plans.
+        assert!(FaultPlan::sampled(&mut make_entropy(), &[], horizon, 3).is_empty());
+        assert!(
+            FaultPlan::sampled(&mut make_entropy(), &nodes, SimTime::ZERO, 3).is_empty()
+        );
     }
 }

@@ -66,7 +66,7 @@ pub mod node;
 pub mod sim;
 
 pub use event::EventQueue;
-pub use fault::FaultPlan;
+pub use fault::{FaultEntry, FaultPlan};
 pub use metrics::{Counter, NetStats, Summary};
 pub use net::{LinkSpec, NetworkConfig};
 pub use node::{Ctx, Node, TimerId};

@@ -7,11 +7,14 @@
 //! wcc trio    --trace sask [--scale N] [--seed N]   # Tables 3/4 block
 //! wcc summary [--scale N] [--seed N]                # Table 2
 //! wcc clf     <path> [--protocol NAME]              # replay a real log
+//! wcc fuzz    [--iters N] [--seed N] [--shrink] [--inject-stale]
+//!             [--repro PATH]                        # scenario fuzzer
 //! wcc protocols                                     # list protocol names
 //! ```
 
 use std::process::ExitCode;
 use webcache::core::{ProtocolConfig, ProtocolKind};
+use webcache::fuzz::{fuzz, FuzzConfig};
 use webcache::httpsim::{CacheSharing, Deployment, DeploymentOptions, InvalSendMode, Topology};
 use webcache::replay::tables::{format_table5_column, format_trio_block};
 use webcache::replay::{run_trio, ExperimentConfig, ReplayReport};
@@ -66,7 +69,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  wcc replay  --trace NAME --protocol NAME [--lifetime-days N] [--scale N]\n              [--seed N] [--wan] [--decoupled] [--hierarchy] [--shared]\n              [--lease-days N] [--volume-mins N] [--cache-mib N] [--audit]\n  wcc trio    --trace NAME [--scale N] [--seed N]\n  wcc compare --trace NAME --protocols a,b,c [--scale N] [--seed N]\n  wcc summary [--scale N] [--seed N]\n  wcc clf     PATH [--protocol NAME]\n  wcc protocols"
+    "usage:\n  wcc replay  --trace NAME --protocol NAME [--lifetime-days N] [--scale N]\n              [--seed N] [--wan] [--decoupled] [--hierarchy] [--shared]\n              [--lease-days N] [--volume-mins N] [--cache-mib N] [--audit]\n  wcc trio    --trace NAME [--scale N] [--seed N]\n  wcc compare --trace NAME --protocols a,b,c [--scale N] [--seed N]\n  wcc summary [--scale N] [--seed N]\n  wcc clf     PATH [--protocol NAME]\n  wcc fuzz    [--iters N] [--seed N] [--shrink] [--inject-stale] [--repro PATH]\n  wcc protocols"
 }
 
 fn spec_for(args: &Args) -> Result<TraceSpec, String> {
@@ -283,6 +286,33 @@ fn cmd_clf(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_fuzz(args: &Args) -> Result<(), String> {
+    let config = FuzzConfig {
+        iters: args.num("iters", 100)?,
+        seed: args.num("seed", 1)?,
+        shrink: args.flag("shrink"),
+        inject_stale_serve: args.flag("inject-stale"),
+    };
+    let outcome = fuzz(&config);
+    print!("{outcome}");
+    if let Some(found) = &outcome.failure {
+        let repro = found.repro();
+        match args.value("repro") {
+            Some(path) => {
+                std::fs::write(path, &repro)
+                    .map_err(|e| format!("cannot write repro to {path}: {e}"))?;
+                println!("  repro written to {path}");
+            }
+            None => print!("\n{repro}"),
+        }
+    }
+    if outcome.passed() {
+        Ok(())
+    } else {
+        Err("fuzz: oracle violation (see repro above)".to_string())
+    }
+}
+
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
     let command = args.positional.first().map(String::as_str);
@@ -292,6 +322,7 @@ fn main() -> ExitCode {
         Some("compare") => cmd_compare(&args),
         Some("summary") => cmd_summary(&args),
         Some("clf") => cmd_clf(&args),
+        Some("fuzz") => cmd_fuzz(&args),
         Some("protocols") => {
             for kind in ProtocolKind::ALL {
                 let strength = if kind.is_strong() { "strong" } else { "weak" };

@@ -29,6 +29,7 @@
 
 pub use wcc_cache as cache;
 pub use wcc_core as core;
+pub use wcc_fuzz as fuzz;
 pub use wcc_httpsim as httpsim;
 pub use wcc_net as net;
 pub use wcc_proto as proto;

@@ -2,7 +2,7 @@
 //! replay, the report — is a pure function of (config, seed).
 
 use wcc_core::ProtocolKind;
-use wcc_replay::{run_experiment, ExperimentConfig};
+use wcc_replay::{run_experiment, run_trio, ExperimentConfig};
 use wcc_traces::{synthetic, ModSchedule, TraceSpec};
 use wcc_types::SimDuration;
 
@@ -47,6 +47,29 @@ fn full_replays_are_bit_identical_per_seed() {
             "{kind}"
         );
         assert_eq!(a.raw.wall_duration, b.raw.wall_duration, "{kind}");
+    }
+}
+
+#[test]
+fn run_trio_twice_is_byte_identical() {
+    // The fuzzer's determinism oracle in stronger form: not just matched
+    // counters, but byte-identical Debug renderings of the whole report
+    // trio (every counter, summary and audit verdict).
+    let mut options = wcc_httpsim::DeploymentOptions::default();
+    options.audit = true;
+    let cfg = ExperimentConfig::builder(TraceSpec::sdsc().scaled_down(80))
+        .seed(77)
+        .options(options)
+        .build();
+    let a = run_trio(&cfg);
+    let b = run_trio(&cfg);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(
+            format!("{x:?}"),
+            format!("{y:?}"),
+            "trio replay diverged for {}",
+            x.protocol
+        );
     }
 }
 

@@ -4,7 +4,8 @@
 
 use wcc_core::{ProtocolConfig, ProtocolKind};
 use wcc_replay::{
-    partition_scenario, proxy_crash_scenario, server_crash_scenario, ExperimentConfig,
+    partition_scenario, proxy_crash_scenario, server_crash_scenario,
+    server_crash_under_partition_scenario, ExperimentConfig,
 };
 use wcc_traces::TraceSpec;
 use wcc_types::SimDuration;
@@ -55,6 +56,26 @@ fn partition_matrix() {
         assert!(r.finished, "{kind}");
         assert_eq!(r.final_violations, 0, "{kind}");
         assert!(r.writes_complete || r.gave_up == 0, "{kind}");
+    }
+}
+
+#[test]
+fn server_recovery_bulk_invalidation_survives_partition() {
+    // Fuzzer regression: the server recovers while still partitioned from
+    // proxy 0, so its recovery-time bulk INVALIDATE is lost in transit. The
+    // origin must keep retrying until the proxy acks; no promised-fresh
+    // stale entry may survive to the end of the run.
+    for kind in inval_family() {
+        let out = server_crash_under_partition_scenario(&cfg(kind), 0.25, 0.65);
+        let r = &out.report.raw;
+        assert!(r.finished, "{kind}");
+        assert_eq!(r.final_violations, 0, "{kind}");
+        assert!(
+            r.bulk_invalidations > 4,
+            "{kind}: the partitioned proxy's bulk INVALIDATE must be \
+             retried, not fire-and-forget (sent {})",
+            r.bulk_invalidations
+        );
     }
 }
 

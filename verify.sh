@@ -17,4 +17,7 @@ cargo test --workspace -q
 echo "==> xtask-lint"
 cargo run --quiet --bin xtask-lint
 
+echo "==> wcc fuzz (smoke)"
+./target/release/wcc fuzz --iters 25 --seed 1 --shrink
+
 echo "verify: OK"
