@@ -5,8 +5,15 @@
 //!
 //! * **wall-clock** — no `SystemTime::now` / `Instant::now` outside the
 //!   [`WallClock`](wcc_types::WallClock) abstraction in
-//!   `crates/types/src/time.rs`. Simulated protocols must take time from
-//!   the discrete-event clock, or determinism dies.
+//!   `crates/types/src/time.rs` and the bench-trajectory timer
+//!   (`crates/bench/src/trajectory.rs`, which measures real elapsed time
+//!   by design). Simulated protocols must take time from the
+//!   discrete-event clock, or determinism dies.
+//! * **hot-path-hasher** — no default-hasher `HashMap::new()` /
+//!   `HashSet::new()` (or `std::collections::{HashMap, HashSet}` imports)
+//!   in the replay hot-path crates (`core`, `httpsim`, `simnet`): use
+//!   `wcc_types::{FxHashMap, FxHashSet}::default()` — SipHash dominated
+//!   profiles of `Url`/`ClientId`-keyed maps there.
 //! * **unwrap** — no `.unwrap()` / `.expect(` in non-test code of the
 //!   protocol crates (`core`, `proto`, `cache`): protocol paths must handle
 //!   their errors.
@@ -63,6 +70,12 @@ fn protocol_crate(path: &str) -> bool {
         || path.starts_with("crates/cache/src/")
 }
 
+fn hot_path_crate(path: &str) -> bool {
+    path.starts_with("crates/core/src/")
+        || path.starts_with("crates/httpsim/src/")
+        || path.starts_with("crates/simnet/src/")
+}
+
 fn simulation_code(path: &str) -> bool {
     // Everything except the real-network crate runs under the simulated
     // clock; `crates/net` is the one place wall-time waiting is legitimate.
@@ -76,7 +89,23 @@ const RULES: &[Rule] = &[
         message: "ambient wall clock breaks replay determinism; use \
                   wcc_types::WallClock (crates/types/src/time.rs)",
         in_scope: |_| true,
-        allowed: |path| path == "crates/types/src/time.rs",
+        allowed: |path| {
+            path == "crates/types/src/time.rs" || path == "crates/bench/src/trajectory.rs"
+        },
+        include_tests: false,
+    },
+    Rule {
+        name: "hot-path-hasher",
+        needles: &[
+            "HashMap::new()",
+            "HashSet::new()",
+            "collections::HashMap",
+            "collections::HashSet",
+        ],
+        message: "default SipHash maps are too slow for the replay hot \
+                  path; use wcc_types::FxHashMap / FxHashSet (::default())",
+        in_scope: hot_path_crate,
+        allowed: |_| false,
         include_tests: false,
     },
     Rule {
@@ -359,6 +388,44 @@ mod tests {
         assert_eq!(rules_fired("crates/simnet/src/lib.rs", src), ["wall-clock"]);
         assert_eq!(rules_fired("crates/net/src/origin.rs", src), ["wall-clock"]);
         assert!(rules_fired("crates/types/src/time.rs", src).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_allowed_in_the_trajectory_timer() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert!(rules_fired("crates/bench/src/trajectory.rs", src).is_empty());
+        assert_eq!(
+            rules_fired("crates/bench/src/bin/table3.rs", src),
+            ["wall-clock"]
+        );
+    }
+
+    #[test]
+    fn default_hashers_denied_on_the_hot_path() {
+        let map = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+        assert_eq!(
+            rules_fired("crates/core/src/server.rs", map),
+            ["hot-path-hasher"]
+        );
+        let import = "use std::collections::HashSet;\n";
+        assert_eq!(
+            rules_fired("crates/httpsim/src/coord.rs", import),
+            ["hot-path-hasher"]
+        );
+        assert_eq!(
+            rules_fired("crates/simnet/src/net.rs", map),
+            ["hot-path-hasher"]
+        );
+        // Cold paths (trace parsing, the CLI, the proto decoder) may keep
+        // the DoS-resistant default.
+        assert!(rules_fired("crates/traces/src/summary.rs", map).is_empty());
+        assert!(rules_fired("crates/proto/src/wire.rs", import).is_empty());
+        // Fx aliases pass everywhere.
+        let fx = "fn f() { let m = wcc_types::FxHashMap::<u32, u32>::default(); }\n";
+        assert!(rules_fired("crates/core/src/server.rs", fx).is_empty());
+        // Shadow models in #[cfg(test)] code are exempt.
+        let test_src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        assert!(rules_fired("crates/core/src/sitelist.rs", test_src).is_empty());
     }
 
     #[test]

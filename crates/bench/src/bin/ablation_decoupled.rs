@@ -9,24 +9,22 @@
 // Building options by mutating a default is the intended style here.
 #![allow(clippy::field_reassign_with_default)]
 
-use wcc_bench::{parse_scale, TABLE_SEED};
+use wcc_bench::{parse_jobs, parse_scale, TABLE_SEED};
 use wcc_core::ProtocolKind;
 use wcc_httpsim::{DeploymentOptions, InvalSendMode};
-use wcc_replay::{run_experiment, ExperimentConfig, ReplayReport};
+use wcc_replay::{run_batch, ExperimentConfig};
 use wcc_traces::TraceSpec;
 use wcc_types::SimDuration;
 
-fn run(spec: TraceSpec, lifetime: SimDuration, mode: InvalSendMode, scale: u64) -> ReplayReport {
+fn config(spec: TraceSpec, lifetime: SimDuration, mode: InvalSendMode, scale: u64) -> ExperimentConfig {
     let mut options = DeploymentOptions::default();
     options.send_mode = mode;
-    run_experiment(
-        &ExperimentConfig::builder(spec.scaled_down(scale))
-            .protocol(ProtocolKind::Invalidation)
-            .mean_lifetime(lifetime)
-            .seed(TABLE_SEED)
-            .options(options)
-            .build(),
-    )
+    ExperimentConfig::builder(spec.scaled_down(scale))
+        .protocol(ProtocolKind::Invalidation)
+        .mean_lifetime(lifetime)
+        .seed(TABLE_SEED)
+        .options(options)
+        .build()
 }
 
 fn fmt_ms(d: Option<wcc_types::SimDuration>) -> String {
@@ -42,10 +40,19 @@ fn main() {
         (TraceSpec::nasa(), SimDuration::from_days(7)),
         (TraceSpec::sdsc(), SimDuration::from_secs(5 * 86_400 / 2)),
     ];
-    for (spec, lifetime) in cases {
+    let jobs = parse_jobs(std::env::args());
+    let configs: Vec<ExperimentConfig> = cases
+        .iter()
+        .flat_map(|(spec, lifetime)| {
+            [InvalSendMode::Synchronous, InvalSendMode::Decoupled]
+                .map(|mode| config(spec.clone(), *lifetime, mode, scale))
+        })
+        .collect();
+    let reports = run_batch(&configs, jobs);
+    for ((spec, lifetime), pair) in cases.iter().zip(reports.chunks(2)) {
         let name = spec.name;
-        let sync = run(spec.clone(), lifetime, InvalSendMode::Synchronous, scale);
-        let dec = run(spec, lifetime, InvalSendMode::Decoupled, scale);
+        let lifetime = *lifetime;
+        let (sync, dec) = (&pair[0], &pair[1]);
         println!("--- {name} (lifetime {lifetime}) ---");
         println!("{:<30}{:>16}{:>16}", "", "synchronous", "decoupled");
         println!(

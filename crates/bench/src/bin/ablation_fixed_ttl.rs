@@ -6,10 +6,10 @@
 //! "studies have shown adaptive TTL performs best". This sweep makes that
 //! dominance measurable, with invalidation as the strong-consistency anchor.
 
-use wcc_bench::{parse_scale, TABLE_SEED};
+use wcc_bench::{parse_jobs, parse_scale, TABLE_SEED};
 use wcc_core::{ProtocolConfig, ProtocolKind};
 use wcc_replay::experiment::{materialise, run_on};
-use wcc_replay::ExperimentConfig;
+use wcc_replay::{effective_jobs, parallel, ExperimentConfig, ReplayReport};
 use wcc_traces::TraceSpec;
 use wcc_types::SimDuration;
 
@@ -31,26 +31,28 @@ fn main() {
         ("fixed-ttl 1d", SimDuration::from_days(1)),
         ("fixed-ttl 8d", SimDuration::from_days(8)),
     ];
-    for (label, ttl) in fixed {
-        let mut cfg = base.clone();
-        cfg.protocol = ProtocolConfig::new(ProtocolKind::FixedTtl).with_fixed_ttl(ttl);
-        let r = run_on(&cfg, &trace, &mods);
-        println!(
-            "{:<20}{:>12}{:>12}{:>14}{:>12}",
-            label, r.raw.total_messages, r.raw.ims, r.raw.stale_hits, r.raw.replies_200
-        );
-    }
+    // All six replays (four fixed TTLs plus the two anchors) share the
+    // workload and fan out together.
+    let mut labelled: Vec<(String, ExperimentConfig)> = fixed
+        .iter()
+        .map(|&(label, ttl)| {
+            let mut cfg = base.clone();
+            cfg.protocol = ProtocolConfig::new(ProtocolKind::FixedTtl).with_fixed_ttl(ttl);
+            (label.to_string(), cfg)
+        })
+        .collect();
     for kind in [ProtocolKind::AdaptiveTtl, ProtocolKind::Invalidation] {
         let mut cfg = base.clone();
         cfg.protocol = ProtocolConfig::new(kind);
-        let r = run_on(&cfg, &trace, &mods);
+        labelled.push((kind.name().to_string(), cfg));
+    }
+    let jobs = effective_jobs(parse_jobs(std::env::args()));
+    let reports: Vec<ReplayReport> =
+        parallel::map_indexed(&labelled, jobs, |(_, cfg)| run_on(cfg, &trace, &mods));
+    for ((label, _), r) in labelled.iter().zip(&reports) {
         println!(
             "{:<20}{:>12}{:>12}{:>14}{:>12}",
-            kind.name(),
-            r.raw.total_messages,
-            r.raw.ims,
-            r.raw.stale_hits,
-            r.raw.replies_200
+            label, r.raw.total_messages, r.raw.ims, r.raw.stale_hits, r.raw.replies_200
         );
     }
     println!(

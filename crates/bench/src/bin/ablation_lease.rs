@@ -6,9 +6,9 @@
 //! for extra `If-Modified-Since` revalidations. This sweep quantifies the
 //! trade-off on the 8-day SASK trace.
 
-use wcc_bench::{parse_scale, TABLE_SEED};
+use wcc_bench::{parse_jobs, parse_scale, TABLE_SEED};
 use wcc_core::{ProtocolConfig, ProtocolKind};
-use wcc_replay::{run_experiment, ExperimentConfig};
+use wcc_replay::{run_batch, ExperimentConfig};
 use wcc_traces::TraceSpec;
 use wcc_types::SimDuration;
 
@@ -27,13 +27,30 @@ fn main() {
         ("8d", SimDuration::from_days(8)),
         ("30d", SimDuration::from_days(30)),
     ];
-    for (label, lease) in leases {
-        let cfg = ExperimentConfig::builder(TraceSpec::sask().scaled_down(scale))
-            .protocol_config(ProtocolConfig::new(ProtocolKind::LeaseInvalidation).with_lease(lease))
+    let jobs = parse_jobs(std::env::args());
+    // The whole sweep (plus the infinite-lease anchor) fans out as one batch.
+    let mut configs: Vec<ExperimentConfig> = leases
+        .iter()
+        .map(|(_, lease)| {
+            ExperimentConfig::builder(TraceSpec::sask().scaled_down(scale))
+                .protocol_config(
+                    ProtocolConfig::new(ProtocolKind::LeaseInvalidation).with_lease(*lease),
+                )
+                .mean_lifetime(SimDuration::from_days(14))
+                .seed(TABLE_SEED)
+                .build()
+        })
+        .collect();
+    configs.push(
+        ExperimentConfig::builder(TraceSpec::sask().scaled_down(scale))
+            .protocol(ProtocolKind::Invalidation)
             .mean_lifetime(SimDuration::from_days(14))
             .seed(TABLE_SEED)
-            .build();
-        let r = run_experiment(&cfg);
+            .build(),
+    );
+    let mut reports = run_batch(&configs, jobs);
+    let plain = reports.pop().expect("anchor report");
+    for ((label, _), r) in leases.iter().zip(&reports) {
         println!(
             "{:<12}{:>12}{:>12}{:>14}{:>14}{:>12}{:>12}",
             label,
@@ -45,14 +62,6 @@ fn main() {
             r.raw.final_violations,
         );
     }
-    // Plain (infinite-lease) invalidation as the upper anchor.
-    let plain = run_experiment(
-        &ExperimentConfig::builder(TraceSpec::sask().scaled_down(scale))
-            .protocol(ProtocolKind::Invalidation)
-            .mean_lifetime(SimDuration::from_days(14))
-            .seed(TABLE_SEED)
-            .build(),
-    );
     println!(
         "{:<12}{:>12}{:>12}{:>14}{:>14}{:>12}{:>12}",
         "infinite",

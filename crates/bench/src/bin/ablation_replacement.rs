@@ -18,8 +18,9 @@ use wcc_bench::{parse_scale, TABLE_SEED};
 use wcc_cache::ReplacementPolicy;
 use wcc_core::ProtocolKind;
 use wcc_httpsim::DeploymentOptions;
+use wcc_bench::parse_jobs;
 use wcc_replay::experiment::run_on;
-use wcc_replay::{ExperimentConfig, ReplayReport};
+use wcc_replay::{effective_jobs, parallel, ExperimentConfig, ReplayReport};
 use wcc_traces::{synthetic, ModSchedule, Trace, TraceSpec};
 use wcc_types::{ByteSize, SimDuration};
 
@@ -40,23 +41,16 @@ fn workload(scale: u64) -> (Trace, ModSchedule) {
     (hot, mods)
 }
 
-fn run(
-    trace: &Trace,
-    mods: &ModSchedule,
-    policy: ReplacementPolicy,
-    kind: ProtocolKind,
-    scale: u64,
-) -> ReplayReport {
+fn config(policy: ReplacementPolicy, kind: ProtocolKind, scale: u64) -> ExperimentConfig {
     let mut options = DeploymentOptions::default();
     options.replacement = policy;
     // Constrain the cache so replacement decisions matter (per proxy).
     options.cache_capacity = ByteSize::from_mib((8 / scale).max(1));
-    let cfg = ExperimentConfig::builder(TraceSpec::sask())
+    ExperimentConfig::builder(TraceSpec::sask())
         .protocol(kind)
         .seed(TABLE_SEED)
         .options(options)
-        .build();
-    run_on(&cfg, trace, mods)
+        .build()
 }
 
 fn main() {
@@ -66,9 +60,22 @@ fn main() {
          (SASK + modification-interest, scale 1/{scale}) ===\n"
     );
     let (trace, mods) = workload(scale);
-    for kind in [ProtocolKind::AdaptiveTtl, ProtocolKind::Invalidation] {
-        let expired_first = run(&trace, &mods, ReplacementPolicy::ExpiredFirstLru, kind, scale);
-        let lru = run(&trace, &mods, ReplacementPolicy::Lru, kind, scale);
+    let kinds = [ProtocolKind::AdaptiveTtl, ProtocolKind::Invalidation];
+    // All four (policy, protocol) replays share the rewritten workload and
+    // fan out together.
+    let configs: Vec<ExperimentConfig> = kinds
+        .iter()
+        .flat_map(|&kind| {
+            [ReplacementPolicy::ExpiredFirstLru, ReplacementPolicy::Lru]
+                .map(|policy| config(policy, kind, scale))
+        })
+        .collect();
+    let jobs = effective_jobs(parse_jobs(std::env::args()));
+    let reports: Vec<ReplayReport> =
+        parallel::map_indexed(&configs, jobs, |cfg| run_on(cfg, &trace, &mods));
+    for (kind, pair) in kinds.iter().zip(reports.chunks(2)) {
+        let kind = *kind;
+        let (expired_first, lru) = (&pair[0], &pair[1]);
         println!("--- protocol: {kind} ---");
         println!("{:<26}{:>16}{:>16}", "", "expired-first", "pure LRU");
         println!(

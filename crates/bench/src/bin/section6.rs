@@ -6,13 +6,15 @@
 //! is reduced from 1155 entries to 473 entries. The reduction is achieved
 //! with 2489 extra if-modified-since requests."
 
-use wcc_bench::{parse_scale, TABLE_SEED};
-use wcc_replay::{two_tier_comparison, ExperimentConfig};
+use wcc_bench::{parse_jobs, parse_scale, TABLE_SEED};
+use wcc_core::{ProtocolConfig, ProtocolKind};
+use wcc_replay::{run_batch, ExperimentConfig, TwoTierComparison};
 use wcc_traces::TraceSpec;
 use wcc_types::SimDuration;
 
 fn main() {
     let scale = parse_scale(std::env::args());
+    let jobs = parse_jobs(std::env::args());
     println!("=== Section 6: two-tier lease-augmented invalidation (SASK, scale 1/{scale}) ===\n");
     let base = ExperimentConfig::builder(TraceSpec::sask().scaled_down(scale))
         .mean_lifetime(SimDuration::from_days(14))
@@ -20,7 +22,16 @@ fn main() {
         .build();
     // Full lease longer than the 8-day trace, as in the paper's comparison
     // (their simple scheme is "a lease equal to the duration of each trace").
-    let cmp = two_tier_comparison(&base, SimDuration::from_days(30));
+    // Both arms fan out together; same result as `two_tier_comparison`.
+    let mut plain_cfg = base.clone();
+    plain_cfg.protocol = ProtocolConfig::new(ProtocolKind::Invalidation);
+    let mut two_tier_cfg = base;
+    two_tier_cfg.protocol =
+        ProtocolConfig::new(ProtocolKind::TwoTierLease).with_lease(SimDuration::from_days(30));
+    let mut reports = run_batch(&[plain_cfg, two_tier_cfg], jobs);
+    let two_tier = reports.pop().expect("two reports");
+    let plain = reports.pop().expect("two reports");
+    let cmp = TwoTierComparison { plain, two_tier };
 
     let (plain_entries, tt_entries) = cmp.entries();
     let (plain_max, tt_max) = cmp.max_list();

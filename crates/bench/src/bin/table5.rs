@@ -2,10 +2,10 @@
 //! list length among modified documents, and invalidation send times — for
 //! all six replays.
 
-use wcc_bench::{experiment_label, paper_experiments, parse_scale, TABLE_SEED};
+use wcc_bench::{experiment_label, paper_experiments, parse_jobs, parse_scale, TABLE_SEED};
 use wcc_core::ProtocolKind;
 use wcc_replay::tables::format_table5_column;
-use wcc_replay::{run_experiment, ExperimentConfig};
+use wcc_replay::{run_batch, ExperimentConfig};
 
 /// The storage row preserved in the extracted paper text.
 const PAPER_STORAGE: [(&str, &str); 6] = [
@@ -19,17 +19,24 @@ const PAPER_STORAGE: [(&str, &str); 6] = [
 
 fn main() {
     let scale = parse_scale(std::env::args());
+    let jobs = parse_jobs(std::env::args());
     println!("=== Table 5: invalidation costs (seed {TABLE_SEED}, scale 1/{scale}) ===\n");
-    for (spec, lifetime, _paper_mods) in paper_experiments() {
-        let label = experiment_label(&spec, lifetime);
-        let cfg = ExperimentConfig::builder(spec.scaled_down(scale))
-            .protocol(ProtocolKind::Invalidation)
-            .mean_lifetime(lifetime)
-            .seed(TABLE_SEED)
-            .build();
-        let report = run_experiment(&cfg);
+    let experiments = paper_experiments();
+    let configs: Vec<ExperimentConfig> = experiments
+        .iter()
+        .map(|(spec, lifetime, _)| {
+            ExperimentConfig::builder(spec.clone().scaled_down(scale))
+                .protocol(ProtocolKind::Invalidation)
+                .mean_lifetime(*lifetime)
+                .seed(TABLE_SEED)
+                .build()
+        })
+        .collect();
+    let reports = run_batch(&configs, jobs);
+    for ((spec, lifetime, _), report) in experiments.iter().zip(&reports) {
+        let label = experiment_label(spec, *lifetime);
         println!("--- {label} ---");
-        println!("{}", format_table5_column(&report));
+        println!("{}", format_table5_column(report));
     }
     println!("Paper reference (storage row):");
     for (trace, storage) in PAPER_STORAGE {

@@ -1,0 +1,54 @@
+//! Writes the bench trajectory report (`BENCH_replay.json`).
+//!
+//! Times the Tables 3+4 grid sequentially and fanned out, plus the
+//! single-threaded inner-loop workload, and writes the JSON report — see
+//! `wcc_bench::trajectory` for what is measured and how the embedded
+//! baselines were taken. Exits non-zero if the parallel grid is not
+//! byte-identical to the sequential one.
+//!
+//! Usage: `trajectory [--scale N] [--jobs N] [--out PATH]`
+//! (default `--out BENCH_replay.json`, i.e. the repo root when run from
+//! there).
+
+use wcc_bench::{parse_jobs, parse_scale, trajectory};
+
+fn parse_out(mut args: impl Iterator<Item = String>) -> String {
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            if let Some(path) = args.next() {
+                return path;
+            }
+        }
+    }
+    "BENCH_replay.json".to_string()
+}
+
+fn main() {
+    let scale = parse_scale(std::env::args());
+    let jobs = parse_jobs(std::env::args());
+    let out = parse_out(std::env::args());
+    eprintln!("trajectory: timing grid + inner loop at scale 1/{scale} ...");
+    let report = trajectory::run(scale, jobs);
+    println!(
+        "grid ({} configs): sequential {} ms, parallel {} ms at --jobs {} \
+         ({:.2}x, {} core(s)); inner loop: {} requests in {} ms ({} req/s)",
+        report.grid_configs,
+        report.grid_sequential_ms,
+        report.grid_parallel_ms,
+        report.jobs,
+        report.speedup,
+        report.host_cores,
+        report.inner_requests,
+        report.inner_wall_ms,
+        report.inner_requests_per_sec,
+    );
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("trajectory: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+    if !report.byte_identical {
+        eprintln!("trajectory: FATAL: parallel grid diverged from sequential run");
+        std::process::exit(1);
+    }
+}

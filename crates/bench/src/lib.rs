@@ -15,13 +15,18 @@
 //! | `ablation_replacement` | A2 — expired-first vs. LRU replacement |
 //! | `ablation_lease` | A3 — lease-duration sweep |
 //! | `failure_report` | F1 — §4 failure scenarios |
+//! | `trajectory` | `BENCH_replay.json` — tracked perf trajectory |
 //!
 //! Every binary accepts an optional `--scale N` argument that divides the
 //! workload size by `N` (full scale by default; the full tables take a few
-//! seconds total in release mode).
+//! seconds total in release mode) and an optional `--jobs N` worker count
+//! for the replay fan-out (default: `WCC_JOBS`, else the core count —
+//! see [`wcc_replay::effective_jobs`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod trajectory;
 
 use wcc_traces::TraceSpec;
 use wcc_types::SimDuration;
@@ -72,6 +77,36 @@ pub fn parse_scale(mut args: impl Iterator<Item = String>) -> u64 {
     1
 }
 
+/// Parses the common `--jobs N` argument: `Some(n)` when given (0 is
+/// treated as "auto", like omitting the flag), `None` otherwise — `None`
+/// defers to `WCC_JOBS` / the core count via
+/// [`wcc_replay::effective_jobs`].
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(wcc_bench::parse_jobs(["prog".into()].into_iter()), None);
+/// assert_eq!(
+///     wcc_bench::parse_jobs(["prog".into(), "--jobs".into(), "4".into()].into_iter()),
+///     Some(4)
+/// );
+/// ```
+pub fn parse_jobs(mut args: impl Iterator<Item = String>) -> Option<usize> {
+    while let Some(arg) = args.next() {
+        if arg == "--jobs" {
+            match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => return Some(n),
+                Some(_) => return None, // 0 = auto
+                None => {
+                    eprintln!("warning: bad --jobs value; using auto");
+                    return None;
+                }
+            }
+        }
+    }
+    None
+}
+
 /// A labelled experiment id for the SDSC lifetime variants: the paper calls
 /// them SDSC(57) and SDSC(576) after their modification counts.
 pub fn experiment_label(spec: &TraceSpec, lifetime: SimDuration) -> String {
@@ -112,6 +147,16 @@ mod tests {
         assert_eq!(parse_scale(args(&["p", "--scale", "25"]).into_iter()), 25);
         assert_eq!(parse_scale(args(&["p", "--scale", "zero"]).into_iter()), 1);
         assert_eq!(parse_scale(args(&["p", "--scale", "0"]).into_iter()), 1);
+    }
+
+    #[test]
+    fn jobs_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_jobs(args(&["p"]).into_iter()), None);
+        assert_eq!(parse_jobs(args(&["p", "--jobs", "8"]).into_iter()), Some(8));
+        assert_eq!(parse_jobs(args(&["p", "--jobs", "0"]).into_iter()), None);
+        assert_eq!(parse_jobs(args(&["p", "--jobs", "x"]).into_iter()), None);
+        assert_eq!(parse_jobs(args(&["p", "--scale", "4"]).into_iter()), None);
     }
 
     #[test]

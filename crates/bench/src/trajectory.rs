@@ -1,0 +1,260 @@
+//! The tracked bench trajectory: timing the replay engine release over
+//! release.
+//!
+//! [`run`] times two fixed-seed workloads and emits a machine-readable
+//! report (`BENCH_replay.json` at the repo root, written by the
+//! `trajectory` binary and uploaded by CI):
+//!
+//! * **grid** — the full Tables 3 + 4 grid (six experiments × three
+//!   protocols = 18 independent replays), once sequentially (`--jobs 1`)
+//!   and once fanned out over the worker pool. The two passes must be
+//!   byte-identical (`Debug`-string comparison, the same oracle as
+//!   `tests/determinism.rs`); the report records both wall times and the
+//!   speedup.
+//! * **inner loop** — the full EPA invalidation replay on one thread,
+//!   reported as requests per second. This isolates single-threaded engine
+//!   throughput from fan-out, so hot-path work (hashing, allocation,
+//!   message encoding) shows up here and thread-pool work shows up above.
+//!
+//! The `baseline_*` constants are the same measurements taken at scale 1
+//! immediately **before** this round of optimisation (default-hasher maps,
+//! per-call `String` paths on the wire encoder, sequential-only harness) on
+//! the reference dev container, so the JSON carries its own before/after.
+//! Baselines are only comparable at `scale == 1` on similar hardware;
+//! `host_cores` is recorded so a single-core runner's `speedup ≈ 1` is not
+//! mistaken for a pool regression.
+//!
+//! This is the one module in the workspace allowed to read the wall clock
+//! (`Instant::now`): it measures real elapsed time by design and feeds
+//! nothing back into any simulation. `xtask lint` allowlists exactly this
+//! file.
+
+use std::time::Instant;
+
+use crate::{paper_experiments, TABLE_SEED};
+use wcc_core::{ProtocolConfig, ProtocolKind};
+use wcc_replay::{run_batch, run_experiment, ExperimentConfig};
+use wcc_traces::TraceSpec;
+
+/// Wall time of the full Tables 3+4 grid, run sequentially, measured at
+/// scale 1 on the reference container *before* the hot-path optimisation
+/// round (milliseconds).
+pub const BASELINE_GRID_SEQUENTIAL_MS: u64 = 2794;
+
+/// Wall time of the inner-loop workload (full EPA invalidation replay)
+/// before the optimisation round, same conditions (milliseconds).
+pub const BASELINE_INNER_WALL_MS: u64 = 170;
+
+/// Requests per second of the inner-loop workload before the optimisation
+/// round (`40_658` requests / [`BASELINE_INNER_WALL_MS`]).
+pub const BASELINE_INNER_REQUESTS_PER_SEC: u64 = 239_000;
+
+/// One trajectory measurement, ready to serialise.
+#[derive(Debug, Clone)]
+pub struct TrajectoryReport {
+    /// Workload divisor the run used (baselines assume 1).
+    pub scale: u64,
+    /// Worker count of the parallel grid pass.
+    pub jobs: usize,
+    /// Cores the host reported (`available_parallelism`).
+    pub host_cores: usize,
+    /// Replays in the grid (6 experiments × 3 protocols).
+    pub grid_configs: usize,
+    /// Grid wall time with `--jobs 1` (milliseconds).
+    pub grid_sequential_ms: u64,
+    /// Grid wall time fanned out over `jobs` workers (milliseconds).
+    pub grid_parallel_ms: u64,
+    /// `grid_sequential_ms / grid_parallel_ms`.
+    pub speedup: f64,
+    /// Whether the two grid passes produced byte-identical reports
+    /// (`Debug`-string comparison). Anything but `true` is a bug.
+    pub byte_identical: bool,
+    /// Requests replayed by the inner-loop workload.
+    pub inner_requests: u64,
+    /// Inner-loop wall time (milliseconds).
+    pub inner_wall_ms: u64,
+    /// Inner-loop throughput.
+    pub inner_requests_per_sec: u64,
+}
+
+/// The 18-config Tables 3+4 grid at `scale`, in table order.
+pub fn grid_configs(scale: u64) -> Vec<ExperimentConfig> {
+    paper_experiments()
+        .into_iter()
+        .flat_map(|(spec, lifetime, _)| {
+            ProtocolKind::PAPER_TRIO.map(|kind| {
+                ExperimentConfig::builder(spec.clone().scaled_down(scale))
+                    .protocol_config(ProtocolConfig::new(kind))
+                    .mean_lifetime(lifetime)
+                    .seed(TABLE_SEED)
+                    .build()
+            })
+        })
+        .collect()
+}
+
+fn millis(elapsed: std::time::Duration) -> u64 {
+    // Round up so a sub-millisecond run never reports 0 (and never divides
+    // by zero downstream).
+    elapsed.as_millis().max(1) as u64
+}
+
+/// Runs both trajectory workloads and returns the measurements.
+///
+/// `jobs` follows the usual resolution ([`wcc_replay::effective_jobs`]):
+/// explicit value, else `WCC_JOBS`, else the core count.
+pub fn run(scale: u64, jobs: Option<usize>) -> TrajectoryReport {
+    let jobs = wcc_replay::effective_jobs(jobs);
+    let configs = grid_configs(scale);
+
+    let start = Instant::now();
+    let sequential = run_batch(&configs, Some(1));
+    let grid_sequential_ms = millis(start.elapsed());
+
+    let start = Instant::now();
+    let parallel = run_batch(&configs, Some(jobs));
+    let grid_parallel_ms = millis(start.elapsed());
+
+    let byte_identical = sequential.len() == parallel.len()
+        && sequential
+            .iter()
+            .zip(&parallel)
+            .all(|(s, p)| format!("{s:?}") == format!("{p:?}"));
+
+    // Inner loop: one full EPA invalidation replay on the calling thread.
+    let inner_cfg = ExperimentConfig::builder(TraceSpec::epa().scaled_down(scale))
+        .protocol(ProtocolKind::Invalidation)
+        .seed(TABLE_SEED)
+        .build();
+    let start = Instant::now();
+    let inner = run_experiment(&inner_cfg);
+    let inner_wall_ms = millis(start.elapsed());
+
+    TrajectoryReport {
+        scale,
+        jobs,
+        host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        grid_configs: configs.len(),
+        grid_sequential_ms,
+        grid_parallel_ms,
+        speedup: grid_sequential_ms as f64 / grid_parallel_ms as f64,
+        byte_identical,
+        inner_requests: inner.raw.requests,
+        inner_wall_ms,
+        inner_requests_per_sec: inner.raw.requests * 1000 / inner_wall_ms,
+    }
+}
+
+impl TrajectoryReport {
+    /// Serialises the report (plus the embedded baselines) as JSON.
+    ///
+    /// Hand-rolled — the workspace carries no serde — but stable: keys are
+    /// emitted in a fixed order so diffs between releases are meaningful.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"wcc-bench-trajectory/1\",\n");
+        out.push_str(&format!("  \"scale\": {},\n", self.scale));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
+        out.push_str("  \"grid\": {\n");
+        out.push_str(&format!("    \"configs\": {},\n", self.grid_configs));
+        out.push_str(&format!(
+            "    \"sequential_ms\": {},\n",
+            self.grid_sequential_ms
+        ));
+        out.push_str(&format!("    \"parallel_ms\": {},\n", self.grid_parallel_ms));
+        out.push_str(&format!("    \"speedup\": {:.3},\n", self.speedup));
+        out.push_str(&format!(
+            "    \"byte_identical\": {}\n",
+            self.byte_identical
+        ));
+        out.push_str("  },\n");
+        out.push_str("  \"inner_loop\": {\n");
+        out.push_str("    \"workload\": \"EPA invalidation replay\",\n");
+        out.push_str(&format!("    \"requests\": {},\n", self.inner_requests));
+        out.push_str(&format!("    \"wall_ms\": {},\n", self.inner_wall_ms));
+        out.push_str(&format!(
+            "    \"requests_per_sec\": {}\n",
+            self.inner_requests_per_sec
+        ));
+        out.push_str("  },\n");
+        out.push_str("  \"baseline\": {\n");
+        out.push_str(
+            "    \"note\": \"pre-optimisation, scale 1, sequential harness, reference container\",\n",
+        );
+        out.push_str(&format!(
+            "    \"grid_sequential_ms\": {},\n",
+            BASELINE_GRID_SEQUENTIAL_MS
+        ));
+        out.push_str(&format!(
+            "    \"inner_wall_ms\": {},\n",
+            BASELINE_INNER_WALL_MS
+        ));
+        out.push_str(&format!(
+            "    \"inner_requests_per_sec\": {}\n",
+            BASELINE_INNER_REQUESTS_PER_SEC
+        ));
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_tables_3_and_4() {
+        let configs = grid_configs(100);
+        assert_eq!(configs.len(), 18);
+        // Table order: each experiment contributes one full trio.
+        for block in configs.chunks(3) {
+            for (cfg, kind) in block.iter().zip(ProtocolKind::PAPER_TRIO) {
+                assert_eq!(cfg.protocol.kind, kind);
+                assert_eq!(cfg.spec.name, block[0].spec.name);
+            }
+        }
+        assert_eq!(configs[0].spec.name, "EPA");
+        assert_eq!(configs[17].spec.name, "SDSC");
+    }
+
+    #[test]
+    fn reduced_scale_run_measures_and_stays_identical() {
+        let report = run(400, Some(2));
+        assert!(report.byte_identical, "parallel grid diverged");
+        assert_eq!(report.grid_configs, 18);
+        assert_eq!(report.jobs, 2);
+        assert!(report.inner_requests > 0);
+        assert!(report.inner_requests_per_sec > 0);
+        assert!(report.grid_sequential_ms >= 1 && report.grid_parallel_ms >= 1);
+    }
+
+    #[test]
+    fn json_is_stable_and_carries_baselines() {
+        let report = TrajectoryReport {
+            scale: 1,
+            jobs: 4,
+            host_cores: 8,
+            grid_configs: 18,
+            grid_sequential_ms: 2000,
+            grid_parallel_ms: 800,
+            speedup: 2.5,
+            byte_identical: true,
+            inner_requests: 40_658,
+            inner_wall_ms: 150,
+            inner_requests_per_sec: 271_053,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"wcc-bench-trajectory/1\""));
+        assert!(json.contains("\"speedup\": 2.500"));
+        assert!(json.contains("\"byte_identical\": true"));
+        assert!(json.contains(&format!(
+            "\"grid_sequential_ms\": {BASELINE_GRID_SEQUENTIAL_MS}"
+        )));
+        // Balanced braces, no trailing commas before closers.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n  }") && !json.contains(",\n}"));
+    }
+}

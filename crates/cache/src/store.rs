@@ -1,7 +1,7 @@
 //! The byte-budgeted cache store and its replacement policies.
 
-use std::collections::{BTreeSet, HashMap};
-use wcc_types::{ByteSize, DocMeta, ScopedUrl, ServerId, SimTime};
+use std::collections::BTreeSet;
+use wcc_types::{ByteSize, DocMeta, FxHashMap, ScopedUrl, ServerId, SimTime};
 
 /// Which victim-selection discipline the store uses when over budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -121,7 +121,7 @@ pub struct CacheStats {
 pub struct CacheStore {
     capacity: ByteSize,
     policy: ReplacementPolicy,
-    entries: HashMap<ScopedUrl, Entry>,
+    entries: FxHashMap<ScopedUrl, Entry>,
     /// LRU index: ordered by (access_seq, key).
     lru: BTreeSet<(u64, ScopedUrl)>,
     /// Expiry index: ordered by (ttl_expires, key); only finite expiries.
@@ -137,7 +137,7 @@ impl CacheStore {
         CacheStore {
             capacity,
             policy,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             lru: BTreeSet::new(),
             expiry: BTreeSet::new(),
             used: ByteSize::ZERO,

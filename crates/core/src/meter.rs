@@ -13,8 +13,7 @@
 //! the requests it sees directly, reconstructing the document's true view
 //! count.
 
-use std::collections::HashMap;
-use wcc_types::Url;
+use wcc_types::{FxHashMap, Url};
 
 /// Per-document view accounting.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -48,7 +47,7 @@ impl DocViews {
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct HitMeter {
-    per_doc: HashMap<Url, DocViews>,
+    per_doc: FxHashMap<Url, DocViews>,
     served: u64,
     reported: u64,
 }

@@ -2,9 +2,8 @@
 
 use crate::config::{ProtocolConfig, ProtocolKind};
 use crate::AdaptiveTtlConfig;
-use std::collections::HashMap;
 use wcc_cache::{CacheStore, Freshness};
-use wcc_types::{ClientId, DocMeta, ScopedUrl, ServerId, SimDuration, SimTime, Url};
+use wcc_types::{ClientId, DocMeta, FxHashMap, ScopedUrl, ServerId, SimDuration, SimTime, Url};
 
 /// What the proxy must do to satisfy a user request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,7 +46,7 @@ pub struct ProxyPolicy {
     fixed_ttl: SimDuration,
     /// Volume leases: per (client, server) volume expiry. Only populated
     /// under [`ProtocolKind::VolumeLease`].
-    volumes: HashMap<(ClientId, ServerId), SimTime>,
+    volumes: FxHashMap<(ClientId, ServerId), SimTime>,
 }
 
 impl ProxyPolicy {
@@ -57,7 +56,7 @@ impl ProxyPolicy {
             kind: cfg.kind,
             ttl: cfg.adaptive_ttl,
             fixed_ttl: cfg.fixed_ttl,
-            volumes: HashMap::new(),
+            volumes: FxHashMap::default(),
         }
     }
 

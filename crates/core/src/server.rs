@@ -2,8 +2,7 @@
 
 use crate::config::{LeasePolicy, ProtocolConfig, ProtocolKind};
 use crate::sitelist::InvalidationTable;
-use std::collections::{HashMap, HashSet};
-use wcc_types::{ClientId, DocMeta, ServerId, SimDuration, SimTime, Url};
+use wcc_types::{ClientId, DocMeta, FxHashMap, FxHashSet, ServerId, SimDuration, SimTime, Url};
 
 /// The accelerator's decision about one `GET`/`If-Modified-Since` request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,16 +55,16 @@ pub struct ServerConsistency {
     lease_policy: LeasePolicy,
     table: InvalidationTable,
     /// Invalidations sent but not yet acknowledged, per document.
-    pending: HashMap<Url, HashSet<ClientId>>,
+    pending: FxHashMap<Url, FxHashSet<ClientId>>,
     /// Every client site this server has ever replied to (mirrored to disk;
     /// survives crashes — used for the bulk `INVALIDATE <server>` on
     /// recovery).
-    ever_seen: HashSet<ClientId>,
+    ever_seen: FxHashSet<ClientId>,
     /// PSI / volume leases: invalidations waiting to ride the next reply
     /// to each site.
-    piggyback_queues: HashMap<ClientId, Vec<Url>>,
+    piggyback_queues: FxHashMap<ClientId, Vec<Url>>,
     /// Volume leases: per-client volume expiry (trace time).
-    volume_leases: HashMap<ClientId, SimTime>,
+    volume_leases: FxHashMap<ClientId, SimTime>,
     /// Volume-lease length.
     volume_len: SimDuration,
     /// Site-list length observed at each modification (Table 5's
@@ -82,10 +81,10 @@ impl ServerConsistency {
             kind: cfg.kind,
             lease_policy: cfg.lease_policy(),
             table: InvalidationTable::new(),
-            pending: HashMap::new(),
-            ever_seen: HashSet::new(),
-            piggyback_queues: HashMap::new(),
-            volume_leases: HashMap::new(),
+            pending: FxHashMap::default(),
+            ever_seen: FxHashSet::default(),
+            piggyback_queues: FxHashMap::default(),
+            volume_leases: FxHashMap::default(),
             volume_len: cfg.volume_lease,
             modified_list_lens: Vec::new(),
             stats: ServerStats::default(),

@@ -8,8 +8,7 @@
 //! needs to remember clients whose leases have not expired, which is what
 //! bounds table growth (§6).
 
-use std::collections::HashMap;
-use wcc_types::{ByteSize, ClientId, SimTime, Url};
+use wcc_types::{ByteSize, ClientId, FxHashMap, SimTime, Url};
 
 /// Estimated memory cost of one site-list entry, in bytes. The paper reports
 /// site-list storage "on the order of 20 to 30 bytes per request"; 24 bytes
@@ -55,7 +54,7 @@ pub struct SiteListStats {
 /// ```
 #[derive(Debug, Default, Clone)]
 pub struct InvalidationTable {
-    lists: HashMap<Url, HashMap<ClientId, SimTime>>,
+    lists: FxHashMap<Url, FxHashMap<ClientId, SimTime>>,
 }
 
 impl InvalidationTable {

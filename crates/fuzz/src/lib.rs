@@ -49,6 +49,10 @@ pub struct FuzzConfig {
     /// Self-test mode: plant a forged stale serve in every scenario's
     /// audit log and require the auditor to find it.
     pub inject_stale_serve: bool,
+    /// Worker threads for scenario evaluation: 0 resolves like
+    /// [`wcc_replay::effective_jobs`] (CLI `--jobs` / `WCC_JOBS` / cores).
+    /// The outcome is byte-identical at any job count.
+    pub jobs: usize,
 }
 
 impl Default for FuzzConfig {
@@ -58,6 +62,7 @@ impl Default for FuzzConfig {
             seed: 1,
             shrink: false,
             inject_stale_serve: false,
+            jobs: 0,
         }
     }
 }
@@ -220,40 +225,59 @@ pub fn fuzz(config: &FuzzConfig) -> FuzzOutcome {
         failure: None,
     };
 
-    for iter in 0..config.iters {
-        let seed = scenario_seed(config.seed, iter);
-        let scenario = Scenario::generate(seed);
-        outcome.iters_run += 1;
-        match check(&scenario, &opts) {
-            Ok(stats) => {
-                outcome.clean += 1;
-                *outcome
-                    .by_protocol
-                    .entry(stats.protocol.to_string())
-                    .or_insert(0) += 1;
-                outcome.requests += stats.requests;
-                outcome.events += stats.events as u64;
-                outcome.checked_serves += stats.checked_serves;
-                outcome.fault_entries += stats.fault_entries as u64;
-            }
-            Err(failure) => {
-                let planted = config.inject_stale_serve
-                    && failure.kind == FailureKind::Audit(wcc_audit::Check::Staleness)
-                    && failure.detail.starts_with("planted");
-                let shrunk = config
-                    .shrink
-                    .then(|| shrink(&scenario, &failure, &opts, DEFAULT_SHRINK_BUDGET));
-                outcome.failure = Some(FoundFailure {
-                    iter,
-                    seed,
-                    scenario,
-                    failure,
-                    planted,
-                    shrunk,
-                });
-                break;
+    // Scenarios are independent pure functions of their seed, so blocks of
+    // them fan out over the worker pool; the verdicts are then scanned in
+    // iteration order, which keeps the early-stop point — and therefore the
+    // whole summary — byte-identical to the sequential loop. At most one
+    // block of speculative work past a failure is discarded.
+    let jobs = wcc_replay::effective_jobs((config.jobs > 0).then_some(config.jobs));
+    let block = (jobs as u64).saturating_mul(2).max(1);
+    let mut next = 0u64;
+    'sweep: while next < config.iters {
+        let end = next.saturating_add(block).min(config.iters);
+        let iters: Vec<u64> = (next..end).collect();
+        let results = wcc_replay::parallel::map_indexed(&iters, jobs, |&iter| {
+            let seed = scenario_seed(config.seed, iter);
+            let scenario = Scenario::generate(seed);
+            let verdict = check(&scenario, &opts);
+            (seed, scenario, verdict)
+        });
+        for (iter, (seed, scenario, verdict)) in iters.iter().copied().zip(results) {
+            outcome.iters_run += 1;
+            match verdict {
+                Ok(stats) => {
+                    outcome.clean += 1;
+                    *outcome
+                        .by_protocol
+                        .entry(stats.protocol.to_string())
+                        .or_insert(0) += 1;
+                    outcome.requests += stats.requests;
+                    outcome.events += stats.events as u64;
+                    outcome.checked_serves += stats.checked_serves;
+                    outcome.fault_entries += stats.fault_entries as u64;
+                }
+                Err(failure) => {
+                    let planted = config.inject_stale_serve
+                        && failure.kind == FailureKind::Audit(wcc_audit::Check::Staleness)
+                        && failure.detail.starts_with("planted");
+                    // Shrinking is rare (first failure only) and stays on
+                    // the calling thread.
+                    let shrunk = config
+                        .shrink
+                        .then(|| shrink(&scenario, &failure, &opts, DEFAULT_SHRINK_BUDGET));
+                    outcome.failure = Some(FoundFailure {
+                        iter,
+                        seed,
+                        scenario,
+                        failure,
+                        planted,
+                        shrunk,
+                    });
+                    break 'sweep;
+                }
             }
         }
+        next = end;
     }
     outcome
 }
@@ -290,6 +314,7 @@ mod tests {
             seed: 1,
             shrink: true,
             inject_stale_serve: true,
+            ..FuzzConfig::default()
         };
         let outcome = fuzz(&config);
         let found = outcome.failure.as_ref().expect("plant never found");

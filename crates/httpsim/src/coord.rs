@@ -1,10 +1,9 @@
 //! The time coordinator: lock-step replay in five-minute windows.
 
 use crate::SimMsg;
-use std::collections::HashSet;
 use wcc_proto::{CoordMsg, Message};
 use wcc_simnet::{Ctx, Node};
-use wcc_types::{NodeId, SimDuration, SimTime};
+use wcc_types::{FxHashSet, NodeId, SimDuration, SimTime};
 
 /// Wall-clock watchdog: if a window has not completed after this long, the
 /// coordinator re-broadcasts `StepStart` to the stragglers (a crashed node
@@ -23,7 +22,7 @@ pub struct CoordinatorNode {
     window: SimDuration,
     trace_duration: SimDuration,
     step: u32,
-    waiting: HashSet<NodeId>,
+    waiting: FxHashSet<NodeId>,
     /// Set once the final (flush) window has completed.
     pub(crate) finished: bool,
     /// Completed lock-step windows.
@@ -40,7 +39,7 @@ impl CoordinatorNode {
             window,
             trace_duration,
             step: 0,
-            waiting: HashSet::new(),
+            waiting: FxHashSet::default(),
             finished: false,
             steps_run: 0,
             finished_at: None,
@@ -97,7 +96,7 @@ impl CoordinatorNode {
             step: self.step,
             window_end: self.window_end(self.step),
         });
-        for &node in &self.waiting.clone() {
+        for &node in &self.waiting {
             let size = msg.wire_size();
             ctx.send(node, SimMsg::Net(msg.clone()), size);
         }

@@ -8,12 +8,11 @@ use crate::parent::{ParentCounters, ParentNode};
 use crate::proxy::{partition_records, ProxyCounters, ProxyNode};
 use crate::sender::InvalSenderNode;
 use crate::SimMsg;
-use std::collections::HashMap;
 use wcc_cache::{CacheStore, ReplacementPolicy};
 use wcc_core::{ProtocolConfig, ProtocolKind, ProxyPolicy, ServerConsistency, SiteListStats};
 use wcc_simnet::{FaultPlan, LinkSpec, NetworkConfig, Simulation, Summary};
 use wcc_traces::{ModSchedule, Trace};
-use wcc_types::{AuditEvent, ByteSize, ClientId, NodeId, SimDuration, SimTime, Url};
+use wcc_types::{AuditEvent, ByteSize, ClientId, FxHashMap, NodeId, SimDuration, SimTime, Url};
 
 /// How the accelerator transmits invalidation batches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -166,7 +165,7 @@ impl Deployment {
         cfg: &ProtocolConfig,
         options: DeploymentOptions,
     ) -> Deployment {
-        Deployment::build_inner(&[(trace.clone(), mods.clone())], cfg, options)
+        Deployment::build_inner(&[(trace, mods)], cfg, options)
     }
 
     /// Assembles a multi-server deployment: one origin (and one modifier)
@@ -183,11 +182,15 @@ impl Deployment {
         cfg: &ProtocolConfig,
         options: DeploymentOptions,
     ) -> Deployment {
-        Deployment::build_inner(workloads, cfg, options)
+        let borrowed: Vec<(&Trace, &ModSchedule)> =
+            workloads.iter().map(|(t, m)| (t, m)).collect();
+        Deployment::build_inner(&borrowed, cfg, options)
     }
 
+    // Workloads travel by reference so the single-trace [`Deployment::build`]
+    // path (every replay experiment) never clones the trace.
     fn build_inner(
-        workloads: &[(Trace, ModSchedule)],
+        workloads: &[(&Trace, &ModSchedule)],
         cfg: &ProtocolConfig,
         options: DeploymentOptions,
     ) -> Deployment {
@@ -317,7 +320,7 @@ impl Deployment {
             sim.node_mut::<InvalSenderNode>(s).set_proxies(downstream);
         }
         if let Some(par) = parent {
-            let routes: HashMap<ClientId, NodeId> = proxies
+            let routes: FxHashMap<ClientId, NodeId> = proxies
                 .iter()
                 .enumerate()
                 .map(|(i, &node)| (ClientId::from_raw(i as u32), node))
@@ -548,7 +551,7 @@ impl Deployment {
         // Staleness audit: compare every cache-served delivery against the
         // touch-log oracle (keyed by full URL so multi-server documents
         // with the same index do not collide).
-        let mut touches: HashMap<Url, Vec<SimTime>> = HashMap::new();
+        let mut touches: FxHashMap<Url, Vec<SimTime>> = FxHashMap::default();
         for i in 0..self.origins.len() {
             let origin = self.origin_at(i);
             let server = origin.consistency().server();

@@ -3,12 +3,12 @@
 use crate::cost::CostModel;
 use crate::deployment::{ChangeDetection, InvalSendMode};
 use crate::SimMsg;
-use std::collections::HashMap;
 use wcc_core::{HitMeter, ServerConsistency};
 use wcc_proto::{CoordMsg, GetRequest, HttpMsg, Message, Reply, ReplyStatus};
 use wcc_simnet::{Ctx, Node, Summary};
 use wcc_types::{
-    AuditEvent, Body, ByteSize, ClientId, DocMeta, NodeId, ServerId, SimDuration, SimTime, Url,
+    AuditEvent, Body, ByteSize, ClientId, DocMeta, FxHashMap, NodeId, ServerId, SimDuration,
+    SimTime, Url,
 };
 
 /// Timer token for the recovery bulk-invalidation retry loop. Per-document
@@ -57,7 +57,7 @@ struct MemCache {
     budget: u64,
     used: u64,
     seq: u64,
-    entries: HashMap<u32, (u64, u64)>, // doc -> (last-use seq, scaled size)
+    entries: FxHashMap<u32, (u64, u64)>, // doc -> (last-use seq, scaled size)
     order: std::collections::BTreeSet<(u64, u32)>,
 }
 
@@ -67,7 +67,7 @@ impl MemCache {
             budget: budget.as_u64(),
             used: 0,
             seq: 0,
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             order: std::collections::BTreeSet::new(),
         }
     }
@@ -130,7 +130,7 @@ pub struct OriginNode {
     coordinator: Option<NodeId>,
     retry_interval: SimDuration,
     max_retries: u32,
-    retry_counts: HashMap<u32, u32>,
+    retry_counts: FxHashMap<u32, u32>,
     /// Proxy nodes that have not yet acknowledged the recovery-time bulk
     /// `INVALIDATE <server-addr>`; re-sent on a timer until empty. A
     /// partition at recovery time would otherwise swallow the bulk message
@@ -180,7 +180,7 @@ impl OriginNode {
             coordinator: None,
             retry_interval,
             max_retries,
-            retry_counts: HashMap::new(),
+            retry_counts: FxHashMap::default(),
             recovery_unacked: Vec::new(),
             recovery_attempts: 0,
             prev_window_end: SimTime::ZERO,

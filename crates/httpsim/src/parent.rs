@@ -15,12 +15,11 @@
 
 use crate::cost::CostModel;
 use crate::SimMsg;
-use std::collections::HashMap;
 use wcc_cache::CacheStore;
 use wcc_core::{ProtocolConfig, ProxyAction, ProxyPolicy, ServerConsistency};
 use wcc_proto::{GetRequest, HttpMsg, Message, Reply, ReplyStatus, RequestId};
 use wcc_simnet::{Ctx, Node};
-use wcc_types::{Body, ByteSize, ClientId, DocMeta, NodeId, SimTime, Url};
+use wcc_types::{Body, ByteSize, ClientId, DocMeta, FxHashMap, NodeId, SimTime, Url};
 
 /// Counters the parent maintains.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -63,11 +62,11 @@ pub struct ParentNode {
     /// Child-facing protocol half: per-document lists of child sites.
     children_state: ServerConsistency,
     /// Child identity → child node, for invalidation routing.
-    child_routes: HashMap<ClientId, NodeId>,
+    child_routes: FxHashMap<ClientId, NodeId>,
     origin: NodeId,
     costs: CostModel,
     doc_scale: u64,
-    pending: HashMap<RequestId, PendingUpstream>,
+    pending: FxHashMap<RequestId, PendingUpstream>,
     next_req: RequestId,
     /// Latest trace time observed (used for child-lease decisions on
     /// invalidation relays, which carry no timestamp).
@@ -75,7 +74,7 @@ pub struct ParentNode {
     /// Hit reports from children that arrived while the parent held no
     /// copy of the document (e.g. on an invalidation ack after the parent's
     /// own copy was dropped); drained onto the next upstream request.
-    orphan_reports: HashMap<Url, u64>,
+    orphan_reports: FxHashMap<Url, u64>,
     pub(crate) counters: ParentCounters,
 }
 
@@ -93,19 +92,19 @@ impl ParentNode {
             policy: ProxyPolicy::new(cfg),
             cache,
             children_state: ServerConsistency::new(cfg, server),
-            child_routes: HashMap::new(),
+            child_routes: FxHashMap::default(),
             origin: NodeId::new(0),
             costs,
             doc_scale,
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             next_req: RequestId::default(),
             trace_now: SimTime::ZERO,
-            orphan_reports: HashMap::new(),
+            orphan_reports: FxHashMap::default(),
             counters: ParentCounters::default(),
         }
     }
 
-    pub(crate) fn wire(&mut self, origin: NodeId, routes: HashMap<ClientId, NodeId>) {
+    pub(crate) fn wire(&mut self, origin: NodeId, routes: FxHashMap<ClientId, NodeId>) {
         self.origin = origin;
         self.child_routes = routes;
     }
@@ -218,14 +217,6 @@ impl ParentNode {
                 } else {
                     self.counters.upstream_gets += 1;
                 }
-                self.pending.insert(
-                    req,
-                    PendingUpstream {
-                        child,
-                        original: get.clone(),
-                        invalidated: false,
-                    },
-                );
                 let upstream = HttpMsg::Get(GetRequest {
                     req,
                     url: get.url,
@@ -234,6 +225,14 @@ impl ParentNode {
                     issued_at: get.issued_at,
                     cache_hits: self.drain_report(get.url, disposition.report_hits),
                 });
+                self.pending.insert(
+                    req,
+                    PendingUpstream {
+                        child,
+                        original: get,
+                        invalidated: false,
+                    },
+                );
                 let origin = self.origin;
                 self.send(origin, upstream, ctx);
             }

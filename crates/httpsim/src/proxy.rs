@@ -3,13 +3,12 @@
 use crate::cost::CostModel;
 use crate::deployment::ServeEvent;
 use crate::SimMsg;
-use std::collections::HashMap;
 use wcc_cache::CacheStore;
 use wcc_core::{ProxyAction, ProxyPolicy};
 use wcc_proto::{CoordMsg, GetRequest, HttpMsg, Message, Reply, ReplyStatus, RequestId};
 use wcc_simnet::{Ctx, Node, Summary};
 use wcc_traces::TraceRecord;
-use wcc_types::{AuditEvent, ByteSize, ClientId, NodeId, SimTime};
+use wcc_types::{AuditEvent, ByteSize, ClientId, FxHashMap, NodeId, SimTime};
 
 /// Counters a proxy maintains for the report.
 #[derive(Debug, Default, Clone)]
@@ -490,8 +489,8 @@ pub fn partition_records(records: &[TraceRecord], n: u32) -> Vec<Vec<TraceRecord
 }
 
 /// Computes per-proxy record counts keyed by partition — handy in tests.
-pub fn partition_sizes(records: &[TraceRecord], n: u32) -> HashMap<u32, usize> {
-    let mut sizes = HashMap::new();
+pub fn partition_sizes(records: &[TraceRecord], n: u32) -> FxHashMap<u32, usize> {
+    let mut sizes = FxHashMap::default();
     for rec in records {
         *sizes.entry(rec.client.partition(n)).or_insert(0) += 1;
     }

@@ -38,7 +38,7 @@
 use crate::msg::{GetRequest, HttpMsg, Reply, ReplyStatus, RequestId};
 use std::collections::HashMap;
 use std::fmt;
-use std::io::BufRead;
+use std::io::{BufRead, Write};
 use wcc_types::{Body, ByteSize, ClientId, DocMeta, ServerId, SimTime, Url};
 
 /// Error decoding a wire message.
@@ -81,128 +81,141 @@ fn malformed(why: impl Into<String>) -> WireError {
     WireError::Malformed(why.into())
 }
 
+/// `write!` into a `Vec<u8>` cannot fail (the vec grows as needed), so the
+/// mandatory `io::Result` is discarded to keep the encoder linear.
+macro_rules! put {
+    ($out:expr, $($arg:tt)*) => {
+        let _ = write!($out, $($arg)*);
+    };
+}
+
 /// Encodes `msg` into its wire form.
 ///
 /// The payload of a `200` reply is the *stored* (possibly scaled) body; the
 /// accounted size travels in the `X-Size` header so byte accounting survives
 /// the scaling trick.
+///
+/// Every line is formatted straight into the output buffer — no
+/// intermediate `String` per header, no [`Url::path`] allocation — because
+/// `encode` sits on the TCP prototype's per-message hot path.
 pub fn encode(msg: &HttpMsg) -> Vec<u8> {
     let mut out = Vec::with_capacity(256);
-    let mut push = |s: &str| out.extend_from_slice(s.as_bytes());
     match msg {
         HttpMsg::Get(g) => {
-            push(&format!("GET {} HTTP/1.0\r\n", g.url.path()));
-            push(&format!("Host: {}\r\n", host(g.url.server())));
-            push(&format!("X-Client: {}\r\n", g.client));
-            push(&format!("X-Request-Id: {}\r\n", g.req.get()));
-            push(&format!("Date: {}\r\n", g.issued_at.as_micros()));
+            put!(out, "GET /doc/{} HTTP/1.0\r\n", g.url.doc());
+            put!(out, "Host: server{}\r\n", g.url.server().index());
+            put!(out, "X-Client: {}\r\n", g.client);
+            put!(out, "X-Request-Id: {}\r\n", g.req.get());
+            put!(out, "Date: {}\r\n", g.issued_at.as_micros());
             if g.cache_hits > 0 {
-                push(&format!("X-Hit-Count: {}\r\n", g.cache_hits));
+                put!(out, "X-Hit-Count: {}\r\n", g.cache_hits);
             }
             if let Some(validator) = g.ims {
-                push(&format!("If-Modified-Since: {}\r\n", validator.as_micros()));
+                put!(out, "If-Modified-Since: {}\r\n", validator.as_micros());
             }
-            push("\r\n");
+            put!(out, "\r\n");
         }
         HttpMsg::Reply(r) => {
             match &r.status {
                 ReplyStatus::Ok(body) => {
-                    push("HTTP/1.0 200 OK\r\n");
-                    push(&format!("Host: {}\r\n", host(r.url.server())));
-                    push(&format!("Content-Location: {}\r\n", r.url.path()));
-                    push(&format!("X-Client: {}\r\n", r.client));
-                    push(&format!("X-Request-Id: {}\r\n", r.req.get()));
-                    push(&format!(
+                    put!(out, "HTTP/1.0 200 OK\r\n");
+                    put!(out, "Host: server{}\r\n", r.url.server().index());
+                    put!(out, "Content-Location: /doc/{}\r\n", r.url.doc());
+                    put!(out, "X-Client: {}\r\n", r.client);
+                    put!(out, "X-Request-Id: {}\r\n", r.req.get());
+                    put!(
+                        out,
                         "Last-Modified: {}\r\n",
                         body.meta().last_modified().as_micros()
-                    ));
-                    push(&format!("X-Size: {}\r\n", body.meta().size().as_u64()));
+                    );
+                    put!(out, "X-Size: {}\r\n", body.meta().size().as_u64());
                     if let Some(lease) = r.lease {
-                        push(&format!("X-Lease: {}\r\n", lease.as_micros()));
+                        put!(out, "X-Lease: {}\r\n", lease.as_micros());
                     }
-                    if !r.piggyback.is_empty() {
-                        push(&format!("X-Piggyback: {}\r\n", piggyback_list(&r.piggyback)));
-                    }
+                    put_piggyback(&mut out, &r.piggyback);
                     if let Some(v) = r.volume_lease {
-                        push(&format!("X-Volume-Lease: {}\r\n", v.as_micros()));
+                        put!(out, "X-Volume-Lease: {}\r\n", v.as_micros());
                     }
-                    push(&format!("Content-Length: {}\r\n\r\n", body.payload().len()));
+                    put!(out, "Content-Length: {}\r\n\r\n", body.payload().len());
                     out.extend_from_slice(body.payload());
                 }
                 ReplyStatus::NotModified => {
-                    push("HTTP/1.0 304 Not Modified\r\n");
-                    push(&format!("Host: {}\r\n", host(r.url.server())));
-                    push(&format!("Content-Location: {}\r\n", r.url.path()));
-                    push(&format!("X-Client: {}\r\n", r.client));
-                    push(&format!("X-Request-Id: {}\r\n", r.req.get()));
+                    put!(out, "HTTP/1.0 304 Not Modified\r\n");
+                    put!(out, "Host: server{}\r\n", r.url.server().index());
+                    put!(out, "Content-Location: /doc/{}\r\n", r.url.doc());
+                    put!(out, "X-Client: {}\r\n", r.client);
+                    put!(out, "X-Request-Id: {}\r\n", r.req.get());
                     if let Some(lease) = r.lease {
-                        push(&format!("X-Lease: {}\r\n", lease.as_micros()));
+                        put!(out, "X-Lease: {}\r\n", lease.as_micros());
                     }
-                    if !r.piggyback.is_empty() {
-                        push(&format!("X-Piggyback: {}\r\n", piggyback_list(&r.piggyback)));
-                    }
+                    put_piggyback(&mut out, &r.piggyback);
                     if let Some(v) = r.volume_lease {
-                        push(&format!("X-Volume-Lease: {}\r\n", v.as_micros()));
+                        put!(out, "X-Volume-Lease: {}\r\n", v.as_micros());
                     }
-                    push("\r\n");
+                    put!(out, "\r\n");
                 }
             }
         }
         HttpMsg::Invalidate { url, client } => {
-            push(&format!("INVALIDATE {} HTTP/1.0\r\n", url.path()));
-            push(&format!("Host: {}\r\n", host(url.server())));
-            push(&format!("X-Client: {client}\r\n"));
-            push("\r\n");
+            put!(out, "INVALIDATE /doc/{} HTTP/1.0\r\n", url.doc());
+            put!(out, "Host: server{}\r\n", url.server().index());
+            put!(out, "X-Client: {client}\r\n");
+            put!(out, "\r\n");
         }
         HttpMsg::InvalidateServer { server } => {
-            push("INVALIDATE * HTTP/1.0\r\n");
-            push(&format!("X-Server: {}\r\n", server.index()));
-            push("\r\n");
+            put!(out, "INVALIDATE * HTTP/1.0\r\n");
+            put!(out, "X-Server: {}\r\n", server.index());
+            put!(out, "\r\n");
         }
         HttpMsg::InvalidateServerAck { server } => {
-            push("ACK * HTTP/1.0\r\n");
-            push(&format!("X-Server: {}\r\n", server.index()));
-            push("\r\n");
+            put!(out, "ACK * HTTP/1.0\r\n");
+            put!(out, "X-Server: {}\r\n", server.index());
+            put!(out, "\r\n");
         }
         HttpMsg::InvalAck {
             url,
             client,
             cache_hits,
         } => {
-            push(&format!("ACK {} HTTP/1.0\r\n", url.path()));
-            push(&format!("Host: {}\r\n", host(url.server())));
-            push(&format!("X-Client: {client}\r\n"));
+            put!(out, "ACK /doc/{} HTTP/1.0\r\n", url.doc());
+            put!(out, "Host: server{}\r\n", url.server().index());
+            put!(out, "X-Client: {client}\r\n");
             if *cache_hits > 0 {
-                push(&format!("X-Hit-Count: {cache_hits}\r\n"));
+                put!(out, "X-Hit-Count: {cache_hits}\r\n");
             }
-            push("\r\n");
+            put!(out, "\r\n");
         }
         HttpMsg::Hello {
             partition,
             partitions,
         } => {
-            push(&format!("HELLO {partition}/{partitions} HTTP/1.0\r\n"));
-            push("\r\n");
+            put!(out, "HELLO {partition}/{partitions} HTTP/1.0\r\n");
+            put!(out, "\r\n");
         }
         HttpMsg::Notify { url, at } => {
-            push(&format!("NOTIFY {} HTTP/1.0\r\n", url.path()));
-            push(&format!("Host: {}\r\n", host(url.server())));
-            push(&format!("Date: {}\r\n", at.as_micros()));
-            push("\r\n");
+            put!(out, "NOTIFY /doc/{} HTTP/1.0\r\n", url.doc());
+            put!(out, "Host: server{}\r\n", url.server().index());
+            put!(out, "Date: {}\r\n", at.as_micros());
+            put!(out, "\r\n");
         }
     }
     out
 }
 
-fn host(server: ServerId) -> String {
-    format!("server{}", server.index())
-}
-
-fn piggyback_list(urls: &[Url]) -> String {
-    urls.iter()
-        .map(|u| u.doc().to_string())
-        .collect::<Vec<_>>()
-        .join(",")
+/// Writes the `X-Piggyback` header (comma-separated document indices)
+/// straight into the buffer; writes nothing for an empty list.
+fn put_piggyback(out: &mut Vec<u8>, urls: &[Url]) {
+    if urls.is_empty() {
+        return;
+    }
+    put!(out, "X-Piggyback: ");
+    for (i, url) in urls.iter().enumerate() {
+        if i > 0 {
+            put!(out, ",");
+        }
+        put!(out, "{}", url.doc());
+    }
+    put!(out, "\r\n");
 }
 
 fn parse_piggyback(

@@ -148,21 +148,13 @@ pub fn run_on(cfg: &ExperimentConfig, trace: &Trace, mods: &ModSchedule) -> Repl
 
 /// Runs the paper's three-way comparison (adaptive TTL, polling-every-time,
 /// invalidation) over one identical workload — one block of Tables 3/4.
+///
+/// The three replays fan out over [`crate::parallel`]'s worker pool (job
+/// count from `WCC_JOBS` or the core count); the reports are byte-identical
+/// to a sequential run. Use [`crate::parallel::run_trio_jobs`] for an
+/// explicit job count.
 pub fn run_trio(base: &ExperimentConfig) -> [ReplayReport; 3] {
-    let (trace, mods) = materialise(base);
-    let mut reports = ProtocolKind::PAPER_TRIO.map(|kind| {
-        let mut cfg = base.clone();
-        cfg.protocol = ProtocolConfig::new(kind);
-        run_on(&cfg, &trace, &mods)
-    });
-    // Keep the paper's column order: TTL, polling, invalidation.
-    reports.sort_by_key(|r| {
-        ProtocolKind::PAPER_TRIO
-            .iter()
-            .position(|&k| k == r.protocol)
-            .expect("trio protocol")
-    });
-    reports
+    crate::parallel::run_trio_jobs(base, None)
 }
 
 /// The §6 two-tier-lease evaluation: plain invalidation vs. two-tier over

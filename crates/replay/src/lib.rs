@@ -7,6 +7,9 @@
 //!   trace with one mean file lifetime (one column of Tables 3/4);
 //! * [`run_trio`] — the adaptive-TTL / polling / invalidation comparison
 //!   (one full block of Tables 3/4);
+//! * [`parallel`] — the deterministic fan-out pool: batches of experiments
+//!   run on worker threads (`--jobs N` / `WCC_JOBS`), reports returned in
+//!   submission order, byte-identical to a sequential run;
 //! * [`tables`] — formatting that mirrors the paper's table layout,
 //!   including Table 5's invalidation-cost rows;
 //! * [`failure`] — the §4 failure scenarios (proxy crash, server crash,
@@ -34,12 +37,14 @@
 
 pub mod experiment;
 pub mod failure;
+pub mod parallel;
 pub mod tables;
 
 pub use experiment::{
     run_experiment, run_trio, two_tier_comparison, ExperimentConfig, ExperimentConfigBuilder,
     ReplayReport, TwoTierComparison,
 };
+pub use parallel::{effective_jobs, run_batch, run_trio_jobs};
 pub use wcc_audit::{AuditReport, Violation};
 pub use failure::{
     partition_scenario, proxy_crash_scenario, server_crash_scenario,

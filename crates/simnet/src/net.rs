@@ -1,7 +1,6 @@
 //! The network model: links, latency, bandwidth, partitions.
 
-use std::collections::HashMap;
-use wcc_types::{ByteSize, NodeId, SimDuration};
+use wcc_types::{ByteSize, FxHashMap, FxHashSet, NodeId, SimDuration};
 
 /// The latency/bandwidth parameters of one (directed) link.
 ///
@@ -79,7 +78,7 @@ impl LinkSpec {
 #[derive(Debug, Clone)]
 pub struct NetworkConfig {
     default_link: LinkSpec,
-    overrides: HashMap<(NodeId, NodeId), LinkSpec>,
+    overrides: FxHashMap<(NodeId, NodeId), LinkSpec>,
 }
 
 impl NetworkConfig {
@@ -87,7 +86,7 @@ impl NetworkConfig {
     pub fn uniform(default_link: LinkSpec) -> Self {
         NetworkConfig {
             default_link,
-            overrides: HashMap::new(),
+            overrides: FxHashMap::default(),
         }
     }
 
@@ -140,8 +139,8 @@ impl Default for NetworkConfig {
 /// simulation engine; fault schedules mutate it through [`crate::FaultPlan`].
 #[derive(Debug, Default)]
 pub(crate) struct Reachability {
-    crashed: std::collections::HashSet<NodeId>,
-    severed: std::collections::HashSet<(NodeId, NodeId)>,
+    crashed: FxHashSet<NodeId>,
+    severed: FxHashSet<(NodeId, NodeId)>,
 }
 
 impl Reachability {

@@ -4,8 +4,7 @@ use crate::metrics::NetStats;
 use crate::net::{NetworkConfig, Reachability};
 use crate::sim::EngineEvent;
 use crate::EventQueue;
-use std::collections::HashSet;
-use wcc_types::{ByteSize, NodeId, SimDuration, SimTime};
+use wcc_types::{ByteSize, FxHashSet, NodeId, SimDuration, SimTime};
 
 /// Handle identifying a pending timer, returned by [`Ctx::set_timer`] and
 /// consumed by [`Ctx::cancel_timer`].
@@ -63,7 +62,7 @@ pub struct Ctx<'a, M> {
     pub(crate) config: &'a NetworkConfig,
     pub(crate) reach: &'a Reachability,
     pub(crate) stats: &'a mut NetStats,
-    pub(crate) cancelled: &'a mut HashSet<TimerId>,
+    pub(crate) cancelled: &'a mut FxHashSet<TimerId>,
     pub(crate) next_timer: &'a mut u64,
     pub(crate) busy_until: &'a mut SimTime,
     pub(crate) busy_accum: &'a mut SimDuration,

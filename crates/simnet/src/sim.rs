@@ -5,8 +5,7 @@ use crate::net::{NetworkConfig, Reachability};
 use crate::node::{Ctx, Node, TimerId};
 use crate::EventQueue;
 use std::any::Any;
-use std::collections::HashSet;
-use wcc_types::{NodeId, SimDuration, SimTime};
+use wcc_types::{FxHashSet, NodeId, SimDuration, SimTime};
 
 /// Internal engine events.
 #[derive(Debug)]
@@ -75,7 +74,7 @@ pub struct Simulation<M> {
     config: NetworkConfig,
     reach: Reachability,
     stats: NetStats,
-    cancelled: HashSet<TimerId>,
+    cancelled: FxHashSet<TimerId>,
     next_timer: u64,
     now: SimTime,
     started: bool,
@@ -91,7 +90,7 @@ impl<M: 'static> Simulation<M> {
             config,
             reach: Reachability::default(),
             stats: NetStats::default(),
-            cancelled: HashSet::new(),
+            cancelled: FxHashSet::default(),
             next_timer: 0,
             now: SimTime::ZERO,
             started: false,

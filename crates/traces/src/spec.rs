@@ -165,12 +165,12 @@ impl TraceSpec {
     /// examples: requests, documents and clients all divided by `factor`
     /// (duration is kept, so request *rate* drops too).
     ///
-    /// # Panics
-    ///
-    /// Panics if `factor` is zero.
+    /// A zero `factor` is clamped to 1 (no scaling) rather than dividing by
+    /// zero, so CLI-supplied `--scale` values can be passed through
+    /// unchecked.
     #[must_use]
     pub fn scaled_down(mut self, factor: u64) -> Self {
-        assert!(factor > 0, "scale factor must be positive");
+        let factor = factor.max(1);
         self.total_requests = (self.total_requests / factor).max(1);
         self.num_docs = ((self.num_docs as u64 / factor).max(1)) as u32;
         self.num_clients = ((self.num_clients as u64 / factor).max(1)) as u32;
@@ -246,9 +246,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "positive")]
-    fn zero_scale_panics() {
-        let _ = TraceSpec::epa().scaled_down(0);
+    fn zero_scale_clamps_to_one() {
+        assert_eq!(TraceSpec::epa().scaled_down(0), TraceSpec::epa());
+        assert_eq!(
+            TraceSpec::sask().scaled_down(0),
+            TraceSpec::sask().scaled_down(1)
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`Url`] and [`DocMeta`] — document naming and metadata (size,
 //!   last-modified time).
 //! * [`ByteSize`] — byte quantities with human-readable formatting.
+//! * [`FxHashMap`] / [`FxHashSet`] — deterministic, fast hash collections
+//!   for the simulator's hot, trusted-key maps.
 //!
 //! # Examples
 //!
@@ -30,12 +32,14 @@
 
 mod bytesize;
 mod event;
+mod hash;
 mod id;
 mod time;
 mod url;
 
 pub use bytesize::ByteSize;
 pub use event::AuditEvent;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use id::{ClientId, NodeId, ServerId};
 pub use time::{SimDuration, SimTime, WallClock};
 pub use url::{Body, DocMeta, ScopedUrl, Url};

@@ -4,11 +4,15 @@
 //! wcc replay  --trace epa --protocol invalidation [--lifetime-days N]
 //!             [--scale N] [--seed N] [--wan] [--decoupled] [--hierarchy]
 //!             [--shared] [--lease-days N] [--cache-mib N]
-//! wcc trio    --trace sask [--scale N] [--seed N]   # Tables 3/4 block
+//! wcc trio    --trace sask [--scale N] [--seed N] [--jobs N]  # Tables 3/4 block
 //! wcc summary [--scale N] [--seed N]                # Table 2
 //! wcc clf     <path> [--protocol NAME]              # replay a real log
 //! wcc fuzz    [--iters N] [--seed N] [--shrink] [--inject-stale]
-//!             [--repro PATH]                        # scenario fuzzer
+//!             [--repro PATH] [--jobs N]             # scenario fuzzer
+//!
+//! `--jobs N` (or the `WCC_JOBS` environment variable) sets the worker
+//! count for commands that fan independent replays out over threads; the
+//! output is byte-identical at any job count.
 //! wcc protocols                                     # list protocol names
 //! ```
 
@@ -17,7 +21,7 @@ use webcache::core::{ProtocolConfig, ProtocolKind};
 use webcache::fuzz::{fuzz, FuzzConfig};
 use webcache::httpsim::{CacheSharing, Deployment, DeploymentOptions, InvalSendMode, Topology};
 use webcache::replay::tables::{format_table5_column, format_trio_block};
-use webcache::replay::{run_trio, ExperimentConfig, ReplayReport};
+use webcache::replay::{ExperimentConfig, ReplayReport};
 use webcache::simnet::NetworkConfig;
 use webcache::traces::clf::parse_clf;
 use webcache::traces::{synthetic, ModSchedule, TraceSpec, TraceSummary};
@@ -69,7 +73,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  wcc replay  --trace NAME --protocol NAME [--lifetime-days N] [--scale N]\n              [--seed N] [--wan] [--decoupled] [--hierarchy] [--shared]\n              [--lease-days N] [--volume-mins N] [--cache-mib N] [--audit]\n  wcc trio    --trace NAME [--scale N] [--seed N]\n  wcc compare --trace NAME --protocols a,b,c [--scale N] [--seed N]\n  wcc summary [--scale N] [--seed N]\n  wcc clf     PATH [--protocol NAME]\n  wcc fuzz    [--iters N] [--seed N] [--shrink] [--inject-stale] [--repro PATH]\n  wcc protocols"
+    "usage:\n  wcc replay  --trace NAME --protocol NAME [--lifetime-days N] [--scale N]\n              [--seed N] [--wan] [--decoupled] [--hierarchy] [--shared]\n              [--lease-days N] [--volume-mins N] [--cache-mib N] [--audit]\n  wcc trio    --trace NAME [--scale N] [--seed N] [--jobs N]\n  wcc compare --trace NAME --protocols a,b,c [--scale N] [--seed N] [--jobs N]\n  wcc summary [--scale N] [--seed N]\n  wcc clf     PATH [--protocol NAME]\n  wcc fuzz    [--iters N] [--seed N] [--shrink] [--inject-stale] [--repro PATH]\n              [--jobs N]\n  wcc protocols"
 }
 
 fn spec_for(args: &Args) -> Result<TraceSpec, String> {
@@ -127,6 +131,14 @@ fn options_for(args: &Args) -> Result<DeploymentOptions, String> {
         options.cache_capacity = ByteSize::from_mib(mib.max(1));
     }
     Ok(options)
+}
+
+/// `--jobs N` as passed (`None` defers to `WCC_JOBS` / the core count).
+fn jobs_for(args: &Args) -> Result<Option<usize>, String> {
+    Ok(match args.value("jobs") {
+        None => None,
+        Some(_) => Some(args.num("jobs", 0)? as usize),
+    })
 }
 
 fn print_report(report: &ReplayReport) {
@@ -222,14 +234,19 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     let kinds = kinds?;
     let base = ExperimentConfig::builder(spec).seed(seed).build();
     let (trace, mods) = webcache::replay::experiment::materialise(&base);
-    let reports: Vec<ReplayReport> = kinds
+    let configs: Vec<ExperimentConfig> = kinds
         .into_iter()
         .map(|kind| {
             let mut cfg = base.clone();
             cfg.protocol = ProtocolConfig::new(kind);
-            webcache::replay::experiment::run_on(&cfg, &trace, &mods)
+            cfg
         })
         .collect();
+    let jobs = webcache::replay::effective_jobs(jobs_for(args)?);
+    let reports: Vec<ReplayReport> =
+        webcache::replay::parallel::map_indexed(&configs, jobs, |cfg| {
+            webcache::replay::experiment::run_on(cfg, &trace, &mods)
+        });
     println!("{}", format_trio_block(&reports));
     Ok(())
 }
@@ -238,7 +255,7 @@ fn cmd_trio(args: &Args) -> Result<(), String> {
     let spec = spec_for(args)?;
     let seed = args.num("seed", 1997)?;
     let cfg = ExperimentConfig::builder(spec).seed(seed).build();
-    let trio = run_trio(&cfg);
+    let trio = webcache::replay::run_trio_jobs(&cfg, jobs_for(args)?);
     println!("{}", format_trio_block(&trio));
     Ok(())
 }
@@ -292,6 +309,7 @@ fn cmd_fuzz(args: &Args) -> Result<(), String> {
         seed: args.num("seed", 1)?,
         shrink: args.flag("shrink"),
         inject_stale_serve: args.flag("inject-stale"),
+        jobs: jobs_for(args)?.unwrap_or(0),
     };
     let outcome = fuzz(&config);
     print!("{outcome}");

@@ -2,7 +2,7 @@
 //! replay, the report — is a pure function of (config, seed).
 
 use wcc_core::ProtocolKind;
-use wcc_replay::{run_experiment, run_trio, ExperimentConfig};
+use wcc_replay::{run_batch, run_experiment, run_trio, run_trio_jobs, ExperimentConfig};
 use wcc_traces::{synthetic, ModSchedule, TraceSpec};
 use wcc_types::SimDuration;
 
@@ -71,6 +71,75 @@ fn run_trio_twice_is_byte_identical() {
             x.protocol
         );
     }
+}
+
+#[test]
+fn parallel_trio_is_byte_identical_to_sequential() {
+    // The fan-out pool's core guarantee: job count changes scheduling,
+    // never results. Audit on, so the comparison covers every verdict.
+    let mut options = wcc_httpsim::DeploymentOptions::default();
+    options.audit = true;
+    let cfg = ExperimentConfig::builder(TraceSpec::epa().scaled_down(80))
+        .seed(21)
+        .options(options)
+        .build();
+    let sequential = run_trio_jobs(&cfg, Some(1));
+    let parallel = run_trio_jobs(&cfg, Some(4));
+    for (s, p) in sequential.iter().zip(&parallel) {
+        assert_eq!(
+            format!("{s:?}"),
+            format!("{p:?}"),
+            "parallel trio diverged for {}",
+            s.protocol
+        );
+    }
+}
+
+#[test]
+fn parallel_batch_is_byte_identical_to_sequential() {
+    // Eight mixed configs — two traces, all four seeds past the worker
+    // count — through the pool at 1 and 4 jobs.
+    let configs: Vec<ExperimentConfig> = [TraceSpec::epa(), TraceSpec::sdsc()]
+        .into_iter()
+        .flat_map(|spec| {
+            [(ProtocolKind::AdaptiveTtl, 3u64), (ProtocolKind::Invalidation, 4), (ProtocolKind::PollEveryTime, 5), (ProtocolKind::LeaseInvalidation, 6)]
+                .map(|(kind, seed)| {
+                    ExperimentConfig::builder(spec.clone().scaled_down(120))
+                        .protocol(kind)
+                        .seed(seed)
+                        .build()
+                })
+        })
+        .collect();
+    let sequential = run_batch(&configs, Some(1));
+    let parallel = run_batch(&configs, Some(4));
+    assert_eq!(sequential.len(), 8);
+    for (i, (s, p)) in sequential.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            format!("{s:?}"),
+            format!("{p:?}"),
+            "batch config {i} diverged under the pool"
+        );
+    }
+}
+
+#[test]
+fn parallel_fuzzing_is_byte_identical_to_sequential() {
+    // The fuzz loop fans scenario evaluation out in blocks; the whole
+    // summary (counters, per-protocol tallies, early-stop point) must not
+    // depend on the job count.
+    let outcome_at = |jobs: usize| {
+        wcc_fuzz::fuzz(&wcc_fuzz::FuzzConfig {
+            iters: 6,
+            seed: 11,
+            jobs,
+            ..wcc_fuzz::FuzzConfig::default()
+        })
+    };
+    let sequential = outcome_at(1);
+    let parallel = outcome_at(4);
+    assert_eq!(sequential.to_string(), parallel.to_string());
+    assert!(sequential.passed(), "corpus slice failed:\n{sequential}");
 }
 
 #[test]

@@ -1,9 +1,47 @@
 //! Offline vendor shim for `crossbeam`.
 //!
-//! Only the `channel` module's unbounded MPSC surface is provided, backed
-//! by `std::sync::mpsc`. Unlike real crossbeam the receiver is
-//! single-consumer, which is how this workspace uses it (one dedicated
-//! writer thread per receiver).
+//! Two API subsets are provided:
+//!
+//! * `channel` — the unbounded MPSC surface, backed by `std::sync::mpsc`.
+//!   Unlike real crossbeam the receiver is single-consumer, which is how
+//!   this workspace uses it (one dedicated reader per receiver).
+//! * `thread` — scoped threads (`thread::scope` + `Scope::spawn`), backed
+//!   by `std::thread::scope`. Borrowing non-`'static` data from the
+//!   spawning stack works exactly as with real crossbeam; the difference
+//!   is that `scope` returns the closure's value directly instead of a
+//!   `Result` (a panicking child propagates the panic on join, which is
+//!   the behaviour this workspace's callers want anyway).
+
+pub mod thread {
+    //! Crossbeam-style scoped threads over `std::thread::scope`.
+
+    pub use std::thread::{Scope, ScopedJoinHandle};
+
+    /// Creates a scope in which spawned threads may borrow from the
+    /// caller's stack. All threads are joined before `scope` returns.
+    pub fn scope<'env, F, T>(f: F) -> T
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+    {
+        std::thread::scope(f)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_stack_data() {
+            let data = vec![1u64, 2, 3, 4];
+            let total: u64 = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|chunk| s.spawn(move || chunk.iter().sum::<u64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            });
+            assert_eq!(total, 10);
+        }
+    }
+}
 
 pub mod channel {
     use std::fmt;

@@ -20,4 +20,8 @@ cargo run --quiet --bin xtask-lint
 echo "==> wcc fuzz (smoke)"
 ./target/release/wcc fuzz --iters 25 --seed 1 --shrink
 
+echo "==> bench trajectory (smoke)"
+# Exits non-zero if the parallel grid diverges from the sequential run.
+./target/release/trajectory --scale 100 --out /tmp/BENCH_replay.smoke.json
+
 echo "verify: OK"
