@@ -134,6 +134,16 @@ const RULES: &[Rule] = &[
         allowed: |_| false,
         include_tests: true,
     },
+    Rule {
+        name: "obs-registry",
+        needles: &["AtomicU64", "AtomicUsize"],
+        message: "ad-hoc atomic counters bypass the observability layer; \
+                  publish through wcc_obs::Registry (counters/gauges/\
+                  histograms) so /metrics stays complete",
+        in_scope: |path| path.starts_with("crates/net/src/"),
+        allowed: |_| false,
+        include_tests: false,
+    },
 ];
 
 /// Blanks comments, string literals and char literals, preserving line
@@ -185,7 +195,10 @@ fn strip_code(source: &str) -> Vec<String> {
                         // within a few chars; a lifetime has no closing '.
                         let close = if next == Some('\\') {
                             // escaped char: find the next unescaped quote
-                            chars[i + 2..].iter().position(|&c| c == '\'').map(|p| i + 2 + p)
+                            chars[i + 2..]
+                                .iter()
+                                .position(|&c| c == '\'')
+                                .map(|p| i + 2 + p)
                         } else {
                             (chars.get(i + 2) == Some(&'\'')).then_some(i + 2)
                         };
@@ -379,7 +392,10 @@ mod tests {
     use super::*;
 
     fn rules_fired(path: &str, source: &str) -> Vec<&'static str> {
-        scan_source(path, source).into_iter().map(|d| d.rule).collect()
+        scan_source(path, source)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect()
     }
 
     #[test]
@@ -445,6 +461,27 @@ mod tests {
         assert_eq!(rules_fired("crates/core/src/server.rs", src), ["sleep"]);
         assert_eq!(rules_fired("src/bin/paper.rs", src), ["sleep"]);
         assert!(rules_fired("crates/net/src/tcp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn adhoc_atomic_counters_denied_in_the_tcp_prototype() {
+        let src = "use std::sync::atomic::AtomicU64;\n";
+        assert_eq!(
+            rules_fired("crates/net/src/origin.rs", src),
+            ["obs-registry"]
+        );
+        assert_eq!(
+            rules_fired(
+                "crates/net/src/proxy.rs",
+                "static N: AtomicUsize = AtomicUsize::new(0);\n"
+            ),
+            ["obs-registry"]
+        );
+        // Control-plane flags (AtomicBool/AtomicU32) are not counters.
+        let flags = "use std::sync::atomic::{AtomicBool, AtomicU32};\n";
+        assert!(rules_fired("crates/net/src/origin.rs", flags).is_empty());
+        // Other crates may use atomics (e.g. the fan-out pool's internals).
+        assert!(rules_fired("crates/replay/src/parallel.rs", src).is_empty());
     }
 
     #[test]

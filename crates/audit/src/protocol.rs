@@ -174,10 +174,7 @@ pub fn audit(
         match ev {
             AuditEvent::Touch { .. } => {}
             AuditEvent::Register {
-                url,
-                client,
-                lease,
-                ..
+                url, client, lease, ..
             } => {
                 registrations += 1;
                 shadows
@@ -218,8 +215,7 @@ pub fn audit(
                 if is_push_kind(kind) && kind != ProtocolKind::VolumeLease {
                     let lhs: HashSet<ClientId> =
                         fresh.iter().chain(resent.iter()).copied().collect();
-                    let rhs: HashSet<ClientId> =
-                        resent.iter().copied().chain(taken).collect();
+                    let rhs: HashSet<ClientId> = resent.iter().copied().chain(taken).collect();
                     if lhs != rhs {
                         violations.push(Violation {
                             check: Check::Conservation,
@@ -241,10 +237,7 @@ pub fn audit(
                 announced.insert(*url, fresh.iter().chain(resent.iter()).copied().collect());
             }
             AuditEvent::InvalidateSend {
-                url,
-                client,
-                retry,
-                ..
+                url, client, retry, ..
             } => {
                 let key = (*url, *client);
                 if *retry {

@@ -59,11 +59,10 @@ fn bench_cache_store(c: &mut Criterion) {
     for policy in [ReplacementPolicy::Lru, ReplacementPolicy::ExpiredFirstLru] {
         group.bench_function(format!("churn_2k_{}", policy.name()), |b| {
             b.iter(|| {
-                let mut cache =
-                    CacheStore::new(ByteSize::from_kib(512), policy);
+                let mut cache = CacheStore::new(ByteSize::from_kib(512), policy);
                 for i in 0..2_000u32 {
-                    let key = Url::new(ServerId::new(0), i % 400)
-                        .scoped(ClientId::from_raw(i % 16));
+                    let key =
+                        Url::new(ServerId::new(0), i % 400).scoped(ClientId::from_raw(i % 16));
                     let now = SimTime::from_secs(i as u64);
                     let meta = DocMeta::new(ByteSize::from_kib(8), SimTime::ZERO);
                     let fresh = Freshness {

@@ -16,8 +16,7 @@ fn spawn(kind: ProtocolKind) -> (NetOrigin, NetProxy) {
         doc_scale: 100,
     })
     .expect("origin");
-    let proxy =
-        NetProxy::spawn(origin.addr(), &cfg, 0, 1, ByteSize::from_mib(64)).expect("proxy");
+    let proxy = NetProxy::spawn(origin.addr(), &cfg, 0, 1, ByteSize::from_mib(64)).expect("proxy");
     std::thread::sleep(Duration::from_millis(20));
     (origin, proxy)
 }
@@ -33,11 +32,17 @@ fn bench_fetch(c: &mut Criterion) {
         let client = ClientId::from_raw(1);
         let url = Url::new(ServerId::new(0), 1);
         let mut t = 1u64;
-        proxy.fetch(client, url, SimTime::from_secs(t)).expect("warm");
+        proxy
+            .fetch(client, url, SimTime::from_secs(t))
+            .expect("warm");
         group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &(), |b, ()| {
             b.iter(|| {
                 t += 1;
-                black_box(proxy.fetch(client, url, SimTime::from_secs(t)).expect("fetch"))
+                black_box(
+                    proxy
+                        .fetch(client, url, SimTime::from_secs(t))
+                        .expect("fetch"),
+                )
             })
         });
     }
@@ -54,7 +59,9 @@ fn bench_invalidation_round_trip(c: &mut Criterion) {
     group.bench_function("checkin_to_write_complete", |b| {
         b.iter(|| {
             t += 10;
-            proxy.fetch(client, url, SimTime::from_secs(t)).expect("fetch");
+            proxy
+                .fetch(client, url, SimTime::from_secs(t))
+                .expect("fetch");
             check_in(origin.addr(), url, SimTime::from_secs(t + 1)).expect("check-in");
             assert!(origin.wait_writes_complete(Duration::from_secs(5)));
         })

@@ -16,7 +16,12 @@ use wcc_replay::{run_batch, ExperimentConfig};
 use wcc_traces::TraceSpec;
 use wcc_types::SimDuration;
 
-fn config(spec: TraceSpec, lifetime: SimDuration, mode: InvalSendMode, scale: u64) -> ExperimentConfig {
+fn config(
+    spec: TraceSpec,
+    lifetime: SimDuration,
+    mode: InvalSendMode,
+    scale: u64,
+) -> ExperimentConfig {
     let mut options = DeploymentOptions::default();
     options.send_mode = mode;
     ExperimentConfig::builder(spec.scaled_down(scale))
@@ -33,7 +38,9 @@ fn fmt_ms(d: Option<wcc_types::SimDuration>) -> String {
 
 fn main() {
     let scale = parse_scale(std::env::args());
-    println!("=== Ablation A1: synchronous vs decoupled invalidation sender (scale 1/{scale}) ===\n");
+    println!(
+        "=== Ablation A1: synchronous vs decoupled invalidation sender (scale 1/{scale}) ===\n"
+    );
     // High-churn, high-popularity settings where fan-outs are large enough
     // to stall: NASA with a 7-day lifetime and SDSC with 2.5 days.
     let cases = [

@@ -14,11 +14,11 @@
 // Building options by mutating a default is the intended style here.
 #![allow(clippy::field_reassign_with_default)]
 
+use wcc_bench::parse_jobs;
 use wcc_bench::{parse_scale, TABLE_SEED};
 use wcc_cache::ReplacementPolicy;
 use wcc_core::ProtocolKind;
 use wcc_httpsim::DeploymentOptions;
-use wcc_bench::parse_jobs;
 use wcc_replay::experiment::run_on;
 use wcc_replay::{effective_jobs, parallel, ExperimentConfig, ReplayReport};
 use wcc_traces::{synthetic, ModSchedule, Trace, TraceSpec};

@@ -27,7 +27,10 @@ fn fmt_ms(d: Option<SimDuration>) -> String {
 fn main() {
     let scale = parse_scale(std::env::args()).max(4);
     println!("=== Ablation A4: WAN latency extrapolation (EPA, scale 1/{scale}) ===\n");
-    for (label, network) in [("LAN (testbed)", NetworkConfig::lan()), ("WAN (Internet)", NetworkConfig::wan())] {
+    for (label, network) in [
+        ("LAN (testbed)", NetworkConfig::lan()),
+        ("WAN (Internet)", NetworkConfig::wan()),
+    ] {
         let mut options = DeploymentOptions::default();
         options.network = network;
         options.send_mode = InvalSendMode::Decoupled;
@@ -37,7 +40,10 @@ fn main() {
             .build();
         let trio = run_trio(&cfg);
         println!("--- {label} ---");
-        println!("{:<16}{:>14}{:>14}{:>14}", "", "avg latency", "min latency", "max latency");
+        println!(
+            "{:<16}{:>14}{:>14}{:>14}",
+            "", "avg latency", "min latency", "max latency"
+        );
         for r in &trio {
             println!(
                 "{:<16}{:>14}{:>14}{:>14}",

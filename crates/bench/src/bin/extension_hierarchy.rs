@@ -22,7 +22,9 @@ use wcc_types::SimDuration;
 
 fn main() {
     let scale = parse_scale(std::env::args());
-    println!("=== Extension E1: invalidation across cache topologies (NASA, scale 1/{scale}) ===\n");
+    println!(
+        "=== Extension E1: invalidation across cache topologies (NASA, scale 1/{scale}) ===\n"
+    );
     let spec = TraceSpec::nasa().scaled_down(scale);
     let lifetime = SimDuration::from_days(7);
     let trace = synthetic::generate(&spec, TABLE_SEED);

@@ -37,8 +37,7 @@ fn main() {
     ];
     for (label, volume) in volumes {
         let mut cfg = base.clone();
-        cfg.protocol =
-            ProtocolConfig::new(ProtocolKind::VolumeLease).with_volume_lease(volume);
+        cfg.protocol = ProtocolConfig::new(ProtocolKind::VolumeLease).with_volume_lease(volume);
         let r = run_on(&cfg, &trace, &mods).raw;
         println!(
             "{:<18}{:>12}{:>14}{:>12}{:>12}{:>12}",

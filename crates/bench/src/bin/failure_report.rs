@@ -18,10 +18,16 @@ fn report(name: &str, out: &FailureOutcome) {
     println!("  writes complete (all acked):    {}", r.writes_complete);
     println!("  promised-fresh stale entries:   {}", r.final_violations);
     println!("  proxy recoveries:               {}", r.proxy_recoveries);
-    println!("  entries marked questionable:    {}", r.questionable_marked);
+    println!(
+        "  entries marked questionable:    {}",
+        r.questionable_marked
+    );
     println!("  bulk INVALIDATE <server> sent:  {}", r.bulk_invalidations);
     println!("  request timeouts/retransmits:   {}", r.request_timeouts);
-    println!("  invalidation retransmissions:   {}", r.invalidation_retries);
+    println!(
+        "  invalidation retransmissions:   {}",
+        r.invalidation_retries
+    );
     println!("  invalidations given up:         {}", r.gave_up);
     println!();
 }

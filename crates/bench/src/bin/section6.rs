@@ -36,16 +36,29 @@ fn main() {
     let (plain_entries, tt_entries) = cmp.entries();
     let (plain_max, tt_max) = cmp.max_list();
     println!("{:<34}{:>14}{:>14}", "", "plain inval", "two-tier");
-    println!("{:<34}{:>14}{:>14}", "Site-list entries (end of trace)", plain_entries, tt_entries);
-    println!("{:<34}{:>14}{:>14}", "Max site-list length", plain_max, tt_max);
+    println!(
+        "{:<34}{:>14}{:>14}",
+        "Site-list entries (end of trace)", plain_entries, tt_entries
+    );
+    println!(
+        "{:<34}{:>14}{:>14}",
+        "Max site-list length", plain_max, tt_max
+    );
     println!(
         "{:<34}{:>14}{:>14}",
         "Site-list storage",
         cmp.plain.raw.sitelist.storage.to_string(),
         cmp.two_tier.raw.sitelist.storage.to_string()
     );
-    println!("{:<34}{:>14}{:>14}", "If-Modified-Since requests", cmp.plain.raw.ims, cmp.two_tier.raw.ims);
-    println!("{:<34}{:>28}", "Extra IMS paid by two-tier", cmp.extra_ims());
+    println!(
+        "{:<34}{:>14}{:>14}",
+        "If-Modified-Since requests", cmp.plain.raw.ims, cmp.two_tier.raw.ims
+    );
+    println!(
+        "{:<34}{:>28}",
+        "Extra IMS paid by two-tier",
+        cmp.extra_ims()
+    );
     println!(
         "{:<34}{:>14}{:>14}",
         "Invalidations sent", cmp.plain.raw.invalidations, cmp.two_tier.raw.invalidations

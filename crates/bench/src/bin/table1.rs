@@ -3,8 +3,8 @@
 //! state machines interpreting the paper's example stream).
 
 use wcc_core::analytical::{
-    adaptive_ttl_formula, invalidation_formula, parse_stream, polling_formula, seq_stats,
-    simulate, MessageCounts,
+    adaptive_ttl_formula, invalidation_formula, parse_stream, polling_formula, seq_stats, simulate,
+    MessageCounts,
 };
 use wcc_core::{ProtocolConfig, ProtocolKind};
 
@@ -19,16 +19,31 @@ fn row(name: &str, f: impl Fn(&MessageCounts) -> u64, cols: &[&MessageCounts]) {
 fn main() {
     println!("=== Table 1: message counts per consistency approach ===\n");
     println!("Symbolic (R = requests, RI = unmodified request intervals):\n");
-    println!("{:<22}{:>20}{:>16}{:>28}", "", "poll-every-time", "invalidation", "adaptive-ttl");
-    println!("{:<22}{:>20}{:>16}{:>28}", "\"GET\" Requests", "0", "RI", "0");
-    println!("{:<22}{:>20}{:>16}{:>28}", "If-Modified-Since", "R", "0", "TTL-missed");
+    println!(
+        "{:<22}{:>20}{:>16}{:>28}",
+        "", "poll-every-time", "invalidation", "adaptive-ttl"
+    );
+    println!(
+        "{:<22}{:>20}{:>16}{:>28}",
+        "\"GET\" Requests", "0", "RI", "0"
+    );
+    println!(
+        "{:<22}{:>20}{:>16}{:>28}",
+        "If-Modified-Since", "R", "0", "TTL-missed"
+    );
     println!(
         "{:<22}{:>20}{:>16}{:>28}",
         "304 replies", "R-RI", "0", "TTLmissed-TTLmissed&new"
     );
     println!("{:<22}{:>20}{:>16}{:>28}", "Invalidation", "0", "RI", "0");
-    println!("{:<22}{:>20}{:>16}{:>28}", "Total Control Msg", "2R-RI", "2RI", "2TTLm-TTLm&new");
-    println!("{:<22}{:>20}{:>16}{:>28}", "File transfers", "RI", "RI", "RI-StaleHits");
+    println!(
+        "{:<22}{:>20}{:>16}{:>28}",
+        "Total Control Msg", "2R-RI", "2RI", "2TTLm-TTLm&new"
+    );
+    println!(
+        "{:<22}{:>20}{:>16}{:>28}",
+        "File transfers", "RI", "RI", "RI-StaleHits"
+    );
 
     let stream = "rrrmmmrrmrrrmmr"; // the paper's example (§3): RI = 4
     let events = parse_stream(stream, 3600);
@@ -43,7 +58,10 @@ fn main() {
     let inval = simulate(&ProtocolConfig::new(ProtocolKind::Invalidation), &events);
     let ttl = simulate(&ProtocolConfig::new(ProtocolKind::AdaptiveTtl), &events);
     let cols = [&poll, &inval, &ttl];
-    println!("{:<22}{:>16}{:>16}{:>16}", "(exact interpreter)", "poll", "invalidation", "adaptive-ttl");
+    println!(
+        "{:<22}{:>16}{:>16}{:>16}",
+        "(exact interpreter)", "poll", "invalidation", "adaptive-ttl"
+    );
     row("\"GET\" Requests", |c| c.plain_gets, &cols);
     row("If-Modified-Since", |c| c.ims, &cols);
     row("304 replies", |c| c.replies_304, &cols);
@@ -54,8 +72,16 @@ fn main() {
 
     let pf = polling_formula(s);
     let inf = invalidation_formula(s);
-    let tf = adaptive_ttl_formula(s, ttl.ttl_missed, ttl.ttl_missed_new_doc, ttl.stale_intervals);
-    println!("\n(formula)             {:>16}{:>16}{:>16}", "poll", "invalidation", "adaptive-ttl");
+    let tf = adaptive_ttl_formula(
+        s,
+        ttl.ttl_missed,
+        ttl.ttl_missed_new_doc,
+        ttl.stale_intervals,
+    );
+    println!(
+        "\n(formula)             {:>16}{:>16}{:>16}",
+        "poll", "invalidation", "adaptive-ttl"
+    );
     let fcols = [&pf, &inf, &tf];
     row("Total Control Msg", |c| c.control_messages(), &fcols);
     row("File transfers", |c| c.file_transfers, &fcols);

@@ -32,9 +32,7 @@ fn main() {
         "Trace", "Duration", "Requests", "AvgSize", "Popularity"
     );
     for (name, duration, requests, kb, maxpop, avgpop) in PAPER {
-        println!(
-            "{name:<10} {duration:>8} {requests:>10} {kb:>6}KB {maxpop:>7} ({avgpop:>4.1})"
-        );
+        println!("{name:<10} {duration:>8} {requests:>10} {kb:>6}KB {maxpop:>7} ({avgpop:>4.1})");
     }
     println!(
         "\nNote: file counts are derived from the paper's reported modification\n\

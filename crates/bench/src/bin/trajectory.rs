@@ -1,32 +1,75 @@
-//! Writes the bench trajectory report (`BENCH_replay.json`).
+//! Writes or checks the bench trajectory report (`BENCH_replay.json`).
 //!
-//! Times the Tables 3+4 grid sequentially and fanned out, plus the
-//! single-threaded inner-loop workload, and writes the JSON report — see
-//! `wcc_bench::trajectory` for what is measured and how the embedded
-//! baselines were taken. Exits non-zero if the parallel grid is not
-//! byte-identical to the sequential one.
+//! Default mode times the Tables 3+4 grid sequentially and fanned out,
+//! plus the single-threaded inner-loop workload, and writes the JSON
+//! report — see `wcc_bench::trajectory` for what is measured and how the
+//! embedded baselines were taken. Exits non-zero if the parallel grid is
+//! not byte-identical to the sequential one.
 //!
-//! Usage: `trajectory [--scale N] [--jobs N] [--out PATH]`
+//! With `--check PATH` the run is instead compared against the committed
+//! baseline JSON at `PATH` (CI's bench-regression gate): the workload
+//! scale is taken from the baseline, deterministic fields must match
+//! exactly, timing fields must stay within `--tolerance` (default 0.15 =
+//! ±15%), and the diff table is printed either way. Exits non-zero on any
+//! regression.
+//!
+//! Usage: `trajectory [--scale N] [--jobs N] [--out PATH]
+//!                    [--check BASELINE [--tolerance F]]`
 //! (default `--out BENCH_replay.json`, i.e. the repo root when run from
 //! there).
 
 use wcc_bench::{parse_jobs, parse_scale, trajectory};
 
-fn parse_out(mut args: impl Iterator<Item = String>) -> String {
+fn parse_value(key: &str, mut args: impl Iterator<Item = String>) -> Option<String> {
     while let Some(arg) = args.next() {
-        if arg == "--out" {
-            if let Some(path) = args.next() {
-                return path;
-            }
+        if arg == key {
+            return args.next();
         }
     }
-    "BENCH_replay.json".to_string()
+    None
 }
 
 fn main() {
-    let scale = parse_scale(std::env::args());
     let jobs = parse_jobs(std::env::args());
-    let out = parse_out(std::env::args());
+    let out = parse_value("--out", std::env::args()).unwrap_or_else(|| "BENCH_replay.json".into());
+    let tolerance = parse_value("--tolerance", std::env::args())
+        .and_then(|t| t.parse::<f64>().ok())
+        .unwrap_or(0.15);
+
+    if let Some(baseline_path) = parse_value("--check", std::env::args()) {
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("trajectory: cannot read baseline {baseline_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let Some(scale) = trajectory::json_number(&baseline, "scale") else {
+            eprintln!("trajectory: baseline {baseline_path} carries no \"scale\" field");
+            std::process::exit(1);
+        };
+        let scale = scale as u64;
+        eprintln!(
+            "trajectory: regression check against {baseline_path} \
+             (scale 1/{scale}, tolerance ±{:.0}%) ...",
+            tolerance * 100.0
+        );
+        let report = trajectory::run(scale, jobs);
+        match trajectory::check_against(&report, &baseline, tolerance) {
+            Ok(table) => {
+                println!("{table}");
+                println!("bench-regression gate: PASS");
+            }
+            Err(table) => {
+                println!("{table}");
+                eprintln!("trajectory: FATAL: bench-regression gate failed (see FAIL rows)");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let scale = parse_scale(std::env::args());
     eprintln!("trajectory: timing grid + inner loop at scale 1/{scale} ...");
     let report = trajectory::run(scale, jobs);
     println!(

@@ -29,6 +29,7 @@
 //! nothing back into any simulation. `xtask lint` allowlists exactly this
 //! file.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use crate::{paper_experiments, TABLE_SEED};
@@ -48,6 +49,24 @@ pub const BASELINE_INNER_WALL_MS: u64 = 170;
 /// Requests per second of the inner-loop workload before the optimisation
 /// round (`40_658` requests / [`BASELINE_INNER_WALL_MS`]).
 pub const BASELINE_INNER_REQUESTS_PER_SEC: u64 = 239_000;
+
+/// Simulated-time latency tails of one grid replay. These come from the
+/// deterministic simulation clock, not the host wall clock, so they must
+/// reproduce *exactly* across machines — the regression gate compares them
+/// byte-for-byte.
+#[derive(Debug, Clone)]
+pub struct TailEntry {
+    /// Trace name (`EPA`, `SASK`, ...).
+    pub trace: String,
+    /// Protocol name (`adaptive-ttl`, `poll-every-time`, `invalidation`).
+    pub protocol: &'static str,
+    /// Median request latency in simulated microseconds.
+    pub p50_us: u64,
+    /// 90th-percentile request latency in simulated microseconds.
+    pub p90_us: u64,
+    /// 99th-percentile request latency in simulated microseconds.
+    pub p99_us: u64,
+}
 
 /// One trajectory measurement, ready to serialise.
 #[derive(Debug, Clone)]
@@ -75,6 +94,9 @@ pub struct TrajectoryReport {
     pub inner_wall_ms: u64,
     /// Inner-loop throughput.
     pub inner_requests_per_sec: u64,
+    /// Per-config simulated latency tails of the sequential grid pass, in
+    /// table order (deterministic — see [`TailEntry`]).
+    pub tails: Vec<TailEntry>,
 }
 
 /// The 18-config Tables 3+4 grid at `scale`, in table order.
@@ -121,6 +143,18 @@ pub fn run(scale: u64, jobs: Option<usize>) -> TrajectoryReport {
             .zip(&parallel)
             .all(|(s, p)| format!("{s:?}") == format!("{p:?}"));
 
+    let us = |d: Option<wcc_types::SimDuration>| d.map_or(0, |d| d.as_micros());
+    let tails = sequential
+        .iter()
+        .map(|r| TailEntry {
+            trace: r.trace.clone(),
+            protocol: r.protocol.name(),
+            p50_us: us(r.raw.latency.median()),
+            p90_us: us(r.raw.latency.p90()),
+            p99_us: us(r.raw.latency.p99()),
+        })
+        .collect();
+
     // Inner loop: one full EPA invalidation replay on the calling thread.
     let inner_cfg = ExperimentConfig::builder(TraceSpec::epa().scaled_down(scale))
         .protocol(ProtocolKind::Invalidation)
@@ -142,6 +176,7 @@ pub fn run(scale: u64, jobs: Option<usize>) -> TrajectoryReport {
         inner_requests: inner.raw.requests,
         inner_wall_ms,
         inner_requests_per_sec: inner.raw.requests * 1000 / inner_wall_ms,
+        tails,
     }
 }
 
@@ -163,7 +198,10 @@ impl TrajectoryReport {
             "    \"sequential_ms\": {},\n",
             self.grid_sequential_ms
         ));
-        out.push_str(&format!("    \"parallel_ms\": {},\n", self.grid_parallel_ms));
+        out.push_str(&format!(
+            "    \"parallel_ms\": {},\n",
+            self.grid_parallel_ms
+        ));
         out.push_str(&format!("    \"speedup\": {:.3},\n", self.speedup));
         out.push_str(&format!(
             "    \"byte_identical\": {}\n",
@@ -179,6 +217,16 @@ impl TrajectoryReport {
             self.inner_requests_per_sec
         ));
         out.push_str("  },\n");
+        out.push_str("  \"latency_tails\": [\n");
+        for (i, t) in self.tails.iter().enumerate() {
+            let comma = if i + 1 == self.tails.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    {{ \"trace\": \"{}\", \"protocol\": \"{}\", \
+                 \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {} }}{comma}\n",
+                t.trace, t.protocol, t.p50_us, t.p90_us, t.p99_us
+            ));
+        }
+        out.push_str("  ],\n");
         out.push_str("  \"baseline\": {\n");
         out.push_str(
             "    \"note\": \"pre-optimisation, scale 1, sequential harness, reference container\",\n",
@@ -198,6 +246,118 @@ impl TrajectoryReport {
         out.push_str("  }\n");
         out.push_str("}\n");
         out
+    }
+}
+
+/// Extracts the first number stored under `"key":` in a report JSON.
+///
+/// The workspace carries no serde, and [`TrajectoryReport::to_json`] emits
+/// keys in a fixed order with unique quoted names, so a linear scan is both
+/// sufficient and stable. Returns `None` when the key is absent.
+pub fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '.' && c != '-')
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The `"latency_tails": [...]` block of a report JSON, verbatim.
+fn tails_block(doc: &str) -> Option<&str> {
+    let start = doc.find("\"latency_tails\": [")?;
+    let end = start + doc[start..].find(']')?;
+    Some(&doc[start..=end])
+}
+
+/// Timing fields get an absolute grace on top of the relative tolerance:
+/// reduced-scale CI runs finish in tens of milliseconds, where scheduler
+/// noise alone exceeds any sane percentage.
+const TIMING_GRACE_MS: f64 = 100.0;
+
+/// Compares a fresh measurement against a committed baseline JSON
+/// (`ci/bench-baseline.json`), the CI bench-regression gate.
+///
+/// * **Deterministic fields** (`scale`, grid `configs`, inner-loop
+///   `requests`, the full `latency_tails` block) must match exactly, and
+///   the fresh run's `byte_identical` flag must be `true` — these come
+///   from the simulation clock and cannot legitimately drift.
+/// * **Timing fields** (`sequential_ms`, `parallel_ms`, `wall_ms`) must be
+///   within `tolerance` (relative, e.g. `0.15` = ±15%) of the baseline,
+///   with [`TIMING_GRACE_MS`] of absolute slack.
+/// * **Derived fields** (`speedup`, `requests_per_sec`) are reported but
+///   not gated: they are quotients of numbers already checked, and gating
+///   them twice only doubles the flake rate.
+///
+/// Returns the comparison table either way: `Ok` when everything passed,
+/// `Err` when anything regressed.
+pub fn check_against(
+    current: &TrajectoryReport,
+    baseline: &str,
+    tolerance: f64,
+) -> Result<String, String> {
+    let cur = current.to_json();
+    let mut table = format!(
+        "{:<16} {:>14} {:>14}  verdict\n",
+        "field", "baseline", "current"
+    );
+    let mut failed = false;
+    let mut row = |name: &str, base: Option<f64>, cur: Option<f64>, ok: bool, note: &str| {
+        let f = |v: Option<f64>| v.map_or("-".to_string(), |v| format!("{v}"));
+        let _ = writeln!(
+            table,
+            "{name:<16} {:>14} {:>14}  {}{note}",
+            f(base),
+            f(cur),
+            if ok { "ok" } else { "FAIL" }
+        );
+        failed |= !ok;
+    };
+
+    for key in ["scale", "configs", "requests"] {
+        let (b, c) = (json_number(baseline, key), json_number(&cur, key));
+        row(key, b, c, b.is_some() && b == c, " (exact)");
+    }
+    for key in ["sequential_ms", "parallel_ms", "wall_ms"] {
+        let (b, c) = (json_number(baseline, key), json_number(&cur, key));
+        let ok = match (b, c) {
+            (Some(b), Some(c)) => (c - b).abs() <= (tolerance * b).max(TIMING_GRACE_MS),
+            _ => false,
+        };
+        row(key, b, c, ok, &format!(" (±{:.0}%)", tolerance * 100.0));
+    }
+    for key in ["speedup", "requests_per_sec"] {
+        let (b, c) = (json_number(baseline, key), json_number(&cur, key));
+        row(key, b, c, true, " (informational)");
+    }
+    let as_num = |b: bool| if b { 1.0 } else { 0.0 };
+    row(
+        "byte_identical",
+        Some(as_num(baseline.contains("\"byte_identical\": true"))),
+        Some(as_num(current.byte_identical)),
+        current.byte_identical,
+        " (must be 1)",
+    );
+
+    let tails_match = match (tails_block(baseline), tails_block(&cur)) {
+        (Some(b), Some(c)) => b == c,
+        _ => false,
+    };
+    let _ = writeln!(
+        table,
+        "latency_tails    {:>14} {:>14}  {} (exact, {} entries)",
+        "-",
+        "-",
+        if tails_match { "ok" } else { "FAIL" },
+        current.tails.len()
+    );
+    failed |= !tails_match;
+
+    if failed {
+        Err(table)
+    } else {
+        Ok(table)
     }
 }
 
@@ -233,7 +393,66 @@ mod tests {
 
     #[test]
     fn json_is_stable_and_carries_baselines() {
-        let report = TrajectoryReport {
+        let json = sample_report().to_json();
+        assert!(json.contains("\"schema\": \"wcc-bench-trajectory/1\""));
+        assert!(json.contains("\"speedup\": 2.500"));
+        assert!(json.contains("\"byte_identical\": true"));
+        assert!(json.contains(
+            "{ \"trace\": \"EPA\", \"protocol\": \"adaptive-ttl\", \
+             \"p50_us\": 1000, \"p90_us\": 2000, \"p99_us\": 150000 },"
+        ));
+        assert!(json.contains(&format!(
+            "\"grid_sequential_ms\": {BASELINE_GRID_SEQUENTIAL_MS}"
+        )));
+        // Balanced braces, no trailing commas before closers.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n  }") && !json.contains(",\n}"));
+    }
+
+    #[test]
+    fn json_number_reads_unique_quoted_keys() {
+        let json = sample_report().to_json();
+        assert_eq!(json_number(&json, "scale"), Some(1.0));
+        assert_eq!(json_number(&json, "configs"), Some(18.0));
+        // inner_loop's "wall_ms", not the baseline's "inner_wall_ms".
+        assert_eq!(json_number(&json, "wall_ms"), Some(150.0));
+        assert_eq!(json_number(&json, "requests_per_sec"), Some(271_053.0));
+        assert_eq!(json_number(&json, "no_such_key"), None);
+    }
+
+    #[test]
+    fn check_against_passes_its_own_baseline_and_flags_regressions() {
+        let report = sample_report();
+        let baseline = report.to_json();
+        check_against(&report, &baseline, 0.15).expect("self-comparison must pass");
+
+        // Timing drift beyond tolerance + grace fails.
+        let mut slow = report.clone();
+        slow.grid_sequential_ms = report.grid_sequential_ms * 3;
+        let err = check_against(&slow, &baseline, 0.15).unwrap_err();
+        assert!(err.contains("sequential_ms"), "{err}");
+        assert!(err.contains("FAIL"), "{err}");
+
+        // Timing drift inside the absolute grace passes.
+        let mut close = report.clone();
+        close.inner_wall_ms += 80;
+        check_against(&close, &baseline, 0.15).expect("grace window must absorb 80 ms");
+
+        // Any simulated-latency drift fails, however small.
+        let mut drift = report.clone();
+        drift.tails[1].p99_us += 1;
+        let err = check_against(&drift, &baseline, 0.15).unwrap_err();
+        assert!(err.contains("latency_tails"), "{err}");
+
+        // A divergent parallel pass fails outright.
+        let mut split = report.clone();
+        split.byte_identical = false;
+        let err = check_against(&split, &baseline, 0.15).unwrap_err();
+        assert!(err.contains("byte_identical"), "{err}");
+    }
+
+    fn sample_report() -> TrajectoryReport {
+        TrajectoryReport {
             scale: 1,
             jobs: 4,
             host_cores: 8,
@@ -245,16 +464,22 @@ mod tests {
             inner_requests: 40_658,
             inner_wall_ms: 150,
             inner_requests_per_sec: 271_053,
-        };
-        let json = report.to_json();
-        assert!(json.contains("\"schema\": \"wcc-bench-trajectory/1\""));
-        assert!(json.contains("\"speedup\": 2.500"));
-        assert!(json.contains("\"byte_identical\": true"));
-        assert!(json.contains(&format!(
-            "\"grid_sequential_ms\": {BASELINE_GRID_SEQUENTIAL_MS}"
-        )));
-        // Balanced braces, no trailing commas before closers.
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert!(!json.contains(",\n  }") && !json.contains(",\n}"));
+            tails: vec![
+                TailEntry {
+                    trace: "EPA".to_string(),
+                    protocol: "adaptive-ttl",
+                    p50_us: 1_000,
+                    p90_us: 2_000,
+                    p99_us: 150_000,
+                },
+                TailEntry {
+                    trace: "EPA".to_string(),
+                    protocol: "invalidation",
+                    p50_us: 1_100,
+                    p90_us: 2_200,
+                    p99_us: 140_000,
+                },
+            ],
+        }
     }
 }

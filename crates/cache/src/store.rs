@@ -220,11 +220,7 @@ impl CacheStore {
     /// Mutable access to an entry's freshness metadata (does not touch
     /// recency). Keeps the expiry index consistent when `ttl_expires`
     /// changes.
-    pub fn update_freshness(
-        &mut self,
-        key: ScopedUrl,
-        f: impl FnOnce(&mut Freshness),
-    ) -> bool {
+    pub fn update_freshness(&mut self, key: ScopedUrl, f: impl FnOnce(&mut Freshness)) -> bool {
         let Some(entry) = self.entries.get_mut(&key) else {
             return false;
         };
@@ -421,7 +417,12 @@ mod tests {
         let mut c = CacheStore::new(ByteSize::from_kib(100), ReplacementPolicy::Lru);
         c.insert(key(1), meta(10), SimTime::ZERO, Freshness::default());
         assert_eq!(
-            c.insert(key(1), meta(30), SimTime::from_secs(1), Freshness::default()),
+            c.insert(
+                key(1),
+                meta(30),
+                SimTime::from_secs(1),
+                Freshness::default()
+            ),
             InsertOutcome::Replaced
         );
         assert_eq!(c.len(), 1);
@@ -431,12 +432,32 @@ mod tests {
     #[test]
     fn lru_evicts_least_recently_used() {
         let mut c = CacheStore::new(ByteSize::from_kib(30), ReplacementPolicy::Lru);
-        c.insert(key(1), meta(10), SimTime::from_secs(1), Freshness::default());
-        c.insert(key(2), meta(10), SimTime::from_secs(2), Freshness::default());
-        c.insert(key(3), meta(10), SimTime::from_secs(3), Freshness::default());
+        c.insert(
+            key(1),
+            meta(10),
+            SimTime::from_secs(1),
+            Freshness::default(),
+        );
+        c.insert(
+            key(2),
+            meta(10),
+            SimTime::from_secs(2),
+            Freshness::default(),
+        );
+        c.insert(
+            key(3),
+            meta(10),
+            SimTime::from_secs(3),
+            Freshness::default(),
+        );
         // Touch key(1) so key(2) is now LRU.
         c.touch(key(1), SimTime::from_secs(4));
-        c.insert(key(4), meta(10), SimTime::from_secs(5), Freshness::default());
+        c.insert(
+            key(4),
+            meta(10),
+            SimTime::from_secs(5),
+            Freshness::default(),
+        );
         assert!(c.peek(key(1)).is_some());
         assert!(c.peek(key(2)).is_none(), "LRU victim should be key 2");
         assert!(c.peek(key(3)).is_some());
@@ -449,8 +470,18 @@ mod tests {
         let mut c = CacheStore::new(ByteSize::from_kib(30), ReplacementPolicy::ExpiredFirstLru);
         // key(1) is oldest by LRU but has a far-future TTL; key(3) is the
         // most recently used but already expired.
-        c.insert(key(1), meta(10), SimTime::from_secs(1), fresh_with_ttl(1_000_000));
-        c.insert(key(2), meta(10), SimTime::from_secs(2), fresh_with_ttl(2_000_000));
+        c.insert(
+            key(1),
+            meta(10),
+            SimTime::from_secs(1),
+            fresh_with_ttl(1_000_000),
+        );
+        c.insert(
+            key(2),
+            meta(10),
+            SimTime::from_secs(2),
+            fresh_with_ttl(2_000_000),
+        );
         c.insert(key(3), meta(10), SimTime::from_secs(3), fresh_with_ttl(10));
         let now = SimTime::from_secs(100); // key(3)'s TTL has passed
         c.insert(key(4), meta(10), now, Freshness::default());
@@ -463,9 +494,24 @@ mod tests {
     #[test]
     fn expired_first_falls_back_to_lru() {
         let mut c = CacheStore::new(ByteSize::from_kib(20), ReplacementPolicy::ExpiredFirstLru);
-        c.insert(key(1), meta(10), SimTime::from_secs(1), fresh_with_ttl(1_000_000));
-        c.insert(key(2), meta(10), SimTime::from_secs(2), fresh_with_ttl(1_000_000));
-        c.insert(key(3), meta(10), SimTime::from_secs(3), Freshness::default());
+        c.insert(
+            key(1),
+            meta(10),
+            SimTime::from_secs(1),
+            fresh_with_ttl(1_000_000),
+        );
+        c.insert(
+            key(2),
+            meta(10),
+            SimTime::from_secs(2),
+            fresh_with_ttl(1_000_000),
+        );
+        c.insert(
+            key(3),
+            meta(10),
+            SimTime::from_secs(3),
+            Freshness::default(),
+        );
         assert!(c.peek(key(1)).is_none(), "no expired entries → LRU victim");
     }
 
@@ -483,8 +529,7 @@ mod tests {
     #[test]
     fn questionable_marking() {
         let mut c = CacheStore::unbounded(ReplacementPolicy::Lru);
-        let other_server =
-            Url::new(ServerId::new(9), 1).scoped(ClientId::from_raw(1));
+        let other_server = Url::new(ServerId::new(9), 1).scoped(ClientId::from_raw(1));
         c.insert(key(1), meta(1), SimTime::ZERO, Freshness::default());
         c.insert(key(2), meta(1), SimTime::ZERO, Freshness::default());
         c.insert(other_server, meta(1), SimTime::ZERO, Freshness::default());
@@ -501,9 +546,19 @@ mod tests {
         c.insert(key(1), meta(10), SimTime::from_secs(1), fresh_with_ttl(10));
         // Refresh the TTL far into the future (a 304 revalidation).
         assert!(c.update_freshness(key(1), |f| f.ttl_expires = SimTime::from_secs(1_000_000)));
-        c.insert(key(2), meta(10), SimTime::from_secs(2), fresh_with_ttl(1_000_000));
+        c.insert(
+            key(2),
+            meta(10),
+            SimTime::from_secs(2),
+            fresh_with_ttl(1_000_000),
+        );
         // At t=100 nothing is expired any more; eviction must be LRU.
-        c.insert(key(3), meta(10), SimTime::from_secs(100), Freshness::default());
+        c.insert(
+            key(3),
+            meta(10),
+            SimTime::from_secs(100),
+            Freshness::default(),
+        );
         assert!(c.peek(key(1)).is_none(), "LRU fallback evicts key 1");
         assert!(c.peek(key(2)).is_some());
         assert!(!c.update_freshness(key(99), |_| {}));
@@ -536,11 +591,21 @@ mod tests {
     fn eviction_loop_frees_enough_for_large_insert() {
         let mut c = CacheStore::new(ByteSize::from_kib(30), ReplacementPolicy::Lru);
         for d in 0..3 {
-            c.insert(key(d), meta(10), SimTime::from_secs(d as u64), Freshness::default());
+            c.insert(
+                key(d),
+                meta(10),
+                SimTime::from_secs(d as u64),
+                Freshness::default(),
+            );
         }
         // A 25 KiB insert leaves only 5 KiB of budget for the old entries,
         // so all three 10 KiB entries must go.
-        c.insert(key(9), meta(25), SimTime::from_secs(10), Freshness::default());
+        c.insert(
+            key(9),
+            meta(25),
+            SimTime::from_secs(10),
+            Freshness::default(),
+        );
         assert_eq!(c.stats().evictions, 3);
         assert!(c.used() <= c.capacity());
         assert!(c.peek(key(9)).is_some());

@@ -9,28 +9,54 @@ use wcc_types::{ByteSize, ClientId, DocMeta, ScopedUrl, ServerId, SimTime, Url};
 
 #[derive(Debug, Clone)]
 enum Op {
-    Insert { doc: u32, size_kib: u64, mtime: u64, ttl: u64 },
-    Remove { doc: u32 },
-    Touch { doc: u32 },
-    Hit { doc: u32 },
-    TakeHits { doc: u32 },
+    Insert {
+        doc: u32,
+        size_kib: u64,
+        mtime: u64,
+        ttl: u64,
+    },
+    Remove {
+        doc: u32,
+    },
+    Touch {
+        doc: u32,
+    },
+    Hit {
+        doc: u32,
+    },
+    TakeHits {
+        doc: u32,
+    },
     MarkAll,
     MarkServer,
-    ReplaceMeta { doc: u32, size_kib: u64, mtime: u64 },
+    ReplaceMeta {
+        doc: u32,
+        size_kib: u64,
+        mtime: u64,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u32..12, 1u64..64, 0u64..1_000, 0u64..1_000)
-            .prop_map(|(doc, size_kib, mtime, ttl)| Op::Insert { doc, size_kib, mtime, ttl }),
+        (0u32..12, 1u64..64, 0u64..1_000, 0u64..1_000).prop_map(|(doc, size_kib, mtime, ttl)| {
+            Op::Insert {
+                doc,
+                size_kib,
+                mtime,
+                ttl,
+            }
+        }),
         (0u32..12).prop_map(|doc| Op::Remove { doc }),
         (0u32..12).prop_map(|doc| Op::Touch { doc }),
         (0u32..12).prop_map(|doc| Op::Hit { doc }),
         (0u32..12).prop_map(|doc| Op::TakeHits { doc }),
         Just(Op::MarkAll),
         Just(Op::MarkServer),
-        (0u32..12, 1u64..64, 0u64..1_000)
-            .prop_map(|(doc, size_kib, mtime)| Op::ReplaceMeta { doc, size_kib, mtime }),
+        (0u32..12, 1u64..64, 0u64..1_000).prop_map(|(doc, size_kib, mtime)| Op::ReplaceMeta {
+            doc,
+            size_kib,
+            mtime
+        }),
     ]
 }
 

@@ -215,12 +215,11 @@ pub fn simulate(cfg: &ProtocolConfig, events: &[TimedEvent]) -> MessageCounts {
     let mut interval_open = false;
     let mut interval_had_transfer = false;
     let mut interval_had_stale_serve = false;
-    let close_interval =
-        |counts: &mut MessageCounts, had_transfer: bool, had_stale: bool| {
-            if had_stale && !had_transfer {
-                counts.stale_intervals += 1;
-            }
-        };
+    let close_interval = |counts: &mut MessageCounts, had_transfer: bool, had_stale: bool| {
+        if had_stale && !had_transfer {
+            counts.stale_intervals += 1;
+        }
+    };
 
     for ev in events {
         let now = ev.at;
@@ -237,8 +236,7 @@ pub fn simulate(cfg: &ProtocolConfig, events: &[TimedEvent]) -> MessageCounts {
                         // A serve-from-cache without a cache entry would be a
                         // proxy bug; count it as stale rather than panic so
                         // the interpreter stays total over any decision stream.
-                        let cached_version =
-                            cache.peek(key).map(|e| e.meta.last_modified());
+                        let cached_version = cache.peek(key).map(|e| e.meta.last_modified());
                         if cached_version != Some(current.last_modified()) {
                             counts.stale_serves += 1;
                             interval_had_stale_serve = true;
@@ -276,11 +274,7 @@ pub fn simulate(cfg: &ProtocolConfig, events: &[TimedEvent]) -> MessageCounts {
             }
             Event::Modify => {
                 if interval_open {
-                    close_interval(
-                        &mut counts,
-                        interval_had_transfer,
-                        interval_had_stale_serve,
-                    );
+                    close_interval(&mut counts, interval_had_transfer, interval_had_stale_serve);
                     interval_open = false;
                 }
                 current = DocMeta::new(current.size(), now);
@@ -385,13 +379,12 @@ mod tests {
         // every interval after the first is served entirely stale.
         let events = parse_stream(PAPER_STREAM, 60);
         let s = seq_stats(&events);
-        let generous = ProtocolConfig::new(ProtocolKind::AdaptiveTtl).with_adaptive_ttl(
-            AdaptiveTtlConfig {
+        let generous =
+            ProtocolConfig::new(ProtocolKind::AdaptiveTtl).with_adaptive_ttl(AdaptiveTtlConfig {
                 threshold: 1000.0,
                 floor: SimDuration::from_days(100),
                 cap: SimDuration::from_days(10_000),
-            },
-        );
+            });
         let exact = simulate(&generous, &events);
         assert_eq!(exact.file_transfers, 1, "only the compulsory first fetch");
         assert_eq!(exact.stale_intervals, s.ri - 1);
@@ -405,13 +398,12 @@ mod tests {
         // adaptive-TTL column becomes the polling column.
         let events = parse_stream(PAPER_STREAM, 60);
         let s = seq_stats(&events);
-        let paranoid = ProtocolConfig::new(ProtocolKind::AdaptiveTtl).with_adaptive_ttl(
-            AdaptiveTtlConfig {
+        let paranoid =
+            ProtocolConfig::new(ProtocolKind::AdaptiveTtl).with_adaptive_ttl(AdaptiveTtlConfig {
                 threshold: 0.0,
                 floor: SimDuration::ZERO,
                 cap: SimDuration::ZERO,
-            },
-        );
+            });
         let exact = simulate(&paranoid, &events);
         let polling = simulate(&cfg(ProtocolKind::PollEveryTime), &events);
         assert_eq!(exact.file_transfers, polling.file_transfers);
@@ -426,8 +418,12 @@ mod tests {
         let s = seq_stats(&events);
         // Default 10% threshold with a 30 s floor: expiries happen.
         let exact = simulate(&cfg(ProtocolKind::AdaptiveTtl), &events);
-        let formula =
-            adaptive_ttl_formula(s, exact.ttl_missed, exact.ttl_missed_new_doc, exact.stale_intervals);
+        let formula = adaptive_ttl_formula(
+            s,
+            exact.ttl_missed,
+            exact.ttl_missed_new_doc,
+            exact.stale_intervals,
+        );
         assert_eq!(exact.ims, formula.ims);
         assert_eq!(exact.replies_304, formula.replies_304);
         assert_eq!(exact.file_transfers, formula.file_transfers);

@@ -121,7 +121,13 @@ mod tests {
         m.record_report(url(1), 10);
         m.record_request(url(2));
         m.record_report(url(2), 0); // no-op
-        assert_eq!(m.views(url(1)), DocViews { served: 2, reported: 10 });
+        assert_eq!(
+            m.views(url(1)),
+            DocViews {
+                served: 2,
+                reported: 10
+            }
+        );
         assert_eq!(m.views(url(1)).total(), 12);
         assert_eq!(m.views(url(2)).total(), 1);
         assert_eq!(m.views(url(9)).total(), 0);

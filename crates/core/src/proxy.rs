@@ -85,9 +85,7 @@ impl ProxyPolicy {
             ProtocolKind::Invalidation
             | ProtocolKind::LeaseInvalidation
             | ProtocolKind::TwoTierLease => f.lease_expires > now,
-            ProtocolKind::VolumeLease => {
-                f.lease_expires > now && self.volume_live(key, now)
-            }
+            ProtocolKind::VolumeLease => f.lease_expires > now && self.volume_live(key, now),
         }
     }
 
@@ -382,7 +380,13 @@ mod tests {
     #[test]
     fn invalidation_serves_from_cache_until_invalidated() {
         let (mut p, mut c, key) = setup(ProtocolKind::Invalidation);
-        p.on_reply_200(key, meta(5), Some(SimTime::NEVER), SimTime::from_secs(10), &mut c);
+        p.on_reply_200(
+            key,
+            meta(5),
+            Some(SimTime::NEVER),
+            SimTime::from_secs(10),
+            &mut c,
+        );
         // Forever a hit, no server contact…
         let d = p.on_request(key, SimTime::from_secs(1_000_000_000), &mut c);
         assert_eq!(d.action, ProxyAction::ServeFromCache);
@@ -401,7 +405,13 @@ mod tests {
     fn lease_expiry_forces_revalidation() {
         let (mut p, mut c, key) = setup(ProtocolKind::LeaseInvalidation);
         let lease_end = SimTime::from_secs(100);
-        p.on_reply_200(key, meta(5), Some(lease_end), SimTime::from_secs(10), &mut c);
+        p.on_reply_200(
+            key,
+            meta(5),
+            Some(lease_end),
+            SimTime::from_secs(10),
+            &mut c,
+        );
         assert_eq!(
             p.on_request(key, SimTime::from_secs(50), &mut c).action,
             ProxyAction::ServeFromCache
@@ -415,7 +425,12 @@ mod tests {
             "expired lease → promised revalidation"
         );
         // A 304 with a fresh lease restores cache-served hits.
-        assert!(p.on_reply_304(key, Some(SimTime::from_secs(400)), SimTime::from_secs(151), &mut c));
+        assert!(p.on_reply_304(
+            key,
+            Some(SimTime::from_secs(400)),
+            SimTime::from_secs(151),
+            &mut c
+        ));
         assert_eq!(
             p.on_request(key, SimTime::from_secs(200), &mut c).action,
             ProxyAction::ServeFromCache
@@ -442,7 +457,13 @@ mod tests {
     fn questionable_entries_always_revalidate() {
         for kind in ProtocolKind::ALL {
             let (mut p, mut c, key) = setup(kind);
-            p.on_reply_200(key, meta(5), Some(SimTime::NEVER), SimTime::from_secs(10), &mut c);
+            p.on_reply_200(
+                key,
+                meta(5),
+                Some(SimTime::NEVER),
+                SimTime::from_secs(10),
+                &mut c,
+            );
             assert_eq!(p.on_proxy_recover(&mut c), 1);
             let d = p.on_request(key, SimTime::from_secs(11), &mut c);
             assert_eq!(

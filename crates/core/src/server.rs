@@ -218,10 +218,7 @@ impl ServerConsistency {
             // cannot use the copy without renewing, and the renewal reply
             // will piggyback the invalidation.
             fresh.retain(|client| {
-                let live = self
-                    .volume_leases
-                    .get(client)
-                    .is_some_and(|&exp| exp > now);
+                let live = self.volume_leases.get(client).is_some_and(|&exp| exp > now);
                 if !live {
                     self.piggyback_queues.entry(*client).or_default().push(url);
                 }
@@ -363,10 +360,22 @@ mod tests {
         let mut s = server(ProtocolKind::PollEveryTime);
         let now = SimTime::from_secs(100);
         // Unchanged since validator → 304.
-        let g = s.on_get(url(1), client(1), Some(SimTime::from_secs(50)), doc(50), now);
+        let g = s.on_get(
+            url(1),
+            client(1),
+            Some(SimTime::from_secs(50)),
+            doc(50),
+            now,
+        );
         assert!(!g.send_body);
         // Changed → 200.
-        let g = s.on_get(url(1), client(1), Some(SimTime::from_secs(50)), doc(60), now);
+        let g = s.on_get(
+            url(1),
+            client(1),
+            Some(SimTime::from_secs(50)),
+            doc(60),
+            now,
+        );
         assert!(g.send_body);
         // Plain GET always 200.
         let g = s.on_get(url(1), client(1), None, doc(1), now);
@@ -432,7 +441,10 @@ mod tests {
         for kind in [ProtocolKind::AdaptiveTtl, ProtocolKind::PollEveryTime] {
             let mut s = server(kind);
             s.on_get(url(1), client(1), None, doc(0), SimTime::from_secs(1));
-            assert!(s.on_modify(url(1), SimTime::from_secs(2)).is_empty(), "{kind}");
+            assert!(
+                s.on_modify(url(1), SimTime::from_secs(2)).is_empty(),
+                "{kind}"
+            );
             assert!(s.writes_complete());
         }
     }
@@ -451,8 +463,8 @@ mod tests {
 
     #[test]
     fn two_tier_registers_only_repeat_readers() {
-        let cfg = ProtocolConfig::new(ProtocolKind::TwoTierLease)
-            .with_lease(SimDuration::from_days(3));
+        let cfg =
+            ProtocolConfig::new(ProtocolKind::TwoTierLease).with_lease(SimDuration::from_days(3));
         let mut s = ServerConsistency::new(&cfg, ServerId::new(0));
         let now = SimTime::from_secs(10);
         // First-time GET: zero lease, not tracked.
@@ -503,11 +515,23 @@ mod tests {
         assert_eq!(s.stats().invalidations_sent, 0);
         assert!(s.writes_complete(), "PSI never has pending pushes");
         // …but the next contact from that client carries the invalidation.
-        let g = s.on_get(url(2), client(1), Some(SimTime::ZERO), doc(0), SimTime::from_secs(20));
+        let g = s.on_get(
+            url(2),
+            client(1),
+            Some(SimTime::ZERO),
+            doc(0),
+            SimTime::from_secs(20),
+        );
         assert_eq!(g.piggyback, vec![url(1)]);
         assert_eq!(s.stats().piggybacked, 1);
         // Delivered once only.
-        let g = s.on_get(url(2), client(1), Some(SimTime::ZERO), doc(0), SimTime::from_secs(21));
+        let g = s.on_get(
+            url(2),
+            client(1),
+            Some(SimTime::ZERO),
+            doc(0),
+            SimTime::from_secs(21),
+        );
         assert!(g.piggyback.is_empty());
     }
 
@@ -517,7 +541,13 @@ mod tests {
         s.on_get(url(1), client(1), None, doc(0), SimTime::from_secs(1));
         s.on_modify(url(1), SimTime::from_secs(10));
         // The client asks for url(1) itself: the fresh reply *is* the news.
-        let g = s.on_get(url(1), client(1), Some(SimTime::ZERO), doc(20), SimTime::from_secs(30));
+        let g = s.on_get(
+            url(1),
+            client(1),
+            Some(SimTime::ZERO),
+            doc(20),
+            SimTime::from_secs(30),
+        );
         assert!(g.send_body);
         assert!(g.piggyback.is_empty());
     }
@@ -566,11 +596,19 @@ mod tests {
         // …but the ack never arrives (partition). Once the volume expires,
         // the pending entry may be dropped: the client cannot use the copy
         // without a renewal, and the renewal will piggyback the news.
-        assert_eq!(s.expire_pending(SimTime::from_secs(99)), 0, "volume still live");
+        assert_eq!(
+            s.expire_pending(SimTime::from_secs(99)),
+            0,
+            "volume still live"
+        );
         assert_eq!(s.expire_pending(SimTime::from_secs(101)), 1);
         assert!(s.writes_complete(), "write completed by volume expiry");
         let g = s.on_get(url(2), client(1), None, doc(0), SimTime::from_secs(300));
-        assert_eq!(g.piggyback, vec![url(1)], "missed invalidation delivered on renewal");
+        assert_eq!(
+            g.piggyback,
+            vec![url(1)],
+            "missed invalidation delivered on renewal"
+        );
     }
 
     #[test]
@@ -579,7 +617,10 @@ mod tests {
         s.on_get(url(1), client(1), None, doc(0), SimTime::from_secs(0));
         s.on_modify(url(1), SimTime::from_secs(5));
         assert_eq!(s.expire_pending(SimTime::NEVER), 0);
-        assert!(!s.writes_complete(), "plain invalidation must wait for acks");
+        assert!(
+            !s.writes_complete(),
+            "plain invalidation must wait for acks"
+        );
     }
 
     #[test]

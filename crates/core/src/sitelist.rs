@@ -181,12 +181,18 @@ mod tests {
         t.register(url(1), client(1), SimTime::from_secs(500));
         assert_eq!(t.site_count(url(1)), 1);
         // Live at t=200 because the later lease won.
-        assert_eq!(t.take_sites(url(1), SimTime::from_secs(200)), vec![client(1)]);
+        assert_eq!(
+            t.take_sites(url(1), SimTime::from_secs(200)),
+            vec![client(1)]
+        );
 
         // Re-registering with an *earlier* expiry must not shorten it.
         t.register(url(1), client(1), SimTime::from_secs(500));
         t.register(url(1), client(1), SimTime::from_secs(100));
-        assert_eq!(t.take_sites(url(1), SimTime::from_secs(200)), vec![client(1)]);
+        assert_eq!(
+            t.take_sites(url(1), SimTime::from_secs(200)),
+            vec![client(1)]
+        );
     }
 
     #[test]

@@ -33,6 +33,11 @@
 //!    trace-time `stale_hits` legitimately counts transient serves that
 //!    race an in-flight write (see PR 1's auditor notes); the paper's
 //!    claim is about *completed* writes.
+//! 7. **Histogram sanity** — the latency summary feeding the paper tables
+//!    must be internally consistent: quantiles monotone
+//!    (min ≤ p50 ≤ p90 ≤ p99 ≤ p99.9 ≤ max) and at least one latency
+//!    sample recorded per user request (a request can record several —
+//!    retried upstream fetches each observe — but never zero).
 //!
 //! With [`CheckOptions::inject_stale_serve`] set, a forged from-cache serve
 //! of a stone-age version is appended after a real invalidation delivery
@@ -73,6 +78,9 @@ pub enum FailureKind {
     /// Invalidation showed more delivery-aware stale serves than adaptive
     /// TTL's stale hits on the identical workload.
     WeakDominance,
+    /// The latency histogram broke an internal invariant (non-monotone
+    /// quantiles, or fewer samples than user requests).
+    HistogramInvariant,
 }
 
 impl fmt::Display for FailureKind {
@@ -86,6 +94,7 @@ impl fmt::Display for FailureKind {
             FailureKind::FinalViolations => f.write_str("final-violations"),
             FailureKind::WriteIncomplete => f.write_str("write-incomplete"),
             FailureKind::WeakDominance => f.write_str("weak-dominance"),
+            FailureKind::HistogramInvariant => f.write_str("histogram-invariant"),
         }
     }
 }
@@ -281,6 +290,42 @@ pub fn check(scenario: &Scenario, opts: &CheckOptions) -> Result<CheckStats, Fuz
                 raw.stale_hits
             ),
         });
+    }
+
+    // 7. Histogram sanity: the latency summary that feeds the paper tables
+    // must be internally consistent before any of its numbers are trusted.
+    if raw.latency.count() < raw.requests {
+        return Err(FuzzFailure {
+            kind: FailureKind::HistogramInvariant,
+            detail: format!(
+                "latency summary holds {} samples for {} user requests",
+                raw.latency.count(),
+                raw.requests
+            ),
+        });
+    }
+    let quantiles = [
+        ("min", raw.latency.min()),
+        ("p50", raw.latency.median()),
+        ("p90", raw.latency.p90()),
+        ("p99", raw.latency.p99()),
+        ("p99.9", raw.latency.p999()),
+        ("max", raw.latency.max()),
+    ];
+    for pair in quantiles.windows(2) {
+        let [(lo_name, lo), (hi_name, hi)] = pair else {
+            unreachable!()
+        };
+        if lo > hi {
+            return Err(FuzzFailure {
+                kind: FailureKind::HistogramInvariant,
+                detail: format!(
+                    "latency quantiles are not monotone: {lo_name} {lo:?} > {hi_name} {hi:?} \
+                     over {} samples",
+                    raw.latency.count()
+                ),
+            });
+        }
     }
 
     // 4. Promise freshness for the invalidation family. Only meaningful

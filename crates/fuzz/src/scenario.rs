@@ -126,8 +126,10 @@ impl Scenario {
             .with_fixed_ttl(SimDuration::from_hours(rng.gen_range(1u64..=48)))
             .with_volume_lease(SimDuration::from_mins(rng.gen_range(1u64..=8)));
 
-        let mut options = DeploymentOptions::default();
-        options.num_proxies = rng.gen_range(1u32..=4);
+        let mut options = DeploymentOptions {
+            num_proxies: rng.gen_range(1u32..=4),
+            ..Default::default()
+        };
         if rng.gen_bool(0.25) {
             options.send_mode = InvalSendMode::Decoupled;
         }
@@ -258,7 +260,14 @@ mod tests {
             let mods = s.spec.expected_modifications(s.mean_lifetime);
             assert!(mods >= 1, "seed {seed}: no writes sampled");
         }
-        assert!(kinds.len() >= 6, "only {} protocol kinds in 200 seeds", kinds.len());
-        assert!(with_faults >= 80, "only {with_faults} faulted scenarios in 200");
+        assert!(
+            kinds.len() >= 6,
+            "only {} protocol kinds in 200 seeds",
+            kinds.len()
+        );
+        assert!(
+            with_faults >= 80,
+            "only {with_faults} faulted scenarios in 200"
+        );
     }
 }

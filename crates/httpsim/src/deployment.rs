@@ -113,6 +113,11 @@ pub struct DeploymentOptions {
     /// Record an [`AuditEvent`] stream during the replay so the
     /// consistency auditor ([`Deployment::audit`]) can verify the run.
     pub audit: bool,
+    /// Record request/invalidation lifetime spans into per-node ring
+    /// buffers ([`Deployment::trace_log`]). Recording never feeds back
+    /// into protocol state, so a traced run is byte-identical to an
+    /// untraced one.
+    pub trace: bool,
 }
 
 impl Default for DeploymentOptions {
@@ -132,6 +137,7 @@ impl Default for DeploymentOptions {
             detection: ChangeDetection::Notify,
             topology: Topology::Flat,
             audit: false,
+            trace: false,
         }
     }
 }
@@ -182,8 +188,7 @@ impl Deployment {
         cfg: &ProtocolConfig,
         options: DeploymentOptions,
     ) -> Deployment {
-        let borrowed: Vec<(&Trace, &ModSchedule)> =
-            workloads.iter().map(|(t, m)| (t, m)).collect();
+        let borrowed: Vec<(&Trace, &ModSchedule)> = workloads.iter().map(|(t, m)| (t, m)).collect();
         Deployment::build_inner(&borrowed, cfg, options)
     }
 
@@ -336,7 +341,8 @@ impl Deployment {
                 .wire_multi(upstreams.clone(), coordinator);
         }
         for (i, &m) in modifiers.iter().enumerate() {
-            sim.node_mut::<ModifierNode>(m).wire(origins[i], coordinator);
+            sim.node_mut::<ModifierNode>(m)
+                .wire(origins[i], coordinator);
         }
         let mut participants = proxies.clone();
         participants.extend(&modifiers);
@@ -349,6 +355,15 @@ impl Deployment {
             }
             for &p in &proxies {
                 sim.node_mut::<ProxyNode>(p).enable_audit();
+            }
+        }
+        if options.trace {
+            for (i, &o) in origins.iter().enumerate() {
+                sim.node_mut::<OriginNode>(o).tracer =
+                    wcc_obs::Tracer::enabled(format!("origin{i}"));
+            }
+            for (i, &p) in proxies.iter().enumerate() {
+                sim.node_mut::<ProxyNode>(p).tracer = wcc_obs::Tracer::enabled(format!("proxy{i}"));
             }
         }
 
@@ -451,13 +466,29 @@ impl Deployment {
         log
     }
 
+    /// The merged span-event stream, ordered by `(time, node, recording
+    /// order)`. Empty unless the deployment was built with
+    /// [`DeploymentOptions::trace`].
+    pub fn trace_log(&self) -> Vec<wcc_obs::TraceEvent> {
+        let mut tracers: Vec<&wcc_obs::Tracer> = Vec::new();
+        for i in 0..self.origins.len() {
+            tracers.push(self.origin_at(i).tracer());
+        }
+        for i in 0..self.proxies.len() {
+            tracers.push(self.proxy(i).tracer());
+        }
+        wcc_obs::merge_logs(tracers)
+    }
+
     /// Runs the consistency auditor over the recorded event stream,
     /// cross-checking it against the servers' own end-of-run counters.
     /// Meaningful only after [`run`](Deployment::run) on a deployment built
     /// with [`DeploymentOptions::audit`].
     pub fn audit(&self) -> wcc_audit::AuditReport {
-        let mut expect = wcc_audit::Expectations::default();
-        expect.writes_complete = true;
+        let mut expect = wcc_audit::Expectations {
+            writes_complete: true,
+            ..Default::default()
+        };
         for i in 0..self.origins.len() {
             let consistency = self.origin_at(i).consistency();
             let stats = consistency.stats();
@@ -617,11 +648,8 @@ impl Deployment {
         // timeout timers, as the wall clock for rates and utilisation.
         let wall = self.coordinator().finished_at().unwrap_or(self.sim.now());
         let wall_secs = wall.as_secs_f64().max(1e-9);
-        let server_busy: wcc_types::SimDuration = self
-            .origins
-            .iter()
-            .map(|&o| self.sim.busy_time(o))
-            .sum();
+        let server_busy: wcc_types::SimDuration =
+            self.origins.iter().map(|&o| self.sim.busy_time(o)).sum();
         // Average utilisation per origin machine.
         let server_cpu = if wall == SimTime::ZERO {
             0.0
@@ -853,12 +881,8 @@ mod tests {
         let spec = TraceSpec::epa().scaled_down(200);
         let trace = synthetic::generate(&spec, 7);
         // Fast churn so invalidations actually happen in the tiny replay.
-        let mods = ModSchedule::generate(
-            spec.num_docs,
-            SimDuration::from_hours(6),
-            spec.duration,
-            7,
-        );
+        let mods =
+            ModSchedule::generate(spec.num_docs, SimDuration::from_hours(6), spec.duration, 7);
         let cfg = ProtocolConfig::new(kind);
         let mut d = Deployment::build(&trace, &mods, &cfg, DeploymentOptions::default());
         d.run();
@@ -900,12 +924,7 @@ mod tests {
         // IMS on every hit, invalidation serves hits locally.
         let spec = TraceSpec::epa().scaled_down(50);
         let trace = synthetic::generate(&spec, 21);
-        let mods = ModSchedule::generate(
-            spec.num_docs,
-            spec.default_lifetime,
-            spec.duration,
-            21,
-        );
+        let mods = ModSchedule::generate(spec.num_docs, spec.default_lifetime, spec.duration, 21);
         let run = |kind: ProtocolKind| {
             let cfg = ProtocolConfig::new(kind);
             let mut d = Deployment::build(&trace, &mods, &cfg, DeploymentOptions::default());
@@ -927,12 +946,8 @@ mod tests {
     fn decoupled_sender_reduces_max_latency() {
         let spec = TraceSpec::nasa().scaled_down(100);
         let trace = synthetic::generate(&spec, 9);
-        let mods = ModSchedule::generate(
-            spec.num_docs,
-            SimDuration::from_hours(2),
-            spec.duration,
-            9,
-        );
+        let mods =
+            ModSchedule::generate(spec.num_docs, SimDuration::from_hours(2), spec.duration, 9);
         let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
         let run = |mode: InvalSendMode| {
             let mut opts = DeploymentOptions::default();
@@ -988,12 +1003,8 @@ mod tests {
     fn hierarchy_preserves_consistency_and_shrinks_server_fanout() {
         let spec = TraceSpec::nasa().scaled_down(150);
         let trace = synthetic::generate(&spec, 31);
-        let mods = ModSchedule::generate(
-            spec.num_docs,
-            SimDuration::from_hours(4),
-            spec.duration,
-            31,
-        );
+        let mods =
+            ModSchedule::generate(spec.num_docs, SimDuration::from_hours(4), spec.duration, 31);
         let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
         let run = |topology: Topology| {
             let mut opts = DeploymentOptions::default();

@@ -4,6 +4,7 @@ use crate::cost::CostModel;
 use crate::deployment::{ChangeDetection, InvalSendMode};
 use crate::SimMsg;
 use wcc_core::{HitMeter, ServerConsistency};
+use wcc_obs::{invalidation_span, Phase, SpanKind, Tracer};
 use wcc_proto::{CoordMsg, GetRequest, HttpMsg, Message, Reply, ReplyStatus};
 use wcc_simnet::{Ctx, Node, Summary};
 use wcc_types::{
@@ -86,7 +87,11 @@ impl MemCache {
             return false; // uncacheable; always a disk read
         }
         while self.used + scaled_size > self.budget {
-            let &(victim_seq, victim_doc) = self.order.iter().next().expect("over budget implies nonempty");
+            let &(victim_seq, victim_doc) = self
+                .order
+                .iter()
+                .next()
+                .expect("over budget implies nonempty");
             self.order.remove(&(victim_seq, victim_doc));
             let (_, sz) = self.entries.remove(&victim_doc).expect("indexed");
             self.used -= sz;
@@ -148,6 +153,9 @@ pub struct OriginNode {
     pub(crate) counters: OriginCounters,
     /// Audit-event log, recorded only when the deployment enables auditing.
     audit: Option<Vec<AuditEvent>>,
+    /// Span recorder (disabled unless the deployment enables tracing;
+    /// recording never feeds back into protocol state).
+    pub(crate) tracer: Tracer,
 }
 
 impl OriginNode {
@@ -188,7 +196,13 @@ impl OriginNode {
             meter: HitMeter::new(),
             counters: OriginCounters::default(),
             audit: None,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// The span recorder (for trace-log collection).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     pub(crate) fn set_coordinator(&mut self, coord: NodeId) {
@@ -277,9 +291,9 @@ impl OriginNode {
     fn handle_get(&mut self, from: NodeId, get: GetRequest, ctx: &mut Ctx<'_, SimMsg>) {
         ctx.consume(self.costs.request_parse + self.costs.log_write_cpu);
         self.counters.disk_writes += 1; // request log append
-        // Browser-based change detection: a request for this document makes
-        // the accelerator compare the file's mtime against the version it
-        // last invalidated for, and fan out first if they differ.
+                                        // Browser-based change detection: a request for this document makes
+                                        // the accelerator compare the file's mtime against the version it
+                                        // last invalidated for, and fan out first if they differ.
         if self.detection == ChangeDetection::BrowserBased {
             let doc = get.url.doc() as usize;
             if self.versions[doc] > self.acked_versions[doc] {
@@ -295,6 +309,15 @@ impl OriginNode {
         } else {
             self.counters.gets += 1;
         }
+        self.tracer.record(
+            ctx.now(),
+            SpanKind::Request,
+            get.req.get(),
+            Phase::Origin,
+            get.url,
+            Some(get.client),
+            Some(get.req.get()),
+        );
         let doc = get.url.doc();
         let meta = self.current_meta(doc);
         self.meter.record_request(get.url);
@@ -363,6 +386,20 @@ impl OriginNode {
                     retry,
                     at: ctx.now(),
                 });
+            }
+        }
+        if self.tracer.is_enabled() {
+            let span = invalidation_span(url, self.versions[url.doc() as usize]);
+            for &client in &recipients {
+                self.tracer.record(
+                    ctx.now(),
+                    SpanKind::Invalidation,
+                    span,
+                    Phase::Invalidate,
+                    url,
+                    Some(client),
+                    None,
+                );
             }
         }
         let n = recipients.len() as u64;
@@ -439,6 +476,15 @@ impl OriginNode {
         let doc = url.doc();
         self.versions[doc as usize] = self.versions[doc as usize].max(at);
         self.touch_log.push((doc, at));
+        self.tracer.record(
+            ctx.now(),
+            SpanKind::Invalidation,
+            invalidation_span(url, self.versions[doc as usize]),
+            Phase::Write,
+            url,
+            None,
+            None,
+        );
         self.record(AuditEvent::Touch {
             url,
             version: at,
@@ -471,6 +517,30 @@ impl Node<SimMsg> for OriginNode {
                 self.counters.acks += 1;
                 self.meter.record_report(url, cache_hits);
                 self.consistency.on_inval_ack(url, client);
+                if self.tracer.is_enabled() {
+                    let span = invalidation_span(url, self.versions[url.doc() as usize]);
+                    self.tracer.record(
+                        ctx.now(),
+                        SpanKind::Invalidation,
+                        span,
+                        Phase::Ack,
+                        url,
+                        Some(client),
+                        None,
+                    );
+                    if self.consistency.pending_for(url).is_empty() {
+                        // Every live site acked: the write is complete.
+                        self.tracer.record(
+                            ctx.now(),
+                            SpanKind::Invalidation,
+                            span,
+                            Phase::Quorum,
+                            url,
+                            None,
+                            None,
+                        );
+                    }
+                }
                 self.record(AuditEvent::InvalidateAck {
                     url,
                     client,

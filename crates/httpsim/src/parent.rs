@@ -202,11 +202,7 @@ impl ParentNode {
         match disposition.action {
             ProxyAction::ServeFromCache => {
                 self.counters.parent_hits += 1;
-                let meta = self
-                    .cache
-                    .peek(key)
-                    .expect("parent hit implies entry")
-                    .meta;
+                let meta = self.cache.peek(key).expect("parent hit implies entry").meta;
                 self.reply_from_cache(child, &get, meta, ctx);
             }
             ProxyAction::SendGet { ims } => {
@@ -240,12 +236,7 @@ impl ParentNode {
     }
 
     /// Forwards a plain refetch upstream for a pending child request.
-    fn refetch_upstream(
-        &mut self,
-        child: NodeId,
-        original: GetRequest,
-        ctx: &mut Ctx<'_, SimMsg>,
-    ) {
+    fn refetch_upstream(&mut self, child: NodeId, original: GetRequest, ctx: &mut Ctx<'_, SimMsg>) {
         let req = self.next_req;
         self.next_req = self.next_req.next();
         self.counters.upstream_gets += 1;
@@ -297,7 +288,10 @@ impl ParentNode {
                 body.meta()
             }
             ReplyStatus::NotModified => {
-                if !self.policy.on_reply_304(key, reply.lease, now, &mut self.cache) {
+                if !self
+                    .policy
+                    .on_reply_304(key, reply.lease, now, &mut self.cache)
+                {
                     // Parent copy evicted mid-validation: refetch upstream
                     // as a plain GET for the waiting child.
                     self.refetch_upstream(child, original, ctx);
@@ -353,9 +347,7 @@ impl ParentNode {
 impl Node<SimMsg> for ParentNode {
     fn on_message(&mut self, from: NodeId, msg: SimMsg, ctx: &mut Ctx<'_, SimMsg>) {
         match msg {
-            SimMsg::Net(Message::Http(HttpMsg::Get(get))) => {
-                self.handle_child_get(from, get, ctx)
-            }
+            SimMsg::Net(Message::Http(HttpMsg::Get(get))) => self.handle_child_get(from, get, ctx),
             SimMsg::Net(Message::Http(HttpMsg::Reply(reply))) => {
                 self.handle_upstream_reply(reply, ctx)
             }

@@ -5,6 +5,7 @@ use crate::deployment::ServeEvent;
 use crate::SimMsg;
 use wcc_cache::CacheStore;
 use wcc_core::{ProxyAction, ProxyPolicy};
+use wcc_obs::{Phase, SpanKind, Tracer};
 use wcc_proto::{CoordMsg, GetRequest, HttpMsg, Message, Reply, ReplyStatus, RequestId};
 use wcc_simnet::{Ctx, Node, Summary};
 use wcc_traces::TraceRecord;
@@ -61,6 +62,9 @@ struct Pending {
     record: TraceRecord,
     req: RequestId,
     wall_start: SimTime,
+    /// Trace span the request belongs to (constant across retransmits and
+    /// refetches: they are steps of the same lifetime).
+    span: u64,
     /// An `INVALIDATE` for this document arrived while the request was in
     /// flight: the reply may carry the pre-modification version and must be
     /// discarded and refetched (the callback-race rule).
@@ -103,6 +107,9 @@ pub struct ProxyNode {
     pub(crate) counters: ProxyCounters,
     /// Audit-event log, recorded only when the deployment enables auditing.
     audit: Option<Vec<AuditEvent>>,
+    /// Span recorder (disabled unless the deployment enables tracing;
+    /// recording never feeds back into protocol state).
+    pub(crate) tracer: Tracer,
 }
 
 impl ProxyNode {
@@ -130,7 +137,13 @@ impl ProxyNode {
             serves: Vec::new(),
             counters: ProxyCounters::default(),
             audit: None,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// The span recorder (for trace-log collection).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     pub(crate) fn enable_audit(&mut self) {
@@ -199,6 +212,7 @@ impl ProxyNode {
         record: TraceRecord,
         ims: Option<SimTime>,
         report_hits: u64,
+        span: u64,
         ctx: &mut Ctx<'_, SimMsg>,
     ) {
         let req = self.next_req;
@@ -208,6 +222,15 @@ impl ProxyNode {
         } else {
             self.counters.gets_sent += 1;
         }
+        self.tracer.record(
+            ctx.now(),
+            SpanKind::Request,
+            span,
+            Phase::Upstream,
+            record.url,
+            Some(self.effective_client(&record)),
+            Some(req.get()),
+        );
         let msg = HttpMsg::Get(GetRequest {
             req,
             url: record.url,
@@ -222,6 +245,7 @@ impl ProxyNode {
             record,
             req,
             wall_start: ctx.now(),
+            span,
             invalidated: false,
         });
         let upstream = self.upstream(record.url.server());
@@ -242,6 +266,16 @@ impl ProxyNode {
             self.next_idx += 1;
             self.counters.requests += 1;
             ctx.consume(self.costs.proxy_request_cpu);
+            let span = self.tracer.begin_span();
+            self.tracer.record(
+                ctx.now(),
+                SpanKind::Request,
+                span,
+                Phase::Receive,
+                record.url,
+                Some(self.effective_client(&record)),
+                None,
+            );
             let key = record.url.scoped(self.effective_client(&record));
             let disposition = self.policy.on_request(key, record.at, &mut self.cache);
             if disposition.had_entry {
@@ -251,6 +285,15 @@ impl ProxyNode {
                 ProxyAction::ServeFromCache => {
                     ctx.consume(self.costs.proxy_hit_cpu);
                     self.latency.observe(self.costs.proxy_hit_cpu);
+                    self.tracer.record(
+                        ctx.now(),
+                        SpanKind::Request,
+                        span,
+                        Phase::Hit,
+                        record.url,
+                        Some(self.effective_client(&record)),
+                        None,
+                    );
                     let version = self
                         .cache
                         .peek(key)
@@ -273,7 +316,7 @@ impl ProxyNode {
                     });
                 }
                 ProxyAction::SendGet { ims } => {
-                    self.send_get(record, ims, disposition.report_hits, ctx);
+                    self.send_get(record, ims, disposition.report_hits, span, ctx);
                 }
             }
         }
@@ -308,7 +351,7 @@ impl ProxyNode {
             // The INVALIDATE overtook this reply: its payload may predate
             // the modification. Discard and refetch the fresh version.
             self.counters.inval_races += 1;
-            self.send_get(pending.record, None, 0, ctx);
+            self.send_get(pending.record, None, 0, pending.span, ctx);
             return;
         }
         let record = pending.record;
@@ -321,7 +364,8 @@ impl ProxyNode {
             self.counters.piggybacked_received += reply.piggyback.len() as u64;
             self.counters.piggybacked_effective +=
                 self.policy
-                    .on_piggyback(&reply.piggyback, effective, &mut self.cache) as u64;
+                    .on_piggyback(&reply.piggyback, effective, &mut self.cache)
+                    as u64;
             if self.audit.is_some() {
                 for &url in &reply.piggyback {
                     self.record(AuditEvent::InvalidateDelivered {
@@ -347,7 +391,7 @@ impl ProxyNode {
                     // The entry was evicted while we validated: fall back to
                     // a plain GET for the body (rare race).
                     self.counters.revalidation_races += 1;
-                    self.send_get(record, None, 0, ctx);
+                    self.send_get(record, None, 0, pending.span, ctx);
                     return;
                 }
                 self.counters.replies_304 += 1;
@@ -358,7 +402,17 @@ impl ProxyNode {
                     .last_modified()
             }
         };
-        self.latency.observe(ctx.now().saturating_since(pending.wall_start));
+        self.latency
+            .observe(ctx.now().saturating_since(pending.wall_start));
+        self.tracer.record(
+            ctx.now(),
+            SpanKind::Request,
+            pending.span,
+            Phase::Reply,
+            record.url,
+            Some(effective),
+            Some(reply.req.get()),
+        );
         self.serves.push(ServeEvent {
             url: record.url,
             client: record.client,
@@ -392,7 +446,7 @@ impl Node<SimMsg> for ProxyNode {
         let record = pending.record;
         let key = record.url.scoped(record.client);
         let ims = self.cache.peek(key).map(|e| e.meta.last_modified());
-        self.send_get(record, ims, 0, ctx);
+        self.send_get(record, ims, 0, pending.span, ctx);
     }
 
     fn on_message(&mut self, from: NodeId, msg: SimMsg, ctx: &mut Ctx<'_, SimMsg>) {
@@ -459,19 +513,15 @@ impl Node<SimMsg> for ProxyNode {
         // "Our solution is simply to let the proxy mark all its cache
         // entries as questionable when it recovers."
         self.counters.recoveries += 1;
-        self.counters.questionable_marked +=
-            self.policy.on_proxy_recover(&mut self.cache) as u64;
+        self.counters.questionable_marked += self.policy.on_proxy_recover(&mut self.cache) as u64;
         // A request in flight when we crashed will never complete: re-issue
         // it so the driver can make progress.
         if let Some(pending) = self.outstanding.take() {
             self.counters.reissued_after_crash += 1;
             let record = pending.record;
             let key = record.url.scoped(self.effective_client(&record));
-            let ims = self
-                .cache
-                .peek(key)
-                .map(|e| e.meta.last_modified());
-            self.send_get(record, ims, 0, ctx);
+            let ims = self.cache.peek(key).map(|e| e.meta.last_modified());
+            self.send_get(record, ims, 0, pending.span, ctx);
         } else {
             self.pump(ctx);
         }

@@ -70,7 +70,11 @@ impl Node<SimMsg> for InvalSenderNode {
             self.bytes_sent += size;
             self.sent += 1;
             ctx.consume(self.costs.inval_send);
-            ctx.send(self.proxy_of(client), SimMsg::Net(Message::Http(inval)), size);
+            ctx.send(
+                self.proxy_of(client),
+                SimMsg::Net(Message::Http(inval)),
+                size,
+            );
         }
         self.inval_time
             .observe(self.costs.inval_send.saturating_mul(n));

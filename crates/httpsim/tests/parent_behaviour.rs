@@ -47,7 +47,11 @@ fn second_child_is_served_by_the_parent() {
     let parent = d.parent().expect("hierarchy parent");
     assert_eq!(parent.counters().child_requests, 2);
     assert_eq!(parent.counters().upstream_gets, 1, "one compulsory miss");
-    assert_eq!(parent.counters().parent_hits, 1, "second child hits the parent");
+    assert_eq!(
+        parent.counters().parent_hits,
+        1,
+        "second child hits the parent"
+    );
     let r = d.collect();
     assert_eq!(r.replies_200, 1, "origin transferred the body once");
     assert_eq!(r.final_violations, 0);
@@ -100,7 +104,10 @@ fn parent_answers_stale_validator_from_its_own_cache() {
     );
     d.run();
     let parent = d.parent().expect("parent");
-    assert_eq!(parent.counters().upstream_gets + parent.counters().upstream_ims, 1);
+    assert_eq!(
+        parent.counters().upstream_gets + parent.counters().upstream_ims,
+        1
+    );
     let r = d.collect();
     // Child 1's second request is a pure child-cache hit (leased).
     assert_eq!(r.hits, 1);
@@ -114,9 +121,9 @@ fn child_hit_reports_flow_through_the_parent_meter() {
     let mut d = build(
         vec![
             record(600, 0, 0),
-            record(1200, 0, 0),  // child cache hit
-            record(1500, 0, 0),  // child cache hit
-            record(3600, 0, 0),  // refetch after the modification
+            record(1200, 0, 0), // child cache hit
+            record(1500, 0, 0), // child cache hit
+            record(3600, 0, 0), // refetch after the modification
         ],
         vec![Modification {
             at: SimTime::from_secs(2400),

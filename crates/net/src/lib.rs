@@ -53,7 +53,9 @@
 mod origin;
 mod parent;
 mod proxy;
+mod scrape;
 
 pub use origin::{check_in, NetOrigin, OriginConfig, OriginSnapshot};
 pub use parent::{NetParent, NetParentCounters};
 pub use proxy::{FetchKind, FetchOutcome, NetProxy, NetProxyCounters};
+pub use scrape::scrape;

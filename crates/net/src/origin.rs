@@ -10,8 +10,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use wcc_core::{ProtocolConfig, ServerConsistency, SiteListStats};
+use wcc_obs::{Histogram, Registry};
 use wcc_proto::{decode, encode, GetRequest, HttpMsg, Reply, ReplyStatus, WireError};
-use wcc_types::{Body, ByteSize, ClientId, DocMeta, ServerId, SimDuration, SimTime, Url, WallClock};
+use wcc_types::{
+    Body, ByteSize, ClientId, DocMeta, ServerId, SimDuration, SimTime, Url, WallClock,
+};
 
 /// Configuration for [`NetOrigin::spawn`].
 #[derive(Debug, Clone)]
@@ -53,6 +56,8 @@ struct Protected {
     consistency: ServerConsistency,
     versions: Vec<SimTime>,
     counters: OriginSnapshot,
+    /// Wall-time GET service latency (decode to reply built).
+    serve_latency: Histogram,
 }
 
 struct State {
@@ -125,6 +130,94 @@ impl State {
         p.counters.acks += 1;
         p.consistency.on_inval_ack(url, client);
     }
+
+    /// Renders the node's registry as Prometheus text exposition.
+    fn render_metrics(&self) -> String {
+        let p = self.protected.lock();
+        let node = [("node", "origin")];
+        let c = &p.counters;
+        let mut r = Registry::default();
+        r.set_counter(
+            "wcc_gets_total",
+            "Plain GET requests served.",
+            &node,
+            c.gets,
+        );
+        r.set_counter(
+            "wcc_ims_total",
+            "If-Modified-Since requests served.",
+            &node,
+            c.ims,
+        );
+        r.set_counter(
+            "wcc_replies_200_total",
+            "200 replies sent.",
+            &node,
+            c.replies_200,
+        );
+        r.set_counter(
+            "wcc_replies_304_total",
+            "304 replies sent.",
+            &node,
+            c.replies_304,
+        );
+        r.set_counter(
+            "wcc_invalidations_total",
+            "INVALIDATEs pushed to proxies.",
+            &node,
+            c.invalidations,
+        );
+        r.set_counter(
+            "wcc_inval_acks_total",
+            "Invalidation acknowledgements received.",
+            &node,
+            c.acks,
+        );
+        r.set_counter(
+            "wcc_notifies_total",
+            "Modifier check-ins processed.",
+            &node,
+            c.notifies,
+        );
+        let stats = p.consistency.table().stats();
+        r.set_gauge(
+            "wcc_sitelist_entries",
+            "Live site-list entries (granted leases / registrations).",
+            &node,
+            stats.total_entries,
+        );
+        r.set_gauge(
+            "wcc_sitelist_tracked_documents",
+            "Documents with a non-empty site list.",
+            &node,
+            stats.tracked_documents,
+        );
+        r.set_gauge(
+            "wcc_sitelist_max_list_len",
+            "Longest site list.",
+            &node,
+            stats.max_list_len,
+        );
+        r.set_gauge(
+            "wcc_sitelist_storage_bytes",
+            "Estimated site-list memory.",
+            &node,
+            stats.storage.as_u64(),
+        );
+        r.set_gauge(
+            "wcc_writes_complete",
+            "1 when every invalidation has been acknowledged.",
+            &node,
+            u64::from(p.consistency.writes_complete()),
+        );
+        r.set_histogram(
+            "wcc_serve_latency_seconds",
+            "Wall-time GET service latency.",
+            &node,
+            &p.serve_latency,
+        );
+        r.render()
+    }
 }
 
 /// A running TCP origin. Shuts down (and joins its threads) on drop.
@@ -137,7 +230,9 @@ pub struct NetOrigin {
 
 impl std::fmt::Debug for NetOrigin {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NetOrigin").field("addr", &self.addr).finish()
+        f.debug_struct("NetOrigin")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
@@ -159,6 +254,7 @@ impl NetOrigin {
                 consistency: ServerConsistency::new(&config.protocol, config.server),
                 versions: vec![SimTime::ZERO; n],
                 counters: OriginSnapshot::default(),
+                serve_latency: Histogram::default(),
             }),
             channels: Mutex::new(HashMap::new()),
             partitions: AtomicU32::new(0),
@@ -195,6 +291,12 @@ impl NetOrigin {
         self.addr
     }
 
+    /// The current Prometheus text exposition — the same body `GET
+    /// /metrics` on [`NetOrigin::addr`] returns.
+    pub fn metrics_text(&self) -> String {
+        self.state.render_metrics()
+    }
+
     /// A copy of the current counters and site-list stats.
     pub fn snapshot(&self) -> OriginSnapshot {
         let p = self.state.protected.lock();
@@ -209,9 +311,8 @@ impl NetOrigin {
     /// whether completion was reached.
     pub fn wait_writes_complete(&self, timeout: Duration) -> bool {
         let clock = WallClock::start();
-        let timeout = SimDuration::from_micros(
-            u64::try_from(timeout.as_micros()).unwrap_or(u64::MAX),
-        );
+        let timeout =
+            SimDuration::from_micros(u64::try_from(timeout.as_micros()).unwrap_or(u64::MAX));
         loop {
             if self.state.protected.lock().consistency.writes_complete() {
                 return true;
@@ -264,9 +365,23 @@ fn serve_connection(state: &Arc<State>, stream: TcpStream) -> std::io::Result<()
         };
         match msg {
             HttpMsg::Get(get) if get.url.server() == state.server => {
+                let clock = WallClock::start();
                 let reply = state.handle_get(&get);
+                // Record before the reply ships: once the requester's fetch
+                // returns, a scrape must already see this serve.
+                state
+                    .protected
+                    .lock()
+                    .serve_latency
+                    .record(clock.elapsed().as_micros());
                 writer.write_all(&encode(&reply))?;
                 writer.flush()?;
+            }
+            HttpMsg::MetricsGet => {
+                // One-shot scrape: raw HTTP response, then close.
+                writer.write_all(&crate::scrape::metrics_response(&state.render_metrics()))?;
+                writer.flush()?;
+                break;
             }
             HttpMsg::Notify { url, at } if url.server() == state.server => {
                 state.handle_notify(url, at);

@@ -24,8 +24,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 use wcc_cache::{CacheStore, ReplacementPolicy};
 use wcc_core::{ProtocolConfig, ProxyAction, ProxyPolicy, ServerConsistency};
+use wcc_obs::{Histogram, Registry};
 use wcc_proto::{decode, encode, GetRequest, HttpMsg, Reply, ReplyStatus, RequestId, WireError};
-use wcc_types::{Body, ByteSize, ClientId, DocMeta, ServerId, Url};
+use wcc_types::{Body, ByteSize, ClientId, DocMeta, ServerId, Url, WallClock};
 
 /// Counters for the TCP parent.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +53,8 @@ struct Protected {
     /// timestamp).
     latest_trace: wcc_types::SimTime,
     counters: NetParentCounters,
+    /// Wall-time child GET service latency (including upstream fetches).
+    serve_latency: Histogram,
 }
 
 struct ParentState {
@@ -193,6 +196,76 @@ impl ParentState {
             cache_hits: own_hits,
         }
     }
+
+    /// Renders the parent's registry as Prometheus text exposition.
+    fn render_metrics(&self) -> String {
+        let p = self.protected.lock();
+        let node = [("node", "parent")];
+        let c = &p.counters;
+        let mut r = Registry::default();
+        r.set_counter(
+            "wcc_child_requests_total",
+            "Requests received from children.",
+            &node,
+            c.child_requests,
+        );
+        r.set_counter(
+            "wcc_hits_total",
+            "Child requests answered from the parent cache.",
+            &node,
+            c.parent_hits,
+        );
+        r.set_counter(
+            "wcc_misses_total",
+            "Child requests that missed the parent cache.",
+            &node,
+            c.child_requests - c.parent_hits,
+        );
+        r.set_counter(
+            "wcc_upstream_requests_total",
+            "Requests forwarded to the origin.",
+            &node,
+            c.upstream_requests,
+        );
+        r.set_counter(
+            "wcc_invalidations_total",
+            "INVALIDATEs received from the origin.",
+            &node,
+            c.invalidations_received,
+        );
+        r.set_counter(
+            "wcc_invalidations_relayed_total",
+            "INVALIDATEs relayed to children.",
+            &node,
+            c.invalidations_relayed,
+        );
+        let stats = p.children.table().stats();
+        r.set_gauge(
+            "wcc_sitelist_entries",
+            "Live child site-list entries (granted leases / registrations).",
+            &node,
+            stats.total_entries,
+        );
+        r.set_gauge(
+            "wcc_sitelist_tracked_documents",
+            "Documents with a non-empty child site list.",
+            &node,
+            stats.tracked_documents,
+        );
+        r.set_gauge(
+            "wcc_cached_entries",
+            "Entries currently in the parent cache.",
+            &node,
+            p.cache.len() as u64,
+        );
+        r.set_histogram(
+            "wcc_serve_latency_seconds",
+            "Wall-time child GET service latency, upstream fetches included.",
+            &node,
+            &p.serve_latency,
+        );
+        r.render()
+    }
 }
 
 /// A running TCP parent proxy. Shuts down on drop.
@@ -206,7 +279,9 @@ pub struct NetParent {
 
 impl std::fmt::Debug for NetParent {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NetParent").field("addr", &self.addr).finish()
+        f.debug_struct("NetParent")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
@@ -238,6 +313,7 @@ impl NetParent {
                 next_req: RequestId::default(),
                 latest_trace: wcc_types::SimTime::ZERO,
                 counters: NetParentCounters::default(),
+                serve_latency: Histogram::default(),
             }),
             child_channels: Mutex::new(HashMap::new()),
             child_partitions: AtomicU32::new(0),
@@ -320,6 +396,12 @@ impl NetParent {
     pub fn counters(&self) -> NetParentCounters {
         self.state.protected.lock().counters
     }
+
+    /// The current Prometheus text exposition — the same body `GET
+    /// /metrics` on [`NetParent::addr`] returns.
+    pub fn metrics_text(&self) -> String {
+        self.state.render_metrics()
+    }
 }
 
 impl Drop for NetParent {
@@ -360,9 +442,23 @@ fn serve_child(state: &Arc<ParentState>, stream: TcpStream) -> std::io::Result<(
         };
         match msg {
             HttpMsg::Get(get) if get.url.server() == state.server => {
+                let clock = WallClock::start();
                 let reply = state.handle_child_get(&get)?;
+                // Record before the reply ships: once the child's fetch
+                // returns, a scrape must already see this serve.
+                state
+                    .protected
+                    .lock()
+                    .serve_latency
+                    .record(clock.elapsed().as_micros());
                 writer.write_all(&encode(&reply))?;
                 writer.flush()?;
+            }
+            HttpMsg::MetricsGet => {
+                // One-shot scrape: raw HTTP response, then close.
+                writer.write_all(&crate::scrape::metrics_response(&state.render_metrics()))?;
+                writer.flush()?;
+                break;
             }
             HttpMsg::Hello {
                 partition,

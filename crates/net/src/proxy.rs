@@ -2,15 +2,16 @@
 
 use parking_lot::Mutex;
 use std::io::{BufReader, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use wcc_cache::{CacheStore, ReplacementPolicy};
 use wcc_core::{ProtocolConfig, ProxyAction, ProxyPolicy};
+use wcc_obs::{Histogram, Registry};
 use wcc_proto::{decode, encode, GetRequest, HttpMsg, ReplyStatus, RequestId, WireError};
-use wcc_types::{ByteSize, ClientId, DocMeta, SimTime, Url};
+use wcc_types::{ByteSize, ClientId, DocMeta, SimTime, Url, WallClock};
 
 /// How a [`NetProxy::fetch`] was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,19 +61,102 @@ pub struct NetProxyCounters {
 struct ProxyState {
     policy: Mutex<(ProxyPolicy, CacheStore, RequestId)>,
     counters: Mutex<NetProxyCounters>,
+    /// Wall-time latency of whole [`NetProxy::fetch`] calls (hits included).
+    fetch_latency: Mutex<Histogram>,
     shutdown: AtomicBool,
+}
+
+impl ProxyState {
+    /// Renders the proxy's registry as Prometheus text exposition.
+    fn render_metrics(&self) -> String {
+        let node = [("node", "proxy")];
+        let c = *self.counters.lock();
+        let mut r = Registry::default();
+        r.set_counter("wcc_requests_total", "Fetches served.", &node, c.requests);
+        r.set_counter(
+            "wcc_hits_total",
+            "Fetches that found a cached entry.",
+            &node,
+            c.hits,
+        );
+        r.set_counter(
+            "wcc_misses_total",
+            "Fetches that found no cached entry.",
+            &node,
+            c.requests - c.hits,
+        );
+        r.set_counter(
+            "wcc_gets_sent_total",
+            "Plain GETs sent upstream.",
+            &node,
+            c.gets_sent,
+        );
+        r.set_counter(
+            "wcc_ims_sent_total",
+            "If-Modified-Since requests sent upstream.",
+            &node,
+            c.ims_sent,
+        );
+        r.set_counter(
+            "wcc_replies_200_total",
+            "200 replies received.",
+            &node,
+            c.replies_200,
+        );
+        r.set_counter(
+            "wcc_replies_304_total",
+            "304 replies received.",
+            &node,
+            c.replies_304,
+        );
+        r.set_counter(
+            "wcc_invalidations_total",
+            "INVALIDATEs received on the push channel.",
+            &node,
+            c.invalidations_received,
+        );
+        r.set_counter(
+            "wcc_bulk_invalidations_total",
+            "Bulk INVALIDATE <server> messages received.",
+            &node,
+            c.bulk_invalidations_received,
+        );
+        r.set_counter(
+            "wcc_piggybacked_total",
+            "Piggybacked invalidations received (PSI).",
+            &node,
+            c.piggybacked_received,
+        );
+        r.set_gauge(
+            "wcc_cached_entries",
+            "Entries currently cached.",
+            &node,
+            self.policy.lock().1.len() as u64,
+        );
+        r.set_histogram(
+            "wcc_fetch_latency_seconds",
+            "Wall-time fetch latency, cache hits included.",
+            &node,
+            &self.fetch_latency.lock(),
+        );
+        r.render()
+    }
 }
 
 /// A running caching proxy. Shuts down its invalidation listener on drop.
 pub struct NetProxy {
     origin: SocketAddr,
+    metrics_addr: SocketAddr,
     state: Arc<ProxyState>,
     inval_thread: Option<JoinHandle<()>>,
+    metrics_thread: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for NetProxy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NetProxy").field("origin", &self.origin).finish()
+        f.debug_struct("NetProxy")
+            .field("origin", &self.origin)
+            .finish()
     }
 }
 
@@ -97,7 +181,23 @@ impl NetProxy {
                 RequestId::default(),
             )),
             counters: Mutex::new(NetProxyCounters::default()),
+            fetch_latency: Mutex::new(Histogram::default()),
             shutdown: AtomicBool::new(false),
+        });
+
+        // Metrics endpoint: the proxy makes only outbound connections for
+        // protocol traffic, so scrapes get their own loopback listener.
+        let metrics_listener = TcpListener::bind("127.0.0.1:0")?;
+        let metrics_addr = metrics_listener.local_addr()?;
+        let metrics_state = Arc::clone(&state);
+        let metrics_thread = std::thread::spawn(move || {
+            for stream in metrics_listener.incoming() {
+                if metrics_state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                let _ = serve_metrics(&metrics_state, stream);
+            }
         });
 
         // Invalidation channel: proxy-initiated persistent connection.
@@ -166,14 +266,27 @@ impl NetProxy {
 
         Ok(NetProxy {
             origin,
+            metrics_addr,
             state,
             inval_thread: Some(inval_thread),
+            metrics_thread: Some(metrics_thread),
         })
     }
 
     /// Current counters.
     pub fn counters(&self) -> NetProxyCounters {
         *self.state.counters.lock()
+    }
+
+    /// The loopback address answering `GET /metrics` for this proxy.
+    pub fn metrics_addr(&self) -> SocketAddr {
+        self.metrics_addr
+    }
+
+    /// The current Prometheus text exposition — the same body `GET
+    /// /metrics` on [`NetProxy::metrics_addr`] returns.
+    pub fn metrics_text(&self) -> String {
+        self.state.render_metrics()
     }
 
     /// Serves one browser request for `url` on behalf of `client`, at
@@ -184,6 +297,21 @@ impl NetProxy {
     /// Returns socket errors from the upstream fetch; cache hits are
     /// infallible.
     pub fn fetch(&self, client: ClientId, url: Url, now: SimTime) -> std::io::Result<FetchOutcome> {
+        let clock = WallClock::start();
+        let outcome = self.fetch_inner(client, url, now);
+        self.state
+            .fetch_latency
+            .lock()
+            .record(clock.elapsed().as_micros());
+        outcome
+    }
+
+    fn fetch_inner(
+        &self,
+        client: ClientId,
+        url: Url,
+        now: SimTime,
+    ) -> std::io::Result<FetchOutcome> {
         let key = url.scoped(client);
         let mut guard = self.state.policy.lock();
         let (policy, cache, next_req) = &mut *guard;
@@ -229,9 +357,8 @@ impl NetProxy {
             stream.write_all(&encode(&get))?;
             stream.flush()?;
             let mut reader = BufReader::new(stream);
-            let reply = decode(&mut reader).map_err(|e| {
-                std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
-            })?;
+            let reply = decode(&mut reader)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
             let HttpMsg::Reply(reply) = reply else {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
@@ -241,8 +368,7 @@ impl NetProxy {
             policy.on_volume_grant(key, reply.volume_lease);
             if !reply.piggyback.is_empty() {
                 policy.on_piggyback(&reply.piggyback, client, cache);
-                self.state.counters.lock().piggybacked_received +=
-                    reply.piggyback.len() as u64;
+                self.state.counters.lock().piggybacked_received += reply.piggyback.len() as u64;
             }
             match reply.status {
                 ReplyStatus::Ok(body) => {
@@ -269,9 +395,7 @@ impl NetProxy {
                 }
             }
         }
-        Err(std::io::Error::other(
-            "revalidation race did not resolve",
-        ))
+        Err(std::io::Error::other("revalidation race did not resolve"))
     }
 
     /// Number of entries currently cached.
@@ -286,5 +410,22 @@ impl Drop for NetProxy {
         if let Some(t) = self.inval_thread.take() {
             let _ = t.join();
         }
+        // Wake the metrics accept loop so it observes the shutdown flag.
+        let _ = TcpStream::connect(self.metrics_addr);
+        if let Some(t) = self.metrics_thread.take() {
+            let _ = t.join();
+        }
     }
+}
+
+/// Answers one scrape connection (anything else is dropped silently).
+fn serve_metrics(state: &Arc<ProxyState>, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(1)))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    if matches!(decode(&mut reader), Ok(HttpMsg::MetricsGet)) {
+        writer.write_all(&crate::scrape::metrics_response(&state.render_metrics()))?;
+        writer.flush()?;
+    }
+    Ok(())
 }

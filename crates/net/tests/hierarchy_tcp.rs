@@ -71,8 +71,7 @@ fn invalidation_cascades_down_the_tree() {
     check_in(origin.addr(), url(5), SimTime::from_secs(60)).unwrap();
     // Wait for the full cascade: origin → parent → children → acks.
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
-    while (a.counters().invalidations_received == 0
-        || b.counters().invalidations_received == 0)
+    while (a.counters().invalidations_received == 0 || b.counters().invalidations_received == 0)
         && std::time::Instant::now() < deadline
     {
         std::thread::sleep(Duration::from_millis(5));

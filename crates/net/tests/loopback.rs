@@ -14,8 +14,8 @@ fn start(kind: ProtocolKind) -> (NetOrigin, NetProxy, ProtocolConfig) {
         doc_scale: 100,
     })
     .expect("origin spawn");
-    let proxy = NetProxy::spawn(origin.addr(), &cfg, 0, 1, ByteSize::from_mib(64))
-        .expect("proxy spawn");
+    let proxy =
+        NetProxy::spawn(origin.addr(), &cfg, 0, 1, ByteSize::from_mib(64)).expect("proxy spawn");
     // Give the HELLO registration a moment to land.
     std::thread::sleep(Duration::from_millis(50));
     (origin, proxy, cfg)
@@ -55,9 +55,7 @@ fn invalidation_round_trip_over_tcp() {
         "invalidation was not acknowledged in time"
     );
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
-    while proxy.counters().invalidations_received == 0
-        && std::time::Instant::now() < deadline
-    {
+    while proxy.counters().invalidations_received == 0 && std::time::Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(5));
     }
     assert_eq!(proxy.counters().invalidations_received, 1);
@@ -121,8 +119,7 @@ fn adaptive_ttl_serves_within_ttl_and_revalidates_after() {
 
 #[test]
 fn two_tier_lease_tracks_only_repeat_readers() {
-    let cfg = ProtocolConfig::new(ProtocolKind::TwoTierLease)
-        .with_lease(SimDuration::from_days(3));
+    let cfg = ProtocolConfig::new(ProtocolKind::TwoTierLease).with_lease(SimDuration::from_days(3));
     let origin = NetOrigin::spawn(OriginConfig {
         server: ServerId::new(0),
         doc_sizes: vec![ByteSize::from_kib(8); 8],
@@ -264,7 +261,11 @@ fn volume_lease_renewal_piggybacks_missed_invalidations_over_tcp() {
     while origin.snapshot().notifies == 0 && std::time::Instant::now() < deadline {
         std::thread::sleep(Duration::from_millis(5));
     }
-    assert_eq!(origin.snapshot().invalidations, 0, "no push to an expired volume");
+    assert_eq!(
+        origin.snapshot().invalidations,
+        0,
+        "no push to an expired volume"
+    );
     // Renewing via doc 0 delivers the piggyback, killing the doc-1 copy.
     let out = proxy.fetch(c, url(0), SimTime::from_secs(300)).unwrap();
     assert_eq!(out.kind, FetchKind::Validated);

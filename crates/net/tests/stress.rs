@@ -28,9 +28,7 @@ fn concurrent_browsers_and_modifier_converge() {
 
     let proxies: Vec<Arc<NetProxy>> = (0..2)
         .map(|p| {
-            Arc::new(
-                NetProxy::spawn(addr, &cfg, p, 2, ByteSize::from_mib(64)).expect("proxy"),
-            )
+            Arc::new(NetProxy::spawn(addr, &cfg, p, 2, ByteSize::from_mib(64)).expect("proxy"))
         })
         .collect();
     std::thread::sleep(Duration::from_millis(50));
@@ -60,7 +58,11 @@ fn concurrent_browsers_and_modifier_converge() {
                 let t = clock.fetch_add(1, Ordering::SeqCst);
                 let doc = ((b as u64 * 31 + i * 13) % DOCS as u64) as u32;
                 proxy
-                    .fetch(client, Url::new(ServerId::new(0), doc), SimTime::from_secs(t))
+                    .fetch(
+                        client,
+                        Url::new(ServerId::new(0), doc),
+                        SimTime::from_secs(t),
+                    )
                     .expect("fetch");
             }
         }));
@@ -94,7 +96,11 @@ fn concurrent_browsers_and_modifier_converge() {
         for doc in 0..DOCS {
             let t = clock.fetch_add(1, Ordering::SeqCst);
             let out = proxies[p as usize]
-                .fetch(client, Url::new(ServerId::new(0), doc), SimTime::from_secs(t))
+                .fetch(
+                    client,
+                    Url::new(ServerId::new(0), doc),
+                    SimTime::from_secs(t),
+                )
                 .expect("final fetch");
             // The origin's current version for this doc:
             let snap2 = origin.snapshot();

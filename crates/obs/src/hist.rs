@@ -1,0 +1,384 @@
+//! A fixed-bucket log-linear histogram for microsecond-valued latencies.
+//!
+//! Bucketing follows the HdrHistogram idea at fixed precision: values below
+//! 16 µs get an exact unit bucket each; every larger power-of-two range
+//! `[2^k, 2^(k+1))` is split into 16 linear sub-buckets of width `2^(k-4)`.
+//! The reported quantile is the bucket's inclusive upper bound, so the
+//! relative over-estimate is bounded by one sub-bucket: at most 1/16 =
+//! 6.25%. Exact count / sum / min / max ride alongside, which keeps every
+//! mean- and extreme-based report exact.
+
+use core::fmt;
+
+/// Unit buckets covering 0..16 µs exactly.
+const UNIT_BUCKETS: usize = 16;
+/// Sub-buckets per power-of-two range.
+const SUB_BUCKETS: u64 = 16;
+/// Lowest bucketed power of two (2^4 = 16 µs).
+const MIN_MSB: u32 = 4;
+/// Total bucket count: 16 unit + 16 per msb for msb in 4..=63.
+const NUM_BUCKETS: usize = UNIT_BUCKETS + (64 - MIN_MSB as usize) * SUB_BUCKETS as usize;
+
+/// A mergeable log-linear latency histogram (values in microseconds).
+///
+/// Deterministic by construction: recording is pure arithmetic on the
+/// value, merging is element-wise addition, and quantiles are a walk over
+/// cumulative counts — no floating-point accumulation, no sampling.
+///
+/// # Examples
+///
+/// ```
+/// use wcc_obs::Histogram;
+///
+/// let mut h = Histogram::default();
+/// for us in [1_000u64, 2_000, 40_000] {
+///     h.record(us);
+/// }
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.min(), Some(1_000));
+/// assert_eq!(h.max(), Some(40_000));
+/// // p99 lands in the 40 ms bucket; within 6.25% above the true value.
+/// let p99 = h.quantile(0.99).unwrap();
+/// assert!(p99 >= 40_000 && p99 <= 42_500);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    min: Option<u64>,
+    max: Option<u64>,
+    buckets: Vec<u64>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: None,
+            max: None,
+            buckets: vec![0; NUM_BUCKETS],
+        }
+    }
+}
+
+/// Bucket index for a value.
+fn index_of(value: u64) -> usize {
+    if value < UNIT_BUCKETS as u64 {
+        return value as usize;
+    }
+    let msb = 63 - value.leading_zeros();
+    let sub = (value >> (msb - MIN_MSB)) & (SUB_BUCKETS - 1);
+    UNIT_BUCKETS + (msb - MIN_MSB) as usize * SUB_BUCKETS as usize + sub as usize
+}
+
+/// Exclusive upper bound of a bucket (saturating for the topmost buckets).
+fn upper_bound(index: usize) -> u64 {
+    if index < UNIT_BUCKETS {
+        return index as u64 + 1;
+    }
+    let rel = index - UNIT_BUCKETS;
+    let msb = rel as u32 / SUB_BUCKETS as u32 + MIN_MSB;
+    let sub = (rel as u64) % SUB_BUCKETS;
+    let width = 1u64 << (msb - MIN_MSB);
+    (1u64 << msb)
+        .saturating_add(sub.saturating_mul(width))
+        .saturating_add(width)
+}
+
+impl Histogram {
+    /// Records one observation, in microseconds.
+    pub fn record(&mut self, value_us: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value_us);
+        self.buckets[index_of(value_us)] += 1;
+        self.min = Some(match self.min {
+            Some(m) if m <= value_us => m,
+            _ => value_us,
+        });
+        self.max = Some(match self.max {
+            Some(m) if m >= value_us => m,
+            _ => value_us,
+        });
+    }
+
+    /// Merges another histogram into this one. The result is identical to a
+    /// histogram built from the concatenated observations.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        for v in [other.min, other.max].into_iter().flatten() {
+            self.min = Some(match self.min {
+                Some(m) if m <= v => m,
+                _ => v,
+            });
+            self.max = Some(match self.max {
+                Some(m) if m >= v => m,
+                _ => v,
+            });
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all observations, in microseconds.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Exact smallest observation, if any.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Exact largest observation, if any.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Exact mean (truncating), if any observations were recorded.
+    pub fn mean(&self) -> Option<u64> {
+        self.sum.checked_div(self.count)
+    }
+
+    /// The nearest-rank `q`-quantile estimate, in microseconds: the
+    /// inclusive upper bound of the bucket holding the ranked observation,
+    /// clamped to the exact recorded min/max. Within 6.25% above the true
+    /// value; exact for values below 16 µs and at `q = 0`/`q = 1` (which
+    /// return min/max). Returns `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let (min, max) = (self.min?, self.max?);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == 1 {
+            return Some(min); // nearest-rank 1 is the smallest sample
+        }
+        if rank == self.count {
+            return Some(max); // the top rank is the largest sample
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some((upper_bound(i) - 1).clamp(min, max));
+            }
+        }
+        Some(max) // unreachable: count > 0 implies a bucket holds the rank
+    }
+
+    /// Median (p50) estimate in microseconds.
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.5)
+    }
+
+    /// p90 estimate in microseconds.
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.9)
+    }
+
+    /// p99 estimate in microseconds.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// p99.9 estimate in microseconds.
+    pub fn p999(&self) -> Option<u64> {
+        self.quantile(0.999)
+    }
+
+    /// Non-empty buckets as `(exclusive upper bound µs, cumulative count)`,
+    /// in ascending order — the shape Prometheus `le` bucket series want.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                cum += n;
+                out.push((upper_bound(i), cum));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Histogram {
+    /// Compact rendering listing only non-empty buckets, so Debug-string
+    /// byte-identity comparisons over whole reports stay readable.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Histogram {{ count: {}, sum: {}, min: {:?}, max: {:?}, buckets: [",
+            self.count, self.sum, self.min, self.max
+        )?;
+        let mut first = true;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "<{}: {}", upper_bound(i), n)?;
+                first = false;
+            }
+        }
+        write!(f, "] }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_buckets_are_exact() {
+        let mut h = Histogram::default();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        for (i, &n) in h.buckets.iter().take(UNIT_BUCKETS).enumerate() {
+            assert_eq!(n, 1, "unit bucket {i}");
+            assert_eq!(upper_bound(i), i as u64 + 1);
+        }
+        // A singleton histogram reports small values exactly.
+        for v in 0..16u64 {
+            let mut h = Histogram::default();
+            h.record(v);
+            assert_eq!(h.quantile(0.5), Some(v));
+        }
+    }
+
+    #[test]
+    fn bucket_boundaries_split_powers_of_two() {
+        // 16..32 µs is split into 16 unit-width sub-buckets.
+        assert_eq!(index_of(16), UNIT_BUCKETS);
+        assert_eq!(index_of(17), UNIT_BUCKETS + 1);
+        assert_eq!(index_of(31), UNIT_BUCKETS + 15);
+        // 32..64 µs: width-2 sub-buckets.
+        assert_eq!(index_of(32), UNIT_BUCKETS + 16);
+        assert_eq!(index_of(33), UNIT_BUCKETS + 16);
+        assert_eq!(index_of(34), UNIT_BUCKETS + 17);
+        assert_eq!(index_of(63), UNIT_BUCKETS + 31);
+        // Every value lands strictly below its bucket's upper bound.
+        for v in [0u64, 15, 16, 999, 1_000, 65_535, 1 << 40, u64::MAX] {
+            let i = index_of(v);
+            assert!(i < NUM_BUCKETS, "{v}");
+            assert!(v < upper_bound(i) || upper_bound(i) == u64::MAX, "{v}");
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let mut h = Histogram::default();
+        for ms in 1..=1_000u64 {
+            h.record(ms * 1_000);
+        }
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = ((q * 1_000f64).ceil() as u64).max(1) * 1_000;
+            let est = h.quantile(q).unwrap();
+            assert!(est >= exact, "q={q}: {est} < {exact}");
+            assert!(
+                (est - exact) as f64 <= exact as f64 / 16.0,
+                "q={q}: {est} vs {exact}"
+            );
+        }
+        assert_eq!(h.quantile(0.0), Some(1_000));
+        assert_eq!(h.quantile(1.0), Some(1_000_000));
+    }
+
+    #[test]
+    fn exact_stats_ride_alongside() {
+        let mut h = Histogram::default();
+        for us in [5_000u64, 1_000, 9_000, 5_000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 20_000);
+        assert_eq!(h.min(), Some(1_000));
+        assert_eq!(h.max(), Some(9_000));
+        assert_eq!(h.mean(), Some(5_000));
+    }
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.9), None);
+        assert!(h.cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn out_of_range_quantile_panics() {
+        let mut h = Histogram::default();
+        h.record(1);
+        let _ = h.quantile(1.5);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let (mut a, mut b, mut all) = (
+            Histogram::default(),
+            Histogram::default(),
+            Histogram::default(),
+        );
+        for us in [3u64, 77, 1_500, 1 << 30] {
+            a.record(us);
+            all.record(us);
+        }
+        for us in [0u64, 77, 2_000_000] {
+            b.record(us);
+            all.record(us);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        assert_eq!(format!("{a:?}"), format!("{all:?}"));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::default();
+        a.record(123_456);
+        let before = a.clone();
+        a.merge(&Histogram::default());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotonic() {
+        let mut h = Histogram::default();
+        for us in [1u64, 1, 50, 5_000, 5_100, 1 << 35] {
+            h.record(us);
+        }
+        let buckets = h.cumulative_buckets();
+        assert_eq!(buckets.last().unwrap().1, h.count());
+        for pair in buckets.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "upper bounds ascend");
+            assert!(pair[0].1 < pair[1].1, "cumulative counts ascend");
+        }
+    }
+
+    #[test]
+    fn debug_lists_only_occupied_buckets() {
+        let mut h = Histogram::default();
+        h.record(3);
+        h.record(3);
+        let dbg = format!("{h:?}");
+        assert_eq!(
+            dbg,
+            "Histogram { count: 2, sum: 6, min: Some(3), max: Some(3), \
+             buckets: [<4: 2] }"
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Observability primitives shared by the simulator, the replay harness and
+//! the TCP prototype.
+//!
+//! Three pieces, all std-only and deterministic:
+//!
+//! * [`Histogram`] — a fixed-bucket log-linear latency histogram
+//!   (microsecond-valued, mergeable, p50/p90/p99/p999 within a 6.25%
+//!   relative-error bound). Replaces kept-sample vectors wherever latency
+//!   distributions are reported.
+//! * [`Tracer`] / [`TraceEvent`] — structured request/invalidation lifetime
+//!   events keyed on sim time, recorded into per-node ring buffers and
+//!   dumpable as JSONL (`wcc replay --trace-out`, reconstructed by
+//!   `wcc trace`). Recording never feeds back into protocol state, so a
+//!   traced replay is byte-identical to an untraced one.
+//! * [`Registry`] — a named counter/gauge/histogram registry rendered in the
+//!   Prometheus text exposition format (`GET /metrics` on the TCP prototype
+//!   nodes; snapshot-printable from sim runs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod registry;
+mod trace;
+
+pub use hist::Histogram;
+pub use registry::{validate_exposition, Registry};
+pub use trace::{
+    from_jsonl, invalidation_span, merge_logs, to_jsonl, Phase, SpanKind, TraceEvent, Tracer,
+};

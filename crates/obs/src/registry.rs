@@ -1,0 +1,363 @@
+//! A metrics registry rendered in the Prometheus text exposition format
+//! (version 0.0.4), plus a strict-enough validator used by the tests.
+//!
+//! The registry is a snapshot store, not a live instrument: callers own
+//! their counters (protocol state stays where it is) and publish values
+//! into the registry right before rendering. That keeps the hot paths free
+//! of shared atomics and makes renders deterministic — series are keyed in
+//! a `BTreeMap`, so output order never depends on insertion order.
+
+use crate::hist::Histogram;
+use core::fmt::Write as _;
+use std::collections::BTreeMap;
+
+#[derive(Clone)]
+enum Value {
+    Single(u64),
+    Hist {
+        /// `(exclusive upper bound µs, cumulative count)`.
+        buckets: Vec<(u64, u64)>,
+        sum_us: u64,
+        count: u64,
+    },
+}
+
+#[derive(Clone)]
+struct Family {
+    help: &'static str,
+    kind: &'static str,
+    /// label-string (e.g. `{node="proxy0"}` or empty) → value.
+    series: BTreeMap<String, Value>,
+}
+
+/// A named counter/gauge/histogram snapshot store.
+///
+/// # Examples
+///
+/// ```
+/// use wcc_obs::Registry;
+///
+/// let mut r = Registry::default();
+/// r.set_counter("wcc_cache_hits_total", "Cache hits.", &[], 7);
+/// let text = r.render();
+/// assert!(text.contains("# TYPE wcc_cache_hits_total counter"));
+/// assert!(text.contains("wcc_cache_hits_total 7"));
+/// wcc_obs::validate_exposition(&text).unwrap();
+/// ```
+#[derive(Default, Clone)]
+pub struct Registry {
+    families: BTreeMap<&'static str, Family>,
+}
+
+fn label_string(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort_unstable();
+    let body: Vec<String> = sorted.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Splices extra labels (e.g. `le`) into a rendered label string.
+fn with_label(labels: &str, key: &str, value: &str) -> String {
+    if labels.is_empty() {
+        format!("{{{key}=\"{value}\"}}")
+    } else {
+        format!("{},{key}=\"{value}\"}}", &labels[..labels.len() - 1])
+    }
+}
+
+fn seconds(us: u64) -> f64 {
+    us as f64 / 1e6
+}
+
+impl Registry {
+    fn family(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        kind: &'static str,
+    ) -> &mut Family {
+        self.families.entry(name).or_insert_with(|| Family {
+            help,
+            kind,
+            series: BTreeMap::new(),
+        })
+    }
+
+    /// Publishes a monotonically increasing counter value.
+    pub fn set_counter(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        value: u64,
+    ) {
+        self.family(name, help, "counter")
+            .series
+            .insert(label_string(labels), Value::Single(value));
+    }
+
+    /// Publishes a point-in-time gauge value.
+    pub fn set_gauge(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        value: u64,
+    ) {
+        self.family(name, help, "gauge")
+            .series
+            .insert(label_string(labels), Value::Single(value));
+    }
+
+    /// Publishes a latency histogram (µs-valued; rendered in seconds).
+    pub fn set_histogram(
+        &mut self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        hist: &Histogram,
+    ) {
+        self.family(name, help, "histogram").series.insert(
+            label_string(labels),
+            Value::Hist {
+                buckets: hist.cumulative_buckets(),
+                sum_us: hist.sum(),
+                count: hist.count(),
+            },
+        );
+    }
+
+    /// Renders the whole registry as Prometheus text exposition.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, family) in &self.families {
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind);
+            for (labels, value) in &family.series {
+                match value {
+                    Value::Single(v) => {
+                        let _ = writeln!(out, "{name}{labels} {v}");
+                    }
+                    Value::Hist {
+                        buckets,
+                        sum_us,
+                        count,
+                    } => {
+                        for (ub_us, cum) in buckets {
+                            let le = with_label(labels, "le", &format!("{}", seconds(*ub_us)));
+                            let _ = writeln!(out, "{name}_bucket{le} {cum}");
+                        }
+                        let inf = with_label(labels, "le", "+Inf");
+                        let _ = writeln!(out, "{name}_bucket{inf} {count}");
+                        let _ = writeln!(out, "{name}_sum{labels} {}", seconds(*sum_us));
+                        let _ = writeln!(out, "{name}_count{labels} {count}");
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_body(body: &str) -> bool {
+    // k="v" pairs, comma-separated; values contain no raw quotes here.
+    body.split(',').all(|pair| {
+        let Some((k, v)) = pair.split_once('=') else {
+            return false;
+        };
+        valid_metric_name(k) && v.len() >= 2 && v.starts_with('"') && v.ends_with('"')
+    })
+}
+
+/// Checks that `text` is well-formed Prometheus text exposition: every
+/// sample line parses, every sample's family has a preceding `# TYPE`, and
+/// every histogram's `+Inf` bucket equals its `_count`. Returns the first
+/// problem found.
+pub fn validate_exposition(text: &str) -> Result<(), String> {
+    let mut types: BTreeMap<String, String> = BTreeMap::new();
+    let mut inf_buckets: BTreeMap<String, f64> = BTreeMap::new();
+    let mut counts: BTreeMap<String, f64> = BTreeMap::new();
+    for (no, line) in text.lines().enumerate() {
+        let err = |what: &str| format!("line {}: {what}: {line}", no + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let keyword = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            match keyword {
+                "TYPE" => {
+                    let kind = parts.next().unwrap_or("");
+                    if !valid_metric_name(name) {
+                        return Err(err("bad metric name in TYPE"));
+                    }
+                    if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                        return Err(err("unknown TYPE"));
+                    }
+                    types.insert(name.to_string(), kind.to_string());
+                }
+                "HELP" => {
+                    if !valid_metric_name(name) {
+                        return Err(err("bad metric name in HELP"));
+                    }
+                }
+                _ => return Err(err("unknown comment keyword")),
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (series, value) = line.rsplit_once(' ').ok_or_else(|| err("no value"))?;
+        if value != "+Inf" && value != "-Inf" && value != "NaN" && value.parse::<f64>().is_err() {
+            return Err(err("unparseable value"));
+        }
+        let (name, labels) = match series.split_once('{') {
+            Some((n, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| err("unclosed labels"))?;
+                if !valid_label_body(body) {
+                    return Err(err("bad label syntax"));
+                }
+                (n, Some(body))
+            }
+            None => (series, None),
+        };
+        if !valid_metric_name(name) {
+            return Err(err("bad metric name"));
+        }
+        let family = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|base| types.get(*base).map(String::as_str) == Some("histogram"))
+            .unwrap_or(name);
+        if !types.contains_key(family) {
+            return Err(err("sample with no preceding # TYPE"));
+        }
+        // Track histogram +Inf vs _count consistency, keyed by the series'
+        // non-le labels.
+        if types.get(family).map(String::as_str) == Some("histogram") {
+            let base_labels: String = labels
+                .unwrap_or("")
+                .split(',')
+                .filter(|pair| !pair.starts_with("le="))
+                .collect::<Vec<_>>()
+                .join(",");
+            let key = format!("{family}{{{base_labels}}}");
+            let parsed = value.parse::<f64>().unwrap_or(f64::INFINITY);
+            if name.ends_with("_bucket") && labels.is_some_and(|l| l.contains("le=\"+Inf\"")) {
+                inf_buckets.insert(key, parsed);
+            } else if name.ends_with("_count") {
+                counts.insert(key, parsed);
+            }
+        }
+    }
+    for (key, count) in &counts {
+        match inf_buckets.get(key) {
+            Some(inf) if inf == count => {}
+            Some(_) => return Err(format!("{key}: +Inf bucket != _count")),
+            None => return Err(format!("{key}: histogram without +Inf bucket")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let mut r = Registry::default();
+        r.set_counter("wcc_hits_total", "Cache hits.", &[("node", "proxy0")], 12);
+        r.set_counter("wcc_hits_total", "Cache hits.", &[("node", "proxy1")], 3);
+        r.set_gauge("wcc_sitelist_entries", "Live site-list entries.", &[], 44);
+        let mut h = Histogram::default();
+        for us in [900u64, 1_100, 250_000] {
+            h.record(us);
+        }
+        r.set_histogram("wcc_latency_seconds", "Request latency.", &[], &h);
+        r
+    }
+
+    #[test]
+    fn render_is_valid_and_deterministic() {
+        let r = sample_registry();
+        let text = r.render();
+        validate_exposition(&text).unwrap();
+        assert_eq!(text, sample_registry().render());
+        assert!(text.contains("# TYPE wcc_hits_total counter"));
+        assert!(text.contains("wcc_hits_total{node=\"proxy0\"} 12"));
+        assert!(text.contains("wcc_hits_total{node=\"proxy1\"} 3"));
+        assert!(text.contains("wcc_sitelist_entries 44"));
+        assert!(text.contains("wcc_latency_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("wcc_latency_seconds_count 3"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_seconds() {
+        let mut h = Histogram::default();
+        h.record(1_000_000); // exactly 1 s
+        let mut r = Registry::default();
+        r.set_histogram("lat", "x", &[], &h);
+        let text = r.render();
+        // 1 s lands in the [1.015..., 1.048...) µs-range bucket; its bound
+        // renders in seconds.
+        let bucket_line = text
+            .lines()
+            .find(|l| l.starts_with("lat_bucket{le=\"1."))
+            .unwrap();
+        assert!(bucket_line.ends_with(" 1"), "{bucket_line}");
+        assert!(text.contains("lat_sum 1"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_text() {
+        for bad in [
+            "wcc_hits_total 7\n",                                    // no TYPE
+            "# TYPE wcc_hits_total counter\nwcc_hits_total seven\n", // bad value
+            "# TYPE m counter\nm{k=\"v\" 1\n",                       // unclosed labels
+            "# TYPE m counter\nm{k=v} 1\n",                          // unquoted label value
+            "# TYPE 9bad counter\n",                                 // bad name
+            "# WAT m counter\n",                                     // unknown keyword
+        ] {
+            assert!(validate_exposition(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn validator_requires_inf_bucket_matching_count() {
+        let mismatched = "\
+# TYPE lat histogram
+lat_bucket{le=\"+Inf\"} 2
+lat_sum 1
+lat_count 3
+";
+        assert!(validate_exposition(mismatched).is_err());
+        let missing = "\
+# TYPE lat histogram
+lat_sum 1
+lat_count 3
+";
+        assert!(validate_exposition(missing).is_err());
+    }
+
+    #[test]
+    fn labels_render_sorted() {
+        let mut r = Registry::default();
+        r.set_counter("m", "x", &[("z", "1"), ("a", "2")], 5);
+        assert!(r.render().contains("m{a=\"2\",z=\"1\"} 5"));
+    }
+}

@@ -1,0 +1,448 @@
+//! Structured lifetime tracing keyed on sim time.
+//!
+//! A *span* is one protocol lifetime: a client request (proxy receive →
+//! cache probe → upstream GET/IMS → origin → reply) or an invalidation
+//! (write observed → per-site INVALIDATE → acks → quorum). Each node
+//! records its view of a span into a bounded ring buffer; the deployment
+//! merges the per-node buffers into one time-ordered log.
+//!
+//! Request spans are identified per proxy (`node`, `span`) and joined to
+//! the origin's events through the `(client, req)` pair carried on the
+//! wire; invalidation spans are identified by the written document and
+//! write time, which every node observes identically.
+//!
+//! Recording never reads or writes protocol state — a traced run is
+//! byte-identical to an untraced one (see `tests/determinism.rs`).
+
+use core::fmt;
+use std::collections::VecDeque;
+use wcc_types::{ClientId, ServerId, SimTime, Url};
+
+/// The lifetime a span models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SpanKind {
+    /// A client request travelling proxy → (parent →) origin → back.
+    Request,
+    /// A write fanning out as INVALIDATEs until the ack quorum.
+    Invalidation,
+}
+
+impl SpanKind {
+    fn name(self) -> &'static str {
+        match self {
+            SpanKind::Request => "request",
+            SpanKind::Invalidation => "invalidation",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "request" => Some(SpanKind::Request),
+            "invalidation" => Some(SpanKind::Invalidation),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SpanKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One step inside a span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Phase {
+    /// Proxy received the client request.
+    Receive,
+    /// Served from the local cache without contacting the origin.
+    Hit,
+    /// Upstream GET or If-Modified-Since sent.
+    Upstream,
+    /// Origin (or parent) handled the GET/IMS.
+    Origin,
+    /// Proxy received the 200/304 reply; the request is complete.
+    Reply,
+    /// Origin observed a write (modifier check-in).
+    Write,
+    /// One INVALIDATE sent to a registered site.
+    Invalidate,
+    /// One invalidation ack received.
+    Ack,
+    /// Every live site acked; the write is complete.
+    Quorum,
+}
+
+impl Phase {
+    fn name(self) -> &'static str {
+        match self {
+            Phase::Receive => "receive",
+            Phase::Hit => "hit",
+            Phase::Upstream => "upstream",
+            Phase::Origin => "origin",
+            Phase::Reply => "reply",
+            Phase::Write => "write",
+            Phase::Invalidate => "invalidate",
+            Phase::Ack => "ack",
+            Phase::Quorum => "quorum",
+        }
+    }
+
+    fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "receive" => Some(Phase::Receive),
+            "hit" => Some(Phase::Hit),
+            "upstream" => Some(Phase::Upstream),
+            "origin" => Some(Phase::Origin),
+            "reply" => Some(Phase::Reply),
+            "write" => Some(Phase::Write),
+            "invalidate" => Some(Phase::Invalidate),
+            "ack" => Some(Phase::Ack),
+            "quorum" => Some(Phase::Quorum),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Sim time of the step.
+    pub at: SimTime,
+    /// Recording node ("proxy0", "origin1", "parent", ...).
+    pub node: String,
+    /// Span lifetime kind.
+    pub kind: SpanKind,
+    /// Span id: per-proxy sequence number for requests; for invalidations,
+    /// `(doc << 32) | write-time-µs-low-bits`, identical on every node.
+    pub span: u64,
+    /// The step within the lifetime.
+    pub phase: Phase,
+    /// The document involved.
+    pub url: Url,
+    /// Requesting client / invalidated site, when known.
+    pub client: Option<ClientId>,
+    /// Wire request id joining proxy and origin views of one request.
+    pub req: Option<u64>,
+}
+
+/// A per-node bounded trace recorder.
+///
+/// Disabled tracers (the default) drop every event without allocating, so
+/// untraced runs pay one branch per hook. When the ring is full the oldest
+/// events are evicted and counted in [`Tracer::dropped`].
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    node: String,
+    enabled: bool,
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+    next_span: u64,
+}
+
+impl Tracer {
+    /// Default ring capacity per node.
+    pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+    /// A recording tracer for `node` with the default ring capacity.
+    pub fn enabled(node: impl Into<String>) -> Self {
+        Tracer::with_capacity(node, Tracer::DEFAULT_CAPACITY)
+    }
+
+    /// A recording tracer with an explicit ring capacity.
+    pub fn with_capacity(node: impl Into<String>, capacity: usize) -> Self {
+        Tracer {
+            node: node.into(),
+            enabled: true,
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+            dropped: 0,
+            next_span: 0,
+        }
+    }
+
+    /// A disabled tracer: every record is a no-op.
+    pub fn disabled() -> Self {
+        Tracer::default()
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Allocates the next request span id for this node. Monotonic even
+    /// when disabled, so enabling tracing cannot change any id sequence.
+    pub fn begin_span(&mut self) -> u64 {
+        let id = self.next_span;
+        self.next_span += 1;
+        id
+    }
+
+    /// Records one event (no-op when disabled).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        kind: SpanKind,
+        span: u64,
+        phase: Phase,
+        url: Url,
+        client: Option<ClientId>,
+        req: Option<u64>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            at,
+            node: self.node.clone(),
+            kind,
+            span,
+            phase,
+            url,
+            client,
+            req,
+        });
+    }
+
+    /// The recorded events, in recording order.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// How many events were evicted from a full ring.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Span id for an invalidation lifetime: every node derives the same id
+/// from the written document and the write instant.
+pub fn invalidation_span(url: Url, wrote_at: SimTime) -> u64 {
+    ((url.doc() as u64) << 32) | (wrote_at.as_micros() & 0xFFFF_FFFF)
+}
+
+/// Merges per-node event streams into one log ordered by
+/// `(time, node, recording order)` — deterministic for any tracer set.
+pub fn merge_logs<'a>(tracers: impl IntoIterator<Item = &'a Tracer>) -> Vec<TraceEvent> {
+    let mut all: Vec<(usize, TraceEvent)> = Vec::new();
+    for tracer in tracers {
+        for (i, ev) in tracer.events().enumerate() {
+            all.push((i, ev.clone()));
+        }
+    }
+    all.sort_by(|(ia, a), (ib, b)| (a.at, &a.node, ia).cmp(&(b.at, &b.node, ib)));
+    all.into_iter().map(|(_, ev)| ev).collect()
+}
+
+impl TraceEvent {
+    /// One JSONL line (no trailing newline). All values are plain JSON
+    /// numbers/strings; node names never need escaping.
+    pub fn to_json(&self) -> String {
+        let client = match self.client {
+            Some(c) => u32::from_be_bytes(c.octets()).to_string(),
+            None => "null".to_string(),
+        };
+        let req = match self.req {
+            Some(r) => r.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"at_us\":{},\"node\":\"{}\",\"kind\":\"{}\",\"span\":{},\
+             \"phase\":\"{}\",\"server\":{},\"doc\":{},\"client\":{},\"req\":{}}}",
+            self.at.as_micros(),
+            self.node,
+            self.kind.name(),
+            self.span,
+            self.phase.name(),
+            self.url.server().index(),
+            self.url.doc(),
+            client,
+            req,
+        )
+    }
+
+    /// Parses one line written by [`TraceEvent::to_json`].
+    pub fn from_json(line: &str) -> Result<TraceEvent, String> {
+        let err = |what: &str| format!("bad trace line ({what}): {line}");
+        let field = |key: &str| -> Result<String, String> {
+            let tag = format!("\"{key}\":");
+            let start = line.find(&tag).ok_or_else(|| err(key))? + tag.len();
+            let rest = &line[start..];
+            if let Some(stripped) = rest.strip_prefix('"') {
+                let end = stripped.find('"').ok_or_else(|| err(key))?;
+                Ok(stripped[..end].to_string())
+            } else {
+                let end = rest.find([',', '}']).ok_or_else(|| err(key))?;
+                Ok(rest[..end].trim().to_string())
+            }
+        };
+        let num =
+            |key: &str| -> Result<u64, String> { field(key)?.parse::<u64>().map_err(|_| err(key)) };
+        let opt_num = |key: &str| -> Result<Option<u64>, String> {
+            let raw = field(key)?;
+            if raw == "null" {
+                Ok(None)
+            } else {
+                raw.parse::<u64>().map(Some).map_err(|_| err(key))
+            }
+        };
+        Ok(TraceEvent {
+            at: SimTime::from_micros(num("at_us")?),
+            node: field("node")?,
+            kind: SpanKind::from_name(&field("kind")?).ok_or_else(|| err("kind"))?,
+            span: num("span")?,
+            phase: Phase::from_name(&field("phase")?).ok_or_else(|| err("phase"))?,
+            url: Url::new(ServerId::new(num("server")? as u32), num("doc")? as u32),
+            client: opt_num("client")?.map(|raw| ClientId::from_ip((raw as u32).to_be_bytes())),
+            req: opt_num("req")?,
+        })
+    }
+}
+
+/// Renders events as JSONL (one event per line, trailing newline).
+pub fn to_jsonl(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&ev.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSONL dump back into events; blank lines are skipped.
+pub fn from_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(TraceEvent::from_json)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_event() -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_millis(1_234),
+            node: "proxy0".to_string(),
+            kind: SpanKind::Request,
+            span: 42,
+            phase: Phase::Upstream,
+            url: Url::new(ServerId::new(3), 17),
+            client: Some(ClientId::from_raw(9)),
+            req: Some(7),
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let ev = sample_event();
+        assert_eq!(TraceEvent::from_json(&ev.to_json()).unwrap(), ev);
+        let none = TraceEvent {
+            client: None,
+            req: None,
+            kind: SpanKind::Invalidation,
+            phase: Phase::Quorum,
+            ..ev
+        };
+        assert_eq!(TraceEvent::from_json(&none.to_json()).unwrap(), none);
+    }
+
+    #[test]
+    fn jsonl_round_trips_and_skips_blanks() {
+        let events = vec![sample_event(), sample_event()];
+        let mut text = to_jsonl(&events);
+        text.push('\n'); // extra blank line
+        assert_eq!(from_jsonl(&text).unwrap(), events);
+        assert!(from_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing_but_keeps_span_ids() {
+        let mut t = Tracer::disabled();
+        assert_eq!(t.begin_span(), 0);
+        assert_eq!(t.begin_span(), 1);
+        t.record(
+            SimTime::ZERO,
+            SpanKind::Request,
+            0,
+            Phase::Receive,
+            Url::new(ServerId::new(0), 0),
+            None,
+            None,
+        );
+        assert_eq!(t.events().count(), 0);
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut t = Tracer::with_capacity("n", 2);
+        for span in 0..3u64 {
+            t.record(
+                SimTime::from_secs(span),
+                SpanKind::Request,
+                span,
+                Phase::Receive,
+                Url::new(ServerId::new(0), 0),
+                None,
+                None,
+            );
+        }
+        let spans: Vec<u64> = t.events().map(|e| e.span).collect();
+        assert_eq!(spans, [1, 2]);
+        assert_eq!(t.dropped(), 1);
+    }
+
+    #[test]
+    fn merged_log_is_time_ordered_with_stable_ties() {
+        let url = Url::new(ServerId::new(0), 0);
+        let mut a = Tracer::enabled("b-proxy");
+        let mut b = Tracer::enabled("a-origin");
+        let record = |tracer: &mut Tracer, at: u64| {
+            let span = tracer.begin_span();
+            tracer.record(
+                SimTime::from_secs(at),
+                SpanKind::Request,
+                span,
+                Phase::Receive,
+                url,
+                None,
+                None,
+            );
+        };
+        record(&mut a, 5);
+        record(&mut b, 3);
+        record(&mut a, 3);
+        let log = merge_logs([&a, &b]);
+        let order: Vec<(u64, &str)> = log
+            .iter()
+            .map(|e| (e.at.as_secs(), e.node.as_str()))
+            .collect();
+        assert_eq!(order, [(3, "a-origin"), (3, "b-proxy"), (5, "b-proxy")]);
+    }
+
+    #[test]
+    fn invalidation_span_is_stable_across_nodes() {
+        let url = Url::new(ServerId::new(1), 7);
+        let at = SimTime::from_secs(1_000);
+        assert_eq!(invalidation_span(url, at), invalidation_span(url, at));
+        assert_ne!(
+            invalidation_span(url, at),
+            invalidation_span(url, at + wcc_types::SimDuration::from_micros(1))
+        );
+    }
+}

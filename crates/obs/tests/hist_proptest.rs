@@ -1,0 +1,51 @@
+//! Property test: merging histograms is exactly equivalent to building one
+//! histogram from the concatenated samples — every bucket, the exact
+//! count/sum/min/max, and therefore every quantile.
+
+use proptest::prelude::*;
+use wcc_obs::Histogram;
+
+fn build(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::default();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_equals_concatenation(
+        a in proptest::collection::vec(any::<u64>(), 0..40),
+        b in proptest::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let mut merged = build(&a);
+        merged.merge(&build(&b));
+
+        let concatenated: Vec<u64> = a.iter().chain(&b).copied().collect();
+        let direct = build(&concatenated);
+
+        prop_assert_eq!(&merged, &direct);
+        // Debug form compares every bucket too (belt and braces for the
+        // byte-identity comparisons the replay tests rely on).
+        prop_assert_eq!(format!("{merged:?}"), format!("{direct:?}"));
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded(
+        samples in proptest::collection::vec(0u64..10_000_000, 1..60),
+    ) {
+        let h = build(&samples);
+        let (min, max) = (h.min().unwrap(), h.max().unwrap());
+        let qs: Vec<u64> = [0.0, 0.5, 0.9, 0.99, 0.999, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q).unwrap())
+            .collect();
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles must be monotone: {qs:?}");
+        }
+        prop_assert!(qs.iter().all(|&v| (min..=max).contains(&v)));
+    }
+}

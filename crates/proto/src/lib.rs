@@ -25,7 +25,5 @@
 pub mod msg;
 pub mod wire;
 
-pub use msg::{
-    CoordMsg, GetRequest, HttpMsg, Message, Reply, ReplyStatus, RequestId,
-};
+pub use msg::{CoordMsg, GetRequest, HttpMsg, Message, Reply, ReplyStatus, RequestId};
 pub use wire::{decode, encode, WireError};

@@ -171,6 +171,11 @@ pub enum HttpMsg {
         /// Total number of partitions.
         partitions: u32,
     },
+    /// Scraper → any node (real-TCP prototype only): `GET /metrics`. The
+    /// node replies with a raw Prometheus text exposition (outside the
+    /// [`HttpMsg`] vocabulary — the reply is plain HTTP, not a simulated
+    /// protocol message) and closes the connection.
+    MetricsGet,
     /// Modifier utility → accelerator: `url` has just been checked in
     /// (modified). The paper's "notify" change-detection path.
     Notify {
@@ -261,6 +266,9 @@ impl HttpMsg {
             HttpMsg::InvalAck { .. } => INVAL_ACK_SIZE,
             HttpMsg::Notify { .. } => NOTIFY_SIZE,
             HttpMsg::Hello { .. } => HELLO_SIZE,
+            // Scrapes are observability traffic, not protocol traffic; the
+            // nominal size only matters if one ever crosses the simulator.
+            HttpMsg::MetricsGet => GET_SIZE,
         };
         ByteSize::from_bytes(bytes)
     }
@@ -389,7 +397,11 @@ mod tests {
 
     #[test]
     fn conversions_into_message() {
-        let m: Message = HttpMsg::Notify { url: url(), at: SimTime::ZERO }.into();
+        let m: Message = HttpMsg::Notify {
+            url: url(),
+            at: SimTime::ZERO,
+        }
+        .into();
         assert!(matches!(m, Message::Http(HttpMsg::Notify { .. })));
         let c: Message = CoordMsg::StepDone { step: 3 }.into();
         assert_eq!(c.wire_size(), ByteSize::from_bytes(sizes::COORD_SIZE));

@@ -115,47 +115,45 @@ pub fn encode(msg: &HttpMsg) -> Vec<u8> {
             }
             put!(out, "\r\n");
         }
-        HttpMsg::Reply(r) => {
-            match &r.status {
-                ReplyStatus::Ok(body) => {
-                    put!(out, "HTTP/1.0 200 OK\r\n");
-                    put!(out, "Host: server{}\r\n", r.url.server().index());
-                    put!(out, "Content-Location: /doc/{}\r\n", r.url.doc());
-                    put!(out, "X-Client: {}\r\n", r.client);
-                    put!(out, "X-Request-Id: {}\r\n", r.req.get());
-                    put!(
-                        out,
-                        "Last-Modified: {}\r\n",
-                        body.meta().last_modified().as_micros()
-                    );
-                    put!(out, "X-Size: {}\r\n", body.meta().size().as_u64());
-                    if let Some(lease) = r.lease {
-                        put!(out, "X-Lease: {}\r\n", lease.as_micros());
-                    }
-                    put_piggyback(&mut out, &r.piggyback);
-                    if let Some(v) = r.volume_lease {
-                        put!(out, "X-Volume-Lease: {}\r\n", v.as_micros());
-                    }
-                    put!(out, "Content-Length: {}\r\n\r\n", body.payload().len());
-                    out.extend_from_slice(body.payload());
+        HttpMsg::Reply(r) => match &r.status {
+            ReplyStatus::Ok(body) => {
+                put!(out, "HTTP/1.0 200 OK\r\n");
+                put!(out, "Host: server{}\r\n", r.url.server().index());
+                put!(out, "Content-Location: /doc/{}\r\n", r.url.doc());
+                put!(out, "X-Client: {}\r\n", r.client);
+                put!(out, "X-Request-Id: {}\r\n", r.req.get());
+                put!(
+                    out,
+                    "Last-Modified: {}\r\n",
+                    body.meta().last_modified().as_micros()
+                );
+                put!(out, "X-Size: {}\r\n", body.meta().size().as_u64());
+                if let Some(lease) = r.lease {
+                    put!(out, "X-Lease: {}\r\n", lease.as_micros());
                 }
-                ReplyStatus::NotModified => {
-                    put!(out, "HTTP/1.0 304 Not Modified\r\n");
-                    put!(out, "Host: server{}\r\n", r.url.server().index());
-                    put!(out, "Content-Location: /doc/{}\r\n", r.url.doc());
-                    put!(out, "X-Client: {}\r\n", r.client);
-                    put!(out, "X-Request-Id: {}\r\n", r.req.get());
-                    if let Some(lease) = r.lease {
-                        put!(out, "X-Lease: {}\r\n", lease.as_micros());
-                    }
-                    put_piggyback(&mut out, &r.piggyback);
-                    if let Some(v) = r.volume_lease {
-                        put!(out, "X-Volume-Lease: {}\r\n", v.as_micros());
-                    }
-                    put!(out, "\r\n");
+                put_piggyback(&mut out, &r.piggyback);
+                if let Some(v) = r.volume_lease {
+                    put!(out, "X-Volume-Lease: {}\r\n", v.as_micros());
                 }
+                put!(out, "Content-Length: {}\r\n\r\n", body.payload().len());
+                out.extend_from_slice(body.payload());
             }
-        }
+            ReplyStatus::NotModified => {
+                put!(out, "HTTP/1.0 304 Not Modified\r\n");
+                put!(out, "Host: server{}\r\n", r.url.server().index());
+                put!(out, "Content-Location: /doc/{}\r\n", r.url.doc());
+                put!(out, "X-Client: {}\r\n", r.client);
+                put!(out, "X-Request-Id: {}\r\n", r.req.get());
+                if let Some(lease) = r.lease {
+                    put!(out, "X-Lease: {}\r\n", lease.as_micros());
+                }
+                put_piggyback(&mut out, &r.piggyback);
+                if let Some(v) = r.volume_lease {
+                    put!(out, "X-Volume-Lease: {}\r\n", v.as_micros());
+                }
+                put!(out, "\r\n");
+            }
+        },
         HttpMsg::Invalidate { url, client } => {
             put!(out, "INVALIDATE /doc/{} HTTP/1.0\r\n", url.doc());
             put!(out, "Host: server{}\r\n", url.server().index());
@@ -196,6 +194,12 @@ pub fn encode(msg: &HttpMsg) -> Vec<u8> {
             put!(out, "NOTIFY /doc/{} HTTP/1.0\r\n", url.doc());
             put!(out, "Host: server{}\r\n", url.server().index());
             put!(out, "Date: {}\r\n", at.as_micros());
+            put!(out, "\r\n");
+        }
+        HttpMsg::MetricsGet => {
+            // Exactly what `curl http://host:port/metrics --http1.0` sends,
+            // so any Prometheus-style scraper works against the prototype.
+            put!(out, "GET /metrics HTTP/1.0\r\n");
             put!(out, "\r\n");
         }
     }
@@ -277,6 +281,11 @@ pub fn decode<R: BufRead>(reader: &mut R) -> Result<HttpMsg, WireError> {
     match verb {
         "GET" => {
             let path = parts.next().ok_or_else(|| malformed("GET without path"))?;
+            // The metrics endpoint takes no Host or correlation headers —
+            // intercept it before the document-URL parse would reject it.
+            if path == "/metrics" {
+                return Ok(HttpMsg::MetricsGet);
+            }
             let url = url_from(&headers, path)?;
             Ok(HttpMsg::Get(GetRequest {
                 req: RequestId::new(required_u64(&headers, "x-request-id")?),
@@ -286,9 +295,7 @@ pub fn decode<R: BufRead>(reader: &mut R) -> Result<HttpMsg, WireError> {
                     .get("if-modified-since")
                     .map(|v| parse_micros(v))
                     .transpose()?,
-                issued_at: parse_micros(
-                    headers.get("date").map(String::as_str).unwrap_or("0"),
-                )?,
+                issued_at: parse_micros(headers.get("date").map(String::as_str).unwrap_or("0"))?,
                 cache_hits: headers
                     .get("x-hit-count")
                     .map(|v| v.parse().map_err(|_| malformed("bad X-Hit-Count")))
@@ -297,7 +304,9 @@ pub fn decode<R: BufRead>(reader: &mut R) -> Result<HttpMsg, WireError> {
             }))
         }
         "HTTP/1.0" => {
-            let code = parts.next().ok_or_else(|| malformed("reply without code"))?;
+            let code = parts
+                .next()
+                .ok_or_else(|| malformed("reply without code"))?;
             let path = headers
                 .get("content-location")
                 .ok_or_else(|| malformed("reply without Content-Location"))?
@@ -384,7 +393,9 @@ pub fn decode<R: BufRead>(reader: &mut R) -> Result<HttpMsg, WireError> {
             })
         }
         "HELLO" => {
-            let spec = parts.next().ok_or_else(|| malformed("HELLO without partition"))?;
+            let spec = parts
+                .next()
+                .ok_or_else(|| malformed("HELLO without partition"))?;
             let (p, n) = spec
                 .split_once('/')
                 .ok_or_else(|| malformed("HELLO spec must be p/n"))?;
@@ -399,7 +410,9 @@ pub fn decode<R: BufRead>(reader: &mut R) -> Result<HttpMsg, WireError> {
             })
         }
         "NOTIFY" => {
-            let path = parts.next().ok_or_else(|| malformed("NOTIFY without path"))?;
+            let path = parts
+                .next()
+                .ok_or_else(|| malformed("NOTIFY without path"))?;
             Ok(HttpMsg::Notify {
                 url: url_from(&headers, path)?,
                 at: parse_micros(headers.get("date").map(String::as_str).unwrap_or("0"))?,
@@ -548,6 +561,17 @@ mod tests {
             partition: 2,
             partitions: 4,
         });
+    }
+
+    #[test]
+    fn metrics_get_round_trips_and_matches_curl() {
+        round_trip(HttpMsg::MetricsGet);
+        // Header-less scrape, as a generic HTTP client would send it.
+        let mut cursor: &[u8] = b"GET /metrics HTTP/1.0\r\n\r\n";
+        assert_eq!(decode(&mut cursor).unwrap(), HttpMsg::MetricsGet);
+        // Extra headers (User-Agent etc.) are tolerated.
+        let mut cursor: &[u8] = b"GET /metrics HTTP/1.0\r\nUser-Agent: prom\r\n\r\n";
+        assert_eq!(decode(&mut cursor).unwrap(), HttpMsg::MetricsGet);
     }
 
     #[test]

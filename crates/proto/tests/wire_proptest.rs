@@ -86,12 +86,13 @@ fn msg_strategy() -> impl Strategy<Value = HttpMsg> {
         (0u32..64).prop_map(|s| HttpMsg::InvalidateServer {
             server: ServerId::new(s)
         }),
-        (url_strategy(), client_strategy(), any::<u32>())
-            .prop_map(|(url, client, hits)| HttpMsg::InvalAck {
+        (url_strategy(), client_strategy(), any::<u32>()).prop_map(|(url, client, hits)| {
+            HttpMsg::InvalAck {
                 url,
                 client,
                 cache_hits: hits as u64,
-            }),
+            }
+        }),
         (url_strategy(), time_strategy()).prop_map(|(url, at)| HttpMsg::Notify { url, at }),
         (0u32..8, 1u32..9)
             .prop_filter("partition in range", |(p, n)| p < n)

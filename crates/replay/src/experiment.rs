@@ -248,8 +248,7 @@ mod tests {
         assert_eq!(trio[2].protocol, ProtocolKind::Invalidation);
         // Identical workload: same request count and modification count.
         assert!(trio.windows(2).all(|w| {
-            w[0].raw.requests == w[1].raw.requests
-                && w[0].files_modified == w[1].files_modified
+            w[0].raw.requests == w[1].raw.requests && w[0].files_modified == w[1].files_modified
         }));
     }
 

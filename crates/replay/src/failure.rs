@@ -120,9 +120,12 @@ pub fn server_crash_under_partition_scenario(
             let span = to.saturating_since(from);
             let mid = from + span.mul_f64(0.5);
             let overlap = mid - SimDuration::from_secs(60);
-            FaultPlan::new()
-                .outage(d.origin_id(), from, mid)
-                .partition(d.origin_id(), d.proxy_ids()[0], overlap, to)
+            FaultPlan::new().outage(d.origin_id(), from, mid).partition(
+                d.origin_id(),
+                d.proxy_ids()[0],
+                overlap,
+                to,
+            )
         },
         from,
         to,

@@ -44,9 +44,9 @@ pub use experiment::{
     run_experiment, run_trio, two_tier_comparison, ExperimentConfig, ExperimentConfigBuilder,
     ReplayReport, TwoTierComparison,
 };
-pub use parallel::{effective_jobs, run_batch, run_trio_jobs};
-pub use wcc_audit::{AuditReport, Violation};
 pub use failure::{
     partition_scenario, proxy_crash_scenario, server_crash_scenario,
     server_crash_under_partition_scenario, FailureOutcome,
 };
+pub use parallel::{effective_jobs, run_batch, run_trio_jobs};
+pub use wcc_audit::{AuditReport, Violation};

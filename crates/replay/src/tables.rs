@@ -63,8 +63,12 @@ pub fn format_trio_block(trio: &[ReplayReport]) -> String {
     row("Min Latency", &|r| fmt_latency(&r.raw.latency).1);
     row("Max Latency", &|r| fmt_latency(&r.raw.latency).2);
     row("p50 Latency", &|r| fmt_quantile(&r.raw.latency, 0.5));
+    row("p90 Latency", &|r| fmt_quantile(&r.raw.latency, 0.9));
     row("p99 Latency", &|r| fmt_quantile(&r.raw.latency, 0.99));
-    row("Server CPU", &|r| format!("{:.1}%", r.raw.server_cpu * 100.0));
+    row("p99.9 Latency", &|r| fmt_quantile(&r.raw.latency, 0.999));
+    row("Server CPU", &|r| {
+        format!("{:.1}%", r.raw.server_cpu * 100.0)
+    });
     row("Disk RW/s", &|r| {
         format!(
             "{:.2};{:.2}",
@@ -72,8 +76,105 @@ pub fn format_trio_block(trio: &[ReplayReport]) -> String {
         )
     });
     row("Stale hits (exact)", &|r| r.raw.stale_hits.to_string());
-    row("Hit ratio", &|r| format!("{:.1}%", r.raw.hit_ratio() * 100.0));
+    row("Hit ratio", &|r| {
+        format!("{:.1}%", r.raw.hit_ratio() * 100.0)
+    });
     out
+}
+
+/// Renders a replay's measurements as a Prometheus text exposition — the
+/// same registry format the TCP prototype serves on `GET /metrics`, so sim
+/// results and prototype scrapes can be diffed or ingested by one pipeline.
+pub fn prometheus_snapshot(report: &ReplayReport) -> String {
+    let r = &report.raw;
+    let protocol = report.protocol.name();
+    let labels = [("protocol", protocol), ("trace", report.trace.as_str())];
+    let mut reg = wcc_obs::Registry::default();
+    reg.set_counter(
+        "wcc_requests_total",
+        "Client requests replayed.",
+        &labels,
+        r.requests,
+    );
+    reg.set_counter(
+        "wcc_hits_total",
+        "Requests served from a proxy cache.",
+        &labels,
+        r.hits,
+    );
+    reg.set_counter(
+        "wcc_gets_total",
+        "Plain GETs sent to origins.",
+        &labels,
+        r.gets,
+    );
+    reg.set_counter(
+        "wcc_ims_total",
+        "If-Modified-Since requests sent to origins.",
+        &labels,
+        r.ims,
+    );
+    reg.set_counter(
+        "wcc_replies_200_total",
+        "200 replies.",
+        &labels,
+        r.replies_200,
+    );
+    reg.set_counter(
+        "wcc_replies_304_total",
+        "304 replies.",
+        &labels,
+        r.replies_304,
+    );
+    reg.set_counter(
+        "wcc_invalidations_total",
+        "INVALIDATE messages sent.",
+        &labels,
+        r.invalidations,
+    );
+    reg.set_counter(
+        "wcc_messages_total",
+        "All protocol messages.",
+        &labels,
+        r.total_messages,
+    );
+    reg.set_counter(
+        "wcc_message_bytes_total",
+        "Accounted bytes of all protocol messages.",
+        &labels,
+        r.total_bytes.as_u64(),
+    );
+    reg.set_counter(
+        "wcc_stale_hits_total",
+        "Cache hits that served a stale version (exact audit count).",
+        &labels,
+        r.stale_hits,
+    );
+    reg.set_gauge(
+        "wcc_sitelist_entries",
+        "Site-list entries at end of replay.",
+        &labels,
+        r.sitelist.total_entries,
+    );
+    reg.set_gauge(
+        "wcc_sitelist_storage_bytes",
+        "Estimated site-list memory at end of replay.",
+        &labels,
+        r.sitelist.storage.as_u64(),
+    );
+    reg.set_histogram(
+        "wcc_request_latency_seconds",
+        "Client-observed request latency (simulated time).",
+        &labels,
+        r.latency.histogram(),
+    );
+    reg.set_histogram(
+        "wcc_invalidation_time_seconds",
+        "Write-to-completion invalidation time (simulated time).",
+        &labels,
+        r.inval_time.histogram(),
+    );
+    reg.render()
 }
 
 /// Renders one column of Table 5 (invalidation costs) from an invalidation
@@ -91,6 +192,7 @@ pub fn format_table5_column(report: &ReplayReport) -> String {
          Avg. SiteList        {avg_list:.1}\n\
          Max. SiteList        {max_list}\n\
          Avg. Invalidation Time {avg_t}\n\
+         p99 Invalidation Time {p99_t}\n\
          Max. Invalidation Time {max_t}\n\
          Site-list entries (end) {entries}\n",
         name = report.trace,
@@ -99,6 +201,7 @@ pub fn format_table5_column(report: &ReplayReport) -> String {
         avg_list = avg_list,
         max_list = max_list,
         avg_t = fmt_ms(inval.mean()),
+        p99_t = fmt_ms(inval.p99()),
         max_t = fmt_ms(inval.max()),
         entries = report.raw.sitelist.total_entries,
     )
@@ -128,6 +231,10 @@ mod tests {
             "Total Messages",
             "Messages Bytes",
             "Avg. Latency",
+            "p50 Latency",
+            "p90 Latency",
+            "p99 Latency",
+            "p99.9 Latency",
             "Server CPU",
             "Disk RW/s",
             "adaptive-ttl",
@@ -156,5 +263,21 @@ mod tests {
     #[should_panic(expected = "at least one report")]
     fn empty_trio_panics() {
         format_trio_block(&[]);
+    }
+
+    #[test]
+    fn prometheus_snapshot_is_valid_exposition() {
+        let trio = run_trio(
+            &ExperimentConfig::builder(TraceSpec::epa().scaled_down(400))
+                .seed(2)
+                .build(),
+        );
+        for report in &trio {
+            let text = prometheus_snapshot(report);
+            wcc_obs::validate_exposition(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", report.protocol));
+            assert!(text.contains("wcc_request_latency_seconds_bucket"));
+            assert!(text.contains(&format!("protocol=\"{}\"", report.protocol.name())));
+        }
     }
 }

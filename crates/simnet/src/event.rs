@@ -155,7 +155,10 @@ mod tests {
         while let Some((t, i)) = q.pop() {
             if !first {
                 let same_time_in_order = t == last.0 && i > last.1;
-                assert!(t > last.0 || same_time_in_order, "out of order: {t:?} after {last:?}");
+                assert!(
+                    t > last.0 || same_time_in_order,
+                    "out of order: {t:?} after {last:?}"
+                );
             }
             last = (t, i);
             first = false;

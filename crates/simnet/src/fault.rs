@@ -201,9 +201,7 @@ impl FaultPlan {
             match *fault {
                 FaultEntry::Crash { node, at } => sim.schedule_crash(node, at),
                 FaultEntry::Recover { node, at } => sim.schedule_recover(node, at),
-                FaultEntry::Partition { a, b, from, to } => {
-                    sim.schedule_partition(a, b, from, to)
-                }
+                FaultEntry::Partition { a, b, from, to } => sim.schedule_partition(a, b, from, to),
             }
         }
     }
@@ -253,7 +251,11 @@ mod tests {
         sim.node_mut::<Pinger>(pinger).peer = Some(acker);
         // Acker down for seconds [1.5, 3.5): pings at t=2 and t=3 are lost.
         FaultPlan::new()
-            .outage(acker, SimTime::from_millis(1_500), SimTime::from_millis(3_500))
+            .outage(
+                acker,
+                SimTime::from_millis(1_500),
+                SimTime::from_millis(3_500),
+            )
             .apply(&mut sim);
         sim.run_until_idle();
         assert_eq!(sim.node_ref::<Pinger>(pinger).acked, 3);
@@ -328,7 +330,9 @@ mod tests {
         let make_entropy = || {
             let mut state = 0x9e37_79b9_7f4a_7c15u64;
             move || {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 state
             }
         };
@@ -349,8 +353,6 @@ mod tests {
         }
         // Degenerate inputs yield empty plans.
         assert!(FaultPlan::sampled(&mut make_entropy(), &[], horizon, 3).is_empty());
-        assert!(
-            FaultPlan::sampled(&mut make_entropy(), &nodes, SimTime::ZERO, 3).is_empty()
-        );
+        assert!(FaultPlan::sampled(&mut make_entropy(), &nodes, SimTime::ZERO, 3).is_empty());
     }
 }

@@ -102,10 +102,7 @@ impl NetworkConfig {
     /// A wide-area profile (≈40 ms one-way, 1.5 Mb/s per flow), used by the
     /// "how would this look on the real Internet" extrapolations.
     pub fn wan() -> Self {
-        NetworkConfig::uniform(LinkSpec::new(
-            SimDuration::from_millis(40),
-            1_500_000 / 8,
-        ))
+        NetworkConfig::uniform(LinkSpec::new(SimDuration::from_millis(40), 1_500_000 / 8))
     }
 
     /// Overrides the link used for messages from `src` to `dst` (directed).

@@ -103,7 +103,10 @@ impl<M: 'static> Simulation<M> {
     ///
     /// Panics if called after the simulation has started running.
     pub fn add_node<N: Node<M>>(&mut self, node: N) -> NodeId {
-        assert!(!self.started, "cannot add nodes after the simulation started");
+        assert!(
+            !self.started,
+            "cannot add nodes after the simulation started"
+        );
         let id = NodeId::new(self.nodes.len() as u32);
         self.nodes.push(Some(Box::new(node)));
         self.states.push(NodeState::default());
@@ -171,7 +174,8 @@ impl<M: 'static> Simulation<M> {
     /// Schedules `node` to crash at `at`: it loses all messages and timers
     /// until recovered.
     pub fn schedule_crash(&mut self, node: NodeId, at: SimTime) {
-        self.queue.schedule(at, EngineEvent::Fault(FaultAction::Crash(node)));
+        self.queue
+            .schedule(at, EngineEvent::Fault(FaultAction::Crash(node)));
     }
 
     /// Schedules `node` to recover at `at` (its [`Node::on_recover`] hook
@@ -193,14 +197,8 @@ impl<M: 'static> Simulation<M> {
     /// Injects a message into `dst` "from the outside" (source shows as
     /// `dst` itself). Useful to kick off ad-hoc test scenarios.
     pub fn inject(&mut self, dst: NodeId, msg: M, at: SimTime) {
-        self.queue.schedule(
-            at,
-            EngineEvent::Deliver {
-                src: dst,
-                dst,
-                msg,
-            },
-        );
+        self.queue
+            .schedule(at, EngineEvent::Deliver { src: dst, dst, msg });
     }
 
     /// Runs every node's [`Node::on_start`] hook (once).

@@ -16,7 +16,10 @@ impl Node<u32> for Scripted {
     fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
         for &(delay, target, tag) in &self.script {
             let target = self.targets[target % self.targets.len()];
-            ctx.set_timer(SimDuration::from_millis(delay), ((target.index() as u64) << 32) | tag as u64);
+            ctx.set_timer(
+                SimDuration::from_millis(delay),
+                ((target.index() as u64) << 32) | tag as u64,
+            );
         }
     }
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, u32>) {

@@ -277,10 +277,7 @@ unicomp6.unicomp.net - - [01/Jul/1995:00:00:14 -0400] \"GET /shuttle/countdown/ 
 
     #[test]
     fn empty_input_is_error() {
-        assert!(matches!(
-            parse_clf(&b""[..], "x"),
-            Err(ClfError::Empty)
-        ));
+        assert!(matches!(parse_clf(&b""[..], "x"), Err(ClfError::Empty)));
         assert!(matches!(
             parse_clf(&b"junk\nmore junk\n"[..], "x"),
             Err(ClfError::Empty)
@@ -298,10 +295,7 @@ unicomp6.unicomp.net - - [01/Jul/1995:00:00:14 -0400] \"GET /shuttle/countdown/ 
             parse_clf_date("01/Jan/1970:00:00:00 -0400"),
             Some(4 * 3_600)
         );
-        assert_eq!(
-            parse_clf_date("01/Jan/1970:02:00:00 +0200"),
-            Some(0)
-        );
+        assert_eq!(parse_clf_date("01/Jan/1970:02:00:00 +0200"), Some(0));
         // NASA trace epoch: 01/Jul/1995:00:00:01 -0400 = 804 571 201.
         assert_eq!(
             parse_clf_date("01/Jul/1995:00:00:01 -0400"),

@@ -125,7 +125,10 @@ impl Trace {
                 return Err(format!("record {i} names a foreign server"));
             }
             if rec.url.doc() as usize >= self.doc_sizes.len() {
-                return Err(format!("record {i} references unknown doc {}", rec.url.doc()));
+                return Err(format!(
+                    "record {i} references unknown doc {}",
+                    rec.url.doc()
+                ));
             }
         }
         Ok(())

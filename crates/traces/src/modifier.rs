@@ -194,9 +194,18 @@ mod tests {
         ];
         s.per_doc[1] = vec![SimTime::from_secs(100), SimTime::from_secs(200)];
         assert_eq!(s.version_at(1, SimTime::from_secs(50)), SimTime::ZERO);
-        assert_eq!(s.version_at(1, SimTime::from_secs(100)), SimTime::from_secs(100));
-        assert_eq!(s.version_at(1, SimTime::from_secs(150)), SimTime::from_secs(100));
-        assert_eq!(s.version_at(1, SimTime::from_secs(201)), SimTime::from_secs(200));
+        assert_eq!(
+            s.version_at(1, SimTime::from_secs(100)),
+            SimTime::from_secs(100)
+        );
+        assert_eq!(
+            s.version_at(1, SimTime::from_secs(150)),
+            SimTime::from_secs(100)
+        );
+        assert_eq!(
+            s.version_at(1, SimTime::from_secs(201)),
+            SimTime::from_secs(200)
+        );
         assert_eq!(s.version_at(0, SimTime::from_secs(500)), SimTime::ZERO);
         assert_eq!(s.final_version(1), SimTime::from_secs(200));
         assert_eq!(s.final_version(2), SimTime::ZERO);

@@ -223,7 +223,10 @@ mod tests {
         // SDSC's fast-churn variant.
         let sdsc_fast = TraceSpec::sdsc()
             .expected_modifications(SimDuration::from_secs((2.5 * 86_400.0) as u64));
-        assert!((sdsc_fast as i64 - 576).abs() <= 13, "sdsc fast: {sdsc_fast}");
+        assert!(
+            (sdsc_fast as i64 - 576).abs() <= 13,
+            "sdsc fast: {sdsc_fast}"
+        );
     }
 
     #[test]

@@ -64,10 +64,7 @@ impl TraceSummary {
         } else {
             total_popularity as f64 / num_files as f64
         };
-        let total_size: ByteSize = per_doc_clients
-            .keys()
-            .map(|&d| trace.doc_size(d))
-            .sum();
+        let total_size: ByteSize = per_doc_clients.keys().map(|&d| trace.doc_size(d)).sum();
         let avg_file_size =
             ByteSize::from_bytes(total_size.as_u64().checked_div(num_files).unwrap_or(0));
         TraceSummary {

@@ -220,7 +220,11 @@ mod tests {
         let t = generate(&TraceSpec::epa(), 42);
         let s = TraceSummary::of(&t);
         assert_eq!(s.total_requests, 40_658);
-        assert!(s.max_popularity > 300, "max popularity {}", s.max_popularity);
+        assert!(
+            s.max_popularity > 300,
+            "max popularity {}",
+            s.max_popularity
+        );
         assert!(s.avg_popularity > 2.0 && s.avg_popularity < 40.0);
     }
 
@@ -238,7 +242,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let times = sample_arrivals(&spec, &mut rng);
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
-        assert!(times.iter().all(|t| t.as_micros() < spec.duration.as_micros()));
+        assert!(times
+            .iter()
+            .all(|t| t.as_micros() < spec.duration.as_micros()));
     }
 }
 
@@ -289,7 +295,9 @@ pub fn with_modification_interest(
             continue;
         };
         let age = rec.at.saturating_since(last_mod.at);
-        if age <= window && (last_mod.doc as usize) < out.doc_sizes.len() && rng.gen::<f64>() < boost
+        if age <= window
+            && (last_mod.doc as usize) < out.doc_sizes.len()
+            && rng.gen::<f64>() < boost
         {
             rec.url = Url::new(out.server, last_mod.doc);
         }
@@ -307,12 +315,8 @@ mod interest_tests {
     fn setup() -> (Trace, ModSchedule) {
         let spec = TraceSpec::sask().scaled_down(150);
         let trace = generate(&spec, 5);
-        let mods = ModSchedule::generate(
-            spec.num_docs,
-            SimDuration::from_hours(12),
-            spec.duration,
-            5,
-        );
+        let mods =
+            ModSchedule::generate(spec.num_docs, SimDuration::from_hours(12), spec.duration, 5);
         (trace, mods)
     }
 

@@ -37,7 +37,10 @@ impl Zipf {
     /// Panics if `n` is zero or `s` is negative/non-finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "Zipf exponent must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 0..n {

@@ -174,10 +174,7 @@ mod tests {
         assert_eq!(ByteSize::from_bytes(100).to_string(), "100 B");
         assert_eq!(ByteSize::from_kib(21).to_string(), "21.00 KiB");
         assert_eq!(ByteSize::from_mib(448).to_string(), "448.00 MiB");
-        assert_eq!(
-            ByteSize::from_bytes(1_363_148_800).to_string(),
-            "1.27 GiB"
-        );
+        assert_eq!(ByteSize::from_bytes(1_363_148_800).to_string(), "1.27 GiB");
     }
 
     #[test]

@@ -132,8 +132,7 @@ mod tests {
     fn nearby_keys_scatter() {
         // Dense u32 ids (the workspace's key shape) must not collide or
         // cluster into identical hashes.
-        let hashes: std::collections::BTreeSet<u64> =
-            (0u32..1000).map(|i| hash_of(&i)).collect();
+        let hashes: std::collections::BTreeSet<u64> = (0u32..1000).map(|i| hash_of(&i)).collect();
         assert_eq!(hashes.len(), 1000);
     }
 

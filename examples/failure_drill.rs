@@ -23,20 +23,26 @@ fn main() {
 
     let out = proxy_crash_scenario(&cfg, 0.25, 0.55);
     let r = &out.report.raw;
-    println!("proxy crash    : recoveries={} questionable={} violations={}",
-        r.proxy_recoveries, r.questionable_marked, r.final_violations);
+    println!(
+        "proxy crash    : recoveries={} questionable={} violations={}",
+        r.proxy_recoveries, r.questionable_marked, r.final_violations
+    );
     assert_eq!(r.final_violations, 0);
 
     let out = server_crash_scenario(&cfg, 0.30, 0.50);
     let r = &out.report.raw;
-    println!("server crash   : bulk-invalidations={} timeouts={} violations={}",
-        r.bulk_invalidations, r.request_timeouts, r.final_violations);
+    println!(
+        "server crash   : bulk-invalidations={} timeouts={} violations={}",
+        r.bulk_invalidations, r.request_timeouts, r.final_violations
+    );
     assert_eq!(r.final_violations, 0);
 
     let out = partition_scenario(&cfg, 0.30, 0.70);
     let r = &out.report.raw;
-    println!("partition      : inval-retries={} writes-complete={} violations={}",
-        r.invalidation_retries, r.writes_complete, r.final_violations);
+    println!(
+        "partition      : inval-retries={} writes-complete={} violations={}",
+        r.invalidation_retries, r.writes_complete, r.final_violations
+    );
     assert_eq!(r.final_violations, 0);
 
     println!("\nall three scenarios preserved strong consistency ✓");

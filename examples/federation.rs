@@ -15,15 +15,18 @@ fn main() {
     // ClarkNet, slow-churn EPA.
     let specs = [
         (TraceSpec::nasa().scaled_down(40), SimDuration::from_days(2)),
-        (TraceSpec::clarknet().scaled_down(40), SimDuration::from_hours(8)),
+        (
+            TraceSpec::clarknet().scaled_down(40),
+            SimDuration::from_hours(8),
+        ),
         (TraceSpec::epa().scaled_down(40), SimDuration::from_days(10)),
     ];
     let workloads: Vec<_> = specs
         .iter()
         .enumerate()
         .map(|(i, (spec, lifetime))| {
-            let trace = synthetic::generate(spec, 40 + i as u64)
-                .reassign_server(ServerId::new(i as u32));
+            let trace =
+                synthetic::generate(spec, 40 + i as u64).reassign_server(ServerId::new(i as u32));
             let mods =
                 ModSchedule::generate(spec.num_docs, *lifetime, spec.duration, 40 + i as u64);
             (trace, mods)
@@ -31,12 +34,14 @@ fn main() {
         .collect();
 
     let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
-    let mut deployment =
-        Deployment::build_multi(&workloads, &cfg, DeploymentOptions::default());
+    let mut deployment = Deployment::build_multi(&workloads, &cfg, DeploymentOptions::default());
     deployment.run();
     let r = deployment.collect();
 
-    println!("federated replay: {} requests across 3 origins\n", r.requests);
+    println!(
+        "federated replay: {} requests across 3 origins\n",
+        r.requests
+    );
     println!(
         "{:<10}{:>10}{:>8}{:>14}{:>14}",
         "origin", "requests", "mods", "invalidations", "site storage"

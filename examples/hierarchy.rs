@@ -17,12 +17,7 @@ use webcache::types::SimDuration;
 fn main() {
     let spec = TraceSpec::nasa().scaled_down(20);
     let trace = synthetic::generate(&spec, 7);
-    let mods = ModSchedule::generate(
-        spec.num_docs,
-        SimDuration::from_days(2),
-        spec.duration,
-        7,
-    );
+    let mods = ModSchedule::generate(spec.num_docs, SimDuration::from_days(2), spec.duration, 7);
     let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
 
     let run = |topology: Topology, label: &str| {

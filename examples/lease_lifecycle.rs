@@ -11,8 +11,7 @@ use webcache::core::{ProtocolConfig, ProtocolKind, ProxyAction, ProxyPolicy, Ser
 use webcache::types::{ByteSize, ClientId, DocMeta, ServerId, SimDuration, SimTime, Url};
 
 fn main() {
-    let cfg = ProtocolConfig::new(ProtocolKind::TwoTierLease)
-        .with_lease(SimDuration::from_days(3));
+    let cfg = ProtocolConfig::new(ProtocolKind::TwoTierLease).with_lease(SimDuration::from_days(3));
     let mut proxy = ProxyPolicy::new(&cfg);
     let mut server = ServerConsistency::new(&cfg, ServerId::new(0));
     let mut cache = CacheStore::unbounded(ReplacementPolicy::Lru);

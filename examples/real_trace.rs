@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             parse_clf(SNIPPET.as_bytes(), "snippet")?
         }
     };
-    println!("parsed {} records ({} lines skipped)\n", trace.records.len(), skipped);
+    println!(
+        "parsed {} records ({} lines skipped)\n",
+        trace.records.len(),
+        skipped
+    );
     println!("{}", TraceSummary::header());
     println!("{}\n", TraceSummary::of(&trace));
 
@@ -49,8 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mods = ModSchedule::none(trace.doc_count() as u32);
     for kind in ProtocolKind::PAPER_TRIO {
         let cfg = ProtocolConfig::new(kind);
-        let mut deployment =
-            Deployment::build(&trace, &mods, &cfg, DeploymentOptions::default());
+        let mut deployment = Deployment::build(&trace, &mods, &cfg, DeploymentOptions::default());
         deployment.run();
         let r = deployment.collect();
         println!(

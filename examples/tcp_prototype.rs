@@ -32,13 +32,20 @@ fn main() -> std::io::Result<()> {
     let page = Url::new(ServerId::new(0), 7);
 
     let f = proxy_a.fetch(alice, page, SimTime::from_secs(1))?;
-    println!("alice GET {page}: {:?} (version {})", f.kind, f.meta.last_modified());
+    println!(
+        "alice GET {page}: {:?} (version {})",
+        f.kind,
+        f.meta.last_modified()
+    );
     let f = proxy_b.fetch(bob, page, SimTime::from_secs(2))?;
     println!("bob   GET {page}: {:?}", f.kind);
 
     let f = proxy_a.fetch(alice, page, SimTime::from_secs(3))?;
     assert_eq!(f.kind, FetchKind::CacheHit);
-    println!("alice GET {page}: {:?} — no server contact under invalidation", f.kind);
+    println!(
+        "alice GET {page}: {:?} — no server contact under invalidation",
+        f.kind
+    );
 
     println!("\n…the author edits the page and checks it in…\n");
     check_in(origin.addr(), page, SimTime::from_secs(60))?;

@@ -4,7 +4,9 @@
 //! wcc replay  --trace epa --protocol invalidation [--lifetime-days N]
 //!             [--scale N] [--seed N] [--wan] [--decoupled] [--hierarchy]
 //!             [--shared] [--lease-days N] [--cache-mib N]
+//!             [--trace-out PATH] [--metrics]
 //! wcc trio    --trace sask [--scale N] [--seed N] [--jobs N]  # Tables 3/4 block
+//! wcc trace   <path>                                # analyse a --trace-out log
 //! wcc summary [--scale N] [--seed N]                # Table 2
 //! wcc clf     <path> [--protocol NAME]              # replay a real log
 //! wcc fuzz    [--iters N] [--seed N] [--shrink] [--inject-stale]
@@ -13,6 +15,12 @@
 //! `--jobs N` (or the `WCC_JOBS` environment variable) sets the worker
 //! count for commands that fan independent replays out over threads; the
 //! output is byte-identical at any job count.
+//!
+//! `--trace-out PATH` records every request and invalidation lifetime as
+//! structured span events (sim-time keyed, deterministic) and dumps them as
+//! JSONL; `wcc trace PATH` reconstructs cross-node causality from such a
+//! dump. `--metrics` prints the replay's measurements as a Prometheus text
+//! exposition — the same format the TCP prototype serves on `GET /metrics`.
 //! wcc protocols                                     # list protocol names
 //! ```
 
@@ -73,7 +81,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  wcc replay  --trace NAME --protocol NAME [--lifetime-days N] [--scale N]\n              [--seed N] [--wan] [--decoupled] [--hierarchy] [--shared]\n              [--lease-days N] [--volume-mins N] [--cache-mib N] [--audit]\n  wcc trio    --trace NAME [--scale N] [--seed N] [--jobs N]\n  wcc compare --trace NAME --protocols a,b,c [--scale N] [--seed N] [--jobs N]\n  wcc summary [--scale N] [--seed N]\n  wcc clf     PATH [--protocol NAME]\n  wcc fuzz    [--iters N] [--seed N] [--shrink] [--inject-stale] [--repro PATH]\n              [--jobs N]\n  wcc protocols"
+    "usage:\n  wcc replay  --trace NAME --protocol NAME [--lifetime-days N] [--scale N]\n              [--seed N] [--wan] [--decoupled] [--hierarchy] [--shared]\n              [--lease-days N] [--volume-mins N] [--cache-mib N] [--audit]\n              [--trace-out PATH] [--metrics]\n  wcc trio    --trace NAME [--scale N] [--seed N] [--jobs N]\n  wcc compare --trace NAME --protocols a,b,c [--scale N] [--seed N] [--jobs N]\n  wcc trace   PATH\n  wcc summary [--scale N] [--seed N]\n  wcc clf     PATH [--protocol NAME]\n  wcc fuzz    [--iters N] [--seed N] [--shrink] [--inject-stale] [--repro PATH]\n              [--jobs N]\n  wcc protocols"
 }
 
 fn spec_for(args: &Args) -> Result<TraceSpec, String> {
@@ -148,20 +156,33 @@ fn print_report(report: &ReplayReport) {
         report.trace, report.protocol, report.mean_lifetime, report.files_modified, report.seed
     );
     println!("  requests        {:>12}", r.requests);
-    println!("  hits            {:>12} ({:.1}%)", r.hits, r.hit_ratio() * 100.0);
+    println!(
+        "  hits            {:>12} ({:.1}%)",
+        r.hits,
+        r.hit_ratio() * 100.0
+    );
     println!("  GET / IMS       {:>12} / {}", r.gets, r.ims);
-    println!("  200 / 304       {:>12} / {}", r.replies_200, r.replies_304);
+    println!(
+        "  200 / 304       {:>12} / {}",
+        r.replies_200, r.replies_304
+    );
     println!("  invalidations   {:>12}", r.invalidations);
     println!("  total messages  {:>12}", r.total_messages);
     println!("  total bytes     {:>12}", r.total_bytes.to_string());
-    let fmt = |d: Option<webcache::types::SimDuration>| {
-        d.map_or("-".to_string(), |d| d.to_string())
-    };
+    let fmt =
+        |d: Option<webcache::types::SimDuration>| d.map_or("-".to_string(), |d| d.to_string());
     println!(
         "  latency         avg {} / min {} / max {}",
         fmt(r.latency.mean()),
         fmt(r.latency.min()),
         fmt(r.latency.max())
+    );
+    println!(
+        "  latency tails   p50 {} / p90 {} / p99 {} / p99.9 {}",
+        fmt(r.latency.median()),
+        fmt(r.latency.p90()),
+        fmt(r.latency.p99()),
+        fmt(r.latency.p999())
     );
     println!("  server CPU      {:>11.1}%", r.server_cpu * 100.0);
     println!("  stale hits      {:>12}", r.stale_hits);
@@ -195,13 +216,23 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
         }
         None => spec.default_lifetime,
     };
-    let options = options_for(args)?;
+    let mut options = options_for(args)?;
+    let trace_out = args.value("trace-out");
+    // Span recording is write-only, so turning it on cannot perturb the
+    // replay (the determinism suite asserts byte-identity).
+    options.trace = trace_out.is_some();
 
     let trace = synthetic::generate(&spec, seed);
     let mods = ModSchedule::generate(spec.num_docs, lifetime, spec.duration, seed);
     let want_audit = options.audit;
     let mut deployment = Deployment::build(&trace, &mods, &protocol, options);
     deployment.run();
+    if let Some(path) = trace_out {
+        let log = deployment.trace_log();
+        std::fs::write(path, webcache::obs::to_jsonl(&log))
+            .map_err(|e| format!("cannot write trace to {path}: {e}"))?;
+        println!("wrote {} trace events to {path}", log.len());
+    }
     let report = ReplayReport {
         trace: trace.name.clone(),
         protocol: protocol.kind,
@@ -214,6 +245,12 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     print_report(&report);
     if let Some(audit) = &report.audit {
         println!("{audit}");
+    }
+    if args.flag("metrics") {
+        println!(
+            "\n{}",
+            webcache::replay::tables::prometheus_snapshot(&report)
+        );
     }
     Ok(())
 }
@@ -287,8 +324,7 @@ fn cmd_clf(args: &Args) -> Result<(), String> {
     );
     let protocol = protocol_for(args)?;
     let mods = ModSchedule::none(trace.doc_count() as u32);
-    let mut deployment =
-        Deployment::build(&trace, &mods, &protocol, DeploymentOptions::default());
+    let mut deployment = Deployment::build(&trace, &mods, &protocol, DeploymentOptions::default());
     deployment.run();
     let report = ReplayReport {
         trace: trace.name.clone(),
@@ -300,6 +336,131 @@ fn cmd_clf(args: &Args) -> Result<(), String> {
         audit: None,
     };
     print_report(&report);
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    use std::collections::{BTreeMap, BTreeSet};
+    use webcache::obs::{Histogram, Phase, SpanKind, TraceEvent};
+
+    let path = args
+        .positional
+        .get(1)
+        .ok_or_else(|| "trace needs a file path".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let events =
+        webcache::obs::from_jsonl(&text).map_err(|e| format!("cannot parse {path}: {e}"))?;
+    if events.is_empty() {
+        println!("empty trace log");
+        return Ok(());
+    }
+
+    let nodes: BTreeSet<&str> = events.iter().map(|e| e.node.as_str()).collect();
+    println!(
+        "{} events across {} nodes ({})",
+        events.len(),
+        nodes.len(),
+        nodes.into_iter().collect::<Vec<_>>().join(", ")
+    );
+
+    // Request lifetimes: proxy-side spans, keyed by (node, span id). The
+    // origin records its half under the wire RequestId instead — which the
+    // proxy's Upstream/Reply events carry in `req`, so the join across
+    // nodes goes proxy span → req id → origin event.
+    let mut requests: BTreeMap<(&str, u64), Vec<&TraceEvent>> = BTreeMap::new();
+    let mut origin_reqs: BTreeSet<u64> = BTreeSet::new();
+    let mut invalidations: BTreeMap<u64, Vec<&TraceEvent>> = BTreeMap::new();
+    for e in &events {
+        match e.kind {
+            SpanKind::Request if e.phase == Phase::Origin => {
+                origin_reqs.insert(e.span);
+            }
+            SpanKind::Request => {
+                requests
+                    .entry((e.node.as_str(), e.span))
+                    .or_default()
+                    .push(e);
+            }
+            SpanKind::Invalidation => invalidations.entry(e.span).or_default().push(e),
+        }
+    }
+
+    let mut fetch_latency = Histogram::default();
+    let (mut hits, mut upstream_spans, mut joined) = (0u64, 0u64, 0u64);
+    let mut slowest: Vec<(u64, String, u64)> = Vec::new();
+    for ((node, span), evs) in &requests {
+        if evs.iter().any(|e| e.phase == Phase::Hit) {
+            hits += 1;
+        }
+        let first_upstream = evs.iter().find(|e| e.phase == Phase::Upstream);
+        let last_reply = evs.iter().rev().find(|e| e.phase == Phase::Reply);
+        if first_upstream.is_some() {
+            upstream_spans += 1;
+        }
+        if let (Some(up), Some(reply)) = (first_upstream, last_reply) {
+            let micros = (reply.at - up.at).as_micros();
+            fetch_latency.record(micros);
+            slowest.push((micros, format!("{node} span {span} {}", up.url), *span));
+            if up.req.is_some_and(|req| origin_reqs.contains(&req)) {
+                joined += 1;
+            }
+        }
+    }
+
+    let fmt_us = |us: Option<u64>| match us {
+        Some(us) => SimDuration::from_micros(us).to_string(),
+        None => "-".to_string(),
+    };
+    println!(
+        "\nrequests: {} spans · {hits} cache hits · {upstream_spans} fetched upstream \
+         ({joined} joined to an origin event)",
+        requests.len()
+    );
+    println!(
+        "  upstream latency  p50 {} / p90 {} / p99 {} / max {} (n={})",
+        fmt_us(fetch_latency.p50()),
+        fmt_us(fetch_latency.p90()),
+        fmt_us(fetch_latency.p99()),
+        fmt_us(fetch_latency.max()),
+        fetch_latency.count()
+    );
+
+    let mut write_to_quorum = Histogram::default();
+    let (mut writes, mut quorums, mut fanout, mut acks) = (0u64, 0u64, 0u64, 0u64);
+    for evs in invalidations.values() {
+        let write = evs.iter().find(|e| e.phase == Phase::Write);
+        let quorum = evs.iter().rev().find(|e| e.phase == Phase::Quorum);
+        writes += u64::from(write.is_some());
+        quorums += u64::from(quorum.is_some());
+        fanout += evs.iter().filter(|e| e.phase == Phase::Invalidate).count() as u64;
+        acks += evs.iter().filter(|e| e.phase == Phase::Ack).count() as u64;
+        if let (Some(w), Some(q)) = (write, quorum) {
+            write_to_quorum.record((q.at - w.at).as_micros());
+        }
+    }
+    println!(
+        "invalidations: {writes} writes · {fanout} INVALIDATEs fanned out · \
+         {acks} acks · {quorums} completed"
+    );
+    println!(
+        "  write→complete    p50 {} / p90 {} / p99 {} / max {} (n={})",
+        fmt_us(write_to_quorum.p50()),
+        fmt_us(write_to_quorum.p90()),
+        fmt_us(write_to_quorum.p99()),
+        fmt_us(write_to_quorum.max()),
+        write_to_quorum.count()
+    );
+
+    slowest.sort_by(|a, b| b.0.cmp(&a.0).then_with(|| a.2.cmp(&b.2)));
+    if !slowest.is_empty() {
+        println!("\nslowest upstream fetches:");
+        for (micros, label, _) in slowest.iter().take(5) {
+            println!(
+                "  {:>12}  {label}",
+                SimDuration::from_micros(*micros).to_string()
+            );
+        }
+    }
     Ok(())
 }
 
@@ -338,6 +499,7 @@ fn main() -> ExitCode {
         Some("replay") => cmd_replay(&args),
         Some("trio") => cmd_trio(&args),
         Some("compare") => cmd_compare(&args),
+        Some("trace") => cmd_trace(&args),
         Some("summary") => cmd_summary(&args),
         Some("clf") => cmd_clf(&args),
         Some("fuzz") => cmd_fuzz(&args),

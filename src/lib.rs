@@ -32,6 +32,7 @@ pub use wcc_core as core;
 pub use wcc_fuzz as fuzz;
 pub use wcc_httpsim as httpsim;
 pub use wcc_net as net;
+pub use wcc_obs as obs;
 pub use wcc_proto as proto;
 pub use wcc_replay as replay;
 pub use wcc_simnet as simnet;

@@ -4,7 +4,7 @@
 use wcc_audit::Check;
 use wcc_core::ProtocolKind;
 use wcc_httpsim::Deployment;
-use wcc_replay::{experiment::run_on, experiment::materialise, ExperimentConfig};
+use wcc_replay::{experiment::materialise, experiment::run_on, ExperimentConfig};
 use wcc_traces::TraceSpec;
 use wcc_types::{AuditEvent, SimDuration, SimTime};
 
@@ -90,8 +90,10 @@ fn tampered_expectations_are_caught() {
     assert!(clean.is_clean(), "{clean}");
 
     let log = deployment.audit_log();
-    let mut cooked = wcc_audit::Expectations::default();
-    cooked.registrations = u64::MAX; // a counter no honest log can match
+    let cooked = wcc_audit::Expectations {
+        registrations: u64::MAX, // a counter no honest log can match
+        ..Default::default()
+    };
     let report = wcc_audit::audit(ProtocolKind::Invalidation, &log, Some(&cooked));
     assert!(
         report

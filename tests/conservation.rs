@@ -73,8 +73,7 @@ fn invalidation_is_strongly_consistent_and_cheapest() {
             inval.raw.total_messages
         );
         assert!(
-            (inval.raw.total_messages as f64)
-                <= (ttl.raw.total_messages as f64) * 1.06,
+            (inval.raw.total_messages as f64) <= (ttl.raw.total_messages as f64) * 1.06,
             "{}: inval {} vs ttl {}",
             inval.trace,
             inval.raw.total_messages,

@@ -55,8 +55,10 @@ fn run_trio_twice_is_byte_identical() {
     // The fuzzer's determinism oracle in stronger form: not just matched
     // counters, but byte-identical Debug renderings of the whole report
     // trio (every counter, summary and audit verdict).
-    let mut options = wcc_httpsim::DeploymentOptions::default();
-    options.audit = true;
+    let options = wcc_httpsim::DeploymentOptions {
+        audit: true,
+        ..Default::default()
+    };
     let cfg = ExperimentConfig::builder(TraceSpec::sdsc().scaled_down(80))
         .seed(77)
         .options(options)
@@ -77,8 +79,10 @@ fn run_trio_twice_is_byte_identical() {
 fn parallel_trio_is_byte_identical_to_sequential() {
     // The fan-out pool's core guarantee: job count changes scheduling,
     // never results. Audit on, so the comparison covers every verdict.
-    let mut options = wcc_httpsim::DeploymentOptions::default();
-    options.audit = true;
+    let options = wcc_httpsim::DeploymentOptions {
+        audit: true,
+        ..Default::default()
+    };
     let cfg = ExperimentConfig::builder(TraceSpec::epa().scaled_down(80))
         .seed(21)
         .options(options)
@@ -102,13 +106,18 @@ fn parallel_batch_is_byte_identical_to_sequential() {
     let configs: Vec<ExperimentConfig> = [TraceSpec::epa(), TraceSpec::sdsc()]
         .into_iter()
         .flat_map(|spec| {
-            [(ProtocolKind::AdaptiveTtl, 3u64), (ProtocolKind::Invalidation, 4), (ProtocolKind::PollEveryTime, 5), (ProtocolKind::LeaseInvalidation, 6)]
-                .map(|(kind, seed)| {
-                    ExperimentConfig::builder(spec.clone().scaled_down(120))
-                        .protocol(kind)
-                        .seed(seed)
-                        .build()
-                })
+            [
+                (ProtocolKind::AdaptiveTtl, 3u64),
+                (ProtocolKind::Invalidation, 4),
+                (ProtocolKind::PollEveryTime, 5),
+                (ProtocolKind::LeaseInvalidation, 6),
+            ]
+            .map(|(kind, seed)| {
+                ExperimentConfig::builder(spec.clone().scaled_down(120))
+                    .protocol(kind)
+                    .seed(seed)
+                    .build()
+            })
         })
         .collect();
     let sequential = run_batch(&configs, Some(1));
@@ -140,6 +149,55 @@ fn parallel_fuzzing_is_byte_identical_to_sequential() {
     let parallel = outcome_at(4);
     assert_eq!(sequential.to_string(), parallel.to_string());
     assert!(sequential.passed(), "corpus slice failed:\n{sequential}");
+}
+
+#[test]
+fn tracing_does_not_perturb_replay() {
+    // The observability layer's core guarantee: span recording is
+    // write-only, so a traced replay is byte-identical to an untraced one.
+    let cfg = |trace: bool| {
+        let options = wcc_httpsim::DeploymentOptions {
+            trace,
+            audit: true,
+            ..Default::default()
+        };
+        ExperimentConfig::builder(TraceSpec::sdsc().scaled_down(80))
+            .protocol(ProtocolKind::Invalidation)
+            .mean_lifetime(SimDuration::from_secs(3600))
+            .seed(33)
+            .options(options)
+            .build()
+    };
+    let untraced = run_experiment(&cfg(false));
+    let traced = run_experiment(&cfg(true));
+    assert_eq!(format!("{untraced:?}"), format!("{traced:?}"));
+}
+
+#[test]
+fn trace_log_is_recorded_and_round_trips_as_jsonl() {
+    let options = wcc_httpsim::DeploymentOptions {
+        trace: true,
+        ..Default::default()
+    };
+    let cfg = ExperimentConfig::builder(TraceSpec::sdsc().scaled_down(80))
+        .protocol(ProtocolKind::Invalidation)
+        .mean_lifetime(SimDuration::from_secs(3600))
+        .seed(33)
+        .options(options)
+        .build();
+    let (trace, mods) = wcc_replay::experiment::materialise(&cfg);
+    let mut dep = wcc_httpsim::Deployment::build(&trace, &mods, &cfg.protocol, cfg.options.clone());
+    dep.run();
+    let log = dep.trace_log();
+    assert!(!log.is_empty(), "traced run must record spans");
+    // Both lifetimes appear, and the dump parses back losslessly.
+    assert!(log.iter().any(|e| e.kind == wcc_obs::SpanKind::Request));
+    assert!(log
+        .iter()
+        .any(|e| e.kind == wcc_obs::SpanKind::Invalidation));
+    assert!(log.windows(2).all(|w| w[0].at <= w[1].at), "time-ordered");
+    let text = wcc_obs::to_jsonl(&log);
+    assert_eq!(wcc_obs::from_jsonl(&text).unwrap(), log);
 }
 
 #[test]

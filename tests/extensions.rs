@@ -60,12 +60,10 @@ fn fixed_ttl_is_dominated_by_adaptive() {
         wcc_replay::experiment::run_on(&c, &trace, &mods).raw
     };
     let adaptive = run(ProtocolConfig::new(ProtocolKind::AdaptiveTtl));
-    let short = run(
-        ProtocolConfig::new(ProtocolKind::FixedTtl).with_fixed_ttl(SimDuration::from_mins(10)),
-    );
-    let long = run(
-        ProtocolConfig::new(ProtocolKind::FixedTtl).with_fixed_ttl(SimDuration::from_days(8)),
-    );
+    let short =
+        run(ProtocolConfig::new(ProtocolKind::FixedTtl).with_fixed_ttl(SimDuration::from_mins(10)));
+    let long =
+        run(ProtocolConfig::new(ProtocolKind::FixedTtl).with_fixed_ttl(SimDuration::from_days(8)));
     // Short fixed TTL: no less traffic than adaptive.
     assert!(short.total_messages >= adaptive.total_messages);
     // Long fixed TTL: much staler than adaptive.
@@ -78,12 +76,7 @@ fn fixed_ttl_is_dominated_by_adaptive() {
 fn hierarchy_cuts_origin_invalidation_overhead() {
     let spec = TraceSpec::nasa().scaled_down(80);
     let trace = synthetic::generate(&spec, 81);
-    let mods = ModSchedule::generate(
-        spec.num_docs,
-        SimDuration::from_hours(6),
-        spec.duration,
-        81,
-    );
+    let mods = ModSchedule::generate(spec.num_docs, SimDuration::from_hours(6), spec.duration, 81);
     let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
     let run = |topology: Topology, sharing: CacheSharing| {
         let mut opts = DeploymentOptions::default();
@@ -120,12 +113,7 @@ fn hierarchy_survives_parent_races() {
     // the children and at the parent; the callback-race rule must hold.
     let spec = TraceSpec::sdsc().scaled_down(60);
     let trace = synthetic::generate(&spec, 82);
-    let mods = ModSchedule::generate(
-        spec.num_docs,
-        SimDuration::from_hours(1),
-        spec.duration,
-        82,
-    );
+    let mods = ModSchedule::generate(spec.num_docs, SimDuration::from_hours(1), spec.duration, 82);
     let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
     let mut opts = DeploymentOptions::default();
     opts.topology = Topology::Hierarchy;
@@ -141,12 +129,7 @@ fn browser_based_detection_defers_invalidations_but_converges() {
     use wcc_httpsim::ChangeDetection;
     let spec = TraceSpec::epa().scaled_down(100);
     let trace = synthetic::generate(&spec, 83);
-    let mods = ModSchedule::generate(
-        spec.num_docs,
-        SimDuration::from_hours(6),
-        spec.duration,
-        83,
-    );
+    let mods = ModSchedule::generate(spec.num_docs, SimDuration::from_hours(6), spec.duration, 83);
     let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
     let run = |detection: ChangeDetection| {
         let mut opts = DeploymentOptions::default();
@@ -188,9 +171,7 @@ fn volume_leases_bound_write_completion_through_partitions() {
     use wcc_replay::partition_scenario;
     let base = |kind: ProtocolKind| {
         ExperimentConfig::builder(TraceSpec::epa().scaled_down(200))
-            .protocol_config(
-                ProtocolConfig::new(kind).with_volume_lease(SimDuration::from_mins(5)),
-            )
+            .protocol_config(ProtocolConfig::new(kind).with_volume_lease(SimDuration::from_mins(5)))
             .mean_lifetime(SimDuration::from_hours(4))
             .seed(113)
             .build()
@@ -199,8 +180,14 @@ fn volume_leases_bound_write_completion_through_partitions() {
     let r = &volume.report.raw;
     assert!(r.finished);
     assert!(r.writes_complete, "volume expiry completes the writes");
-    assert_eq!(r.final_violations, 0, "healed client revalidates via renewal");
-    assert_eq!(r.gave_up, 0, "no retry budget exhaustion under volume leases");
+    assert_eq!(
+        r.final_violations, 0,
+        "healed client revalidates via renewal"
+    );
+    assert_eq!(
+        r.gave_up, 0,
+        "no retry budget exhaustion under volume leases"
+    );
 }
 
 #[test]

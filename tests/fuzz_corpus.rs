@@ -89,7 +89,11 @@ fn corpus_replays_clean() {
     for &seed in CORPUS {
         let scenario = Scenario::generate(seed);
         if let Err(failure) = check(&scenario, &opts) {
-            failures.push(format!("{:#018x} ({}): {failure}", seed, scenario.summary()));
+            failures.push(format!(
+                "{:#018x} ({}): {failure}",
+                seed,
+                scenario.summary()
+            ));
         }
     }
     assert!(

@@ -6,7 +6,11 @@ use wcc_replay::ExperimentConfig;
 use wcc_traces::TraceSpec;
 use wcc_types::SimDuration;
 
-fn reports() -> (wcc_httpsim::RawReport, wcc_httpsim::RawReport, wcc_httpsim::RawReport) {
+fn reports() -> (
+    wcc_httpsim::RawReport,
+    wcc_httpsim::RawReport,
+    wcc_httpsim::RawReport,
+) {
     let base = ExperimentConfig::builder(TraceSpec::sask().scaled_down(60))
         .mean_lifetime(SimDuration::from_days(7))
         .seed(91)
@@ -57,9 +61,6 @@ fn psi_bytes_track_the_other_protocols() {
     let base = push.total_bytes.as_u64() as f64;
     for (name, r) in [("psi", &psi), ("ttl", &ttl)] {
         let ratio = r.total_bytes.as_u64() as f64 / base;
-        assert!(
-            (0.95..=1.05).contains(&ratio),
-            "{name} byte ratio {ratio}"
-        );
+        assert!((0.95..=1.05).contains(&ratio), "{name} byte ratio {ratio}");
     }
 }

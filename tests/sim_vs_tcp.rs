@@ -32,8 +32,7 @@ fn crosscheck(kind: ProtocolKind) {
         doc_scale: 100,
     })
     .expect("origin");
-    let proxy =
-        NetProxy::spawn(origin.addr(), &cfg, 0, 1, ByteSize::from_gib(4)).expect("proxy");
+    let proxy = NetProxy::spawn(origin.addr(), &cfg, 0, 1, ByteSize::from_gib(4)).expect("proxy");
     std::thread::sleep(std::time::Duration::from_millis(50));
     for rec in &trace.records {
         proxy

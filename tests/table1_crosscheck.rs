@@ -60,7 +60,10 @@ fn crosscheck(stream: &str, kind: ProtocolKind) {
         raw.replies_200, expected.file_transfers,
         "{kind} {stream}: transfers"
     );
-    assert_eq!(raw.replies_304, expected.replies_304, "{kind} {stream}: 304s");
+    assert_eq!(
+        raw.replies_304, expected.replies_304,
+        "{kind} {stream}: 304s"
+    );
     assert_eq!(
         raw.invalidations, expected.invalidations,
         "{kind} {stream}: invalidations"

@@ -2,7 +2,7 @@
 //! §3 relationship between staleness and bandwidth savings.
 
 use wcc_core::{AdaptiveTtlConfig, ProtocolConfig, ProtocolKind};
-use wcc_replay::{experiment::run_on, experiment::materialise, ExperimentConfig};
+use wcc_replay::{experiment::materialise, experiment::run_on, ExperimentConfig};
 use wcc_traces::{synthetic, TraceSpec};
 use wcc_types::SimDuration;
 
@@ -21,13 +21,8 @@ fn ttl_serves_stale_under_churn() {
     // Steer half the re-reads into the two hours after a modification so the
     // churn actually lands on cached copies (the raw synthetic trace rarely
     // re-reads a document soon enough after its write to observe staleness).
-    let trace = synthetic::with_modification_interest(
-        &trace,
-        &mods,
-        0.5,
-        SimDuration::from_hours(2),
-        5,
-    );
+    let trace =
+        synthetic::with_modification_interest(&trace, &mods, 0.5, SimDuration::from_hours(2), 5);
     let report = run_on(&cfg, &trace, &mods);
     assert!(
         report.raw.stale_hits > 0,

@@ -61,7 +61,11 @@ impl Criterion {
     }
 
     /// Runs a stand-alone bench outside any group.
-    pub fn bench_function(&mut self, name: impl fmt::Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        name: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         run_bench(&name.to_string(), self.sample_size, f);
         self
     }
@@ -82,7 +86,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs a bench identified by `id` within this group.
-    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let label = format!("{}/{}", self.name, id);
         run_bench(&label, self.sample_size, f);
         self

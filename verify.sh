@@ -1,9 +1,26 @@
 #!/usr/bin/env sh
-# Tier-1 verification: release build, full test suite, repo hygiene lint.
-# Any failing step fails the script.
+# Tier-1 verification: style, lints, release build, full test suite, repo
+# hygiene lint, fuzz + bench smoke. Any failing step fails the script.
+#
+# This mirrors the CI matrix (.github/workflows/ci.yml) in one process:
+#   lint job  -> rustfmt --check, clippy -D warnings, xtask-lint
+#   test job  -> release build + root and workspace test suites
+#                (CI also repeats the test job on beta)
+#   bench job -> trajectory run + the bench-regression gate, which compares
+#                against ci/bench-baseline.json: deterministic fields exact,
+#                wall-clock timings within ±15% (plus 100 ms grace)
+# The gate itself is CI-only — local hardware differs too much for the
+# timing comparison to be meaningful — but the trajectory smoke run below
+# still proves the harness and its byte-identity check work.
 set -eu
 
 cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy"
+cargo clippy --workspace --all-targets --quiet -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release
