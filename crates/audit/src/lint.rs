@@ -19,6 +19,9 @@
 //!   their errors.
 //! * **sleep** — no `std::thread::sleep` in simulation crates (everything
 //!   except `crates/net`, whose whole point is real sockets and real time).
+//! * **url-path-alloc** — no allocating `.path()` calls in the per-message
+//!   hot crates (`httpsim`, `simnet`, `obs`, `proto`): format through
+//!   `Url::write_path` / `Url::path_display` into an existing buffer.
 //! * **todo** — no `todo!` / `unimplemented!` anywhere.
 //!
 //! Matching runs on *code only*: string literals and comments are blanked
@@ -133,6 +136,21 @@ const RULES: &[Rule] = &[
         in_scope: |_| true,
         allowed: |_| false,
         include_tests: true,
+    },
+    Rule {
+        name: "url-path-alloc",
+        needles: &[".path()"],
+        message: "Url::path() allocates a String per call; format through \
+                  Url::write_path / Url::path_display into an existing \
+                  buffer instead",
+        in_scope: |path| {
+            path.starts_with("crates/httpsim/src/")
+                || path.starts_with("crates/simnet/src/")
+                || path.starts_with("crates/obs/src/")
+                || path.starts_with("crates/proto/src/")
+        },
+        allowed: |_| false,
+        include_tests: false,
     },
     Rule {
         name: "obs-registry",
@@ -461,6 +479,31 @@ mod tests {
         assert_eq!(rules_fired("crates/core/src/server.rs", src), ["sleep"]);
         assert_eq!(rules_fired("src/bin/paper.rs", src), ["sleep"]);
         assert!(rules_fired("crates/net/src/tcp.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allocating_url_path_denied_in_message_hot_crates() {
+        let src = "fn f(u: wcc_types::Url) -> String { u.path() }\n";
+        assert_eq!(
+            rules_fired("crates/httpsim/src/proxy.rs", src),
+            ["url-path-alloc"]
+        );
+        assert_eq!(
+            rules_fired("crates/proto/src/wire.rs", src),
+            ["url-path-alloc"]
+        );
+        assert_eq!(
+            rules_fired("crates/obs/src/trace.rs", src),
+            ["url-path-alloc"]
+        );
+        // The non-allocating forms pass.
+        let ok = "fn f(u: wcc_types::Url, s: &mut String) { u.write_path(s).ok(); }\n";
+        assert!(rules_fired("crates/httpsim/src/proxy.rs", ok).is_empty());
+        let disp = "fn f(u: wcc_types::Url) { let _ = format!(\"{}\", u.path_display()); }\n";
+        assert!(rules_fired("crates/proto/src/wire.rs", disp).is_empty());
+        // Cold crates (CLI, traces, replay) may keep the convenience form.
+        assert!(rules_fired("crates/replay/src/tables.rs", src).is_empty());
+        assert!(rules_fired("src/bin/wcc.rs", src).is_empty());
     }
 
     #[test]

@@ -1,15 +1,20 @@
 //! Criterion micro-benchmarks of the building blocks: invalidation-table
 //! operations, cache-store operations under both replacement policies, Zipf
-//! sampling, wire-codec round trips and the Table 1 interpreter.
+//! sampling, wire-codec round trips, the Table 1 interpreter and the
+//! simulator's event queue (two-level bucket queue vs. the plain binary
+//! heap it replaced).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use wcc_cache::{CacheStore, Freshness, ReplacementPolicy};
 use wcc_core::analytical::{parse_stream, simulate};
 use wcc_core::{InvalidationTable, ProtocolConfig, ProtocolKind};
 use wcc_proto::{decode, encode, GetRequest, HttpMsg, RequestId};
+use wcc_simnet::EventQueue;
 use wcc_traces::Zipf;
-use wcc_types::{ByteSize, ClientId, DocMeta, ServerId, SimTime, Url};
+use wcc_types::{ByteSize, ClientId, DocMeta, ServerId, SimDuration, SimTime, Url};
 
 fn bench_invalidation_table(c: &mut Criterion) {
     let mut group = c.benchmark_group("invalidation_table");
@@ -106,6 +111,102 @@ fn bench_codec(c: &mut Criterion) {
     });
 }
 
+/// The schedule/pop surface both queue implementations expose to the
+/// micro-benchmark's driver.
+trait BenchQueue {
+    fn schedule(&mut self, at: SimTime, payload: u64);
+    fn pop(&mut self) -> Option<(SimTime, u64)>;
+}
+
+/// The engine's two-level bucket queue (near-future ring + overflow heap),
+/// exactly as `Simulation` drives it.
+impl BenchQueue for EventQueue<u64> {
+    fn schedule(&mut self, at: SimTime, payload: u64) {
+        EventQueue::schedule(self, at, payload);
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        EventQueue::pop(self)
+    }
+}
+
+/// The queue the bucket queue replaced: one `Reverse<(time, seq)>` binary
+/// heap, the pre-optimisation engine verbatim.
+#[derive(Default)]
+struct HeapQueue {
+    heap: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    seq: u64,
+}
+
+impl BenchQueue for HeapQueue {
+    fn schedule(&mut self, at: SimTime, payload: u64) {
+        self.heap.push(Reverse((at, self.seq, payload)));
+        self.seq += 1;
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        self.heap
+            .pop()
+            .map(|Reverse((at, _, payload))| (at, payload))
+    }
+}
+
+/// One deterministic schedule/pop trace shaped like a replay: from each
+/// popped instant, follow-up near-future deliveries (the LAN latency band)
+/// plus an occasional far-future timer (TTL expiries, fault plans).
+/// Returns a checksum so the whole loop stays observable.
+fn drive_queue(q: &mut impl BenchQueue) -> u64 {
+    let mut rng: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut step = move || {
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        rng >> 33
+    };
+    for i in 0..64 {
+        q.schedule(SimTime::from_micros(step() % 4_000), i);
+    }
+    let mut checksum = 0u64;
+    let mut popped = 0u64;
+    while let Some((now, payload)) = q.pop() {
+        checksum = checksum
+            .wrapping_mul(31)
+            .wrapping_add(payload ^ now.as_micros());
+        popped += 1;
+        if popped >= 20_000 {
+            break;
+        }
+        // Each event spawns follow-ups until the trace winds down.
+        if popped < 12_000 {
+            for _ in 0..2 {
+                let delta = if step() % 50 == 0 {
+                    SimDuration::from_micros(100_000 + step() % 1_000_000) // timer band
+                } else {
+                    SimDuration::from_micros(150 + step() % 2_000) // LAN band
+                };
+                q.schedule(now + delta, step());
+            }
+        }
+    }
+    checksum
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    // Both implementations must walk the identical trace before timing
+    // anything, or the comparison is meaningless.
+    assert_eq!(
+        drive_queue(&mut EventQueue::<u64>::new()),
+        drive_queue(&mut HeapQueue::default()),
+        "bucket queue and binary heap replayed different traces"
+    );
+    let mut group = c.benchmark_group("event_queue");
+    group.bench_function("bucket_queue_20k", |b| {
+        b.iter(|| black_box(drive_queue(&mut EventQueue::<u64>::new())))
+    });
+    group.bench_function("binary_heap_20k", |b| {
+        b.iter(|| black_box(drive_queue(&mut HeapQueue::default())))
+    });
+    group.finish();
+}
+
 fn bench_analytical(c: &mut Criterion) {
     let events = parse_stream(&"rrrmmrrrmr".repeat(50), 60);
     let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
@@ -120,6 +221,7 @@ criterion_group!(
     bench_cache_store,
     bench_zipf,
     bench_codec,
+    bench_event_queue,
     bench_analytical
 );
 criterion_main!(benches);

@@ -13,12 +13,12 @@
 //! ±15%), and the diff table is printed either way. Exits non-zero on any
 //! regression.
 //!
-//! Usage: `trajectory [--scale N] [--jobs N] [--out PATH]
+//! Usage: `trajectory [--scale N] [--jobs N] [--shards N] [--out PATH]
 //!                    [--check BASELINE [--tolerance F]]`
 //! (default `--out BENCH_replay.json`, i.e. the repo root when run from
 //! there).
 
-use wcc_bench::{parse_jobs, parse_scale, trajectory};
+use wcc_bench::{parse_jobs, parse_scale, parse_shards, trajectory};
 
 fn parse_value(key: &str, mut args: impl Iterator<Item = String>) -> Option<String> {
     while let Some(arg) = args.next() {
@@ -31,6 +31,7 @@ fn parse_value(key: &str, mut args: impl Iterator<Item = String>) -> Option<Stri
 
 fn main() {
     let jobs = parse_jobs(std::env::args());
+    let shards = parse_shards(std::env::args());
     let out = parse_value("--out", std::env::args()).unwrap_or_else(|| "BENCH_replay.json".into());
     let tolerance = parse_value("--tolerance", std::env::args())
         .and_then(|t| t.parse::<f64>().ok())
@@ -54,7 +55,7 @@ fn main() {
              (scale 1/{scale}, tolerance ±{:.0}%) ...",
             tolerance * 100.0
         );
-        let report = trajectory::run(scale, jobs);
+        let report = trajectory::run(scale, jobs, shards);
         match trajectory::check_against(&report, &baseline, tolerance) {
             Ok(table) => {
                 println!("{table}");
@@ -70,17 +71,21 @@ fn main() {
     }
 
     let scale = parse_scale(std::env::args());
-    eprintln!("trajectory: timing grid + inner loop at scale 1/{scale} ...");
-    let report = trajectory::run(scale, jobs);
+    eprintln!("trajectory: timing grid + sharded + inner loop at scale 1/{scale} ...");
+    let report = trajectory::run(scale, jobs, shards);
     println!(
         "grid ({} configs): sequential {} ms, parallel {} ms at --jobs {} \
-         ({:.2}x, {} core(s)); inner loop: {} requests in {} ms ({} req/s)",
+         ({:.2}x, {} core(s)); sharded {} ms at --shards {} ({:.2}x); \
+         inner loop: {} requests in {} ms ({} req/s)",
         report.grid_configs,
         report.grid_sequential_ms,
         report.grid_parallel_ms,
         report.jobs,
         report.speedup,
         report.host_cores,
+        report.sharded_grid_ms,
+        report.shards,
+        report.sharded_speedup,
         report.inner_requests,
         report.inner_wall_ms,
         report.inner_requests_per_sec,
@@ -92,6 +97,10 @@ fn main() {
     println!("wrote {out}");
     if !report.byte_identical {
         eprintln!("trajectory: FATAL: parallel grid diverged from sequential run");
+        std::process::exit(1);
+    }
+    if !report.sharded_byte_identical {
+        eprintln!("trajectory: FATAL: sharded grid diverged from sequential run");
         std::process::exit(1);
     }
 }

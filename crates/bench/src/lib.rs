@@ -107,6 +107,36 @@ pub fn parse_jobs(mut args: impl Iterator<Item = String>) -> Option<usize> {
     None
 }
 
+/// Parses the common `--shards N` argument: `Some(n)` when given (0 is
+/// treated as "auto", like omitting the flag), `None` otherwise — `None`
+/// defers to `WCC_SHARDS` / sequential via
+/// [`wcc_replay::effective_shards`].
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(wcc_bench::parse_shards(["prog".into()].into_iter()), None);
+/// assert_eq!(
+///     wcc_bench::parse_shards(["prog".into(), "--shards".into(), "4".into()].into_iter()),
+///     Some(4)
+/// );
+/// ```
+pub fn parse_shards(mut args: impl Iterator<Item = String>) -> Option<usize> {
+    while let Some(arg) = args.next() {
+        if arg == "--shards" {
+            match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => return Some(n),
+                Some(_) => return None, // 0 = auto
+                None => {
+                    eprintln!("warning: bad --shards value; using auto");
+                    return None;
+                }
+            }
+        }
+    }
+    None
+}
+
 /// A labelled experiment id for the SDSC lifetime variants: the paper calls
 /// them SDSC(57) and SDSC(576) after their modification counts.
 pub fn experiment_label(spec: &TraceSpec, lifetime: SimDuration) -> String {
@@ -157,6 +187,21 @@ mod tests {
         assert_eq!(parse_jobs(args(&["p", "--jobs", "0"]).into_iter()), None);
         assert_eq!(parse_jobs(args(&["p", "--jobs", "x"]).into_iter()), None);
         assert_eq!(parse_jobs(args(&["p", "--scale", "4"]).into_iter()), None);
+    }
+
+    #[test]
+    fn shards_parsing() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(parse_shards(args(&["p"]).into_iter()), None);
+        assert_eq!(
+            parse_shards(args(&["p", "--shards", "3"]).into_iter()),
+            Some(3)
+        );
+        assert_eq!(
+            parse_shards(args(&["p", "--shards", "0"]).into_iter()),
+            None
+        );
+        assert_eq!(parse_shards(args(&["p", "--jobs", "4"]).into_iter()), None);
     }
 
     #[test]

@@ -38,6 +38,11 @@
 //!    (min ≤ p50 ≤ p90 ≤ p99 ≤ p99.9 ≤ max) and at least one latency
 //!    sample recorded per user request (a request can record several —
 //!    retried upstream fetches each observe — but never zero).
+//! 8. **Sharded equivalence** — the identical scenario replayed over a
+//!    seed-derived number of engine shards (`wcc_simnet::shard`, 2–4) must
+//!    produce a byte-identical report *and* audit log. This exercises the
+//!    conservative-window engine against the sequential reference under
+//!    the full scenario space, crash/partition schedules included.
 //!
 //! With [`CheckOptions::inject_stale_serve`] set, a forged from-cache serve
 //! of a stone-age version is appended after a real invalidation delivery
@@ -81,6 +86,8 @@ pub enum FailureKind {
     /// The latency histogram broke an internal invariant (non-monotone
     /// quantiles, or fewer samples than user requests).
     HistogramInvariant,
+    /// A sharded replay diverged from the sequential reference.
+    ShardDivergence,
 }
 
 impl fmt::Display for FailureKind {
@@ -95,6 +102,7 @@ impl fmt::Display for FailureKind {
             FailureKind::WriteIncomplete => f.write_str("write-incomplete"),
             FailureKind::WeakDominance => f.write_str("weak-dominance"),
             FailureKind::HistogramInvariant => f.write_str("histogram-invariant"),
+            FailureKind::ShardDivergence => f.write_str("shard-divergence"),
         }
     }
 }
@@ -188,6 +196,7 @@ fn run_once(
     protocol: &ProtocolConfig,
     wall: SimDuration,
     deadline: SimTime,
+    shards: usize,
 ) -> RunOutput {
     let mut options = s.options.clone();
     options.audit = true;
@@ -195,7 +204,7 @@ fn run_once(
     let plan = resolve_faults(s, &d, wall);
     let fault_entries = plan.len();
     d.apply_faults(&plan);
-    d.run_until(deadline);
+    d.run_sharded_until(deadline, shards);
     let audit = d.audit();
     let log = d.audit_log();
     let report = ReplayReport {
@@ -245,6 +254,71 @@ fn inject_stale_serve(log: &mut Vec<AuditEvent>) -> bool {
     true
 }
 
+/// Locates the first differing byte between a sequential and a sharded run
+/// (report first, then audit log); `None` when they are byte-identical.
+fn shard_divergence(sequential: &RunOutput, sharded: &RunOutput, shards: usize) -> Option<String> {
+    let pairs = [
+        (
+            "report",
+            format!("{:?}", sequential.report),
+            format!("{:?}", sharded.report),
+        ),
+        (
+            "audit log",
+            format!("{:?}", sequential.log),
+            format!("{:?}", sharded.log),
+        ),
+    ];
+    for (what, a, b) in &pairs {
+        if a != b {
+            let at = a
+                .bytes()
+                .zip(b.bytes())
+                .position(|(x, y)| x != y)
+                .unwrap_or_else(|| a.len().min(b.len()));
+            let lo = at.saturating_sub(60);
+            return Some(format!(
+                "{shards}-shard {what} diverges from sequential at byte {at}: ...{} vs ...{}",
+                &a[lo..(at + 60).min(a.len())],
+                &b[lo..(at + 60).min(b.len())],
+            ));
+        }
+    }
+    None
+}
+
+/// Replays `scenario` sequentially and over `shards` engine shards and
+/// compares the two byte-for-byte (report and audit log). `Ok` when
+/// identical; `Err` carries a positioned diff. Used by the oracle's check 8
+/// and by the cross-shard-count property tests in `tests/determinism.rs`.
+pub fn sharded_matches_sequential(scenario: &Scenario, shards: usize) -> Result<(), String> {
+    let (trace, mods) = materialise(scenario);
+    let wall = reference_wall(scenario, &trace, &mods);
+    let deadline = SimTime::ZERO + wall.saturating_mul(64) + SimDuration::from_hours(1);
+    let sequential = run_once(
+        scenario,
+        &trace,
+        &mods,
+        &scenario.protocol,
+        wall,
+        deadline,
+        1,
+    );
+    let sharded = run_once(
+        scenario,
+        &trace,
+        &mods,
+        &scenario.protocol,
+        wall,
+        deadline,
+        shards,
+    );
+    match shard_divergence(&sequential, &sharded, shards) {
+        None => Ok(()),
+        Some(detail) => Err(detail),
+    }
+}
+
 /// Replays `scenario` end-to-end and applies the oracle. `Ok` carries
 /// summary statistics for a clean run; `Err` is a reproducible violation.
 pub fn check(scenario: &Scenario, opts: &CheckOptions) -> Result<CheckStats, FuzzFailure> {
@@ -256,7 +330,15 @@ pub fn check(scenario: &Scenario, opts: &CheckOptions) -> Result<CheckStats, Fuz
     let wall = reference_wall(scenario, &trace, &mods);
     let deadline = SimTime::ZERO + wall.saturating_mul(64) + SimDuration::from_hours(1);
 
-    let first = run_once(scenario, &trace, &mods, &scenario.protocol, wall, deadline);
+    let first = run_once(
+        scenario,
+        &trace,
+        &mods,
+        &scenario.protocol,
+        wall,
+        deadline,
+        1,
+    );
     let raw = &first.report.raw;
 
     // 2. Liveness: the coordinator must have drained the whole trace.
@@ -360,7 +442,15 @@ pub fn check(scenario: &Scenario, opts: &CheckOptions) -> Result<CheckStats, Fuz
     }
 
     // 5. Determinism: the identical scenario must replay byte-identically.
-    let second = run_once(scenario, &trace, &mods, &scenario.protocol, wall, deadline);
+    let second = run_once(
+        scenario,
+        &trace,
+        &mods,
+        &scenario.protocol,
+        wall,
+        deadline,
+        1,
+    );
     let (a, b) = (
         format!("{:?}", first.report),
         format!("{:?}", second.report),
@@ -382,11 +472,30 @@ pub fn check(scenario: &Scenario, opts: &CheckOptions) -> Result<CheckStats, Fuz
         });
     }
 
+    // 8. Sharded equivalence: the same scenario over a seed-derived shard
+    // count must match the sequential run byte-for-byte.
+    let shards = 2 + (scenario.seed % 3) as usize;
+    let sharded = run_once(
+        scenario,
+        &trace,
+        &mods,
+        &scenario.protocol,
+        wall,
+        deadline,
+        shards,
+    );
+    if let Some(detail) = shard_divergence(&first, &sharded, shards) {
+        return Err(FuzzFailure {
+            kind: FailureKind::ShardDivergence,
+            detail,
+        });
+    }
+
     // 6. Weak dominance: invalidation must not be *more* stale than
     // adaptive TTL on the identical workload and fault schedule.
     if scenario.protocol.kind.uses_invalidation() && !opts.inject_stale_serve {
         let ttl_cfg = ProtocolConfig::new(ProtocolKind::AdaptiveTtl);
-        let ttl = run_once(scenario, &trace, &mods, &ttl_cfg, wall, deadline);
+        let ttl = run_once(scenario, &trace, &mods, &ttl_cfg, wall, deadline, 1);
         let ttl_audit = ttl.report.audit.as_ref().expect("audit was enabled");
         if let Some(v) = ttl_audit.violations.first() {
             return Err(FuzzFailure {

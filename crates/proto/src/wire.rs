@@ -96,13 +96,14 @@ macro_rules! put {
 /// the scaling trick.
 ///
 /// Every line is formatted straight into the output buffer — no
-/// intermediate `String` per header, no [`Url::path`] allocation — because
-/// `encode` sits on the TCP prototype's per-message hot path.
+/// intermediate `String` per header, and paths ride [`Url::path_display`]
+/// rather than the allocating [`Url::path`] — because `encode` sits on the
+/// TCP prototype's per-message hot path.
 pub fn encode(msg: &HttpMsg) -> Vec<u8> {
     let mut out = Vec::with_capacity(256);
     match msg {
         HttpMsg::Get(g) => {
-            put!(out, "GET /doc/{} HTTP/1.0\r\n", g.url.doc());
+            put!(out, "GET {} HTTP/1.0\r\n", g.url.path_display());
             put!(out, "Host: server{}\r\n", g.url.server().index());
             put!(out, "X-Client: {}\r\n", g.client);
             put!(out, "X-Request-Id: {}\r\n", g.req.get());
@@ -119,7 +120,7 @@ pub fn encode(msg: &HttpMsg) -> Vec<u8> {
             ReplyStatus::Ok(body) => {
                 put!(out, "HTTP/1.0 200 OK\r\n");
                 put!(out, "Host: server{}\r\n", r.url.server().index());
-                put!(out, "Content-Location: /doc/{}\r\n", r.url.doc());
+                put!(out, "Content-Location: {}\r\n", r.url.path_display());
                 put!(out, "X-Client: {}\r\n", r.client);
                 put!(out, "X-Request-Id: {}\r\n", r.req.get());
                 put!(
@@ -141,7 +142,7 @@ pub fn encode(msg: &HttpMsg) -> Vec<u8> {
             ReplyStatus::NotModified => {
                 put!(out, "HTTP/1.0 304 Not Modified\r\n");
                 put!(out, "Host: server{}\r\n", r.url.server().index());
-                put!(out, "Content-Location: /doc/{}\r\n", r.url.doc());
+                put!(out, "Content-Location: {}\r\n", r.url.path_display());
                 put!(out, "X-Client: {}\r\n", r.client);
                 put!(out, "X-Request-Id: {}\r\n", r.req.get());
                 if let Some(lease) = r.lease {
@@ -155,7 +156,7 @@ pub fn encode(msg: &HttpMsg) -> Vec<u8> {
             }
         },
         HttpMsg::Invalidate { url, client } => {
-            put!(out, "INVALIDATE /doc/{} HTTP/1.0\r\n", url.doc());
+            put!(out, "INVALIDATE {} HTTP/1.0\r\n", url.path_display());
             put!(out, "Host: server{}\r\n", url.server().index());
             put!(out, "X-Client: {client}\r\n");
             put!(out, "\r\n");
@@ -175,7 +176,7 @@ pub fn encode(msg: &HttpMsg) -> Vec<u8> {
             client,
             cache_hits,
         } => {
-            put!(out, "ACK /doc/{} HTTP/1.0\r\n", url.doc());
+            put!(out, "ACK {} HTTP/1.0\r\n", url.path_display());
             put!(out, "Host: server{}\r\n", url.server().index());
             put!(out, "X-Client: {client}\r\n");
             if *cache_hits > 0 {
@@ -191,7 +192,7 @@ pub fn encode(msg: &HttpMsg) -> Vec<u8> {
             put!(out, "\r\n");
         }
         HttpMsg::Notify { url, at } => {
-            put!(out, "NOTIFY /doc/{} HTTP/1.0\r\n", url.doc());
+            put!(out, "NOTIFY {} HTTP/1.0\r\n", url.path_display());
             put!(out, "Host: server{}\r\n", url.server().index());
             put!(out, "Date: {}\r\n", at.as_micros());
             put!(out, "\r\n");

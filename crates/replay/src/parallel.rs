@@ -68,6 +68,28 @@ pub fn effective_jobs(jobs: Option<usize>) -> usize {
         .unwrap_or(1)
 }
 
+/// Resolves the engine shard count for a single replay.
+///
+/// Priority: explicit `shards` (CLI `--shards`) → the `WCC_SHARDS`
+/// environment variable → 1 (sequential). Unlike [`effective_jobs`] this
+/// does *not* default to the core count: sharding one replay competes with
+/// the batch-level fan-out for the same cores, so it is opt-in.
+pub fn effective_shards(shards: Option<usize>) -> usize {
+    if let Some(n) = shards {
+        if n > 0 {
+            return n;
+        }
+    }
+    if let Ok(var) = std::env::var("WCC_SHARDS") {
+        if let Ok(n) = var.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    1
+}
+
 /// Applies `f` to every item on `jobs` worker threads, returning the
 /// results **in input order**.
 ///
@@ -170,6 +192,14 @@ mod tests {
         assert_eq!(effective_jobs(Some(3)), 3);
         assert!(effective_jobs(Some(0)) >= 1);
         assert!(effective_jobs(None) >= 1);
+    }
+
+    #[test]
+    fn explicit_shards_wins_and_default_is_sequential() {
+        assert_eq!(effective_shards(Some(4)), 4);
+        // Zero falls through; without WCC_SHARDS the default is 1.
+        // (Environment-variable resolution is covered by the CLI tests.)
+        assert!(effective_shards(Some(0)) >= 1);
     }
 
     #[test]

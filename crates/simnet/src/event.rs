@@ -1,21 +1,67 @@
 //! The totally ordered event queue at the heart of the simulator.
+//!
+//! Events are ordered by `(time, lane, lane sequence)` — see [`Rank`]. The
+//! storage is a two-level bucket queue: a ring of one-microsecond buckets
+//! covering the near future plus an overflow heap for everything beyond the
+//! ring's horizon. Discrete-event schedules are dominated by short hops
+//! (link latencies, CPU bursts), so almost every event lives its whole life
+//! in the ring at O(1) amortised cost; far-future timers take one heap trip
+//! and are pulled into the ring as the cursor approaches them.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use wcc_types::SimTime;
 
-/// A pending event: fires at `at`, ties broken by insertion sequence so the
-/// schedule is a *total* order and runs are reproducible.
+/// Width of the near-future ring, in one-microsecond buckets. Must comfortably
+/// exceed the common scheduling horizon (LAN transfer times are below 2 ms)
+/// so that ordinary message traffic never touches the overflow heap.
+const RING_BUCKETS: u64 = 4096;
+
+/// The tie-breaking key of a scheduled event: events firing at the same
+/// instant pop in `(lane, seq)` order.
+///
+/// Lane 0 is reserved for *external* events (pre-run injections and fault
+/// plans, scheduled through [`EventQueue::schedule`]); node `n` schedules on
+/// lane `n + 1` with a per-node sequence counter. Because every lane's
+/// counter is owned by exactly one scheduling site, the full key is
+/// reproducible no matter which thread or shard allocated it — the property
+/// the sharded engine's byte-identity guarantee rests on (see
+/// [`crate::shard`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct Rank {
+    pub(crate) lane: u32,
+    pub(crate) seq: u64,
+}
+
+impl Rank {
+    /// The external lane: pre-run injections and fault schedules. Sorts
+    /// before any node lane at the same instant.
+    pub(crate) const fn external(seq: u64) -> Rank {
+        Rank { lane: 0, seq }
+    }
+
+    /// The lane of node `node` (lanes are the node id shifted up by one to
+    /// keep lane 0 external).
+    pub(crate) const fn node(node: u32, seq: u64) -> Rank {
+        Rank {
+            lane: node + 1,
+            seq,
+        }
+    }
+}
+
+/// An overflow-heap entry; inverted `Ord` so the `BinaryHeap` max-heap pops
+/// the earliest `(at, rank)` first.
 #[derive(Debug)]
 struct Scheduled<E> {
     at: SimTime,
-    seq: u64,
+    rank: Rank,
     payload: E,
 }
 
 impl<E> PartialEq for Scheduled<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.at == other.at && self.rank == other.rank
     }
 }
 
@@ -29,18 +75,19 @@ impl<E> PartialOrd for Scheduled<E> {
 
 impl<E> Ord for Scheduled<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first.
         other
             .at
             .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+            .then_with(|| other.rank.cmp(&self.rank))
     }
 }
 
-/// A priority queue of simulation events ordered by `(time, insertion seq)`.
+/// A priority queue of simulation events ordered by `(time, lane, seq)`.
 ///
-/// Events scheduled for the same instant pop in insertion order, which makes
-/// the whole simulation deterministic without any reliance on hash ordering.
+/// Events scheduled for the same instant on the same lane pop in insertion
+/// order, and the full key never depends on hash ordering or on *when* an
+/// event was inserted relative to other lanes, which makes the whole
+/// simulation deterministic — sequentially and under sharded execution.
 ///
 /// # Examples
 ///
@@ -59,46 +106,181 @@ impl<E> Ord for Scheduled<E> {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// Near-future ring: bucket `t % RING_BUCKETS` holds the events firing
+    /// at microsecond `t`, for `t` in `[cursor, cursor + RING_BUCKETS)`.
+    /// Each bucket is unsorted; pops scan it for the minimum key, which is
+    /// cheap because same-microsecond occupancy is small.
+    ring: Vec<Vec<(SimTime, Rank, E)>>,
+    /// Events at or beyond the ring horizon, pulled into the ring lazily as
+    /// the cursor advances.
+    overflow: BinaryHeap<Scheduled<E>>,
+    /// The earliest microsecond the ring can still hold events for. Only
+    /// ever advances (simulation time is monotone); an event scheduled
+    /// behind it (never done by the engine) is clamped into the cursor
+    /// bucket and still pops first by key comparison.
+    cursor: u64,
+    /// Events currently in the ring.
+    ring_len: usize,
+    /// Total pending events (ring + overflow).
+    len: usize,
+    /// Sequence counter of the external lane (see [`Rank::external`]).
     next_seq: u64,
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
+        let mut ring = Vec::with_capacity(RING_BUCKETS as usize);
+        ring.resize_with(RING_BUCKETS as usize, Vec::new);
         EventQueue {
-            heap: BinaryHeap::new(),
+            ring,
+            overflow: BinaryHeap::new(),
+            cursor: 0,
+            ring_len: 0,
+            len: 0,
             next_seq: 0,
         }
     }
 
-    /// Schedules `payload` to fire at `at`. Returns the event's sequence
-    /// number (unique per queue, monotonically increasing).
+    /// Schedules `payload` to fire at `at` on the external lane. Returns the
+    /// event's external sequence number (unique, monotonically increasing),
+    /// so same-instant external events pop in insertion order.
     pub fn schedule(&mut self, at: SimTime, payload: E) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, payload });
+        self.insert(at, Rank::external(seq), payload);
         seq
+    }
+
+    /// Schedules `payload` with a caller-assigned rank (the engine's
+    /// per-node lanes).
+    pub(crate) fn schedule_ranked(&mut self, at: SimTime, rank: Rank, payload: E) {
+        self.insert(at, rank, payload);
+    }
+
+    fn insert(&mut self, at: SimTime, rank: Rank, payload: E) {
+        self.len += 1;
+        let t = at.as_micros();
+        if t >= self.cursor.saturating_add(RING_BUCKETS) {
+            self.overflow.push(Scheduled { at, rank, payload });
+        } else {
+            // Past-of-cursor events (clamped into the cursor bucket) still
+            // pop first: the cursor bucket is always scanned before any
+            // later one, and within a bucket the stored key decides.
+            let slot = t.max(self.cursor) % RING_BUCKETS;
+            self.ring[slot as usize].push((at, rank, payload));
+            self.ring_len += 1;
+        }
+    }
+
+    /// Pulls overflow events that now fall inside the ring window. Called
+    /// before every ring scan so "ring before overflow" stays a strict time
+    /// partition even after the cursor advances.
+    fn refill(&mut self) {
+        while let Some(head) = self.overflow.peek() {
+            let t = head.at.as_micros();
+            if t >= self.cursor.saturating_add(RING_BUCKETS) {
+                break;
+            }
+            let s = self.overflow.pop().expect("peeked overflow entry");
+            self.ring[(t % RING_BUCKETS) as usize].push((s.at, s.rank, s.payload));
+            self.ring_len += 1;
+        }
+    }
+
+    /// Advances the cursor to the first non-empty bucket (jumping straight
+    /// to the overflow minimum across empty stretches) and returns its
+    /// index, or `None` if the queue is empty.
+    fn seek(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.ring_len == 0 {
+            // Skip the empty stretch in one hop instead of walking buckets.
+            let head = self.overflow.peek().expect("len > 0 with empty ring");
+            self.cursor = self.cursor.max(head.at.as_micros());
+        }
+        self.refill();
+        if self.ring_len == 0 {
+            // Only reachable when the head sits at the saturation edge of
+            // the time axis (e.g. an event at SimTime::NEVER): pull it in
+            // unconditionally so the scan below always terminates.
+            let s = self.overflow.pop().expect("len > 0 with empty ring");
+            self.ring[(self.cursor % RING_BUCKETS) as usize].push((s.at, s.rank, s.payload));
+            self.ring_len += 1;
+        }
+        loop {
+            let slot = (self.cursor % RING_BUCKETS) as usize;
+            if !self.ring[slot].is_empty() {
+                return Some(slot);
+            }
+            self.cursor += 1;
+            // Crossing into a new bucket can expose overflow entries that
+            // now fit the window.
+            self.refill();
+        }
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|s| (s.at, s.payload))
+        let slot = self.seek()?;
+        let bucket = &self.ring[slot];
+        let mut best = 0;
+        for (i, ev) in bucket.iter().enumerate().skip(1) {
+            if (ev.0, ev.1) < (bucket[best].0, bucket[best].1) {
+                best = i;
+            }
+        }
+        let (at, _, payload) = self.ring[slot].swap_remove(best);
+        self.ring_len -= 1;
+        self.len -= 1;
+        Some((at, payload))
     }
 
     /// The firing time of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        let slot = self.seek()?;
+        self.ring[slot].iter().map(|ev| ev.0).min()
     }
 
     /// The number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    /// Drains every pending event, sorted by `(time, rank)`, with the keys
+    /// intact. Used by the sharded engine to split a queue into per-shard
+    /// queues (and to merge them back) without perturbing the total order.
+    pub(crate) fn drain_ranked(&mut self) -> Vec<(SimTime, Rank, E)> {
+        let mut out = Vec::with_capacity(self.len);
+        for bucket in &mut self.ring {
+            out.append(bucket);
+        }
+        out.extend(
+            std::mem::take(&mut self.overflow)
+                .into_iter()
+                .map(|s| (s.at, s.rank, s.payload)),
+        );
+        out.sort_by_key(|e| (e.0, e.1));
+        self.ring_len = 0;
+        self.len = 0;
+        out
+    }
+
+    /// The external-lane sequence counter (preserved across a shard
+    /// split/merge so external keys stay unique).
+    pub(crate) fn next_external_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Restores the external-lane sequence counter on a rebuilt queue.
+    pub(crate) fn set_next_external_seq(&mut self, seq: u64) {
+        self.next_seq = seq;
     }
 }
 
@@ -163,5 +345,91 @@ mod tests {
             last = (t, i);
             first = false;
         }
+    }
+
+    #[test]
+    fn node_lanes_order_after_external_and_by_lane() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.schedule_ranked(t, Rank::node(4, 0), "node4");
+        q.schedule_ranked(t, Rank::node(0, 7), "node0");
+        q.schedule(t, "external");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["external", "node0", "node4"]);
+    }
+
+    #[test]
+    fn overflow_events_interleave_correctly_with_ring_events() {
+        // Regression shape for the two-level design: an event parked in the
+        // overflow heap must not be overtaken by a later ring event once the
+        // cursor advances far enough for both to be "near future".
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(900), "early");
+        q.schedule(SimTime::from_micros(RING_BUCKETS + 1_500), "overflow");
+        assert_eq!(q.pop(), Some((SimTime::from_micros(900), "early")));
+        // Scheduled *after* the pop moved the cursor: lands in the ring.
+        q.schedule(SimTime::from_micros(RING_BUCKETS + 1_600), "ring");
+        assert_eq!(
+            q.pop(),
+            Some((SimTime::from_micros(RING_BUCKETS + 1_500), "overflow"))
+        );
+        assert_eq!(
+            q.pop(),
+            Some((SimTime::from_micros(RING_BUCKETS + 1_600), "ring"))
+        );
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn far_future_and_dense_bursts_mix() {
+        let mut q = EventQueue::new();
+        // A day-scale timer, a mid-range timer, and a dense burst.
+        q.schedule(SimTime::from_secs(86_400), "day");
+        q.schedule(SimTime::from_millis(50), "mid");
+        for i in 0..100u64 {
+            q.schedule(SimTime::from_micros(i % 7), "burst");
+        }
+        let mut popped = Vec::new();
+        while let Some((t, _)) = q.pop() {
+            popped.push(t);
+        }
+        assert_eq!(popped.len(), 102);
+        assert!(popped.windows(2).all(|w| w[0] <= w[1]), "time-sorted");
+        assert_eq!(popped.last(), Some(&SimTime::from_secs(86_400)));
+    }
+
+    #[test]
+    fn empty_stretches_jump_rather_than_walk() {
+        let mut q = EventQueue::new();
+        // Events separated by hours of empty simulated time: pops must not
+        // take time proportional to the gap.
+        for h in 1..=5u64 {
+            q.schedule(SimTime::from_secs(h * 3_600), h);
+        }
+        for h in 1..=5u64 {
+            assert_eq!(q.pop(), Some((SimTime::from_secs(h * 3_600), h)));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_ranked_round_trips() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), 'c');
+        q.schedule_ranked(SimTime::from_secs(1), Rank::node(2, 0), 'a');
+        q.schedule_ranked(SimTime::from_secs(2), Rank::node(1, 1), 'b');
+        let drained = q.drain_ranked();
+        assert!(q.is_empty());
+        assert_eq!(
+            drained.iter().map(|e| e.2).collect::<Vec<_>>(),
+            vec!['a', 'b', 'c']
+        );
+        let mut rebuilt = EventQueue::new();
+        for (at, rank, payload) in drained {
+            rebuilt.schedule_ranked(at, rank, payload);
+        }
+        assert_eq!(rebuilt.pop(), Some((SimTime::from_secs(1), 'a')));
+        assert_eq!(rebuilt.pop(), Some((SimTime::from_secs(2), 'b')));
+        assert_eq!(rebuilt.pop(), Some((SimTime::from_secs(3), 'c')));
     }
 }

@@ -4,8 +4,8 @@
 //! the role the five SPARC-20 workstations and the 100 Mb/s Ethernet played
 //! in the paper's experiments. It provides:
 //!
-//! * an **event queue** with a total order (time, then insertion sequence),
-//!   so every run is bit-for-bit reproducible ([`event`]);
+//! * an **event queue** with a total order (time, then per-node lane and
+//!   lane sequence), so every run is bit-for-bit reproducible ([`event`]);
 //! * **actor nodes** addressed by [`NodeId`](wcc_types::NodeId) that react to
 //!   messages and timers through the [`Node`] trait ([`node`]);
 //! * a **network model** with per-link propagation latency and bandwidth
@@ -17,7 +17,10 @@
 //!   reproduced;
 //! * **crash / recovery** of nodes with message loss while down ([`fault`]);
 //! * small **metric primitives** (counters and min/avg/max summaries) used
-//!   by the replay reports ([`metrics`]).
+//!   by the replay reports ([`metrics`]);
+//! * **sharded execution**: nodes partitioned across scoped worker threads,
+//!   synchronised in conservative lookahead windows, producing results
+//!   byte-identical to the sequential engine ([`shard`]).
 //!
 //! # Example
 //!
@@ -63,6 +66,7 @@ pub mod fault;
 pub mod metrics;
 pub mod net;
 pub mod node;
+pub mod shard;
 pub mod sim;
 
 pub use event::EventQueue;
@@ -70,4 +74,5 @@ pub use fault::{FaultEntry, FaultPlan};
 pub use metrics::{Counter, NetStats, Summary};
 pub use net::{LinkSpec, NetworkConfig};
 pub use node::{Ctx, Node, TimerId};
+pub use shard::ShardedSimulation;
 pub use sim::Simulation;

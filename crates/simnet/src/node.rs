@@ -1,15 +1,35 @@
 //! The actor abstraction: [`Node`] and its interaction context [`Ctx`].
 
+use crate::event::Rank;
 use crate::metrics::NetStats;
 use crate::net::{NetworkConfig, Reachability};
-use crate::sim::EngineEvent;
+use crate::sim::{EngineEvent, ShardRoute};
 use crate::EventQueue;
 use wcc_types::{ByteSize, FxHashSet, NodeId, SimDuration, SimTime};
 
 /// Handle identifying a pending timer, returned by [`Ctx::set_timer`] and
 /// consumed by [`Ctx::cancel_timer`].
+///
+/// Packs `(owning node + 1, lane sequence)` so ids are unique across nodes
+/// while being allocated from per-node counters (no global state — the
+/// sharded engine allocates them concurrently without coordination).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TimerId(pub(crate) u64);
+
+impl TimerId {
+    /// Bits reserved for the per-node sequence (2^40 events per node).
+    const SEQ_BITS: u32 = 40;
+
+    pub(crate) fn pack(node: NodeId, seq: u64) -> TimerId {
+        debug_assert!(seq < 1 << Self::SEQ_BITS, "per-node sequence overflow");
+        TimerId(((node.index() as u64 + 1) << Self::SEQ_BITS) | seq)
+    }
+
+    /// The index of the node that armed (and will fire) this timer.
+    pub(crate) fn owner_index(self) -> usize {
+        ((self.0 >> Self::SEQ_BITS) - 1) as usize
+    }
+}
 
 /// A simulated actor: a pseudo-client, the pseudo-server, the accelerator,
 /// the modifier process, the time coordinator…
@@ -21,7 +41,11 @@ pub struct TimerId(pub(crate) u64);
 ///
 /// `M` is the workspace-wide message payload type (the HTTP message model in
 /// `wcc-proto` for the replay experiments).
-pub trait Node<M>: 'static {
+///
+/// Nodes must be [`Send`]: the sharded execution mode (see [`crate::shard`])
+/// moves whole shards — nodes included — onto scoped worker threads. Nodes
+/// are plain owned state machines, so this costs nothing in practice.
+pub trait Node<M>: Send + 'static {
     /// Called once when the simulation starts.
     fn on_start(&mut self, ctx: &mut Ctx<'_, M>) {
         let _ = ctx;
@@ -63,9 +87,10 @@ pub struct Ctx<'a, M> {
     pub(crate) reach: &'a Reachability,
     pub(crate) stats: &'a mut NetStats,
     pub(crate) cancelled: &'a mut FxHashSet<TimerId>,
-    pub(crate) next_timer: &'a mut u64,
+    pub(crate) seq: &'a mut u64,
     pub(crate) busy_until: &'a mut SimTime,
     pub(crate) busy_accum: &'a mut SimDuration,
+    pub(crate) route: Option<&'a mut ShardRoute<M>>,
 }
 
 impl<M> Ctx<'_, M> {
@@ -94,23 +119,30 @@ impl<M> Ctx<'_, M> {
             return false;
         }
         let delay = self.config.link(self.self_id, dst).transfer_time(size);
-        self.queue.schedule(
-            self.now + delay,
-            EngineEvent::Deliver {
-                src: self.self_id,
-                dst,
-                msg,
-            },
-        );
+        let at = self.now + delay;
+        let rank = self.next_rank();
+        let event = EngineEvent::Deliver {
+            src: self.self_id,
+            dst,
+            msg,
+        };
+        match self.route.as_deref_mut() {
+            // Under sharded execution a send to a foreign node goes to the
+            // outbox; the barrier merges it into the owner's queue before
+            // its arrival window starts (arrival ≥ send + lookahead).
+            Some(route) if !route.owned[dst.as_usize()] => route.outbox.push((at, rank, event)),
+            _ => self.queue.schedule_ranked(at, rank, event),
+        }
         true
     }
 
     /// Arms a timer that fires on this node after `delay`, carrying `token`.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
-        let id = TimerId(*self.next_timer);
-        *self.next_timer += 1;
-        self.queue.schedule(
+        let rank = self.next_rank();
+        let id = TimerId::pack(self.self_id, rank.seq);
+        self.queue.schedule_ranked(
             self.now + delay,
+            rank,
             EngineEvent::Timer {
                 node: self.self_id,
                 token,
@@ -118,6 +150,13 @@ impl<M> Ctx<'_, M> {
             },
         );
         id
+    }
+
+    /// Allocates the next `(lane, seq)` key on this node's lane.
+    fn next_rank(&mut self) -> Rank {
+        let rank = Rank::node(self.self_id.index(), *self.seq);
+        *self.seq += 1;
+        rank
     }
 
     /// Cancels a pending timer. Cancelling an already-fired or foreign timer

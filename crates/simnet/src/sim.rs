@@ -1,5 +1,6 @@
 //! The simulation engine: owns the nodes, the clock and the event queue.
 
+use crate::event::Rank;
 use crate::metrics::NetStats;
 use crate::net::{NetworkConfig, Reachability};
 use crate::node::{Ctx, Node, TimerId};
@@ -43,7 +44,7 @@ pub(crate) enum FaultAction {
 
 /// Object-safe shim that lets the engine downcast nodes back to their
 /// concrete types for inspection in tests and reports.
-trait AnyNode<M>: Node<M> {
+pub(crate) trait AnyNode<M>: Node<M> {
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
@@ -58,9 +59,25 @@ impl<M, T: Node<M> + Any> AnyNode<M> for T {
 }
 
 #[derive(Debug, Default, Clone, Copy)]
-struct NodeState {
-    busy_until: SimTime,
-    busy_accum: SimDuration,
+pub(crate) struct NodeState {
+    pub(crate) busy_until: SimTime,
+    pub(crate) busy_accum: SimDuration,
+    /// The node's lane sequence counter: every event this node schedules
+    /// (sends, timers, and engine-side busy deferrals *to* it) consumes one
+    /// value, making the event's `(time, lane, seq)` key a pure function of
+    /// the node's own history — the invariant sharded execution relies on.
+    pub(crate) seq: u64,
+}
+
+/// Cross-shard routing state, present only while a [`Simulation`] runs as
+/// one shard of a [`crate::shard::ShardedSimulation`].
+///
+/// `owned[n]` says whether node `n` lives on this shard; sends to foreign
+/// nodes are diverted into `outbox` (keys fully formed) and merged into the
+/// destination shard's queue at the next window barrier.
+pub(crate) struct ShardRoute<M> {
+    pub(crate) owned: Vec<bool>,
+    pub(crate) outbox: Vec<(SimTime, Rank, EngineEvent<M>)>,
 }
 
 /// A deterministic discrete-event simulation over message type `M`.
@@ -68,16 +85,18 @@ struct NodeState {
 /// Construction order fixes [`NodeId`]s: the first [`Simulation::add_node`]
 /// gets `NodeId(0)`, and so on. See the crate-level docs for a full example.
 pub struct Simulation<M> {
-    nodes: Vec<Option<Box<dyn AnyNode<M>>>>,
-    states: Vec<NodeState>,
-    queue: EventQueue<EngineEvent<M>>,
-    config: NetworkConfig,
-    reach: Reachability,
-    stats: NetStats,
-    cancelled: FxHashSet<TimerId>,
-    next_timer: u64,
-    now: SimTime,
-    started: bool,
+    pub(crate) nodes: Vec<Option<Box<dyn AnyNode<M>>>>,
+    pub(crate) states: Vec<NodeState>,
+    pub(crate) queue: EventQueue<EngineEvent<M>>,
+    pub(crate) config: NetworkConfig,
+    pub(crate) reach: Reachability,
+    pub(crate) stats: NetStats,
+    pub(crate) cancelled: FxHashSet<TimerId>,
+    pub(crate) now: SimTime,
+    pub(crate) started: bool,
+    /// `Some` while this simulation runs as one shard of a sharded
+    /// execution; `None` in ordinary sequential mode.
+    pub(crate) route: Option<ShardRoute<M>>,
 }
 
 impl<M: 'static> Simulation<M> {
@@ -91,9 +110,9 @@ impl<M: 'static> Simulation<M> {
             reach: Reachability::default(),
             stats: NetStats::default(),
             cancelled: FxHashSet::default(),
-            next_timer: 0,
             now: SimTime::ZERO,
             started: false,
+            route: None,
         }
     }
 
@@ -201,14 +220,17 @@ impl<M: 'static> Simulation<M> {
             .schedule(at, EngineEvent::Deliver { src: dst, dst, msg });
     }
 
-    /// Runs every node's [`Node::on_start`] hook (once).
-    fn start(&mut self) {
+    /// Runs every node's [`Node::on_start`] hook (once). Slots owned by
+    /// other shards (`None`) are skipped — their owner runs the hook.
+    pub(crate) fn start(&mut self) {
         if self.started {
             return;
         }
         self.started = true;
         for i in 0..self.nodes.len() {
-            self.with_node(NodeId::new(i as u32), |node, ctx| node.on_start(ctx));
+            if self.nodes[i].is_some() {
+                self.with_node(NodeId::new(i as u32), |node, ctx| node.on_start(ctx));
+            }
         }
     }
 
@@ -236,6 +258,24 @@ impl<M: 'static> Simulation<M> {
         self.now
     }
 
+    /// Runs every event with firing time *strictly before* `end`. The
+    /// sharded engine's inner loop: within a window `[t, t + lookahead)` no
+    /// cross-shard message can arrive, so this is safe to run concurrently
+    /// with other shards' windows. Leaves the clock at the last event
+    /// processed (the caller owns deadline semantics).
+    pub(crate) fn run_window(&mut self, end: SimTime) {
+        debug_assert!(self.started, "run_window before start()");
+        while let Some(at) = self.queue.peek_time() {
+            if at >= end {
+                break;
+            }
+            let (at, event) = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(at >= self.now, "time moved backwards");
+            self.now = at;
+            self.dispatch(event);
+        }
+    }
+
     fn dispatch(&mut self, event: EngineEvent<M>) {
         match event {
             EngineEvent::Deliver { src, dst, msg } => {
@@ -243,12 +283,18 @@ impl<M: 'static> Simulation<M> {
                     self.stats.record_dropped();
                     return;
                 }
-                let busy_until = self.states[dst.as_usize()].busy_until;
-                if busy_until > self.now {
-                    // Receiver is mid-CPU-burst: defer, preserving FIFO order
-                    // via the queue's sequence numbers.
-                    self.queue
-                        .schedule(busy_until, EngineEvent::Deliver { src, dst, msg });
+                let state = &mut self.states[dst.as_usize()];
+                if state.busy_until > self.now {
+                    // Receiver is mid-CPU-burst: defer on the receiver's own
+                    // lane, preserving FIFO order among its deferred
+                    // deliveries via the lane sequence.
+                    let rank = Rank::node(dst.index(), state.seq);
+                    state.seq += 1;
+                    self.queue.schedule_ranked(
+                        state.busy_until,
+                        rank,
+                        EngineEvent::Deliver { src, dst, msg },
+                    );
                     return;
                 }
                 self.with_node(dst, |node, ctx| node.on_message(src, msg, ctx));
@@ -269,7 +315,12 @@ impl<M: 'static> Simulation<M> {
                 }
                 FaultAction::Recover(n) => {
                     self.reach.recover(n);
-                    self.with_node(n, |node, ctx| node.on_recover(ctx));
+                    // Fault events are replicated to every shard to keep the
+                    // reachability replicas in sync; only the owner runs the
+                    // node's recovery hook.
+                    if self.nodes[n.as_usize()].is_some() {
+                        self.with_node(n, |node, ctx| node.on_recover(ctx));
+                    }
                 }
                 FaultAction::Sever(a, b) => self.reach.sever(a, b),
                 FaultAction::Heal(a, b) => self.reach.heal(a, b),
@@ -292,9 +343,10 @@ impl<M: 'static> Simulation<M> {
             reach: &self.reach,
             stats: &mut self.stats,
             cancelled: &mut self.cancelled,
-            next_timer: &mut self.next_timer,
+            seq: &mut state.seq,
             busy_until: &mut state.busy_until,
             busy_accum: &mut state.busy_accum,
+            route: self.route.as_mut(),
         };
         f(node.as_mut(), &mut ctx);
         self.nodes[id.as_usize()] = Some(node);

@@ -42,7 +42,7 @@ pub use event::AuditEvent;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use id::{ClientId, NodeId, ServerId};
 pub use time::{SimDuration, SimTime, WallClock};
-pub use url::{Body, DocMeta, ScopedUrl, Url};
+pub use url::{Body, DocMeta, ScopedUrl, Url, UrlPath};
 
 /// A convenience alias used by fallible APIs across the workspace.
 pub type Result<T, E> = core::result::Result<T, E>;

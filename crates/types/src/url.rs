@@ -43,9 +43,50 @@ impl Url {
         self.doc
     }
 
-    /// The conventional string path of this document.
+    /// Writes the conventional string path of this document into `out`
+    /// without allocating — the hot-path form of [`Url::path`].
+    ///
+    /// Formatting a path happens once per simulated request (audit records,
+    /// wire frames, log lines), so hot callers format into a reused buffer
+    /// or an existing formatter instead of materialising a fresh `String`
+    /// per call.
+    ///
+    /// ```
+    /// use wcc_types::{ServerId, Url};
+    ///
+    /// let url = Url::new(ServerId::new(0), 42);
+    /// let mut buf = String::new();
+    /// url.write_path(&mut buf).unwrap();
+    /// assert_eq!(buf, "/doc/42");
+    /// ```
+    pub fn write_path<W: fmt::Write>(self, out: &mut W) -> fmt::Result {
+        write!(out, "/doc/{}", self.doc)
+    }
+
+    /// The conventional string path of this document, as a fresh `String`.
+    ///
+    /// Cold-path convenience over [`Url::write_path`]; inside the simulator
+    /// crates prefer `write_path` into a reused buffer (the `url-path-alloc`
+    /// lint flags `.path()` there).
     pub fn path(self) -> String {
-        format!("/doc/{}", self.doc)
+        let mut out = String::with_capacity(8);
+        self.write_path(&mut out)
+            .expect("String write is infallible");
+        out
+    }
+
+    /// A [`fmt::Display`] adapter rendering just the path (`/doc/N`), so the
+    /// path can ride an existing `write!` into a shared buffer — the
+    /// format-string-friendly face of [`Url::write_path`].
+    ///
+    /// ```
+    /// use wcc_types::{ServerId, Url};
+    ///
+    /// let url = Url::new(ServerId::new(2), 7);
+    /// assert_eq!(format!("GET {} HTTP/1.0", url.path_display()), "GET /doc/7 HTTP/1.0");
+    /// ```
+    pub const fn path_display(self) -> UrlPath {
+        UrlPath(self)
     }
 
     /// Parses the string form produced by [`Url::path`], given the owning
@@ -64,9 +105,22 @@ impl Url {
     }
 }
 
+/// The path-only [`fmt::Display`] view of a [`Url`], made by
+/// [`Url::path_display`]. Formatting it is equivalent to
+/// [`Url::write_path`] and allocates nothing.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct UrlPath(Url);
+
+impl fmt::Display for UrlPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.write_path(f)
+    }
+}
+
 impl fmt::Display for Url {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "http://{}/doc/{}", self.server, self.doc)
+        write!(f, "http://{}", self.server)?;
+        self.write_path(f)
     }
 }
 

@@ -3,7 +3,7 @@
 //! ```text
 //! wcc replay  --trace epa --protocol invalidation [--lifetime-days N]
 //!             [--scale N] [--seed N] [--wan] [--decoupled] [--hierarchy]
-//!             [--shared] [--lease-days N] [--cache-mib N]
+//!             [--shared] [--lease-days N] [--cache-mib N] [--shards N]
 //!             [--trace-out PATH] [--metrics]
 //! wcc trio    --trace sask [--scale N] [--seed N] [--jobs N]  # Tables 3/4 block
 //! wcc trace   <path>                                # analyse a --trace-out log
@@ -15,6 +15,10 @@
 //! `--jobs N` (or the `WCC_JOBS` environment variable) sets the worker
 //! count for commands that fan independent replays out over threads; the
 //! output is byte-identical at any job count.
+//!
+//! `--shards N` (or `WCC_SHARDS`) splits a *single* replay across engine
+//! shards running on worker threads (conservative lookahead windows); the
+//! output is byte-identical at any shard count. Default 1 (sequential).
 //!
 //! `--trace-out PATH` records every request and invalidation lifetime as
 //! structured span events (sim-time keyed, deterministic) and dumps them as
@@ -81,7 +85,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  wcc replay  --trace NAME --protocol NAME [--lifetime-days N] [--scale N]\n              [--seed N] [--wan] [--decoupled] [--hierarchy] [--shared]\n              [--lease-days N] [--volume-mins N] [--cache-mib N] [--audit]\n              [--trace-out PATH] [--metrics]\n  wcc trio    --trace NAME [--scale N] [--seed N] [--jobs N]\n  wcc compare --trace NAME --protocols a,b,c [--scale N] [--seed N] [--jobs N]\n  wcc trace   PATH\n  wcc summary [--scale N] [--seed N]\n  wcc clf     PATH [--protocol NAME]\n  wcc fuzz    [--iters N] [--seed N] [--shrink] [--inject-stale] [--repro PATH]\n              [--jobs N]\n  wcc protocols"
+    "usage:\n  wcc replay  --trace NAME --protocol NAME [--lifetime-days N] [--scale N]\n              [--seed N] [--wan] [--decoupled] [--hierarchy] [--shared]\n              [--lease-days N] [--volume-mins N] [--cache-mib N] [--audit]\n              [--shards N] [--trace-out PATH] [--metrics]\n  wcc trio    --trace NAME [--scale N] [--seed N] [--jobs N]\n  wcc compare --trace NAME --protocols a,b,c [--scale N] [--seed N] [--jobs N]\n  wcc trace   PATH\n  wcc summary [--scale N] [--seed N]\n  wcc clf     PATH [--protocol NAME]\n  wcc fuzz    [--iters N] [--seed N] [--shrink] [--inject-stale] [--repro PATH]\n              [--jobs N]\n  wcc protocols"
 }
 
 fn spec_for(args: &Args) -> Result<TraceSpec, String> {
@@ -147,6 +151,15 @@ fn jobs_for(args: &Args) -> Result<Option<usize>, String> {
         None => None,
         Some(_) => Some(args.num("jobs", 0)? as usize),
     })
+}
+
+/// `--shards N` resolved through `WCC_SHARDS` (default 1, sequential).
+fn shards_for(args: &Args) -> Result<usize, String> {
+    let explicit = match args.value("shards") {
+        None => None,
+        Some(_) => Some(args.num("shards", 0)? as usize),
+    };
+    Ok(webcache::replay::effective_shards(explicit))
 }
 
 fn print_report(report: &ReplayReport) {
@@ -225,8 +238,9 @@ fn cmd_replay(args: &Args) -> Result<(), String> {
     let trace = synthetic::generate(&spec, seed);
     let mods = ModSchedule::generate(spec.num_docs, lifetime, spec.duration, seed);
     let want_audit = options.audit;
+    let shards = shards_for(args)?;
     let mut deployment = Deployment::build(&trace, &mods, &protocol, options);
-    deployment.run();
+    deployment.run_sharded(shards);
     if let Some(path) = trace_out {
         let log = deployment.trace_log();
         std::fs::write(path, webcache::obs::to_jsonl(&log))

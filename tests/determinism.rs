@@ -200,6 +200,35 @@ fn trace_log_is_recorded_and_round_trips_as_jsonl() {
     assert_eq!(wcc_obs::from_jsonl(&text).unwrap(), log);
 }
 
+mod sharded_equivalence {
+    //! The sharded engine's core guarantee, property-tested: for any
+    //! fuzz-derived scenario — including sampled crash / recover /
+    //! partition fault plans — running the deployment on `N` shards is
+    //! byte-identical to the sequential engine, for every interesting
+    //! shard count (1 = the fallback path, 2/4 = even splits, 7 = more
+    //! shards than most deployments have busy nodes).
+
+    use proptest::prelude::*;
+    use wcc_fuzz::{scenario_seed, sharded_matches_sequential, Scenario};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn sharded_replay_matches_sequential(iter in 0u64..4096) {
+            let seed = scenario_seed(0xD1CE, iter);
+            let scenario = Scenario::generate(seed);
+            for shards in [1usize, 2, 4, 7] {
+                let outcome = sharded_matches_sequential(&scenario, shards);
+                prop_assert!(
+                    outcome.is_ok(),
+                    "seed {seed:#018x} diverged at {shards} shard(s): {}",
+                    outcome.unwrap_err()
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn different_seeds_differ() {
     let base = |seed| {

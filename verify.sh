@@ -38,7 +38,8 @@ echo "==> wcc fuzz (smoke)"
 ./target/release/wcc fuzz --iters 25 --seed 1 --shrink
 
 echo "==> bench trajectory (smoke)"
-# Exits non-zero if the parallel grid diverges from the sequential run.
-./target/release/trajectory --scale 100 --out /tmp/BENCH_replay.smoke.json
+# Exits non-zero if the fanned-out or sharded grid diverges from the
+# sequential run.
+./target/release/trajectory --scale 100 --shards 2 --out /tmp/BENCH_replay.smoke.json
 
 echo "verify: OK"
