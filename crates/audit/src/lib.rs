@@ -8,17 +8,19 @@
 //!   paper's invariants — staleness-freedom, write completion, site-list
 //!   conservation and lease safety — reporting each violation together with
 //!   the offending event subsequence.
-//! * [`lint`] — the **repo lint engine**: a std-only scanner over the
-//!   workspace sources enforcing deny-by-default hygiene rules (no ambient
-//!   wall clocks, no `unwrap` in protocol crates, no `thread::sleep` in
-//!   simulation code, no `todo!`), driven by the `xtask-lint` binary.
+//! * [`lint`] — the **repo lint engine**: the token-level analyzer from
+//!   `wcc-lint` (re-exported here so `wcc_audit::lint::scan_tree` keeps
+//!   working), enforcing deny-by-default hygiene rules — no ambient wall
+//!   clocks, no `unwrap` in protocol crates, no unordered map iteration
+//!   reaching replay-visible output, exhaustive wire-enum dispatch —
+//!   driven by the `xtask-lint` binary.
 //!
 //! [`DeploymentOptions::audit`]: https://docs.rs/wcc-httpsim
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod lint;
+pub use wcc_lint as lint;
 mod protocol;
 
 pub use protocol::{audit, AuditReport, Check, Expectations, Violation};

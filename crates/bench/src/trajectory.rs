@@ -102,6 +102,11 @@ pub struct TrajectoryReport {
     pub jobs: usize,
     /// Cores the host reported (`available_parallelism`).
     pub host_cores: usize,
+    /// Coarse identity of the measuring host (arch/OS/cores/CPU model).
+    /// Timing baselines are only comparable between equal fingerprints;
+    /// [`check_against`] downgrades the timing gates to informational when
+    /// they differ.
+    pub host_fingerprint: String,
     /// Replays in the grid (6 experiments × 3 protocols).
     pub grid_configs: usize,
     /// Grid wall time with `--jobs 1` (milliseconds).
@@ -148,6 +153,43 @@ pub fn grid_configs(scale: u64) -> Vec<ExperimentConfig> {
             })
         })
         .collect()
+}
+
+/// A coarse identifier of the measuring host: architecture, OS, core count
+/// and CPU model, e.g. `x86_64/linux/8c/AMD EPYC 7B13`.
+///
+/// Wall-clock baselines taken on one machine say nothing about another, so
+/// the report records where it was measured and [`check_against`] only
+/// enforces the timing gates when the fingerprints agree (the deterministic
+/// fields are gated regardless — they must reproduce everywhere).
+pub fn host_fingerprint() -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let model = cpu_model().unwrap_or_else(|| "unknown-cpu".to_string());
+    format!(
+        "{}/{}/{}c/{}",
+        std::env::consts::ARCH,
+        std::env::consts::OS,
+        cores,
+        model
+    )
+}
+
+/// First `model name` from `/proc/cpuinfo`, sanitised so the fingerprint
+/// embeds into the JSON report without escaping. `None` off Linux.
+fn cpu_model() -> Option<String> {
+    let info = std::fs::read_to_string("/proc/cpuinfo").ok()?;
+    let line = info.lines().find(|l| l.starts_with("model name"))?;
+    let (_, model) = line.split_once(':')?;
+    let clean: String = model
+        .trim()
+        .chars()
+        .map(|c| if c == '"' || c == '\\' { '_' } else { c })
+        .collect();
+    if clean.is_empty() {
+        None
+    } else {
+        Some(clean)
+    }
 }
 
 fn millis(elapsed: std::time::Duration) -> u64 {
@@ -222,6 +264,7 @@ pub fn run(scale: u64, jobs: Option<usize>, shards: Option<usize>) -> Trajectory
         scale,
         jobs,
         host_cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        host_fingerprint: host_fingerprint(),
         grid_configs: configs.len(),
         grid_sequential_ms,
         grid_parallel_ms,
@@ -246,10 +289,14 @@ impl TrajectoryReport {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"wcc-bench-trajectory/2\",\n");
+        out.push_str("  \"schema\": \"wcc-bench-trajectory/3\",\n");
         out.push_str(&format!("  \"scale\": {},\n", self.scale));
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         out.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
+        out.push_str(&format!(
+            "  \"host_fingerprint\": \"{}\",\n",
+            self.host_fingerprint
+        ));
         out.push_str("  \"grid\": {\n");
         out.push_str(&format!("    \"configs\": {},\n", self.grid_configs));
         out.push_str(&format!(
@@ -355,6 +402,18 @@ pub fn json_number(doc: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Extracts the first string stored under `"key":` in a report JSON.
+///
+/// Same linear-scan contract as [`json_number`]; the values the report
+/// emits are pre-sanitised (no embedded quotes), so no unescaping is
+/// needed. Returns `None` when the key is absent or not a string.
+pub fn json_string(doc: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
 /// The `"latency_tails": [...]` block of a report JSON, verbatim.
 fn tails_block(doc: &str) -> Option<&str> {
     let start = doc.find("\"latency_tails\": [")?;
@@ -376,7 +435,12 @@ const TIMING_GRACE_MS: f64 = 100.0;
 ///   from the simulation clock and cannot legitimately drift.
 /// * **Timing fields** (`sequential_ms`, `parallel_ms`, `sharded_ms`,
 ///   `wall_ms`) must be within `tolerance` (relative, e.g. `0.15` = ±15%)
-///   of the baseline, with [`TIMING_GRACE_MS`] of absolute slack.
+///   of the baseline, with [`TIMING_GRACE_MS`] of absolute slack — but
+///   only when the baseline's `host_fingerprint` matches the current
+///   host's. A baseline measured on different hardware says nothing about
+///   this machine's wall clock, so on a mismatch every timing and shard
+///   gate is downgraded to informational (logged in the table) while the
+///   deterministic fields and both byte-identity flags stay mandatory.
 /// * **Derived fields** (`speedup`, `requests_per_sec`) are reported but
 ///   not gated: they are quotients of numbers already checked, and gating
 ///   them twice only doubles the flake rate.
@@ -394,8 +458,22 @@ pub fn check_against(
     tolerance: f64,
 ) -> Result<String, String> {
     let cur = current.to_json();
-    let mut table = format!(
-        "{:<16} {:>14} {:>14}  verdict\n",
+    let same_host =
+        json_string(baseline, "host_fingerprint").is_some_and(|b| b == current.host_fingerprint);
+    let mut table = String::new();
+    if !same_host {
+        let _ = writeln!(
+            table,
+            "note: baseline host fingerprint ({}) differs from this host ({});\n\
+             note: timing and shard gates are informational on this run — exact\n\
+             note: fields and byte-identity are still enforced.",
+            json_string(baseline, "host_fingerprint").unwrap_or_else(|| "absent".to_string()),
+            current.host_fingerprint
+        );
+    }
+    let _ = writeln!(
+        table,
+        "{:<16} {:>14} {:>14}  verdict",
         "field", "baseline", "current"
     );
     let mut failed = false;
@@ -417,11 +495,15 @@ pub fn check_against(
     }
     for key in ["sequential_ms", "parallel_ms", "sharded_ms", "wall_ms"] {
         let (b, c) = (json_number(baseline, key), json_number(&cur, key));
-        let ok = match (b, c) {
+        let within = match (b, c) {
             (Some(b), Some(c)) => (c - b).abs() <= (tolerance * b).max(TIMING_GRACE_MS),
             _ => false,
         };
-        row(key, b, c, ok, &format!(" (±{:.0}%)", tolerance * 100.0));
+        if same_host {
+            row(key, b, c, within, &format!(" (±{:.0}%)", tolerance * 100.0));
+        } else {
+            row(key, b, c, true, " (informational: different host)");
+        }
     }
     for key in ["speedup", "requests_per_sec"] {
         let (b, c) = (json_number(baseline, key), json_number(&cur, key));
@@ -436,7 +518,15 @@ pub fn check_against(
     // windows are too short for the parallelism to amortise the barriers).
     let shard_base = json_number(baseline, "sharded_speedup");
     let shard_cur = Some((current.sharded_speedup * 1000.0).round() / 1000.0);
-    if current.host_cores == 1 {
+    if !same_host {
+        row(
+            "sharded_speedup",
+            shard_base,
+            shard_cur,
+            true,
+            " (informational: different host)",
+        );
+    } else if current.host_cores == 1 {
         let overhead = current.sharded_grid_ms as f64 / current.grid_sequential_ms.max(1) as f64;
         let ok = current.sharded_grid_ms as f64
             <= current.grid_sequential_ms as f64 * 1.05 + TIMING_GRACE_MS;
@@ -547,7 +637,8 @@ mod tests {
     #[test]
     fn json_is_stable_and_carries_baselines() {
         let json = sample_report().to_json();
-        assert!(json.contains("\"schema\": \"wcc-bench-trajectory/2\""));
+        assert!(json.contains("\"schema\": \"wcc-bench-trajectory/3\""));
+        assert!(json.contains("\"host_fingerprint\": \"x86_64/linux/8c/sample-cpu\""));
         assert!(json.contains("\"speedup\": 2.500"));
         assert!(json.contains("\"byte_identical\": true"));
         assert!(json.contains("\"shards\": 2"));
@@ -620,6 +711,65 @@ mod tests {
     }
 
     #[test]
+    fn json_string_reads_the_fingerprint() {
+        let json = sample_report().to_json();
+        assert_eq!(
+            json_string(&json, "host_fingerprint").as_deref(),
+            Some("x86_64/linux/8c/sample-cpu")
+        );
+        assert_eq!(json_string(&json, "scale"), None); // a number, not a string
+        assert_eq!(json_string(&json, "no_such_key"), None);
+    }
+
+    #[test]
+    fn the_running_host_has_a_fingerprint() {
+        let fp = host_fingerprint();
+        // arch/os/<cores>c/<model> — four slash-separated parts minimum,
+        // and nothing that would need JSON escaping.
+        assert!(fp.matches('/').count() >= 3, "{fp}");
+        assert!(!fp.contains('"') && !fp.contains('\\'), "{fp}");
+    }
+
+    #[test]
+    fn foreign_host_baselines_skip_timing_gates_but_not_identity() {
+        let report = sample_report();
+        let mut foreign = report.clone();
+        foreign.host_fingerprint = "arm64/linux/4c/other-cpu".to_string();
+        let baseline = foreign.to_json();
+
+        // A 3x timing regression against a foreign-host baseline passes —
+        // wall-clock numbers from other hardware are not comparable — and
+        // the skip is logged in the table.
+        let mut slow = report.clone();
+        slow.grid_sequential_ms = report.grid_sequential_ms * 3;
+        slow.inner_wall_ms = report.inner_wall_ms * 3;
+        slow.sharded_speedup = 0.4;
+        let table = check_against(&slow, &baseline, 0.15)
+            .expect("foreign-host timing must be informational");
+        assert!(table.contains("host fingerprint"), "{table}");
+        assert!(table.contains("informational: different host"), "{table}");
+
+        // Determinism violations still fail regardless of the host.
+        let mut split = report.clone();
+        split.byte_identical = false;
+        let err = check_against(&split, &baseline, 0.15).unwrap_err();
+        assert!(err.contains("byte_identical"), "{err}");
+        let mut drift = report.clone();
+        drift.tails[0].p50_us += 1;
+        let err = check_against(&drift, &baseline, 0.15).unwrap_err();
+        assert!(err.contains("latency_tails"), "{err}");
+
+        // A baseline with no fingerprint at all (pre-/3 schema) is treated
+        // as foreign: timing informational, identity enforced.
+        let legacy = baseline.replace(
+            "  \"host_fingerprint\": \"arm64/linux/4c/other-cpu\",\n",
+            "",
+        );
+        assert!(json_string(&legacy, "host_fingerprint").is_none());
+        check_against(&slow, &legacy, 0.15).expect("legacy baselines skip timing gates");
+    }
+
+    #[test]
     fn shard_gates_follow_host_shape() {
         // The 8-core sample at full scale gates the ≥1.5× speedup.
         let report = sample_report();
@@ -661,6 +811,7 @@ mod tests {
             scale: 1,
             jobs: 4,
             host_cores: 8,
+            host_fingerprint: "x86_64/linux/8c/sample-cpu".to_string(),
             grid_configs: 18,
             grid_sequential_ms: 2000,
             grid_parallel_ms: 800,

@@ -89,6 +89,16 @@ impl CoordinatorNode {
         ctx.set_timer(WATCHDOG, self.step as u64);
     }
 
+    /// Nodes that have not reported done, in canonical participant order —
+    /// never hash-set order: the nudge fan-out must enqueue its sends in a
+    /// replay-stable order.
+    fn stragglers(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.participants
+            .iter()
+            .copied()
+            .filter(|node| self.waiting.contains(node))
+    }
+
     /// Re-sends `StepStart` to nodes that have not reported done (they may
     /// have been down when the original went out).
     fn nudge_stragglers(&mut self, ctx: &mut Ctx<'_, SimMsg>) {
@@ -96,7 +106,7 @@ impl CoordinatorNode {
             step: self.step,
             window_end: self.window_end(self.step),
         });
-        for &node in &self.waiting {
+        for node in self.stragglers() {
             let size = msg.wire_size();
             ctx.send(node, SimMsg::Net(msg.clone()), size);
         }
@@ -155,6 +165,21 @@ mod tests {
         assert_eq!(c.window_end(1), SimTime::from_secs(600));
         // Third window reaches past the 12-minute duration → flush window.
         assert_eq!(c.window_end(2), SimTime::NEVER);
+    }
+
+    #[test]
+    fn stragglers_follow_participant_order_not_hash_order() {
+        let mut c = CoordinatorNode::new(SimDuration::from_mins(5), SimDuration::from_mins(5));
+        // Enough ids that FxHashSet iteration order would almost surely
+        // diverge from insertion order if the fan-out walked the set.
+        let ids: Vec<NodeId> = (0..64).map(NodeId::new).collect();
+        c.set_participants(ids.clone());
+        // Mark every other node (inserted back-to-front) as still waiting.
+        for node in ids.iter().rev().step_by(2) {
+            c.waiting.insert(*node);
+        }
+        let expected: Vec<NodeId> = ids.iter().copied().filter(|n| n.index() % 2 == 1).collect();
+        assert_eq!(c.stragglers().collect::<Vec<_>>(), expected);
     }
 
     #[test]

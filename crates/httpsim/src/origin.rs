@@ -573,7 +573,18 @@ impl Node<SimMsg> for OriginNode {
                     );
                 }
             }
-            other => {
+            // Origins never receive these; spelled out (no `_`) so a new
+            // wire variant is a compile error and a lint finding here
+            // rather than a silently ignored message.
+            other @ (SimMsg::Net(Message::Http(
+                HttpMsg::Reply(_)
+                | HttpMsg::Invalidate { .. }
+                | HttpMsg::InvalidateServer { .. }
+                | HttpMsg::Hello { .. }
+                | HttpMsg::MetricsGet,
+            ))
+            | SimMsg::Net(Message::Coord(CoordMsg::StepDone { .. }))
+            | SimMsg::Dispatch { .. }) => {
                 debug_assert!(false, "origin got unexpected message {other:?}");
             }
         }

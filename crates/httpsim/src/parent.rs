@@ -367,12 +367,12 @@ impl Node<SimMsg> for ParentNode {
             SimMsg::Net(Message::Http(HttpMsg::InvalidateServer { server })) => {
                 ctx.consume(self.costs.proxy_inval_cpu);
                 self.policy.on_invalidate_server(server, &mut self.cache);
-                let routes: Vec<NodeId> = {
+                let relay_targets: Vec<NodeId> = {
                     let mut v: Vec<NodeId> = self.child_routes.values().copied().collect();
                     v.sort_unstable();
                     v
                 };
-                for node in routes {
+                for node in relay_targets {
                     self.send(node, HttpMsg::InvalidateServer { server }, ctx);
                 }
                 // Ack once the parent itself has applied the bulk
@@ -384,7 +384,14 @@ impl Node<SimMsg> for ParentNode {
                 // A child acking the relayed bulk invalidation; the origin's
                 // retry loop only tracks its direct peers, so nothing to do.
             }
-            other => {
+            // Parents sit outside the coordinator barrier and never see
+            // these; spelled out (no `_`) so a new wire variant is a
+            // compile error and a lint finding here.
+            other @ (SimMsg::Net(Message::Http(
+                HttpMsg::Hello { .. } | HttpMsg::MetricsGet | HttpMsg::Notify { .. },
+            ))
+            | SimMsg::Net(Message::Coord(_))
+            | SimMsg::Dispatch { .. }) => {
                 debug_assert!(false, "parent got unexpected message {other:?}");
             }
         }

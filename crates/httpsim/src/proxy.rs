@@ -503,7 +503,20 @@ impl Node<SimMsg> for ProxyNode {
                 let size = ack.wire_size();
                 ctx.send(from, SimMsg::Net(Message::Http(ack)), size);
             }
-            other => {
+            // Every remaining variant is a protocol violation for a proxy.
+            // Spelled out (no `_`) so that adding a wire variant forces a
+            // decision here — both rustc and the wire-exhaustiveness lint
+            // refuse to let a new message fall through silently.
+            other @ (SimMsg::Net(Message::Http(
+                HttpMsg::Get(_)
+                | HttpMsg::InvalAck { .. }
+                | HttpMsg::InvalidateServerAck { .. }
+                | HttpMsg::Hello { .. }
+                | HttpMsg::MetricsGet
+                | HttpMsg::Notify { .. },
+            ))
+            | SimMsg::Net(Message::Coord(CoordMsg::StepDone { .. }))
+            | SimMsg::Dispatch { .. }) => {
                 debug_assert!(false, "proxy got unexpected message {other:?}");
             }
         }

@@ -1,0 +1,536 @@
+//! A minimal, lossless Rust lexer.
+//!
+//! The token stream is *complete*: whitespace and comments are tokens too,
+//! and concatenating the text of every token reproduces the input byte for
+//! byte (the round-trip property the `roundtrip` test enforces). That is
+//! what lets the rule engine reason about real code structure — raw
+//! strings, nested block comments, lifetimes vs char literals — instead of
+//! the line-blanking heuristics it replaces.
+//!
+//! The lexer never fails: unterminated literals and stray bytes degrade to
+//! best-effort tokens so the engine can scan work-in-progress sources.
+
+/// The three bracket shapes that delimit token groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    /// `(` `)`
+    Paren,
+    /// `[` `]`
+    Bracket,
+    /// `{` `}`
+    Brace,
+}
+
+/// What a token is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace (any mix, may span lines).
+    Whitespace,
+    /// `// …` to end of line (exclusive of the newline).
+    LineComment,
+    /// `/* … */`, nesting respected; may span lines.
+    BlockComment,
+    /// `"…"`, `b"…"`, or `c"…"` with escapes.
+    Str,
+    /// `r"…"` / `r#"…"#` (also `br` / `cr` prefixed), any hash depth.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'`, `'\u{1F600}'`.
+    Char,
+    /// `'a` in `&'a str` — an apostrophe that never closes.
+    Lifetime,
+    /// An identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// An integer or float literal, suffix included.
+    Number,
+    /// A single punctuation character (`::` is two `Punct` tokens).
+    Punct,
+    /// An opening delimiter.
+    Open(Delim),
+    /// A closing delimiter.
+    Close(Delim),
+}
+
+/// One token: a kind plus its byte span and starting line in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based line of the token's first byte.
+    pub line: usize,
+}
+
+impl Token {
+    /// The token's text, sliced from the source it was lexed from.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexes `src` into a lossless token stream.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    /// `(byte offset, char)` for every char, so multi-byte text indexes
+    /// safely.
+    chars: Vec<(usize, char)>,
+    /// Index into `chars` of the next unconsumed char.
+    i: usize,
+    line: usize,
+    out: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src,
+            chars: src.char_indices().collect(),
+            i: 0,
+            line: 1,
+            out: Vec::new(),
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).map(|&(_, c)| c)
+    }
+
+    fn offset(&self) -> usize {
+        self.chars
+            .get(self.i)
+            .map_or(self.src.len(), |&(off, _)| off)
+    }
+
+    /// Consumes one char, keeping the line counter current.
+    fn bump(&mut self) {
+        if let Some(&(_, c)) = self.chars.get(self.i) {
+            if c == '\n' {
+                self.line += 1;
+            }
+            self.i += 1;
+        }
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let start = self.offset();
+            let line = self.line;
+            let kind = self.next_token(c);
+            let end = self.offset();
+            debug_assert!(end > start, "lexer must make progress");
+            self.out.push(Token {
+                kind,
+                start,
+                end,
+                line,
+            });
+        }
+        self.out
+    }
+
+    fn next_token(&mut self, c: char) -> TokenKind {
+        match c {
+            _ if c.is_whitespace() => {
+                while self.peek(0).is_some_and(char::is_whitespace) {
+                    self.bump();
+                }
+                TokenKind::Whitespace
+            }
+            '/' if self.peek(1) == Some('/') => {
+                while self.peek(0).is_some_and(|c| c != '\n') {
+                    self.bump();
+                }
+                TokenKind::LineComment
+            }
+            '/' if self.peek(1) == Some('*') => self.block_comment(),
+            '"' => self.string(),
+            '\'' => self.char_or_lifetime(),
+            '(' => self.delim(TokenKind::Open(Delim::Paren)),
+            ')' => self.delim(TokenKind::Close(Delim::Paren)),
+            '[' => self.delim(TokenKind::Open(Delim::Bracket)),
+            ']' => self.delim(TokenKind::Close(Delim::Bracket)),
+            '{' => self.delim(TokenKind::Open(Delim::Brace)),
+            '}' => self.delim(TokenKind::Close(Delim::Brace)),
+            _ if c.is_ascii_digit() => self.number(),
+            _ if is_ident_start(c) => self.ident_or_literal_prefix(c),
+            _ => {
+                self.bump();
+                TokenKind::Punct
+            }
+        }
+    }
+
+    fn delim(&mut self, kind: TokenKind) -> TokenKind {
+        self.bump();
+        kind
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump_n(2); // `/*`
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break, // unterminated: swallow to EOF
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// `"…"` with escapes; the opening quote is at the cursor.
+    fn string(&mut self) -> TokenKind {
+        self.bump(); // `"`
+        loop {
+            match self.peek(0) {
+                Some('\\') => self.bump_n(2),
+                Some('"') => {
+                    self.bump();
+                    break;
+                }
+                Some(_) => self.bump(),
+                None => break, // unterminated
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// `r"…"` / `r#"…"#`: the cursor sits on the first `#` or `"` after the
+    /// prefix letters (already consumed by the caller).
+    fn raw_string(&mut self) -> TokenKind {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        self.bump_n(hashes + 1); // hashes + opening quote
+        loop {
+            match self.peek(0) {
+                Some('"') => {
+                    let closing = (0..hashes).all(|k| self.peek(1 + k) == Some('#'));
+                    self.bump();
+                    if closing {
+                        self.bump_n(hashes);
+                        break;
+                    }
+                }
+                Some(_) => self.bump(),
+                None => break, // unterminated
+            }
+        }
+        TokenKind::RawStr
+    }
+
+    /// A char literal, a lifetime, or a stray apostrophe.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        match self.peek(1) {
+            // Escaped char: `'\n'`, `'\u{1F600}'` — scan to the closing
+            // quote.
+            Some('\\') => {
+                self.bump_n(3); // `'`, `\`, escaped char
+                while self.peek(0).is_some_and(|c| c != '\'' && c != '\n') {
+                    self.bump();
+                }
+                if self.peek(0) == Some('\'') {
+                    self.bump();
+                }
+                TokenKind::Char
+            }
+            // `'x'` (single non-quote char then a quote) is a char literal;
+            // note `''` alone is not.
+            Some(c) if c != '\'' && self.peek(2) == Some('\'') && !is_ident_continue(c) => {
+                self.bump_n(3);
+                TokenKind::Char
+            }
+            Some(c) if is_ident_start(c) || c.is_ascii_digit() => {
+                // `'a` … : could still be the char `'a'` — decide by
+                // whether a quote immediately follows the ident run.
+                let mut n = 1;
+                while self.peek(n).is_some_and(is_ident_continue) {
+                    n += 1;
+                }
+                if n == 2 && self.peek(n) == Some('\'') {
+                    self.bump_n(3); // `'a'`
+                    TokenKind::Char
+                } else {
+                    self.bump_n(n); // `'lifetime`
+                    TokenKind::Lifetime
+                }
+            }
+            Some(c) if c != '\'' && self.peek(2) == Some('\'') => {
+                self.bump_n(3); // `'+'` and friends
+                TokenKind::Char
+            }
+            _ => {
+                self.bump();
+                TokenKind::Punct // stray `'`
+            }
+        }
+    }
+
+    fn number(&mut self) -> TokenKind {
+        if self.peek(0) == Some('0') && matches!(self.peek(1), Some('x' | 'X' | 'o' | 'b')) {
+            // Radix literal: digits, letters and underscores to the end
+            // (suffixes included).
+            self.bump_n(2);
+            while self.peek(0).is_some_and(is_ident_continue) {
+                self.bump();
+            }
+            return TokenKind::Number;
+        }
+        self.digits();
+        // A fractional part only if `.` is not a method call (`1.max(2)`)
+        // and not a range (`1..5`).
+        if self.peek(0) == Some('.') && !self.peek(1).is_some_and(|c| c == '.' || is_ident_start(c))
+        {
+            self.bump();
+            self.digits();
+        }
+        // Exponent.
+        if matches!(self.peek(0), Some('e' | 'E')) {
+            let sign = matches!(self.peek(1), Some('+' | '-'));
+            let digit_at = if sign { 2 } else { 1 };
+            if self.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+                self.bump_n(digit_at);
+                self.digits();
+            }
+        }
+        // Suffix (`u32`, `f64`, …) — also mops up a malformed tail.
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        TokenKind::Number
+    }
+
+    fn digits(&mut self) {
+        while self.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            self.bump();
+        }
+    }
+
+    /// An identifier, or one of the literal prefixes `r"` `r#"` `b"` `b'`
+    /// `br"` `c"` `cr"` `r#ident`.
+    fn ident_or_literal_prefix(&mut self, c: char) -> TokenKind {
+        match c {
+            'r' => match self.peek(1) {
+                Some('"') => {
+                    self.bump();
+                    return self.raw_string();
+                }
+                Some('#') => {
+                    // `r#"…"#` or the raw identifier `r#match`.
+                    let mut hashes = 1;
+                    while self.peek(1 + hashes) == Some('#') {
+                        hashes += 1;
+                    }
+                    if self.peek(1 + hashes) == Some('"') {
+                        self.bump();
+                        return self.raw_string();
+                    }
+                    if hashes == 1 && self.peek(2).is_some_and(is_ident_start) {
+                        self.bump_n(2); // `r#`
+                        return self.ident();
+                    }
+                }
+                _ => {}
+            },
+            'b' | 'c' => {
+                match self.peek(1) {
+                    Some('"') => {
+                        self.bump();
+                        return self.string();
+                    }
+                    Some('\'') if c == 'b' => {
+                        self.bump();
+                        return self.char_or_lifetime();
+                    }
+                    Some('r') => {
+                        // `br"…"` / `br#"…"#` / `cr"…"`.
+                        let mut hashes = 0;
+                        while self.peek(2 + hashes) == Some('#') {
+                            hashes += 1;
+                        }
+                        if self.peek(2 + hashes) == Some('"') {
+                            self.bump_n(2);
+                            return self.raw_string();
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+        self.ident()
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        TokenKind::Ident
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    fn code_kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        kinds(src)
+            .into_iter()
+            .filter(|(k, _)| {
+                !matches!(
+                    k,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .collect()
+    }
+
+    fn roundtrip(src: &str) {
+        let joined: String = lex(src).iter().map(|t| t.text(src)).collect();
+        assert_eq!(joined, src, "lexer must be lossless");
+    }
+
+    #[test]
+    fn raw_strings_at_every_hash_depth() {
+        for src in [
+            r####"let s = r"plain";"####,
+            r####"let s = r#"one "quote" deep"#;"####,
+            r####"let s = r##"nested "# close"##;"####,
+            "let s = br#\"bytes\"#;",
+            "let s = cr\"c string\";",
+        ] {
+            roundtrip(src);
+            let raws: Vec<_> = kinds(src)
+                .into_iter()
+                .filter(|(k, _)| *k == TokenKind::RawStr)
+                .collect();
+            assert_eq!(raws.len(), 1, "exactly one raw string in {src:?}");
+        }
+        // Rule-relevant: needles inside raw strings stay inside one
+        // literal token and can never match a token sequence.
+        let sneaky = r####"let s = r#".unwrap() Instant::now()"#;"####;
+        assert!(code_kinds(sneaky)
+            .iter()
+            .all(|(k, t)| *k == TokenKind::RawStr || !t.contains("unwrap")));
+    }
+
+    #[test]
+    fn raw_identifier_is_an_ident_not_a_string() {
+        let src = "let r#match = 1;";
+        roundtrip(src);
+        assert!(kinds(src).contains(&(TokenKind::Ident, "r#match")));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        roundtrip(src);
+        assert_eq!(
+            code_kinds(src),
+            vec![(TokenKind::Ident, "a"), (TokenKind::Ident, "b")]
+        );
+        // Unterminated: swallowed to EOF, no panic.
+        roundtrip("x /* never closed /* deeper */ ");
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { let q = 'q'; let esc = '\\''; q }";
+        roundtrip(src);
+        let toks = kinds(src);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2,
+            "two `'a` lifetimes"
+        );
+        assert!(toks.contains(&(TokenKind::Char, "'q'")));
+        assert!(toks.contains(&(TokenKind::Char, "'\\''")));
+        // A char literal must not swallow the rest of the line.
+        let sneaky = "let c = 'x'; after();";
+        assert!(kinds(sneaky).contains(&(TokenKind::Ident, "after")));
+        // Unicode escape chars close at the quote, not after 2 chars.
+        roundtrip("let c = '\\u{1F600}'; next();");
+        assert!(kinds("let c = '\\u{1F600}'; next();").contains(&(TokenKind::Ident, "next")));
+        // Static lifetime is an ident-run lifetime.
+        assert!(kinds("&'static str").contains(&(TokenKind::Lifetime, "'static")));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_method_calls_or_ranges() {
+        let src = "let a = 1.max(2); let b = 1..5; let c = 1.5e-3f64; let d = 0xFF_u8;";
+        roundtrip(src);
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::Number, "1")));
+        assert!(toks.contains(&(TokenKind::Ident, "max")));
+        assert!(toks.contains(&(TokenKind::Number, "1.5e-3f64")));
+        assert!(toks.contains(&(TokenKind::Number, "0xFF_u8")));
+        assert!(toks.contains(&(TokenKind::Number, "5")));
+        // Trailing-dot float.
+        assert!(kinds("let x = 1. ;").contains(&(TokenKind::Number, "1.")));
+    }
+
+    #[test]
+    fn strings_with_escapes_and_comment_markers() {
+        let src = r#"let s = "not // a comment \" still \\"; done();"#;
+        roundtrip(src);
+        assert!(kinds(src).contains(&(TokenKind::Ident, "done")));
+        roundtrip("let s = \"unterminated");
+    }
+
+    #[test]
+    fn delimiters_carry_shape() {
+        let src = "f(a[0], {b})";
+        roundtrip(src);
+        let toks = kinds(src);
+        assert!(toks.contains(&(TokenKind::Open(Delim::Paren), "(")));
+        assert!(toks.contains(&(TokenKind::Open(Delim::Bracket), "[")));
+        assert!(toks.contains(&(TokenKind::Close(Delim::Brace), "}")));
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nb \"str\nacross\" c";
+        let toks = lex(src);
+        let find = |text: &str| toks.iter().find(|t| t.text(src) == text).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("c"), 5);
+    }
+}

@@ -1,0 +1,163 @@
+//! The needle rules, ported from the old substring engine onto token
+//! sequences: each needle is a sequence of significant-token texts, so a
+//! match can never start inside a string literal, comment, or char
+//! literal, and `#[cfg(test)]` masking follows real item extents.
+
+use crate::engine::SourceFile;
+use crate::Diagnostic;
+
+pub(crate) struct SeqRule {
+    pub name: &'static str,
+    /// Each needle is one token-text sequence; any match fires the rule.
+    pub needles: &'static [&'static [&'static str]],
+    pub message: &'static str,
+    /// Whether the rule applies to this workspace-relative path at all.
+    pub in_scope: fn(&str) -> bool,
+    /// Whether this path is on the rule's explicit allowlist.
+    pub allowed: fn(&str) -> bool,
+    /// Whether the rule also inspects `#[cfg(test)]` code.
+    pub include_tests: bool,
+}
+
+pub(crate) fn protocol_crate(path: &str) -> bool {
+    path.starts_with("crates/core/src/")
+        || path.starts_with("crates/proto/src/")
+        || path.starts_with("crates/cache/src/")
+}
+
+fn hot_path_crate(path: &str) -> bool {
+    path.starts_with("crates/core/src/")
+        || path.starts_with("crates/httpsim/src/")
+        || path.starts_with("crates/simnet/src/")
+}
+
+fn simulation_code(path: &str) -> bool {
+    // Everything except the real-network crate runs under the simulated
+    // clock; `crates/net` is the one place wall-time waiting is legitimate.
+    (path.starts_with("crates/") && !path.starts_with("crates/net/")) || path.starts_with("src/")
+}
+
+pub(crate) const SEQ_RULES: &[SeqRule] = &[
+    SeqRule {
+        name: "wall-clock",
+        needles: &[
+            &["SystemTime", ":", ":", "now"],
+            &["Instant", ":", ":", "now"],
+        ],
+        message: "ambient wall clock breaks replay determinism; use \
+                  wcc_types::WallClock (crates/types/src/time.rs)",
+        in_scope: |_| true,
+        allowed: |path| {
+            path == "crates/types/src/time.rs" || path == "crates/bench/src/trajectory.rs"
+        },
+        include_tests: false,
+    },
+    SeqRule {
+        name: "hot-path-hasher",
+        needles: &[
+            &["HashMap", ":", ":", "new", "(", ")"],
+            &["HashSet", ":", ":", "new", "(", ")"],
+            &["collections", ":", ":", "HashMap"],
+            &["collections", ":", ":", "HashSet"],
+        ],
+        message: "default SipHash maps are too slow for the replay hot \
+                  path; use wcc_types::FxHashMap / FxHashSet (::default())",
+        in_scope: hot_path_crate,
+        allowed: |_| false,
+        include_tests: false,
+    },
+    SeqRule {
+        name: "unwrap",
+        needles: &[&[".", "unwrap", "(", ")"], &[".", "expect", "("]],
+        message: "protocol crates must not panic on recoverable states; \
+                  return or propagate the error",
+        in_scope: protocol_crate,
+        allowed: |_| false,
+        include_tests: false,
+    },
+    SeqRule {
+        name: "sleep",
+        needles: &[&["thread", ":", ":", "sleep"]],
+        message: "simulation code must advance the discrete-event clock, \
+                  not the OS scheduler",
+        in_scope: simulation_code,
+        allowed: |_| false,
+        include_tests: false,
+    },
+    SeqRule {
+        name: "todo",
+        needles: &[&["todo", "!"], &["unimplemented", "!"]],
+        message: "no unfinished code paths",
+        in_scope: |_| true,
+        allowed: |_| false,
+        include_tests: true,
+    },
+    SeqRule {
+        name: "url-path-alloc",
+        needles: &[&[".", "path", "(", ")"]],
+        message: "Url::path() allocates a String per call; format through \
+                  Url::write_path / Url::path_display into an existing \
+                  buffer instead",
+        in_scope: |path| {
+            path.starts_with("crates/httpsim/src/")
+                || path.starts_with("crates/simnet/src/")
+                || path.starts_with("crates/obs/src/")
+                || path.starts_with("crates/proto/src/")
+        },
+        allowed: |_| false,
+        include_tests: false,
+    },
+    SeqRule {
+        name: "obs-registry",
+        needles: &[&["AtomicU64"], &["AtomicUsize"]],
+        message: "ad-hoc atomic counters bypass the observability layer; \
+                  publish through wcc_obs::Registry (counters/gauges/\
+                  histograms) so /metrics stays complete",
+        in_scope: |path| path.starts_with("crates/net/src/"),
+        allowed: |_| false,
+        include_tests: false,
+    },
+];
+
+/// Every rule name the engine can emit (used to validate waivers).
+pub(crate) fn known_rules() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = SEQ_RULES.iter().map(|r| r.name).collect();
+    names.extend([
+        crate::order::MAP_RULE,
+        crate::order::INDEX_RULE,
+        crate::wire::RULE,
+        crate::STALE_WAIVER_RULE,
+    ]);
+    names
+}
+
+/// Runs every sequence rule over one file.
+pub(crate) fn scan_seq_rules(file: &SourceFile<'_>) -> Vec<Diagnostic> {
+    let mut findings = Vec::new();
+    for rule in SEQ_RULES {
+        if !(rule.in_scope)(file.path) || (rule.allowed)(file.path) {
+            continue;
+        }
+        let mut last_line = 0;
+        for k in 0..file.len() {
+            if !rule.include_tests && file.masked_at(k) {
+                continue;
+            }
+            if !rule.needles.iter().any(|n| file.seq_at(k, n)) {
+                continue;
+            }
+            let line = file.line(k);
+            if line == last_line {
+                continue; // one finding per rule per line, like the old engine
+            }
+            last_line = line;
+            findings.push(Diagnostic {
+                path: file.path.to_string(),
+                line,
+                rule: rule.name,
+                message: rule.message.to_string(),
+            });
+        }
+    }
+    findings
+}

@@ -1,0 +1,547 @@
+//! Rule-engine unit tests. The first half are the golden tests carried
+//! over verbatim from the old substring engine (same inputs, same
+//! verdicts); the rest cover the token-only rules.
+
+use super::*;
+
+fn rules_fired(path: &str, source: &str) -> Vec<&'static str> {
+    scan_source(path, source)
+        .into_iter()
+        .map(|d| d.rule)
+        .collect()
+}
+
+#[test]
+fn wall_clock_denied_everywhere_but_time_rs() {
+    let src = "fn f() { let t = std::time::Instant::now(); }\n";
+    assert_eq!(rules_fired("crates/simnet/src/lib.rs", src), ["wall-clock"]);
+    assert_eq!(rules_fired("crates/net/src/origin.rs", src), ["wall-clock"]);
+    assert!(rules_fired("crates/types/src/time.rs", src).is_empty());
+}
+
+#[test]
+fn wall_clock_allowed_in_the_trajectory_timer() {
+    let src = "fn f() { let t = std::time::Instant::now(); }\n";
+    assert!(rules_fired("crates/bench/src/trajectory.rs", src).is_empty());
+    assert_eq!(
+        rules_fired("crates/bench/src/bin/table3.rs", src),
+        ["wall-clock"]
+    );
+}
+
+#[test]
+fn default_hashers_denied_on_the_hot_path() {
+    let map = "fn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n";
+    assert_eq!(
+        rules_fired("crates/core/src/server.rs", map),
+        ["hot-path-hasher"]
+    );
+    let import = "use std::collections::HashSet;\n";
+    assert_eq!(
+        rules_fired("crates/httpsim/src/coord.rs", import),
+        ["hot-path-hasher"]
+    );
+    assert_eq!(
+        rules_fired("crates/simnet/src/net.rs", map),
+        ["hot-path-hasher"]
+    );
+    // Cold paths (trace parsing, the CLI, the proto decoder) may keep
+    // the DoS-resistant default.
+    assert!(rules_fired("crates/traces/src/summary.rs", map).is_empty());
+    assert!(rules_fired("crates/proto/src/wire.rs", import).is_empty());
+    // Fx aliases pass everywhere.
+    let fx = "fn f() { let m = wcc_types::FxHashMap::<u32, u32>::default(); }\n";
+    assert!(rules_fired("crates/core/src/server.rs", fx).is_empty());
+    // Shadow models in #[cfg(test)] code are exempt.
+    let test_src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+    assert!(rules_fired("crates/core/src/sitelist.rs", test_src).is_empty());
+}
+
+#[test]
+fn unwrap_denied_only_in_protocol_crates() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert_eq!(rules_fired("crates/core/src/server.rs", src), ["unwrap"]);
+    assert_eq!(rules_fired("crates/proto/src/wire.rs", src), ["unwrap"]);
+    assert_eq!(rules_fired("crates/cache/src/store.rs", src), ["unwrap"]);
+    assert!(rules_fired("crates/httpsim/src/proxy.rs", src).is_empty());
+    let expect = "fn f(x: Option<u32>) -> u32 { x.expect(\"set\") }\n";
+    assert_eq!(rules_fired("crates/core/src/server.rs", expect), ["unwrap"]);
+}
+
+#[test]
+fn sleep_denied_in_simulation_code_allowed_in_net() {
+    let src = "fn f() { std::thread::sleep(d); }\n";
+    assert_eq!(rules_fired("crates/core/src/server.rs", src), ["sleep"]);
+    assert_eq!(rules_fired("src/bin/paper.rs", src), ["sleep"]);
+    assert!(rules_fired("crates/net/src/tcp.rs", src).is_empty());
+}
+
+#[test]
+fn allocating_url_path_denied_in_message_hot_crates() {
+    let src = "fn f(u: wcc_types::Url) -> String { u.path() }\n";
+    assert_eq!(
+        rules_fired("crates/httpsim/src/proxy.rs", src),
+        ["url-path-alloc"]
+    );
+    assert_eq!(
+        rules_fired("crates/proto/src/wire.rs", src),
+        ["url-path-alloc"]
+    );
+    assert_eq!(
+        rules_fired("crates/obs/src/trace.rs", src),
+        ["url-path-alloc"]
+    );
+    // The non-allocating forms pass.
+    let ok = "fn f(u: wcc_types::Url, s: &mut String) { u.write_path(s).ok(); }\n";
+    assert!(rules_fired("crates/httpsim/src/proxy.rs", ok).is_empty());
+    let disp = "fn f(u: wcc_types::Url) { let _ = format!(\"{}\", u.path_display()); }\n";
+    assert!(rules_fired("crates/proto/src/wire.rs", disp).is_empty());
+    // Cold crates (CLI, traces, replay) may keep the convenience form.
+    assert!(rules_fired("crates/replay/src/tables.rs", src).is_empty());
+    assert!(rules_fired("src/bin/wcc.rs", src).is_empty());
+}
+
+#[test]
+fn adhoc_atomic_counters_denied_in_the_tcp_prototype() {
+    let src = "use std::sync::atomic::AtomicU64;\n";
+    assert_eq!(
+        rules_fired("crates/net/src/origin.rs", src),
+        ["obs-registry"]
+    );
+    assert_eq!(
+        rules_fired(
+            "crates/net/src/proxy.rs",
+            "static N: AtomicUsize = AtomicUsize::new(0);\n"
+        ),
+        ["obs-registry"]
+    );
+    // Control-plane flags (AtomicBool/AtomicU32) are not counters.
+    let flags = "use std::sync::atomic::{AtomicBool, AtomicU32};\n";
+    assert!(rules_fired("crates/net/src/origin.rs", flags).is_empty());
+    // Other crates may use atomics (e.g. the fan-out pool's internals).
+    assert!(rules_fired("crates/replay/src/parallel.rs", src).is_empty());
+}
+
+#[test]
+fn todo_denied_everywhere_even_in_tests() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn f() { todo!() }\n}\n";
+    let d = scan_source("crates/net/src/lib.rs", src);
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].rule, "todo");
+    assert_eq!(d[0].line, 3);
+    assert_eq!(
+        rules_fired("crates/traces/src/lib.rs", "fn g() { unimplemented!() }\n"),
+        ["todo"]
+    );
+}
+
+#[test]
+fn cfg_test_items_are_skipped() {
+    let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x = Some(1).unwrap();
+        std::thread::sleep(std::time::Duration::from_secs(1));
+    }
+}
+";
+    assert!(scan_source("crates/core/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn code_after_cfg_test_item_is_still_scanned() {
+    let src = "\
+#[cfg(test)]
+mod tests {
+    fn t() { Some(1).unwrap(); }
+}
+fn live(x: Option<u32>) -> u32 { x.unwrap() }
+";
+    let d = scan_source("crates/core/src/lib.rs", src);
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].line, 5);
+}
+
+#[test]
+fn strings_and_comments_do_not_trigger() {
+    let src = "\
+// calls Instant::now() under the hood
+/* and .unwrap() too,
+   across lines */
+fn f() -> &'static str { \"Instant::now() .unwrap() todo!\" }
+/// Docs may say thread::sleep freely.
+fn g() {}
+";
+    assert!(scan_source("crates/core/src/lib.rs", src).is_empty());
+}
+
+#[test]
+fn char_literals_and_lifetimes_survive_stripping() {
+    let src = "fn f<'a>(x: &'a str) -> char { let q = '\"'; let n = '\\n'; q }\n";
+    assert!(scan_source("crates/core/src/lib.rs", src).is_empty());
+    // The lexer must not let a char literal swallow the rest of the line
+    // as a string.
+    let sneaky = "fn f() { let c = 'x'; Some(1).unwrap(); }\n";
+    assert_eq!(rules_fired("crates/core/src/lib.rs", sneaky), ["unwrap"]);
+}
+
+#[test]
+fn inline_waiver_suppresses_one_line() {
+    let src = "\
+fn f() { Some(1).unwrap() } // xtask-lint: allow(unwrap)
+fn g() { Some(1).unwrap() }
+";
+    let d = scan_source("crates/core/src/lib.rs", src);
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].line, 2);
+    // The waiver is rule-specific.
+    let wrong = "fn f() { Some(1).unwrap() } // xtask-lint: allow(sleep)\n";
+    assert_eq!(rules_fired("crates/core/src/lib.rs", wrong), ["unwrap"]);
+}
+
+#[test]
+fn diagnostics_carry_position_and_render() {
+    let src = "fn a() {}\nfn f() { Some(1).unwrap(); }\n";
+    let d = scan_source("crates/core/src/server.rs", src);
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].line, 2);
+    let rendered = d[0].to_string();
+    assert!(rendered.starts_with("crates/core/src/server.rs:2: [unwrap]"));
+}
+
+// ---- token-only precision the old engine could not deliver ----
+
+#[test]
+fn raw_strings_and_macro_text_do_not_trigger() {
+    let src = "fn f() -> &'static str { r#\"calls .unwrap() and Instant::now()\"# }\n";
+    assert!(scan_source("crates/core/src/lib.rs", src).is_empty());
+    // `.unwrap_or(…)` is not `.unwrap()`: token matching sees the
+    // difference, substring matching on `.unwrap()` also did — but
+    // `.expect_err(…)` vs `.expect(` only tokens get right.
+    let or = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n";
+    assert!(scan_source("crates/core/src/lib.rs", or).is_empty());
+}
+
+#[test]
+fn spaced_tokens_still_match() {
+    // Formatting cannot hide a call from the token matcher.
+    let src = "fn f(x: Option<u32>) -> u32 { x . unwrap ( ) }\n";
+    assert_eq!(rules_fired("crates/core/src/lib.rs", src), ["unwrap"]);
+}
+
+// ---- map-iteration-order ----
+
+#[test]
+fn unordered_iteration_feeding_output_is_flagged() {
+    // The acceptance demo: seed an unsorted HashMap iteration into
+    // tables.rs and the lint names the exact line.
+    let src = "\
+struct Tables { rows: FxHashMap<u32, u64> }
+impl Tables {
+    fn render(&self, out: &mut String) {
+        for (k, v) in self.rows.iter() {
+            out.push_str(&format!(\"{k} {v}\\n\"));
+        }
+    }
+}
+";
+    let d = scan_source("crates/replay/src/tables.rs", src);
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].rule, "map-iteration-order");
+    assert_eq!(d[0].line, 4);
+}
+
+#[test]
+fn commutative_accumulation_is_allowed() {
+    let src = "\
+struct S { m: FxHashMap<u32, u64> }
+impl S {
+    fn total(&self) -> u64 { self.m.values().sum() }
+    fn biggest(&self) -> Option<u64> { self.m.values().copied().max() }
+    fn busy(&self) -> usize { self.m.values().filter(|v| **v > 0).count() }
+    fn mark(&mut self) {
+        for v in self.m.values_mut() {
+            if *v > 3 { *v += 1; }
+        }
+    }
+}
+";
+    assert!(scan_source("crates/httpsim/src/parent.rs", src).is_empty());
+}
+
+#[test]
+fn collect_then_sort_and_btree_collects_are_allowed() {
+    let src = "\
+struct S { m: FxHashMap<u32, u64>, other: FxHashSet<u32> }
+impl S {
+    fn sorted(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.m.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+    fn tree(&self) -> BTreeMap<u32, u64> {
+        self.m.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+    fn turbo(&self) -> usize {
+        self.m.keys().copied().collect::<BTreeSet<u32>>().len()
+    }
+    fn merge(&mut self, other: &mut FxHashSet<u32>) {
+        self.other.extend(other.drain());
+    }
+}
+";
+    assert!(scan_source("crates/simnet/src/shard.rs", src).is_empty());
+}
+
+#[test]
+fn unsorted_collect_and_escaping_iterators_are_flagged() {
+    let src = "\
+struct S { m: FxHashMap<u32, u64> }
+impl S {
+    fn leak(&self) -> Vec<u32> {
+        let v: Vec<u32> = self.m.keys().copied().collect();
+        v
+    }
+}
+";
+    let d = scan_source("crates/core/src/meter.rs", src);
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].rule, "map-iteration-order");
+    // A bare `for` over the map with an order-recording body.
+    let push = "\
+fn f(m: &FxHashSet<u32>, out: &mut Vec<u32>) {
+    for x in m {
+        out.push(*x);
+    }
+}
+";
+    assert_eq!(
+        rules_fired("crates/obs/src/registry.rs", push),
+        ["map-iteration-order"]
+    );
+    // Out-of-scope crates may iterate freely (the trace parser sorts its
+    // own outputs).
+    assert!(scan_source("crates/traces/src/summary.rs", src).is_empty());
+}
+
+#[test]
+fn btreemap_iteration_is_never_flagged() {
+    let src = "\
+struct S { m: BTreeMap<u32, u64> }
+impl S {
+    fn render(&self, out: &mut String) {
+        for (k, v) in self.m.iter() {
+            out.push_str(&format!(\"{k}={v}\"));
+        }
+    }
+}
+";
+    assert!(scan_source("crates/obs/src/registry.rs", src).is_empty());
+}
+
+// ---- wire-exhaustiveness ----
+
+const WIRE_ENUM: &str = "\
+pub enum HttpMsg {
+    Get(u32),
+    Reply { status: u16 },
+    Invalidate,
+    Hello,
+}
+";
+
+#[test]
+fn dispatch_missing_a_variant_is_flagged_with_the_line() {
+    let handler = "\
+fn handle(msg: HttpMsg) {
+    match msg {
+        HttpMsg::Get(_) => on_get(),
+        HttpMsg::Reply { .. } => on_reply(),
+        other => ignore(other),
+    }
+}
+";
+    let files = vec![
+        ("crates/proto/src/msg.rs".to_string(), WIRE_ENUM.to_string()),
+        (
+            "crates/httpsim/src/proxy.rs".to_string(),
+            handler.to_string(),
+        ),
+    ];
+    let d = scan_files(&files);
+    assert_eq!(d.len(), 1, "diagnostics: {d:?}");
+    assert_eq!(d[0].rule, "wire-exhaustiveness");
+    assert_eq!(d[0].path, "crates/httpsim/src/proxy.rs");
+    assert_eq!(d[0].line, 2);
+    assert!(d[0].message.contains("Invalidate"));
+    assert!(d[0].message.contains("Hello"));
+}
+
+#[test]
+fn total_dispatch_passes_even_with_a_guard_catchall() {
+    let handler = "\
+fn handle(msg: HttpMsg) {
+    match msg {
+        HttpMsg::Get(n) if n > 0 => on_get(),
+        HttpMsg::Get(_) | HttpMsg::Reply { .. } => fallback(),
+        HttpMsg::Invalidate | HttpMsg::Hello => control(),
+        _ => unreachable_guard_fallthrough(),
+    }
+}
+";
+    let files = vec![
+        ("crates/proto/src/msg.rs".to_string(), WIRE_ENUM.to_string()),
+        ("crates/net/src/origin.rs".to_string(), handler.to_string()),
+    ];
+    assert!(scan_files(&files).is_empty());
+}
+
+#[test]
+fn single_variant_probes_and_reporting_crates_are_not_dispatch_sites() {
+    let probe = "\
+fn is_get(msg: &HttpMsg) -> bool {
+    match msg {
+        HttpMsg::Get(_) => true,
+        _ => false,
+    }
+}
+";
+    let counting = "\
+fn count(msg: &HttpMsg) -> u32 {
+    match msg {
+        HttpMsg::Get(_) => 1,
+        HttpMsg::Reply { .. } => 2,
+        _ => 0,
+    }
+}
+";
+    let files = vec![
+        ("crates/proto/src/msg.rs".to_string(), WIRE_ENUM.to_string()),
+        (
+            "crates/httpsim/src/origin.rs".to_string(),
+            probe.to_string(),
+        ),
+        // Reporting crates are out of scope even when they dispatch.
+        (
+            "crates/replay/src/tables.rs".to_string(),
+            counting.to_string(),
+        ),
+    ];
+    assert!(scan_files(&files).is_empty());
+}
+
+#[test]
+fn new_enum_variant_breaks_existing_dispatch_sites() {
+    // The ROADMAP-item-3 scenario: adding a variant to the wire enum must
+    // fail every handler that has not wired it.
+    let extended = WIRE_ENUM.replace("    Hello,\n", "    Hello,\n    MetricsGet,\n");
+    let handler = "\
+fn handle(msg: HttpMsg) {
+    match msg {
+        HttpMsg::Get(_) => on_get(),
+        HttpMsg::Reply { .. } => on_reply(),
+        HttpMsg::Invalidate => on_invalidate(),
+        HttpMsg::Hello => on_hello(),
+    }
+}
+";
+    let ok_files = vec![
+        ("crates/proto/src/msg.rs".to_string(), WIRE_ENUM.to_string()),
+        (
+            "crates/httpsim/src/parent.rs".to_string(),
+            handler.to_string(),
+        ),
+    ];
+    assert!(scan_files(&ok_files).is_empty());
+    let broken = vec![
+        ("crates/proto/src/msg.rs".to_string(), extended),
+        (
+            "crates/httpsim/src/parent.rs".to_string(),
+            handler.to_string(),
+        ),
+    ];
+    let d = scan_files(&broken);
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].rule, "wire-exhaustiveness");
+    assert!(d[0].message.contains("MetricsGet"));
+}
+
+// ---- index-panic ----
+
+#[test]
+fn vec_indexing_in_protocol_crates_is_flagged() {
+    let src = "\
+fn f(lanes: Vec<u32>, i: usize) -> u32 {
+    lanes[i]
+}
+";
+    let d = scan_source("crates/proto/src/wire.rs", src);
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].rule, "index-panic");
+    assert_eq!(d[0].line, 2);
+    // `.get()` passes; out-of-scope crates pass; maps are not flagged.
+    let get = "fn f(lanes: Vec<u32>, i: usize) -> Option<u32> { lanes.get(i).copied() }\n";
+    assert!(scan_source("crates/proto/src/wire.rs", get).is_empty());
+    assert!(scan_source("crates/httpsim/src/proxy.rs", src).is_empty());
+}
+
+// ---- waiver audit ----
+
+#[test]
+fn stale_waiver_is_reported_with_its_line() {
+    let src = "\
+fn fixed() -> u32 { 1 } // xtask-lint: allow(unwrap)
+";
+    let d = audit_waivers_source("crates/core/src/lib.rs", src);
+    assert_eq!(d.len(), 1);
+    assert_eq!(d[0].rule, "stale-waiver");
+    assert_eq!(d[0].line, 1);
+    assert!(d[0].message.contains("unwrap"));
+    // A live waiver is not stale.
+    let live = "fn f() { Some(1).unwrap() } // xtask-lint: allow(unwrap)\n";
+    assert!(audit_waivers_source("crates/core/src/lib.rs", live).is_empty());
+    // Unknown rule names are flagged; the `<rule>` doc placeholder is not
+    // a marker at all.
+    let unknown = "fn f() {} // xtask-lint: allow(no-such-rule)\n";
+    let d = audit_waivers_source("crates/core/src/lib.rs", unknown);
+    assert_eq!(d.len(), 1);
+    assert!(d[0].message.contains("unknown rule"));
+    let doc = "//! Waive with `// xtask-lint: allow(<rule>)` on the line.\n";
+    assert!(audit_waivers_source("crates/core/src/lib.rs", doc).is_empty());
+    // Markers inside string literals are inert.
+    let in_str = "fn f() -> &'static str { \"// xtask-lint: allow(unwrap)\" }\n";
+    assert!(audit_waivers_source("crates/core/src/lib.rs", in_str).is_empty());
+}
+
+#[test]
+fn scan_files_reports_stale_waivers_alongside_findings() {
+    let files = vec![(
+        "crates/core/src/lib.rs".to_string(),
+        "fn ok() {} // xtask-lint: allow(sleep)\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n"
+            .to_string(),
+    )];
+    let d = scan_files(&files);
+    let rules: Vec<&str> = d.iter().map(|d| d.rule).collect();
+    assert_eq!(rules, ["stale-waiver", "unwrap"]);
+}
+
+// ---- output format ----
+
+#[test]
+fn json_output_is_stable_and_escaped() {
+    let d = vec![Diagnostic {
+        path: "crates/core/src/lib.rs".to_string(),
+        line: 3,
+        rule: "unwrap",
+        message: "say \"no\"".to_string(),
+    }];
+    let json = to_json(&d);
+    assert!(json.contains("\"schema\": \"wcc-lint/1\""));
+    assert!(json.contains("\"line\": 3"));
+    assert!(json.contains("say \\\"no\\\""));
+    let empty = to_json(&[]);
+    assert!(empty.contains("\"findings\": []"));
+}

@@ -417,7 +417,11 @@ fn serve_connection(state: &Arc<State>, stream: TcpStream) -> std::io::Result<()
                 }));
                 // Keep reading this stream for ACKs.
             }
-            _ => break, // protocol violation
+            HttpMsg::Reply(_) | HttpMsg::Invalidate { .. } | HttpMsg::InvalidateServer { .. } => {
+                break; // protocol violation: these flow origin -> proxy only
+            }
+            // Guard fallthrough: a Get/Notify for a server we do not own.
+            _ => break,
         }
     }
     if let Some(t) = push_writer {

@@ -491,6 +491,14 @@ fn serve_child(state: &Arc<ParentState>, stream: TcpStream) -> std::io::Result<(
                 }
                 p.children.on_inval_ack(url, client);
             }
+            HttpMsg::Reply(_)
+            | HttpMsg::Invalidate { .. }
+            | HttpMsg::InvalidateServer { .. }
+            | HttpMsg::InvalidateServerAck { .. }
+            | HttpMsg::Notify { .. } => {
+                break; // protocol violation: children never send these
+            }
+            // Guard fallthrough: a Get for a server we do not own.
             _ => break,
         }
     }

@@ -251,7 +251,15 @@ impl NetProxy {
                         }
                         let _ = writer.flush();
                     }
-                    Ok(_) => break, // protocol violation
+                    Ok(
+                        HttpMsg::Get(_)
+                        | HttpMsg::Reply(_)
+                        | HttpMsg::InvalAck { .. }
+                        | HttpMsg::InvalidateServerAck { .. }
+                        | HttpMsg::Hello { .. }
+                        | HttpMsg::MetricsGet
+                        | HttpMsg::Notify { .. },
+                    ) => break, // protocol violation
                     Err(WireError::Closed) => break,
                     Err(WireError::Io(e))
                         if e.kind() == std::io::ErrorKind::WouldBlock

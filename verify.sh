@@ -34,6 +34,9 @@ cargo test --workspace -q
 echo "==> xtask-lint"
 cargo run --quiet --bin xtask-lint
 
+echo "==> xtask-lint --waivers (stale-waiver audit)"
+cargo run --quiet --bin xtask-lint -- --waivers
+
 echo "==> wcc fuzz (smoke)"
 ./target/release/wcc fuzz --iters 25 --seed 1 --shrink
 
