@@ -71,7 +71,7 @@ fn main() {
     }
 
     let scale = parse_scale(std::env::args());
-    eprintln!("trajectory: timing grid + sharded + inner loop at scale 1/{scale} ...");
+    eprintln!("trajectory: timing grid + sharded + inner loop + family at scale 1/{scale} ...");
     let report = trajectory::run(scale, jobs, shards);
     println!(
         "grid ({} configs): sequential {} ms, parallel {} ms at --jobs {} \
@@ -90,6 +90,19 @@ fn main() {
         report.inner_wall_ms,
         report.inner_requests_per_sec,
     );
+    println!(
+        "family {} ({} origins, {} requests): {} ms sequential + {}-shard, \
+         state {} B vs legacy {} B (-{:.1}%), peak RSS {} kB",
+        report.family_name,
+        report.family_origins,
+        report.family_requests,
+        report.family_wall_ms,
+        report.family_shards,
+        report.family_state_bytes,
+        report.family_legacy_state_bytes,
+        report.family_memory_reduction_pct,
+        report.family_peak_rss_kb,
+    );
     if let Err(e) = std::fs::write(&out, report.to_json()) {
         eprintln!("trajectory: cannot write {out}: {e}");
         std::process::exit(1);
@@ -101,6 +114,10 @@ fn main() {
     }
     if !report.sharded_byte_identical {
         eprintln!("trajectory: FATAL: sharded grid diverged from sequential run");
+        std::process::exit(1);
+    }
+    if !report.family_byte_identical {
+        eprintln!("trajectory: FATAL: sharded family replay diverged from sequential run");
         std::process::exit(1);
     }
 }

@@ -23,6 +23,15 @@
 //!   reported as requests per second. This isolates single-threaded engine
 //!   throughput from fan-out, so hot-path work (hashing, allocation,
 //!   message encoding) shows up here and thread-pool work shows up above.
+//! * **family** — one flash-crowd federation scenario
+//!   (`FamilyConfig::city`, 64 origins sharing a client pool) replayed
+//!   sequentially and on the 8-shard engine. The two passes must be
+//!   byte-identical, and the report carries the deterministic state-memory
+//!   model (`Deployment::memory_model`): peak trace-record + site-list
+//!   bytes under the current layout versus the legacy AoS/merged-stream
+//!   layout. The ≥30% reduction is host-independent, so [`check_against`]
+//!   gates it everywhere; the `family_peak_rss_kb` field (VmHWM) is
+//!   informational only.
 //!
 //! The `BASELINE_*` constants are the same measurements taken at scale 1
 //! immediately **before** this round of optimisation (default-hasher maps,
@@ -46,8 +55,14 @@ use std::time::Instant;
 
 use crate::{paper_experiments, TABLE_SEED};
 use wcc_core::{ProtocolConfig, ProtocolKind};
+use wcc_httpsim::{Deployment, DeploymentOptions};
 use wcc_replay::{run_batch, run_experiment, run_experiment_sharded, ExperimentConfig};
+use wcc_traces::family::{self, FamilyConfig, WorkloadFamily};
 use wcc_traces::TraceSpec;
+
+/// Shard count of the family pass — the acceptance configuration for the
+/// federation workloads ("replays byte-identically sequential vs 8 shards").
+pub const FAMILY_SHARDS: usize = 8;
 
 /// Wall time of the full Tables 3+4 grid, run sequentially, measured at
 /// scale 1 on the reference container *before* the hot-path optimisation
@@ -137,6 +152,36 @@ pub struct TrajectoryReport {
     /// Per-config simulated latency tails of the sequential grid pass, in
     /// table order (deterministic — see [`TailEntry`]).
     pub tails: Vec<TailEntry>,
+    /// Name of the family pass's scenario (`flash-crowd`).
+    pub family_name: &'static str,
+    /// Origins in the family federation (one trace each).
+    pub family_origins: usize,
+    /// Configured size of the federation's shared client pool.
+    pub family_clients: u64,
+    /// Requests replayed by the family pass.
+    pub family_requests: u64,
+    /// Shard count of the family pass's sharded replay ([`FAMILY_SHARDS`]).
+    pub family_shards: usize,
+    /// Wall time of both family replays (sequential + sharded) combined,
+    /// milliseconds.
+    pub family_wall_ms: u64,
+    /// Whether the 8-shard family replay matched the sequential one
+    /// byte-for-byte. Anything but `true` is a bug.
+    pub family_byte_identical: bool,
+    /// Peak simulation-state bytes (trace-record partitions + site lists)
+    /// under the current memory-lean layout — deterministic, from
+    /// `Deployment::memory_model`.
+    pub family_state_bytes: u64,
+    /// The same peak under the legacy layout (merged record stream +
+    /// AoS site-list entries) — the refactor's "before" number.
+    pub family_legacy_state_bytes: u64,
+    /// `(legacy - current) / legacy`, percent. Host-independent; gated
+    /// at ≥30 by [`check_against`].
+    pub family_memory_reduction_pct: f64,
+    /// Peak RSS of this process (`VmHWM`, kilobytes) after the family
+    /// pass. Informational only: allocator- and host-dependent, `0` off
+    /// Linux.
+    pub family_peak_rss_kb: u64,
 }
 
 /// The 18-config Tables 3+4 grid at `scale`, in table order.
@@ -190,6 +235,22 @@ fn cpu_model() -> Option<String> {
     } else {
         Some(clean)
     }
+}
+
+/// Peak resident-set size of this process so far (`VmHWM` from
+/// `/proc/self/status`), in kilobytes. Informational only — it depends on
+/// the allocator and everything the process ran before — and `0` off
+/// Linux.
+pub fn peak_rss_kb() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 fn millis(elapsed: std::time::Duration) -> u64 {
@@ -260,6 +321,33 @@ pub fn run(scale: u64, jobs: Option<usize>, shards: Option<usize>) -> Trajectory
     let inner = run_experiment(&inner_cfg);
     let inner_wall_ms = millis(start.elapsed());
 
+    // Family pass: one flash-crowd federation (64 origins, shared client
+    // pool), replayed sequentially and on the 8-shard engine, compared
+    // with the same Debug-string oracle as the grids. The state-bytes
+    // pair comes from the deterministic memory model, not the host
+    // allocator, so the reduction gate reproduces everywhere.
+    let family_cfg = FamilyConfig::city(WorkloadFamily::FlashCrowd).scaled_down(scale);
+    let family_workload = family::generate(&family_cfg, TABLE_SEED);
+    let family_protocol = ProtocolConfig::new(ProtocolKind::Invalidation);
+    let start = Instant::now();
+    let mut fam_seq = Deployment::build_multi(
+        &family_workload.workloads,
+        &family_protocol,
+        DeploymentOptions::default(),
+    );
+    fam_seq.run();
+    let fam_seq_report = fam_seq.collect();
+    let mut fam_shd = Deployment::build_multi(
+        &family_workload.workloads,
+        &family_protocol,
+        DeploymentOptions::default(),
+    );
+    fam_shd.run_sharded(FAMILY_SHARDS);
+    let fam_shd_report = fam_shd.collect();
+    let family_wall_ms = millis(start.elapsed());
+    let family_byte_identical = format!("{fam_seq_report:?}") == format!("{fam_shd_report:?}");
+    let family_memory = fam_seq.memory_model();
+
     TrajectoryReport {
         scale,
         jobs,
@@ -278,6 +366,17 @@ pub fn run(scale: u64, jobs: Option<usize>, shards: Option<usize>) -> Trajectory
         inner_wall_ms,
         inner_requests_per_sec: inner.raw.requests * 1000 / inner_wall_ms,
         tails,
+        family_name: family_cfg.family.name(),
+        family_origins: family_workload.workloads.len(),
+        family_clients: u64::from(family_cfg.spec.num_clients),
+        family_requests: family_workload.total_requests(),
+        family_shards: FAMILY_SHARDS,
+        family_wall_ms,
+        family_byte_identical,
+        family_state_bytes: family_memory.peak_bytes(),
+        family_legacy_state_bytes: family_memory.legacy_peak_bytes(),
+        family_memory_reduction_pct: family_memory.reduction_pct(),
+        family_peak_rss_kb: peak_rss_kb(),
     }
 }
 
@@ -289,7 +388,7 @@ impl TrajectoryReport {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"wcc-bench-trajectory/3\",\n");
+        out.push_str("  \"schema\": \"wcc-bench-trajectory/4\",\n");
         out.push_str(&format!("  \"scale\": {},\n", self.scale));
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         out.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
@@ -335,6 +434,48 @@ impl TrajectoryReport {
         out.push_str(&format!(
             "    \"requests_per_sec\": {}\n",
             self.inner_requests_per_sec
+        ));
+        out.push_str("  },\n");
+        // Every family key carries the "family_" prefix so the linear
+        // key scans stay unambiguous against the grid blocks.
+        out.push_str("  \"family\": {\n");
+        out.push_str(&format!("    \"family_name\": \"{}\",\n", self.family_name));
+        out.push_str(&format!(
+            "    \"family_origins\": {},\n",
+            self.family_origins
+        ));
+        out.push_str(&format!(
+            "    \"family_clients\": {},\n",
+            self.family_clients
+        ));
+        out.push_str(&format!(
+            "    \"family_requests\": {},\n",
+            self.family_requests
+        ));
+        out.push_str(&format!("    \"family_shards\": {},\n", self.family_shards));
+        out.push_str(&format!(
+            "    \"family_wall_ms\": {},\n",
+            self.family_wall_ms
+        ));
+        out.push_str(&format!(
+            "    \"family_byte_identical\": {},\n",
+            self.family_byte_identical
+        ));
+        out.push_str(&format!(
+            "    \"family_state_bytes\": {},\n",
+            self.family_state_bytes
+        ));
+        out.push_str(&format!(
+            "    \"family_legacy_state_bytes\": {},\n",
+            self.family_legacy_state_bytes
+        ));
+        out.push_str(&format!(
+            "    \"family_memory_reduction_pct\": {:.1},\n",
+            self.family_memory_reduction_pct
+        ));
+        out.push_str(&format!(
+            "    \"family_peak_rss_kb\": {}\n",
+            self.family_peak_rss_kb
         ));
         out.push_str("  },\n");
         out.push_str("  \"latency_tails\": [\n");
@@ -449,6 +590,13 @@ const TIMING_GRACE_MS: f64 = 100.0;
 ///   its speedup is informational; on a ≥4-core host at full scale the
 ///   speedup must reach 1.5×; anything in between is informational. The
 ///   sharded pass must be byte-identical in every case.
+/// * **Family pass** (schema /4): `family_byte_identical` must be `true`
+///   and `family_memory_reduction_pct` must reach 30 — both judged on the
+///   current run alone, since they are host-independent. The deterministic
+///   federation fields (`family_origins`, `family_requests`, the two
+///   state-bytes numbers) are exact against baselines that carry them and
+///   informational against pre-/4 baselines; `family_wall_ms` follows the
+///   usual same-host timing rule.
 ///
 /// Returns the comparison table either way: `Ok` when everything passed,
 /// `Err` when anything regressed.
@@ -580,6 +728,70 @@ pub fn check_against(
         " (must be 1)",
     );
 
+    // Family block (schema /4). The deterministic federation fields must
+    // match exactly when the baseline carries them (a pre-/4 baseline is
+    // informational); the byte-identity and ≥30% memory-reduction gates
+    // judge the *current* run alone — both are host-independent, so they
+    // hold even against a foreign or legacy baseline.
+    for key in [
+        "family_origins",
+        "family_requests",
+        "family_state_bytes",
+        "family_legacy_state_bytes",
+    ] {
+        let (b, c) = (json_number(baseline, key), json_number(&cur, key));
+        if b.is_some() {
+            row(key, b, c, b == c, " (exact)");
+        } else {
+            row(key, b, c, true, " (informational: baseline pre-/4)");
+        }
+    }
+    let (b, c) = (
+        json_number(baseline, "family_wall_ms"),
+        json_number(&cur, "family_wall_ms"),
+    );
+    match (same_host, b) {
+        (true, Some(b_ms)) => {
+            let within = c
+                .is_some_and(|c_ms| (c_ms - b_ms).abs() <= (tolerance * b_ms).max(TIMING_GRACE_MS));
+            row(
+                "family_wall_ms",
+                b,
+                c,
+                within,
+                &format!(" (±{:.0}%)", tolerance * 100.0),
+            );
+        }
+        (true, None) => row(
+            "family_wall_ms",
+            b,
+            c,
+            true,
+            " (informational: baseline pre-/4)",
+        ),
+        (false, _) => row(
+            "family_wall_ms",
+            b,
+            c,
+            true,
+            " (informational: different host)",
+        ),
+    }
+    row(
+        "family_ident",
+        Some(as_num(baseline.contains("\"family_byte_identical\": true"))),
+        Some(as_num(current.family_byte_identical)),
+        current.family_byte_identical,
+        " (must be 1)",
+    );
+    row(
+        "family_mem_cut",
+        Some(30.0),
+        Some((current.family_memory_reduction_pct * 10.0).round() / 10.0),
+        current.family_memory_reduction_pct >= 30.0,
+        " (>= 30% state-bytes cut vs legacy layout)",
+    );
+
     let tails_match = match (tails_block(baseline), tails_block(&cur)) {
         (Some(b), Some(c)) => b == c,
         _ => false,
@@ -632,12 +844,37 @@ mod tests {
         assert!(report.inner_requests_per_sec > 0);
         assert!(report.grid_sequential_ms >= 1 && report.grid_parallel_ms >= 1);
         assert!(report.sharded_grid_ms >= 1 && report.sharded_speedup > 0.0);
+        // The family pass replays the flash-crowd federation at full
+        // origin count even at reduced scale, stays byte-identical across
+        // the 8-shard engine, and clears the memory-reduction acceptance
+        // gate (deterministic model, so exact at any scale).
+        assert_eq!(report.family_name, "flash-crowd");
+        assert_eq!(report.family_origins, 64);
+        assert_eq!(report.family_shards, FAMILY_SHARDS);
+        assert!(
+            report.family_byte_identical,
+            "sharded family replay diverged"
+        );
+        assert!(report.family_requests > 0);
+        assert!(
+            report.family_state_bytes > 0
+                && report.family_state_bytes < report.family_legacy_state_bytes
+        );
+        assert!(
+            report.family_memory_reduction_pct >= 30.0,
+            "memory reduction {:.1}% below the 30% gate",
+            report.family_memory_reduction_pct
+        );
     }
 
     #[test]
     fn json_is_stable_and_carries_baselines() {
         let json = sample_report().to_json();
-        assert!(json.contains("\"schema\": \"wcc-bench-trajectory/3\""));
+        assert!(json.contains("\"schema\": \"wcc-bench-trajectory/4\""));
+        assert!(json.contains("\"family_name\": \"flash-crowd\""));
+        assert!(json.contains("\"family_origins\": 64"));
+        assert!(json.contains("\"family_byte_identical\": true"));
+        assert!(json.contains("\"family_memory_reduction_pct\": 36.9"));
         assert!(json.contains("\"host_fingerprint\": \"x86_64/linux/8c/sample-cpu\""));
         assert!(json.contains("\"speedup\": 2.500"));
         assert!(json.contains("\"byte_identical\": true"));
@@ -670,6 +907,13 @@ mod tests {
         assert_eq!(json_number(&json, "sharded_ms"), Some(1250.0));
         assert_eq!(json_number(&json, "shards"), Some(2.0));
         assert_eq!(json_number(&json, "requests_per_sec"), Some(271_053.0));
+        // The family block's prefixed keys don't collide with the grid's.
+        assert_eq!(json_number(&json, "family_requests"), Some(160_000.0));
+        assert_eq!(json_number(&json, "family_shards"), Some(8.0));
+        assert_eq!(
+            json_number(&json, "family_memory_reduction_pct"),
+            Some(36.9)
+        );
         assert_eq!(json_number(&json, "no_such_key"), None);
     }
 
@@ -708,6 +952,61 @@ mod tests {
         shard_split.sharded_byte_identical = false;
         let err = check_against(&shard_split, &baseline, 0.15).unwrap_err();
         assert!(err.contains("sharded_ident"), "{err}");
+
+        // And a divergent family pass.
+        let mut fam_split = report.clone();
+        fam_split.family_byte_identical = false;
+        let err = check_against(&fam_split, &baseline, 0.15).unwrap_err();
+        assert!(err.contains("family_ident"), "{err}");
+
+        // The memory-reduction gate is judged on the current run alone.
+        let mut regressed = report.clone();
+        regressed.family_memory_reduction_pct = 12.0;
+        let err = check_against(&regressed, &baseline, 0.15).unwrap_err();
+        assert!(err.contains("family_mem_cut"), "{err}");
+
+        // Deterministic federation fields are exact.
+        let mut reshaped = report.clone();
+        reshaped.family_state_bytes += 1;
+        let err = check_against(&reshaped, &baseline, 0.15).unwrap_err();
+        assert!(err.contains("family_state_bytes"), "{err}");
+    }
+
+    #[test]
+    fn family_gates_hold_against_legacy_and_foreign_baselines() {
+        let report = sample_report();
+
+        // A pre-/4 baseline (no family block at all) leaves the exact and
+        // timing family rows informational...
+        let mut legacy = report.to_json();
+        let start = legacy.find("  \"family\": {").unwrap();
+        let end = start + legacy[start..].find("},\n").unwrap() + "},\n".len();
+        legacy.replace_range(start..end, "");
+        assert_eq!(json_number(&legacy, "family_origins"), None);
+        let table =
+            check_against(&report, &legacy, 0.15).expect("pre-/4 baselines must still pass");
+        assert!(table.contains("informational: baseline pre-/4"), "{table}");
+
+        // ...but byte-identity and the 30% reduction stay mandatory.
+        let mut fam_split = report.clone();
+        fam_split.family_byte_identical = false;
+        let err = check_against(&fam_split, &legacy, 0.15).unwrap_err();
+        assert!(err.contains("family_ident"), "{err}");
+        let mut regressed = report.clone();
+        regressed.family_memory_reduction_pct = 29.9;
+        let err = check_against(&regressed, &legacy, 0.15).unwrap_err();
+        assert!(err.contains("family_mem_cut"), "{err}");
+
+        // Foreign-host baselines skip family_wall_ms like every timing
+        // field, while the reduction gate still bites.
+        let mut foreign = report.clone();
+        foreign.host_fingerprint = "arm64/linux/4c/other-cpu".to_string();
+        let mut slow = report.clone();
+        slow.family_wall_ms = report.family_wall_ms * 30;
+        check_against(&slow, &foreign.to_json(), 0.15)
+            .expect("foreign-host family timing must be informational");
+        let err = check_against(&regressed, &foreign.to_json(), 0.15).unwrap_err();
+        assert!(err.contains("family_mem_cut"), "{err}");
     }
 
     #[test]
@@ -824,6 +1123,17 @@ mod tests {
             inner_requests: 40_658,
             inner_wall_ms: 150,
             inner_requests_per_sec: 271_053,
+            family_name: "flash-crowd",
+            family_origins: 64,
+            family_clients: 120_000,
+            family_requests: 160_000,
+            family_shards: 8,
+            family_wall_ms: 900,
+            family_byte_identical: true,
+            family_state_bytes: 7_700_000,
+            family_legacy_state_bytes: 12_200_000,
+            family_memory_reduction_pct: 36.9,
+            family_peak_rss_kb: 250_000,
             tails: vec![
                 TailEntry {
                     trace: "EPA".to_string(),

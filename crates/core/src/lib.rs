@@ -78,4 +78,4 @@ pub use config::{AdaptiveTtlConfig, LeasePolicy, ProtocolConfig, ProtocolKind};
 pub use meter::{DocViews, HitMeter};
 pub use proxy::{ProxyAction, ProxyPolicy, RequestDisposition};
 pub use server::{GetGrant, ServerConsistency};
-pub use sitelist::{InvalidationTable, SiteListStats};
+pub use sitelist::{InvalidationTable, SiteListMemory, SiteListStats};

@@ -39,7 +39,8 @@
 //!    sample recorded per user request (a request can record several —
 //!    retried upstream fetches each observe — but never zero).
 //! 8. **Sharded equivalence** — the identical scenario replayed over a
-//!    seed-derived number of engine shards (`wcc_simnet::shard`, 2–4) must
+//!    seed-derived number of engine shards (`wcc_simnet::shard`; 2–4 for
+//!    classic scenarios, 8–16 for multi-origin family scenarios) must
 //!    produce a byte-identical report *and* audit log. This exercises the
 //!    conservative-window engine against the sequential reference under
 //!    the full scenario space, crash/partition schedules included.
@@ -58,7 +59,7 @@ use wcc_core::{ProtocolConfig, ProtocolKind};
 use wcc_httpsim::{ChangeDetection, Deployment};
 use wcc_replay::ReplayReport;
 use wcc_simnet::FaultPlan;
-use wcc_traces::{synthetic, ModSchedule, Trace};
+use wcc_traces::{synthetic, FamilyConfig, ModSchedule, Trace};
 use wcc_types::{AuditEvent, SimDuration, SimTime};
 
 /// Which cross-cutting invariant a [`FuzzFailure`] breaks.
@@ -147,16 +148,26 @@ pub struct CheckStats {
     pub stale_hits: u64,
 }
 
-/// Materialises the scenario's workload (trace + modification schedule),
-/// applying the optional post-write read steering.
-pub fn materialise(s: &Scenario) -> (Trace, ModSchedule) {
+/// Materialises the scenario's workload: one `(trace, schedule)` pair per
+/// origin. Classic scenarios yield a single pair (with the optional
+/// post-write read steering applied); family scenarios delegate to the
+/// multi-origin generators in `wcc_traces::family`.
+pub fn materialise(s: &Scenario) -> Vec<(Trace, ModSchedule)> {
+    if let Some(family) = s.family {
+        let cfg = FamilyConfig {
+            family,
+            spec: s.spec.clone(),
+            mean_lifetime: s.mean_lifetime,
+        };
+        return wcc_traces::family::generate(&cfg, s.seed).workloads;
+    }
     let trace = synthetic::generate(&s.spec, s.seed);
     let mods = ModSchedule::generate(s.spec.num_docs, s.mean_lifetime, s.spec.duration, s.seed);
     let trace = match s.interest {
         Some(i) => synthetic::with_modification_interest(&trace, &mods, i.boost, i.window, s.seed),
         None => trace,
     };
-    (trace, mods)
+    vec![(trace, mods)]
 }
 
 /// Resolves the scenario's fraction-based fault specs into absolute
@@ -191,8 +202,7 @@ struct RunOutput {
 
 fn run_once(
     s: &Scenario,
-    trace: &Trace,
-    mods: &ModSchedule,
+    workloads: &[(Trace, ModSchedule)],
     protocol: &ProtocolConfig,
     wall: SimDuration,
     deadline: SimTime,
@@ -200,7 +210,7 @@ fn run_once(
 ) -> RunOutput {
     let mut options = s.options.clone();
     options.audit = true;
-    let mut d = Deployment::build(trace, mods, protocol, options);
+    let mut d = Deployment::build_multi(workloads, protocol, options);
     let plan = resolve_faults(s, &d, wall);
     let fault_entries = plan.len();
     d.apply_faults(&plan);
@@ -208,10 +218,13 @@ fn run_once(
     let audit = d.audit();
     let log = d.audit_log();
     let report = ReplayReport {
-        trace: trace.name.clone(),
+        trace: workloads[0].0.name.clone(),
         protocol: protocol.kind,
         mean_lifetime: s.mean_lifetime,
-        files_modified: mods.modifications().len() as u64,
+        files_modified: workloads
+            .iter()
+            .map(|(_, m)| m.modifications().len() as u64)
+            .sum(),
         seed: s.seed,
         raw: d.collect(),
         audit: Some(audit),
@@ -225,10 +238,10 @@ fn run_once(
 
 /// Measures the fault-free wall duration (for fault placement and the
 /// liveness deadline). Audit is off: only timing matters here.
-fn reference_wall(s: &Scenario, trace: &Trace, mods: &ModSchedule) -> SimDuration {
+fn reference_wall(s: &Scenario, workloads: &[(Trace, ModSchedule)]) -> SimDuration {
     let mut options = s.options.clone();
     options.audit = false;
-    let mut d = Deployment::build(trace, mods, &s.protocol, options);
+    let mut d = Deployment::build_multi(workloads, &s.protocol, options);
     d.run();
     d.collect().wall_duration
 }
@@ -292,22 +305,13 @@ fn shard_divergence(sequential: &RunOutput, sharded: &RunOutput, shards: usize) 
 /// identical; `Err` carries a positioned diff. Used by the oracle's check 8
 /// and by the cross-shard-count property tests in `tests/determinism.rs`.
 pub fn sharded_matches_sequential(scenario: &Scenario, shards: usize) -> Result<(), String> {
-    let (trace, mods) = materialise(scenario);
-    let wall = reference_wall(scenario, &trace, &mods);
+    let workloads = materialise(scenario);
+    let wall = reference_wall(scenario, &workloads);
     let deadline = SimTime::ZERO + wall.saturating_mul(64) + SimDuration::from_hours(1);
-    let sequential = run_once(
-        scenario,
-        &trace,
-        &mods,
-        &scenario.protocol,
-        wall,
-        deadline,
-        1,
-    );
+    let sequential = run_once(scenario, &workloads, &scenario.protocol, wall, deadline, 1);
     let sharded = run_once(
         scenario,
-        &trace,
-        &mods,
+        &workloads,
         &scenario.protocol,
         wall,
         deadline,
@@ -322,23 +326,15 @@ pub fn sharded_matches_sequential(scenario: &Scenario, shards: usize) -> Result<
 /// Replays `scenario` end-to-end and applies the oracle. `Ok` carries
 /// summary statistics for a clean run; `Err` is a reproducible violation.
 pub fn check(scenario: &Scenario, opts: &CheckOptions) -> Result<CheckStats, FuzzFailure> {
-    let (trace, mods) = materialise(scenario);
+    let workloads = materialise(scenario);
 
     // Fault placement and the liveness deadline both need the fault-free
     // wall duration. Faulted runs may legitimately run long (retry loops
     // across outages), so the deadline is a generous multiple.
-    let wall = reference_wall(scenario, &trace, &mods);
+    let wall = reference_wall(scenario, &workloads);
     let deadline = SimTime::ZERO + wall.saturating_mul(64) + SimDuration::from_hours(1);
 
-    let first = run_once(
-        scenario,
-        &trace,
-        &mods,
-        &scenario.protocol,
-        wall,
-        deadline,
-        1,
-    );
+    let first = run_once(scenario, &workloads, &scenario.protocol, wall, deadline, 1);
     let raw = &first.report.raw;
 
     // 2. Liveness: the coordinator must have drained the whole trace.
@@ -442,15 +438,7 @@ pub fn check(scenario: &Scenario, opts: &CheckOptions) -> Result<CheckStats, Fuz
     }
 
     // 5. Determinism: the identical scenario must replay byte-identically.
-    let second = run_once(
-        scenario,
-        &trace,
-        &mods,
-        &scenario.protocol,
-        wall,
-        deadline,
-        1,
-    );
+    let second = run_once(scenario, &workloads, &scenario.protocol, wall, deadline, 1);
     let (a, b) = (
         format!("{:?}", first.report),
         format!("{:?}", second.report),
@@ -473,12 +461,17 @@ pub fn check(scenario: &Scenario, opts: &CheckOptions) -> Result<CheckStats, Fuz
     }
 
     // 8. Sharded equivalence: the same scenario over a seed-derived shard
-    // count must match the sequential run byte-for-byte.
-    let shards = 2 + (scenario.seed % 3) as usize;
+    // count must match the sequential run byte-for-byte. Family scenarios
+    // spread real parallelism over their origins, so they run the check at
+    // federation scale (8–16 shards); classic single-origin scenarios keep
+    // the historical 2–4.
+    let shards = match scenario.family {
+        Some(_) => 8 + (scenario.seed % 9) as usize,
+        None => 2 + (scenario.seed % 3) as usize,
+    };
     let sharded = run_once(
         scenario,
-        &trace,
-        &mods,
+        &workloads,
         &scenario.protocol,
         wall,
         deadline,
@@ -495,7 +488,7 @@ pub fn check(scenario: &Scenario, opts: &CheckOptions) -> Result<CheckStats, Fuz
     // adaptive TTL on the identical workload and fault schedule.
     if scenario.protocol.kind.uses_invalidation() && !opts.inject_stale_serve {
         let ttl_cfg = ProtocolConfig::new(ProtocolKind::AdaptiveTtl);
-        let ttl = run_once(scenario, &trace, &mods, &ttl_cfg, wall, deadline, 1);
+        let ttl = run_once(scenario, &workloads, &ttl_cfg, wall, deadline, 1);
         let ttl_audit = ttl.report.audit.as_ref().expect("audit was enabled");
         if let Some(v) = ttl_audit.violations.first() {
             return Err(FuzzFailure {

@@ -7,8 +7,8 @@
 
 use rand::Rng;
 use wcc_core::{ProtocolConfig, ProtocolKind};
-use wcc_httpsim::{CacheSharing, ChangeDetection, DeploymentOptions, InvalSendMode};
-use wcc_traces::TraceSpec;
+use wcc_httpsim::{CacheSharing, ChangeDetection, DeploymentOptions, InvalSendMode, Topology};
+use wcc_traces::{TraceSpec, WorkloadFamily};
 use wcc_types::{ByteSize, SimDuration};
 
 /// Fault windows are placed at fractions of the fault-free replay's wall
@@ -75,6 +75,10 @@ pub struct Scenario {
     pub interest: Option<Interest>,
     /// The declarative failure schedule.
     pub faults: Vec<FaultSpec>,
+    /// When set, the workload is a multi-origin scenario family
+    /// (`wcc_traces::family`) generated from `spec`/`mean_lifetime` instead
+    /// of the classic single-origin synthetic trace.
+    pub family: Option<WorkloadFamily>,
 }
 
 impl Scenario {
@@ -88,7 +92,7 @@ impl Scenario {
         // sharing and churn.
         let duration = SimDuration::from_hours(rng.gen_range(2u64..=36));
         let num_docs = rng.gen_range(4u32..=48);
-        let spec = TraceSpec {
+        let mut spec = TraceSpec {
             name: "fuzz",
             duration,
             total_requests: rng.gen_range(60u64..=320),
@@ -99,6 +103,8 @@ impl Scenario {
             client_zipf: rng.gen_range(0.5..0.9),
             diurnal_amplitude: rng.gen_range(0.0..0.7),
             default_lifetime: duration, // overridden by `mean_lifetime`
+            num_origins: 1,
+            origin_zipf: 0.0,
         };
         // Pick the lifetime so the modifier performs a target number of
         // writes (2..=40), independent of duration and population.
@@ -148,7 +154,7 @@ impl Scenario {
         options.max_retries = rng.gen_range(10u32..=30);
         options.audit = true;
 
-        let interest = rng.gen_bool(0.5).then(|| Interest {
+        let mut interest = rng.gen_bool(0.5).then(|| Interest {
             boost: rng.gen_range(0.2..0.6),
             window: SimDuration::from_hours(rng.gen_range(1u64..=4)),
         });
@@ -167,6 +173,28 @@ impl Scenario {
             })
             .collect();
 
+        // Family dimension — drawn *after* every classic draw so that every
+        // pre-existing seed (the committed corpus included) still samples an
+        // identical classic scenario.
+        let family = rng
+            .gen_bool(0.25)
+            .then(|| WorkloadFamily::ALL[rng.gen_range(0..WorkloadFamily::ALL.len())]);
+        if let Some(f) = family {
+            spec.name = f.name();
+            spec.num_origins = rng.gen_range(2u32..=6);
+            spec.origin_zipf = rng.gen_range(0.3..1.0);
+            spec.num_docs = spec.num_docs.max(spec.num_origins);
+            if f == WorkloadFamily::RealTimeFeed {
+                spec.diurnal_amplitude = 0.85;
+            }
+            // Multi-origin deployments are flat with synchronous fan-out
+            // (`Deployment::build_multi`'s contract), and the interest
+            // steering is a single-origin feature.
+            options.topology = Topology::Flat;
+            options.send_mode = InvalSendMode::Synchronous;
+            interest = None;
+        }
+
         Scenario {
             seed,
             spec,
@@ -175,14 +203,18 @@ impl Scenario {
             options,
             interest,
             faults,
+            family,
         }
     }
 
     /// A one-line summary for progress logs and fuzz summaries.
     pub fn summary(&self) -> String {
+        let family = self.family.map_or(String::new(), |f| {
+            format!(", family {} ({} origins)", f.name(), self.spec.num_origins)
+        });
         format!(
             "seed {:#018x}: {} reqs/{} docs/{} clients over {}, {} (lifetime {}), \
-             {} prox, {} fault(s)",
+             {} prox, {} fault(s){family}",
             self.seed,
             self.spec.total_requests,
             self.spec.num_docs,
@@ -268,6 +300,45 @@ mod tests {
         assert!(
             with_faults >= 80,
             "only {with_faults} faulted scenarios in 200"
+        );
+    }
+
+    #[test]
+    fn family_dimension_samples_every_family_and_keeps_multi_origin_legal() {
+        let mut families = std::collections::HashSet::new();
+        let mut with_family = 0usize;
+        for seed in 0..400u64 {
+            let s = Scenario::generate(seed);
+            match s.family {
+                None => assert_eq!(s.spec.num_origins, 1, "seed {seed}"),
+                Some(f) => {
+                    with_family += 1;
+                    families.insert(f);
+                    assert!(
+                        (2..=6).contains(&s.spec.num_origins),
+                        "seed {seed}: {} origins",
+                        s.spec.num_origins
+                    );
+                    assert!(s.spec.num_docs >= s.spec.num_origins, "seed {seed}");
+                    // `Deployment::build_multi` contract.
+                    assert_eq!(s.options.topology, Topology::Flat, "seed {seed}");
+                    assert_eq!(
+                        s.options.send_mode,
+                        InvalSendMode::Synchronous,
+                        "seed {seed}"
+                    );
+                    assert!(s.interest.is_none(), "seed {seed}");
+                }
+            }
+        }
+        assert_eq!(
+            families.len(),
+            WorkloadFamily::ALL.len(),
+            "only {families:?} sampled in 400 seeds"
+        );
+        assert!(
+            with_family >= 60,
+            "only {with_family} family scenarios in 400"
         );
     }
 }

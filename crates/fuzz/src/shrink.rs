@@ -112,6 +112,16 @@ fn candidates(s: &Scenario) -> Vec<Scenario> {
         out.push(c);
     }
 
+    // A family scenario that still fails as a classic single-origin replay
+    // is a much smaller repro.
+    if s.family.is_some() {
+        let mut c = s.clone();
+        c.family = None;
+        c.spec.num_origins = 1;
+        c.spec.origin_zipf = 0.0;
+        out.push(c);
+    }
+
     // Simplify the deployment.
     if s.interest.is_some() {
         let mut c = s.clone();

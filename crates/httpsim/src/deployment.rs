@@ -5,11 +5,13 @@ use crate::cost::CostModel;
 use crate::modifier::ModifierNode;
 use crate::origin::{OriginCounters, OriginNode};
 use crate::parent::{ParentCounters, ParentNode};
-use crate::proxy::{partition_records, ProxyCounters, ProxyNode};
+use crate::proxy::{ProxyCounters, ProxyNode};
 use crate::sender::InvalSenderNode;
 use crate::SimMsg;
 use wcc_cache::{CacheStore, ReplacementPolicy};
-use wcc_core::{ProtocolConfig, ProtocolKind, ProxyPolicy, ServerConsistency, SiteListStats};
+use wcc_core::{
+    ProtocolConfig, ProtocolKind, ProxyPolicy, ServerConsistency, SiteListMemory, SiteListStats,
+};
 use wcc_simnet::{FaultPlan, LinkSpec, NetworkConfig, ShardedSimulation, Simulation, Summary};
 use wcc_traces::{ModSchedule, Trace};
 use wcc_types::{AuditEvent, ByteSize, ClientId, FxHashMap, NodeId, SimDuration, SimTime, Url};
@@ -155,7 +157,50 @@ pub struct Deployment {
     coordinator: NodeId,
     protocol: ProtocolKind,
     trace_duration: SimDuration,
+    records_total: u64,
     ran: bool,
+}
+
+/// Deterministic peak-memory model for one deployment: how many bytes the
+/// replay's dominant state (trace records and origin site lists) occupies at
+/// its high-water mark, next to what the pre-refactor layout (federation-wide
+/// merged record stream + map-per-document site lists) would have held. The
+/// trajectory bench gates city-scale scenarios on the reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeploymentMemory {
+    /// Total trace records across every origin workload.
+    pub records: u64,
+    /// Peak record bytes under the current layout: the caller's per-origin
+    /// traces plus the per-proxy partitions built directly from them.
+    pub record_bytes: u64,
+    /// Peak record bytes under the pre-refactor layout, which additionally
+    /// materialised the federation-wide merged stream while partitioning.
+    pub legacy_record_bytes: u64,
+    /// Site-list peaks in both layouts, summed over origins (and the
+    /// hierarchy parent's child table when present).
+    pub sitelist: SiteListMemory,
+}
+
+impl DeploymentMemory {
+    /// Current-layout peak: records plus site lists.
+    pub fn peak_bytes(&self) -> u64 {
+        self.record_bytes + self.sitelist.peak_bytes
+    }
+
+    /// Pre-refactor peak: merged-stream records plus map-backed site lists.
+    pub fn legacy_peak_bytes(&self) -> u64 {
+        self.legacy_record_bytes + self.sitelist.peak_legacy_bytes
+    }
+
+    /// How much smaller the current peak is than the legacy peak, in percent.
+    pub fn reduction_pct(&self) -> f64 {
+        let legacy = self.legacy_peak_bytes();
+        if legacy == 0 {
+            0.0
+        } else {
+            (1.0 - self.peak_bytes() as f64 / legacy as f64) * 100.0
+        }
+    }
 }
 
 impl Deployment {
@@ -250,18 +295,28 @@ impl Deployment {
 
         let shared = options.sharing == CacheSharing::SharedPerProxy
             || options.topology == Topology::Hierarchy;
-        // Merge every trace's records into one time-ordered stream.
-        let mut merged: Vec<wcc_traces::TraceRecord> = workloads
-            .iter()
-            .flat_map(|(trace, _)| trace.records.iter().copied())
-            .collect();
-        merged.sort_by_key(|r| r.at);
         let duration = workloads
             .iter()
             .map(|(t, _)| t.duration)
             .max()
             .expect("nonempty");
-        let parts = partition_records(&merged, options.num_proxies);
+        // Partition every origin's records straight into per-proxy streams
+        // and time-sort each stream. Stably sorting each proxy's
+        // concatenation (origins in workload order) yields exactly the
+        // subsequence that stably sorting the federation-wide merge would
+        // hand that proxy, without ever materialising the merged copy — at
+        // city scale that transient was the build's largest allocation.
+        let records_total: u64 = workloads.iter().map(|(t, _)| t.records.len() as u64).sum();
+        let mut parts: Vec<Vec<wcc_traces::TraceRecord>> =
+            (0..options.num_proxies).map(|_| Vec::new()).collect();
+        for (trace, _) in workloads {
+            for rec in &trace.records {
+                parts[rec.client.partition(options.num_proxies) as usize].push(*rec);
+            }
+        }
+        for part in &mut parts {
+            part.sort_by_key(|r| r.at);
+        }
         let proxies: Vec<NodeId> = parts
             .into_iter()
             .map(|records| {
@@ -377,6 +432,7 @@ impl Deployment {
             coordinator,
             protocol: cfg.kind,
             trace_duration: duration,
+            records_total,
             ran: false,
         }
     }
@@ -507,6 +563,31 @@ impl Deployment {
     /// The parent proxy, if running in hierarchy mode (after `run`).
     pub fn parent(&self) -> Option<&ParentNode> {
         self.parent.map(|p| self.sim.node_ref(p))
+    }
+
+    /// The deployment's deterministic peak-memory model (meaningful after
+    /// `run`, when the site lists have seen the whole replay). Byte counts
+    /// are computed from the data structures' actual element sizes, so the
+    /// model is exact for the dominant state and identical across hosts —
+    /// unlike RSS, which the bench reports separately as an informational
+    /// figure.
+    pub fn memory_model(&self) -> DeploymentMemory {
+        let rec = std::mem::size_of::<wcc_traces::TraceRecord>() as u64;
+        let mut sitelist = SiteListMemory::default();
+        for i in 0..self.origins.len() {
+            sitelist = sitelist.merged(self.origin_at(i).consistency().table().memory());
+        }
+        if let Some(parent) = self.parent() {
+            sitelist = sitelist.merged(parent.children_state().table().memory());
+        }
+        DeploymentMemory {
+            records: self.records_total,
+            // The caller's per-origin traces plus the per-proxy partitions.
+            record_bytes: 2 * self.records_total * rec,
+            // The pre-refactor build additionally held the merged stream.
+            legacy_record_bytes: 3 * self.records_total * rec,
+            sitelist,
+        }
     }
 
     /// The merged audit-event stream: every origin's log, then every

@@ -69,8 +69,8 @@ pub mod sender;
 pub use coord::CoordinatorNode;
 pub use cost::CostModel;
 pub use deployment::{
-    CacheSharing, ChangeDetection, Deployment, DeploymentOptions, InvalSendMode, ParentSummary,
-    RawReport, ServeEvent, Topology,
+    CacheSharing, ChangeDetection, Deployment, DeploymentMemory, DeploymentOptions, InvalSendMode,
+    ParentSummary, RawReport, ServeEvent, Topology,
 };
 pub use modifier::ModifierNode;
 pub use origin::OriginNode;

@@ -36,12 +36,14 @@
 #![warn(missing_docs)]
 
 pub mod clf;
+pub mod family;
 pub mod modifier;
 pub mod spec;
 pub mod summary;
 pub mod synthetic;
 pub mod zipf;
 
+pub use family::{FamilyConfig, FamilyWorkload, WorkloadFamily};
 pub use modifier::{ModSchedule, Modification};
 pub use spec::TraceSpec;
 pub use summary::TraceSummary;

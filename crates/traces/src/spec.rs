@@ -50,6 +50,13 @@ pub struct TraceSpec {
     /// Default mean file lifetime used by the paper's headline experiment
     /// on this trace (Tables 3/4).
     pub default_lifetime: SimDuration,
+    /// Number of origin servers the workload spans (the paper's traces are
+    /// all single-origin; federation families raise this to 50–100+).
+    pub num_origins: u32,
+    /// Zipf exponent for origin popularity: how skewed the request shares
+    /// across the federation's origins are (irrelevant when
+    /// `num_origins == 1`).
+    pub origin_zipf: f64,
 }
 
 impl TraceSpec {
@@ -68,6 +75,8 @@ impl TraceSpec {
             client_zipf: 0.70,
             diurnal_amplitude: 0.5,
             default_lifetime: SimDuration::from_days(50),
+            num_origins: 1,
+            origin_zipf: 0.0,
         }
     }
 
@@ -86,6 +95,8 @@ impl TraceSpec {
             client_zipf: 0.70,
             diurnal_amplitude: 0.5,
             default_lifetime: SimDuration::from_days(25),
+            num_origins: 1,
+            origin_zipf: 0.0,
         }
     }
 
@@ -104,6 +115,8 @@ impl TraceSpec {
             client_zipf: 0.70,
             diurnal_amplitude: 0.3,
             default_lifetime: SimDuration::from_days(50),
+            num_origins: 1,
+            origin_zipf: 0.0,
         }
     }
 
@@ -122,6 +135,8 @@ impl TraceSpec {
             client_zipf: 0.65,
             diurnal_amplitude: 0.5,
             default_lifetime: SimDuration::from_days(7),
+            num_origins: 1,
+            origin_zipf: 0.0,
         }
     }
 
@@ -140,6 +155,8 @@ impl TraceSpec {
             client_zipf: 0.70,
             diurnal_amplitude: 0.5,
             default_lifetime: SimDuration::from_days(14),
+            num_origins: 1,
+            origin_zipf: 0.0,
         }
     }
 
@@ -172,8 +189,23 @@ impl TraceSpec {
     pub fn scaled_down(mut self, factor: u64) -> Self {
         let factor = factor.max(1);
         self.total_requests = (self.total_requests / factor).max(1);
-        self.num_docs = ((self.num_docs as u64 / factor).max(1)) as u32;
+        // Federation specs keep their origin count when scaled: a reduced
+        // 64-origin scenario still exercises 64 origins, just with less
+        // traffic — so the document floor is one per origin.
+        let min_docs = self.num_origins.max(1) as u64;
+        self.num_docs = ((self.num_docs as u64 / factor).max(min_docs)) as u32;
         self.num_clients = ((self.num_clients as u64 / factor).max(1)) as u32;
+        self
+    }
+
+    /// Turns this spec into a federation of `origins` servers whose request
+    /// shares follow `Zipf(origin_zipf)` (see
+    /// [`synthetic::generate_federation`](crate::synthetic::generate_federation)).
+    #[must_use]
+    pub fn with_origins(mut self, origins: u32, origin_zipf: f64) -> Self {
+        self.num_origins = origins.max(1);
+        self.origin_zipf = origin_zipf;
+        self.num_docs = self.num_docs.max(self.num_origins);
         self
     }
 

@@ -27,6 +27,14 @@ use wcc_types::{ByteSize, ClientId, ServerId, SimTime, Url};
 /// assert!(a.validate().is_ok());
 /// ```
 pub fn generate(spec: &TraceSpec, seed: u64) -> Trace {
+    // A multi-origin spec silently homed on server 0 used to be the bug
+    // this assertion now catches: federation specs go through
+    // [`generate_federation`], which respects the declared origin count.
+    assert!(
+        spec.num_origins <= 1,
+        "spec declares {} origins; use synthetic::generate_federation",
+        spec.num_origins
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5bd1_e995);
     let server = ServerId::new(0);
 
@@ -62,6 +70,102 @@ pub fn generate(spec: &TraceSpec, seed: u64) -> Trace {
     };
     debug_assert!(trace.validate().is_ok());
     trace
+}
+
+/// Splits `total` requests into per-origin shares following
+/// `Zipf(origins, origin_zipf)`: origin 0 is the federation's most popular
+/// server. Shares are exact (they sum to `total`); the remainder after
+/// flooring each share is handed out one request at a time from the most
+/// popular origin down.
+pub fn origin_shares(total: u64, origins: u32, origin_zipf: f64) -> Vec<u64> {
+    let origins = origins.max(1);
+    let dist = Zipf::new(origins as usize, origin_zipf);
+    let mut shares: Vec<u64> = (0..origins as usize)
+        .map(|i| (total as f64 * dist.pmf(i)).floor() as u64)
+        .collect();
+    let assigned: u64 = shares.iter().sum();
+    for i in 0..(total - assigned) as usize {
+        shares[i % origins as usize] += 1;
+    }
+    shares
+}
+
+/// Generates a deterministic federation: one [`Trace`] per origin declared
+/// by the spec, with trace *i* homed on `ServerId::new(i)` (the layout
+/// `Deployment::build_multi` expects). Request shares across origins follow
+/// `Zipf(num_origins, origin_zipf)`; each origin serves its own catalog of
+/// `num_docs / num_origins` documents with the spec's document/client skew,
+/// and all origins draw from one shared city-scale client population.
+///
+/// A single-origin spec degenerates to `vec![generate(spec, seed)]`.
+///
+/// # Examples
+///
+/// ```
+/// use wcc_traces::{synthetic, TraceSpec};
+///
+/// let spec = TraceSpec::epa().scaled_down(100).with_origins(4, 0.7);
+/// let traces = synthetic::generate_federation(&spec, 7);
+/// assert_eq!(traces.len(), 4);
+/// let total: usize = traces.iter().map(|t| t.records.len()).sum();
+/// assert_eq!(total as u64, spec.total_requests);
+/// ```
+pub fn generate_federation(spec: &TraceSpec, seed: u64) -> Vec<Trace> {
+    let origins = spec.num_origins.max(1);
+    if origins == 1 {
+        let mut single = spec.clone();
+        single.num_origins = 1;
+        return vec![generate(&single, seed)];
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xfede_4a7e);
+    // One shared client population across the whole federation: city-scale
+    // clients hit many origins, so the ids are synthesized once (this is
+    // also what keeps generation O(clients + requests), not
+    // O(origins × clients)).
+    let client_ids = synth_client_ids(spec.num_clients, &mut rng);
+    let docs_per_origin = (spec.num_docs / origins).max(1);
+    let shares = origin_shares(spec.total_requests, origins, spec.origin_zipf);
+
+    let doc_dist = Zipf::new(docs_per_origin as usize, spec.doc_zipf);
+    let client_dist = Zipf::new(client_ids.len(), spec.client_zipf);
+    (0..origins)
+        .map(|i| {
+            // Independent per-origin stream so any one origin's trace is
+            // stable under changes to the others.
+            let mut orng = StdRng::seed_from_u64(
+                seed ^ 0xfede_4a7e ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            );
+            let server = ServerId::new(i);
+            let mut sub = spec.clone();
+            sub.total_requests = shares[i as usize];
+            sub.num_docs = docs_per_origin;
+            let doc_perm = permutation(docs_per_origin as usize, &mut orng);
+            let doc_sizes = sample_doc_sizes(&sub, &doc_perm, &mut orng);
+            let times = sample_arrivals(&sub, &mut orng);
+            // Rotate activity ranks per origin so the federation's hottest
+            // client differs from origin to origin.
+            let rot = (i as usize).wrapping_mul(0x9e37) % client_ids.len();
+            let mut records = Vec::with_capacity(times.len());
+            for at in times {
+                let doc = doc_perm[doc_dist.sample(&mut orng)] as u32;
+                let idx = (client_dist.sample(&mut orng) + rot) % client_ids.len();
+                records.push(TraceRecord {
+                    at,
+                    client: client_ids[idx],
+                    url: Url::new(server, doc),
+                });
+            }
+            let trace = Trace {
+                name: format!("{}-o{i}", spec.name),
+                server,
+                duration: spec.duration,
+                doc_sizes,
+                records,
+            };
+            debug_assert!(trace.validate().is_ok());
+            trace
+        })
+        .collect()
 }
 
 /// Exponential sizes with mean `avg_doc_size`, clamped to
@@ -226,6 +330,76 @@ mod tests {
             s.max_popularity
         );
         assert!(s.avg_popularity > 2.0 && s.avg_popularity < 40.0);
+    }
+
+    #[test]
+    fn federation_homes_trace_i_on_server_i() {
+        let spec = TraceSpec::epa().scaled_down(50).with_origins(6, 0.8);
+        let traces = generate_federation(&spec, 11);
+        assert_eq!(traces.len(), 6);
+        for (i, t) in traces.iter().enumerate() {
+            assert_eq!(t.server, ServerId::new(i as u32), "trace {i}");
+            assert!(t.validate().is_ok(), "trace {i}");
+            assert_eq!(t.doc_count() as u32, spec.num_docs / 6);
+        }
+        let total: u64 = traces.iter().map(|t| t.records.len() as u64).sum();
+        assert_eq!(total, spec.total_requests);
+        // Deterministic and seed-sensitive.
+        let again = generate_federation(&spec, 11);
+        let other = generate_federation(&spec, 12);
+        for (a, b) in traces.iter().zip(&again) {
+            assert_eq!(a.records, b.records);
+        }
+        assert!(traces
+            .iter()
+            .zip(&other)
+            .any(|(a, c)| a.records != c.records));
+    }
+
+    /// Regression for the `ServerId::new(0)` hardcode: per-origin request
+    /// shares must follow the spec's origin-popularity distribution, not
+    /// collapse onto server 0.
+    #[test]
+    fn federation_request_shares_follow_origin_zipf() {
+        let spec = TraceSpec::epa().with_origins(8, 0.9);
+        let traces = generate_federation(&spec, 3);
+        let dist = Zipf::new(8, 0.9);
+        let total = spec.total_requests as f64;
+        for (i, t) in traces.iter().enumerate() {
+            let share = t.records.len() as f64 / total;
+            let expected = dist.pmf(i);
+            assert!(
+                (share - expected).abs() < 0.01,
+                "origin {i}: share {share:.4} vs Zipf pmf {expected:.4}"
+            );
+        }
+        // And the skew is real: origin 0 strictly dominates the tail.
+        assert!(traces[0].records.len() > 2 * traces[7].records.len());
+    }
+
+    #[test]
+    fn single_origin_federation_matches_generate() {
+        let spec = TraceSpec::sdsc().scaled_down(20);
+        let traces = generate_federation(&spec, 9);
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].records, generate(&spec, 9).records);
+    }
+
+    #[test]
+    #[should_panic(expected = "generate_federation")]
+    fn single_origin_generate_rejects_federation_specs() {
+        let spec = TraceSpec::epa().scaled_down(100).with_origins(3, 0.5);
+        let _ = generate(&spec, 1);
+    }
+
+    #[test]
+    fn origin_shares_are_exact_and_monotone() {
+        let shares = origin_shares(10_000, 16, 0.7);
+        assert_eq!(shares.iter().sum::<u64>(), 10_000);
+        assert!(shares.windows(2).all(|w| w[0] >= w[1]), "{shares:?}");
+        // Uniform when the exponent is zero.
+        let flat = origin_shares(100, 4, 0.0);
+        assert_eq!(flat, vec![25, 25, 25, 25]);
     }
 
     #[test]

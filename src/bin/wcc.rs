@@ -5,6 +5,8 @@
 //!             [--scale N] [--seed N] [--wan] [--decoupled] [--hierarchy]
 //!             [--shared] [--lease-days N] [--cache-mib N] [--shards N]
 //!             [--trace-out PATH] [--metrics]
+//! wcc replay  --family flash-crowd [--protocol NAME] [--scale N] [--seed N]
+//!             [--shards N] [--audit]          # city-scale scenario families
 //! wcc trio    --trace sask [--scale N] [--seed N] [--jobs N]  # Tables 3/4 block
 //! wcc trace   <path>                                # analyse a --trace-out log
 //! wcc summary [--scale N] [--seed N]                # Table 2
@@ -36,6 +38,7 @@ use webcache::replay::tables::{format_table5_column, format_trio_block};
 use webcache::replay::{ExperimentConfig, ReplayReport};
 use webcache::simnet::NetworkConfig;
 use webcache::traces::clf::parse_clf;
+use webcache::traces::family::{self, FamilyConfig, WorkloadFamily};
 use webcache::traces::{synthetic, ModSchedule, TraceSpec, TraceSummary};
 use webcache::types::{ByteSize, SimDuration};
 
@@ -85,7 +88,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  wcc replay  --trace NAME --protocol NAME [--lifetime-days N] [--scale N]\n              [--seed N] [--wan] [--decoupled] [--hierarchy] [--shared]\n              [--lease-days N] [--volume-mins N] [--cache-mib N] [--audit]\n              [--shards N] [--trace-out PATH] [--metrics]\n  wcc trio    --trace NAME [--scale N] [--seed N] [--jobs N]\n  wcc compare --trace NAME --protocols a,b,c [--scale N] [--seed N] [--jobs N]\n  wcc trace   PATH\n  wcc summary [--scale N] [--seed N]\n  wcc clf     PATH [--protocol NAME]\n  wcc fuzz    [--iters N] [--seed N] [--shrink] [--inject-stale] [--repro PATH]\n              [--jobs N]\n  wcc protocols"
+    "usage:\n  wcc replay  --trace NAME --protocol NAME [--lifetime-days N] [--scale N]\n              [--seed N] [--wan] [--decoupled] [--hierarchy] [--shared]\n              [--lease-days N] [--volume-mins N] [--cache-mib N] [--audit]\n              [--shards N] [--trace-out PATH] [--metrics]\n  wcc replay  --family NAME [--protocol NAME] [--scale N] [--seed N]\n              [--shards N] [--audit]   # families: zipf-federation,\n              flash-crowd, breaking-news, real-time-feed, archival-scan\n  wcc trio    --trace NAME [--scale N] [--seed N] [--jobs N]\n  wcc compare --trace NAME --protocols a,b,c [--scale N] [--seed N] [--jobs N]\n  wcc trace   PATH\n  wcc summary [--scale N] [--seed N]\n  wcc clf     PATH [--protocol NAME]\n  wcc fuzz    [--iters N] [--seed N] [--shrink] [--inject-stale] [--repro PATH]\n              [--jobs N]\n  wcc protocols"
 }
 
 fn spec_for(args: &Args) -> Result<TraceSpec, String> {
@@ -216,7 +219,85 @@ fn print_report(report: &ReplayReport) {
     }
 }
 
+/// `wcc replay --family NAME`: replay a city-scale scenario family over a
+/// multi-origin federation (`wcc_traces::family`). `--scale N` shrinks the
+/// city preset proportionally (origin count is kept).
+fn cmd_replay_family(args: &Args, name: &str) -> Result<(), String> {
+    let family = WorkloadFamily::from_name(name).ok_or_else(|| {
+        let names: Vec<_> = WorkloadFamily::ALL.iter().map(|f| f.name()).collect();
+        format!("unknown family {name:?}; one of {}", names.join(", "))
+    })?;
+    if args.flag("hierarchy") || args.flag("decoupled") {
+        return Err("--family runs a flat multi-origin federation; \
+                    --hierarchy/--decoupled are single-origin modes"
+            .to_string());
+    }
+    let scale = args.num("scale", 1)?.max(1);
+    let seed = args.num("seed", 1997)?;
+    let cfg = FamilyConfig::city(family).scaled_down(scale);
+    let protocol = protocol_for(args)?;
+    let options = options_for(args)?;
+    let want_audit = options.audit;
+    let shards = shards_for(args)?;
+
+    let workload = family::generate(&cfg, seed);
+    let mut deployment = Deployment::build_multi(&workload.workloads, &protocol, options);
+    deployment.run_sharded(shards);
+    let report = ReplayReport {
+        trace: cfg.name().to_string(),
+        protocol: protocol.kind,
+        mean_lifetime: cfg.mean_lifetime,
+        files_modified: workload
+            .workloads
+            .iter()
+            .map(|(_, m)| m.modifications().len() as u64)
+            .sum(),
+        seed,
+        raw: deployment.collect(),
+        audit: want_audit.then(|| deployment.audit()),
+    };
+    print_report(&report);
+    println!(
+        "  federation      {} origins · {} requests · {} shards",
+        workload.workloads.len(),
+        workload.total_requests(),
+        shards
+    );
+    let mem = deployment.memory_model();
+    println!(
+        "  peak memory     {} (legacy layout {}, -{:.1}%)",
+        ByteSize::from_bytes(mem.peak_bytes()),
+        ByteSize::from_bytes(mem.legacy_peak_bytes()),
+        mem.reduction_pct()
+    );
+    if workload.freshness_deadline.is_some() {
+        let mut serves = Vec::new();
+        for i in 0..deployment.proxy_ids().len() {
+            serves.extend(
+                deployment
+                    .proxy(i)
+                    .serves()
+                    .iter()
+                    .map(|s| (s.url, s.client, s.trace_at, s.version)),
+            );
+        }
+        println!(
+            "  freshness       {} of {} serves exceeded their per-client deadline",
+            workload.freshness_violations(serves),
+            report.raw.requests
+        );
+    }
+    if let Some(audit) = &report.audit {
+        println!("{audit}");
+    }
+    Ok(())
+}
+
 fn cmd_replay(args: &Args) -> Result<(), String> {
+    if let Some(name) = args.value("family") {
+        let name = name.to_string();
+        return cmd_replay_family(args, &name);
+    }
     let spec = spec_for(args)?;
     let protocol = protocol_for(args)?;
     let seed = args.num("seed", 1997)?;

@@ -229,6 +229,76 @@ mod sharded_equivalence {
     }
 }
 
+mod family_sharded_equivalence {
+    //! The same guarantee for multi-origin scenario families: a federation
+    //! workload sharded at {1, 4, 8, 16} — the fallback path, an even
+    //! split, the acceptance shard count, and more shards than origins in
+    //! most sampled scenarios — is byte-identical to the sequential engine.
+
+    use proptest::prelude::*;
+    use wcc_fuzz::{scenario_seed, sharded_matches_sequential, Scenario};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        #[test]
+        fn family_replay_matches_sequential_at_high_shard_counts(iter in 0u64..4096) {
+            // About one seed in four samples a family scenario; walk
+            // forward deterministically so every case exercises one.
+            let mut step = iter;
+            let scenario = loop {
+                let s = Scenario::generate(scenario_seed(0xFA41, step));
+                if s.family.is_some() { break s; }
+                step += 1;
+            };
+            for shards in [1usize, 4, 8, 16] {
+                let outcome = sharded_matches_sequential(&scenario, shards);
+                prop_assert!(
+                    outcome.is_ok(),
+                    "family seed {:#018x} ({}) diverged at {shards} shard(s): {}",
+                    scenario.seed,
+                    scenario.summary(),
+                    outcome.unwrap_err()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn largest_federation_double_run_is_byte_identical() {
+    // The biggest federation the family layer ships — 64 origins sharing a
+    // 120 000-client pool — generated and replayed twice. Request count is
+    // reduced from the city preset so the debug-mode double run stays
+    // fast; the client pool and origin fan-out (what this test guards)
+    // stay at full scale.
+    use wcc_core::ProtocolConfig;
+    use wcc_httpsim::{Deployment, DeploymentOptions};
+    use wcc_traces::family::{self, FamilyConfig, WorkloadFamily};
+
+    let mut cfg = FamilyConfig::city(WorkloadFamily::FlashCrowd);
+    cfg.spec.total_requests = 16_000;
+    let a = family::generate(&cfg, 2026);
+    let b = family::generate(&cfg, 2026);
+    assert_eq!(a.workloads.len(), 64);
+    for ((trace_a, mods_a), (trace_b, mods_b)) in a.workloads.iter().zip(&b.workloads) {
+        assert_eq!(trace_a.records, trace_b.records, "{}", trace_a.name);
+        assert_eq!(mods_a.modifications(), mods_b.modifications());
+    }
+
+    let protocol = ProtocolConfig::new(ProtocolKind::Invalidation);
+    let run = || {
+        let mut dep =
+            Deployment::build_multi(&a.workloads, &protocol, DeploymentOptions::default());
+        dep.run();
+        format!("{:?}", dep.collect())
+    };
+    assert_eq!(
+        run(),
+        run(),
+        "double replay of the largest federation diverged"
+    );
+}
+
 #[test]
 fn different_seeds_differ() {
     let base = |seed| {

@@ -53,6 +53,24 @@ const CORPUS: &[u64] = &[
     // knowledge of a write until the next poll, so end-of-run promised-fresh
     // staleness is a model property there, not a bug.
     0xb4a0472e578069ae, // volume-lease + browser-based detection + outage
+    // -- coverage: every workload family x the paper trio ----------------
+    // Family scenarios run multi-origin federations (2-6 origins) and push
+    // the sharded-equivalence check (oracle 8) to 8-16 shards.
+    0x273ffb229ad337c9, // archival-scan, adaptive-ttl, 6 origins, 2 faults
+    0x54c9abe8ef8c48ee, // archival-scan, invalidation, 2 proxies
+    0xc3893c0f7dd1e207, // archival-scan, poll-every-time
+    0x40b8d6825309434b, // breaking-news, adaptive-ttl, 2 faults
+    0xf5e056b693184450, // breaking-news, invalidation, 3 faults
+    0x3b0198ee397091e9, // breaking-news, poll-every-time
+    0xeef31bee492e155e, // flash-crowd, adaptive-ttl, 6 origins, 3 faults
+    0xe3880f0500ee1b50, // flash-crowd, invalidation, 4 proxies
+    0x3f94f3ec74086c53, // flash-crowd, poll-every-time, 3 proxies
+    0x2dfebae2ce73308b, // real-time-feed, adaptive-ttl, 6 origins
+    0xfb4538e9d4deb08d, // real-time-feed, invalidation
+    0x409ef71f42c6940e, // real-time-feed, poll-every-time, 5 origins
+    0x23aaceb50f8f45be, // zipf-federation, adaptive-ttl, 2 faults
+    0xed34dd8c16152b28, // zipf-federation, invalidation, 3 faults
+    0xb4bb9b81b6e79bf7, // zipf-federation, poll-every-time, 4 origins
 ];
 
 #[test]
@@ -80,6 +98,37 @@ fn corpus_covers_every_protocol() {
         protocols.len() >= 8,
         "corpus only exercises {protocols:?}; keep all eight protocols covered"
     );
+}
+
+#[test]
+fn corpus_covers_every_workload_family_with_the_paper_trio() {
+    use webcache::traces::family::WorkloadFamily;
+
+    // (family, protocol) pairs the family slice of the corpus exercises.
+    let mut pairs: Vec<(&'static str, String)> = CORPUS
+        .iter()
+        .filter_map(|&seed| {
+            let s = Scenario::generate(seed);
+            s.family
+                .map(|f| (f.name(), s.protocol.kind.name().to_owned()))
+        })
+        .collect();
+    assert!(
+        pairs.len() >= 8,
+        "only {} family seeds in the corpus; keep at least 8",
+        pairs.len()
+    );
+    pairs.sort();
+    pairs.dedup();
+    for family in WorkloadFamily::ALL {
+        for protocol in ["invalidation", "adaptive-ttl", "poll-every-time"] {
+            assert!(
+                pairs.contains(&(family.name(), protocol.to_owned())),
+                "corpus lost coverage of family {} under {protocol}",
+                family.name()
+            );
+        }
+    }
 }
 
 #[test]

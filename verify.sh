@@ -40,6 +40,12 @@ cargo run --quiet --bin xtask-lint -- --waivers
 echo "==> wcc fuzz (smoke)"
 ./target/release/wcc fuzz --iters 25 --seed 1 --shrink
 
+echo "==> wcc replay --family (smoke)"
+# Scenario-family path: the flash-crowd federation replayed sharded. The
+# nightly workflow sweeps all five families sequential-vs-sharded; this
+# just proves the family generator and multi-origin replay path run.
+./target/release/wcc replay --family flash-crowd --scale 20 --shards 2
+
 echo "==> bench trajectory (smoke)"
 # Exits non-zero if the fanned-out or sharded grid diverges from the
 # sequential run.
