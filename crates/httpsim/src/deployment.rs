@@ -469,6 +469,15 @@ impl Deployment {
         self.sim.run_until_idle()
     }
 
+    /// The engine's event-arena counters for the run so far (recycle rate,
+    /// peak in-flight events). After a sharded run these aggregate every
+    /// shard's arena. Deliberately *not* part of [`RawReport`]: sequential
+    /// and sharded runs recycle through different arenas and must still
+    /// produce byte-identical reports.
+    pub fn alloc_stats(&self) -> wcc_simnet::ArenaStats {
+        self.sim.alloc_stats()
+    }
+
     /// Runs with a wall-clock safety deadline (fault scenarios with retry
     /// loops can otherwise take long).
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {

@@ -134,7 +134,7 @@ impl ProxyNode {
             outstanding: None,
             next_req: RequestId::default(),
             latency: Summary::default(),
-            serves: Vec::new(),
+            serves: Vec::new(), // xtask-lint: allow(hot-loop-alloc)
             counters: ProxyCounters::default(),
             audit: None,
             tracer: Tracer::disabled(),
@@ -147,7 +147,7 @@ impl ProxyNode {
     }
 
     pub(crate) fn enable_audit(&mut self) {
-        self.audit = Some(Vec::new());
+        self.audit = Some(Vec::new()); // xtask-lint: allow(hot-loop-alloc)
     }
 
     /// The audit-event log (empty slice when auditing is disabled).
@@ -544,7 +544,7 @@ impl Node<SimMsg> for ProxyNode {
 /// Partitions trace records across `n` proxies by the paper's rule:
 /// "pseudo-client *i* handles real clients whose clientid mod *n* is *i*".
 pub fn partition_records(records: &[TraceRecord], n: u32) -> Vec<Vec<TraceRecord>> {
-    let mut parts = vec![Vec::new(); n as usize];
+    let mut parts = vec![Vec::new(); n as usize]; // xtask-lint: allow(hot-loop-alloc)
     for rec in records {
         parts[rec.client.partition(n) as usize].push(*rec);
     }

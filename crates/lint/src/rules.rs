@@ -31,6 +31,25 @@ fn hot_path_crate(path: &str) -> bool {
         || path.starts_with("crates/simnet/src/")
 }
 
+/// The event-dispatch and decode hot paths: the files whose steady state
+/// the arena / zero-copy work keeps off the global allocator. Setup-time
+/// allocations (constructors, per-run scaffolding) are waived in place —
+/// the marker documents "init, not steady state" and the stale-waiver
+/// audit keeps it honest.
+fn hot_loop_file(path: &str) -> bool {
+    matches!(
+        path,
+        "crates/simnet/src/event.rs"
+            | "crates/simnet/src/sim.rs"
+            | "crates/simnet/src/node.rs"
+            | "crates/simnet/src/arena.rs"
+            | "crates/simnet/src/shard.rs"
+            | "crates/proto/src/zero.rs"
+            | "crates/httpsim/src/proxy.rs"
+            | "crates/httpsim/src/origin.rs"
+    )
+}
+
 fn simulation_code(path: &str) -> bool {
     // Everything except the real-network crate runs under the simulated
     // clock; `crates/net` is the one place wall-time waiting is legitimate.
@@ -104,6 +123,22 @@ pub(crate) const SEQ_RULES: &[SeqRule] = &[
                 || path.starts_with("crates/obs/src/")
                 || path.starts_with("crates/proto/src/")
         },
+        allowed: |_| false,
+        include_tests: false,
+    },
+    SeqRule {
+        name: "hot-loop-alloc",
+        needles: &[
+            &["Box", ":", ":", "new"],
+            &["Vec", ":", ":", "new", "(", ")"],
+            &[".", "to_string", "(", ")"],
+            &["format", "!"],
+        ],
+        message: "event-dispatch and decode hot paths must not touch the \
+                  global allocator in steady state; recycle through the \
+                  arena, borrow from the receive buffer, or waive a \
+                  setup-time allocation in place",
+        in_scope: hot_loop_file,
         allowed: |_| false,
         include_tests: false,
     },

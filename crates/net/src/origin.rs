@@ -3,7 +3,7 @@
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::io::{BufReader, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
@@ -11,7 +11,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 use wcc_core::{ProtocolConfig, ServerConsistency, SiteListStats};
 use wcc_obs::{Histogram, Registry};
-use wcc_proto::{decode, encode, GetRequest, HttpMsg, Reply, ReplyStatus, WireError};
+use wcc_proto::{
+    encode, FrameReader, GetRequest, HttpMsg, HttpMsgRef, Reply, ReplyStatus, WireError,
+};
 use wcc_types::{
     Body, ByteSize, ClientId, DocMeta, ServerId, SimDuration, SimTime, Url, WallClock,
 };
@@ -345,14 +347,17 @@ impl Drop for NetOrigin {
 fn serve_connection(state: &Arc<State>, stream: TcpStream) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
     let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
+    // Zero-copy frame reader: requests are decoded straight from the
+    // receive buffer. Nothing the origin handles retains request bytes
+    // (GETs, notifies and acks are all inline data), so no copy is made.
+    let mut reader = FrameReader::new(stream);
     // Writer thread for a registered invalidation channel, if any.
     let mut push_writer: Option<JoinHandle<()>> = None;
     loop {
         if state.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let msg = match decode(&mut reader) {
+        let msg = match reader.next_msg() {
             Ok(msg) => msg,
             Err(WireError::Closed) => break,
             Err(WireError::Io(e))
@@ -364,7 +369,7 @@ fn serve_connection(state: &Arc<State>, stream: TcpStream) -> std::io::Result<()
             Err(_) => break, // malformed or broken stream
         };
         match msg {
-            HttpMsg::Get(get) if get.url.server() == state.server => {
+            HttpMsgRef::Get(get) if get.url.server() == state.server => {
                 let clock = WallClock::start();
                 let reply = state.handle_get(&get);
                 // Record before the reply ships: once the requester's fetch
@@ -377,28 +382,28 @@ fn serve_connection(state: &Arc<State>, stream: TcpStream) -> std::io::Result<()
                 writer.write_all(&encode(&reply))?;
                 writer.flush()?;
             }
-            HttpMsg::MetricsGet => {
+            HttpMsgRef::MetricsGet => {
                 // One-shot scrape: raw HTTP response, then close.
                 writer.write_all(&crate::scrape::metrics_response(&state.render_metrics()))?;
                 writer.flush()?;
                 break;
             }
-            HttpMsg::Notify { url, at } if url.server() == state.server => {
+            HttpMsgRef::Notify { url, at } if url.server() == state.server => {
                 state.handle_notify(url, at);
             }
-            HttpMsg::InvalAck {
+            HttpMsgRef::InvalAck {
                 url,
                 client,
                 cache_hits: _,
             } => {
                 state.handle_ack(url, client);
             }
-            HttpMsg::InvalidateServerAck { .. } => {
+            HttpMsgRef::InvalidateServerAck { .. } => {
                 // Bulk-invalidation ack; the TCP prototype has no crash
                 // recovery, so there is no retry loop to cancel.
                 state.protected.lock().counters.acks += 1;
             }
-            HttpMsg::Hello {
+            HttpMsgRef::Hello {
                 partition,
                 partitions,
             } => {
@@ -417,7 +422,9 @@ fn serve_connection(state: &Arc<State>, stream: TcpStream) -> std::io::Result<()
                 }));
                 // Keep reading this stream for ACKs.
             }
-            HttpMsg::Reply(_) | HttpMsg::Invalidate { .. } | HttpMsg::InvalidateServer { .. } => {
+            HttpMsgRef::Reply(_)
+            | HttpMsgRef::Invalidate { .. }
+            | HttpMsgRef::InvalidateServer { .. } => {
                 break; // protocol violation: these flow origin -> proxy only
             }
             // Guard fallthrough: a Get/Notify for a server we do not own.

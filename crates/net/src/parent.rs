@@ -16,7 +16,7 @@
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::io::{BufReader, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
@@ -25,7 +25,10 @@ use std::time::Duration;
 use wcc_cache::{CacheStore, ReplacementPolicy};
 use wcc_core::{ProtocolConfig, ProxyAction, ProxyPolicy, ServerConsistency};
 use wcc_obs::{Histogram, Registry};
-use wcc_proto::{decode, encode, GetRequest, HttpMsg, Reply, ReplyStatus, RequestId, WireError};
+use wcc_proto::{
+    encode, FrameReader, GetRequest, HttpMsg, HttpMsgRef, Reply, ReplyStatus, ReplyStatusRef,
+    RequestId, WireError,
+};
 use wcc_types::{Body, ByteSize, ClientId, DocMeta, ServerId, Url, WallClock};
 
 /// Counters for the TCP parent.
@@ -93,10 +96,13 @@ impl ParentState {
         let mut stream = TcpStream::connect(self.origin)?;
         stream.write_all(&encode(&get))?;
         stream.flush()?;
-        let mut reader = BufReader::new(stream);
-        let reply = decode(&mut reader)
+        // Zero-copy decode: the parent cache retains only metadata, so a
+        // `200` body is borrowed from the receive buffer and never copied.
+        let mut reader = FrameReader::new(stream);
+        let reply = reader
+            .next_msg()
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        let HttpMsg::Reply(reply) = reply else {
+        let HttpMsgRef::Reply(reply) = reply else {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidData,
                 "expected a reply",
@@ -105,15 +111,16 @@ impl ParentState {
         let key = url.scoped(self.identity);
         let Protected { policy, cache, .. } = &mut *p;
         policy.on_volume_grant(key, reply.volume_lease);
-        if !reply.piggyback.is_empty() {
-            policy.on_piggyback(&reply.piggyback, self.identity, cache);
+        let piggyback = reply.piggyback_urls();
+        if !piggyback.is_empty() {
+            policy.on_piggyback(&piggyback, self.identity, cache);
         }
         match reply.status {
-            ReplyStatus::Ok(body) => {
-                policy.on_reply_200(key, body.meta(), reply.lease, issued_at, cache);
-                Ok(body.meta())
+            ReplyStatusRef::Ok { meta, .. } => {
+                policy.on_reply_200(key, meta, reply.lease, issued_at, cache);
+                Ok(meta)
             }
-            ReplyStatus::NotModified => {
+            ReplyStatusRef::NotModified => {
                 if policy.on_reply_304(key, reply.lease, issued_at, cache) {
                     Ok(cache.peek(key).expect("validated entry").meta)
                 } else {
@@ -334,13 +341,13 @@ impl NetParent {
                 Ok(w) => w,
                 Err(_) => return,
             };
-            let mut reader = BufReader::new(upstream);
+            let mut reader = FrameReader::new(upstream);
             loop {
                 if upstream_state.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
-                match decode(&mut reader) {
-                    Ok(HttpMsg::Invalidate { url, .. }) => {
+                match reader.next_msg() {
+                    Ok(HttpMsgRef::Invalidate { url, .. }) => {
                         let ack = upstream_state.handle_invalidate(url);
                         if writer.write_all(&encode(&ack)).is_err() {
                             break;
@@ -424,12 +431,14 @@ impl Drop for NetParent {
 fn serve_child(state: &Arc<ParentState>, stream: TcpStream) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
     let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
+    // Children only ever send body-less messages, so the zero-copy reader
+    // never copies here; each frame is fully consumed before the next read.
+    let mut reader = FrameReader::new(stream);
     loop {
         if state.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let msg = match decode(&mut reader) {
+        let msg = match reader.next_msg() {
             Ok(msg) => msg,
             Err(WireError::Closed) => break,
             Err(WireError::Io(e))
@@ -441,7 +450,7 @@ fn serve_child(state: &Arc<ParentState>, stream: TcpStream) -> std::io::Result<(
             Err(_) => break,
         };
         match msg {
-            HttpMsg::Get(get) if get.url.server() == state.server => {
+            HttpMsgRef::Get(get) if get.url.server() == state.server => {
                 let clock = WallClock::start();
                 let reply = state.handle_child_get(&get)?;
                 // Record before the reply ships: once the child's fetch
@@ -454,13 +463,13 @@ fn serve_child(state: &Arc<ParentState>, stream: TcpStream) -> std::io::Result<(
                 writer.write_all(&encode(&reply))?;
                 writer.flush()?;
             }
-            HttpMsg::MetricsGet => {
+            HttpMsgRef::MetricsGet => {
                 // One-shot scrape: raw HTTP response, then close.
                 writer.write_all(&crate::scrape::metrics_response(&state.render_metrics()))?;
                 writer.flush()?;
                 break;
             }
-            HttpMsg::Hello {
+            HttpMsgRef::Hello {
                 partition,
                 partitions,
             } => {
@@ -477,7 +486,7 @@ fn serve_child(state: &Arc<ParentState>, stream: TcpStream) -> std::io::Result<(
                     }
                 });
             }
-            HttpMsg::InvalAck {
+            HttpMsgRef::InvalAck {
                 url,
                 client,
                 cache_hits,
@@ -491,11 +500,11 @@ fn serve_child(state: &Arc<ParentState>, stream: TcpStream) -> std::io::Result<(
                 }
                 p.children.on_inval_ack(url, client);
             }
-            HttpMsg::Reply(_)
-            | HttpMsg::Invalidate { .. }
-            | HttpMsg::InvalidateServer { .. }
-            | HttpMsg::InvalidateServerAck { .. }
-            | HttpMsg::Notify { .. } => {
+            HttpMsgRef::Reply(_)
+            | HttpMsgRef::Invalidate { .. }
+            | HttpMsgRef::InvalidateServer { .. }
+            | HttpMsgRef::InvalidateServerAck { .. }
+            | HttpMsgRef::Notify { .. } => {
                 break; // protocol violation: children never send these
             }
             // Guard fallthrough: a Get for a server we do not own.

@@ -1,7 +1,7 @@
 //! The TCP caching proxy.
 
 use parking_lot::Mutex;
-use std::io::{BufReader, Write};
+use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -10,7 +10,9 @@ use std::time::Duration;
 use wcc_cache::{CacheStore, ReplacementPolicy};
 use wcc_core::{ProtocolConfig, ProxyAction, ProxyPolicy};
 use wcc_obs::{Histogram, Registry};
-use wcc_proto::{decode, encode, GetRequest, HttpMsg, ReplyStatus, RequestId, WireError};
+use wcc_proto::{
+    encode, FrameReader, GetRequest, HttpMsg, HttpMsgRef, ReplyStatusRef, RequestId, WireError,
+};
 use wcc_types::{ByteSize, ClientId, DocMeta, SimTime, Url, WallClock};
 
 /// How a [`NetProxy::fetch`] was satisfied.
@@ -215,13 +217,16 @@ impl NetProxy {
                 Ok(w) => w,
                 Err(_) => return,
             };
-            let mut reader = BufReader::new(channel);
+            // Zero-copy frame reader: invalidations are decoded straight
+            // from the channel buffer; nothing on this path retains bytes,
+            // so no message is ever copied out.
+            let mut reader = FrameReader::new(channel);
             loop {
                 if listener_state.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
-                match decode(&mut reader) {
-                    Ok(HttpMsg::Invalidate { url, client }) => {
+                match reader.next_msg() {
+                    Ok(HttpMsgRef::Invalidate { url, client }) => {
                         let deleted_hits = {
                             let mut guard = listener_state.policy.lock();
                             let (policy, cache, _) = &mut *guard;
@@ -238,7 +243,7 @@ impl NetProxy {
                         }
                         let _ = writer.flush();
                     }
-                    Ok(HttpMsg::InvalidateServer { server }) => {
+                    Ok(HttpMsgRef::InvalidateServer { server }) => {
                         {
                             let mut guard = listener_state.policy.lock();
                             let (policy, cache, _) = &mut *guard;
@@ -252,13 +257,13 @@ impl NetProxy {
                         let _ = writer.flush();
                     }
                     Ok(
-                        HttpMsg::Get(_)
-                        | HttpMsg::Reply(_)
-                        | HttpMsg::InvalAck { .. }
-                        | HttpMsg::InvalidateServerAck { .. }
-                        | HttpMsg::Hello { .. }
-                        | HttpMsg::MetricsGet
-                        | HttpMsg::Notify { .. },
+                        HttpMsgRef::Get(_)
+                        | HttpMsgRef::Reply(_)
+                        | HttpMsgRef::InvalAck { .. }
+                        | HttpMsgRef::InvalidateServerAck { .. }
+                        | HttpMsgRef::Hello { .. }
+                        | HttpMsgRef::MetricsGet
+                        | HttpMsgRef::Notify { .. },
                     ) => break, // protocol violation
                     Err(WireError::Closed) => break,
                     Err(WireError::Io(e))
@@ -364,31 +369,36 @@ impl NetProxy {
             let mut stream = TcpStream::connect(self.origin)?;
             stream.write_all(&encode(&get))?;
             stream.flush()?;
-            let mut reader = BufReader::new(stream);
-            let reply = decode(&mut reader)
+            // Zero-copy decode: the proxy retains only document *metadata*
+            // (the cache stores no payloads), so the reply body is consumed
+            // as a borrow of the receive buffer and never copied out.
+            let mut reader = FrameReader::new(stream);
+            let reply = reader
+                .next_msg()
                 .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-            let HttpMsg::Reply(reply) = reply else {
+            let HttpMsgRef::Reply(reply) = reply else {
                 return Err(std::io::Error::new(
                     std::io::ErrorKind::InvalidData,
                     "expected a reply",
                 ));
             };
             policy.on_volume_grant(key, reply.volume_lease);
-            if !reply.piggyback.is_empty() {
-                policy.on_piggyback(&reply.piggyback, client, cache);
-                self.state.counters.lock().piggybacked_received += reply.piggyback.len() as u64;
+            let piggyback = reply.piggyback_urls();
+            if !piggyback.is_empty() {
+                policy.on_piggyback(&piggyback, client, cache);
+                self.state.counters.lock().piggybacked_received += piggyback.len() as u64;
             }
             match reply.status {
-                ReplyStatus::Ok(body) => {
+                ReplyStatusRef::Ok { meta, .. } => {
                     self.state.counters.lock().replies_200 += 1;
-                    policy.on_reply_200(key, body.meta(), reply.lease, now, cache);
+                    policy.on_reply_200(key, meta, reply.lease, now, cache);
                     return Ok(FetchOutcome {
                         kind: FetchKind::Fetched,
                         had_entry: disposition.had_entry,
-                        meta: body.meta(),
+                        meta,
                     });
                 }
-                ReplyStatus::NotModified => {
+                ReplyStatusRef::NotModified => {
                     if policy.on_reply_304(key, reply.lease, now, cache) {
                         self.state.counters.lock().replies_304 += 1;
                         let meta = cache.peek(key).expect("validated entry").meta;
@@ -430,8 +440,8 @@ impl Drop for NetProxy {
 fn serve_metrics(state: &Arc<ProxyState>, stream: TcpStream) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(1)))?;
     let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    if matches!(decode(&mut reader), Ok(HttpMsg::MetricsGet)) {
+    let mut reader = FrameReader::new(stream);
+    if matches!(reader.next_msg(), Ok(HttpMsgRef::MetricsGet)) {
         writer.write_all(&crate::scrape::metrics_response(&state.render_metrics()))?;
         writer.flush()?;
     }

@@ -24,6 +24,11 @@
 
 pub mod msg;
 pub mod wire;
+pub mod zero;
 
 pub use msg::{CoordMsg, GetRequest, HttpMsg, Message, Reply, ReplyStatus, RequestId};
 pub use wire::{decode, encode, WireError};
+pub use zero::{
+    codec_sweep, decode_frame, decode_ref, CodecStats, FrameReader, HttpMsgRef, ReplyRef,
+    ReplyStatusRef,
+};

@@ -1,0 +1,1146 @@
+//! Zero-copy wire decode: borrowed messages straight from the receive
+//! buffer.
+//!
+//! [`crate::decode`] pulls every message through `BufRead` line reads and
+//! materialises an owned [`HttpMsg`] — one `String` per line, a `HashMap`
+//! for the headers and a fresh `Vec` for every `200` body. That is fine for
+//! tests, but the TCP prototype decodes on every request: this module
+//! decodes a [`HttpMsgRef`] that *borrows* the body payload (and the
+//! piggyback list's text) from the receive buffer, deferring the copy to
+//! [`HttpMsgRef::to_owned`] — which callers invoke only at retention
+//! boundaries (storing a body in the cache), not per message.
+//!
+//! The decoder is also *incremental*: [`decode_frame`] works on a partially
+//! filled buffer and reports how many more bytes it needs implicitly by
+//! returning `Ok(None)`, which is what [`FrameReader`] uses to pull frames
+//! off a socket without an intermediate copy per message.
+//!
+//! Error parity: for any complete input, `decode_ref(&bytes)` fails exactly
+//! when `decode(&mut bytes.as_slice())` fails, with a byte-identical error
+//! rendering — the proptests in this module's test suite and the fuzz
+//! harness hold the two decoders against each other.
+
+use crate::msg::{GetRequest, HttpMsg, Reply, ReplyStatus, RequestId};
+use crate::wire::WireError;
+use std::io::Read;
+use wcc_types::{Body, ByteSize, ClientId, DocMeta, ServerId, SimTime, Url};
+
+/// A decoded message whose bulk data still lives in the receive buffer.
+///
+/// Variants without bulk data carry their (small, `Copy`) fields directly;
+/// only [`HttpMsgRef::Reply`] borrows from the buffer. Convert to an owned
+/// [`HttpMsg`] with [`HttpMsgRef::to_owned`] at retention boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpMsgRef<'buf> {
+    /// Proxy → origin: plain or conditional `GET` (no bulk data; the owned
+    /// request struct is already all-inline).
+    Get(GetRequest),
+    /// Origin → proxy: `200` or `304` reply, body borrowed from the buffer.
+    Reply(ReplyRef<'buf>),
+    /// Origin → proxy: single-document invalidation.
+    Invalidate {
+        /// The modified document.
+        url: Url,
+        /// The real client whose copy must be dropped.
+        client: ClientId,
+    },
+    /// Origin → proxy: bulk invalidation after server recovery.
+    InvalidateServer {
+        /// The recovered origin server.
+        server: ServerId,
+    },
+    /// Proxy → origin: ack of a bulk recovery invalidation.
+    InvalidateServerAck {
+        /// The recovered origin server being acknowledged.
+        server: ServerId,
+    },
+    /// Proxy → origin: ack of a single-document invalidation.
+    InvalAck {
+        /// The document whose invalidation is being acknowledged.
+        url: Url,
+        /// The acknowledging client.
+        client: ClientId,
+        /// Unreported cache hits riding the ack.
+        cache_hits: u64,
+    },
+    /// Proxy → origin: invalidation-channel registration.
+    Hello {
+        /// This proxy's partition index.
+        partition: u32,
+        /// Total number of partitions.
+        partitions: u32,
+    },
+    /// Scraper → any node: `GET /metrics`.
+    MetricsGet,
+    /// Modifier → accelerator: document check-in notification.
+    Notify {
+        /// The modified document.
+        url: Url,
+        /// The touch's trace-time timestamp.
+        at: SimTime,
+    },
+}
+
+/// A borrowed reply: everything inline except the `200` body payload and
+/// the piggyback list, which point into the receive buffer.
+///
+/// The piggyback text is validated during decode, so converting it to
+/// [`Url`]s later cannot fail; it stays private to keep that invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplyRef<'buf> {
+    /// Echo of the request's correlation id.
+    pub req: RequestId,
+    /// The document the reply concerns.
+    pub url: Url,
+    /// The real client behind the original request.
+    pub client: ClientId,
+    /// Status and (for `200`) the borrowed body.
+    pub status: ReplyStatusRef<'buf>,
+    /// Lease grant, if any.
+    pub lease: Option<SimTime>,
+    /// Validated `X-Piggyback` value (comma-separated doc indices).
+    piggyback: Option<&'buf str>,
+    /// Volume-lease renewal, if any.
+    pub volume_lease: Option<SimTime>,
+}
+
+/// The status line + borrowed body of a reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplyStatusRef<'buf> {
+    /// `200 OK` — document metadata plus the payload bytes, still in the
+    /// receive buffer.
+    Ok {
+        /// Accounted size and last-modified stamp.
+        meta: DocMeta,
+        /// The stored (possibly scaled) payload, borrowed.
+        payload: &'buf [u8],
+    },
+    /// `304 Not Modified`.
+    NotModified,
+}
+
+impl ReplyRef<'_> {
+    /// The piggybacked invalidations, parsed from the borrowed text.
+    /// Infallible: the text was validated during decode.
+    pub fn piggyback_urls(&self) -> Vec<Url> {
+        let Some(list) = self.piggyback else {
+            // An empty Vec performs no allocation.
+            return Vec::new(); // xtask-lint: allow(hot-loop-alloc)
+        };
+        let server = self.url.server();
+        list.split(',')
+            .map(|d| {
+                // Infallible: entries were parse-checked at decode time.
+                let doc: u32 = d.trim().parse().expect("piggyback validated at decode"); // xtask-lint: allow(unwrap)
+                Url::new(server, doc)
+            })
+            .collect()
+    }
+
+    /// Materialises an owned [`Reply`], copying the body payload.
+    pub fn to_owned(&self) -> Reply {
+        Reply {
+            req: self.req,
+            url: self.url,
+            client: self.client,
+            status: match self.status {
+                ReplyStatusRef::Ok { meta, payload } => {
+                    ReplyStatus::Ok(Body::new(meta, payload.to_vec()))
+                }
+                ReplyStatusRef::NotModified => ReplyStatus::NotModified,
+            },
+            lease: self.lease,
+            piggyback: self.piggyback_urls(),
+            volume_lease: self.volume_lease,
+        }
+    }
+}
+
+impl HttpMsgRef<'_> {
+    /// `true` if materialising this message copies bulk data out of the
+    /// buffer (`200` bodies; every other variant is already inline).
+    pub fn needs_copy(&self) -> bool {
+        matches!(
+            self,
+            HttpMsgRef::Reply(ReplyRef {
+                status: ReplyStatusRef::Ok { .. },
+                ..
+            })
+        )
+    }
+
+    /// Materialises an owned [`HttpMsg`]. The only non-trivial cost is the
+    /// `200` body memcpy — call this at retention boundaries only.
+    pub fn to_owned(&self) -> HttpMsg {
+        match self {
+            HttpMsgRef::Get(g) => HttpMsg::Get(g.clone()),
+            HttpMsgRef::Reply(r) => HttpMsg::Reply(r.to_owned()),
+            HttpMsgRef::Invalidate { url, client } => HttpMsg::Invalidate {
+                url: *url,
+                client: *client,
+            },
+            HttpMsgRef::InvalidateServer { server } => {
+                HttpMsg::InvalidateServer { server: *server }
+            }
+            HttpMsgRef::InvalidateServerAck { server } => {
+                HttpMsg::InvalidateServerAck { server: *server }
+            }
+            HttpMsgRef::InvalAck {
+                url,
+                client,
+                cache_hits,
+            } => HttpMsg::InvalAck {
+                url: *url,
+                client: *client,
+                cache_hits: *cache_hits,
+            },
+            HttpMsgRef::Hello {
+                partition,
+                partitions,
+            } => HttpMsg::Hello {
+                partition: *partition,
+                partitions: *partitions,
+            },
+            HttpMsgRef::MetricsGet => HttpMsg::MetricsGet,
+            HttpMsgRef::Notify { url, at } => HttpMsg::Notify { url: *url, at: *at },
+        }
+    }
+}
+
+/// Cursor over the buffer that mirrors [`crate::wire`]'s `read_line`
+/// exactly: lines end at `\n`, *all* trailing `\r`/`\n` are stripped, an
+/// unterminated tail chunk counts as a line at EOF, and non-UTF-8 bytes
+/// surface as the same `InvalidData` I/O error `BufRead::read_line` raises.
+struct Lines<'buf> {
+    buf: &'buf [u8],
+    pos: usize,
+    eof: bool,
+}
+
+/// One `Lines::next_line` outcome.
+enum LineRead<'buf> {
+    /// A complete (stripped) line.
+    Line(&'buf str),
+    /// Clean end of input (`read_line` returning 0).
+    CleanEof,
+    /// The buffer ends mid-line and more bytes may arrive.
+    NeedMore,
+}
+
+impl<'buf> Lines<'buf> {
+    fn next_line(&mut self) -> Result<LineRead<'buf>, WireError> {
+        // `pos` only ever advances to line boundaries inside `buf`.
+        let rest = &self.buf[self.pos..]; // xtask-lint: allow(index-panic)
+        if rest.is_empty() {
+            return Ok(if self.eof {
+                LineRead::CleanEof
+            } else {
+                LineRead::NeedMore
+            });
+        }
+        let (raw, used) = match rest.iter().position(|&b| b == b'\n') {
+            Some(i) => (&rest[..=i], i + 1),
+            None if self.eof => (rest, rest.len()),
+            None => return Ok(LineRead::NeedMore),
+        };
+        let line = std::str::from_utf8(raw).map_err(|_| invalid_utf8())?;
+        self.pos += used;
+        Ok(LineRead::Line(line.trim_end_matches(['\r', '\n'])))
+    }
+}
+
+/// The header section, kept as borrowed text; lookups re-scan the (few)
+/// lines instead of building a map, so steady-state decode allocates
+/// nothing.
+#[derive(Clone, Copy)]
+struct Headers<'buf> {
+    section: &'buf str,
+}
+
+impl<'buf> Headers<'buf> {
+    /// Case-insensitive lookup of `name` (which must be lowercase, like the
+    /// owned decoder's map keys), returning the trimmed value. Scans in
+    /// reverse so duplicates resolve last-wins, matching `HashMap::insert`.
+    fn get(&self, name: &str) -> Option<&'buf str> {
+        // The section always ends with the last header's '\n' terminator;
+        // strip it so the reverse split sees no phantom empty line.
+        let section = self.section.strip_suffix('\n').unwrap_or(self.section);
+        let iter = LineIter { rest: section };
+        for line in iter {
+            // Infallible: every header line was colon-checked at decode.
+            let (n, v) = line.split_once(':').expect("headers validated"); // xtask-lint: allow(unwrap)
+            if n.trim().eq_ignore_ascii_case(name) {
+                return Some(v.trim());
+            }
+        }
+        None
+    }
+}
+
+/// Iterates header lines *in reverse* (for last-wins lookup), applying the
+/// same all-trailing-`\r`/`\n` strip as `read_line`.
+struct LineIter<'buf> {
+    rest: &'buf str,
+}
+
+impl<'buf> Iterator for LineIter<'buf> {
+    type Item = &'buf str;
+    fn next(&mut self) -> Option<&'buf str> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        let (head, line) = match self.rest.rfind('\n') {
+            // The trailing '\n' of the last line was already consumed when
+            // the section slice was taken, so every '\n' here separates.
+            Some(i) => (&self.rest[..i], &self.rest[i + 1..]),
+            None => ("", self.rest),
+        };
+        self.rest = head;
+        Some(line.trim_end_matches(['\r', '\n']))
+    }
+}
+
+/// Decodes one message from the front of `buf`.
+///
+/// Returns `Ok(Some((msg, used)))` when a complete frame occupies
+/// `buf[..used]`, and `Ok(None)` when the buffer ends mid-frame and more
+/// bytes may arrive. With `eof = true` the decoder never returns `None`:
+/// the truncation becomes the same error the owned decoder raises at
+/// stream end ([`WireError::Closed`] before a start line, "eof inside
+/// headers", or the `read_exact` I/O error for a short body).
+///
+/// # Errors
+///
+/// Exactly those of [`crate::decode`] on the same bytes.
+pub fn decode_frame(buf: &[u8], eof: bool) -> Result<Option<(HttpMsgRef<'_>, usize)>, WireError> {
+    let mut lines = Lines { buf, pos: 0, eof };
+    let start = match lines.next_line()? {
+        LineRead::NeedMore => return Ok(None),
+        LineRead::CleanEof => return Err(WireError::Closed),
+        LineRead::Line("") => {
+            return Err(malformed_str("empty start line"));
+        }
+        LineRead::Line(line) => line,
+    };
+    // Validate every header line up front (the owned decoder consumes the
+    // whole header block before interpreting the start line, so a bad
+    // header wins over a bad verb).
+    let section_start = lines.pos;
+    let mut section_end = lines.pos;
+    loop {
+        match lines.next_line()? {
+            LineRead::NeedMore => return Ok(None),
+            LineRead::CleanEof => return Err(malformed_str("eof inside headers")),
+            LineRead::Line("") => break,
+            LineRead::Line(line) => {
+                if !line.contains(':') {
+                    return Err(bad_header(line));
+                }
+                section_end = lines.pos;
+            }
+        }
+    }
+    let headers = Headers {
+        // Per-line UTF-8 was just validated, and '\n' is an ASCII boundary,
+        // so the whole section is valid; re-checking keeps the crate free
+        // of `unsafe`.
+        section: std::str::from_utf8(&buf[section_start..section_end]) // xtask-lint: allow(index-panic)
+            .expect("header lines validated"), // xtask-lint: allow(unwrap)
+    };
+    let body_start = lines.pos;
+
+    let mut parts = start.split_whitespace();
+    let verb = parts.next().ok_or_else(missing_verb)?;
+    let msg = match verb {
+        "GET" => {
+            let path = parts.next().ok_or_else(get_without_path)?;
+            if path == "/metrics" {
+                return Ok(Some((HttpMsgRef::MetricsGet, body_start)));
+            }
+            let url = url_from(headers, path)?;
+            HttpMsgRef::Get(GetRequest {
+                req: RequestId::new(required_u64(headers, "x-request-id")?),
+                url,
+                client: required_client(headers)?,
+                ims: headers
+                    .get("if-modified-since")
+                    .map(parse_micros)
+                    .transpose()?,
+                issued_at: parse_micros(headers.get("date").unwrap_or("0"))?,
+                cache_hits: parse_hit_count(headers)?,
+            })
+        }
+        "HTTP/1.0" => {
+            let code = parts.next().ok_or_else(reply_without_code)?;
+            let path = headers
+                .get("content-location")
+                .ok_or_else(reply_without_location)?;
+            let url = url_from(headers, path)?;
+            let req = RequestId::new(required_u64(headers, "x-request-id")?);
+            let client = required_client(headers)?;
+            let lease = headers.get("x-lease").map(parse_micros).transpose()?;
+            let piggyback = validated_piggyback(headers)?;
+            let volume_lease = headers
+                .get("x-volume-lease")
+                .map(parse_micros)
+                .transpose()?;
+            match code {
+                "200" => {
+                    let len = required_u64(headers, "content-length")? as usize;
+                    // `body_start` is the cursor position, inside `buf`.
+                    let tail = &buf[body_start..]; // xtask-lint: allow(index-panic)
+                    let Some(payload) = tail.get(..len) else {
+                        if !eof {
+                            return Ok(None);
+                        }
+                        return Err(short_body());
+                    };
+                    let meta = DocMeta::new(
+                        ByteSize::from_bytes(required_u64(headers, "x-size")?),
+                        parse_micros(
+                            headers
+                                .get("last-modified")
+                                .ok_or_else(missing_last_modified)?,
+                        )?,
+                    );
+                    return Ok(Some((
+                        HttpMsgRef::Reply(ReplyRef {
+                            req,
+                            url,
+                            client,
+                            status: ReplyStatusRef::Ok { meta, payload },
+                            lease,
+                            piggyback,
+                            volume_lease,
+                        }),
+                        body_start + len,
+                    )));
+                }
+                "304" => HttpMsgRef::Reply(ReplyRef {
+                    req,
+                    url,
+                    client,
+                    status: ReplyStatusRef::NotModified,
+                    lease,
+                    piggyback,
+                    volume_lease,
+                }),
+                other => return Err(unsupported_status(other)),
+            }
+        }
+        "INVALIDATE" => {
+            let target = parts.next().ok_or_else(invalidate_without_target)?;
+            if target == "*" {
+                let idx = required_u64(headers, "x-server")? as u32;
+                HttpMsgRef::InvalidateServer {
+                    server: ServerId::new(idx),
+                }
+            } else {
+                HttpMsgRef::Invalidate {
+                    url: url_from(headers, target)?,
+                    client: required_client(headers)?,
+                }
+            }
+        }
+        "ACK" => {
+            let path = parts.next().ok_or_else(ack_without_path)?;
+            if path == "*" {
+                let idx = required_u64(headers, "x-server")? as u32;
+                HttpMsgRef::InvalidateServerAck {
+                    server: ServerId::new(idx),
+                }
+            } else {
+                HttpMsgRef::InvalAck {
+                    url: url_from(headers, path)?,
+                    client: required_client(headers)?,
+                    cache_hits: parse_hit_count(headers)?,
+                }
+            }
+        }
+        "HELLO" => {
+            let spec = parts.next().ok_or_else(hello_without_partition)?;
+            let (p, n) = spec.split_once('/').ok_or_else(hello_bad_spec)?;
+            let partition = p.parse().map_err(|_| bad_partition())?;
+            let partitions: u32 = n.parse().map_err(|_| bad_partitions())?;
+            if partitions == 0 || partition >= partitions {
+                return Err(partition_out_of_range());
+            }
+            HttpMsgRef::Hello {
+                partition,
+                partitions,
+            }
+        }
+        "NOTIFY" => {
+            let path = parts.next().ok_or_else(notify_without_path)?;
+            HttpMsgRef::Notify {
+                url: url_from(headers, path)?,
+                at: parse_micros(headers.get("date").unwrap_or("0"))?,
+            }
+        }
+        other => return Err(unknown_verb(other)),
+    };
+    Ok(Some((msg, body_start)))
+}
+
+/// Decodes one message from a buffer known to hold the complete frame
+/// (trailing bytes are ignored, like the owned decoder on a cursor).
+///
+/// # Errors
+///
+/// Exactly those of [`crate::decode`] on the same bytes.
+pub fn decode_ref(buf: &[u8]) -> Result<HttpMsgRef<'_>, WireError> {
+    // Infallible: with `eof = true` the decoder never returns `None`.
+    let (msg, _used) = decode_frame(buf, true)?.expect("decode_frame never defers at eof"); // xtask-lint: allow(unwrap)
+    Ok(msg)
+}
+
+fn url_from(headers: Headers<'_>, path: &str) -> Result<Url, WireError> {
+    let server = parse_host(headers.get("host").ok_or_else(missing_host)?)?;
+    Url::from_path(server, path).ok_or_else(|| bad_path(path))
+}
+
+fn parse_host(value: &str) -> Result<ServerId, WireError> {
+    let idx = value
+        .strip_prefix("server")
+        .and_then(|rest| rest.parse().ok())
+        .ok_or_else(|| bad_host(value))?;
+    Ok(ServerId::new(idx))
+}
+
+fn required_u64(headers: Headers<'_>, name: &str) -> Result<u64, WireError> {
+    headers
+        .get(name)
+        .ok_or_else(|| missing_header(name))?
+        .parse()
+        .map_err(|_| non_numeric_header(name))
+}
+
+fn required_client(headers: Headers<'_>) -> Result<ClientId, WireError> {
+    headers
+        .get("x-client")
+        .ok_or_else(missing_client)?
+        .parse()
+        .map_err(|_| bad_client())
+}
+
+fn parse_micros(value: &str) -> Result<SimTime, WireError> {
+    value
+        .parse()
+        .map(SimTime::from_micros)
+        .map_err(|_| bad_timestamp(value))
+}
+
+fn parse_hit_count(headers: Headers<'_>) -> Result<u64, WireError> {
+    headers
+        .get("x-hit-count")
+        .map(|v| v.parse().map_err(|_| bad_hit_count()))
+        .transpose()
+        .map(|v| v.unwrap_or(0))
+}
+
+/// Validates the `X-Piggyback` list without materialising the [`Url`]s, so
+/// [`ReplyRef::piggyback_urls`] can parse it infallibly later.
+fn validated_piggyback(headers: Headers<'_>) -> Result<Option<&str>, WireError> {
+    let Some(list) = headers.get("x-piggyback") else {
+        return Ok(None);
+    };
+    for d in list.split(',') {
+        // Same target type as `Url::new`'s doc index in the owned parser.
+        let parsed: Result<u32, _> = d.trim().parse();
+        if parsed.is_err() {
+            return Err(bad_piggyback(d));
+        }
+    }
+    Ok(Some(list))
+}
+
+// ---------------------------------------------------------------------------
+// Cold error constructors. Decode errors terminate the connection, so the
+// allocations below never run in the steady-state loop; the waivers keep
+// the hot-loop-alloc lint honest about that.
+
+#[cold]
+fn invalid_utf8() -> WireError {
+    WireError::Io(std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        "stream did not contain valid UTF-8",
+    ))
+}
+
+#[cold]
+fn short_body() -> WireError {
+    // The message `Read::read_exact` uses for a short read.
+    WireError::Io(std::io::Error::new(
+        std::io::ErrorKind::UnexpectedEof,
+        "failed to fill whole buffer",
+    ))
+}
+
+#[cold]
+fn malformed_str(why: &str) -> WireError {
+    WireError::Malformed(why.to_string()) // xtask-lint: allow(hot-loop-alloc)
+}
+
+#[cold]
+fn bad_header(line: &str) -> WireError {
+    WireError::Malformed(format!("bad header: {line}")) // xtask-lint: allow(hot-loop-alloc)
+}
+
+#[cold]
+fn missing_verb() -> WireError {
+    malformed_str("missing verb")
+}
+
+#[cold]
+fn get_without_path() -> WireError {
+    malformed_str("GET without path")
+}
+
+#[cold]
+fn reply_without_code() -> WireError {
+    malformed_str("reply without code")
+}
+
+#[cold]
+fn reply_without_location() -> WireError {
+    malformed_str("reply without Content-Location")
+}
+
+#[cold]
+fn unsupported_status(code: &str) -> WireError {
+    WireError::Malformed(format!("unsupported status {code}")) // xtask-lint: allow(hot-loop-alloc)
+}
+
+#[cold]
+fn invalidate_without_target() -> WireError {
+    malformed_str("INVALIDATE without target")
+}
+
+#[cold]
+fn ack_without_path() -> WireError {
+    malformed_str("ACK without path")
+}
+
+#[cold]
+fn hello_without_partition() -> WireError {
+    malformed_str("HELLO without partition")
+}
+
+#[cold]
+fn hello_bad_spec() -> WireError {
+    malformed_str("HELLO spec must be p/n")
+}
+
+#[cold]
+fn bad_partition() -> WireError {
+    malformed_str("bad partition")
+}
+
+#[cold]
+fn bad_partitions() -> WireError {
+    malformed_str("bad partitions")
+}
+
+#[cold]
+fn partition_out_of_range() -> WireError {
+    malformed_str("partition out of range")
+}
+
+#[cold]
+fn notify_without_path() -> WireError {
+    malformed_str("NOTIFY without path")
+}
+
+#[cold]
+fn unknown_verb(verb: &str) -> WireError {
+    WireError::Malformed(format!("unknown verb {verb}")) // xtask-lint: allow(hot-loop-alloc)
+}
+
+#[cold]
+fn missing_last_modified() -> WireError {
+    malformed_str("200 without Last-Modified")
+}
+
+#[cold]
+fn missing_host() -> WireError {
+    malformed_str("missing Host header")
+}
+
+#[cold]
+fn bad_host(value: &str) -> WireError {
+    WireError::Malformed(format!("bad Host: {value}")) // xtask-lint: allow(hot-loop-alloc)
+}
+
+#[cold]
+fn bad_path(path: &str) -> WireError {
+    WireError::Malformed(format!("bad path {path}")) // xtask-lint: allow(hot-loop-alloc)
+}
+
+#[cold]
+fn missing_header(name: &str) -> WireError {
+    WireError::Malformed(format!("missing header {name}")) // xtask-lint: allow(hot-loop-alloc)
+}
+
+#[cold]
+fn non_numeric_header(name: &str) -> WireError {
+    WireError::Malformed(format!("non-numeric header {name}")) // xtask-lint: allow(hot-loop-alloc)
+}
+
+#[cold]
+fn missing_client() -> WireError {
+    malformed_str("missing X-Client")
+}
+
+#[cold]
+fn bad_client() -> WireError {
+    malformed_str("bad X-Client")
+}
+
+#[cold]
+fn bad_timestamp(value: &str) -> WireError {
+    WireError::Malformed(format!("bad timestamp {value}")) // xtask-lint: allow(hot-loop-alloc)
+}
+
+#[cold]
+fn bad_hit_count() -> WireError {
+    malformed_str("bad X-Hit-Count")
+}
+
+#[cold]
+fn bad_piggyback(entry: &str) -> WireError {
+    WireError::Malformed(format!("bad piggyback entry {entry:?}")) // xtask-lint: allow(hot-loop-alloc)
+}
+
+/// Pulls frames off a [`Read`] stream through a persistent buffer, decoding
+/// each one zero-copy.
+///
+/// The buffer survives across messages: consumed frames are compacted away
+/// before the next socket read, so steady-state operation performs no
+/// allocation (the buffer reaches its high-water mark and stays there) and
+/// no copy of the body bytes between the socket and the decoded
+/// [`HttpMsgRef`].
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted lazily, before the next read).
+    start: usize,
+    eof: bool,
+}
+
+/// Socket read granularity: one TCP segment's worth.
+const READ_CHUNK: usize = 8192;
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps `inner` with an empty buffer.
+    pub fn new(inner: R) -> Self {
+        FrameReader {
+            inner,
+            buf: Vec::with_capacity(READ_CHUNK),
+            start: 0,
+            eof: false,
+        }
+    }
+
+    /// A reference to the wrapped stream.
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+
+    /// Decodes the next frame, reading more bytes as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Closed`] on clean EOF between frames; otherwise exactly
+    /// the owned decoder's errors, including [`WireError::Io`] for
+    /// `WouldBlock`/`TimedOut` on a non-blocking or deadline-bound socket
+    /// (the caller distinguishes those from fatal errors).
+    pub fn next_msg(&mut self) -> Result<HttpMsgRef<'_>, WireError> {
+        loop {
+            // First pass establishes the frame length (the decoded borrow is
+            // dropped inside the match); the complete frame is then decoded
+            // again outside the loop, which satisfies the borrow checker at
+            // the cost of one re-parse of ~10 short lines.
+            let pending = &self.buf[self.start..]; // xtask-lint: allow(index-panic)
+            let used = match decode_frame(pending, self.eof)? {
+                Some((_msg, used)) => used,
+                None => {
+                    self.fill()?;
+                    continue;
+                }
+            };
+            let lo = self.start;
+            self.start += used;
+            let frame = &self.buf[lo..lo + used]; // xtask-lint: allow(index-panic)
+            let (msg, _) = decode_frame(frame, true)?.expect("complete frame re-decodes"); // xtask-lint: allow(unwrap)
+            return Ok(msg);
+        }
+    }
+
+    /// Compacts the consumed prefix away and reads one more chunk.
+    fn fill(&mut self) -> Result<(), WireError> {
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        let old = self.buf.len();
+        self.buf.resize(old + READ_CHUNK, 0);
+        let spare = &mut self.buf[old..]; // xtask-lint: allow(index-panic)
+        match self.inner.read(spare) {
+            Ok(n) => {
+                self.buf.truncate(old + n);
+                if n == 0 {
+                    self.eof = true;
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.buf.truncate(old);
+                Err(WireError::Io(e))
+            }
+        }
+    }
+}
+
+/// Counters from a [`codec_sweep`]: how a message corpus fares through the
+/// zero-copy decoder.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CodecStats {
+    /// Messages decoded.
+    pub messages: u64,
+    /// Total encoded bytes swept.
+    pub bytes: u64,
+    /// Decodes whose bulk data stayed borrowed in the buffer.
+    pub borrows: u64,
+    /// Decodes that needed an owning copy ([`HttpMsgRef::needs_copy`]).
+    pub copies: u64,
+    /// Messages a cache retains past the buffer's lifetime (`200` replies,
+    /// counted independently of `needs_copy`). The allocation-discipline
+    /// gate is `copies == retained`: the only copies are retention copies.
+    pub retained: u64,
+}
+
+/// Encodes `msgs` into one contiguous stream and decodes it back
+/// zero-copy, converting to owned form only at retention boundaries.
+///
+/// This is the bench harness's decode-path probe: it exercises the same
+/// [`decode_frame`] loop the TCP tiers run and reports how many messages
+/// borrowed versus copied, so the trajectory gate can enforce that copies
+/// happen *only* where a `200` body crosses into a cache.
+///
+/// # Panics
+///
+/// Panics if a message fails to round-trip through its own encoding —
+/// impossible for well-formed [`HttpMsg`] values.
+pub fn codec_sweep(msgs: &[HttpMsg]) -> CodecStats {
+    let mut stats = CodecStats::default();
+    // Bench-probe setup, not the steady-state decode loop.
+    let mut buf = Vec::new(); // xtask-lint: allow(hot-loop-alloc)
+    for msg in msgs {
+        buf.extend_from_slice(&crate::wire::encode(msg));
+    }
+    stats.bytes = buf.len() as u64;
+    let mut rest: &[u8] = &buf;
+    while !rest.is_empty() {
+        let (msg, used) = decode_frame(rest, true)
+            .expect("corpus re-decodes cleanly") // xtask-lint: allow(unwrap)
+            .expect("eof decode never defers"); // xtask-lint: allow(unwrap)
+        stats.messages += 1;
+        let retained = matches!(
+            &msg,
+            HttpMsgRef::Reply(r) if matches!(r.status, ReplyStatusRef::Ok { .. })
+        );
+        if retained {
+            stats.retained += 1;
+            // The retention boundary: the body crosses into owned storage.
+            let _owned = msg.to_owned();
+        }
+        if msg.needs_copy() {
+            stats.copies += 1;
+        } else {
+            stats.borrows += 1;
+        }
+        rest = &rest[used..];
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{decode, encode};
+
+    fn sample_url() -> Url {
+        Url::new(ServerId::new(3), 99)
+    }
+
+    fn sample_client() -> ClientId {
+        ClientId::from_ip([10, 1, 2, 3])
+    }
+
+    fn assert_same_as_owned(bytes: &[u8]) {
+        let owned = decode(&mut &bytes[..]);
+        let zero = decode_ref(bytes);
+        match (owned, zero) {
+            (Ok(o), Ok(z)) => assert_eq!(z.to_owned(), o),
+            (Err(eo), Err(ez)) => {
+                assert_eq!(format!("{ez}"), format!("{eo}"), "error text diverged");
+                assert_eq!(
+                    std::mem::discriminant(&ez),
+                    std::mem::discriminant(&eo),
+                    "error variant diverged"
+                );
+            }
+            (o, z) => panic!("decoders diverged: owned {o:?} vs zero-copy {z:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trips_match_owned_decoder() {
+        let meta = DocMeta::new(ByteSize::from_kib(44), SimTime::from_secs(7));
+        let msgs = [
+            HttpMsg::Get(GetRequest {
+                req: RequestId::new(17),
+                url: sample_url(),
+                client: sample_client(),
+                ims: Some(SimTime::from_micros(123_456_789)),
+                issued_at: SimTime::from_micros(123_999_999),
+                cache_hits: 42,
+            }),
+            HttpMsg::Reply(Reply {
+                req: RequestId::new(5),
+                url: sample_url(),
+                client: sample_client(),
+                status: ReplyStatus::Ok(Body::synthetic(meta, 100)),
+                lease: Some(SimTime::from_secs(86_400 * 3)),
+                piggyback: vec![Url::new(ServerId::new(3), 4), Url::new(ServerId::new(3), 9)],
+                volume_lease: Some(SimTime::from_secs(9)),
+            }),
+            HttpMsg::Reply(Reply {
+                req: RequestId::new(6),
+                url: sample_url(),
+                client: sample_client(),
+                status: ReplyStatus::NotModified,
+                lease: None,
+                piggyback: vec![Url::new(ServerId::new(3), 1)],
+                volume_lease: None,
+            }),
+            HttpMsg::Invalidate {
+                url: sample_url(),
+                client: sample_client(),
+            },
+            HttpMsg::InvalidateServer {
+                server: ServerId::new(9),
+            },
+            HttpMsg::InvalidateServerAck {
+                server: ServerId::new(9),
+            },
+            HttpMsg::InvalAck {
+                url: sample_url(),
+                client: sample_client(),
+                cache_hits: 12,
+            },
+            HttpMsg::Hello {
+                partition: 2,
+                partitions: 4,
+            },
+            HttpMsg::MetricsGet,
+            HttpMsg::Notify {
+                url: sample_url(),
+                at: SimTime::from_secs(77),
+            },
+        ];
+        for msg in msgs {
+            let bytes = encode(&msg);
+            let zero = decode_ref(&bytes).expect("zero-copy decode failed");
+            assert_eq!(zero.to_owned(), msg);
+            assert_eq!(
+                zero.needs_copy(),
+                matches!(
+                    &msg,
+                    HttpMsg::Reply(Reply {
+                        status: ReplyStatus::Ok(_),
+                        ..
+                    })
+                )
+            );
+            assert_same_as_owned(&bytes);
+        }
+    }
+
+    #[test]
+    fn codec_sweep_counts_only_retention_copies() {
+        let meta = DocMeta::new(ByteSize::from_kib(2), SimTime::from_secs(1));
+        let msgs = vec![
+            HttpMsg::Get(GetRequest {
+                req: RequestId::new(1),
+                url: sample_url(),
+                client: sample_client(),
+                ims: None,
+                issued_at: SimTime::from_secs(2),
+                cache_hits: 0,
+            }),
+            HttpMsg::Reply(Reply {
+                req: RequestId::new(1),
+                url: sample_url(),
+                client: sample_client(),
+                status: ReplyStatus::Ok(Body::synthetic(meta, 100)),
+                lease: None,
+                piggyback: Vec::new(),
+                volume_lease: None,
+            }),
+            HttpMsg::Reply(Reply {
+                req: RequestId::new(2),
+                url: sample_url(),
+                client: sample_client(),
+                status: ReplyStatus::NotModified,
+                lease: None,
+                piggyback: Vec::new(),
+                volume_lease: None,
+            }),
+            HttpMsg::Invalidate {
+                url: sample_url(),
+                client: sample_client(),
+            },
+        ];
+        let stats = codec_sweep(&msgs);
+        assert_eq!(stats.messages, 4);
+        assert_eq!(stats.retained, 1, "one 200 reply in the corpus");
+        assert_eq!(stats.copies, stats.retained, "copies only at retention");
+        assert_eq!(stats.borrows, 3);
+        let encoded: usize = msgs.iter().map(|m| encode(m).len()).sum();
+        assert_eq!(stats.bytes, encoded as u64);
+    }
+
+    #[test]
+    fn malformed_inputs_match_owned_decoder() {
+        for bad in [
+            &b""[..],
+            b"\r\n",
+            b"BOGUS /doc/1 HTTP/1.0\r\n\r\n",
+            b"GET /doc/1 HTTP/1.0\r\nnocolon\r\n\r\n",
+            b"GET /doc/1 HTTP/1.0\r\n\r\n",
+            b"GET /nope HTTP/1.0\r\nHost: server0\r\nX-Client: 1.2.3.4\r\nX-Request-Id: 0\r\n\r\n",
+            b"HTTP/1.0 500 Oops\r\nHost: server0\r\nContent-Location: /doc/1\r\nX-Client: 1.2.3.4\r\nX-Request-Id: 0\r\n\r\n",
+            b"GET /doc/1 HTTP/1.0\r\nHost: elsewhere\r\nX-Client: 1.2.3.4\r\nX-Request-Id: 0\r\n\r\n",
+            b"HELLO 4/4 HTTP/1.0\r\n\r\n",
+            b"HELLO x HTTP/1.0\r\n\r\n",
+            b"GET /doc/1 HTTP/1.0\r\nHost: server0\r\n", // eof inside headers
+            b"GET\r\n\r\n",
+            b"HTTP/1.0\r\nHost: server0\r\n\r\n",
+            b"HTTP/1.0 200 OK\r\nHost: server0\r\nContent-Location: /doc/1\r\nX-Client: 1.2.3.4\r\nX-Request-Id: 0\r\n\r\n",
+            b"NOTIFY /doc/5 HTTP/1.0\r\nHost: server1\r\nDate: xyz\r\n\r\n",
+            b"HTTP/1.0 304 NM\r\nHost: server0\r\nContent-Location: /doc/1\r\nX-Client: 1.2.3.4\r\nX-Request-Id: 0\r\nX-Piggyback: 1,x\r\n\r\n",
+            b"GET /doc/1 HTTP/1.0\r\nHost: server0\r\nX-Client: 1.2.3.4\r\nX-Request-Id: 0\r\nX-Hit-Count: moo\r\n\r\n",
+            b"\xff\xfe GET\r\n\r\n", // invalid UTF-8 in the start line
+            b"GET /doc/1 HTTP/1.0\r\nHost: \xff\xfe\r\n\r\n", // ... in a header
+        ] {
+            assert_same_as_owned(bad);
+        }
+    }
+
+    #[test]
+    fn truncated_body_matches_owned_io_error() {
+        let meta = DocMeta::new(ByteSize::from_bytes(1000), SimTime::ZERO);
+        let msg = HttpMsg::Reply(Reply {
+            req: RequestId::new(0),
+            url: sample_url(),
+            client: sample_client(),
+            status: ReplyStatus::Ok(Body::synthetic(meta, 1)),
+            lease: None,
+            piggyback: Vec::new(),
+            volume_lease: None,
+        });
+        let bytes = encode(&msg);
+        assert_same_as_owned(&bytes[..bytes.len() - 10]);
+        // Every prefix of every length behaves like the owned decoder fed
+        // the same truncated stream.
+        for cut in 0..bytes.len() {
+            assert_same_as_owned(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn incremental_decode_defers_until_complete() {
+        let msg = HttpMsg::Notify {
+            url: sample_url(),
+            at: SimTime::from_secs(3),
+        };
+        let bytes = encode(&msg);
+        for cut in 0..bytes.len() {
+            assert!(
+                matches!(decode_frame(&bytes[..cut], false), Ok(None)),
+                "cut {cut} should defer"
+            );
+        }
+        let (decoded, used) = decode_frame(&bytes, false).unwrap().unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded.to_owned(), msg);
+    }
+
+    #[test]
+    fn duplicate_headers_resolve_last_wins_like_owned() {
+        let text = b"NOTIFY /doc/5 HTTP/1.0\r\nHost: server1\r\nDate: 7\r\nDate: 9\r\n\r\n";
+        let owned = decode(&mut &text[..]).unwrap();
+        let zero = decode_ref(text).unwrap();
+        assert_eq!(zero.to_owned(), owned);
+        assert_eq!(
+            owned,
+            HttpMsg::Notify {
+                url: Url::new(ServerId::new(1), 5),
+                at: SimTime::from_micros(9),
+            }
+        );
+    }
+
+    #[test]
+    fn frame_reader_streams_pipelined_messages() {
+        let a = HttpMsg::Notify {
+            url: sample_url(),
+            at: SimTime::ZERO,
+        };
+        let b = HttpMsg::Invalidate {
+            url: sample_url(),
+            client: sample_client(),
+        };
+        let mut bytes = encode(&a);
+        bytes.extend(encode(&b));
+        // A reader that trickles one byte at a time exercises every
+        // partial-frame path in the incremental decoder.
+        struct Trickle<'a>(&'a [u8]);
+        impl Read for Trickle<'_> {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                match self.0.split_first() {
+                    Some((&byte, rest)) => {
+                        out[0] = byte;
+                        self.0 = rest;
+                        Ok(1)
+                    }
+                    None => Ok(0),
+                }
+            }
+        }
+        let mut reader = FrameReader::new(Trickle(&bytes));
+        assert_eq!(reader.next_msg().unwrap().to_owned(), a);
+        assert_eq!(reader.next_msg().unwrap().to_owned(), b);
+        assert!(matches!(reader.next_msg(), Err(WireError::Closed)));
+    }
+
+    #[test]
+    fn frame_reader_borrows_bodies_zero_copy() {
+        let meta = DocMeta::new(ByteSize::from_kib(8), SimTime::from_secs(1));
+        let msg = HttpMsg::Reply(Reply {
+            req: RequestId::new(1),
+            url: sample_url(),
+            client: sample_client(),
+            status: ReplyStatus::Ok(Body::synthetic(meta, 1)),
+            lease: None,
+            piggyback: Vec::new(),
+            volume_lease: None,
+        });
+        let bytes = encode(&msg);
+        let mut reader = FrameReader::new(&bytes[..]);
+        let decoded = reader.next_msg().unwrap();
+        assert!(decoded.needs_copy());
+        assert_eq!(decoded.to_owned(), msg);
+    }
+}

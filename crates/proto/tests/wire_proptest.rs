@@ -1,7 +1,9 @@
-//! Property test: every well-formed message survives the wire round trip.
+//! Property tests: every well-formed message survives the wire round trip,
+//! and the zero-copy decoder agrees with the owned decoder byte-for-byte —
+//! on successes, on truncations and on corrupted bytes.
 
 use proptest::prelude::*;
-use wcc_proto::{decode, encode, GetRequest, HttpMsg, Reply, ReplyStatus, RequestId};
+use wcc_proto::{decode, decode_ref, encode, GetRequest, HttpMsg, Reply, ReplyStatus, RequestId};
 use wcc_types::{Body, ByteSize, ClientId, DocMeta, ServerId, SimTime, Url};
 
 fn url_strategy() -> impl Strategy<Value = Url> {
@@ -86,6 +88,10 @@ fn msg_strategy() -> impl Strategy<Value = HttpMsg> {
         (0u32..64).prop_map(|s| HttpMsg::InvalidateServer {
             server: ServerId::new(s)
         }),
+        (0u32..64).prop_map(|s| HttpMsg::InvalidateServerAck {
+            server: ServerId::new(s)
+        }),
+        Just(HttpMsg::MetricsGet),
         (url_strategy(), client_strategy(), any::<u32>()).prop_map(|(url, client, hits)| {
             HttpMsg::InvalAck {
                 url,
@@ -129,4 +135,58 @@ proptest! {
         let mut truncated = &bytes[..bytes.len() - cut];
         let _ = decode(&mut truncated); // any Result is fine; no panic
     }
+
+    /// The tentpole zero-copy property: for every message variant,
+    /// `decode_ref(encode(msg)).to_owned() == msg`.
+    #[test]
+    fn zero_copy_decode_round_trips(msg in msg_strategy()) {
+        let bytes = encode(&msg);
+        let msg_ref = decode_ref(&bytes).expect("well-formed message must decode");
+        prop_assert_eq!(msg_ref.to_owned(), msg);
+    }
+
+    /// Truncated input: the zero-copy decoder must fail exactly when the
+    /// owned decoder fails, with a byte-identical error rendering.
+    #[test]
+    fn zero_copy_truncation_matches_owned(msg in msg_strategy(), cut in 0usize..512) {
+        let bytes = encode(&msg);
+        let cut = cut.min(bytes.len());
+        let slice = &bytes[..bytes.len() - cut];
+        assert_decoders_agree(slice)?;
+    }
+
+    /// Corrupted input: flip one bit anywhere in the frame; the two
+    /// decoders must still agree (both succeed with equal messages, or
+    /// both fail with the same error).
+    #[test]
+    fn zero_copy_corruption_matches_owned(msg in msg_strategy(), pos in 0usize..4096, bit in 0u32..8) {
+        let mut bytes = encode(&msg);
+        let len = bytes.len();
+        bytes[pos % len] ^= 1 << bit;
+        assert_decoders_agree(&bytes)?;
+    }
+}
+
+/// Both decoders on the same bytes: equal messages or equal errors.
+fn assert_decoders_agree(bytes: &[u8]) -> Result<(), TestCaseError> {
+    let owned = decode(&mut &bytes[..]);
+    let zero = decode_ref(bytes);
+    match (owned, zero) {
+        (Ok(o), Ok(z)) => prop_assert_eq!(z.to_owned(), o),
+        (Err(eo), Err(ez)) => {
+            prop_assert_eq!(format!("{ez}"), format!("{eo}"), "error text diverged");
+            prop_assert_eq!(
+                std::mem::discriminant(&ez),
+                std::mem::discriminant(&eo),
+                "error variant diverged"
+            );
+        }
+        (o, z) => prop_assert!(
+            false,
+            "decoders diverged: owned {:?} vs zero-copy {:?}",
+            o,
+            z
+        ),
+    }
+    Ok(())
 }

@@ -41,8 +41,8 @@ pub mod parallel;
 pub mod tables;
 
 pub use experiment::{
-    run_experiment, run_experiment_sharded, run_trio, two_tier_comparison, ExperimentConfig,
-    ExperimentConfigBuilder, ReplayReport, TwoTierComparison,
+    materialise, run_experiment, run_experiment_sharded, run_trio, two_tier_comparison,
+    ExperimentConfig, ExperimentConfigBuilder, ReplayReport, TwoTierComparison,
 };
 pub use failure::{
     partition_scenario, proxy_crash_scenario, server_crash_scenario,

@@ -17,6 +17,9 @@ use wcc_types::SimTime;
 /// so that ordinary message traffic never touches the overflow heap.
 const RING_BUCKETS: u64 = 4096;
 
+/// Occupancy-bitmap words covering the ring (one bit per bucket).
+const RING_WORDS: usize = (RING_BUCKETS as usize) / 64;
+
 /// The tie-breaking key of a scheduled event: events firing at the same
 /// instant pop in `(lane, seq)` order.
 ///
@@ -111,6 +114,12 @@ pub struct EventQueue<E> {
     /// Each bucket is unsorted; pops scan it for the minimum key, which is
     /// cheap because same-microsecond occupancy is small.
     ring: Vec<Vec<(SimTime, Rank, E)>>,
+    /// Occupancy bitmap over the ring: bit `b` of word `b / 64` is set iff
+    /// bucket `b` is non-empty. Replaces the one-bucket-per-microsecond
+    /// cursor walk in [`EventQueue::seek`] with a `trailing_zeros` scan —
+    /// the event gaps in the replay traces average hundreds of microseconds,
+    /// so the walk used to dominate the whole simulation's runtime.
+    occupied: [u64; RING_WORDS],
     /// Events at or beyond the ring horizon, pulled into the ring lazily as
     /// the cursor advances.
     overflow: BinaryHeap<Scheduled<E>>,
@@ -134,12 +143,46 @@ impl<E> EventQueue<E> {
         ring.resize_with(RING_BUCKETS as usize, Vec::new);
         EventQueue {
             ring,
+            occupied: [0; RING_WORDS],
             overflow: BinaryHeap::new(),
             cursor: 0,
             ring_len: 0,
             len: 0,
             next_seq: 0,
         }
+    }
+
+    /// Marks ring bucket `slot` occupied.
+    #[inline]
+    fn mark(&mut self, slot: u64) {
+        self.occupied[(slot / 64) as usize] |= 1 << (slot % 64);
+    }
+
+    /// Clears ring bucket `slot`'s occupancy bit (bucket just became empty).
+    #[inline]
+    fn unmark(&mut self, slot: u64) {
+        self.occupied[(slot / 64) as usize] &= !(1 << (slot % 64));
+    }
+
+    /// Circular distance from bucket `start` to the nearest occupied bucket
+    /// (0 when `start` itself is occupied). The ring must be non-empty.
+    ///
+    /// Every ring event lives in `[cursor, cursor + RING_BUCKETS)`, so the
+    /// circular scan order from `cursor % RING_BUCKETS` *is* time order.
+    fn next_occupied_delta(&self, start: u64) -> u64 {
+        let word = (start / 64) as usize;
+        let bit = (start % 64) as u32;
+        let head = self.occupied[word] >> bit;
+        if head != 0 {
+            return u64::from(head.trailing_zeros());
+        }
+        for k in 1..=RING_WORDS {
+            let w = self.occupied[(word + k) % RING_WORDS];
+            if w != 0 {
+                return u64::from(64 - bit) + ((k as u64) - 1) * 64 + u64::from(w.trailing_zeros());
+            }
+        }
+        unreachable!("occupancy bitmap empty while ring_len > 0");
     }
 
     /// Schedules `payload` to fire at `at` on the external lane. Returns the
@@ -169,6 +212,7 @@ impl<E> EventQueue<E> {
             // later one, and within a bucket the stored key decides.
             let slot = t.max(self.cursor) % RING_BUCKETS;
             self.ring[slot as usize].push((at, rank, payload));
+            self.mark(slot);
             self.ring_len += 1;
         }
     }
@@ -183,14 +227,16 @@ impl<E> EventQueue<E> {
                 break;
             }
             let s = self.overflow.pop().expect("peeked overflow entry");
-            self.ring[(t % RING_BUCKETS) as usize].push((s.at, s.rank, s.payload));
+            let slot = t % RING_BUCKETS;
+            self.ring[slot as usize].push((s.at, s.rank, s.payload));
+            self.mark(slot);
             self.ring_len += 1;
         }
     }
 
-    /// Advances the cursor to the first non-empty bucket (jumping straight
-    /// to the overflow minimum across empty stretches) and returns its
-    /// index, or `None` if the queue is empty.
+    /// Advances the cursor to the first non-empty bucket (one bitmap scan —
+    /// empty stretches cost `trailing_zeros` word probes, not one step per
+    /// microsecond) and returns its index, or `None` if the queue is empty.
     fn seek(&mut self) -> Option<usize> {
         if self.len == 0 {
             return None;
@@ -199,30 +245,40 @@ impl<E> EventQueue<E> {
             // Skip the empty stretch in one hop instead of walking buckets.
             let head = self.overflow.peek().expect("len > 0 with empty ring");
             self.cursor = self.cursor.max(head.at.as_micros());
+            self.refill();
         }
-        self.refill();
         if self.ring_len == 0 {
             // Only reachable when the head sits at the saturation edge of
             // the time axis (e.g. an event at SimTime::NEVER): pull it in
             // unconditionally so the scan below always terminates.
             let s = self.overflow.pop().expect("len > 0 with empty ring");
-            self.ring[(self.cursor % RING_BUCKETS) as usize].push((s.at, s.rank, s.payload));
+            let slot = self.cursor % RING_BUCKETS;
+            self.ring[slot as usize].push((s.at, s.rank, s.payload));
+            self.mark(slot);
             self.ring_len += 1;
         }
-        loop {
-            let slot = (self.cursor % RING_BUCKETS) as usize;
-            if !self.ring[slot].is_empty() {
-                return Some(slot);
-            }
-            self.cursor += 1;
-            // Crossing into a new bucket can expose overflow entries that
-            // now fit the window.
+        let delta = self.next_occupied_delta(self.cursor % RING_BUCKETS);
+        if delta > 0 {
+            self.cursor += delta;
+            // Crossing buckets can expose overflow entries that now fit the
+            // window. One refill suffices: every overflow entry had
+            // `t ≥ old cursor + RING_BUCKETS > new cursor` (the jump is less
+            // than one full ring), so nothing refills at or before the
+            // bucket the scan just chose.
             self.refill();
         }
+        Some((self.cursor % RING_BUCKETS) as usize)
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.pop_bounded(SimTime::NEVER)
+    }
+
+    /// Removes and returns the earliest event if it fires at or before
+    /// `bound`; leaves the queue untouched otherwise. One call replaces the
+    /// engine's former `peek_time` + `pop` pair per dispatched event.
+    pub fn pop_bounded(&mut self, bound: SimTime) -> Option<(SimTime, E)> {
         let slot = self.seek()?;
         let bucket = &self.ring[slot];
         let mut best = 0;
@@ -231,7 +287,13 @@ impl<E> EventQueue<E> {
                 best = i;
             }
         }
+        if bucket[best].0 > bound {
+            return None;
+        }
         let (at, _, payload) = self.ring[slot].swap_remove(best);
+        if self.ring[slot].is_empty() {
+            self.unmark(slot as u64);
+        }
         self.ring_len -= 1;
         self.len -= 1;
         Some((at, payload))
@@ -267,6 +329,7 @@ impl<E> EventQueue<E> {
                 .map(|s| (s.at, s.rank, s.payload)),
         );
         out.sort_by_key(|e| (e.0, e.1));
+        self.occupied = [0; RING_WORDS];
         self.ring_len = 0;
         self.len = 0;
         out
@@ -410,6 +473,51 @@ mod tests {
             assert_eq!(q.pop(), Some((SimTime::from_secs(h * 3_600), h)));
         }
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_bounded_respects_the_bound() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(10), 'a');
+        q.schedule(SimTime::from_secs(1), 'b');
+        assert_eq!(q.pop_bounded(SimTime::from_micros(5)), None);
+        assert_eq!(q.len(), 2, "a refused pop leaves the queue untouched");
+        assert_eq!(
+            q.pop_bounded(SimTime::from_micros(10)),
+            Some((SimTime::from_micros(10), 'a'))
+        );
+        assert_eq!(q.pop_bounded(SimTime::from_micros(10)), None);
+        assert_eq!(
+            q.pop_bounded(SimTime::NEVER),
+            Some((SimTime::from_secs(1), 'b'))
+        );
+        assert_eq!(q.pop_bounded(SimTime::NEVER), None);
+    }
+
+    #[test]
+    fn pop_bounded_pops_saturation_edge_events() {
+        // run_until_idle must drain events parked at SimTime::NEVER.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::NEVER, 'z');
+        assert_eq!(q.pop_bounded(SimTime::NEVER), Some((SimTime::NEVER, 'z')));
+    }
+
+    #[test]
+    fn occupancy_bitmap_tracks_interleaved_push_pop() {
+        // Exercise word boundaries (bits 63/64) and re-marking a bucket that
+        // was emptied, across several ring wraps.
+        let mut q = EventQueue::new();
+        for round in 0u64..3 {
+            let base = round * RING_BUCKETS;
+            for &off in &[63u64, 64, 65, 127, 128, 4095] {
+                q.schedule(SimTime::from_micros(base + off), (round, off));
+            }
+            let mut got = Vec::new();
+            while let Some((_, e)) = q.pop() {
+                got.push(e.1);
+            }
+            assert_eq!(got, vec![63, 64, 65, 127, 128, 4095], "round {round}");
+        }
     }
 
     #[test]

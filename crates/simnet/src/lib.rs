@@ -6,6 +6,9 @@
 //!
 //! * an **event queue** with a total order (time, then per-node lane and
 //!   lane sequence), so every run is bit-for-bit reproducible ([`event`]);
+//! * a **generational arena** that parks in-flight events so the queue moves
+//!   three-word handles and steady-state scheduling never touches the
+//!   global allocator ([`arena`]);
 //! * **actor nodes** addressed by [`NodeId`](wcc_types::NodeId) that react to
 //!   messages and timers through the [`Node`] trait ([`node`]);
 //! * a **network model** with per-link propagation latency and bandwidth
@@ -61,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod event;
 pub mod fault;
 pub mod metrics;
@@ -69,6 +73,7 @@ pub mod node;
 pub mod shard;
 pub mod sim;
 
+pub use arena::{Arena, ArenaStats, Handle};
 pub use event::EventQueue;
 pub use fault::{FaultEntry, FaultPlan};
 pub use metrics::{Counter, NetStats, Summary};

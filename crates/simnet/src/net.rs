@@ -119,6 +119,11 @@ impl NetworkConfig {
 
     /// The link spec used for messages from `src` to `dst`.
     pub fn link(&self, src: NodeId, dst: NodeId) -> LinkSpec {
+        // Uniform networks (every replay deployment's default) skip the hash
+        // lookup on the per-send hot path.
+        if self.overrides.is_empty() {
+            return self.default_link;
+        }
         self.overrides
             .get(&(src, dst))
             .copied()
@@ -175,7 +180,9 @@ impl Reachability {
     }
 
     pub(crate) fn is_crashed(&self, node: NodeId) -> bool {
-        self.crashed.contains(&node)
+        // Fault-free runs (the vast majority of replays) never pay the hash
+        // probe on the per-delivery hot path.
+        !self.crashed.is_empty() && self.crashed.contains(&node)
     }
 
     pub(crate) fn sever(&mut self, a: NodeId, b: NodeId) {
@@ -193,6 +200,9 @@ impl Reachability {
     /// at send time. Crash of the *destination* is checked at delivery time
     /// by the engine.)
     pub(crate) fn can_send(&self, src: NodeId, dst: NodeId) -> bool {
+        if self.crashed.is_empty() && self.severed.is_empty() {
+            return true;
+        }
         !self.is_crashed(src) && !self.severed.contains(&(src, dst))
     }
 }

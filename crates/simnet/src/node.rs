@@ -1,5 +1,6 @@
 //! The actor abstraction: [`Node`] and its interaction context [`Ctx`].
 
+use crate::arena::{Arena, Handle};
 use crate::event::Rank;
 use crate::metrics::NetStats;
 use crate::net::{NetworkConfig, Reachability};
@@ -82,7 +83,8 @@ pub trait Node<M>: Send + 'static {
 pub struct Ctx<'a, M> {
     pub(crate) self_id: NodeId,
     pub(crate) now: SimTime,
-    pub(crate) queue: &'a mut EventQueue<EngineEvent<M>>,
+    pub(crate) queue: &'a mut EventQueue<Handle>,
+    pub(crate) arena: &'a mut Arena<EngineEvent<M>>,
     pub(crate) config: &'a NetworkConfig,
     pub(crate) reach: &'a Reachability,
     pub(crate) stats: &'a mut NetStats,
@@ -127,11 +129,19 @@ impl<M> Ctx<'_, M> {
             msg,
         };
         match self.route.as_deref_mut() {
-            // Under sharded execution a send to a foreign node goes to the
-            // outbox; the barrier merges it into the owner's queue before
-            // its arrival window starts (arrival ≥ send + lookahead).
-            Some(route) if !route.owned[dst.as_usize()] => route.outbox.push((at, rank, event)),
-            _ => self.queue.schedule_ranked(at, rank, event),
+            // Under sharded execution a send to a foreign node goes into the
+            // destination shard's outbox run; the barrier merges whole runs
+            // into the owner's queue before the first window their arrival
+            // times can fall into (arrival ≥ send + lookahead). Same-shard
+            // sends short-circuit all of that and land in the local queue.
+            Some(route) if route.shard_of[dst.as_usize()] != route.self_shard => {
+                let shard = route.shard_of[dst.as_usize()] as usize;
+                route.outboxes[shard].push((at, rank, event));
+            }
+            _ => {
+                let handle = self.arena.alloc(event);
+                self.queue.schedule_ranked(at, rank, handle);
+            }
         }
         true
     }
@@ -140,15 +150,12 @@ impl<M> Ctx<'_, M> {
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) -> TimerId {
         let rank = self.next_rank();
         let id = TimerId::pack(self.self_id, rank.seq);
-        self.queue.schedule_ranked(
-            self.now + delay,
-            rank,
-            EngineEvent::Timer {
-                node: self.self_id,
-                token,
-                id,
-            },
-        );
+        let handle = self.arena.alloc(EngineEvent::Timer {
+            node: self.self_id,
+            token,
+            id,
+        });
+        self.queue.schedule_ranked(self.now + delay, rank, handle);
         id
     }
 

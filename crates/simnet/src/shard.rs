@@ -46,6 +46,73 @@ use wcc_types::{FxHashSet, SimDuration, SimTime};
 /// One ranked event in flight between shards.
 type RankedEvent<M> = (SimTime, Rank, EngineEvent<M>);
 
+/// Merges per-sender runs — each already sorted ascending by `(time, rank)`
+/// — into one ascending sequence: the window barrier's k-way galloping
+/// merge. Each step moves the *whole* leading chunk of the run holding the
+/// global minimum (every element below the runner-up run's head) in one
+/// splice, so a stretch of `m` consecutive winners costs `O(m + log m)`
+/// instead of `m` per-event queue insertions. Keys are globally unique
+/// (every lane has a single writer), so no tie-breaking is needed.
+fn merge_ranked_runs<M>(mut runs: Vec<Vec<RankedEvent<M>>>) -> Vec<RankedEvent<M>> {
+    runs.retain(|r| !r.is_empty());
+    if runs.len() <= 1 {
+        return runs.pop().unwrap_or_default();
+    }
+    let total = runs.iter().map(Vec::len).sum();
+    let mut out: Vec<RankedEvent<M>> = Vec::with_capacity(total);
+    // Work from the tails: reversing each ascending run to descending makes
+    // the pending minimum the *last* element, so chunks splice off with
+    // `drain(cut..)` — O(chunk), no per-element shifting, no unsafe.
+    for run in &mut runs {
+        run.reverse();
+    }
+    fn key<M>(e: &RankedEvent<M>) -> (SimTime, Rank) {
+        (e.0, e.1)
+    }
+    loop {
+        if runs.len() == 1 {
+            let mut last = runs.pop().expect("one run left");
+            out.extend(last.drain(..).rev());
+            return out;
+        }
+        // The run holding the global minimum, and the smallest head among
+        // the others — the bound on how much of it can move at once.
+        let mut best = 0;
+        let mut challenger: Option<(SimTime, Rank)> = None;
+        for i in 1..runs.len() {
+            if key(runs[i].last().expect("runs stay nonempty"))
+                < key(runs[best].last().expect("runs stay nonempty"))
+            {
+                best = i;
+            }
+        }
+        for (i, run) in runs.iter().enumerate() {
+            if i != best {
+                let k = key(run.last().expect("runs stay nonempty"));
+                challenger = Some(challenger.map_or(k, |c| c.min(k)));
+            }
+        }
+        let challenger = challenger.expect("at least two runs");
+        let run = &mut runs[best];
+        let len = run.len();
+        // Gallop from the tail: exponentially widen the suffix of elements
+        // below the challenger, then binary-search the boundary within the
+        // last doubling — O(log chunk), not O(log run).
+        let mut width = 1;
+        while width < len && key(&run[len - width]) < challenger {
+            width *= 2;
+        }
+        let lo = len - width.min(len);
+        // Descending storage: "key ≥ challenger" is a prefix property.
+        let cut = lo + run[lo..].partition_point(|e| key(e) >= challenger);
+        debug_assert!(cut < len, "the minimum run moves at least one element");
+        out.extend(run.drain(cut..).rev());
+        if run.is_empty() {
+            runs.swap_remove(best);
+        }
+    }
+}
+
 /// A [`Simulation`] split into independently runnable shards.
 ///
 /// Build one with [`ShardedSimulation::split`], drive it with
@@ -100,7 +167,7 @@ impl<M: Send + 'static> ShardedSimulation<M> {
         // Complete the initial schedule before distributing it.
         sim.start();
 
-        let events = sim.queue.drain_ranked();
+        let events = sim.drain_events();
         let external_seq = sim.queue.next_external_seq();
         let nodes = std::mem::take(&mut sim.nodes);
         let states = std::mem::take(&mut sim.states);
@@ -114,6 +181,7 @@ impl<M: Send + 'static> ShardedSimulation<M> {
                     nodes: Vec::with_capacity(assignment.len()),
                     states: states.clone(),
                     queue,
+                    arena: crate::Arena::new(),
                     config: sim.config.clone(),
                     reach: sim.reach.clone(),
                     // Stats are order-insensitive sums: park the prologue's
@@ -127,8 +195,10 @@ impl<M: Send + 'static> ShardedSimulation<M> {
                     now: sim.now,
                     started: true,
                     route: Some(ShardRoute {
-                        owned: assignment.iter().map(|&a| a == s).collect(),
-                        outbox: Vec::new(),
+                        shard_of: assignment.iter().map(|&a| a as u32).collect(),
+                        self_shard: s as u32,
+                        // Split-time; each outbox reuses its capacity.
+                        outboxes: (0..shard_count).map(|_| Vec::new()).collect(), // xtask-lint: allow(hot-loop-alloc)
                     }),
                 }
             })
@@ -152,20 +222,14 @@ impl<M: Send + 'static> ShardedSimulation<M> {
         for (at, rank, event) in events {
             match event {
                 EngineEvent::Deliver { dst, .. } => {
-                    shards[assignment[dst.as_usize()]]
-                        .queue
-                        .schedule_ranked(at, rank, event);
+                    shards[assignment[dst.as_usize()]].schedule_event(at, rank, event);
                 }
                 EngineEvent::Timer { node, .. } => {
-                    shards[assignment[node.as_usize()]]
-                        .queue
-                        .schedule_ranked(at, rank, event);
+                    shards[assignment[node.as_usize()]].schedule_event(at, rank, event);
                 }
                 EngineEvent::Fault(action) => {
                     for shard in &mut shards {
-                        shard
-                            .queue
-                            .schedule_ranked(at, rank, EngineEvent::Fault(action));
+                        shard.schedule_event(at, rank, EngineEvent::Fault(action));
                     }
                 }
             }
@@ -257,22 +321,35 @@ impl<M: Send + 'static> ShardedSimulation<M> {
         }
     }
 
-    /// Merges every shard's outbox into the destination shards' queues.
+    /// Merges every shard's outboxes into the destination shards' queues:
+    /// each sender's per-destination outbox is sorted into a run, all runs
+    /// bound for one destination are k-way merged, and the merged batch is
+    /// scheduled as one contiguous pass — not per-event `schedule_ranked`
+    /// calls from k interleaved sources.
     fn exchange(&mut self) {
-        for i in 0..self.shards.len() {
-            let outbox = {
-                let route = self.shards[i].route.as_mut().expect("shard has a route");
-                std::mem::take(&mut route.outbox)
-            };
-            for (at, rank, event) in outbox {
-                let dst = match &event {
-                    EngineEvent::Deliver { dst, .. } => *dst,
-                    // Only sends cross shards; timers and faults are local.
-                    _ => unreachable!("only Deliver events cross shards"),
-                };
-                self.shards[self.assignment[dst.as_usize()]]
-                    .queue
-                    .schedule_ranked(at, rank, event);
+        let n = self.shards.len();
+        // Empty vecs: no heap touch until a run is actually moved in.
+        let mut inbound: Vec<Vec<Vec<RankedEvent<M>>>> = (0..n).map(|_| Vec::new()).collect(); // xtask-lint: allow(hot-loop-alloc)
+        for shard in &mut self.shards {
+            let route = shard.route.as_mut().expect("shard has a route");
+            for (dst, outbox) in route.outboxes.iter_mut().enumerate() {
+                if outbox.is_empty() {
+                    continue;
+                }
+                let mut run = std::mem::take(outbox);
+                // Sort at the source: sends are emitted in causal order but
+                // variable link latencies can reorder arrival times.
+                run.sort_unstable_by_key(|e| (e.0, e.1));
+                inbound[dst].push(run);
+            }
+        }
+        for (dst, runs) in inbound.into_iter().enumerate() {
+            if runs.is_empty() {
+                continue;
+            }
+            let shard = &mut self.shards[dst];
+            for (at, rank, event) in merge_ranked_runs(runs) {
+                shard.schedule_event(at, rank, event);
             }
         }
     }
@@ -284,12 +361,14 @@ impl<M: Send + 'static> ShardedSimulation<M> {
     /// orders by the full `(time, lane, seq)` key, not insertion order.
     fn run_windows_threaded(&mut self, bound: SimTime) {
         let n = self.shards.len();
-        let assignment = &self.assignment;
         let lookahead = self.lookahead;
         let barrier = SpinBarrier::new(n);
         let peeks: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
-        let mailboxes: Vec<Mutex<Vec<RankedEvent<M>>>> =
-            (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        // Each mailbox holds whole sorted runs (one per sender per window):
+        // senders take one lock per run instead of one per event, and the
+        // receiver k-way merges the runs before scheduling.
+        let mailboxes: Vec<Mutex<Vec<Vec<RankedEvent<M>>>>> =
+            (0..n).map(|_| Mutex::new(Vec::new())).collect(); // xtask-lint: allow(hot-loop-alloc)
 
         crossbeam::thread::scope(|scope| {
             for (i, shard) in self.shards.iter_mut().enumerate() {
@@ -300,8 +379,8 @@ impl<M: Send + 'static> ShardedSimulation<M> {
                         let mut mailbox = mailboxes[i].lock().expect("mailbox poisoned");
                         std::mem::take(&mut *mailbox)
                     };
-                    for (at, rank, event) in inbox {
-                        shard.queue.schedule_ranked(at, rank, event);
+                    for (at, rank, event) in merge_ranked_runs(inbox) {
+                        shard.schedule_event(at, rank, event);
                     }
 
                     let peek = shard.queue.peek_time().map_or(u64::MAX, |t| t.as_micros());
@@ -320,19 +399,15 @@ impl<M: Send + 'static> ShardedSimulation<M> {
                     ));
                     shard.run_window(end);
 
-                    let outbox = {
-                        let route = shard.route.as_mut().expect("shard has a route");
-                        std::mem::take(&mut route.outbox)
-                    };
-                    for (at, rank, event) in outbox {
-                        let dst = match &event {
-                            EngineEvent::Deliver { dst, .. } => *dst,
-                            _ => unreachable!("only Deliver events cross shards"),
-                        };
-                        let mut mailbox = mailboxes[assignment[dst.as_usize()]]
-                            .lock()
-                            .expect("mailbox poisoned");
-                        mailbox.push((at, rank, event));
+                    let route = shard.route.as_mut().expect("shard has a route");
+                    for (dst, outbox) in route.outboxes.iter_mut().enumerate() {
+                        if outbox.is_empty() {
+                            continue;
+                        }
+                        let mut run = std::mem::take(outbox);
+                        run.sort_unstable_by_key(|e| (e.0, e.1));
+                        let mut mailbox = mailboxes[dst].lock().expect("mailbox poisoned");
+                        mailbox.push(run);
                     }
                     barrier.wait();
                 });
@@ -361,19 +436,24 @@ impl<M: Send + 'static> ShardedSimulation<M> {
             merged.stats.absorb(&shard.stats);
             merged.cancelled.extend(shard.cancelled.drain());
             external_seq = external_seq.max(shard.queue.next_external_seq());
+            // Drain leftover events before partially moving the node vector
+            // out of the shard; fold the shard arena's counters into the
+            // merged simulation's so `alloc_stats` reports the whole run.
+            let leftovers = shard.drain_events();
+            merged.arena.absorb_stats(shard.alloc_stats());
             for (i, node) in shard.nodes.into_iter().enumerate() {
                 if assignment[i] == s {
                     merged.nodes[i] = node;
                     merged.states[i] = shard.states[i];
                 }
             }
-            for (at, rank, event) in shard.queue.drain_ranked() {
+            for (at, rank, event) in leftovers {
                 // Fault events were replicated to every shard; keep shard
                 // 0's copy only.
                 if matches!(event, EngineEvent::Fault(_)) && s != 0 {
                     continue;
                 }
-                merged.queue.schedule_ranked(at, rank, event);
+                merged.schedule_event(at, rank, event);
             }
         }
         merged.queue.set_next_external_seq(external_seq);
@@ -569,6 +649,46 @@ mod tests {
                 "threaded={threaded}"
             );
         }
+    }
+
+    #[test]
+    fn galloping_merge_matches_a_full_sort() {
+        // Deterministic LCG-shaped runs: long winner stretches (gallop
+        // chunks), singleton runs, an empty run, and key gaps across runs.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut runs: Vec<Vec<RankedEvent<u64>>> = Vec::new();
+        let mut seq = 0u64;
+        for len in [0usize, 1, 7, 40, 3, 25] {
+            let mut t = next() % 50;
+            let run: Vec<RankedEvent<u64>> = (0..len)
+                .map(|_| {
+                    t += 1 + next() % 97; // strictly increasing per run
+                    seq += 1; // globally unique ranks
+                    (
+                        SimTime::from_micros(t),
+                        Rank::node(0, seq),
+                        EngineEvent::Timer {
+                            node: NodeId::new(0),
+                            token: seq,
+                            id: crate::TimerId::pack(NodeId::new(0), seq),
+                        },
+                    )
+                })
+                .collect();
+            runs.push(run);
+        }
+        let mut expected: Vec<(SimTime, Rank)> =
+            runs.iter().flatten().map(|e| (e.0, e.1)).collect();
+        expected.sort_unstable();
+        let merged = merge_ranked_runs(runs);
+        let got: Vec<(SimTime, Rank)> = merged.iter().map(|e| (e.0, e.1)).collect();
+        assert_eq!(got, expected);
     }
 
     #[test]

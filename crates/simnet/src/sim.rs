@@ -1,5 +1,6 @@
 //! The simulation engine: owns the nodes, the clock and the event queue.
 
+use crate::arena::{Arena, ArenaStats, Handle};
 use crate::event::Rank;
 use crate::metrics::NetStats;
 use crate::net::{NetworkConfig, Reachability};
@@ -72,12 +73,15 @@ pub(crate) struct NodeState {
 /// Cross-shard routing state, present only while a [`Simulation`] runs as
 /// one shard of a [`crate::shard::ShardedSimulation`].
 ///
-/// `owned[n]` says whether node `n` lives on this shard; sends to foreign
-/// nodes are diverted into `outbox` (keys fully formed) and merged into the
-/// destination shard's queue at the next window barrier.
+/// `shard_of[n]` maps node `n` to its owning shard. Same-shard sends
+/// short-circuit straight into the local queue/arena; sends to foreign nodes
+/// are diverted into the per-destination-shard outbox (keys fully formed)
+/// and flushed as one contiguous sorted run per window barrier, where the
+/// destination merges the runs of all its senders in a single k-way pass.
 pub(crate) struct ShardRoute<M> {
-    pub(crate) owned: Vec<bool>,
-    pub(crate) outbox: Vec<(SimTime, Rank, EngineEvent<M>)>,
+    pub(crate) shard_of: Vec<u32>,
+    pub(crate) self_shard: u32,
+    pub(crate) outboxes: Vec<Vec<(SimTime, Rank, EngineEvent<M>)>>,
 }
 
 /// A deterministic discrete-event simulation over message type `M`.
@@ -87,7 +91,12 @@ pub(crate) struct ShardRoute<M> {
 pub struct Simulation<M> {
     pub(crate) nodes: Vec<Option<Box<dyn AnyNode<M>>>>,
     pub(crate) states: Vec<NodeState>,
-    pub(crate) queue: EventQueue<EngineEvent<M>>,
+    /// The queue holds [`Handle`]s into `arena`, so ring-bucket moves shuffle
+    /// three words instead of full event payloads.
+    pub(crate) queue: EventQueue<Handle>,
+    /// In-flight event payloads, slots recycled generationally (see
+    /// [`crate::arena`]).
+    pub(crate) arena: Arena<EngineEvent<M>>,
     pub(crate) config: NetworkConfig,
     pub(crate) reach: Reachability,
     pub(crate) stats: NetStats,
@@ -103,9 +112,11 @@ impl<M: 'static> Simulation<M> {
     /// Creates an empty simulation over the given network.
     pub fn new(config: NetworkConfig) -> Self {
         Simulation {
-            nodes: Vec::new(),
-            states: Vec::new(),
+            // Construction-time; nodes are added before the run starts.
+            nodes: Vec::new(),  // xtask-lint: allow(hot-loop-alloc)
+            states: Vec::new(), // xtask-lint: allow(hot-loop-alloc)
             queue: EventQueue::new(),
+            arena: Arena::new(),
             config,
             reach: Reachability::default(),
             stats: NetStats::default(),
@@ -127,7 +138,8 @@ impl<M: 'static> Simulation<M> {
             "cannot add nodes after the simulation started"
         );
         let id = NodeId::new(self.nodes.len() as u32);
-        self.nodes.push(Some(Box::new(node)));
+        // One box per node at wiring time, never during dispatch.
+        self.nodes.push(Some(Box::new(node))); // xtask-lint: allow(hot-loop-alloc)
         self.states.push(NodeState::default());
         id
     }
@@ -190,34 +202,62 @@ impl<M: 'static> Simulation<M> {
             .expect("node type mismatch")
     }
 
+    /// Schedules `event` on the external lane, allocating its payload in the
+    /// arena.
+    fn schedule_external(&mut self, at: SimTime, event: EngineEvent<M>) {
+        let handle = self.arena.alloc(event);
+        self.queue.schedule(at, handle);
+    }
+
+    /// Schedules `event` with a fully formed rank (the shard split/merge and
+    /// cross-shard exchange paths), allocating its payload in the arena.
+    pub(crate) fn schedule_event(&mut self, at: SimTime, rank: Rank, event: EngineEvent<M>) {
+        let handle = self.arena.alloc(event);
+        self.queue.schedule_ranked(at, rank, handle);
+    }
+
+    /// Drains every pending event, keys intact, payloads taken back out of
+    /// the arena (the shard split/merge paths).
+    pub(crate) fn drain_events(&mut self) -> Vec<(SimTime, Rank, EngineEvent<M>)> {
+        let arena = &mut self.arena;
+        self.queue
+            .drain_ranked()
+            .into_iter()
+            .map(|(at, rank, handle)| (at, rank, arena.take(handle)))
+            .collect()
+    }
+
+    /// The event arena's allocation counters (recycle rate, peak depth).
+    /// A side accessor, not a report field: sequential and sharded runs
+    /// recycle through different arenas while producing byte-identical
+    /// reports.
+    pub fn alloc_stats(&self) -> ArenaStats {
+        self.arena.stats()
+    }
+
     /// Schedules `node` to crash at `at`: it loses all messages and timers
     /// until recovered.
     pub fn schedule_crash(&mut self, node: NodeId, at: SimTime) {
-        self.queue
-            .schedule(at, EngineEvent::Fault(FaultAction::Crash(node)));
+        self.schedule_external(at, EngineEvent::Fault(FaultAction::Crash(node)));
     }
 
     /// Schedules `node` to recover at `at` (its [`Node::on_recover`] hook
     /// runs then).
     pub fn schedule_recover(&mut self, node: NodeId, at: SimTime) {
-        self.queue
-            .schedule(at, EngineEvent::Fault(FaultAction::Recover(node)));
+        self.schedule_external(at, EngineEvent::Fault(FaultAction::Recover(node)));
     }
 
     /// Schedules a bidirectional partition between `a` and `b` over
     /// `[from, to)`.
     pub fn schedule_partition(&mut self, a: NodeId, b: NodeId, from: SimTime, to: SimTime) {
-        self.queue
-            .schedule(from, EngineEvent::Fault(FaultAction::Sever(a, b)));
-        self.queue
-            .schedule(to, EngineEvent::Fault(FaultAction::Heal(a, b)));
+        self.schedule_external(from, EngineEvent::Fault(FaultAction::Sever(a, b)));
+        self.schedule_external(to, EngineEvent::Fault(FaultAction::Heal(a, b)));
     }
 
     /// Injects a message into `dst` "from the outside" (source shows as
     /// `dst` itself). Useful to kick off ad-hoc test scenarios.
     pub fn inject(&mut self, dst: NodeId, msg: M, at: SimTime) {
-        self.queue
-            .schedule(at, EngineEvent::Deliver { src: dst, dst, msg });
+        self.schedule_external(at, EngineEvent::Deliver { src: dst, dst, msg });
     }
 
     /// Runs every node's [`Node::on_start`] hook (once). Slots owned by
@@ -243,13 +283,10 @@ impl<M: 'static> Simulation<M> {
     /// `deadline`; the clock then rests at `min(deadline, last event time)`.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
         self.start();
-        while let Some(at) = self.queue.peek_time() {
-            if at > deadline {
-                break;
-            }
-            let (at, event) = self.queue.pop().expect("peeked event vanished");
+        while let Some((at, handle)) = self.queue.pop_bounded(deadline) {
             debug_assert!(at >= self.now, "time moved backwards");
             self.now = at;
+            let event = self.arena.take(handle);
             self.dispatch(event);
         }
         if deadline != SimTime::NEVER && deadline > self.now {
@@ -265,13 +302,13 @@ impl<M: 'static> Simulation<M> {
     /// processed (the caller owns deadline semantics).
     pub(crate) fn run_window(&mut self, end: SimTime) {
         debug_assert!(self.started, "run_window before start()");
-        while let Some(at) = self.queue.peek_time() {
-            if at >= end {
-                break;
-            }
-            let (at, event) = self.queue.pop().expect("peeked event vanished");
+        // Strictly-before-`end` semantics via an inclusive bound one
+        // microsecond earlier (window ends are ≥ 1 µs; see `window_end`).
+        let bound = SimTime::from_micros(end.as_micros().saturating_sub(1));
+        while let Some((at, handle)) = self.queue.pop_bounded(bound) {
             debug_assert!(at >= self.now, "time moved backwards");
             self.now = at;
+            let event = self.arena.take(handle);
             self.dispatch(event);
         }
     }
@@ -290,17 +327,16 @@ impl<M: 'static> Simulation<M> {
                     // deliveries via the lane sequence.
                     let rank = Rank::node(dst.index(), state.seq);
                     state.seq += 1;
-                    self.queue.schedule_ranked(
-                        state.busy_until,
-                        rank,
-                        EngineEvent::Deliver { src, dst, msg },
-                    );
+                    let at = state.busy_until;
+                    let handle = self.arena.alloc(EngineEvent::Deliver { src, dst, msg });
+                    self.queue.schedule_ranked(at, rank, handle);
                     return;
                 }
                 self.with_node(dst, |node, ctx| node.on_message(src, msg, ctx));
             }
             EngineEvent::Timer { node, token, id } => {
-                if self.cancelled.remove(&id) || self.reach.is_crashed(node) {
+                let tombstoned = !self.cancelled.is_empty() && self.cancelled.remove(&id);
+                if tombstoned || self.reach.is_crashed(node) {
                     return;
                 }
                 self.with_node(node, |n, ctx| n.on_timer(token, ctx));
@@ -339,6 +375,7 @@ impl<M: 'static> Simulation<M> {
             self_id: id,
             now: self.now,
             queue: &mut self.queue,
+            arena: &mut self.arena,
             config: &self.config,
             reach: &self.reach,
             stats: &mut self.stats,

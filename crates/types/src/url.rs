@@ -252,12 +252,26 @@ impl Body {
 
     /// Creates a body whose payload is synthesized (zeroed, scaled down by
     /// `scale`) from the metadata — the simulator's usual path.
+    ///
+    /// Payloads are all-zero, so bodies of the same length are
+    /// indistinguishable ([`PartialEq`] is byte-wise): one interned
+    /// `Arc<[u8]>` per distinct length serves every `200` reply of that
+    /// size, keeping the reply hot path off the global allocator.
     pub fn synthetic(meta: DocMeta, scale: u64) -> Self {
-        let len = meta.size().as_u64().checked_div(scale).unwrap_or(0) as usize;
-        Body {
-            meta,
-            payload: vec![0u8; len].into(),
+        use std::cell::RefCell;
+        thread_local! {
+            static ZEROED: RefCell<crate::FxHashMap<usize, Arc<[u8]>>> =
+                RefCell::new(crate::FxHashMap::default());
         }
+        let len = meta.size().as_u64().checked_div(scale).unwrap_or(0) as usize;
+        let payload = ZEROED.with(|cache| {
+            cache
+                .borrow_mut()
+                .entry(len)
+                .or_insert_with(|| vec![0u8; len].into())
+                .clone()
+        });
+        Body { meta, payload }
     }
 
     /// The metadata (accounted size + last-modified validator).

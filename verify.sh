@@ -40,6 +40,11 @@ cargo run --quiet --bin xtask-lint -- --waivers
 echo "==> wcc fuzz (smoke)"
 ./target/release/wcc fuzz --iters 25 --seed 1 --shrink
 
+echo "==> wcc replay --shards 2 (smoke)"
+# Single-trace sharded replay: drives the arena-allocated event path and
+# the batched cross-shard window delivery end to end.
+./target/release/wcc replay --trace epa --protocol invalidation --scale 20 --shards 2
+
 echo "==> wcc replay --family (smoke)"
 # Scenario-family path: the flash-crowd federation replayed sharded. The
 # nightly workflow sweeps all five families sequential-vs-sharded; this
