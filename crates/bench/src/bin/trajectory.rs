@@ -103,6 +103,18 @@ fn main() {
         report.family_memory_reduction_pct,
         report.family_peak_rss_kb,
     );
+    println!(
+        "serve ({} keep-alive conns): {} replies in {} ms ({} req/s), \
+         {} dropped, {} stale, p50/p99 {}us/{}us",
+        report.serve_connections,
+        report.serve_requests,
+        report.serve_wall_ms,
+        report.serve_requests_per_sec,
+        report.serve_dropped,
+        report.serve_stale,
+        report.serve_p50_us,
+        report.serve_p99_us,
+    );
     if let Err(e) = std::fs::write(&out, report.to_json()) {
         eprintln!("trajectory: cannot write {out}: {e}");
         std::process::exit(1);
@@ -118,6 +130,13 @@ fn main() {
     }
     if !report.family_byte_identical {
         eprintln!("trajectory: FATAL: sharded family replay diverged from sequential run");
+        std::process::exit(1);
+    }
+    if report.serve_dropped > 0 || report.serve_stale > 0 {
+        eprintln!(
+            "trajectory: FATAL: serving-tier pass dropped {} connection(s) / served {} stale",
+            report.serve_dropped, report.serve_stale
+        );
         std::process::exit(1);
     }
 }

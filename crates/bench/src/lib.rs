@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod serve;
 pub mod trajectory;
 
 use wcc_traces::TraceSpec;

@@ -239,6 +239,31 @@ pub struct TrajectoryReport {
     /// pass. Informational only: allocator- and host-dependent, `0` off
     /// Linux.
     pub family_peak_rss_kb: u64,
+    /// Concurrent keep-alive connections the serving-tier pass drove
+    /// against an in-process origin+proxy pair (schema /6).
+    pub serve_connections: usize,
+    /// Replies the serving-tier pass received and audited.
+    pub serve_requests: u64,
+    /// Connections the serving tier dropped mid-run. Gated at exactly 0
+    /// on the current run by [`check_against`].
+    pub serve_dropped: u64,
+    /// Stale serves the client-side audit counted. Gated at exactly 0 on
+    /// the current run — the paper's strong-consistency invariant, seen
+    /// from the browser.
+    pub serve_stale: u64,
+    /// Median request latency over real sockets, host microseconds.
+    pub serve_p50_us: u64,
+    /// 90th-percentile serving latency, host microseconds.
+    pub serve_p90_us: u64,
+    /// 99th-percentile serving latency, host microseconds. Same-host
+    /// baselines gate it within tolerance; foreign hosts informational.
+    pub serve_p99_us: u64,
+    /// 99.9th-percentile serving latency, host microseconds.
+    pub serve_p999_us: u64,
+    /// Wall time of the serving-tier pass, milliseconds.
+    pub serve_wall_ms: u64,
+    /// Serving throughput, replies per wall second. Informational.
+    pub serve_requests_per_sec: u64,
 }
 
 /// The 18-config Tables 3+4 grid at `scale`, in table order.
@@ -495,6 +520,24 @@ pub fn run(scale: u64, jobs: Option<usize>, shards: Option<usize>) -> Trajectory
     let family_byte_identical = format!("{fam_seq_report:?}") == format!("{fam_shd_report:?}");
     let family_memory = fam_seq.memory_model();
 
+    // Serving-tier pass (schema /6): the readiness-reactor origin+proxy
+    // pair under a few thousand keep-alive connections, in-process so the
+    // pass needs no child binaries. The floor of 64 keeps reduced-scale
+    // CI runs meaningful; full scale drives 2048. The dropped/stale gates
+    // are judged on the current run alone (host-independent); the latency
+    // tail follows the usual same-host timing rule.
+    let serve_cfg = crate::serve::ServeBenchConfig {
+        connections: (2048 / scale.max(1)).max(64) as usize,
+        requests_per_conn: 8,
+        docs: 64,
+        protocol: ProtocolConfig::new(ProtocolKind::Invalidation),
+        soak_secs: None,
+        restart: false,
+        exe: None,
+    };
+    let serve = crate::serve::run(&serve_cfg).expect("serving-tier bench pass");
+    let q = |v: Option<u64>| v.unwrap_or(0);
+
     TrajectoryReport {
         scale,
         jobs,
@@ -534,6 +577,16 @@ pub fn run(scale: u64, jobs: Option<usize>, shards: Option<usize>) -> Trajectory
         family_legacy_state_bytes: family_memory.legacy_peak_bytes(),
         family_memory_reduction_pct: family_memory.reduction_pct(),
         family_peak_rss_kb: peak_rss_kb(),
+        serve_connections: serve.connections,
+        serve_requests: serve.requests,
+        serve_dropped: serve.dropped,
+        serve_stale: serve.stale,
+        serve_p50_us: q(serve.latency.p50()),
+        serve_p90_us: q(serve.latency.p90()),
+        serve_p99_us: q(serve.latency.p99()),
+        serve_p999_us: q(serve.latency.p999()),
+        serve_wall_ms: serve.wall_ms,
+        serve_requests_per_sec: serve.requests_per_sec() as u64,
     }
 }
 
@@ -545,7 +598,7 @@ impl TrajectoryReport {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"wcc-bench-trajectory/5\",\n");
+        out.push_str("  \"schema\": \"wcc-bench-trajectory/6\",\n");
         out.push_str(&format!("  \"scale\": {},\n", self.scale));
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         out.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
@@ -671,6 +724,29 @@ impl TrajectoryReport {
         out.push_str(&format!(
             "    \"family_peak_rss_kb\": {}\n",
             self.family_peak_rss_kb
+        ));
+        out.push_str("  },\n");
+        // Serving-tier block (schema /6). Every key carries the "serve_"
+        // prefix so the linear key scans stay unambiguous.
+        out.push_str("  \"serve\": {\n");
+        out.push_str(&format!(
+            "    \"serve_connections\": {},\n",
+            self.serve_connections
+        ));
+        out.push_str(&format!(
+            "    \"serve_requests\": {},\n",
+            self.serve_requests
+        ));
+        out.push_str(&format!("    \"serve_dropped\": {},\n", self.serve_dropped));
+        out.push_str(&format!("    \"serve_stale\": {},\n", self.serve_stale));
+        out.push_str(&format!("    \"serve_p50_us\": {},\n", self.serve_p50_us));
+        out.push_str(&format!("    \"serve_p90_us\": {},\n", self.serve_p90_us));
+        out.push_str(&format!("    \"serve_p99_us\": {},\n", self.serve_p99_us));
+        out.push_str(&format!("    \"serve_p999_us\": {},\n", self.serve_p999_us));
+        out.push_str(&format!("    \"serve_wall_ms\": {},\n", self.serve_wall_ms));
+        out.push_str(&format!(
+            "    \"serve_requests_per_sec\": {}\n",
+            self.serve_requests_per_sec
         ));
         out.push_str("  },\n");
         out.push_str("  \"latency_tails\": [\n");
@@ -819,6 +895,13 @@ const TIMING_GRACE_MS: f64 = 100.0;
 ///   state-bytes numbers) are exact against baselines that carry them and
 ///   informational against pre-/4 baselines; `family_wall_ms` follows the
 ///   usual same-host timing rule.
+/// * **Serving tier** (schema /6): `serve_dropped` and `serve_stale` must
+///   both be exactly 0 — judged on the current run alone, since a dropped
+///   connection or a stale serve is a defect on any host. The workload
+///   shape (`serve_connections`, `serve_requests`) is exact against
+///   baselines that carry it and informational against pre-/6 baselines;
+///   `serve_p99_us` and `serve_wall_ms` follow the same-host timing rule
+///   (real-socket latency says nothing across hardware).
 ///
 /// Returns the comparison table either way: `Ok` when everything passed,
 /// `Err` when anything regressed.
@@ -1046,6 +1129,51 @@ pub fn check_against(
         }
     }
 
+    // Serving-tier gates (schema /6). Dropped connections and stale
+    // serves are defects regardless of host or baseline age, so those two
+    // rows judge the current run alone. Workload shape is exact against
+    // /6 baselines; the latency tail and wall time follow the same-host
+    // timing rule like every host-clock measurement.
+    row(
+        "serve_dropped",
+        Some(0.0),
+        Some(current.serve_dropped as f64),
+        current.serve_dropped == 0,
+        " (== 0, current run)",
+    );
+    row(
+        "serve_stale",
+        Some(0.0),
+        Some(current.serve_stale as f64),
+        current.serve_stale == 0,
+        " (== 0, current run)",
+    );
+    for key in ["serve_connections", "serve_requests"] {
+        let (b, c) = (json_number(baseline, key), json_number(&cur, key));
+        if b.is_some() {
+            row(key, b, c, b == c, " (exact)");
+        } else {
+            row(key, b, c, true, " (informational: baseline pre-/6)");
+        }
+    }
+    for key in ["serve_p99_us", "serve_wall_ms"] {
+        let (b, c) = (json_number(baseline, key), json_number(&cur, key));
+        // The absolute grace is expressed in the field's own unit.
+        let grace = if key.ends_with("_us") {
+            TIMING_GRACE_MS * 1000.0
+        } else {
+            TIMING_GRACE_MS
+        };
+        match (same_host, b) {
+            (true, Some(b_v)) => {
+                let within = c.is_some_and(|c_v| (c_v - b_v).abs() <= (tolerance * b_v).max(grace));
+                row(key, b, c, within, &format!(" (±{:.0}%)", tolerance * 100.0));
+            }
+            (true, None) => row(key, b, c, true, " (informational: baseline pre-/6)"),
+            (false, _) => row(key, b, c, true, " (informational: different host)"),
+        }
+    }
+
     let tails_match = match (tails_block(baseline), tails_block(&cur)) {
         (Some(b), Some(c)) => b == c,
         _ => false,
@@ -1139,7 +1267,11 @@ mod tests {
     #[test]
     fn json_is_stable_and_carries_baselines() {
         let json = sample_report().to_json();
-        assert!(json.contains("\"schema\": \"wcc-bench-trajectory/5\""));
+        assert!(json.contains("\"schema\": \"wcc-bench-trajectory/6\""));
+        assert!(json.contains("\"serve_connections\": 2048"));
+        assert!(json.contains("\"serve_dropped\": 0"));
+        assert!(json.contains("\"serve_stale\": 0"));
+        assert!(json.contains("\"serve_p99_us\": 32000"));
         assert!(json.contains("\"events_recycled_pct\": 99.6"));
         assert!(json.contains("\"decode_copies\": 1316"));
         assert!(json.contains("\"decode_retained\": 1316"));
@@ -1201,6 +1333,11 @@ mod tests {
             json_number(&json, "family_memory_reduction_pct"),
             Some(36.9)
         );
+        // The serve block's prefixed keys stay distinct from inner_loop's
+        // "requests" and "requests_per_sec".
+        assert_eq!(json_number(&json, "serve_requests"), Some(16_384.0));
+        assert_eq!(json_number(&json, "serve_requests_per_sec"), Some(3_900.0));
+        assert_eq!(json_number(&json, "serve_p999_us"), Some(40_000.0));
         assert_eq!(json_number(&json, "no_such_key"), None);
     }
 
@@ -1298,6 +1435,42 @@ mod tests {
         copying.decode_copies += 1;
         let err = check_against(&copying, &legacy, 0.15).unwrap_err();
         assert!(err.contains("decode_copies"), "{err}");
+    }
+
+    #[test]
+    fn serve_gates_hold_against_pre_6_baselines() {
+        let report = sample_report();
+        // Strip the serve block: a pre-/6 baseline. The exact workload
+        // rows and the timing rows go informational, but the dropped- and
+        // stale-connection gates still judge the current run.
+        let mut legacy = report.to_json();
+        let start = legacy.find("  \"serve\": {").unwrap();
+        let end = start + legacy[start..].find("},\n").unwrap() + "},\n".len();
+        legacy.replace_range(start..end, "");
+        assert_eq!(json_number(&legacy, "serve_connections"), None);
+        let table = check_against(&report, &legacy, 0.15).expect("pre-/6 baselines must pass");
+        assert!(table.contains("informational: baseline pre-/6"), "{table}");
+
+        let mut droppy = report.clone();
+        droppy.serve_dropped = 3;
+        let err = check_against(&droppy, &legacy, 0.15).unwrap_err();
+        assert!(err.contains("serve_dropped"), "{err}");
+        let mut stale = report.clone();
+        stale.serve_stale = 1;
+        let err = check_against(&stale, &legacy, 0.15).unwrap_err();
+        assert!(err.contains("serve_stale"), "{err}");
+
+        // Against a /6 baseline the workload shape is exact and the tail
+        // is a same-host timing gate.
+        let full = report.to_json();
+        let mut reshaped = report.clone();
+        reshaped.serve_connections += 1;
+        let err = check_against(&reshaped, &full, 0.15).unwrap_err();
+        assert!(err.contains("serve_connections"), "{err}");
+        let mut slower = report.clone();
+        slower.serve_p99_us = report.serve_p99_us * 10 + 200_000;
+        let err = check_against(&slower, &full, 0.15).unwrap_err();
+        assert!(err.contains("serve_p99_us"), "{err}");
     }
 
     #[test]
@@ -1484,6 +1657,16 @@ mod tests {
             family_legacy_state_bytes: 12_200_000,
             family_memory_reduction_pct: 36.9,
             family_peak_rss_kb: 250_000,
+            serve_connections: 2048,
+            serve_requests: 16_384,
+            serve_dropped: 0,
+            serve_stale: 0,
+            serve_p50_us: 9_000,
+            serve_p90_us: 18_000,
+            serve_p99_us: 32_000,
+            serve_p999_us: 40_000,
+            serve_wall_ms: 4_200,
+            serve_requests_per_sec: 3_900,
             tails: vec![
                 TailEntry {
                     trace: "EPA".to_string(),

@@ -47,6 +47,9 @@ fn hot_loop_file(path: &str) -> bool {
             | "crates/proto/src/zero.rs"
             | "crates/httpsim/src/proxy.rs"
             | "crates/httpsim/src/origin.rs"
+            | "crates/reactor/src/sys.rs"
+            | "crates/reactor/src/buf.rs"
+            | "crates/net/src/evloop.rs"
     )
 }
 
@@ -148,7 +151,9 @@ pub(crate) const SEQ_RULES: &[SeqRule] = &[
         message: "ad-hoc atomic counters bypass the observability layer; \
                   publish through wcc_obs::Registry (counters/gauges/\
                   histograms) so /metrics stays complete",
-        in_scope: |path| path.starts_with("crates/net/src/"),
+        in_scope: |path| {
+            path.starts_with("crates/net/src/") || path.starts_with("crates/reactor/src/")
+        },
         allowed: |_| false,
         include_tests: false,
     },

@@ -50,10 +50,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod evloop;
 mod origin;
 mod parent;
 mod proxy;
 mod scrape;
+mod upstream;
 
 pub use origin::{check_in, NetOrigin, OriginConfig, OriginSnapshot};
 pub use parent::{NetParent, NetParentCounters};

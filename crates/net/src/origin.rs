@@ -1,8 +1,21 @@
-//! The TCP origin server + accelerator.
+//! The TCP origin server + accelerator, served by a readiness reactor.
+//!
+//! One reactor thread owns every connection: per-request `GET`s, modifier
+//! check-ins, `/metrics` scrapes, and the proxies' persistent `HELLO`
+//! push channels all multiplex over the same epoll/poll loop
+//! (`wcc_reactor`). Requests decode zero-copy out of each connection's
+//! receive buffer; `INVALIDATE` pushes are queued straight into the
+//! target channel's send buffer — no per-connection threads anywhere.
+//!
+//! Restart recovery follows the paper's §5 model: an origin spawned with
+//! `recovering = true` has lost its in-memory site lists, so it answers
+//! every proxy re-registration with a bulk `INVALIDATE <server>` and
+//! retries on a 250 ms tick until the `InvalidateServerAck` arrives.
+//! Once every known channel has acknowledged, strong consistency holds
+//! again without any persistent site-list storage.
 
-use crossbeam::channel::{unbounded, Sender};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -12,11 +25,14 @@ use std::time::Duration;
 use wcc_core::{ProtocolConfig, ServerConsistency, SiteListStats};
 use wcc_obs::{Histogram, Registry};
 use wcc_proto::{
-    encode, FrameReader, GetRequest, HttpMsg, HttpMsgRef, Reply, ReplyStatus, WireError,
+    decode_frame, encode, GetRequest, HttpMsg, HttpMsgRef, Reply, ReplyStatus, WireError,
 };
+use wcc_reactor::{Poller, WakeHandle, Waker};
 use wcc_types::{
     Body, ByteSize, ClientId, DocMeta, ServerId, SimDuration, SimTime, Url, WallClock,
 };
+
+use crate::evloop::{accept_all, Conn, Conns, TOK_LISTENER, TOK_WAKER};
 
 /// Configuration for [`NetOrigin::spawn`].
 #[derive(Debug, Clone)]
@@ -60,16 +76,21 @@ struct Protected {
     counters: OriginSnapshot,
     /// Wall-time GET service latency (decode to reply built).
     serve_latency: Histogram,
+    /// §5 restart recovery: still rebuilding consistency via bulk
+    /// invalidation.
+    recovering: bool,
+    /// Partitions sent an `INVALIDATE <server>` and not yet acked.
+    recovery_pending: BTreeSet<u32>,
+    /// Partitions whose bulk invalidation was acknowledged.
+    recovery_acked: BTreeSet<u32>,
 }
 
 struct State {
     server: ServerId,
     doc_sizes: Vec<ByteSize>,
-    doc_scale: u64,
+    /// Reloadable via [`NetOrigin::set_doc_scale`] (SIGHUP config reload).
+    doc_scale: AtomicU32,
     protected: Mutex<Protected>,
-    /// Push channels to proxies, keyed by partition index.
-    channels: Mutex<HashMap<u32, Sender<HttpMsg>>>,
-    partitions: AtomicU32,
     shutdown: AtomicBool,
 }
 
@@ -88,7 +109,10 @@ impl State {
             .on_get(get.url, get.client, get.ims, meta, get.issued_at);
         let status = if grant.send_body {
             p.counters.replies_200 += 1;
-            ReplyStatus::Ok(Body::synthetic(meta, self.doc_scale))
+            ReplyStatus::Ok(Body::synthetic(
+                meta,
+                u64::from(self.doc_scale.load(Ordering::SeqCst)),
+            ))
         } else {
             p.counters.replies_304 += 1;
             ReplyStatus::NotModified
@@ -104,33 +128,25 @@ impl State {
         })
     }
 
-    fn handle_notify(&self, url: Url, at: SimTime) {
-        let recipients = {
-            let mut p = self.protected.lock();
-            p.counters.notifies += 1;
-            let doc = url.doc() as usize;
-            p.versions[doc] = p.versions[doc].max(at);
-            let recipients = p.consistency.on_modify(url, at);
-            p.counters.invalidations += recipients.len() as u64;
-            recipients
-        };
-        let partitions = self.partitions.load(Ordering::SeqCst).max(1);
-        let channels = self.channels.lock();
-        for client in recipients {
-            let partition = client.partition(partitions);
-            if let Some(tx) = channels.get(&partition) {
-                // Best-effort: a dead channel leaves the entry pending; a
-                // re-registered proxy (or the bulk recovery invalidation)
-                // will pick it up.
-                let _ = tx.send(HttpMsg::Invalidate { url, client });
-            }
-        }
+    /// Processes a check-in; returns the invalidation recipients.
+    fn handle_notify(&self, url: Url, at: SimTime) -> Vec<ClientId> {
+        let mut p = self.protected.lock();
+        p.counters.notifies += 1;
+        let doc = url.doc() as usize;
+        p.versions[doc] = p.versions[doc].max(at);
+        let recipients = p.consistency.on_modify(url, at);
+        p.counters.invalidations += recipients.len() as u64;
+        recipients
     }
 
     fn handle_ack(&self, url: Url, client: ClientId) {
         let mut p = self.protected.lock();
         p.counters.acks += 1;
         p.consistency.on_inval_ack(url, client);
+    }
+
+    fn recovery_done(p: &Protected) -> bool {
+        !p.recovering || (!p.recovery_acked.is_empty() && p.recovery_pending.is_empty())
     }
 
     /// Renders the node's registry as Prometheus text exposition.
@@ -212,6 +228,12 @@ impl State {
             &node,
             u64::from(p.consistency.writes_complete()),
         );
+        r.set_gauge(
+            "wcc_recovery_complete",
+            "1 when §5 restart recovery has finished (always 1 on a clean start).",
+            &node,
+            u64::from(Self::recovery_done(&p)),
+        );
         r.set_histogram(
             "wcc_serve_latency_seconds",
             "Wall-time GET service latency.",
@@ -222,12 +244,12 @@ impl State {
     }
 }
 
-/// A running TCP origin. Shuts down (and joins its threads) on drop.
+/// A running TCP origin. Shuts down (and joins its reactor) on drop.
 pub struct NetOrigin {
     addr: SocketAddr,
     state: Arc<State>,
-    accept_thread: Option<JoinHandle<()>>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    wake: WakeHandle,
+    reactor: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for NetOrigin {
@@ -245,46 +267,65 @@ impl NetOrigin {
     ///
     /// Returns any socket error from binding.
     pub fn spawn(config: OriginConfig) -> std::io::Result<NetOrigin> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
+        Self::spawn_at("127.0.0.1:0".parse().expect("literal addr"), config, false)
+    }
+
+    /// Binds `addr` (use port 0 for ephemeral) and starts serving; with
+    /// `recovering = true` the origin assumes its site lists were lost in
+    /// a crash and runs the §5 bulk-invalidation recovery against every
+    /// proxy that (re)registers.
+    ///
+    /// # Errors
+    ///
+    /// Returns any socket error from binding.
+    pub fn spawn_at(
+        addr: SocketAddr,
+        config: OriginConfig,
+        recovering: bool,
+    ) -> std::io::Result<NetOrigin> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let n = config.doc_sizes.len();
         let state = Arc::new(State {
             server: config.server,
             doc_sizes: config.doc_sizes,
-            doc_scale: config.doc_scale.max(1),
+            doc_scale: AtomicU32::new(u32::try_from(config.doc_scale.max(1)).unwrap_or(u32::MAX)),
             protected: Mutex::new(Protected {
                 consistency: ServerConsistency::new(&config.protocol, config.server),
                 versions: vec![SimTime::ZERO; n],
                 counters: OriginSnapshot::default(),
                 serve_latency: Histogram::default(),
+                recovering,
+                recovery_pending: BTreeSet::new(),
+                recovery_acked: BTreeSet::new(),
             }),
-            channels: Mutex::new(HashMap::new()),
-            partitions: AtomicU32::new(0),
             shutdown: AtomicBool::new(false),
         });
-        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
-        let accept_state = Arc::clone(&state);
-        let accept_threads = Arc::clone(&conn_threads);
-        let accept_thread = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_state.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                let conn_state = Arc::clone(&accept_state);
-                let handle = std::thread::spawn(move || {
-                    let _ = serve_connection(&conn_state, stream);
-                });
-                accept_threads.lock().push(handle);
-            }
+        let mut poller = Poller::new()?;
+        {
+            use std::os::fd::AsRawFd;
+            poller.add(
+                listener.as_raw_fd(),
+                TOK_LISTENER,
+                wcc_reactor::Interest::READ,
+            )?;
+        }
+        let waker = Waker::new()?;
+        waker.register(&mut poller, TOK_WAKER)?;
+        let wake = waker.handle()?;
+
+        let reactor_state = Arc::clone(&state);
+        let reactor = std::thread::spawn(move || {
+            reactor_loop(&reactor_state, &listener, poller, &waker);
         });
 
         Ok(NetOrigin {
             addr,
             state,
-            accept_thread: Some(accept_thread),
-            conn_threads,
+            wake,
+            reactor: Some(reactor),
         })
     }
 
@@ -306,6 +347,37 @@ impl NetOrigin {
         snap.writes_complete = p.consistency.writes_complete();
         snap.sitelist = p.consistency.table().stats();
         snap
+    }
+
+    /// Swaps the payload scale factor at runtime (`wcc serve`'s SIGHUP
+    /// config reload).
+    pub fn set_doc_scale(&self, doc_scale: u64) {
+        let clamped = u32::try_from(doc_scale.max(1)).unwrap_or(u32::MAX);
+        self.state.doc_scale.store(clamped, Ordering::SeqCst);
+    }
+
+    /// Whether §5 restart recovery has finished. Always true for an
+    /// origin spawned with `recovering = false`; after a crash restart it
+    /// turns true once at least one proxy re-registered and every bulk
+    /// invalidation sent so far was acknowledged.
+    pub fn recovery_complete(&self) -> bool {
+        State::recovery_done(&self.state.protected.lock())
+    }
+
+    /// Polls until [`NetOrigin::recovery_complete`] or `timeout` elapses.
+    pub fn wait_recovery_complete(&self, timeout: Duration) -> bool {
+        let clock = WallClock::start();
+        let timeout =
+            SimDuration::from_micros(u64::try_from(timeout.as_micros()).unwrap_or(u64::MAX));
+        loop {
+            if self.recovery_complete() {
+                return true;
+            }
+            if clock.has_elapsed(timeout) {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
     }
 
     /// Polls until every outstanding invalidation is acknowledged (the
@@ -330,114 +402,296 @@ impl NetOrigin {
 impl Drop for NetOrigin {
     fn drop(&mut self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
-        // Wake the accept loop.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
-        }
-        // Drop push channels so writer threads exit, then join handlers.
-        self.state.channels.lock().clear();
-        for t in self.conn_threads.lock().drain(..) {
+        self.wake.wake();
+        if let Some(t) = self.reactor.take() {
             let _ = t.join();
         }
     }
 }
 
-/// Serves one connection until it closes or shutdown.
-fn serve_connection(state: &Arc<State>, stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    let mut writer = stream.try_clone()?;
-    // Zero-copy frame reader: requests are decoded straight from the
-    // receive buffer. Nothing the origin handles retains request bytes
-    // (GETs, notifies and acks are all inline data), so no copy is made.
-    let mut reader = FrameReader::new(stream);
-    // Writer thread for a registered invalidation channel, if any.
-    let mut push_writer: Option<JoinHandle<()>> = None;
+/// Per-connection tag: `HELLO` upgrades a plain connection into a push
+/// channel for one proxy partition.
+struct OTag {
+    partition: Option<u32>,
+}
+
+/// What the dispatcher wants done with the connection afterwards.
+enum After {
+    Keep,
+    CloseAfterFlush,
+    Close,
+}
+
+/// The origin's whole serving tier: one loop, every connection.
+fn reactor_loop(state: &Arc<State>, listener: &TcpListener, mut poller: Poller, waker: &Waker) {
+    let mut conns: Conns<OTag> = Conns::with_capacity(64);
+    let mut events: Vec<wcc_reactor::Event> = Vec::with_capacity(256);
+    // partition -> push-channel token (latest HELLO wins, stale tokens
+    // fail their generation check harmlessly).
+    let mut channels: HashMap<u32, u64> = HashMap::new();
+    // Partition count the proxies declared in their HELLOs; routing must
+    // use the same modulus the proxies used when sharding clients.
+    let mut total_partitions: u32 = 1;
+    let mut outbox: Vec<(u64, HttpMsg)> = Vec::with_capacity(64);
+    let mut scratch: Vec<u64> = Vec::with_capacity(64);
+    let mut dropped: u64 = 0;
+
     loop {
+        let retry_recovery = {
+            let p = state.protected.lock();
+            p.recovering && !p.recovery_pending.is_empty()
+        };
+        let timeout = if retry_recovery {
+            Some(Duration::from_millis(250))
+        } else {
+            None
+        };
+        if poller.wait(&mut events, timeout).is_err() {
+            break;
+        }
         if state.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let msg = match reader.next_msg() {
-            Ok(msg) => msg,
-            Err(WireError::Closed) => break,
-            Err(WireError::Io(e))
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue; // idle; re-check shutdown
+        if events.is_empty() && retry_recovery {
+            // Retry tick: re-send the bulk invalidation to every pending
+            // partition (idempotent on the proxy side).
+            let pending: Vec<u32> = {
+                let p = state.protected.lock();
+                p.recovery_pending.iter().copied().collect()
+            };
+            for partition in pending {
+                if let Some(&tok) = channels.get(&partition) {
+                    outbox.push((
+                        tok,
+                        HttpMsg::InvalidateServer {
+                            server: state.server,
+                        },
+                    ));
+                }
             }
-            Err(_) => break, // malformed or broken stream
-        };
-        match msg {
-            HttpMsgRef::Get(get) if get.url.server() == state.server => {
-                let clock = WallClock::start();
-                let reply = state.handle_get(&get);
-                // Record before the reply ships: once the requester's fetch
-                // returns, a scrape must already see this serve.
-                state
-                    .protected
-                    .lock()
-                    .serve_latency
-                    .record(clock.elapsed().as_micros());
-                writer.write_all(&encode(&reply))?;
-                writer.flush()?;
-            }
-            HttpMsgRef::MetricsGet => {
-                // One-shot scrape: raw HTTP response, then close.
-                writer.write_all(&crate::scrape::metrics_response(&state.render_metrics()))?;
-                writer.flush()?;
-                break;
-            }
-            HttpMsgRef::Notify { url, at } if url.server() == state.server => {
-                state.handle_notify(url, at);
-            }
-            HttpMsgRef::InvalAck {
-                url,
-                client,
-                cache_hits: _,
-            } => {
-                state.handle_ack(url, client);
-            }
-            HttpMsgRef::InvalidateServerAck { .. } => {
-                // Bulk-invalidation ack; the TCP prototype has no crash
-                // recovery, so there is no retry loop to cancel.
-                state.protected.lock().counters.acks += 1;
-            }
-            HttpMsgRef::Hello {
-                partition,
-                partitions,
-            } => {
-                state.partitions.store(partitions, Ordering::SeqCst);
-                let (tx, rx) = unbounded::<HttpMsg>();
-                state.channels.lock().insert(partition, tx);
-                let mut push_stream = writer.try_clone()?;
-                // Dedicated writer: pushes INVALIDATEs as they are queued.
-                push_writer = Some(std::thread::spawn(move || {
-                    while let Ok(msg) = rx.recv() {
-                        if push_stream.write_all(&encode(&msg)).is_err() {
-                            break;
-                        }
-                        let _ = push_stream.flush();
+            deliver_outbox(&mut outbox, &mut conns, &mut poller);
+            continue;
+        }
+        for ev in events.iter().copied() {
+            match ev.token {
+                TOK_LISTENER => {
+                    accept_all(
+                        listener,
+                        &mut poller,
+                        &mut conns,
+                        || OTag { partition: None },
+                        &mut dropped,
+                    );
+                }
+                TOK_WAKER => waker.drain(),
+                tok => {
+                    if ev.writable {
+                        conns.flush(&mut poller, tok);
                     }
-                }));
-                // Keep reading this stream for ACKs.
+                    if ev.readable || ev.error {
+                        drive_conn(
+                            state,
+                            &mut poller,
+                            &mut conns,
+                            &mut channels,
+                            &mut total_partitions,
+                            &mut outbox,
+                            tok,
+                        );
+                    }
+                }
             }
-            HttpMsgRef::Reply(_)
-            | HttpMsgRef::Invalidate { .. }
-            | HttpMsgRef::InvalidateServer { .. } => {
-                break; // protocol violation: these flow origin -> proxy only
-            }
-            // Guard fallthrough: a Get/Notify for a server we do not own.
-            _ => break,
+        }
+        deliver_outbox(&mut outbox, &mut conns, &mut poller);
+    }
+
+    // Shutdown: flush whatever is queued, then drop every connection.
+    conns.live_tokens(&mut scratch);
+    for tok in scratch.drain(..) {
+        conns.flush(&mut poller, tok);
+        conns.close(&mut poller, tok);
+    }
+}
+
+/// Queues `outbox` frames into their target connections and flushes.
+fn deliver_outbox(outbox: &mut Vec<(u64, HttpMsg)>, conns: &mut Conns<OTag>, poller: &mut Poller) {
+    for (tok, msg) in outbox.drain(..) {
+        if let Some(conn) = conns.get_mut(tok) {
+            conn.sbuf.push_bytes(&encode(&msg));
+        }
+        conns.flush(poller, tok);
+    }
+}
+
+/// Reads and dispatches every complete frame on one connection.
+fn drive_conn(
+    state: &Arc<State>,
+    poller: &mut Poller,
+    conns: &mut Conns<OTag>,
+    channels: &mut HashMap<u32, u64>,
+    total_partitions: &mut u32,
+    outbox: &mut Vec<(u64, HttpMsg)>,
+    token: u64,
+) {
+    {
+        let Some(conn) = conns.get_mut(token) else {
+            return;
+        };
+        if conn.read_ready().is_err() {
+            conns.close(poller, token);
+            return;
         }
     }
-    if let Some(t) = push_writer {
-        // Channel sender may still be registered; dropping happens on
-        // shutdown or re-registration. Detach politely: only join if the
-        // channel was already dropped.
-        drop(t);
+    loop {
+        let Some(conn) = conns.get_mut(token) else {
+            return;
+        };
+        let Conn {
+            rbuf,
+            sbuf,
+            tag,
+            eof,
+            close_after_flush,
+            ..
+        } = conn;
+        let step = match decode_frame(rbuf.data(), *eof) {
+            Ok(None) => break, // mid-frame; more bytes may arrive
+            Err(WireError::Closed) => {
+                // Clean EOF between frames: deliver queued output first.
+                if sbuf.is_empty() {
+                    conns.close(poller, token);
+                } else {
+                    *close_after_flush = true;
+                    conns.flush(poller, token);
+                }
+                return;
+            }
+            Err(_) => {
+                conns.close(poller, token);
+                return;
+            }
+            Ok(Some((msg, used))) => {
+                let after = dispatch(
+                    state,
+                    sbuf,
+                    tag,
+                    channels,
+                    total_partitions,
+                    outbox,
+                    token,
+                    &msg,
+                );
+                rbuf.consume(used);
+                after
+            }
+        };
+        match step {
+            After::Keep => {}
+            After::CloseAfterFlush => {
+                *close_after_flush = true;
+                break;
+            }
+            After::Close => {
+                conns.close(poller, token);
+                return;
+            }
+        }
     }
-    Ok(())
+    conns.flush(poller, token);
+}
+
+/// Handles one decoded message; replies go into `sbuf`, pushes to other
+/// connections into `outbox`.
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    state: &Arc<State>,
+    sbuf: &mut wcc_reactor::SendBuf,
+    tag: &mut OTag,
+    channels: &mut HashMap<u32, u64>,
+    total_partitions: &mut u32,
+    outbox: &mut Vec<(u64, HttpMsg)>,
+    token: u64,
+    msg: &HttpMsgRef<'_>,
+) -> After {
+    match msg {
+        HttpMsgRef::Get(get) if get.url.server() == state.server => {
+            let clock = WallClock::start();
+            let reply = state.handle_get(get);
+            // Record before the reply ships: once the requester's fetch
+            // returns, a scrape must already see this serve.
+            state
+                .protected
+                .lock()
+                .serve_latency
+                .record(clock.elapsed().as_micros());
+            sbuf.push_bytes(&encode(&reply));
+            After::Keep
+        }
+        HttpMsgRef::MetricsGet => {
+            // One-shot scrape: raw HTTP response, then close.
+            sbuf.push_bytes(&crate::scrape::metrics_response(&state.render_metrics()));
+            After::CloseAfterFlush
+        }
+        HttpMsgRef::Notify { url, at } if url.server() == state.server => {
+            let recipients = state.handle_notify(*url, *at);
+            if !recipients.is_empty() {
+                let partitions = (*total_partitions).max(1);
+                for client in recipients {
+                    let partition = client.partition(partitions);
+                    if let Some(&tok) = channels.get(&partition) {
+                        // Best-effort: a dead channel leaves the entry
+                        // pending; a re-registered proxy (or the bulk
+                        // recovery invalidation) will pick it up.
+                        outbox.push((tok, HttpMsg::Invalidate { url: *url, client }));
+                    }
+                }
+            }
+            After::Keep
+        }
+        HttpMsgRef::InvalAck {
+            url,
+            client,
+            cache_hits: _,
+        } => {
+            state.handle_ack(*url, *client);
+            After::Keep
+        }
+        HttpMsgRef::InvalidateServerAck { server } if *server == state.server => {
+            let mut p = state.protected.lock();
+            p.counters.acks += 1;
+            if let Some(partition) = tag.partition {
+                p.recovery_pending.remove(&partition);
+                p.recovery_acked.insert(partition);
+            }
+            After::Keep
+        }
+        HttpMsgRef::Hello {
+            partition,
+            partitions,
+        } => {
+            *total_partitions = (*partitions).max(1);
+            channels.insert(*partition, token);
+            tag.partition = Some(*partition);
+            let mut p = state.protected.lock();
+            if p.recovering && !p.recovery_acked.contains(partition) {
+                // §5: the restarted origin cannot know which copies this
+                // proxy holds, so it invalidates them all and waits for
+                // the ack (the reactor's 250 ms tick retries).
+                p.recovery_pending.insert(*partition);
+                sbuf.push_bytes(&encode(&HttpMsg::InvalidateServer {
+                    server: state.server,
+                }));
+            }
+            After::Keep
+        }
+        HttpMsgRef::Reply(_)
+        | HttpMsgRef::Invalidate { .. }
+        | HttpMsgRef::InvalidateServer { .. } => {
+            After::Close // protocol violation: these flow origin -> proxy only
+        }
+        // Guard fallthrough: a Get/Notify/ack for a server we do not own.
+        _ => After::Close,
+    }
 }
 
 /// The modifier's check-in utility: tells the accelerator at `origin` that

@@ -1,19 +1,25 @@
-//! The TCP parent-tier proxy: the hierarchy extension over real sockets.
+//! The TCP parent-tier proxy, served by a readiness reactor.
 //!
 //! Children connect to the parent exactly as proxies connect to an origin
-//! (per-request `GET` connections plus a persistent `HELLO` push channel);
-//! the parent in turn is a client of the real origin. It embeds the same
-//! two state-machine halves as the simulator's parent: a
-//! [`ProxyPolicy`] + cache towards the origin and a [`ServerConsistency`]
-//! towards its children.
+//! (keep-alive `GET` connections plus a persistent `HELLO` push channel);
+//! the parent in turn is a client of the real origin, reusing a bounded
+//! pool of upstream connections. One reactor thread owns the child-facing
+//! listener and the upstream invalidation channel; child `GET`s are
+//! answered by a small worker pool running the same locked fetch path as
+//! before, replies delivered in pipeline order.
 //!
 //! Concurrency note: one state lock serialises child requests against the
-//! upstream invalidation listener, which incidentally *prevents* the
+//! upstream invalidation channel, which incidentally *prevents* the
 //! invalidation-overtakes-reply race that the simulator's parent must
 //! handle with a poison flag — an `INVALIDATE` is processed either before
 //! an upstream fetch starts or after its result is cached, never between.
+//!
+//! Unlike the thread-per-connection prototype, the parent now also relays
+//! bulk `INVALIDATE <server>` messages (the §5 recovery barrage) down the
+//! tree and acks them upstream, so a restarted origin recovers through a
+//! hierarchy too.
 
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::Write;
@@ -26,10 +32,13 @@ use wcc_cache::{CacheStore, ReplacementPolicy};
 use wcc_core::{ProtocolConfig, ProxyAction, ProxyPolicy, ServerConsistency};
 use wcc_obs::{Histogram, Registry};
 use wcc_proto::{
-    encode, FrameReader, GetRequest, HttpMsg, HttpMsgRef, Reply, ReplyStatus, ReplyStatusRef,
-    RequestId, WireError,
+    decode_frame, encode, GetRequest, HttpMsg, HttpMsgRef, Reply, ReplyStatus, RequestId, WireError,
 };
+use wcc_reactor::{BoundedPool, Interest, Poller, WakeHandle, Waker};
 use wcc_types::{Body, ByteSize, ClientId, DocMeta, ServerId, Url, WallClock};
+
+use crate::evloop::{accept_all, Conn, Conns, TOK_LISTENER, TOK_WAKER};
+use crate::upstream::{pooled_roundtrip, UpstreamConn};
 
 /// Counters for the TCP parent.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +53,8 @@ pub struct NetParentCounters {
     pub invalidations_received: u64,
     /// `INVALIDATE`s relayed to children.
     pub invalidations_relayed: u64,
+    /// Bulk `INVALIDATE <server>`s received from the origin (recovery).
+    pub bulk_invalidations_received: u64,
 }
 
 struct Protected {
@@ -66,8 +77,10 @@ struct ParentState {
     server: ServerId,
     doc_scale: u64,
     protected: Mutex<Protected>,
-    child_channels: Mutex<HashMap<u32, Sender<HttpMsg>>>,
-    child_partitions: AtomicU32,
+    /// Bounded keep-alive pool for the parent→origin hop.
+    upstream: Mutex<BoundedPool<UpstreamConn>>,
+    /// Child jobs handed to the workers but not yet answered.
+    outstanding: AtomicU32,
     shutdown: AtomicBool,
 }
 
@@ -78,54 +91,41 @@ impl ParentState {
         &self,
         p: &mut Protected,
         url: Url,
-        ims: Option<wcc_types::SimTime>,
+        mut ims: Option<wcc_types::SimTime>,
         issued_at: wcc_types::SimTime,
-        report_hits: u64,
+        mut report_hits: u64,
     ) -> std::io::Result<DocMeta> {
-        let req = p.next_req;
-        p.next_req = p.next_req.next();
-        p.counters.upstream_requests += 1;
-        let get = HttpMsg::Get(GetRequest {
-            req,
-            url,
-            client: self.identity,
-            ims,
-            issued_at,
-            cache_hits: report_hits,
-        });
-        let mut stream = TcpStream::connect(self.origin)?;
-        stream.write_all(&encode(&get))?;
-        stream.flush()?;
-        // Zero-copy decode: the parent cache retains only metadata, so a
-        // `200` body is borrowed from the receive buffer and never copied.
-        let mut reader = FrameReader::new(stream);
-        let reply = reader
-            .next_msg()
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-        let HttpMsgRef::Reply(reply) = reply else {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "expected a reply",
-            ));
-        };
-        let key = url.scoped(self.identity);
-        let Protected { policy, cache, .. } = &mut *p;
-        policy.on_volume_grant(key, reply.volume_lease);
-        let piggyback = reply.piggyback_urls();
-        if !piggyback.is_empty() {
-            policy.on_piggyback(&piggyback, self.identity, cache);
-        }
-        match reply.status {
-            ReplyStatusRef::Ok { meta, .. } => {
-                policy.on_reply_200(key, meta, reply.lease, issued_at, cache);
-                Ok(meta)
+        loop {
+            let req = p.next_req;
+            p.next_req = p.next_req.next();
+            p.counters.upstream_requests += 1;
+            let get = HttpMsg::Get(GetRequest {
+                req,
+                url,
+                client: self.identity,
+                ims,
+                issued_at,
+                cache_hits: report_hits,
+            });
+            let reply = pooled_roundtrip(&self.upstream, self.origin, &encode(&get))?;
+            let key = url.scoped(self.identity);
+            let Protected { policy, cache, .. } = &mut *p;
+            policy.on_volume_grant(key, reply.volume_lease);
+            if !reply.piggyback.is_empty() {
+                policy.on_piggyback(&reply.piggyback, self.identity, cache);
             }
-            ReplyStatusRef::NotModified => {
-                if policy.on_reply_304(key, reply.lease, issued_at, cache) {
-                    Ok(cache.peek(key).expect("validated entry").meta)
-                } else {
+            match reply.meta {
+                Some(meta) => {
+                    policy.on_reply_200(key, meta, reply.lease, issued_at, cache);
+                    return Ok(meta);
+                }
+                None => {
+                    if policy.on_reply_304(key, reply.lease, issued_at, cache) {
+                        return Ok(cache.peek(key).expect("validated entry").meta);
+                    }
                     // Evicted mid-validation: plain refetch.
-                    self.fetch_upstream(p, url, None, issued_at, 0)
+                    ims = None;
+                    report_hits = 0;
                 }
             }
         }
@@ -177,9 +177,9 @@ impl ParentState {
         url.scoped(self.identity)
     }
 
-    /// Origin pushed an `INVALIDATE`: drop our copy, relay down the tree,
-    /// and return the ack to send upstream.
-    fn handle_invalidate(&self, url: Url) -> HttpMsg {
+    /// Origin pushed an `INVALIDATE`: drop our copy and return the ack to
+    /// send upstream plus the children to relay to.
+    fn handle_invalidate(&self, url: Url) -> (HttpMsg, Vec<ClientId>) {
         let mut p = self.protected.lock();
         p.counters.invalidations_received += 1;
         let own_hits = {
@@ -188,20 +188,14 @@ impl ParentState {
         };
         let now = p.latest_trace;
         let recipients = p.children.on_modify(url, now);
-        let partitions = self.child_partitions.load(Ordering::SeqCst).max(1);
-        let channels = self.child_channels.lock();
-        for client in recipients {
-            if let Some(tx) = channels.get(&client.partition(partitions)) {
-                if tx.send(HttpMsg::Invalidate { url, client }).is_ok() {
-                    p.counters.invalidations_relayed += 1;
-                }
-            }
-        }
-        HttpMsg::InvalAck {
-            url,
-            client: self.identity,
-            cache_hits: own_hits,
-        }
+        (
+            HttpMsg::InvalAck {
+                url,
+                client: self.identity,
+                cache_hits: own_hits,
+            },
+            recipients,
+        )
     }
 
     /// Renders the parent's registry as Prometheus text exposition.
@@ -246,6 +240,12 @@ impl ParentState {
             &node,
             c.invalidations_relayed,
         );
+        r.set_counter(
+            "wcc_bulk_invalidations_total",
+            "Bulk INVALIDATE <server> messages received (recovery).",
+            &node,
+            c.bulk_invalidations_received,
+        );
         let stats = p.children.table().stats();
         r.set_gauge(
             "wcc_sitelist_entries",
@@ -275,13 +275,58 @@ impl ParentState {
     }
 }
 
+/// A child `GET` parked in the worker pool.
+struct Job {
+    token: u64,
+    seq: u64,
+    get: GetRequest,
+}
+
+/// A finished job re-entering the reactor. `None` means the upstream
+/// fetch failed and the connection should close.
+struct Done {
+    token: u64,
+    seq: u64,
+    msg: Option<HttpMsg>,
+}
+
+fn worker_loop(
+    state: &Arc<ParentState>,
+    jobs: &Receiver<Job>,
+    done: &Sender<Done>,
+    wake: &WakeHandle,
+) {
+    while let Ok(job) = jobs.recv() {
+        let clock = WallClock::start();
+        let msg = state.handle_child_get(&job.get).ok();
+        // Record before the reply ships: once the child's fetch returns,
+        // a scrape must already see this serve.
+        state
+            .protected
+            .lock()
+            .serve_latency
+            .record(clock.elapsed().as_micros());
+        if done
+            .send(Done {
+                token: job.token,
+                seq: job.seq,
+                msg,
+            })
+            .is_err()
+        {
+            break;
+        }
+        wake.wake();
+    }
+}
+
 /// A running TCP parent proxy. Shuts down on drop.
 pub struct NetParent {
     addr: SocketAddr,
     state: Arc<ParentState>,
-    accept_thread: Option<JoinHandle<()>>,
-    upstream_thread: Option<JoinHandle<()>>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    wake: WakeHandle,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for NetParent {
@@ -291,6 +336,10 @@ impl std::fmt::Debug for NetParent {
             .finish()
     }
 }
+
+/// Workers answering child `GET`s (serialised on the state lock; two let
+/// framing overlap one upstream round trip).
+const WORKERS: usize = 2;
 
 impl NetParent {
     /// Spawns a parent tier in front of `origin`. Children should point
@@ -307,6 +356,7 @@ impl NetParent {
         capacity: ByteSize,
     ) -> std::io::Result<NetParent> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let state = Arc::new(ParentState {
             identity: ClientId::from_raw(0),
@@ -322,75 +372,67 @@ impl NetParent {
                 counters: NetParentCounters::default(),
                 serve_latency: Histogram::default(),
             }),
-            child_channels: Mutex::new(HashMap::new()),
-            child_partitions: AtomicU32::new(0),
+            upstream: Mutex::new(BoundedPool::new(WORKERS + 2)),
+            outstanding: AtomicU32::new(0),
             shutdown: AtomicBool::new(false),
         });
 
         // Upstream invalidation channel: register with the origin.
-        let mut upstream = TcpStream::connect(origin)?;
-        upstream.set_read_timeout(Some(Duration::from_millis(50)))?;
-        upstream.write_all(&encode(&HttpMsg::Hello {
-            partition: 0,
-            partitions: 1,
-        }))?;
-        upstream.flush()?;
-        let upstream_state = Arc::clone(&state);
-        let upstream_thread = std::thread::spawn(move || {
-            let mut writer = match upstream.try_clone() {
-                Ok(w) => w,
-                Err(_) => return,
-            };
-            let mut reader = FrameReader::new(upstream);
-            loop {
-                if upstream_state.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                match reader.next_msg() {
-                    Ok(HttpMsgRef::Invalidate { url, .. }) => {
-                        let ack = upstream_state.handle_invalidate(url);
-                        if writer.write_all(&encode(&ack)).is_err() {
-                            break;
-                        }
-                        let _ = writer.flush();
-                    }
-                    Ok(_) => break,
-                    Err(WireError::Closed) => break,
-                    Err(WireError::Io(e))
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut =>
-                    {
-                        continue;
-                    }
-                    Err(_) => break,
-                }
-            }
-        });
+        // Established synchronously so spawn fails fast; re-established by
+        // the reactor if the origin restarts.
+        let channel = TcpStream::connect(origin)?;
+        let _ = channel.set_nodelay(true);
+        {
+            let mut w = channel.try_clone()?;
+            w.write_all(&encode(&HttpMsg::Hello {
+                partition: 0,
+                partitions: 1,
+            }))?;
+            w.flush()?;
+        }
 
-        // Child-facing accept loop.
-        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept_state = Arc::clone(&state);
-        let accept_threads = Arc::clone(&conn_threads);
-        let accept_thread = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_state.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                let conn_state = Arc::clone(&accept_state);
-                let handle = std::thread::spawn(move || {
-                    let _ = serve_child(&conn_state, stream);
-                });
-                accept_threads.lock().push(handle);
-            }
+        let mut poller = Poller::new()?;
+        {
+            use std::os::fd::AsRawFd;
+            poller.add(listener.as_raw_fd(), TOK_LISTENER, Interest::READ)?;
+        }
+        let waker = Waker::new()?;
+        waker.register(&mut poller, TOK_WAKER)?;
+        let wake = waker.handle()?;
+
+        let (done_tx, done_rx) = unbounded::<Done>();
+        let mut jobs_tx = Vec::with_capacity(WORKERS);
+        let mut workers = Vec::with_capacity(WORKERS);
+        for _ in 0..WORKERS {
+            let (tx, rx) = unbounded::<Job>();
+            jobs_tx.push(tx);
+            let state = Arc::clone(&state);
+            let done = done_tx.clone();
+            let wake = waker.handle()?;
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&state, &rx, &done, &wake);
+            }));
+        }
+
+        let reactor_state = Arc::clone(&state);
+        let reactor = std::thread::spawn(move || {
+            reactor_loop(ReactorInit {
+                state: reactor_state,
+                listener,
+                poller,
+                waker,
+                channel: Some(channel),
+                jobs: jobs_tx,
+                done: done_rx,
+            });
         });
 
         Ok(NetParent {
             addr,
             state,
-            accept_thread: Some(accept_thread),
-            upstream_thread: Some(upstream_thread),
-            conn_threads,
+            wake,
+            reactor: Some(reactor),
+            workers,
         })
     }
 
@@ -414,102 +456,433 @@ impl NetParent {
 impl Drop for NetParent {
     fn drop(&mut self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
+        self.wake.wake();
+        if let Some(t) = self.reactor.take() {
             let _ = t.join();
         }
-        if let Some(t) = self.upstream_thread.take() {
-            let _ = t.join();
-        }
-        self.state.child_channels.lock().clear();
-        for t in self.conn_threads.lock().drain(..) {
+        for t in self.workers.drain(..) {
             let _ = t.join();
         }
     }
 }
 
-fn serve_child(state: &Arc<ParentState>, stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
-    let mut writer = stream.try_clone()?;
-    // Children only ever send body-less messages, so the zero-copy reader
-    // never copies here; each frame is fully consumed before the next read.
-    let mut reader = FrameReader::new(stream);
+/// Per-connection tag. A child connection is a plain request conn until
+/// its `HELLO` upgrades it into a push channel for one partition.
+struct KTag {
+    /// `Some(partition)` once the child sent `HELLO`.
+    partition: Option<u32>,
+    /// `true` for the parent-initiated upstream invalidation channel.
+    upstream: bool,
+    next_assign: u64,
+    next_send: u64,
+    parked: Vec<(u64, Option<HttpMsg>)>,
+}
+
+impl KTag {
+    fn child() -> KTag {
+        KTag {
+            partition: None,
+            upstream: false,
+            next_assign: 0,
+            next_send: 0,
+            parked: Vec::new(),
+        }
+    }
+
+    fn upstream() -> KTag {
+        KTag {
+            partition: None,
+            upstream: true,
+            next_assign: 0,
+            next_send: 0,
+            parked: Vec::new(),
+        }
+    }
+}
+
+struct ReactorInit {
+    state: Arc<ParentState>,
+    listener: TcpListener,
+    poller: Poller,
+    waker: Waker,
+    channel: Option<TcpStream>,
+    jobs: Vec<Sender<Job>>,
+    done: Receiver<Done>,
+}
+
+/// Reactor-local routing state shared by dispatch and the relay paths.
+struct Router {
+    /// Child push channels: partition → connection token.
+    channels: HashMap<u32, u64>,
+    /// Partition count declared by the children's `HELLO`s.
+    child_partitions: u32,
+}
+
+fn reactor_loop(init: ReactorInit) {
+    let ReactorInit {
+        state,
+        listener,
+        mut poller,
+        waker,
+        channel,
+        jobs,
+        done,
+    } = init;
+    let mut jobs = JobDealer {
+        lanes: jobs,
+        next: 0,
+    };
+    let mut conns: Conns<KTag> = Conns::with_capacity(64);
+    let mut events: Vec<wcc_reactor::Event> = Vec::with_capacity(64);
+    let mut scratch: Vec<u64> = Vec::with_capacity(64);
+    let mut router = Router {
+        channels: HashMap::new(),
+        child_partitions: 0,
+    };
+    let mut upstream_token: Option<u64> = None;
+
+    if let Some(stream) = channel {
+        upstream_token = conns.insert(&mut poller, stream, KTag::upstream()).ok();
+    }
+
     loop {
+        let timeout = if upstream_token.is_none() {
+            Some(Duration::from_millis(250))
+        } else {
+            None
+        };
+        if poller.wait(&mut events, timeout).is_err() {
+            break;
+        }
         if state.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let msg = match reader.next_msg() {
-            Ok(msg) => msg,
-            Err(WireError::Closed) => break,
-            Err(WireError::Io(e))
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(_) => break,
-        };
-        match msg {
-            HttpMsgRef::Get(get) if get.url.server() == state.server => {
-                let clock = WallClock::start();
-                let reply = state.handle_child_get(&get)?;
-                // Record before the reply ships: once the child's fetch
-                // returns, a scrape must already see this serve.
-                state
-                    .protected
-                    .lock()
-                    .serve_latency
-                    .record(clock.elapsed().as_micros());
-                writer.write_all(&encode(&reply))?;
-                writer.flush()?;
-            }
-            HttpMsgRef::MetricsGet => {
-                // One-shot scrape: raw HTTP response, then close.
-                writer.write_all(&crate::scrape::metrics_response(&state.render_metrics()))?;
-                writer.flush()?;
-                break;
-            }
-            HttpMsgRef::Hello {
-                partition,
-                partitions,
-            } => {
-                state.child_partitions.store(partitions, Ordering::SeqCst);
-                let (tx, rx) = unbounded::<HttpMsg>();
-                state.child_channels.lock().insert(partition, tx);
-                let mut push_stream = writer.try_clone()?;
-                std::thread::spawn(move || {
-                    while let Ok(msg) = rx.recv() {
-                        if push_stream.write_all(&encode(&msg)).is_err() {
-                            break;
-                        }
-                        let _ = push_stream.flush();
+        if upstream_token.is_none() {
+            upstream_token = reconnect_upstream(&state, &mut poller, &mut conns);
+        }
+        for ev in events.iter().copied() {
+            match ev.token {
+                TOK_LISTENER => {
+                    let mut dropped = 0u64;
+                    accept_all(
+                        &listener,
+                        &mut poller,
+                        &mut conns,
+                        KTag::child,
+                        &mut dropped,
+                    );
+                }
+                TOK_WAKER => waker.drain(),
+                tok => {
+                    if ev.writable {
+                        conns.flush(&mut poller, tok);
                     }
-                });
-            }
-            HttpMsgRef::InvalAck {
-                url,
-                client,
-                cache_hits,
-            } => {
-                let mut p = state.protected.lock();
-                if cache_hits > 0 {
-                    let key = url.scoped(state.identity);
-                    if p.cache.peek(key).is_some() {
-                        p.cache.add_unreported_hits(key, cache_hits);
+                    if (ev.readable || ev.error)
+                        && drive_conn(&state, &mut poller, &mut conns, &mut jobs, &mut router, tok)
+                            .is_none()
+                    {
+                        if upstream_token == Some(tok) {
+                            upstream_token = None;
+                        }
+                        router.channels.retain(|_, t| *t != tok);
                     }
                 }
-                p.children.on_inval_ack(url, client);
             }
-            HttpMsgRef::Reply(_)
-            | HttpMsgRef::Invalidate { .. }
-            | HttpMsgRef::InvalidateServer { .. }
-            | HttpMsgRef::InvalidateServerAck { .. }
-            | HttpMsgRef::Notify { .. } => {
-                break; // protocol violation: children never send these
-            }
-            // Guard fallthrough: a Get for a server we do not own.
-            _ => break,
+        }
+        while let Some(d) = done.try_recv() {
+            apply_done(&state, &mut poller, &mut conns, d);
         }
     }
-    Ok(())
+
+    // Graceful drain, then close everything.
+    let grace = WallClock::start();
+    while state.outstanding.load(Ordering::SeqCst) > 0
+        && !grace.has_elapsed(wcc_types::SimDuration::from_micros(1_000_000))
+    {
+        let _ = poller.wait(&mut events, Some(Duration::from_millis(20)));
+        waker.drain();
+        while let Some(d) = done.try_recv() {
+            apply_done(&state, &mut poller, &mut conns, d);
+        }
+    }
+    conns.live_tokens(&mut scratch);
+    for tok in scratch.drain(..) {
+        conns.flush(&mut poller, tok);
+        conns.close(&mut poller, tok);
+    }
+}
+
+/// Round-robin job dealer over the per-worker inboxes.
+struct JobDealer {
+    lanes: Vec<Sender<Job>>,
+    next: usize,
+}
+
+impl JobDealer {
+    fn send(&mut self, job: Job) {
+        let lane = self.next % self.lanes.len();
+        self.next = self.next.wrapping_add(1);
+        let _ = self.lanes[lane].send(job);
+    }
+}
+
+/// Re-registers with the origin after it went away (§5: a restarted
+/// origin answers the fresh `HELLO` with a bulk `INVALIDATE <server>`).
+fn reconnect_upstream(
+    state: &Arc<ParentState>,
+    poller: &mut Poller,
+    conns: &mut Conns<KTag>,
+) -> Option<u64> {
+    let stream = TcpStream::connect(state.origin).ok()?;
+    let _ = stream.set_nodelay(true);
+    {
+        let mut w = stream.try_clone().ok()?;
+        w.write_all(&encode(&HttpMsg::Hello {
+            partition: 0,
+            partitions: 1,
+        }))
+        .ok()?;
+        w.flush().ok()?;
+    }
+    conns.insert(poller, stream, KTag::upstream()).ok()
+}
+
+/// Pushes `msg` onto the child channel for `client`'s partition; returns
+/// `true` if a channel existed.
+fn relay_to_child(
+    poller: &mut Poller,
+    conns: &mut Conns<KTag>,
+    router: &Router,
+    client: ClientId,
+    msg: &HttpMsg,
+) -> bool {
+    let partitions = router.child_partitions.max(1);
+    let Some(&tok) = router.channels.get(&client.partition(partitions)) else {
+        return false;
+    };
+    let Some(conn) = conns.get_mut(tok) else {
+        return false;
+    };
+    conn.sbuf.push_bytes(&encode(msg));
+    conns.flush(poller, tok);
+    true
+}
+
+/// Reads and dispatches every complete frame on one connection. Returns
+/// `None` if the connection was closed.
+fn drive_conn(
+    state: &Arc<ParentState>,
+    poller: &mut Poller,
+    conns: &mut Conns<KTag>,
+    jobs: &mut JobDealer,
+    router: &mut Router,
+    token: u64,
+) -> Option<()> {
+    {
+        let conn = conns.get_mut(token)?;
+        if conn.read_ready().is_err() {
+            conns.close(poller, token);
+            return None;
+        }
+    }
+    loop {
+        enum Step {
+            Keep,
+            CloseAfterFlush,
+            Close,
+            /// Relay `msg` to each recipient, then count successes.
+            Relay(HttpMsg, Vec<ClientId>),
+            /// Relay a bulk invalidation to every child channel.
+            RelayBulk(wcc_types::ServerId),
+        }
+        let step = {
+            let conn = conns.get_mut(token)?;
+            let Conn {
+                rbuf,
+                sbuf,
+                tag,
+                eof,
+                close_after_flush,
+                ..
+            } = conn;
+            match decode_frame(rbuf.data(), *eof) {
+                Ok(None) => break,
+                Err(WireError::Closed) => {
+                    if sbuf.is_empty() {
+                        conns.close(poller, token);
+                    } else {
+                        // Peer is gone; flush what is queued, then close.
+                        *close_after_flush = true;
+                        conns.flush(poller, token);
+                    }
+                    return None;
+                }
+                Err(_) => {
+                    conns.close(poller, token);
+                    return None;
+                }
+                Ok(Some((msg, used))) => {
+                    let step = if tag.upstream {
+                        match &msg {
+                            HttpMsgRef::Invalidate { url, .. } => {
+                                let (ack, recipients) = state.handle_invalidate(*url);
+                                sbuf.push_bytes(&encode(&ack));
+                                Step::Relay(
+                                    HttpMsg::Invalidate {
+                                        url: *url,
+                                        client: ClientId::from_raw(0),
+                                    },
+                                    recipients,
+                                )
+                            }
+                            HttpMsgRef::InvalidateServer { server } => {
+                                {
+                                    let mut p = state.protected.lock();
+                                    p.counters.bulk_invalidations_received += 1;
+                                    let Protected { policy, cache, .. } = &mut *p;
+                                    policy.on_invalidate_server(*server, cache);
+                                }
+                                sbuf.push_bytes(&encode(&HttpMsg::InvalidateServerAck {
+                                    server: *server,
+                                }));
+                                Step::RelayBulk(*server)
+                            }
+                            HttpMsgRef::Get(_)
+                            | HttpMsgRef::Reply(_)
+                            | HttpMsgRef::InvalAck { .. }
+                            | HttpMsgRef::InvalidateServerAck { .. }
+                            | HttpMsgRef::Hello { .. }
+                            | HttpMsgRef::MetricsGet
+                            | HttpMsgRef::Notify { .. } => Step::Close,
+                        }
+                    } else {
+                        match &msg {
+                            HttpMsgRef::Get(get) if get.url.server() == state.server => {
+                                let seq = tag.next_assign;
+                                tag.next_assign += 1;
+                                state.outstanding.fetch_add(1, Ordering::SeqCst);
+                                jobs.send(Job {
+                                    token,
+                                    seq,
+                                    get: get.clone(),
+                                });
+                                Step::Keep
+                            }
+                            HttpMsgRef::MetricsGet => {
+                                sbuf.push_bytes(&crate::scrape::metrics_response(
+                                    &state.render_metrics(),
+                                ));
+                                Step::CloseAfterFlush
+                            }
+                            HttpMsgRef::Hello {
+                                partition,
+                                partitions,
+                            } => {
+                                router.child_partitions = (*partitions).max(1);
+                                router.channels.insert(*partition, token);
+                                tag.partition = Some(*partition);
+                                Step::Keep
+                            }
+                            HttpMsgRef::InvalAck {
+                                url,
+                                client,
+                                cache_hits,
+                            } => {
+                                let mut p = state.protected.lock();
+                                if *cache_hits > 0 {
+                                    let key = url.scoped(state.identity);
+                                    if p.cache.peek(key).is_some() {
+                                        p.cache.add_unreported_hits(key, *cache_hits);
+                                    }
+                                }
+                                p.children.on_inval_ack(*url, *client);
+                                Step::Keep
+                            }
+                            // A child acking a relayed bulk invalidation.
+                            HttpMsgRef::InvalidateServerAck { .. } => Step::Keep,
+                            HttpMsgRef::Reply(_)
+                            | HttpMsgRef::Invalidate { .. }
+                            | HttpMsgRef::InvalidateServer { .. }
+                            | HttpMsgRef::Notify { .. } => Step::Close,
+                            // Guard fallthrough: a Get for a foreign server.
+                            _ => Step::Close,
+                        }
+                    };
+                    rbuf.consume(used);
+                    step
+                }
+            }
+        };
+        match step {
+            Step::Keep => {}
+            Step::CloseAfterFlush => {
+                let conn = conns.get_mut(token)?;
+                conn.close_after_flush = true;
+                break;
+            }
+            Step::Close => {
+                conns.close(poller, token);
+                return None;
+            }
+            Step::Relay(template, recipients) => {
+                let mut relayed = 0u64;
+                for client in recipients {
+                    let msg = match template {
+                        HttpMsg::Invalidate { url, .. } => HttpMsg::Invalidate { url, client },
+                        ref other => other.clone(),
+                    };
+                    if relay_to_child(poller, conns, router, client, &msg) {
+                        relayed += 1;
+                    }
+                }
+                if relayed > 0 {
+                    state.protected.lock().counters.invalidations_relayed += relayed;
+                }
+            }
+            Step::RelayBulk(server) => {
+                let msg = HttpMsg::InvalidateServer { server };
+                let frame = encode(&msg);
+                let tokens: Vec<u64> = router.channels.values().copied().collect();
+                for tok in tokens {
+                    if let Some(conn) = conns.get_mut(tok) {
+                        conn.sbuf.push_bytes(&frame);
+                        conns.flush(poller, tok);
+                    }
+                }
+            }
+        }
+    }
+    if conns.flush(poller, token) {
+        Some(())
+    } else {
+        None
+    }
+}
+
+/// Applies one finished job: park it, then deliver every reply that is
+/// next in pipeline order.
+fn apply_done(state: &Arc<ParentState>, poller: &mut Poller, conns: &mut Conns<KTag>, d: Done) {
+    state.outstanding.fetch_sub(1, Ordering::SeqCst);
+    let Some(conn) = conns.get_mut(d.token) else {
+        return;
+    };
+    let Conn {
+        sbuf,
+        tag,
+        close_after_flush,
+        ..
+    } = conn;
+    tag.parked.push((d.seq, d.msg));
+    while let Some(i) = tag.parked.iter().position(|(s, _)| *s == tag.next_send) {
+        let (_, msg) = tag.parked.swap_remove(i);
+        tag.next_send += 1;
+        match msg {
+            Some(m) => sbuf.push_bytes(&encode(&m)),
+            None => {
+                *close_after_flush = true;
+                break;
+            }
+        }
+    }
+    conns.flush(poller, d.token);
 }

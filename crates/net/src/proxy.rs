@@ -1,9 +1,28 @@
-//! The TCP caching proxy.
+//! The TCP caching proxy, served by a readiness reactor.
+//!
+//! One reactor thread owns every socket the proxy touches: a
+//! client-facing listener ([`NetProxy::client_addr`]) speaking keep-alive
+//! HTTP/1.1 with pipelining, the `/metrics` scrape listener, and the
+//! persistent invalidation channel to the origin (re-established with a
+//! fresh `HELLO` on a 250 ms tick if the origin restarts — the proxy half
+//! of the §5 recovery handshake).
+//!
+//! Protocol work stays off the reactor: client `GET`s become jobs for a
+//! small worker pool whose members run the same locked fetch path as the
+//! blocking [`NetProxy::fetch`] API — the policy lock is held across the
+//! upstream round trip, which serialises cache transitions against
+//! invalidations exactly like the thread-per-connection prototype did, so
+//! the strong-consistency guarantee is unchanged. Replies re-enter the
+//! reactor through a completion queue + waker and are delivered in
+//! pipeline order per connection. Upstream round trips reuse a bounded
+//! pool of keep-alive connections ([`wcc_reactor::BoundedPool`]) instead
+//! of dialing per request.
 
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -11,9 +30,13 @@ use wcc_cache::{CacheStore, ReplacementPolicy};
 use wcc_core::{ProtocolConfig, ProxyAction, ProxyPolicy};
 use wcc_obs::{Histogram, Registry};
 use wcc_proto::{
-    encode, FrameReader, GetRequest, HttpMsg, HttpMsgRef, ReplyStatusRef, RequestId, WireError,
+    decode_frame, encode, GetRequest, HttpMsg, HttpMsgRef, Reply, ReplyStatus, RequestId, WireError,
 };
-use wcc_types::{ByteSize, ClientId, DocMeta, SimTime, Url, WallClock};
+use wcc_reactor::{BoundedPool, Interest, Poller, WakeHandle, Waker};
+use wcc_types::{Body, ByteSize, ClientId, DocMeta, SimTime, Url, WallClock};
+
+use crate::evloop::{accept_all, Conn, Conns, TOK_LISTENER, TOK_LISTENER2, TOK_WAKER};
+use crate::upstream::{pooled_roundtrip, UpstreamConn};
 
 /// How a [`NetProxy::fetch`] was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,13 +81,22 @@ pub struct NetProxyCounters {
     pub bulk_invalidations_received: u64,
     /// Piggybacked invalidations received (PSI).
     pub piggybacked_received: u64,
+    /// Client connections dropped (accept/registration failure, or a
+    /// fetch error forcing a close).
+    pub dropped_connections: u64,
 }
 
 struct ProxyState {
+    origin: SocketAddr,
     policy: Mutex<(ProxyPolicy, CacheStore, RequestId)>,
     counters: Mutex<NetProxyCounters>,
-    /// Wall-time latency of whole [`NetProxy::fetch`] calls (hits included).
+    /// Wall-time latency of whole fetches (hits included), blocking API
+    /// and reactor-served clients alike.
     fetch_latency: Mutex<Histogram>,
+    /// Bounded keep-alive pool for the proxy→origin hop.
+    upstream: Mutex<BoundedPool<UpstreamConn>>,
+    /// Client jobs handed to the reactor but not yet answered.
+    outstanding: AtomicU32,
     shutdown: AtomicBool,
 }
 
@@ -129,6 +161,12 @@ impl ProxyState {
             &node,
             c.piggybacked_received,
         );
+        r.set_counter(
+            "wcc_dropped_connections_total",
+            "Client connections dropped by the serving tier.",
+            &node,
+            c.dropped_connections,
+        );
         r.set_gauge(
             "wcc_cached_entries",
             "Entries currently cached.",
@@ -145,22 +183,171 @@ impl ProxyState {
     }
 }
 
-/// A running caching proxy. Shuts down its invalidation listener on drop.
+/// The full locked fetch: policy decision, optional upstream round trip
+/// over the bounded pool, and cache transitions — all under one policy
+/// lock, exactly like the pre-reactor prototype, so invalidations can
+/// never interleave with an in-flight fetch.
+fn fetch_locked(
+    state: &ProxyState,
+    client: ClientId,
+    url: Url,
+    now: SimTime,
+) -> std::io::Result<FetchOutcome> {
+    let key = url.scoped(client);
+    let mut guard = state.policy.lock();
+    let (policy, cache, next_req) = &mut *guard;
+    state.counters.lock().requests += 1;
+    let disposition = policy.on_request(key, now, cache);
+    if disposition.had_entry {
+        state.counters.lock().hits += 1;
+    }
+    let report_hits = disposition.report_hits;
+    let mut ims = match disposition.action {
+        ProxyAction::ServeFromCache => {
+            let meta = cache.peek(key).expect("hit implies entry").meta;
+            return Ok(FetchOutcome {
+                kind: FetchKind::CacheHit,
+                had_entry: true,
+                meta,
+            });
+        }
+        ProxyAction::SendGet { ims } => ims,
+    };
+
+    // Up to one retry for the 304-races-eviction corner.
+    for _attempt in 0..2 {
+        let req = *next_req;
+        *next_req = next_req.next();
+        {
+            let mut c = state.counters.lock();
+            if ims.is_some() {
+                c.ims_sent += 1;
+            } else {
+                c.gets_sent += 1;
+            }
+        }
+        let get = HttpMsg::Get(GetRequest {
+            req,
+            url,
+            client,
+            ims,
+            issued_at: now,
+            cache_hits: report_hits,
+        });
+        let reply = pooled_roundtrip(&state.upstream, state.origin, &encode(&get))?;
+        policy.on_volume_grant(key, reply.volume_lease);
+        if !reply.piggyback.is_empty() {
+            policy.on_piggyback(&reply.piggyback, client, cache);
+            state.counters.lock().piggybacked_received += reply.piggyback.len() as u64;
+        }
+        match reply.meta {
+            Some(meta) => {
+                state.counters.lock().replies_200 += 1;
+                policy.on_reply_200(key, meta, reply.lease, now, cache);
+                return Ok(FetchOutcome {
+                    kind: FetchKind::Fetched,
+                    had_entry: disposition.had_entry,
+                    meta,
+                });
+            }
+            None => {
+                if policy.on_reply_304(key, reply.lease, now, cache) {
+                    state.counters.lock().replies_304 += 1;
+                    let meta = cache.peek(key).expect("validated entry").meta;
+                    return Ok(FetchOutcome {
+                        kind: FetchKind::Validated,
+                        had_entry: disposition.had_entry,
+                        meta,
+                    });
+                }
+                // Entry evicted mid-validation: retry as a plain GET.
+                ims = None;
+            }
+        }
+    }
+    Err(std::io::Error::other("revalidation race did not resolve"))
+}
+
+/// A client `GET` parked in the worker pool.
+struct Job {
+    token: u64,
+    seq: u64,
+    get: GetRequest,
+}
+
+/// A finished job re-entering the reactor. `None` means the fetch failed
+/// and the connection should close.
+struct Done {
+    token: u64,
+    seq: u64,
+    msg: Option<HttpMsg>,
+}
+
+fn worker_loop(
+    state: &Arc<ProxyState>,
+    jobs: &Receiver<Job>,
+    done: &Sender<Done>,
+    wake: &WakeHandle,
+) {
+    while let Ok(job) = jobs.recv() {
+        let clock = WallClock::start();
+        let outcome = fetch_locked(state, job.get.client, job.get.url, job.get.issued_at);
+        state
+            .fetch_latency
+            .lock()
+            .record(clock.elapsed().as_micros());
+        let msg = match outcome {
+            Ok(out) => Some(HttpMsg::Reply(Reply {
+                req: job.get.req,
+                url: job.get.url,
+                client: job.get.client,
+                // Client-facing bodies are unscaled: the wire carries the
+                // real (accounted) size, not the storage-scaled payload.
+                status: ReplyStatus::Ok(Body::synthetic(out.meta, 1)),
+                lease: None,
+                piggyback: Vec::new(),
+                volume_lease: None,
+            })),
+            Err(_) => None,
+        };
+        if done
+            .send(Done {
+                token: job.token,
+                seq: job.seq,
+                msg,
+            })
+            .is_err()
+        {
+            break;
+        }
+        wake.wake();
+    }
+}
+
+/// A running caching proxy. Shuts down its reactor and workers on drop.
 pub struct NetProxy {
     origin: SocketAddr,
     metrics_addr: SocketAddr,
+    client_addr: SocketAddr,
     state: Arc<ProxyState>,
-    inval_thread: Option<JoinHandle<()>>,
-    metrics_thread: Option<JoinHandle<()>>,
+    wake: WakeHandle,
+    reactor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for NetProxy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetProxy")
             .field("origin", &self.origin)
+            .field("client_addr", &self.client_addr)
             .finish()
     }
 }
+
+/// Worker threads serving the client listener. Everything serialises on
+/// the policy lock anyway; two workers let encode/decode overlap one
+/// upstream round trip.
+const WORKERS: usize = 2;
 
 impl NetProxy {
     /// Connects to `origin`, registers the invalidation push channel for
@@ -177,6 +364,7 @@ impl NetProxy {
         capacity: ByteSize,
     ) -> std::io::Result<NetProxy> {
         let state = Arc::new(ProxyState {
+            origin,
             policy: Mutex::new((
                 ProxyPolicy::new(cfg),
                 CacheStore::new(capacity, ReplacementPolicy::ExpiredFirstLru),
@@ -184,105 +372,86 @@ impl NetProxy {
             )),
             counters: Mutex::new(NetProxyCounters::default()),
             fetch_latency: Mutex::new(Histogram::default()),
+            upstream: Mutex::new(BoundedPool::new(WORKERS + 2)),
+            outstanding: AtomicU32::new(0),
             shutdown: AtomicBool::new(false),
         });
 
-        // Metrics endpoint: the proxy makes only outbound connections for
-        // protocol traffic, so scrapes get their own loopback listener.
+        // Client-facing keep-alive listener (the serving tier's front
+        // door) and the metrics scrape listener.
+        let client_listener = TcpListener::bind("127.0.0.1:0")?;
+        client_listener.set_nonblocking(true)?;
+        let client_addr = client_listener.local_addr()?;
         let metrics_listener = TcpListener::bind("127.0.0.1:0")?;
+        metrics_listener.set_nonblocking(true)?;
         let metrics_addr = metrics_listener.local_addr()?;
-        let metrics_state = Arc::clone(&state);
-        let metrics_thread = std::thread::spawn(move || {
-            for stream in metrics_listener.incoming() {
-                if metrics_state.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                let _ = serve_metrics(&metrics_state, stream);
-            }
-        });
 
         // Invalidation channel: proxy-initiated persistent connection.
-        let mut channel = TcpStream::connect(origin)?;
-        channel.set_read_timeout(Some(Duration::from_millis(50)))?;
-        channel.write_all(&encode(&HttpMsg::Hello {
-            partition,
-            partitions,
-        }))?;
-        channel.flush()?;
+        // Established synchronously so spawn fails fast if the origin is
+        // unreachable; re-established by the reactor if it drops.
+        let channel = TcpStream::connect(origin)?;
+        let _ = channel.set_nodelay(true);
+        {
+            let mut w = channel.try_clone()?;
+            w.write_all(&encode(&HttpMsg::Hello {
+                partition,
+                partitions,
+            }))?;
+            w.flush()?;
+        }
 
-        let listener_state = Arc::clone(&state);
-        let inval_thread = std::thread::spawn(move || {
-            let mut writer = match channel.try_clone() {
-                Ok(w) => w,
-                Err(_) => return,
-            };
-            // Zero-copy frame reader: invalidations are decoded straight
-            // from the channel buffer; nothing on this path retains bytes,
-            // so no message is ever copied out.
-            let mut reader = FrameReader::new(channel);
-            loop {
-                if listener_state.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                match reader.next_msg() {
-                    Ok(HttpMsgRef::Invalidate { url, client }) => {
-                        let deleted_hits = {
-                            let mut guard = listener_state.policy.lock();
-                            let (policy, cache, _) = &mut *guard;
-                            policy.on_invalidate(url, client, cache)
-                        };
-                        listener_state.counters.lock().invalidations_received += 1;
-                        let ack = HttpMsg::InvalAck {
-                            url,
-                            client,
-                            cache_hits: deleted_hits.unwrap_or(0),
-                        };
-                        if writer.write_all(&encode(&ack)).is_err() {
-                            break;
-                        }
-                        let _ = writer.flush();
-                    }
-                    Ok(HttpMsgRef::InvalidateServer { server }) => {
-                        {
-                            let mut guard = listener_state.policy.lock();
-                            let (policy, cache, _) = &mut *guard;
-                            policy.on_invalidate_server(server, cache);
-                        }
-                        listener_state.counters.lock().bulk_invalidations_received += 1;
-                        let ack = HttpMsg::InvalidateServerAck { server };
-                        if writer.write_all(&encode(&ack)).is_err() {
-                            break;
-                        }
-                        let _ = writer.flush();
-                    }
-                    Ok(
-                        HttpMsgRef::Get(_)
-                        | HttpMsgRef::Reply(_)
-                        | HttpMsgRef::InvalAck { .. }
-                        | HttpMsgRef::InvalidateServerAck { .. }
-                        | HttpMsgRef::Hello { .. }
-                        | HttpMsgRef::MetricsGet
-                        | HttpMsgRef::Notify { .. },
-                    ) => break, // protocol violation
-                    Err(WireError::Closed) => break,
-                    Err(WireError::Io(e))
-                        if e.kind() == std::io::ErrorKind::WouldBlock
-                            || e.kind() == std::io::ErrorKind::TimedOut =>
-                    {
-                        continue;
-                    }
-                    Err(_) => break,
-                }
-            }
+        let mut poller = Poller::new()?;
+        {
+            use std::os::fd::AsRawFd;
+            poller.add(client_listener.as_raw_fd(), TOK_LISTENER, Interest::READ)?;
+            poller.add(metrics_listener.as_raw_fd(), TOK_LISTENER2, Interest::READ)?;
+        }
+        let waker = Waker::new()?;
+        waker.register(&mut poller, TOK_WAKER)?;
+        let wake = waker.handle()?;
+
+        // The vendored channel is single-consumer, so each worker gets
+        // its own inbox and the reactor deals jobs round-robin; per-
+        // connection sequence numbers restore pipeline order on the way
+        // back regardless of which worker finishes first.
+        let (done_tx, done_rx) = unbounded::<Done>();
+        let mut jobs_tx = Vec::with_capacity(WORKERS);
+        let mut workers = Vec::with_capacity(WORKERS);
+        for _ in 0..WORKERS {
+            let (tx, rx) = unbounded::<Job>();
+            jobs_tx.push(tx);
+            let state = Arc::clone(&state);
+            let done = done_tx.clone();
+            let wake = waker.handle()?;
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&state, &rx, &done, &wake);
+            }));
+        }
+
+        let reactor_state = Arc::clone(&state);
+        let reactor = std::thread::spawn(move || {
+            reactor_loop(ReactorInit {
+                state: reactor_state,
+                client_listener,
+                metrics_listener,
+                poller,
+                waker,
+                channel: Some(channel),
+                partition,
+                partitions,
+                jobs: jobs_tx,
+                done: done_rx,
+            });
         });
 
         Ok(NetProxy {
             origin,
             metrics_addr,
+            client_addr,
             state,
-            inval_thread: Some(inval_thread),
-            metrics_thread: Some(metrics_thread),
+            wake,
+            reactor: Some(reactor),
+            workers,
         })
     }
 
@@ -294,6 +463,12 @@ impl NetProxy {
     /// The loopback address answering `GET /metrics` for this proxy.
     pub fn metrics_addr(&self) -> SocketAddr {
         self.metrics_addr
+    }
+
+    /// The keep-alive listener browsers (and the stress bench) connect
+    /// to: `GET`s are answered with `200` replies, pipelining preserved.
+    pub fn client_addr(&self) -> SocketAddr {
+        self.client_addr
     }
 
     /// The current Prometheus text exposition — the same body `GET
@@ -311,109 +486,12 @@ impl NetProxy {
     /// infallible.
     pub fn fetch(&self, client: ClientId, url: Url, now: SimTime) -> std::io::Result<FetchOutcome> {
         let clock = WallClock::start();
-        let outcome = self.fetch_inner(client, url, now);
+        let outcome = fetch_locked(&self.state, client, url, now);
         self.state
             .fetch_latency
             .lock()
             .record(clock.elapsed().as_micros());
         outcome
-    }
-
-    fn fetch_inner(
-        &self,
-        client: ClientId,
-        url: Url,
-        now: SimTime,
-    ) -> std::io::Result<FetchOutcome> {
-        let key = url.scoped(client);
-        let mut guard = self.state.policy.lock();
-        let (policy, cache, next_req) = &mut *guard;
-        self.state.counters.lock().requests += 1;
-        let disposition = policy.on_request(key, now, cache);
-        if disposition.had_entry {
-            self.state.counters.lock().hits += 1;
-        }
-        let report_hits = disposition.report_hits;
-        let mut ims = match disposition.action {
-            ProxyAction::ServeFromCache => {
-                let meta = cache.peek(key).expect("hit implies entry").meta;
-                return Ok(FetchOutcome {
-                    kind: FetchKind::CacheHit,
-                    had_entry: true,
-                    meta,
-                });
-            }
-            ProxyAction::SendGet { ims } => ims,
-        };
-
-        // Up to one retry for the 304-races-eviction corner.
-        for _attempt in 0..2 {
-            let req = *next_req;
-            *next_req = next_req.next();
-            {
-                let mut c = self.state.counters.lock();
-                if ims.is_some() {
-                    c.ims_sent += 1;
-                } else {
-                    c.gets_sent += 1;
-                }
-            }
-            let get = HttpMsg::Get(GetRequest {
-                req,
-                url,
-                client,
-                ims,
-                issued_at: now,
-                cache_hits: report_hits,
-            });
-            let mut stream = TcpStream::connect(self.origin)?;
-            stream.write_all(&encode(&get))?;
-            stream.flush()?;
-            // Zero-copy decode: the proxy retains only document *metadata*
-            // (the cache stores no payloads), so the reply body is consumed
-            // as a borrow of the receive buffer and never copied out.
-            let mut reader = FrameReader::new(stream);
-            let reply = reader
-                .next_msg()
-                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
-            let HttpMsgRef::Reply(reply) = reply else {
-                return Err(std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    "expected a reply",
-                ));
-            };
-            policy.on_volume_grant(key, reply.volume_lease);
-            let piggyback = reply.piggyback_urls();
-            if !piggyback.is_empty() {
-                policy.on_piggyback(&piggyback, client, cache);
-                self.state.counters.lock().piggybacked_received += piggyback.len() as u64;
-            }
-            match reply.status {
-                ReplyStatusRef::Ok { meta, .. } => {
-                    self.state.counters.lock().replies_200 += 1;
-                    policy.on_reply_200(key, meta, reply.lease, now, cache);
-                    return Ok(FetchOutcome {
-                        kind: FetchKind::Fetched,
-                        had_entry: disposition.had_entry,
-                        meta,
-                    });
-                }
-                ReplyStatusRef::NotModified => {
-                    if policy.on_reply_304(key, reply.lease, now, cache) {
-                        self.state.counters.lock().replies_304 += 1;
-                        let meta = cache.peek(key).expect("validated entry").meta;
-                        return Ok(FetchOutcome {
-                            kind: FetchKind::Validated,
-                            had_entry: disposition.had_entry,
-                            meta,
-                        });
-                    }
-                    // Entry evicted mid-validation: retry as a plain GET.
-                    ims = None;
-                }
-            }
-        }
-        Err(std::io::Error::other("revalidation race did not resolve"))
     }
 
     /// Number of entries currently cached.
@@ -425,25 +503,375 @@ impl NetProxy {
 impl Drop for NetProxy {
     fn drop(&mut self) {
         self.state.shutdown.store(true, Ordering::SeqCst);
-        if let Some(t) = self.inval_thread.take() {
+        self.wake.wake();
+        if let Some(t) = self.reactor.take() {
             let _ = t.join();
         }
-        // Wake the metrics accept loop so it observes the shutdown flag.
-        let _ = TcpStream::connect(self.metrics_addr);
-        if let Some(t) = self.metrics_thread.take() {
+        for t in self.workers.drain(..) {
             let _ = t.join();
         }
     }
 }
 
-/// Answers one scrape connection (anything else is dropped silently).
-fn serve_metrics(state: &Arc<ProxyState>, stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_secs(1)))?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = FrameReader::new(stream);
-    if matches!(reader.next_msg(), Ok(HttpMsgRef::MetricsGet)) {
-        writer.write_all(&crate::scrape::metrics_response(&state.render_metrics()))?;
-        writer.flush()?;
+/// What a proxy-side connection is.
+enum PKind {
+    /// Browser/bench connection on the client listener.
+    Client,
+    /// One-shot `/metrics` scrape.
+    Scrape,
+    /// The persistent invalidation channel to the origin.
+    Inval,
+}
+
+/// Per-connection tag: kind plus the pipeline-ordering state for client
+/// connections (sequence numbers assigned at decode; replies delivered
+/// strictly in order even when workers finish out of order).
+struct PTag {
+    kind: PKind,
+    next_assign: u64,
+    next_send: u64,
+    parked: Vec<(u64, Option<HttpMsg>)>,
+}
+
+impl PTag {
+    fn new(kind: PKind) -> PTag {
+        PTag {
+            kind,
+            next_assign: 0,
+            next_send: 0,
+            parked: Vec::new(),
+        }
     }
-    Ok(())
+}
+
+struct ReactorInit {
+    state: Arc<ProxyState>,
+    client_listener: TcpListener,
+    metrics_listener: TcpListener,
+    poller: Poller,
+    waker: Waker,
+    channel: Option<TcpStream>,
+    partition: u32,
+    partitions: u32,
+    jobs: Vec<Sender<Job>>,
+    done: Receiver<Done>,
+}
+
+/// Round-robin job dealer over the per-worker inboxes.
+struct JobDealer {
+    lanes: Vec<Sender<Job>>,
+    next: usize,
+}
+
+impl JobDealer {
+    fn send(&mut self, job: Job) {
+        let lane = self.next % self.lanes.len();
+        self.next = self.next.wrapping_add(1);
+        let _ = self.lanes[lane].send(job);
+    }
+}
+
+fn reactor_loop(init: ReactorInit) {
+    let ReactorInit {
+        state,
+        client_listener,
+        metrics_listener,
+        mut poller,
+        waker,
+        channel,
+        partition,
+        partitions,
+        jobs,
+        done,
+    } = init;
+    let mut jobs = JobDealer {
+        lanes: jobs,
+        next: 0,
+    };
+    let mut conns: Conns<PTag> = Conns::with_capacity(256);
+    let mut events: Vec<wcc_reactor::Event> = Vec::with_capacity(256);
+    let mut scratch: Vec<u64> = Vec::with_capacity(256);
+    let mut inval_token: Option<u64> = None;
+
+    if let Some(stream) = channel {
+        inval_token = conns
+            .insert(&mut poller, stream, PTag::new(PKind::Inval))
+            .ok();
+    }
+
+    loop {
+        // A live invalidation channel needs no timer; while it is down we
+        // tick every 250 ms to re-register (the §5 reconnect handshake).
+        let timeout = if inval_token.is_none() {
+            Some(Duration::from_millis(250))
+        } else {
+            None
+        };
+        if poller.wait(&mut events, timeout).is_err() {
+            break;
+        }
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        if inval_token.is_none() {
+            inval_token = reconnect_channel(&state, &mut poller, &mut conns, partition, partitions);
+        }
+        for ev in events.iter().copied() {
+            match ev.token {
+                TOK_LISTENER => {
+                    let mut dropped = 0u64;
+                    accept_all(
+                        &client_listener,
+                        &mut poller,
+                        &mut conns,
+                        || PTag::new(PKind::Client),
+                        &mut dropped,
+                    );
+                    if dropped > 0 {
+                        state.counters.lock().dropped_connections += dropped;
+                    }
+                }
+                TOK_LISTENER2 => {
+                    let mut dropped = 0u64;
+                    accept_all(
+                        &metrics_listener,
+                        &mut poller,
+                        &mut conns,
+                        || PTag::new(PKind::Scrape),
+                        &mut dropped,
+                    );
+                }
+                TOK_WAKER => waker.drain(),
+                tok => {
+                    if ev.writable {
+                        conns.flush(&mut poller, tok);
+                    }
+                    if (ev.readable || ev.error)
+                        && drive_conn(&state, &mut poller, &mut conns, &mut jobs, tok).is_none()
+                        && inval_token == Some(tok)
+                    {
+                        inval_token = None;
+                    }
+                }
+            }
+        }
+        while let Some(d) = done.try_recv() {
+            apply_done(&state, &mut poller, &mut conns, d);
+        }
+    }
+
+    // Graceful drain: give in-flight jobs a bounded window to finish and
+    // flush, then close everything.
+    let grace = WallClock::start();
+    while state.outstanding.load(Ordering::SeqCst) > 0
+        && !grace.has_elapsed(wcc_types::SimDuration::from_micros(1_000_000))
+    {
+        let _ = poller.wait(&mut events, Some(Duration::from_millis(20)));
+        waker.drain();
+        while let Some(d) = done.try_recv() {
+            apply_done(&state, &mut poller, &mut conns, d);
+        }
+    }
+    conns.live_tokens(&mut scratch);
+    for tok in scratch.drain(..) {
+        conns.flush(&mut poller, tok);
+        conns.close(&mut poller, tok);
+    }
+}
+
+/// Tries to re-establish the invalidation channel after the origin went
+/// away (crash, restart). Returns the new connection's token on success.
+fn reconnect_channel(
+    state: &Arc<ProxyState>,
+    poller: &mut Poller,
+    conns: &mut Conns<PTag>,
+    partition: u32,
+    partitions: u32,
+) -> Option<u64> {
+    let stream = TcpStream::connect(state.origin).ok()?;
+    let _ = stream.set_nodelay(true);
+    {
+        let mut w = stream.try_clone().ok()?;
+        w.write_all(&encode(&HttpMsg::Hello {
+            partition,
+            partitions,
+        }))
+        .ok()?;
+        w.flush().ok()?;
+    }
+    conns.insert(poller, stream, PTag::new(PKind::Inval)).ok()
+}
+
+/// Reads and dispatches every complete frame on one connection. Returns
+/// `None` if the connection was closed.
+fn drive_conn(
+    state: &Arc<ProxyState>,
+    poller: &mut Poller,
+    conns: &mut Conns<PTag>,
+    jobs: &mut JobDealer,
+    token: u64,
+) -> Option<()> {
+    {
+        let conn = conns.get_mut(token)?;
+        if conn.read_ready().is_err() {
+            conns.close(poller, token);
+            return None;
+        }
+    }
+    loop {
+        let conn = conns.get_mut(token)?;
+        let Conn {
+            rbuf,
+            sbuf,
+            tag,
+            eof,
+            close_after_flush,
+            ..
+        } = conn;
+        enum Step {
+            Keep,
+            CloseAfterFlush,
+            Close,
+        }
+        let step = match decode_frame(rbuf.data(), *eof) {
+            Ok(None) => break,
+            Err(WireError::Closed) => {
+                if sbuf.is_empty() {
+                    conns.close(poller, token);
+                } else {
+                    // Peer is gone; flush what is queued, then close.
+                    *close_after_flush = true;
+                    conns.flush(poller, token);
+                }
+                return None;
+            }
+            Err(_) => {
+                conns.close(poller, token);
+                return None;
+            }
+            Ok(Some((msg, used))) => {
+                let step = match tag.kind {
+                    PKind::Client => match &msg {
+                        HttpMsgRef::Get(get) => {
+                            let seq = tag.next_assign;
+                            tag.next_assign += 1;
+                            state.outstanding.fetch_add(1, Ordering::SeqCst);
+                            jobs.send(Job {
+                                token,
+                                seq,
+                                get: get.clone(),
+                            });
+                            Step::Keep
+                        }
+                        HttpMsgRef::MetricsGet => {
+                            sbuf.push_bytes(&crate::scrape::metrics_response(
+                                &state.render_metrics(),
+                            ));
+                            Step::CloseAfterFlush
+                        }
+                        HttpMsgRef::Reply(_)
+                        | HttpMsgRef::Invalidate { .. }
+                        | HttpMsgRef::InvalidateServer { .. }
+                        | HttpMsgRef::InvalidateServerAck { .. }
+                        | HttpMsgRef::InvalAck { .. }
+                        | HttpMsgRef::Hello { .. }
+                        | HttpMsgRef::Notify { .. } => Step::Close,
+                    },
+                    PKind::Scrape => match &msg {
+                        HttpMsgRef::MetricsGet => {
+                            sbuf.push_bytes(&crate::scrape::metrics_response(
+                                &state.render_metrics(),
+                            ));
+                            Step::CloseAfterFlush
+                        }
+                        _ => Step::Close,
+                    },
+                    PKind::Inval => match &msg {
+                        HttpMsgRef::Invalidate { url, client } => {
+                            let deleted_hits = {
+                                let mut guard = state.policy.lock();
+                                let (policy, cache, _) = &mut *guard;
+                                policy.on_invalidate(*url, *client, cache)
+                            };
+                            state.counters.lock().invalidations_received += 1;
+                            sbuf.push_bytes(&encode(&HttpMsg::InvalAck {
+                                url: *url,
+                                client: *client,
+                                cache_hits: deleted_hits.unwrap_or(0),
+                            }));
+                            Step::Keep
+                        }
+                        HttpMsgRef::InvalidateServer { server } => {
+                            {
+                                let mut guard = state.policy.lock();
+                                let (policy, cache, _) = &mut *guard;
+                                policy.on_invalidate_server(*server, cache);
+                            }
+                            state.counters.lock().bulk_invalidations_received += 1;
+                            sbuf.push_bytes(&encode(&HttpMsg::InvalidateServerAck {
+                                server: *server,
+                            }));
+                            Step::Keep
+                        }
+                        HttpMsgRef::Get(_)
+                        | HttpMsgRef::Reply(_)
+                        | HttpMsgRef::InvalAck { .. }
+                        | HttpMsgRef::InvalidateServerAck { .. }
+                        | HttpMsgRef::Hello { .. }
+                        | HttpMsgRef::MetricsGet
+                        | HttpMsgRef::Notify { .. } => Step::Close,
+                    },
+                };
+                rbuf.consume(used);
+                step
+            }
+        };
+        match step {
+            Step::Keep => {}
+            Step::CloseAfterFlush => {
+                *close_after_flush = true;
+                break;
+            }
+            Step::Close => {
+                conns.close(poller, token);
+                return None;
+            }
+        }
+    }
+    if conns.flush(poller, token) {
+        Some(())
+    } else {
+        None
+    }
+}
+
+/// Applies one finished job: park it, then deliver every reply that is
+/// next in pipeline order.
+fn apply_done(state: &Arc<ProxyState>, poller: &mut Poller, conns: &mut Conns<PTag>, d: Done) {
+    state.outstanding.fetch_sub(1, Ordering::SeqCst);
+    let Some(conn) = conns.get_mut(d.token) else {
+        return;
+    };
+    let Conn {
+        sbuf,
+        tag,
+        close_after_flush,
+        ..
+    } = conn;
+    tag.parked.push((d.seq, d.msg));
+    while let Some(i) = tag.parked.iter().position(|(s, _)| *s == tag.next_send) {
+        let (_, msg) = tag.parked.swap_remove(i);
+        tag.next_send += 1;
+        match msg {
+            Some(m) => sbuf.push_bytes(&encode(&m)),
+            None => {
+                // Fetch failed (origin down): deliver what we have, then
+                // drop the connection so the client can re-dial.
+                *close_after_flush = true;
+                state.counters.lock().dropped_connections += 1;
+                break;
+            }
+        }
+    }
+    conns.flush(poller, d.token);
 }

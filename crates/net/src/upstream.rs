@@ -1,0 +1,119 @@
+//! Bounded keep-alive connection pooling for the upward hop
+//! (proxy→origin, proxy→parent, parent→origin).
+//!
+//! Each node keeps a small [`BoundedPool`] of persistent request/reply
+//! connections instead of dialing per request. A pooled connection that
+//! died while idle (the peer restarted) is detected by the round-trip
+//! failing, discarded, and the exchange retried once on a fresh dial —
+//! transparent to the policy layer above.
+
+use parking_lot::Mutex;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+use wcc_proto::{FrameReader, HttpMsgRef, ReplyStatusRef};
+use wcc_reactor::{Acquire, BoundedPool};
+use wcc_types::{DocMeta, SimTime, Url};
+
+/// One pooled keep-alive connection to the upstream node.
+pub(crate) struct UpstreamConn {
+    writer: TcpStream,
+    reader: FrameReader<TcpStream>,
+}
+
+impl UpstreamConn {
+    fn connect(origin: SocketAddr) -> io::Result<UpstreamConn> {
+        let stream = TcpStream::connect(origin)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        let writer = stream.try_clone()?;
+        Ok(UpstreamConn {
+            writer,
+            reader: FrameReader::new(stream),
+        })
+    }
+
+    /// Sends one encoded `GET` and summarises the reply into owned data.
+    /// The borrowed `200` body is dropped here: caches above this layer
+    /// store metadata only, so the zero-copy decode never materialises
+    /// the payload.
+    fn roundtrip(&mut self, frame: &[u8]) -> io::Result<OwnedReply> {
+        self.writer.write_all(frame)?;
+        self.writer.flush()?;
+        let msg = self
+            .reader
+            .next_msg()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let HttpMsgRef::Reply(reply) = msg else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "expected a reply",
+            ));
+        };
+        Ok(OwnedReply {
+            meta: match reply.status {
+                ReplyStatusRef::Ok { meta, .. } => Some(meta),
+                ReplyStatusRef::NotModified => None,
+            },
+            lease: reply.lease,
+            volume_lease: reply.volume_lease,
+            piggyback: reply.piggyback_urls(),
+        })
+    }
+}
+
+/// A reply with the body discarded: everything the policy layer needs.
+pub(crate) struct OwnedReply {
+    /// `Some` for a `200`, `None` for `304`.
+    pub meta: Option<DocMeta>,
+    pub lease: Option<SimTime>,
+    pub volume_lease: Option<SimTime>,
+    pub piggyback: Vec<Url>,
+}
+
+/// One request/reply exchange over the bounded pool. A reused keep-alive
+/// connection that turns out to be dead (upstream restarted) is discarded
+/// and the exchange retried once on a fresh connection.
+pub(crate) fn pooled_roundtrip(
+    pool: &Mutex<BoundedPool<UpstreamConn>>,
+    origin: SocketAddr,
+    frame: &[u8],
+) -> io::Result<OwnedReply> {
+    for attempt in 0..2 {
+        let (mut conn, reused, pooled) = {
+            let acquired = pool.lock().try_acquire();
+            match acquired {
+                Acquire::Reuse(conn) => (conn, true, true),
+                Acquire::Open => match UpstreamConn::connect(origin) {
+                    Ok(conn) => (conn, false, true),
+                    Err(e) => {
+                        pool.lock().discard();
+                        return Err(e);
+                    }
+                },
+                // The pool is sized above the worker count, so this only
+                // happens under exotic external use; fall back to an
+                // unpooled one-shot connection.
+                Acquire::Exhausted => (UpstreamConn::connect(origin)?, false, false),
+            }
+        };
+        match conn.roundtrip(frame) {
+            Ok(reply) => {
+                if pooled {
+                    pool.lock().release(conn);
+                }
+                return Ok(reply);
+            }
+            Err(e) => {
+                if pooled {
+                    pool.lock().discard();
+                }
+                if reused && attempt == 0 {
+                    continue; // stale pooled connection; retry fresh
+                }
+                return Err(e);
+            }
+        }
+    }
+    Err(io::Error::other("upstream retry did not resolve"))
+}

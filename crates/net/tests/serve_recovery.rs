@@ -1,0 +1,139 @@
+//! §5 crash-recovery and wire-robustness tests of the serving tier.
+//!
+//! The first test kills the origin mid-run and restarts it on the same
+//! port in recovery mode, asserting the proxy's invalidation channel is
+//! rebuilt and no stale copy survives. The second drives the proxy's
+//! client port with two pipelined `GET`s deliberately split across many
+//! tiny writes, checking the reactor reassembles frames across reads.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+use wcc_core::{ProtocolConfig, ProtocolKind};
+use wcc_net::{check_in, FetchKind, NetOrigin, NetProxy, OriginConfig};
+use wcc_proto::wire::encode;
+use wcc_proto::zero::{FrameReader, HttpMsgRef};
+use wcc_proto::{GetRequest, HttpMsg, RequestId};
+use wcc_types::{ByteSize, ClientId, ServerId, SimTime, Url};
+
+fn origin_config(cfg: &ProtocolConfig) -> OriginConfig {
+    OriginConfig {
+        server: ServerId::new(0),
+        doc_sizes: vec![ByteSize::from_kib(8); 32],
+        protocol: cfg.clone(),
+        doc_scale: 100,
+    }
+}
+
+fn url(doc: u32) -> Url {
+    Url::new(ServerId::new(0), doc)
+}
+
+#[test]
+fn origin_restart_recovers_site_lists_without_stale_serves() {
+    let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
+    let origin = NetOrigin::spawn(origin_config(&cfg)).expect("origin spawn");
+    let addr = origin.addr();
+    let proxy = NetProxy::spawn(addr, &cfg, 0, 1, ByteSize::from_mib(64)).expect("proxy spawn");
+    std::thread::sleep(Duration::from_millis(50));
+    let c = ClientId::from_raw(7);
+
+    // Populate the cache, so there is a copy that could go stale.
+    let first = proxy.fetch(c, url(3), SimTime::from_secs(1)).unwrap();
+    assert_eq!(first.kind, FetchKind::Fetched);
+    assert_eq!(
+        proxy.fetch(c, url(3), SimTime::from_secs(2)).unwrap().kind,
+        FetchKind::CacheHit
+    );
+
+    // Crash: the in-memory site lists die with the origin. Restart on the
+    // same port with `recovering = true` — the §5 protocol must broadcast
+    // INVALIDATE <server> and hold until every proxy partition acks.
+    drop(origin);
+    let origin = NetOrigin::spawn_at(addr, origin_config(&cfg), true).expect("origin restart");
+    assert!(
+        origin.wait_recovery_complete(Duration::from_secs(10)),
+        "restart recovery did not complete"
+    );
+    assert!(
+        origin
+            .metrics_text()
+            .contains("wcc_recovery_complete{node=\"origin\"} 1"),
+        "recovery gauge not set"
+    );
+
+    // The bulk invalidation marked the cached copy questionable: the next
+    // fetch must revalidate at the origin rather than serve blind.
+    let refetch = proxy.fetch(c, url(3), SimTime::from_secs(3)).unwrap();
+    assert!(
+        refetch.kind == FetchKind::Fetched || refetch.had_entry,
+        "post-recovery fetch bypassed revalidation: {refetch:?}"
+    );
+
+    // A write after recovery flows through the rebuilt site lists ...
+    check_in(addr, url(3), SimTime::from_secs(50)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while origin.snapshot().notifies == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        origin.wait_writes_complete(Duration::from_secs(5)),
+        "post-recovery invalidation was not acknowledged"
+    );
+
+    // ... and the very next fetch returns the new version: zero staleness.
+    let fresh = proxy.fetch(c, url(3), SimTime::from_secs(60)).unwrap();
+    assert_eq!(fresh.kind, FetchKind::Fetched);
+    assert_eq!(fresh.meta.last_modified(), SimTime::from_secs(50));
+}
+
+#[test]
+fn pipelined_gets_split_across_reads_reply_in_order() {
+    let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
+    let origin = NetOrigin::spawn(origin_config(&cfg)).expect("origin spawn");
+    let proxy =
+        NetProxy::spawn(origin.addr(), &cfg, 0, 1, ByteSize::from_mib(64)).expect("proxy spawn");
+    std::thread::sleep(Duration::from_millis(50));
+
+    let c = ClientId::from_raw(11);
+    let req1 = RequestId::default().next();
+    let req2 = req1.next();
+    let get = |req, doc| {
+        encode(&HttpMsg::Get(GetRequest {
+            req,
+            url: url(doc),
+            client: c,
+            ims: None,
+            issued_at: SimTime::from_secs(1),
+            cache_hits: 0,
+        }))
+    };
+    let mut wire = get(req1, 5);
+    wire.extend_from_slice(&get(req2, 6));
+
+    // Dribble both frames out in 3-byte slices so the server sees partial
+    // headers, split length prefixes, and a frame boundary mid-read.
+    let mut stream = TcpStream::connect(proxy.client_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    for chunk in wire.chunks(3) {
+        stream.write_all(chunk).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    let mut reader = FrameReader::new(stream.try_clone().unwrap());
+    for (want_req, want_doc) in [(req1, 5u32), (req2, 6u32)] {
+        match reader.next_msg().expect("reply frame") {
+            HttpMsgRef::Reply(r) => {
+                assert_eq!(r.req, want_req, "replies out of order");
+                assert_eq!(r.url, url(want_doc));
+            }
+            other => panic!("expected Reply, got {other:?}"),
+        }
+    }
+    drop(reader);
+    drop(proxy);
+    drop(origin);
+}

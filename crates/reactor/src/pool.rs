@@ -1,0 +1,133 @@
+//! Bounded connection pooling for upstream hops.
+//!
+//! The proxy→parent→origin links reuse keep-alive connections instead of
+//! dialing per request. [`BoundedPool`] is the accounting half: it hands
+//! back an idle connection, licenses opening a fresh one while under the
+//! cap, or reports exhaustion so the caller parks the request until a
+//! connection is released. It deliberately knows nothing about sockets —
+//! that keeps it unit-testable and lets the blocking fetch path and the
+//! reactor share it.
+
+/// Outcome of asking the pool for a connection.
+#[derive(Debug)]
+pub enum Acquire<T> {
+    /// An idle pooled connection; hand it back with
+    /// [`BoundedPool::release`] or [`BoundedPool::discard`].
+    Reuse(T),
+    /// Under the cap with nothing idle: the caller should open a new
+    /// connection (the pool already counts it as outstanding).
+    Open,
+    /// At the cap with nothing idle: park the request and retry after a
+    /// release.
+    Exhausted,
+}
+
+/// Fixed-capacity pool of reusable connections.
+#[derive(Debug)]
+pub struct BoundedPool<T> {
+    idle: Vec<T>,
+    /// Connections currently alive (idle + checked out).
+    total: usize,
+    max: usize,
+}
+
+impl<T> BoundedPool<T> {
+    /// A pool allowing at most `max` live connections (minimum 1).
+    pub fn new(max: usize) -> BoundedPool<T> {
+        let max = max.max(1);
+        BoundedPool {
+            idle: Vec::with_capacity(max),
+            total: 0,
+            max,
+        }
+    }
+
+    /// Tries to check out a connection; see [`Acquire`].
+    pub fn try_acquire(&mut self) -> Acquire<T> {
+        if let Some(conn) = self.idle.pop() {
+            return Acquire::Reuse(conn);
+        }
+        if self.total < self.max {
+            self.total += 1;
+            return Acquire::Open;
+        }
+        Acquire::Exhausted
+    }
+
+    /// Returns a healthy connection (checked out via `Reuse` or newly
+    /// opened after `Open`) for reuse.
+    pub fn release(&mut self, conn: T) {
+        self.idle.push(conn);
+    }
+
+    /// Drops a checked-out (or failed-to-open) connection from the
+    /// accounting, freeing a slot.
+    pub fn discard(&mut self) {
+        self.total = self.total.saturating_sub(1);
+    }
+
+    /// Live connections (idle + checked out).
+    pub fn live(&self) -> usize {
+        self.total
+    }
+
+    /// Idle connections ready for reuse.
+    pub fn idle(&self) -> usize {
+        self.idle.len()
+    }
+
+    /// Takes every idle connection (graceful shutdown closes them).
+    pub fn drain_idle(&mut self) -> Vec<T> {
+        self.total -= self.idle.len();
+        std::mem::take(&mut self.idle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_exhaustion_then_release_cycle() {
+        let mut pool: BoundedPool<u32> = BoundedPool::new(2);
+        assert!(matches!(pool.try_acquire(), Acquire::Open));
+        assert!(matches!(pool.try_acquire(), Acquire::Open));
+        assert!(matches!(pool.try_acquire(), Acquire::Exhausted));
+        assert_eq!(pool.live(), 2);
+
+        // Releasing one of the opened connections unblocks reuse.
+        pool.release(7);
+        match pool.try_acquire() {
+            Acquire::Reuse(conn) => assert_eq!(conn, 7),
+            other => panic!("expected reuse, got {other:?}"),
+        }
+        assert!(matches!(pool.try_acquire(), Acquire::Exhausted));
+
+        // Discarding a broken connection frees a slot for a fresh open.
+        pool.discard();
+        assert_eq!(pool.live(), 1);
+        assert!(matches!(pool.try_acquire(), Acquire::Open));
+    }
+
+    #[test]
+    fn drain_idle_empties_accounting() {
+        let mut pool: BoundedPool<&'static str> = BoundedPool::new(3);
+        for _ in 0..3 {
+            assert!(matches!(pool.try_acquire(), Acquire::Open));
+        }
+        pool.release("a");
+        pool.release("b");
+        let drained = pool.drain_idle();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(pool.idle(), 0);
+        assert_eq!(pool.live(), 1);
+        assert!(matches!(pool.try_acquire(), Acquire::Open));
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut pool: BoundedPool<u8> = BoundedPool::new(0);
+        assert!(matches!(pool.try_acquire(), Acquire::Open));
+        assert!(matches!(pool.try_acquire(), Acquire::Exhausted));
+    }
+}

@@ -1,0 +1,157 @@
+//! Self-pipe signal handling for the `wcc serve` daemon.
+//!
+//! The handler does the only async-signal-safe thing available: a raw
+//! one-byte `write` of the signal number into a non-blocking pipe. The
+//! read end is normal poller input, so SIGTERM/SIGINT/SIGHUP become
+//! events in the same loop that serves connections — no dedicated
+//! signal thread, no `thread::sleep` polling.
+
+use std::io::{self, PipeReader, PipeWriter, Read as _};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicI32, Ordering};
+
+use crate::sys::{set_nonblocking, Interest, Poller};
+
+/// Terminal-hangup signal number; `wcc serve` treats it as config reload.
+pub const SIGHUP: i32 = 1;
+/// Interrupt (Ctrl-C); graceful shutdown.
+pub const SIGINT: i32 = 2;
+/// Uncatchable kill — only ever *sent* (the soak harness crashes a child
+/// daemon with it to exercise §5 recovery).
+pub const SIGKILL: i32 = 9;
+/// Termination request; graceful shutdown.
+pub const SIGTERM: i32 = 15;
+
+extern "C" {
+    fn signal(signum: i32, handler: usize) -> usize;
+    fn kill(pid: i32, sig: i32) -> i32;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+}
+
+const SIG_ERR: usize = usize::MAX;
+
+/// Write end of the self-pipe, published for the handler. `-1` until
+/// [`Signals::install`] runs.
+static PIPE_TX: AtomicI32 = AtomicI32::new(-1);
+
+extern "C" fn on_signal(sig: i32) {
+    let fd = PIPE_TX.load(Ordering::Relaxed);
+    if fd >= 0 {
+        let byte = [sig as u8];
+        // SAFETY: raw write(2) is async-signal-safe; the fd is the
+        // non-blocking pipe installed below (a full pipe just drops the
+        // byte, and a dropped byte coalesces with the ones already
+        // queued — the reader drains everything pending anyway).
+        unsafe {
+            write(fd, byte.as_ptr(), 1);
+        }
+    }
+}
+
+/// Installed process-signal receiver. At most one per process.
+#[derive(Debug)]
+pub struct Signals {
+    rx: PipeReader,
+    /// Keeps the write end alive for the handler; the raw fd is what
+    /// `PIPE_TX` publishes.
+    _tx: PipeWriter,
+}
+
+impl Signals {
+    /// Installs handlers for `which` (e.g. `&[SIGTERM, SIGINT, SIGHUP]`)
+    /// and returns the receiving side.
+    ///
+    /// # Errors
+    ///
+    /// Fails if called twice in one process, or on pipe/handler
+    /// installation failure.
+    pub fn install(which: &[i32]) -> io::Result<Signals> {
+        let (rx, tx) = io::pipe()?;
+        set_nonblocking(rx.as_raw_fd())?;
+        set_nonblocking(tx.as_raw_fd())?;
+        if PIPE_TX
+            .compare_exchange(-1, tx.as_raw_fd(), Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "signal pipe already installed in this process",
+            ));
+        }
+        for &sig in which {
+            // SAFETY: installing a handler that only touches
+            // async-signal-safe state (an atomic load and a raw write).
+            let prev = unsafe { signal(sig, on_signal as *const () as usize) };
+            if prev == SIG_ERR {
+                return Err(io::Error::last_os_error());
+            }
+        }
+        Ok(Signals { rx, _tx: tx })
+    }
+
+    /// Registers the pipe's read end under `token` so signal arrival
+    /// wakes [`Poller::wait`].
+    pub fn register(&self, poller: &mut Poller, token: u64) -> io::Result<()> {
+        poller.add(self.rx.as_raw_fd(), token, Interest::READ)
+    }
+
+    /// Drains one pending signal, if any.
+    pub fn try_recv(&self) -> Option<i32> {
+        let mut byte = [0u8; 1];
+        match (&self.rx).read(&mut byte) {
+            Ok(1) => Some(i32::from(byte[0])),
+            _ => None,
+        }
+    }
+}
+
+/// Sends `sig` to `pid` (the soak/restart harness's lever on child
+/// daemons).
+///
+/// # Errors
+///
+/// Propagates `kill(2)` failure (no such process, permission).
+pub fn send_signal(pid: i32, sig: i32) -> io::Result<()> {
+    // SAFETY: plain syscall, no pointers involved.
+    let rc = unsafe { kill(pid, sig) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn signal_round_trip_through_poller() {
+        // One process-global install shared by the whole test binary.
+        let signals = Signals::install(&[SIGHUP]).expect("install");
+        let mut poller = Poller::new().expect("poller");
+        signals.register(&mut poller, 99).expect("register");
+
+        assert!(signals.try_recv().is_none());
+        send_signal(std::process::id() as i32, SIGHUP).expect("kill");
+
+        let mut events = Vec::new();
+        let mut seen = false;
+        for _ in 0..50 {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .expect("wait");
+            if events.iter().any(|e| e.token == 99 && e.readable) {
+                seen = true;
+                break;
+            }
+        }
+        assert!(seen, "signal never reached the poller");
+        assert_eq!(signals.try_recv(), Some(SIGHUP));
+        assert!(signals.try_recv().is_none());
+
+        // Second install in the same process must refuse.
+        let err = Signals::install(&[SIGHUP]).expect_err("double install");
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+    }
+}

@@ -13,6 +13,8 @@
 //! wcc clf     <path> [--protocol NAME]              # replay a real log
 //! wcc fuzz    [--iters N] [--seed N] [--shrink] [--inject-stale]
 //!             [--repro PATH] [--jobs N]             # scenario fuzzer
+//! wcc serve   [--role pair|origin|proxy] [...]      # reactor-served daemon
+//! wcc bench serve [--connections N] [...]           # keep-alive stress bench
 //!
 //! `--jobs N` (or the `WCC_JOBS` environment variable) sets the worker
 //! count for commands that fan independent replays out over threads; the
@@ -30,17 +32,22 @@
 //! wcc protocols                                     # list protocol names
 //! ```
 
+use std::net::SocketAddr;
 use std::process::ExitCode;
+use webcache::bench::serve::{self as serve_bench, ServeBenchConfig};
 use webcache::core::{ProtocolConfig, ProtocolKind};
 use webcache::fuzz::{fuzz, FuzzConfig};
 use webcache::httpsim::{CacheSharing, Deployment, DeploymentOptions, InvalSendMode, Topology};
+use webcache::net::{scrape, NetOrigin, NetProxy, OriginConfig};
+use webcache::proto::{encode, FrameReader, GetRequest, HttpMsg, HttpMsgRef, RequestId};
+use webcache::reactor::{Poller, Signals, SIGHUP, SIGINT, SIGTERM};
 use webcache::replay::tables::{format_table5_column, format_trio_block};
 use webcache::replay::{ExperimentConfig, ReplayReport};
 use webcache::simnet::NetworkConfig;
 use webcache::traces::clf::parse_clf;
 use webcache::traces::family::{self, FamilyConfig, WorkloadFamily};
 use webcache::traces::{synthetic, ModSchedule, TraceSpec, TraceSummary};
-use webcache::types::{ByteSize, SimDuration};
+use webcache::types::{ByteSize, ClientId, ServerId, SimDuration, SimTime, Url};
 
 struct Args {
     positional: Vec<String>,
@@ -88,7 +95,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  wcc replay  --trace NAME --protocol NAME [--lifetime-days N] [--scale N]\n              [--seed N] [--wan] [--decoupled] [--hierarchy] [--shared]\n              [--lease-days N] [--volume-mins N] [--cache-mib N] [--audit]\n              [--shards N] [--trace-out PATH] [--metrics]\n  wcc replay  --family NAME [--protocol NAME] [--scale N] [--seed N]\n              [--shards N] [--audit]   # families: zipf-federation,\n              flash-crowd, breaking-news, real-time-feed, archival-scan\n  wcc trio    --trace NAME [--scale N] [--seed N] [--jobs N]\n  wcc compare --trace NAME --protocols a,b,c [--scale N] [--seed N] [--jobs N]\n  wcc trace   PATH\n  wcc summary [--scale N] [--seed N]\n  wcc clf     PATH [--protocol NAME]\n  wcc fuzz    [--iters N] [--seed N] [--shrink] [--inject-stale] [--repro PATH]\n              [--jobs N]\n  wcc protocols"
+    "usage:\n  wcc replay  --trace NAME --protocol NAME [--lifetime-days N] [--scale N]\n              [--seed N] [--wan] [--decoupled] [--hierarchy] [--shared]\n              [--lease-days N] [--volume-mins N] [--cache-mib N] [--audit]\n              [--shards N] [--trace-out PATH] [--metrics]\n  wcc replay  --family NAME [--protocol NAME] [--scale N] [--seed N]\n              [--shards N] [--audit]   # families: zipf-federation,\n              flash-crowd, breaking-news, real-time-feed, archival-scan\n  wcc trio    --trace NAME [--scale N] [--seed N] [--jobs N]\n  wcc compare --trace NAME --protocols a,b,c [--scale N] [--seed N] [--jobs N]\n  wcc trace   PATH\n  wcc summary [--scale N] [--seed N]\n  wcc clf     PATH [--protocol NAME]\n  wcc fuzz    [--iters N] [--seed N] [--shrink] [--inject-stale] [--repro PATH]\n              [--jobs N]\n  wcc serve   [--role pair|origin|proxy] [--origin ADDR] [--port N] [--docs N]\n              [--doc-scale N] [--protocol NAME] [--cache-mib N]\n              [--port-file PATH] [--state-file PATH] [--config PATH]\n              [--self-check]        # SIGHUP reloads --config; SIGTERM drains\n  wcc bench serve [--connections N] [--requests N] [--docs N] [--protocol NAME]\n              [--soak-secs N] [--restart] [--in-process] [--out PATH]\n  wcc protocols"
 }
 
 fn spec_for(args: &Args) -> Result<TraceSpec, String> {
@@ -587,6 +594,288 @@ fn cmd_fuzz(args: &Args) -> Result<(), String> {
     }
 }
 
+/// Reads a `--config` file (lines of `key=value`) and applies what is
+/// reloadable at runtime. Today that is `doc_scale=N` on the origin; the
+/// rest of the serving shape (ports, roles, protocol) is boot-only.
+fn apply_serve_config(path: &str, origin: Option<&NetOrigin>) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("serve: cannot read {path}: {e}"))?;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        match line.split_once('=') {
+            Some(("doc_scale", v)) => {
+                let scale: u64 = v
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("serve: doc_scale expects a number, got {v:?}"))?;
+                if let Some(origin) = origin {
+                    origin.set_doc_scale(scale);
+                    eprintln!("serve: reloaded doc_scale={scale}");
+                }
+            }
+            _ => eprintln!("serve: ignoring unknown config line {line:?}"),
+        }
+    }
+    Ok(())
+}
+
+/// Spawns a pair in-process, drives one keep-alive connection with two
+/// pipelined requests, scrapes `/metrics`, and shuts down — the smoke
+/// test `verify.sh` runs.
+fn serve_self_check() -> Result<(), String> {
+    use std::io::Write as _;
+    let e = |err: std::io::Error| format!("serve self-check: {err}");
+    let protocol = ProtocolConfig::new(ProtocolKind::Invalidation);
+    let origin = NetOrigin::spawn(OriginConfig {
+        server: ServerId::new(0),
+        doc_sizes: vec![ByteSize::from_kib(8); 8],
+        protocol: protocol.clone(),
+        doc_scale: 100,
+    })
+    .map_err(e)?;
+    let proxy =
+        NetProxy::spawn(origin.addr(), &protocol, 0, 1, ByteSize::from_mib(16)).map_err(e)?;
+
+    let mut stream = std::net::TcpStream::connect(proxy.client_addr()).map_err(e)?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .map_err(e)?;
+    let mut payload = Vec::new();
+    let mut req = RequestId::default();
+    for doc in 0..2u32 {
+        req = req.next();
+        payload.extend_from_slice(&encode(&HttpMsg::Get(GetRequest {
+            req,
+            url: Url::new(ServerId::new(0), doc),
+            client: ClientId::from_raw(1),
+            ims: None,
+            issued_at: SimTime::from_secs(1),
+            cache_hits: 0,
+        })));
+    }
+    stream.write_all(&payload).map_err(e)?;
+    let mut reader = FrameReader::new(stream);
+    for _ in 0..2 {
+        match reader.next_msg() {
+            Ok(HttpMsgRef::Reply(_)) => {}
+            other => return Err(format!("serve self-check: expected a reply, got {other:?}")),
+        }
+    }
+    drop(reader);
+
+    let metrics = scrape(proxy.metrics_addr()).map_err(e)?;
+    if !metrics.contains("wcc_requests_total{node=\"proxy\"} 2") {
+        return Err(format!(
+            "serve self-check: /metrics did not count the requests:\n{metrics}"
+        ));
+    }
+    drop(proxy);
+    drop(origin);
+    println!("serve self-check: ok (2 pipelined replies, metrics scraped, clean shutdown)");
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    if args.flag("self-check") {
+        return serve_self_check();
+    }
+    let role = args.value("role").unwrap_or("pair");
+    let port = args.num("port", 0)?;
+    let docs = args.num("docs", 256)?.max(1) as usize;
+    let doc_scale = args.num("doc-scale", 100)?;
+    let cache_mib = args.num("cache-mib", 64)?;
+    let protocol = protocol_for(args)?;
+    let config_path = args.value("config").map(str::to_string);
+    let state_file = args.value("state-file").map(str::to_string);
+    // A state file left behind means the previous instance died without a
+    // clean shutdown: its in-memory site lists are gone, so come back up
+    // in the paper's §5 recovery mode (bulk-invalidate every proxy that
+    // reconnects until each one acks).
+    let recovering = state_file
+        .as_deref()
+        .is_some_and(|p| std::path::Path::new(p).exists());
+
+    let e = |err: std::io::Error| format!("serve: {err}");
+    let bind: SocketAddr = format!("127.0.0.1:{port}")
+        .parse()
+        .map_err(|_| format!("serve: bad --port {port}"))?;
+    let origin_cfg = OriginConfig {
+        server: ServerId::new(0),
+        doc_sizes: vec![ByteSize::from_kib(8); docs],
+        protocol: protocol.clone(),
+        doc_scale,
+    };
+
+    let (origin, proxy) = match role {
+        "origin" => (
+            Some(NetOrigin::spawn_at(bind, origin_cfg, recovering).map_err(e)?),
+            None,
+        ),
+        "proxy" => {
+            let upstream: SocketAddr = args
+                .value("origin")
+                .ok_or("serve: --role proxy needs --origin ADDR")?
+                .parse()
+                .map_err(|_| "serve: --origin expects HOST:PORT".to_string())?;
+            let proxy = NetProxy::spawn(upstream, &protocol, 0, 1, ByteSize::from_mib(cache_mib))
+                .map_err(e)?;
+            (None, Some(proxy))
+        }
+        "pair" => {
+            let origin = NetOrigin::spawn_at(bind, origin_cfg, recovering).map_err(e)?;
+            let proxy = NetProxy::spawn(
+                origin.addr(),
+                &protocol,
+                0,
+                1,
+                ByteSize::from_mib(cache_mib),
+            )
+            .map_err(e)?;
+            (Some(origin), Some(proxy))
+        }
+        other => {
+            return Err(format!(
+                "serve: unknown --role {other:?}; pair, origin or proxy"
+            ))
+        }
+    };
+    if recovering {
+        eprintln!("serve: stale state file found — running §5 site-list recovery");
+    }
+    if let Some(path) = &config_path {
+        apply_serve_config(path, origin.as_ref())?;
+    }
+
+    // Publish the listening addresses — on stdout for humans, and
+    // atomically into --port-file for harnesses that wait on it.
+    let mut lines = String::new();
+    if let Some(o) = &origin {
+        lines.push_str(&format!("origin={}\n", o.addr()));
+    }
+    if let Some(p) = &proxy {
+        lines.push_str(&format!("client={}\n", p.client_addr()));
+        lines.push_str(&format!("metrics={}\n", p.metrics_addr()));
+    }
+    print!("{lines}");
+    if let Some(path) = args.value("port-file") {
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, &lines).map_err(|e| format!("serve: cannot write {tmp}: {e}"))?;
+        std::fs::rename(&tmp, path).map_err(|e| format!("serve: cannot publish {path}: {e}"))?;
+    }
+    if let Some(path) = &state_file {
+        std::fs::write(path, b"wcc-serve/1\n")
+            .map_err(|e| format!("serve: cannot write state file {path}: {e}"))?;
+    }
+
+    // Signals are the daemon's only input: SIGHUP reloads --config,
+    // SIGTERM/SIGINT drain in-flight requests and exit. The loop blocks
+    // in the poller, so an idle daemon costs nothing.
+    let signals = Signals::install(&[SIGHUP, SIGINT, SIGTERM]).map_err(e)?;
+    let mut poller = Poller::new().map_err(e)?;
+    signals.register(&mut poller, 0).map_err(e)?;
+    let mut events = Vec::new();
+    eprintln!("serve: up (role {role}, pid {})", std::process::id());
+    loop {
+        // EINTR from the signal itself is fine; the pipe byte persists.
+        let _ = poller.wait(&mut events, None);
+        while let Some(sig) = signals.try_recv() {
+            match sig {
+                SIGHUP => {
+                    if let Some(path) = &config_path {
+                        if let Err(err) = apply_serve_config(path, origin.as_ref()) {
+                            eprintln!("{err}");
+                        }
+                    } else {
+                        eprintln!("serve: SIGHUP with no --config; nothing to reload");
+                    }
+                }
+                _ => {
+                    eprintln!("serve: signal {sig}, draining");
+                    // Drop order matters: the proxy drains client replies
+                    // while its upstream is still alive.
+                    drop(proxy);
+                    drop(origin);
+                    if let Some(path) = &state_file {
+                        let _ = std::fs::remove_file(path);
+                    }
+                    if let Some(path) = args.value("port-file") {
+                        let _ = std::fs::remove_file(path);
+                    }
+                    eprintln!("serve: shutdown complete");
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    match args.positional.get(1).map(String::as_str) {
+        Some("serve") => {}
+        other => {
+            return Err(format!(
+                "bench: unknown subcommand {other:?}; try `wcc bench serve`"
+            ))
+        }
+    }
+    let soak_secs = args
+        .value("soak-secs")
+        .map(|_| args.num("soak-secs", 0))
+        .transpose()?;
+    let cfg = ServeBenchConfig {
+        connections: args.num("connections", 64)? as usize,
+        requests_per_conn: args.num("requests", 16)?,
+        docs: args.num("docs", 64)?.max(1),
+        protocol: protocol_for(args)?,
+        soak_secs,
+        restart: args.flag("restart"),
+        // Out-of-process serving kicks in automatically when the fd
+        // budget demands it; --in-process pins everything local.
+        exe: if args.flag("in-process") {
+            None
+        } else {
+            std::env::current_exe().ok()
+        },
+    };
+    let report = serve_bench::run(&cfg).map_err(|e| format!("bench serve: {e}"))?;
+    let json = report.to_json();
+    match args.value("out") {
+        Some(path) => {
+            std::fs::write(path, &json)
+                .map_err(|e| format!("bench serve: cannot write {path}: {e}"))?;
+            eprintln!("bench serve: stats written to {path}");
+        }
+        None => print!("{json}"),
+    }
+    eprintln!(
+        "bench serve: {} conns, {} replies, {} dropped, {} stale, p99 {}us, {:.0} req/s{}",
+        report.connections,
+        report.requests,
+        report.dropped,
+        report.stale,
+        report.latency.p99().unwrap_or(0),
+        report.requests_per_sec(),
+        if report.external {
+            " (external daemon)"
+        } else {
+            ""
+        },
+    );
+    if report.stale > 0 {
+        return Err(format!(
+            "bench serve: {} stale serves audited",
+            report.stale
+        ));
+    }
+    if cfg.restart && !report.recovered {
+        return Err("bench serve: origin recovery did not complete".to_string());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = Args::parse(std::env::args().skip(1));
     let command = args.positional.first().map(String::as_str);
@@ -598,6 +887,8 @@ fn main() -> ExitCode {
         Some("summary") => cmd_summary(&args),
         Some("clf") => cmd_clf(&args),
         Some("fuzz") => cmd_fuzz(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("bench") => cmd_bench(&args),
         Some("protocols") => {
             for kind in ProtocolKind::ALL {
                 let strength = if kind.is_strong() { "strong" } else { "weak" };

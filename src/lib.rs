@@ -27,6 +27,7 @@
 //! assert_eq!(report.raw.final_violations, 0); // strong consistency held
 //! ```
 
+pub use wcc_bench as bench;
 pub use wcc_cache as cache;
 pub use wcc_core as core;
 pub use wcc_fuzz as fuzz;
@@ -34,6 +35,7 @@ pub use wcc_httpsim as httpsim;
 pub use wcc_net as net;
 pub use wcc_obs as obs;
 pub use wcc_proto as proto;
+pub use wcc_reactor as reactor;
 pub use wcc_replay as replay;
 pub use wcc_simnet as simnet;
 pub use wcc_traces as traces;

@@ -6,6 +6,8 @@
 #   lint job  -> rustfmt --check, clippy -D warnings, xtask-lint
 #   test job  -> release build + root and workspace test suites
 #                (CI also repeats the test job on beta)
+#   serve job -> `wcc serve --self-check` + a reduced `wcc bench serve`
+#                (CI runs 1000 connections and gates the JSON report)
 #   bench job -> trajectory run + the bench-regression gate, which compares
 #                against ci/bench-baseline.json: deterministic fields exact,
 #                wall-clock timings within ±15% (plus 100 ms grace)
@@ -50,6 +52,17 @@ echo "==> wcc replay --family (smoke)"
 # nightly workflow sweeps all five families sequential-vs-sharded; this
 # just proves the family generator and multi-origin replay path run.
 ./target/release/wcc replay --family flash-crowd --scale 20 --shards 2
+
+echo "==> wcc serve --self-check (smoke)"
+# Serving-tier self-check: spawn an origin+proxy daemon pair, push two
+# pipelined GETs over a real socket, scrape /metrics, shut down cleanly.
+timeout 60 ./target/release/wcc serve --self-check
+
+echo "==> wcc bench serve (smoke)"
+# 64 keep-alive connections through the readiness reactor; exits non-zero
+# on any stale serve. CI's serve job runs the same bench at 1000
+# connections and gates the JSON report.
+timeout 120 ./target/release/wcc bench serve --connections 64 --requests 8 --in-process >/dev/null
 
 echo "==> bench trajectory (smoke)"
 # Exits non-zero if the fanned-out or sharded grid diverges from the
