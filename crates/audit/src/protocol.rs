@@ -234,7 +234,14 @@ pub fn audit(
                         trail: vec![ev.clone()],
                     });
                 }
-                announced.insert(*url, fresh.iter().chain(resent.iter()).copied().collect());
+                // Accumulate rather than replace: with the batched proposer a
+                // send can trail its announcing fan-out by a full batch round,
+                // during which a coalescing write may fan this URL out again
+                // with a different (even empty) recipient set.
+                announced
+                    .entry(*url)
+                    .or_default()
+                    .extend(fresh.iter().chain(resent.iter()).copied());
             }
             AuditEvent::InvalidateSend {
                 url, client, retry, ..

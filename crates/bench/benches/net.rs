@@ -14,6 +14,7 @@ fn spawn(kind: ProtocolKind) -> (NetOrigin, NetProxy) {
         doc_sizes: vec![ByteSize::from_kib(8); 64],
         protocol: cfg.clone(),
         doc_scale: 100,
+        inval_batch: None,
     })
     .expect("origin");
     let proxy = NetProxy::spawn(origin.addr(), &cfg, 0, 1, ByteSize::from_mib(64)).expect("proxy");

@@ -13,12 +13,17 @@
 //! ±15%), and the diff table is printed either way. Exits non-zero on any
 //! regression.
 //!
-//! Usage: `trajectory [--scale N] [--jobs N] [--shards N] [--out PATH]
+//! Usage: `trajectory [--scale N] [--jobs N] [--shards N|auto] [--out PATH]
 //!                    [--check BASELINE [--tolerance F]]`
+//!
+//! `--shards auto` caps the sharded pass at the host's core count
+//! (`min(2, host_cores)` — see `wcc_bench::resolve_trajectory_shards`), so
+//! a 1-core runner measures a single-shard pass instead of the ~3× tax of
+//! two shards on one core.
 //! (default `--out BENCH_replay.json`, i.e. the repo root when run from
 //! there).
 
-use wcc_bench::{parse_jobs, parse_scale, parse_shards, trajectory};
+use wcc_bench::{parse_jobs, parse_scale, parse_shards, resolve_trajectory_shards, trajectory};
 
 fn parse_value(key: &str, mut args: impl Iterator<Item = String>) -> Option<String> {
     while let Some(arg) = args.next() {
@@ -31,7 +36,7 @@ fn parse_value(key: &str, mut args: impl Iterator<Item = String>) -> Option<Stri
 
 fn main() {
     let jobs = parse_jobs(std::env::args());
-    let shards = parse_shards(std::env::args());
+    let shards = resolve_trajectory_shards(parse_shards(std::env::args()));
     let out = parse_value("--out", std::env::args()).unwrap_or_else(|| "BENCH_replay.json".into());
     let tolerance = parse_value("--tolerance", std::env::args())
         .and_then(|t| t.parse::<f64>().ok())
@@ -104,6 +109,18 @@ fn main() {
         report.family_peak_rss_kb,
     );
     println!(
+        "proposer (count threshold {}): {} wire INVALIDATEs vs {} per-write \
+         (-{:.1}%, coalesce {:.3}), write p99 {}us vs {}us, {} ms",
+        report.proposer_batch_entries,
+        report.proposer_messages,
+        report.proposer_per_write_messages,
+        report.proposer_reduction_pct,
+        report.proposer_coalesce_ratio,
+        report.proposer_write_p99_us,
+        report.proposer_per_write_p99_us,
+        report.proposer_wall_ms,
+    );
+    println!(
         "serve ({} keep-alive conns): {} replies in {} ms ({} req/s), \
          {} dropped, {} stale, p50/p99 {}us/{}us",
         report.serve_connections,
@@ -130,6 +147,12 @@ fn main() {
     }
     if !report.family_byte_identical {
         eprintln!("trajectory: FATAL: sharded family replay diverged from sequential run");
+        std::process::exit(1);
+    }
+    if !report.proposer_byte_identical {
+        eprintln!(
+            "trajectory: FATAL: sharded batched-proposer replay diverged from sequential run"
+        );
         std::process::exit(1);
     }
     if report.serve_dropped > 0 || report.serve_stale > 0 {

@@ -206,6 +206,7 @@ fn spawn_server(cfg: &ServeBenchConfig) -> std::io::Result<Server> {
         doc_sizes: vec![ByteSize::from_kib(8); cfg.docs.max(1) as usize],
         protocol: cfg.protocol.clone(),
         doc_scale: 100,
+        inval_batch: None,
     };
     // Two fds per connection in-process (client end + proxy end), plus
     // listeners, pools, channels and stdio.

@@ -37,6 +37,18 @@
 //!   gates it everywhere; the `family_peak_rss_kb` field (VmHWM) is
 //!   informational only.
 //!
+//! Since schema /7 the report also carries a **proposer** block: the PR 7
+//! write storms (the flash-crowd federation above plus its breaking-news
+//! sibling) replayed once under per-write invalidation fan-out and once
+//! under the default batched proposer (`InvalBatchConfig::default()`,
+//! count threshold 8). The block records the wire INVALIDATE traffic of
+//! both passes, the coalesce ratio (intents per delivered entry) and the
+//! write-completion tails; [`check_against`] gates a ≥30% message cut, a
+//! coalesce ratio above 1 and a batched write-completion p99 no worse
+//! than per-write — all off the simulation clock, so they reproduce on
+//! any host. The batched flash-crowd replay also runs on the 8-shard
+//! engine and must stay byte-identical to its sequential pass.
+//!
 //! Since schema /5 the report also carries an **alloc_stats** block: the
 //! engine arena's event-recycling counters from the inner-loop replay
 //! (steady state must serve ≥95% of event allocations from recycled
@@ -67,10 +79,11 @@ use std::time::Instant;
 
 use crate::{paper_experiments, TABLE_SEED};
 use wcc_core::{ProtocolConfig, ProtocolKind};
-use wcc_httpsim::{Deployment, DeploymentOptions};
+use wcc_httpsim::{Deployment, DeploymentOptions, RawReport};
 use wcc_replay::{run_batch, run_experiment_sharded, ExperimentConfig};
 use wcc_traces::family::{self, FamilyConfig, WorkloadFamily};
 use wcc_traces::TraceSpec;
+use wcc_types::InvalBatchConfig;
 
 /// Shard count of the family pass — the acceptance configuration for the
 /// federation workloads ("replays byte-identically sequential vs 8 shards").
@@ -264,6 +277,36 @@ pub struct TrajectoryReport {
     pub serve_wall_ms: u64,
     /// Serving throughput, replies per wall second. Informational.
     pub serve_requests_per_sec: u64,
+    /// Count threshold of the batched proposer pass
+    /// (`InvalBatchConfig::default().max_entries`, schema /7).
+    pub proposer_batch_entries: usize,
+    /// Wire INVALIDATE messages of the batched write-storm passes
+    /// (flash-crowd + breaking-news; batch messages counted once).
+    pub proposer_messages: u64,
+    /// Wire INVALIDATE messages of the same storms under per-write
+    /// fan-out — the counterfactual the reduction is judged against.
+    pub proposer_per_write_messages: u64,
+    /// `(per_write - batched) / per_write`, percent. Deterministic; gated
+    /// at ≥30 by [`check_against`].
+    pub proposer_reduction_pct: f64,
+    /// Invalidation intents per delivered entry across both batched
+    /// storms (`> 1` once repeated writes coalesce). Gated at > 1.
+    pub proposer_coalesce_ratio: f64,
+    /// Median write-completion time (first fan-out to last ack) of the
+    /// batched passes, simulated microseconds.
+    pub proposer_write_p50_us: u64,
+    /// 99th-percentile write-completion time of the batched passes,
+    /// simulated microseconds. Gated to be no worse than
+    /// [`Self::proposer_per_write_p99_us`].
+    pub proposer_write_p99_us: u64,
+    /// 99th-percentile write-completion time of the per-write passes,
+    /// simulated microseconds.
+    pub proposer_per_write_p99_us: u64,
+    /// Whether the batched flash-crowd replay matched its 8-shard run
+    /// byte-for-byte. Anything but `true` is a bug.
+    pub proposer_byte_identical: bool,
+    /// Wall time of all proposer-pass replays combined, milliseconds.
+    pub proposer_wall_ms: u64,
 }
 
 /// The 18-config Tables 3+4 grid at `scale`, in table order.
@@ -367,13 +410,15 @@ fn millis(elapsed: std::time::Duration) -> u64 {
 /// Runs the trajectory workloads and returns the measurements.
 ///
 /// `jobs` follows the usual resolution ([`wcc_replay::effective_jobs`]):
-/// explicit value, else `WCC_JOBS`, else the core count. `shards` resolves
-/// through [`wcc_replay::effective_shards`] (explicit value, else
-/// `WCC_SHARDS`) and is then clamped up to 2 — a one-shard "sharded" pass
-/// would just re-measure the sequential engine.
-pub fn run(scale: u64, jobs: Option<usize>, shards: Option<usize>) -> TrajectoryReport {
+/// explicit value, else `WCC_JOBS`, else the core count. `shards` is the
+/// already-resolved shard count of the sharded pass (see
+/// [`crate::resolve_trajectory_shards`]); a count of 1 — the `--shards
+/// auto` resolution on a 1-core host — re-measures the sequential engine
+/// through the sharded entry point instead of paying the barrier tax for
+/// parallelism the host cannot deliver.
+pub fn run(scale: u64, jobs: Option<usize>, shards: usize) -> TrajectoryReport {
     let jobs = wcc_replay::effective_jobs(jobs);
-    let shards = wcc_replay::effective_shards(shards).max(2);
+    let shards = shards.max(1);
     let configs = grid_configs(scale);
 
     let start = Instant::now();
@@ -520,6 +565,82 @@ pub fn run(scale: u64, jobs: Option<usize>, shards: Option<usize>) -> Trajectory
     let family_byte_identical = format!("{fam_seq_report:?}") == format!("{fam_shd_report:?}");
     let family_memory = fam_seq.memory_model();
 
+    // Proposer pass (schema /7): the PR 7 write storms — the flash-crowd
+    // federation above plus its breaking-news sibling — once under
+    // per-write fan-out and once under the default batched proposer. The
+    // flash-crowd per-write leg reuses the family pass's sequential report
+    // (same workload, same options), and the batched flash-crowd replay
+    // runs both sequentially and on the 8-shard engine so the batched
+    // write-completion path is pinned byte-identical under sharding.
+    // Message counts, coalesce ratio and write-completion tails all come
+    // off the simulation clock, so the gates reproduce on any host.
+    let batch_cfg = InvalBatchConfig::default();
+    let batched_options = DeploymentOptions {
+        inval_batch: Some(batch_cfg),
+        ..DeploymentOptions::default()
+    };
+    let wire_invalidations = |r: &RawReport| {
+        r.origin_counters.invalidations_sent - r.origin_counters.batched_entries
+            + r.origin_counters.inval_batches
+    };
+    let bn_cfg = FamilyConfig::city(WorkloadFamily::BreakingNews).scaled_down(scale);
+    let bn_workload = family::generate(&bn_cfg, TABLE_SEED);
+    let start = Instant::now();
+    let mut bn_pw = Deployment::build_multi(
+        &bn_workload.workloads,
+        &family_protocol,
+        DeploymentOptions::default(),
+    );
+    bn_pw.run();
+    let bn_pw_report = bn_pw.collect();
+    let mut fc_batched = Deployment::build_multi(
+        &family_workload.workloads,
+        &family_protocol,
+        batched_options.clone(),
+    );
+    fc_batched.run();
+    let fc_batched_report = fc_batched.collect();
+    let mut fc_batched_shd = Deployment::build_multi(
+        &family_workload.workloads,
+        &family_protocol,
+        batched_options.clone(),
+    );
+    fc_batched_shd.run_sharded(FAMILY_SHARDS);
+    let fc_batched_shd_report = fc_batched_shd.collect();
+    let mut bn_batched =
+        Deployment::build_multi(&bn_workload.workloads, &family_protocol, batched_options);
+    bn_batched.run();
+    let bn_batched_report = bn_batched.collect();
+    let proposer_wall_ms = millis(start.elapsed());
+    let proposer_byte_identical =
+        format!("{fc_batched_report:?}") == format!("{fc_batched_shd_report:?}");
+
+    let proposer_per_write_messages =
+        wire_invalidations(&fam_seq_report) + wire_invalidations(&bn_pw_report);
+    let proposer_messages =
+        wire_invalidations(&fc_batched_report) + wire_invalidations(&bn_batched_report);
+    let proposer_reduction_pct = if proposer_per_write_messages == 0 {
+        0.0
+    } else {
+        (1.0 - proposer_messages as f64 / proposer_per_write_messages as f64) * 100.0
+    };
+    let (mut enqueued, mut flushed) = (0u64, 0u64);
+    for r in [&fc_batched_report, &bn_batched_report] {
+        if let Some(p) = r.proposer {
+            enqueued += p.enqueued;
+            flushed += p.flushed_entries;
+        }
+    }
+    let proposer_coalesce_ratio = if flushed == 0 {
+        1.0
+    } else {
+        enqueued as f64 / flushed as f64
+    };
+    let mut batched_writes = fc_batched_report.write_completion.clone();
+    batched_writes.merge(&bn_batched_report.write_completion);
+    let mut per_write_writes = fam_seq_report.write_completion.clone();
+    per_write_writes.merge(&bn_pw_report.write_completion);
+
     // Serving-tier pass (schema /6): the readiness-reactor origin+proxy
     // pair under a few thousand keep-alive connections, in-process so the
     // pass needs no child binaries. The floor of 64 keeps reduced-scale
@@ -587,6 +708,16 @@ pub fn run(scale: u64, jobs: Option<usize>, shards: Option<usize>) -> Trajectory
         serve_p999_us: q(serve.latency.p999()),
         serve_wall_ms: serve.wall_ms,
         serve_requests_per_sec: serve.requests_per_sec() as u64,
+        proposer_batch_entries: batch_cfg.max_entries,
+        proposer_messages,
+        proposer_per_write_messages,
+        proposer_reduction_pct,
+        proposer_coalesce_ratio,
+        proposer_write_p50_us: us(batched_writes.median()),
+        proposer_write_p99_us: us(batched_writes.p99()),
+        proposer_per_write_p99_us: us(per_write_writes.p99()),
+        proposer_byte_identical,
+        proposer_wall_ms,
     }
 }
 
@@ -598,7 +729,7 @@ impl TrajectoryReport {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
         out.push_str("{\n");
-        out.push_str("  \"schema\": \"wcc-bench-trajectory/6\",\n");
+        out.push_str("  \"schema\": \"wcc-bench-trajectory/7\",\n");
         out.push_str(&format!("  \"scale\": {},\n", self.scale));
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
         out.push_str(&format!("  \"host_cores\": {},\n", self.host_cores));
@@ -749,6 +880,50 @@ impl TrajectoryReport {
             self.serve_requests_per_sec
         ));
         out.push_str("  },\n");
+        // Batched-proposer block (schema /7). Every key carries the
+        // "proposer_" prefix so the linear key scans stay unambiguous.
+        out.push_str("  \"proposer\": {\n");
+        out.push_str(&format!(
+            "    \"proposer_batch_entries\": {},\n",
+            self.proposer_batch_entries
+        ));
+        out.push_str(&format!(
+            "    \"proposer_messages\": {},\n",
+            self.proposer_messages
+        ));
+        out.push_str(&format!(
+            "    \"proposer_per_write_messages\": {},\n",
+            self.proposer_per_write_messages
+        ));
+        out.push_str(&format!(
+            "    \"proposer_reduction_pct\": {:.1},\n",
+            self.proposer_reduction_pct
+        ));
+        out.push_str(&format!(
+            "    \"proposer_coalesce_ratio\": {:.3},\n",
+            self.proposer_coalesce_ratio
+        ));
+        out.push_str(&format!(
+            "    \"proposer_write_p50_us\": {},\n",
+            self.proposer_write_p50_us
+        ));
+        out.push_str(&format!(
+            "    \"proposer_write_p99_us\": {},\n",
+            self.proposer_write_p99_us
+        ));
+        out.push_str(&format!(
+            "    \"proposer_per_write_p99_us\": {},\n",
+            self.proposer_per_write_p99_us
+        ));
+        out.push_str(&format!(
+            "    \"proposer_byte_identical\": {},\n",
+            self.proposer_byte_identical
+        ));
+        out.push_str(&format!(
+            "    \"proposer_wall_ms\": {}\n",
+            self.proposer_wall_ms
+        ));
+        out.push_str("  },\n");
         out.push_str("  \"latency_tails\": [\n");
         for (i, t) in self.tails.iter().enumerate() {
             let comma = if i + 1 == self.tails.len() { "" } else { "," };
@@ -895,6 +1070,14 @@ const TIMING_GRACE_MS: f64 = 100.0;
 ///   state-bytes numbers) are exact against baselines that carry them and
 ///   informational against pre-/4 baselines; `family_wall_ms` follows the
 ///   usual same-host timing rule.
+/// * **Batched proposer** (schema /7): `proposer_reduction_pct` must reach
+///   30, `proposer_coalesce_ratio` must exceed 1, the batched
+///   write-completion p99 must be no worse than the per-write one, and
+///   `proposer_byte_identical` must be `true` — all judged on the current
+///   run alone, since every number comes off the simulation clock. The
+///   deterministic message counts and write-completion quantiles are exact
+///   against baselines that carry them and informational against pre-/7
+///   baselines; `proposer_wall_ms` follows the same-host timing rule.
 /// * **Serving tier** (schema /6): `serve_dropped` and `serve_stale` must
 ///   both be exactly 0 — judged on the current run alone, since a dropped
 ///   connection or a stale serve is a defect on any host. The workload
@@ -1174,6 +1357,87 @@ pub fn check_against(
         }
     }
 
+    // Batched-proposer gates (schema /7), judged on the current run alone:
+    // the storms must cost ≥30% fewer wire INVALIDATEs than per-write
+    // fan-out, repeated writes must actually coalesce, the batching delay
+    // must not worsen the write-completion tail, and the batched replay
+    // must survive sharding byte-identically.
+    row(
+        "proposer_cut",
+        Some(30.0),
+        Some((current.proposer_reduction_pct * 10.0).round() / 10.0),
+        current.proposer_reduction_pct >= 30.0,
+        " (>= 30% wire INVALIDATE cut, current run)",
+    );
+    row(
+        "proposer_merge",
+        Some(1.0),
+        Some((current.proposer_coalesce_ratio * 1000.0).round() / 1000.0),
+        current.proposer_coalesce_ratio > 1.0,
+        " (> 1 intents per delivered entry, current run)",
+    );
+    row(
+        "proposer_p99",
+        Some(current.proposer_per_write_p99_us as f64),
+        Some(current.proposer_write_p99_us as f64),
+        current.proposer_write_p99_us <= current.proposer_per_write_p99_us,
+        " (<= per-write write-completion p99, current run)",
+    );
+    row(
+        "proposer_ident",
+        Some(as_num(
+            baseline.contains("\"proposer_byte_identical\": true"),
+        )),
+        Some(as_num(current.proposer_byte_identical)),
+        current.proposer_byte_identical,
+        " (must be 1)",
+    );
+    for key in [
+        "proposer_messages",
+        "proposer_per_write_messages",
+        "proposer_write_p50_us",
+        "proposer_write_p99_us",
+        "proposer_per_write_p99_us",
+    ] {
+        let (b, c) = (json_number(baseline, key), json_number(&cur, key));
+        if b.is_some() {
+            row(key, b, c, b == c, " (exact)");
+        } else {
+            row(key, b, c, true, " (informational: baseline pre-/7)");
+        }
+    }
+    let (b, c) = (
+        json_number(baseline, "proposer_wall_ms"),
+        json_number(&cur, "proposer_wall_ms"),
+    );
+    match (same_host, b) {
+        (true, Some(b_ms)) => {
+            let within = c
+                .is_some_and(|c_ms| (c_ms - b_ms).abs() <= (tolerance * b_ms).max(TIMING_GRACE_MS));
+            row(
+                "proposer_wall_ms",
+                b,
+                c,
+                within,
+                &format!(" (±{:.0}%)", tolerance * 100.0),
+            );
+        }
+        (true, None) => row(
+            "proposer_wall_ms",
+            b,
+            c,
+            true,
+            " (informational: baseline pre-/7)",
+        ),
+        (false, _) => row(
+            "proposer_wall_ms",
+            b,
+            c,
+            true,
+            " (informational: different host)",
+        ),
+    }
+
     let tails_match = match (tails_block(baseline), tails_block(&cur)) {
         (Some(b), Some(c)) => b == c,
         _ => false,
@@ -1216,7 +1480,7 @@ mod tests {
 
     #[test]
     fn reduced_scale_run_measures_and_stays_identical() {
-        let report = run(400, Some(2), Some(2));
+        let report = run(400, Some(2), 2);
         assert!(report.byte_identical, "parallel grid diverged");
         assert!(report.sharded_byte_identical, "sharded grid diverged");
         assert_eq!(report.grid_configs, 18);
@@ -1262,12 +1526,30 @@ mod tests {
             "memory reduction {:.1}% below the 30% gate",
             report.family_memory_reduction_pct
         );
+        // The proposer pass replays the storms even at reduced scale:
+        // batching can only remove wire messages, the batched flash-crowd
+        // replay must survive sharding byte-identically, and the pass uses
+        // the default count threshold. The ≥30% / coalesce / p99 gates are
+        // asserted at CI scale by `check_against`, not here — a
+        // 400×-reduced storm is too sparse to batch meaningfully.
+        assert_eq!(report.proposer_batch_entries, 8);
+        assert!(report.proposer_messages <= report.proposer_per_write_messages);
+        assert!(report.proposer_coalesce_ratio >= 1.0);
+        assert!(
+            report.proposer_byte_identical,
+            "sharded batched replay diverged"
+        );
     }
 
     #[test]
     fn json_is_stable_and_carries_baselines() {
         let json = sample_report().to_json();
-        assert!(json.contains("\"schema\": \"wcc-bench-trajectory/6\""));
+        assert!(json.contains("\"schema\": \"wcc-bench-trajectory/7\""));
+        assert!(json.contains("\"proposer_batch_entries\": 8"));
+        assert!(json.contains("\"proposer_messages\": 109"));
+        assert!(json.contains("\"proposer_reduction_pct\": 88.5"));
+        assert!(json.contains("\"proposer_coalesce_ratio\": 1.029"));
+        assert!(json.contains("\"proposer_byte_identical\": true"));
         assert!(json.contains("\"serve_connections\": 2048"));
         assert!(json.contains("\"serve_dropped\": 0"));
         assert!(json.contains("\"serve_stale\": 0"));
@@ -1338,6 +1620,18 @@ mod tests {
         assert_eq!(json_number(&json, "serve_requests"), Some(16_384.0));
         assert_eq!(json_number(&json, "serve_requests_per_sec"), Some(3_900.0));
         assert_eq!(json_number(&json, "serve_p999_us"), Some(40_000.0));
+        // The proposer block's prefixed keys stay distinct, including the
+        // "proposer_write_p99_us" / "proposer_per_write_p99_us" pair.
+        assert_eq!(json_number(&json, "proposer_messages"), Some(109.0));
+        assert_eq!(
+            json_number(&json, "proposer_per_write_messages"),
+            Some(946.0)
+        );
+        assert_eq!(json_number(&json, "proposer_write_p99_us"), Some(64_096.0));
+        assert_eq!(
+            json_number(&json, "proposer_per_write_p99_us"),
+            Some(125_600.0)
+        );
         assert_eq!(json_number(&json, "no_such_key"), None);
     }
 
@@ -1412,6 +1706,59 @@ mod tests {
         reprobed.decode_bytes += 1;
         let err = check_against(&reprobed, &baseline, 0.15).unwrap_err();
         assert!(err.contains("decode_bytes"), "{err}");
+
+        // Proposer gates: the message cut, the coalesce ratio, the p99
+        // comparison and byte-identity are all judged on the current run.
+        let mut chatty = report.clone();
+        chatty.proposer_reduction_pct = 12.0;
+        let err = check_against(&chatty, &baseline, 0.15).unwrap_err();
+        assert!(err.contains("proposer_cut"), "{err}");
+        let mut uncoalesced = report.clone();
+        uncoalesced.proposer_coalesce_ratio = 1.0;
+        let err = check_against(&uncoalesced, &baseline, 0.15).unwrap_err();
+        assert!(err.contains("proposer_merge"), "{err}");
+        let mut laggy = report.clone();
+        laggy.proposer_write_p99_us = report.proposer_per_write_p99_us + 1;
+        let err = check_against(&laggy, &baseline, 0.15).unwrap_err();
+        assert!(err.contains("proposer_p99"), "{err}");
+        let mut prop_split = report.clone();
+        prop_split.proposer_byte_identical = false;
+        let err = check_against(&prop_split, &baseline, 0.15).unwrap_err();
+        assert!(err.contains("proposer_ident"), "{err}");
+        // The deterministic message counts are exact against /7 baselines.
+        let mut remessaged = report.clone();
+        remessaged.proposer_messages += 1;
+        remessaged.proposer_reduction_pct = 88.4;
+        let err = check_against(&remessaged, &baseline, 0.15).unwrap_err();
+        assert!(err.contains("proposer_messages"), "{err}");
+    }
+
+    #[test]
+    fn proposer_gates_hold_against_pre_7_baselines() {
+        let report = sample_report();
+        // Strip the proposer block: a pre-/7 baseline. The exact message
+        // and quantile rows go informational, but every current-run gate
+        // still bites.
+        let mut legacy = report.to_json();
+        let start = legacy.find("  \"proposer\": {").unwrap();
+        let end = start + legacy[start..].find("},\n").unwrap() + "},\n".len();
+        legacy.replace_range(start..end, "");
+        assert_eq!(json_number(&legacy, "proposer_messages"), None);
+        let table = check_against(&report, &legacy, 0.15).expect("pre-/7 baselines must pass");
+        assert!(table.contains("informational: baseline pre-/7"), "{table}");
+
+        let mut chatty = report.clone();
+        chatty.proposer_reduction_pct = 29.9;
+        let err = check_against(&chatty, &legacy, 0.15).unwrap_err();
+        assert!(err.contains("proposer_cut"), "{err}");
+        let mut uncoalesced = report.clone();
+        uncoalesced.proposer_coalesce_ratio = 0.99;
+        let err = check_against(&uncoalesced, &legacy, 0.15).unwrap_err();
+        assert!(err.contains("proposer_merge"), "{err}");
+        let mut prop_split = report.clone();
+        prop_split.proposer_byte_identical = false;
+        let err = check_against(&prop_split, &legacy, 0.15).unwrap_err();
+        assert!(err.contains("proposer_ident"), "{err}");
     }
 
     #[test]
@@ -1667,6 +2014,16 @@ mod tests {
             serve_p999_us: 40_000,
             serve_wall_ms: 4_200,
             serve_requests_per_sec: 3_900,
+            proposer_batch_entries: 8,
+            proposer_messages: 109,
+            proposer_per_write_messages: 946,
+            proposer_reduction_pct: 88.5,
+            proposer_coalesce_ratio: 1.029,
+            proposer_write_p50_us: 15_359,
+            proposer_write_p99_us: 64_096,
+            proposer_per_write_p99_us: 125_600,
+            proposer_byte_identical: true,
+            proposer_wall_ms: 700,
             tails: vec![
                 TailEntry {
                     trace: "EPA".to_string(),

@@ -1,5 +1,6 @@
 //! Protocol selection and tuning knobs.
 
+use crate::economics::AdaptiveLeaseConfig;
 use core::fmt;
 use wcc_types::SimDuration;
 
@@ -202,6 +203,12 @@ pub struct ProtocolConfig {
     /// [`ProtocolKind::VolumeLease`] (Yin et al. use tens of seconds to a
     /// few minutes).
     pub volume_lease: SimDuration,
+    /// When set, lease-granting protocols replace their fixed duration with
+    /// the per-document cost objective of
+    /// [`LeaseEconomics`](crate::LeaseEconomics): read-mostly documents earn
+    /// longer leases, write-hot ones shorter. Plain invalidation's infinite
+    /// promise becomes a bounded adaptive lease.
+    pub adaptive_lease: Option<AdaptiveLeaseConfig>,
 }
 
 impl ProtocolConfig {
@@ -213,6 +220,7 @@ impl ProtocolConfig {
             lease: SimDuration::from_days(3),
             fixed_ttl: SimDuration::from_days(1),
             volume_lease: SimDuration::from_mins(2),
+            adaptive_lease: None,
         }
     }
 
@@ -241,6 +249,13 @@ impl ProtocolConfig {
     #[must_use]
     pub fn with_volume_lease(mut self, volume: SimDuration) -> Self {
         self.volume_lease = volume;
+        self
+    }
+
+    /// Enables adaptive per-document lease durations.
+    #[must_use]
+    pub fn with_adaptive_lease(mut self, cfg: AdaptiveLeaseConfig) -> Self {
+        self.adaptive_lease = Some(cfg);
         self
     }
 

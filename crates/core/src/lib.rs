@@ -69,12 +69,14 @@
 
 pub mod analytical;
 pub mod config;
+pub mod economics;
 pub mod meter;
 pub mod proxy;
 pub mod server;
 pub mod sitelist;
 
 pub use config::{AdaptiveTtlConfig, LeasePolicy, ProtocolConfig, ProtocolKind};
+pub use economics::{AdaptiveLeaseConfig, LeaseEconomics};
 pub use meter::{DocViews, HitMeter};
 pub use proxy::{ProxyAction, ProxyPolicy, RequestDisposition};
 pub use server::{GetGrant, ServerConsistency};

@@ -1,6 +1,7 @@
 //! The server-side (accelerator) half of each consistency protocol.
 
 use crate::config::{LeasePolicy, ProtocolConfig, ProtocolKind};
+use crate::economics::LeaseEconomics;
 use crate::sitelist::InvalidationTable;
 use wcc_types::{ClientId, DocMeta, FxHashMap, FxHashSet, ServerId, SimDuration, SimTime, Url};
 
@@ -70,6 +71,9 @@ pub struct ServerConsistency {
     /// Site-list length observed at each modification (Table 5's
     /// "taken among the site lists of files that have been modified").
     modified_list_lens: Vec<u64>,
+    /// Adaptive lease economics: per-URL read/write counters driving
+    /// per-document lease durations (when configured).
+    economics: Option<LeaseEconomics>,
     stats: ServerStats,
 }
 
@@ -87,6 +91,7 @@ impl ServerConsistency {
             volume_leases: FxHashMap::default(),
             volume_len: cfg.volume_lease,
             modified_list_lens: Vec::new(),
+            economics: cfg.adaptive_lease.map(LeaseEconomics::new),
             stats: ServerStats::default(),
         }
     }
@@ -147,6 +152,20 @@ impl ServerConsistency {
                 (Some(now + d), !d.is_zero())
             }
         };
+        // Adaptive lease economics: every request is a read, and tracked
+        // grants replace the policy's fixed duration with the per-document
+        // cost objective (plain invalidation's infinite promise becomes a
+        // bounded adaptive lease).
+        let lease = match self.economics.as_mut() {
+            Some(econ) => {
+                econ.on_read(url);
+                match (register, lease) {
+                    (true, Some(_)) => Some(now + econ.lease_for(url)),
+                    (_, lease) => lease,
+                }
+            }
+            None => lease,
+        };
         let mut new_site_disk_write = false;
         // Every registering policy grants a lease, so destructuring both
         // together keeps that invariant in the types instead of a panic.
@@ -197,6 +216,9 @@ impl ServerConsistency {
     /// moved to the pending set until acknowledged.
     pub fn on_modify(&mut self, url: Url, now: SimTime) -> Vec<ClientId> {
         self.stats.modifications += 1;
+        if let Some(econ) = self.economics.as_mut() {
+            econ.on_write(url);
+        }
         if self.kind == ProtocolKind::PiggybackInvalidation {
             // PSI: no push — queue the invalidation for each site's next
             // contact instead.
@@ -250,6 +272,18 @@ impl ServerConsistency {
                 self.pending.remove(&url);
             }
         }
+    }
+
+    /// Whether any invalidation for `url` is still awaiting an
+    /// acknowledgement — a cheap, allocation-free [`Self::pending_for`]
+    /// emptiness probe for hot paths (write-completion tracking).
+    pub fn has_pending(&self, url: Url) -> bool {
+        self.pending.contains_key(&url)
+    }
+
+    /// The adaptive lease economics tracker, when configured.
+    pub fn economics(&self) -> Option<&LeaseEconomics> {
+        self.economics.as_ref()
     }
 
     /// Clients still awaiting an `INVALIDATE <url>` acknowledgement (retry
@@ -401,6 +435,41 @@ mod tests {
         assert!(!g.new_site_disk_write);
         assert_eq!(s.stats().recovery_disk_writes, 1);
         assert_eq!(s.stats().registrations, 2);
+    }
+
+    #[test]
+    fn adaptive_lease_bounds_the_infinite_promise_and_tracks_writes() {
+        use crate::economics::AdaptiveLeaseConfig;
+
+        let cfg = ProtocolConfig::new(ProtocolKind::Invalidation).with_adaptive_lease(
+            AdaptiveLeaseConfig {
+                base: SimDuration::from_secs(3600),
+                floor: SimDuration::from_secs(60),
+                cap: SimDuration::from_secs(86_400),
+            },
+        );
+        let mut s = ServerConsistency::new(&cfg, ServerId::new(0));
+        let now = SimTime::from_secs(100);
+
+        // First read: ratio (1+1)/(0+1) = 2 → sqrt 2 × base ≈ 5091s, not
+        // the infinite promise plain invalidation would otherwise grant.
+        let g = s.on_get(url(1), client(7), None, doc(0), now);
+        assert!(g.register);
+        let expiry = g.lease.expect("adaptive lease still granted");
+        assert!(expiry < SimTime::NEVER);
+        assert!(expiry > now + SimDuration::from_secs(3600), "{expiry}");
+        assert!(expiry < now + SimDuration::from_secs(7200), "{expiry}");
+
+        // Writes shorten the next grant.
+        for _ in 0..50 {
+            s.on_modify(url(1), now);
+        }
+        let g = s.on_get(url(1), client(7), None, doc(0), now);
+        let short = g.lease.expect("lease still granted");
+        assert!(short < expiry, "{short} vs {expiry}");
+        assert!(s.economics().expect("configured").tracked() >= 1);
+        assert!(s.has_pending(url(1)));
+        assert!(!s.has_pending(url(2)));
     }
 
     #[test]

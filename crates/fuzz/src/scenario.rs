@@ -6,10 +6,10 @@
 //! fuzzer finds is reproducible from its seed line alone.
 
 use rand::Rng;
-use wcc_core::{ProtocolConfig, ProtocolKind};
+use wcc_core::{AdaptiveLeaseConfig, ProtocolConfig, ProtocolKind};
 use wcc_httpsim::{CacheSharing, ChangeDetection, DeploymentOptions, InvalSendMode, Topology};
 use wcc_traces::{TraceSpec, WorkloadFamily};
-use wcc_types::{ByteSize, SimDuration};
+use wcc_types::{ByteSize, InvalBatchConfig, SimDuration};
 
 /// Fault windows are placed at fractions of the fault-free replay's wall
 /// duration (the same technique as `wcc_replay::failure`), so the plan
@@ -127,7 +127,7 @@ impl Scenario {
                 (ProtocolKind::PiggybackInvalidation, 7),
             ],
         );
-        let protocol = ProtocolConfig::new(kind)
+        let mut protocol = ProtocolConfig::new(kind)
             .with_lease(SimDuration::from_days(rng.gen_range(1u64..=4)))
             .with_fixed_ttl(SimDuration::from_hours(rng.gen_range(1u64..=48)))
             .with_volume_lease(SimDuration::from_mins(rng.gen_range(1u64..=8)));
@@ -193,6 +193,30 @@ impl Scenario {
             options.topology = Topology::Flat;
             options.send_mode = InvalSendMode::Synchronous;
             interest = None;
+        }
+
+        // Batched-proposer dimension — drawn after the family block for
+        // the same reason: committed corpus seeds must keep sampling the
+        // scenario they were committed for. Half the scenarios keep the
+        // per-write fan-out; the other half sweep the count threshold
+        // across the full ablation range with a short age bound (sim-time
+        // windows are five minutes, so a long age would just mean "flush
+        // at the window barrier" for every setting).
+        if rng.gen_bool(0.5) {
+            let thresholds = [2usize, 4, 8, 16, 32];
+            options.inval_batch = Some(InvalBatchConfig {
+                max_entries: thresholds[rng.gen_range(0..thresholds.len())],
+                max_age: SimDuration::from_micros(rng.gen_range(100u64..=200_000)),
+                max_bytes: ByteSize::from_kib(rng.gen_range(1u64..=8)),
+            });
+        }
+        // Adaptive lease economics ride along for a third of the
+        // scenarios; the config is inert under non-lease protocols.
+        if rng.gen_bool(0.35) {
+            protocol = protocol.with_adaptive_lease(
+                AdaptiveLeaseConfig::default()
+                    .with_base(SimDuration::from_mins(rng.gen_range(10u64..=240))),
+            );
         }
 
         Scenario {

@@ -39,6 +39,10 @@ pub struct CostModel {
     /// Sending one `INVALIDATE` over TCP (connection setup dominates — this
     /// is the cost that makes synchronous fan-out stall the server).
     pub inval_send: SimDuration,
+    /// Marginal cost of one extra entry riding a batched `INVALIDATE`
+    /// round. A batch pays `inval_send` once (the connection) plus this
+    /// per entry, so coalesced fan-out amortises the dominant setup cost.
+    pub inval_batch_entry: SimDuration,
     /// Processing a modifier check-in.
     pub notify_cpu: SimDuration,
     /// Processing an invalidation acknowledgement.
@@ -73,6 +77,7 @@ impl Default for CostModel {
             serve_304: SimDuration::from_micros(300),
             disk_read_cpu: SimDuration::from_micros(800),
             inval_send: SimDuration::from_micros(1_800),
+            inval_batch_entry: SimDuration::from_micros(150),
             notify_cpu: SimDuration::from_micros(300),
             ack_cpu: SimDuration::from_micros(100),
             proxy_request_cpu: SimDuration::from_micros(8_000),
@@ -115,5 +120,15 @@ mod tests {
         // relative to ordinary request handling.
         let c = CostModel::default();
         assert!(c.inval_send > c.serve_304);
+    }
+
+    #[test]
+    fn batch_entries_amortise_connection_setup() {
+        // A k-entry batch must be cheaper than k standalone sends, or the
+        // proposer would trade messages for more CPU.
+        let c = CostModel::default();
+        let k = 8;
+        let batch = c.inval_send + c.inval_batch_entry.saturating_mul(k);
+        assert!(batch < c.inval_send.saturating_mul(k));
     }
 }

@@ -14,7 +14,9 @@ use wcc_core::{
 };
 use wcc_simnet::{FaultPlan, LinkSpec, NetworkConfig, ShardedSimulation, Simulation, Summary};
 use wcc_traces::{ModSchedule, Trace};
-use wcc_types::{AuditEvent, ByteSize, ClientId, FxHashMap, NodeId, SimDuration, SimTime, Url};
+use wcc_types::{
+    AuditEvent, ByteSize, ClientId, FxHashMap, InvalBatchConfig, NodeId, SimDuration, SimTime, Url,
+};
 
 /// How the accelerator transmits invalidation batches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -94,6 +96,12 @@ pub struct DeploymentOptions {
     pub replacement: ReplacementPolicy,
     /// Synchronous (paper prototype) or decoupled invalidation sending.
     pub send_mode: InvalSendMode,
+    /// Thresholds for the batched invalidation proposer. `None` keeps the
+    /// classic per-write fan-out. When set, fresh invalidations accumulate
+    /// per origin and leave as one coalesced `InvalidateBatch` per proxy —
+    /// superseding the decoupled sender for fresh sends (retries keep the
+    /// per-copy path either way).
+    pub inval_batch: Option<InvalBatchConfig>,
     /// Per-operation CPU/disk costs.
     pub costs: CostModel,
     /// Link parameters.
@@ -129,6 +137,7 @@ impl Default for DeploymentOptions {
             cache_capacity: ByteSize::from_gib(4),
             replacement: ReplacementPolicy::ExpiredFirstLru,
             send_mode: InvalSendMode::Synchronous,
+            inval_batch: None,
             costs: CostModel::default(),
             network: NetworkConfig::lan(),
             window: SimDuration::from_mins(5),
@@ -281,6 +290,7 @@ impl Deployment {
                     options.mem_cache_budget,
                     options.retry_interval,
                     options.max_retries,
+                    options.inval_batch,
                 ))
             })
             .collect();
@@ -664,8 +674,21 @@ impl Deployment {
         let mut piggybacked = 0u64;
         let mut metered_served = 0u64;
         let mut metered_reported = 0u64;
+        let mut write_completion = Summary::default();
+        let mut proposer: Option<ProposerReport> = None;
         for i in 0..self.origins.len() {
             let origin = self.origin_at(i);
+            write_completion.merge(origin.write_completion());
+            if let Some(p) = origin.proposer() {
+                let s = p.stats();
+                let agg = proposer.get_or_insert_with(ProposerReport::default);
+                agg.enqueued += s.enqueued;
+                agg.coalesced += s.coalesced;
+                agg.flushes += s.flushes;
+                agg.flushed_entries += s.flushed_entries;
+                agg.batches += s.batches;
+                agg.max_batch_entries = agg.max_batch_entries.max(s.max_batch_entries);
+            }
             let c = origin.counters();
             oc.gets += c.gets;
             oc.ims += c.ims;
@@ -673,6 +696,8 @@ impl Deployment {
             oc.replies_304 += c.replies_304;
             oc.invalidations_sent += c.invalidations_sent;
             oc.invalidation_retries += c.invalidation_retries;
+            oc.inval_batches += c.inval_batches;
+            oc.batched_entries += c.batched_entries;
             oc.bulk_invalidations += c.bulk_invalidations;
             oc.acks += c.acks;
             oc.notifies += c.notifies;
@@ -811,13 +836,17 @@ impl Deployment {
             child_sitelist: p.children_state().table().stats(),
             cache_entries: p.cache().len() as u64,
         });
+        // Wire INVALIDATE traffic: per-copy sends, with every batched
+        // entry replaced by its share of one batch message. Reduces to
+        // `invalidations_sent` exactly when batching is off.
+        let invalidations_wire = oc.invalidations_sent - oc.batched_entries + oc.inval_batches;
         let control_and_transfers = match &parent_summary {
             None => {
                 pc_total.gets_sent
                     + pc_total.ims_sent
                     + oc.replies_200
                     + oc.replies_304
-                    + oc.invalidations_sent
+                    + invalidations_wire
                     + oc.bulk_invalidations
             }
             Some(par) => {
@@ -831,7 +860,7 @@ impl Deployment {
                     + par.counters.upstream_ims
                     + oc.replies_200
                     + oc.replies_304
-                    + oc.invalidations_sent
+                    + invalidations_wire
                     + oc.bulk_invalidations
                     + par.counters.invalidations_relayed
             }
@@ -882,7 +911,48 @@ impl Deployment {
             steps_run: self.coordinator().steps_run(),
             finished: self.coordinator().finished(),
             parent: parent_summary,
+            proposer,
+            write_completion,
             origin_counters: oc,
+        }
+    }
+}
+
+/// What the batched invalidation proposer did, when enabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProposerReport {
+    /// Invalidation intents enqueued — the counterfactual per-write
+    /// fan-out message count.
+    pub enqueued: u64,
+    /// Intents merged into an already-pending `(url, client)` entry.
+    pub coalesced: u64,
+    /// Drain rounds.
+    pub flushes: u64,
+    /// Unique entries drained.
+    pub flushed_entries: u64,
+    /// Wire `InvalidateBatch` messages emitted.
+    pub batches: u64,
+    /// Largest single batch, in entries.
+    pub max_batch_entries: u64,
+}
+
+impl ProposerReport {
+    /// Intents per delivered entry (`> 1` once writes coalesce).
+    pub fn coalesce_ratio(&self) -> f64 {
+        if self.flushed_entries == 0 {
+            1.0
+        } else {
+            self.enqueued as f64 / self.flushed_entries as f64
+        }
+    }
+
+    /// How many fewer wire messages fresh fan-out cost than the per-write
+    /// counterfactual, in percent.
+    pub fn reduction_pct(&self) -> f64 {
+        if self.enqueued == 0 {
+            0.0
+        } else {
+            (1.0 - self.batches as f64 / self.enqueued as f64) * 100.0
         }
     }
 }
@@ -994,6 +1064,11 @@ pub struct RawReport {
     pub finished: bool,
     /// The parent tier's summary (hierarchy mode only).
     pub parent: Option<ParentSummary>,
+    /// The batched proposer's counters (when `inval_batch` was set).
+    pub proposer: Option<ProposerReport>,
+    /// Wall time from each write's first fan-out to its last ack, in both
+    /// batched and per-write modes (the batching trade-off's cost axis).
+    pub write_completion: Summary,
     /// Raw origin counters (for debugging and extra rows).
     pub origin_counters: OriginCounters,
 }
@@ -1116,6 +1191,65 @@ mod tests {
         );
         // Decoupling must not make the worst case worse.
         assert!(dec.latency.max() <= sync.latency.max());
+    }
+
+    #[test]
+    fn batched_proposer_cuts_wire_traffic_and_keeps_consistency() {
+        // The decoupled-sender workload: enough churn that fan-outs carry
+        // several recipients, so per-proxy batching has something to merge.
+        let spec = TraceSpec::nasa().scaled_down(100);
+        let trace = synthetic::generate(&spec, 9);
+        let mods =
+            ModSchedule::generate(spec.num_docs, SimDuration::from_hours(2), spec.duration, 9);
+        let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
+        let run = |batch: Option<InvalBatchConfig>| {
+            let mut opts = DeploymentOptions::default();
+            opts.inval_batch = batch;
+            opts.audit = true;
+            let mut d = Deployment::build(&trace, &mods, &cfg, opts);
+            d.run();
+            let audit = d.audit();
+            (d.collect(), audit)
+        };
+        let (classic, classic_audit) = run(None);
+        let (batched, batched_audit) = run(Some(InvalBatchConfig::default()));
+        assert!(classic_audit.is_clean(), "{classic_audit}");
+        assert!(batched_audit.is_clean(), "{batched_audit}");
+        assert!(batched.finished);
+        assert!(batched.writes_complete, "all batched invalidations acked");
+        assert_eq!(batched.final_violations, 0);
+        assert_eq!(batched.gave_up, 0);
+        assert_eq!(batched.requests, classic.requests);
+
+        assert!(classic.proposer.is_none(), "proposer off by default");
+        let p = batched.proposer.expect("proposer engaged");
+        assert!(p.batches > 0, "batches were emitted");
+        assert!(
+            p.batches < p.enqueued,
+            "batching beats the per-write counterfactual: {} vs {}",
+            p.batches,
+            p.enqueued
+        );
+        assert!(p.coalesce_ratio() >= 1.0);
+        assert_eq!(
+            p.enqueued,
+            p.coalesced + p.flushed_entries,
+            "every intent either coalesced or shipped"
+        );
+
+        // Fewer INVALIDATE-class messages actually hit the wire.
+        let wire = |r: &RawReport| {
+            r.invalidations - r.origin_counters.batched_entries + r.origin_counters.inval_batches
+        };
+        assert!(
+            wire(&batched) < wire(&classic),
+            "wire invalidations: batched {} vs classic {}",
+            wire(&batched),
+            wire(&classic)
+        );
+        // Both modes measure write completion.
+        assert!(batched.write_completion.count() > 0);
+        assert!(classic.write_completion.count() > 0);
     }
 
     #[test]

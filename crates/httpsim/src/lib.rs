@@ -63,6 +63,7 @@ pub mod deployment;
 pub mod modifier;
 pub mod origin;
 pub mod parent;
+pub mod proposer;
 pub mod proxy;
 pub mod sender;
 
@@ -70,11 +71,12 @@ pub use coord::CoordinatorNode;
 pub use cost::CostModel;
 pub use deployment::{
     CacheSharing, ChangeDetection, Deployment, DeploymentMemory, DeploymentOptions, InvalSendMode,
-    ParentSummary, RawReport, ServeEvent, Topology,
+    ParentSummary, ProposerReport, RawReport, ServeEvent, Topology,
 };
 pub use modifier::ModifierNode;
 pub use origin::OriginNode;
 pub use parent::{ParentCounters, ParentNode};
+pub use proposer::{Proposer, ProposerStats};
 pub use proxy::ProxyNode;
 pub use sender::InvalSenderNode;
 

@@ -2,20 +2,25 @@
 
 use crate::cost::CostModel;
 use crate::deployment::{ChangeDetection, InvalSendMode};
+use crate::proposer::Proposer;
 use crate::SimMsg;
 use wcc_core::{HitMeter, ServerConsistency};
 use wcc_obs::{invalidation_span, Phase, SpanKind, Tracer};
-use wcc_proto::{CoordMsg, GetRequest, HttpMsg, Message, Reply, ReplyStatus};
+use wcc_proto::{BatchEntry, CoordMsg, GetRequest, HttpMsg, Message, Reply, ReplyStatus};
 use wcc_simnet::{Ctx, Node, Summary};
 use wcc_types::{
-    AuditEvent, Body, ByteSize, ClientId, DocMeta, FxHashMap, NodeId, ServerId, SimDuration,
-    SimTime, Url,
+    AuditEvent, Body, ByteSize, ClientId, DocMeta, FxHashMap, InvalBatchConfig, NodeId, ServerId,
+    SimDuration, SimTime, Url,
 };
 
 /// Timer token for the recovery bulk-invalidation retry loop. Per-document
 /// retry timers use the document index (a `u32`) widened to `u64`, so the
 /// maximum value can never collide.
 const BULK_RETRY_TOKEN: u64 = u64::MAX;
+
+/// Timer token for the batched proposer's age-bound flush. Like
+/// [`BULK_RETRY_TOKEN`], far outside the `u32` document-index range.
+const BATCH_FLUSH_TOKEN: u64 = u64::MAX - 1;
 
 /// Counters the origin maintains for the report (Tables 3–5 inputs).
 #[derive(Debug, Default, Clone)]
@@ -42,6 +47,13 @@ pub struct OriginCounters {
     pub disk_reads: u64,
     /// Disk writes (request log + new-site recovery-list appends).
     pub disk_writes: u64,
+    /// Wire `InvalidateBatch` messages sent by the proposer.
+    pub inval_batches: u64,
+    /// `(document, client)` entries carried inside those batches. The wire
+    /// message count is `invalidations_sent - batched_entries +
+    /// inval_batches` — identical to `invalidations_sent` when batching is
+    /// off.
+    pub batched_entries: u64,
     /// Bytes of protocol messages sent by the server (excludes acks,
     /// notifies and coordinator traffic, matching the paper's accounting).
     pub bytes_sent: ByteSize,
@@ -144,6 +156,14 @@ pub struct OriginNode {
     recovery_unacked: Vec<NodeId>,
     recovery_attempts: u32,
     prev_window_end: SimTime,
+    /// The batched invalidation proposer (None: classic per-write fan-out).
+    proposer: Option<Proposer>,
+    /// Trace time each in-flight write's fan-out opened, for the
+    /// write-completion summary. Earliest write wins when a coalesced
+    /// round spans several modifications of the same document.
+    write_open: FxHashMap<Url, SimTime>,
+    /// Wall time from a write's first fan-out to its last ack.
+    pub(crate) write_completion: Summary,
     /// Wall time spent sending each modification's full invalidation batch
     /// (synchronous mode; the decoupled sender keeps its own).
     pub(crate) inval_time: Summary,
@@ -170,6 +190,7 @@ impl OriginNode {
         mem_cache_budget: ByteSize,
         retry_interval: SimDuration,
         max_retries: u32,
+        inval_batch: Option<InvalBatchConfig>,
     ) -> Self {
         let n = doc_sizes.len();
         OriginNode {
@@ -193,6 +214,9 @@ impl OriginNode {
             recovery_unacked: Vec::new(), // xtask-lint: allow(hot-loop-alloc)
             recovery_attempts: 0,
             prev_window_end: SimTime::ZERO,
+            proposer: inval_batch.map(Proposer::new),
+            write_open: FxHashMap::default(),
+            write_completion: Summary::default(),
             inval_time: Summary::default(),
             meter: HitMeter::new(),
             counters: OriginCounters::default(),
@@ -287,7 +311,17 @@ impl OriginNode {
     }
 
     fn proxy_of(&self, client: ClientId) -> NodeId {
-        self.proxies[client.partition(self.proxies.len() as u32) as usize]
+        *client.assigned(&self.proxies)
+    }
+
+    /// The batched proposer (None when batching is off).
+    pub fn proposer(&self) -> Option<&Proposer> {
+        self.proposer.as_ref()
+    }
+
+    /// The write-completion latency summary (first fan-out to last ack).
+    pub fn write_completion(&self) -> &Summary {
+        &self.write_completion
     }
 
     fn handle_get(&mut self, from: NodeId, get: GetRequest, ctx: &mut Ctx<'_, SimMsg>) {
@@ -380,6 +414,32 @@ impl OriginNode {
         if recipients.is_empty() {
             return;
         }
+        if !retry {
+            // Open the write-completion clock at the first fresh fan-out;
+            // coalesced rounds keep the earliest write's start.
+            self.write_open.entry(url).or_insert(ctx.now());
+        }
+        // Fresh fan-out with the proposer active: enqueue instead of
+        // sending, and flush when a count/byte threshold trips. The age
+        // timer (armed on the empty→non-empty transition) bounds how long
+        // a small queue can wait. Retries keep the classic per-client path
+        // — they target copies a previous flush already announced.
+        if !retry && self.proposer.is_some() {
+            let proposer = self.proposer.as_mut().expect("checked above");
+            let mut opened = false;
+            for &client in &recipients {
+                opened |= proposer.enqueue(url, client);
+            }
+            let max_age = proposer.config().max_age;
+            let flush = proposer.should_flush();
+            if opened {
+                ctx.set_timer(max_age, BATCH_FLUSH_TOKEN);
+            }
+            if flush {
+                self.flush_batches(ctx);
+            }
+            return;
+        }
         if self.audit.is_some() {
             for &client in &recipients {
                 self.record(AuditEvent::InvalidateSend {
@@ -435,6 +495,141 @@ impl OriginNode {
         }
         // Await acks; retry if they do not arrive.
         ctx.set_timer(self.retry_interval, url.doc() as u64);
+    }
+
+    /// Drains the proposer and fans the queue out as one
+    /// `InvalidateBatch` per proxy that has entries. Audit `InvalidateSend`
+    /// events are recorded here — at send time — so the auditor's pending
+    /// table matches the wire, and retry timers are armed per flushed
+    /// document for exactly the same reason.
+    fn flush_batches(&mut self, ctx: &mut Ctx<'_, SimMsg>) {
+        let Some(proposer) = self.proposer.as_mut() else {
+            return;
+        };
+        if proposer.is_empty() {
+            return;
+        }
+        let rounds = proposer.drain();
+        if self.audit.is_some() {
+            for (url, clients) in &rounds {
+                for &client in clients {
+                    self.record(AuditEvent::InvalidateSend {
+                        url: *url,
+                        client,
+                        retry: false,
+                        at: ctx.now(),
+                    });
+                }
+            }
+        }
+        if self.tracer.is_enabled() {
+            for (url, clients) in &rounds {
+                let span = invalidation_span(*url, self.versions[url.doc() as usize]);
+                for &client in clients {
+                    self.tracer.record(
+                        ctx.now(),
+                        SpanKind::Invalidation,
+                        span,
+                        Phase::Invalidate,
+                        *url,
+                        Some(client),
+                        None,
+                    );
+                }
+            }
+        }
+        // Group the drained entries by destination proxy. Partition order
+        // and the proposer's sorted drain keep this deterministic.
+        let parts = self.proxies.len() as u32;
+        let mut per_proxy: Vec<Vec<BatchEntry>> = vec![Vec::new(); parts as usize]; // xtask-lint: allow(hot-loop-alloc)
+        let mut total = 0u64;
+        for (url, clients) in &rounds {
+            for &client in clients {
+                per_proxy[client.partition(parts) as usize].push(BatchEntry { url: *url, client });
+                total += 1;
+            }
+        }
+        let mut spent = SimDuration::ZERO;
+        for (idx, entries) in per_proxy.into_iter().enumerate() {
+            if entries.is_empty() {
+                continue;
+            }
+            let n = entries.len();
+            let msg = HttpMsg::InvalidateBatch {
+                server: self.server,
+                entries,
+            };
+            let size = msg.wire_size();
+            self.counters.bytes_sent += size;
+            self.counters.inval_batches += 1;
+            self.counters.batched_entries += n as u64;
+            // One connection setup per batch, then the per-entry marginal
+            // cost — the amortisation the proposer exists for.
+            let cost =
+                self.costs.inval_send + self.costs.inval_batch_entry.saturating_mul(n as u64);
+            ctx.consume(cost);
+            spent += cost;
+            ctx.send(self.proxies[idx], SimMsg::Net(Message::Http(msg)), size);
+            self.proposer
+                .as_mut()
+                .expect("flushing implies a proposer")
+                .note_batch(n);
+        }
+        self.counters.invalidations_sent += total;
+        self.inval_time.observe(spent);
+        for (url, _) in &rounds {
+            ctx.set_timer(self.retry_interval, url.doc() as u64);
+        }
+    }
+
+    /// One invalidation acknowledgement: protocol state, metering, audit,
+    /// tracing and the write-completion clock. Shared by the per-copy
+    /// `InvalAck` and each entry of an `InvalidateBatchAck`.
+    fn apply_inval_ack(
+        &mut self,
+        url: Url,
+        client: ClientId,
+        cache_hits: u64,
+        ctx: &mut Ctx<'_, SimMsg>,
+    ) {
+        self.counters.acks += 1;
+        self.meter.record_report(url, cache_hits);
+        self.consistency.on_inval_ack(url, client);
+        if self.tracer.is_enabled() {
+            let span = invalidation_span(url, self.versions[url.doc() as usize]);
+            self.tracer.record(
+                ctx.now(),
+                SpanKind::Invalidation,
+                span,
+                Phase::Ack,
+                url,
+                Some(client),
+                None,
+            );
+            if self.consistency.pending_for(url).is_empty() {
+                // Every live site acked: the write is complete.
+                self.tracer.record(
+                    ctx.now(),
+                    SpanKind::Invalidation,
+                    span,
+                    Phase::Quorum,
+                    url,
+                    None,
+                    None,
+                );
+            }
+        }
+        self.record(AuditEvent::InvalidateAck {
+            url,
+            client,
+            at: ctx.now(),
+        });
+        if !self.consistency.has_pending(url) {
+            if let Some(t0) = self.write_open.remove(&url) {
+                self.write_completion
+                    .observe(ctx.now().saturating_since(t0));
+            }
+        }
     }
 
     /// Sends the recovery bulk `INVALIDATE <server-addr>` to every proxy
@@ -516,38 +711,16 @@ impl Node<SimMsg> for OriginNode {
                 cache_hits,
             })) => {
                 ctx.consume(self.costs.ack_cpu);
-                self.counters.acks += 1;
-                self.meter.record_report(url, cache_hits);
-                self.consistency.on_inval_ack(url, client);
-                if self.tracer.is_enabled() {
-                    let span = invalidation_span(url, self.versions[url.doc() as usize]);
-                    self.tracer.record(
-                        ctx.now(),
-                        SpanKind::Invalidation,
-                        span,
-                        Phase::Ack,
-                        url,
-                        Some(client),
-                        None,
-                    );
-                    if self.consistency.pending_for(url).is_empty() {
-                        // Every live site acked: the write is complete.
-                        self.tracer.record(
-                            ctx.now(),
-                            SpanKind::Invalidation,
-                            span,
-                            Phase::Quorum,
-                            url,
-                            None,
-                            None,
-                        );
-                    }
+                self.apply_inval_ack(url, client, cache_hits, ctx);
+            }
+            SimMsg::Net(Message::Http(HttpMsg::InvalidateBatchAck { server, entries })) => {
+                debug_assert_eq!(server, self.server);
+                // One parse per wire message; per-copy protocol work per
+                // entry, exactly as if each ack had arrived on its own.
+                ctx.consume(self.costs.ack_cpu);
+                for entry in entries {
+                    self.apply_inval_ack(entry.url, entry.client, entry.cache_hits, ctx);
                 }
-                self.record(AuditEvent::InvalidateAck {
-                    url,
-                    client,
-                    at: ctx.now(),
-                });
             }
             SimMsg::Net(Message::Http(HttpMsg::InvalidateServerAck { server })) => {
                 debug_assert_eq!(server, self.server);
@@ -581,6 +754,7 @@ impl Node<SimMsg> for OriginNode {
             other @ (SimMsg::Net(Message::Http(
                 HttpMsg::Reply(_)
                 | HttpMsg::Invalidate { .. }
+                | HttpMsg::InvalidateBatch { .. }
                 | HttpMsg::InvalidateServer { .. }
                 | HttpMsg::Hello { .. }
                 | HttpMsg::MetricsGet,
@@ -597,6 +771,14 @@ impl Node<SimMsg> for OriginNode {
             self.retry_bulk_invalidations(ctx);
             return;
         }
+        if token == BATCH_FLUSH_TOKEN {
+            // Age-bound flush. A timer armed before an earlier
+            // threshold-trip flush drains whatever re-accumulated since —
+            // flushing early is always legal, and keeping the rule
+            // unconditional keeps replays deterministic.
+            self.flush_batches(ctx);
+            return;
+        }
         // Retry timer for one document's pending invalidations. Volume
         // leases first drop pending entries whose volume has expired — the
         // bounded-write-completion rule.
@@ -610,7 +792,14 @@ impl Node<SimMsg> for OriginNode {
         }
         let doc = token as u32;
         let url = Url::new(self.server, doc);
-        let pending = self.consistency.pending_for(url);
+        let mut pending = self.consistency.pending_for(url);
+        // Copies still queued in the proposer have not been sent yet —
+        // retrying them would target sites the auditor (correctly) does
+        // not consider awaiting an INVALIDATE. Their flush arms a fresh
+        // retry timer, so skipping them here loses nothing.
+        if let Some(proposer) = self.proposer.as_ref() {
+            pending.retain(|&c| !proposer.queued(url, c));
+        }
         if pending.is_empty() {
             self.retry_counts.remove(&doc);
             return;
@@ -625,6 +814,8 @@ impl Node<SimMsg> for OriginNode {
                 abandoned: pending,
                 at: ctx.now(),
             });
+            // The write will never complete; drop its open clock.
+            self.write_open.remove(&url);
             return;
         }
         self.fan_out(url, pending, true, ctx);
@@ -636,6 +827,10 @@ impl Node<SimMsg> for OriginNode {
         self.mem_cache.clear();
         self.recovery_unacked.clear();
         self.recovery_attempts = 0;
+        if let Some(proposer) = self.proposer.as_mut() {
+            proposer.clear();
+        }
+        self.write_open.clear();
     }
 
     fn on_recover(&mut self, ctx: &mut Ctx<'_, SimMsg>) {

@@ -354,6 +354,14 @@ impl Node<SimMsg> for ParentNode {
             SimMsg::Net(Message::Http(HttpMsg::Invalidate { url, .. })) => {
                 self.handle_invalidate(url, ctx)
             }
+            SimMsg::Net(Message::Http(HttpMsg::InvalidateBatch { entries, .. })) => {
+                // A coalesced round from the origin: each entry gets the
+                // full per-copy treatment (drop, §7 report, per-copy ack,
+                // relay down the tree).
+                for entry in entries {
+                    self.handle_invalidate(entry.url, ctx);
+                }
+            }
             SimMsg::Net(Message::Http(HttpMsg::InvalAck {
                 url,
                 client,
@@ -388,7 +396,10 @@ impl Node<SimMsg> for ParentNode {
             // these; spelled out (no `_`) so a new wire variant is a
             // compile error and a lint finding here.
             other @ (SimMsg::Net(Message::Http(
-                HttpMsg::Hello { .. } | HttpMsg::MetricsGet | HttpMsg::Notify { .. },
+                HttpMsg::Hello { .. }
+                | HttpMsg::MetricsGet
+                | HttpMsg::Notify { .. }
+                | HttpMsg::InvalidateBatchAck { .. },
             ))
             | SimMsg::Net(Message::Coord(_))
             | SimMsg::Dispatch { .. }) => {

@@ -488,6 +488,48 @@ impl Node<SimMsg> for ProxyNode {
                 let upstream = self.upstream(url.server());
                 ctx.send(upstream, SimMsg::Net(Message::Http(ack)), size);
             }
+            SimMsg::Net(Message::Http(HttpMsg::InvalidateBatch {
+                server,
+                entries: batch_entries,
+            })) => {
+                // A coalesced round shares the wire framing but the work is
+                // per copy: each entry is processed exactly like a
+                // standalone INVALIDATE, and all the per-copy acks ride
+                // back in one InvalidateBatchAck.
+                let mut acks = Vec::with_capacity(batch_entries.len());
+                for wcc_proto::BatchEntry { url, client } in batch_entries {
+                    ctx.consume(self.costs.proxy_inval_cpu);
+                    self.counters.invalidations_received += 1;
+                    self.record(AuditEvent::InvalidateDelivered {
+                        url,
+                        client,
+                        at: ctx.now(),
+                    });
+                    let deleted_hits = self.policy.on_invalidate(url, client, &mut self.cache);
+                    if deleted_hits.is_some() {
+                        self.counters.invalidations_effective += 1;
+                    }
+                    if let Some(pending) = self.outstanding.as_mut() {
+                        if pending.record.url == url
+                            && self.identity.unwrap_or(pending.record.client) == client
+                        {
+                            pending.invalidated = true;
+                        }
+                    }
+                    acks.push(wcc_proto::BatchAckEntry {
+                        url,
+                        client,
+                        cache_hits: deleted_hits.unwrap_or(0),
+                    });
+                }
+                let ack = HttpMsg::InvalidateBatchAck {
+                    server,
+                    entries: acks,
+                };
+                let size = ack.wire_size();
+                let upstream = self.upstream(server);
+                ctx.send(upstream, SimMsg::Net(Message::Http(ack)), size);
+            }
             SimMsg::Net(Message::Http(HttpMsg::InvalidateServer { server })) => {
                 ctx.consume(self.costs.proxy_inval_cpu);
                 self.counters.bulk_invalidations_received += 1;
@@ -510,6 +552,7 @@ impl Node<SimMsg> for ProxyNode {
             other @ (SimMsg::Net(Message::Http(
                 HttpMsg::Get(_)
                 | HttpMsg::InvalAck { .. }
+                | HttpMsg::InvalidateBatchAck { .. }
                 | HttpMsg::InvalidateServerAck { .. }
                 | HttpMsg::Hello { .. }
                 | HttpMsg::MetricsGet

@@ -53,7 +53,7 @@ impl InvalSenderNode {
     }
 
     fn proxy_of(&self, client: ClientId) -> NodeId {
-        self.proxies[client.partition(self.proxies.len() as u32) as usize]
+        *client.assigned(&self.proxies)
     }
 }
 

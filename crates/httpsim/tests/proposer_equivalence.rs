@@ -1,0 +1,136 @@
+//! Satellite property test: the batched/coalescing invalidation proposer is
+//! observably equivalent to classic per-write fan-out.
+//!
+//! Batching delays delivery by at most the age threshold, so individual
+//! requests may hit where the classic run missed — traffic counts are *not*
+//! compared. What must agree is the consistency-visible outcome: once writes
+//! quiesce and a final read round touches every `(client, document)` pair
+//! the trace ever requested, both modes leave byte-identical cache contents
+//! (same keys, same versions, same freshness promises), a clean audit
+//! verdict, and zero end-of-run staleness — at any threshold setting.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use proptest::prelude::*;
+use wcc_core::{ProtocolConfig, ProtocolKind};
+use wcc_httpsim::{Deployment, DeploymentOptions, RawReport};
+use wcc_traces::{synthetic, ModSchedule, Trace, TraceRecord, TraceSpec};
+use wcc_types::{ByteSize, ClientId, InvalBatchConfig, ScopedUrl, SimDuration, SimTime, Url};
+
+/// A churny workload whose writes stop well before the end, followed by one
+/// read round over every pair ever requested so both modes converge.
+///
+/// Quiescence is subtle: the replay compresses idle trace time (a window
+/// with no records costs only the coordinator round trip in wall clock),
+/// while the proposer's age timer runs in wall clock. The gap between the
+/// last write and the read round must therefore be wide in *windows* — each
+/// idle window still burns real coordinator latency — and the sampled age
+/// thresholds must stay small against that, or a pending flush can legally
+/// straddle the gap and the two runs diverge on entries the race touched.
+fn quiescent_trace(seed: u64) -> (Trace, ModSchedule) {
+    let spec = TraceSpec::epa().scaled_down(200);
+    let mut trace = synthetic::generate(&spec, seed);
+    // Writes land within the original span only.
+    let mods = ModSchedule::generate(
+        spec.num_docs,
+        SimDuration::from_hours(3),
+        trace.duration,
+        seed,
+    );
+    let mut pairs: Vec<(ClientId, Url)> = trace.records.iter().map(|r| (r.client, r.url)).collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    // Four trace-hours of idle lock-step windows between the last possible
+    // write and the read round.
+    let at = SimTime::ZERO + trace.duration + SimDuration::from_hours(4);
+    for (client, url) in pairs {
+        trace.records.push(TraceRecord { at, client, url });
+    }
+    trace.duration += SimDuration::from_hours(5);
+    (trace, mods)
+}
+
+fn run(
+    trace: &Trace,
+    mods: &ModSchedule,
+    batch: Option<InvalBatchConfig>,
+) -> (Deployment, RawReport) {
+    let mut opts = DeploymentOptions::default();
+    opts.inval_batch = batch;
+    opts.audit = true;
+    let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
+    let mut d = Deployment::build(trace, mods, &cfg, opts);
+    d.run();
+    let report = d.collect();
+    (d, report)
+}
+
+/// Per-proxy sorted `(key, version, promised-fresh)` triples — the full
+/// consistency-visible cache state.
+fn digest(d: &Deployment, proxies: u32, end: SimTime) -> Vec<Vec<(ScopedUrl, SimTime, bool)>> {
+    (0..proxies as usize)
+        .map(|i| {
+            let p = d.proxy(i);
+            let mut entries: Vec<(ScopedUrl, SimTime, bool)> = p
+                .cache()
+                .iter()
+                .map(|(key, e)| {
+                    (
+                        key,
+                        e.meta.last_modified(),
+                        p.policy().promised_fresh(key, &e.freshness, end),
+                    )
+                })
+                .collect();
+            entries.sort_unstable();
+            entries
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batched_fanout_is_observably_equivalent_to_per_write(
+        seed in 0u64..500,
+        max_entries in 1usize..=32,
+        max_age_us in 100u64..=5_000,
+        max_bytes_kib in 1u64..=8,
+    ) {
+        let (trace, mods) = quiescent_trace(seed);
+        let batch = InvalBatchConfig {
+            max_entries,
+            max_age: SimDuration::from_micros(max_age_us),
+            max_bytes: ByteSize::from_kib(max_bytes_kib),
+        };
+        let proxies = DeploymentOptions::default().num_proxies;
+        let end = SimTime::ZERO + trace.duration;
+
+        let (classic_d, classic) = run(&trace, &mods, None);
+        let (batched_d, batched) = run(&trace, &mods, Some(batch));
+
+        prop_assert!(classic.finished && batched.finished);
+        prop_assert!(batched.writes_complete);
+        prop_assert_eq!(batched.final_violations, 0);
+        prop_assert_eq!(classic.final_violations, 0);
+        prop_assert_eq!(batched.gave_up, 0);
+        prop_assert_eq!(batched.requests, classic.requests);
+
+        // Zero audit staleness at this threshold setting.
+        let audit = batched_d.audit();
+        prop_assert!(audit.is_clean(), "{}", audit);
+
+        // Identical final cache states.
+        prop_assert_eq!(
+            digest(&batched_d, proxies, end),
+            digest(&classic_d, proxies, end)
+        );
+
+        // Proposer bookkeeping is conserved at any threshold.
+        if let Some(p) = batched.proposer {
+            prop_assert_eq!(p.enqueued, p.coalesced + p.flushed_entries);
+            prop_assert!(p.batches <= p.flushed_entries);
+        }
+    }
+}

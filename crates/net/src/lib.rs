@@ -33,6 +33,7 @@
 //!     doc_sizes: vec![ByteSize::from_kib(8); 16],
 //!     protocol: cfg.clone(),
 //!     doc_scale: 100,
+//!     inval_batch: None,
 //! })?;
 //! let proxy = NetProxy::spawn(origin.addr(), &cfg, 0, 1, ByteSize::from_mib(64))?;
 //!

@@ -15,7 +15,7 @@
 //! again without any persistent site-list storage.
 
 use parking_lot::Mutex;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -24,12 +24,15 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 use wcc_core::{ProtocolConfig, ServerConsistency, SiteListStats};
 use wcc_obs::{Histogram, Registry};
+use wcc_proto::msg::sizes::INVALIDATE_SIZE;
 use wcc_proto::{
-    decode_frame, encode, GetRequest, HttpMsg, HttpMsgRef, Reply, ReplyStatus, WireError,
+    decode_frame, encode, BatchEntry, GetRequest, HttpMsg, HttpMsgRef, Reply, ReplyStatus,
+    WireError,
 };
 use wcc_reactor::{Poller, WakeHandle, Waker};
 use wcc_types::{
-    Body, ByteSize, ClientId, DocMeta, ServerId, SimDuration, SimTime, Url, WallClock,
+    Body, ByteSize, ClientId, DocMeta, InvalBatchConfig, ServerId, SimDuration, SimTime, Url,
+    WallClock,
 };
 
 use crate::evloop::{accept_all, Conn, Conns, TOK_LISTENER, TOK_WAKER};
@@ -45,6 +48,12 @@ pub struct OriginConfig {
     pub protocol: ProtocolConfig,
     /// Storage scale factor for document payloads (the paper's 100×).
     pub doc_scale: u64,
+    /// Batched invalidation proposer thresholds. `None` keeps the
+    /// per-write fan-out: one `INVALIDATE` push per stale copy. `Some`
+    /// coalesces pending invalidations and fans out one multi-URL
+    /// `InvalidateBatch` round per proxy partition when a count/byte
+    /// threshold trips (or the age bound, on the reactor's tick).
+    pub inval_batch: Option<InvalBatchConfig>,
 }
 
 /// Counters and state visible through [`NetOrigin::snapshot`].
@@ -58,8 +67,16 @@ pub struct OriginSnapshot {
     pub replies_200: u64,
     /// `304` replies sent.
     pub replies_304: u64,
-    /// `INVALIDATE`s pushed.
+    /// `INVALIDATE`s pushed (logical per-copy count; with the batched
+    /// proposer each coalesced entry still counts once here).
     pub invalidations: u64,
+    /// `InvalidateBatch` rounds flushed by the proposer.
+    pub inval_batches: u64,
+    /// Entries carried by those rounds (deduplicated).
+    pub batched_entries: u64,
+    /// Enqueued invalidations absorbed by coalescing: the `(url, client)`
+    /// pair was already pending when a later write re-enqueued it.
+    pub coalesced_invalidations: u64,
     /// Acks received.
     pub acks: u64,
     /// Check-ins processed.
@@ -76,6 +93,16 @@ struct Protected {
     counters: OriginSnapshot,
     /// Wall-time GET service latency (decode to reply built).
     serve_latency: Histogram,
+    /// Batched proposer accumulator: pending stale copies, coalesced per
+    /// document. Always empty when `inval_batch` is `None`.
+    pending_inval: BTreeMap<Url, BTreeSet<ClientId>>,
+    /// Entry count of `pending_inval` (kept incrementally).
+    pending_entries: u64,
+    /// Armed when the accumulator went empty → non-empty; drives the age
+    /// threshold.
+    pending_since: Option<WallClock>,
+    /// Entries per flushed `InvalidateBatch` round.
+    batch_sizes: Histogram,
     /// §5 restart recovery: still rebuilding consistency via bulk
     /// invalidation.
     recovering: bool,
@@ -90,8 +117,18 @@ struct State {
     doc_sizes: Vec<ByteSize>,
     /// Reloadable via [`NetOrigin::set_doc_scale`] (SIGHUP config reload).
     doc_scale: AtomicU32,
+    inval_batch: Option<InvalBatchConfig>,
     protected: Mutex<Protected>,
     shutdown: AtomicBool,
+}
+
+/// What one check-in produced for the wire.
+enum Fanout {
+    /// Per-write fan-out: push one `INVALIDATE` per recipient now.
+    PerWrite(Vec<ClientId>),
+    /// Batched proposer: recipients were queued; `flush` is set when the
+    /// count or byte threshold tripped and the round should go out now.
+    Queued { flush: bool },
 }
 
 impl State {
@@ -128,15 +165,86 @@ impl State {
         })
     }
 
-    /// Processes a check-in; returns the invalidation recipients.
-    fn handle_notify(&self, url: Url, at: SimTime) -> Vec<ClientId> {
+    /// Processes a check-in; returns what to push on the wire.
+    fn handle_notify(&self, url: Url, at: SimTime) -> Fanout {
         let mut p = self.protected.lock();
         p.counters.notifies += 1;
         let doc = url.doc() as usize;
         p.versions[doc] = p.versions[doc].max(at);
         let recipients = p.consistency.on_modify(url, at);
         p.counters.invalidations += recipients.len() as u64;
-        recipients
+        let Some(cfg) = self.inval_batch else {
+            return Fanout::PerWrite(recipients);
+        };
+        if !recipients.is_empty() && p.pending_since.is_none() {
+            p.pending_since = Some(WallClock::start());
+        }
+        let mut fresh = 0u64;
+        {
+            let Protected {
+                pending_inval,
+                counters,
+                ..
+            } = &mut *p;
+            for client in recipients {
+                if pending_inval.entry(url).or_default().insert(client) {
+                    fresh += 1;
+                } else {
+                    counters.coalesced_invalidations += 1;
+                }
+            }
+        }
+        p.pending_entries += fresh;
+        // Byte threshold is what a per-write fan-out of the queue would
+        // have cost — the same accounting the simulator's proposer uses.
+        let bytes = p.pending_entries * INVALIDATE_SIZE;
+        let flush = p.pending_entries >= cfg.max_entries as u64 || bytes >= cfg.max_bytes.as_u64();
+        Fanout::Queued { flush }
+    }
+
+    /// Drains the proposer accumulator into one sorted entry list per
+    /// proxy partition, recording the per-round stats.
+    fn drain_pending(&self, partitions: u32) -> Vec<(u32, Vec<BatchEntry>)> {
+        let mut p = self.protected.lock();
+        if p.pending_entries == 0 {
+            return Vec::new();
+        }
+        let pending = std::mem::take(&mut p.pending_inval);
+        p.counters.batched_entries += p.pending_entries;
+        p.pending_entries = 0;
+        p.pending_since = None;
+        let partitions = partitions.max(1);
+        let mut per: BTreeMap<u32, Vec<BatchEntry>> = BTreeMap::new();
+        for (url, clients) in pending {
+            for client in clients {
+                per.entry(client.partition(partitions))
+                    .or_default()
+                    .push(BatchEntry { url, client });
+            }
+        }
+        let mut out = Vec::with_capacity(per.len());
+        for (partition, entries) in per {
+            p.counters.inval_batches += 1;
+            p.batch_sizes.record(entries.len() as u64);
+            out.push((partition, entries));
+        }
+        out
+    }
+
+    /// Time until the oldest pending entry hits the age threshold:
+    /// `Some(ZERO)` when a flush is overdue, `None` when nothing is
+    /// pending (or batching is off).
+    fn batch_age_left(&self) -> Option<Duration> {
+        let cfg = self.inval_batch?;
+        let p = self.protected.lock();
+        let elapsed = p.pending_since.as_ref()?.elapsed();
+        if elapsed >= cfg.max_age {
+            Some(Duration::ZERO)
+        } else {
+            Some(Duration::from_micros(
+                cfg.max_age.as_micros() - elapsed.as_micros(),
+            ))
+        }
     }
 
     fn handle_ack(&self, url: Url, client: ClientId) {
@@ -184,6 +292,24 @@ impl State {
             "INVALIDATEs pushed to proxies.",
             &node,
             c.invalidations,
+        );
+        r.set_counter(
+            "wcc_inval_batches_total",
+            "InvalidateBatch rounds flushed by the batched proposer.",
+            &node,
+            c.inval_batches,
+        );
+        r.set_counter(
+            "wcc_inval_batched_entries_total",
+            "Deduplicated entries carried by flushed batch rounds.",
+            &node,
+            c.batched_entries,
+        );
+        r.set_counter(
+            "wcc_inval_coalesced_total",
+            "Enqueued invalidations absorbed by proposer coalescing.",
+            &node,
+            c.coalesced_invalidations,
         );
         r.set_counter(
             "wcc_inval_acks_total",
@@ -234,11 +360,23 @@ impl State {
             &node,
             u64::from(Self::recovery_done(&p)),
         );
+        r.set_gauge(
+            "wcc_inval_pending_queue",
+            "Coalesced (document, client) entries waiting in the proposer.",
+            &node,
+            p.pending_entries,
+        );
         r.set_histogram(
             "wcc_serve_latency_seconds",
             "Wall-time GET service latency.",
             &node,
             &p.serve_latency,
+        );
+        r.set_histogram(
+            "wcc_inval_batch_size",
+            "Entries per flushed InvalidateBatch round.",
+            &node,
+            &p.batch_sizes,
         );
         r.render()
     }
@@ -291,11 +429,16 @@ impl NetOrigin {
             server: config.server,
             doc_sizes: config.doc_sizes,
             doc_scale: AtomicU32::new(u32::try_from(config.doc_scale.max(1)).unwrap_or(u32::MAX)),
+            inval_batch: config.inval_batch,
             protected: Mutex::new(Protected {
                 consistency: ServerConsistency::new(&config.protocol, config.server),
                 versions: vec![SimTime::ZERO; n],
                 counters: OriginSnapshot::default(),
                 serve_latency: Histogram::default(),
+                pending_inval: BTreeMap::new(),
+                pending_entries: 0,
+                pending_since: None,
+                batch_sizes: Histogram::default(),
                 recovering,
                 recovery_pending: BTreeSet::new(),
                 recovery_acked: BTreeSet::new(),
@@ -441,16 +584,29 @@ fn reactor_loop(state: &Arc<State>, listener: &TcpListener, mut poller: Poller, 
             let p = state.protected.lock();
             p.recovering && !p.recovery_pending.is_empty()
         };
-        let timeout = if retry_recovery {
+        // Two timers share the poller timeout: the 250 ms recovery retry
+        // tick and the proposer's age threshold (whichever is sooner).
+        let batch_left = state.batch_age_left();
+        let retry_tick = if retry_recovery {
             Some(Duration::from_millis(250))
         } else {
             None
+        };
+        let timeout = match (retry_tick, batch_left) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         };
         if poller.wait(&mut events, timeout).is_err() {
             break;
         }
         if state.shutdown.load(Ordering::SeqCst) {
             break;
+        }
+        if state.batch_age_left() == Some(Duration::ZERO) {
+            // Age flush: the oldest pending entry has waited max_age, so
+            // the round goes out even though no count threshold tripped.
+            flush_batches(state, &channels, total_partitions, &mut outbox);
+            deliver_outbox(&mut outbox, &mut conns, &mut poller);
         }
         if events.is_empty() && retry_recovery {
             // Retry tick: re-send the bulk invalidation to every pending
@@ -510,6 +666,30 @@ fn reactor_loop(state: &Arc<State>, listener: &TcpListener, mut poller: Poller, 
     for tok in scratch.drain(..) {
         conns.flush(&mut poller, tok);
         conns.close(&mut poller, tok);
+    }
+}
+
+/// Drains the proposer accumulator into one `InvalidateBatch` per proxy
+/// partition with a live push channel. Entries routed at a partition with
+/// no channel are dropped from the wire like their per-write equivalents:
+/// the site list still holds them, and a re-registration (or the §5 bulk
+/// recovery invalidation) picks them up.
+fn flush_batches(
+    state: &Arc<State>,
+    channels: &HashMap<u32, u64>,
+    total_partitions: u32,
+    outbox: &mut Vec<(u64, HttpMsg)>,
+) {
+    for (partition, entries) in state.drain_pending(total_partitions) {
+        if let Some(&tok) = channels.get(&partition) {
+            outbox.push((
+                tok,
+                HttpMsg::InvalidateBatch {
+                    server: state.server,
+                    entries,
+                },
+            ));
+        }
     }
 }
 
@@ -633,16 +813,22 @@ fn dispatch(
             After::CloseAfterFlush
         }
         HttpMsgRef::Notify { url, at } if url.server() == state.server => {
-            let recipients = state.handle_notify(*url, *at);
-            if !recipients.is_empty() {
-                let partitions = (*total_partitions).max(1);
-                for client in recipients {
-                    let partition = client.partition(partitions);
-                    if let Some(&tok) = channels.get(&partition) {
-                        // Best-effort: a dead channel leaves the entry
-                        // pending; a re-registered proxy (or the bulk
-                        // recovery invalidation) will pick it up.
-                        outbox.push((tok, HttpMsg::Invalidate { url: *url, client }));
+            match state.handle_notify(*url, *at) {
+                Fanout::PerWrite(recipients) => {
+                    let partitions = (*total_partitions).max(1);
+                    for client in recipients {
+                        let partition = client.partition(partitions);
+                        if let Some(&tok) = channels.get(&partition) {
+                            // Best-effort: a dead channel leaves the entry
+                            // pending; a re-registered proxy (or the bulk
+                            // recovery invalidation) will pick it up.
+                            outbox.push((tok, HttpMsg::Invalidate { url: *url, client }));
+                        }
+                    }
+                }
+                Fanout::Queued { flush } => {
+                    if flush {
+                        flush_batches(state, channels, *total_partitions, outbox);
                     }
                 }
             }
@@ -654,6 +840,14 @@ fn dispatch(
             cache_hits: _,
         } => {
             state.handle_ack(*url, *client);
+            After::Keep
+        }
+        HttpMsgRef::InvalidateBatchAck(ack) if ack.server == state.server => {
+            // A whole proposer round acknowledged: clean the site lists
+            // entry by entry, exactly as per-entry `InvalAck`s would.
+            for e in ack.entries() {
+                state.handle_ack(e.url, e.client);
+            }
             After::Keep
         }
         HttpMsgRef::InvalidateServerAck { server } if *server == state.server => {
@@ -686,6 +880,7 @@ fn dispatch(
         }
         HttpMsgRef::Reply(_)
         | HttpMsgRef::Invalidate { .. }
+        | HttpMsgRef::InvalidateBatch(_)
         | HttpMsgRef::InvalidateServer { .. } => {
             After::Close // protocol violation: these flow origin -> proxy only
         }

@@ -32,7 +32,8 @@ use wcc_cache::{CacheStore, ReplacementPolicy};
 use wcc_core::{ProtocolConfig, ProxyAction, ProxyPolicy, ServerConsistency};
 use wcc_obs::{Histogram, Registry};
 use wcc_proto::{
-    decode_frame, encode, GetRequest, HttpMsg, HttpMsgRef, Reply, ReplyStatus, RequestId, WireError,
+    decode_frame, encode, BatchAckEntry, BatchEntry, GetRequest, HttpMsg, HttpMsgRef, Reply,
+    ReplyStatus, RequestId, WireError,
 };
 use wcc_reactor::{BoundedPool, Interest, Poller, WakeHandle, Waker};
 use wcc_types::{Body, ByteSize, ClientId, DocMeta, ServerId, Url, WallClock};
@@ -49,8 +50,11 @@ pub struct NetParentCounters {
     pub parent_hits: u64,
     /// Requests forwarded to the origin.
     pub upstream_requests: u64,
-    /// `INVALIDATE`s received from the origin.
+    /// `INVALIDATE`s received from the origin (batched entries included:
+    /// each entry of a coalesced round counts once here).
     pub invalidations_received: u64,
+    /// Coalesced `InvalidateBatch` rounds received from the origin.
+    pub inval_batches_received: u64,
     /// `INVALIDATE`s relayed to children.
     pub invalidations_relayed: u64,
     /// Bulk `INVALIDATE <server>`s received from the origin (recovery).
@@ -177,6 +181,44 @@ impl ParentState {
         url.scoped(self.identity)
     }
 
+    /// Origin pushed a coalesced `InvalidateBatch` round: drop our copy of
+    /// every listed document under one lock, collect the children each
+    /// entry must be relayed to, and build the single round ack (per-entry
+    /// §7 hit reports included).
+    fn handle_invalidate_batch(
+        &self,
+        server: wcc_types::ServerId,
+        entries: &[BatchEntry],
+    ) -> (HttpMsg, Vec<(Url, Vec<ClientId>)>) {
+        let mut p = self.protected.lock();
+        p.counters.invalidations_received += entries.len() as u64;
+        p.counters.inval_batches_received += 1;
+        let mut acks = Vec::with_capacity(entries.len());
+        let mut relays = Vec::with_capacity(entries.len());
+        for e in entries {
+            let own_hits = {
+                let Protected { policy, cache, .. } = &mut *p;
+                policy
+                    .on_invalidate(e.url, self.identity, cache)
+                    .unwrap_or(0)
+            };
+            acks.push(BatchAckEntry {
+                url: e.url,
+                client: e.client,
+                cache_hits: own_hits,
+            });
+            let now = p.latest_trace;
+            relays.push((e.url, p.children.on_modify(e.url, now)));
+        }
+        (
+            HttpMsg::InvalidateBatchAck {
+                server,
+                entries: acks,
+            },
+            relays,
+        )
+    }
+
     /// Origin pushed an `INVALIDATE`: drop our copy and return the ack to
     /// send upstream plus the children to relay to.
     fn handle_invalidate(&self, url: Url) -> (HttpMsg, Vec<ClientId>) {
@@ -233,6 +275,12 @@ impl ParentState {
             "INVALIDATEs received from the origin.",
             &node,
             c.invalidations_received,
+        );
+        r.set_counter(
+            "wcc_inval_batches_total",
+            "Coalesced InvalidateBatch rounds received from the origin.",
+            &node,
+            c.inval_batches_received,
         );
         r.set_counter(
             "wcc_invalidations_relayed_total",
@@ -692,6 +740,9 @@ fn drive_conn(
             Close,
             /// Relay `msg` to each recipient, then count successes.
             Relay(HttpMsg, Vec<ClientId>),
+            /// Relay one per-child `INVALIDATE` for each `(url, children)`
+            /// pair of an applied batch round.
+            RelayEach(Vec<(Url, Vec<ClientId>)>),
             /// Relay a bulk invalidation to every child channel.
             RelayBulk(wcc_types::ServerId),
         }
@@ -735,6 +786,13 @@ fn drive_conn(
                                     recipients,
                                 )
                             }
+                            HttpMsgRef::InvalidateBatch(batch) => {
+                                let entries = batch.entries();
+                                let (ack, relays) =
+                                    state.handle_invalidate_batch(batch.server, &entries);
+                                sbuf.push_bytes(&encode(&ack));
+                                Step::RelayEach(relays)
+                            }
                             HttpMsgRef::InvalidateServer { server } => {
                                 {
                                     let mut p = state.protected.lock();
@@ -750,6 +808,7 @@ fn drive_conn(
                             HttpMsgRef::Get(_)
                             | HttpMsgRef::Reply(_)
                             | HttpMsgRef::InvalAck { .. }
+                            | HttpMsgRef::InvalidateBatchAck(_)
                             | HttpMsgRef::InvalidateServerAck { .. }
                             | HttpMsgRef::Hello { .. }
                             | HttpMsgRef::MetricsGet
@@ -833,6 +892,22 @@ fn drive_conn(
                     };
                     if relay_to_child(poller, conns, router, client, &msg) {
                         relayed += 1;
+                    }
+                }
+                if relayed > 0 {
+                    state.protected.lock().counters.invalidations_relayed += relayed;
+                }
+            }
+            Step::RelayEach(relays) => {
+                // Children acked per-document (`InvalAck`), so a batch
+                // round fans out downstream as ordinary `INVALIDATE`s.
+                let mut relayed = 0u64;
+                for (url, children) in relays {
+                    for client in children {
+                        let msg = HttpMsg::Invalidate { url, client };
+                        if relay_to_child(poller, conns, router, client, &msg) {
+                            relayed += 1;
+                        }
                     }
                 }
                 if relayed > 0 {

@@ -30,7 +30,8 @@ use wcc_cache::{CacheStore, ReplacementPolicy};
 use wcc_core::{ProtocolConfig, ProxyAction, ProxyPolicy};
 use wcc_obs::{Histogram, Registry};
 use wcc_proto::{
-    decode_frame, encode, GetRequest, HttpMsg, HttpMsgRef, Reply, ReplyStatus, RequestId, WireError,
+    decode_frame, encode, BatchAckEntry, GetRequest, HttpMsg, HttpMsgRef, Reply, ReplyStatus,
+    RequestId, WireError,
 };
 use wcc_reactor::{BoundedPool, Interest, Poller, WakeHandle, Waker};
 use wcc_types::{Body, ByteSize, ClientId, DocMeta, SimTime, Url, WallClock};
@@ -75,8 +76,11 @@ pub struct NetProxyCounters {
     pub replies_200: u64,
     /// `304` replies received.
     pub replies_304: u64,
-    /// `INVALIDATE`s received on the push channel.
+    /// `INVALIDATE`s received on the push channel (batched entries
+    /// included: each entry of a coalesced round counts once here).
     pub invalidations_received: u64,
+    /// Coalesced `InvalidateBatch` rounds received on the push channel.
+    pub inval_batches_received: u64,
     /// Bulk `INVALIDATE <server>`s received.
     pub bulk_invalidations_received: u64,
     /// Piggybacked invalidations received (PSI).
@@ -148,6 +152,12 @@ impl ProxyState {
             "INVALIDATEs received on the push channel.",
             &node,
             c.invalidations_received,
+        );
+        r.set_counter(
+            "wcc_inval_batches_total",
+            "Coalesced InvalidateBatch rounds received on the push channel.",
+            &node,
+            c.inval_batches_received,
         );
         r.set_counter(
             "wcc_bulk_invalidations_total",
@@ -771,6 +781,8 @@ fn drive_conn(
                         }
                         HttpMsgRef::Reply(_)
                         | HttpMsgRef::Invalidate { .. }
+                        | HttpMsgRef::InvalidateBatch(_)
+                        | HttpMsgRef::InvalidateBatchAck(_)
                         | HttpMsgRef::InvalidateServer { .. }
                         | HttpMsgRef::InvalidateServerAck { .. }
                         | HttpMsgRef::InvalAck { .. }
@@ -801,6 +813,37 @@ fn drive_conn(
                             }));
                             Step::Keep
                         }
+                        HttpMsgRef::InvalidateBatch(batch) => {
+                            // One coalesced proposer round: drop every
+                            // listed copy under a single policy lock and
+                            // ack the whole round in one message, the §7
+                            // hit reports carried per entry.
+                            let entries = batch.entries();
+                            let acks: Vec<BatchAckEntry> = {
+                                let mut guard = state.policy.lock();
+                                let (policy, cache, _) = &mut *guard;
+                                entries
+                                    .iter()
+                                    .map(|e| BatchAckEntry {
+                                        url: e.url,
+                                        client: e.client,
+                                        cache_hits: policy
+                                            .on_invalidate(e.url, e.client, cache)
+                                            .unwrap_or(0),
+                                    })
+                                    .collect()
+                            };
+                            {
+                                let mut c = state.counters.lock();
+                                c.invalidations_received += entries.len() as u64;
+                                c.inval_batches_received += 1;
+                            }
+                            sbuf.push_bytes(&encode(&HttpMsg::InvalidateBatchAck {
+                                server: batch.server,
+                                entries: acks,
+                            }));
+                            Step::Keep
+                        }
                         HttpMsgRef::InvalidateServer { server } => {
                             {
                                 let mut guard = state.policy.lock();
@@ -816,6 +859,7 @@ fn drive_conn(
                         HttpMsgRef::Get(_)
                         | HttpMsgRef::Reply(_)
                         | HttpMsgRef::InvalAck { .. }
+                        | HttpMsgRef::InvalidateBatchAck(_)
                         | HttpMsgRef::InvalidateServerAck { .. }
                         | HttpMsgRef::Hello { .. }
                         | HttpMsgRef::MetricsGet

@@ -16,6 +16,7 @@ fn start() -> (NetOrigin, NetParent, NetProxy, NetProxy) {
         doc_sizes: vec![ByteSize::from_kib(8); 16],
         protocol: cfg.clone(),
         doc_scale: 100,
+        inval_batch: None,
     })
     .expect("origin");
     let parent = NetParent::spawn(

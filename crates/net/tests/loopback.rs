@@ -12,6 +12,7 @@ fn start(kind: ProtocolKind) -> (NetOrigin, NetProxy, ProtocolConfig) {
         doc_sizes: vec![ByteSize::from_kib(8); 32],
         protocol: cfg.clone(),
         doc_scale: 100,
+        inval_batch: None,
     })
     .expect("origin spawn");
     let proxy =
@@ -125,6 +126,7 @@ fn two_tier_lease_tracks_only_repeat_readers() {
         doc_sizes: vec![ByteSize::from_kib(8); 8],
         protocol: cfg.clone(),
         doc_scale: 100,
+        inval_batch: None,
     })
     .unwrap();
     let proxy = NetProxy::spawn(origin.addr(), &cfg, 0, 1, ByteSize::from_mib(16)).unwrap();
@@ -151,6 +153,7 @@ fn invalidations_fan_out_across_partitions() {
         doc_sizes: vec![ByteSize::from_kib(4); 4],
         protocol: cfg.clone(),
         doc_scale: 100,
+        inval_batch: None,
     })
     .unwrap();
     let p0 = NetProxy::spawn(origin.addr(), &cfg, 0, 2, ByteSize::from_mib(16)).unwrap();
@@ -175,6 +178,100 @@ fn invalidations_fan_out_across_partitions() {
     assert_eq!(p1.counters().invalidations_received, 1);
     assert_eq!(p0.cached_entries(), 0);
     assert_eq!(p1.cached_entries(), 0);
+}
+
+#[test]
+fn batched_invalidations_coalesce_across_partitions() {
+    use wcc_types::InvalBatchConfig;
+    let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
+    let origin = NetOrigin::spawn(OriginConfig {
+        server: ServerId::new(0),
+        doc_sizes: vec![ByteSize::from_kib(4); 4],
+        protocol: cfg.clone(),
+        doc_scale: 100,
+        inval_batch: Some(InvalBatchConfig::with_max_entries(4)),
+    })
+    .unwrap();
+    let p0 = NetProxy::spawn(origin.addr(), &cfg, 0, 2, ByteSize::from_mib(16)).unwrap();
+    let p1 = NetProxy::spawn(origin.addr(), &cfg, 1, 2, ByteSize::from_mib(16)).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Client 4 → partition 0, client 5 → partition 1; both cache two docs.
+    for doc in 0..2 {
+        p0.fetch(client(4), url(doc), SimTime::from_secs(1))
+            .unwrap();
+        p1.fetch(client(5), url(doc), SimTime::from_secs(1))
+            .unwrap();
+    }
+    // Two writes enqueue four stale copies — exactly the count threshold —
+    // so each partition gets ONE InvalidateBatch round of two entries
+    // instead of two per-write INVALIDATEs.
+    check_in(origin.addr(), url(0), SimTime::from_secs(5)).unwrap();
+    check_in(origin.addr(), url(1), SimTime::from_secs(6)).unwrap();
+    // NOTIFY is fire-and-forget: writes_complete is vacuously true until
+    // the server has actually processed both check-ins.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while origin.snapshot().notifies < 2 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        origin.wait_writes_complete(Duration::from_secs(5)),
+        "batched rounds were not acknowledged in time"
+    );
+    for p in [&p0, &p1] {
+        let c = p.counters();
+        assert_eq!(c.inval_batches_received, 1);
+        assert_eq!(c.invalidations_received, 2);
+        assert_eq!(p.cached_entries(), 0);
+    }
+    let snap = origin.snapshot();
+    assert_eq!(snap.invalidations, 4);
+    assert_eq!(snap.inval_batches, 2);
+    assert_eq!(snap.batched_entries, 4);
+    assert_eq!(snap.acks, 4);
+    let metrics = origin.metrics_text();
+    assert!(metrics.contains("wcc_inval_batch_size"), "{metrics}");
+    assert!(metrics.contains("wcc_inval_pending_queue"), "{metrics}");
+}
+
+#[test]
+fn batch_age_threshold_flushes_small_rounds() {
+    use wcc_types::InvalBatchConfig;
+    let cfg = ProtocolConfig::new(ProtocolKind::Invalidation);
+    // Count threshold far above what the test enqueues: only the 50 ms
+    // age bound can get this round onto the wire.
+    let origin = NetOrigin::spawn(OriginConfig {
+        server: ServerId::new(0),
+        doc_sizes: vec![ByteSize::from_kib(4); 4],
+        protocol: cfg.clone(),
+        doc_scale: 100,
+        inval_batch: Some(InvalBatchConfig::with_max_entries(1000)),
+    })
+    .unwrap();
+    let proxy = NetProxy::spawn(origin.addr(), &cfg, 0, 1, ByteSize::from_mib(16)).unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+
+    proxy
+        .fetch(client(7), url(0), SimTime::from_secs(1))
+        .unwrap();
+    check_in(origin.addr(), url(0), SimTime::from_secs(5)).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while origin.snapshot().notifies == 0 && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(
+        origin.wait_writes_complete(Duration::from_secs(5)),
+        "age-threshold flush did not happen"
+    );
+    let c = proxy.counters();
+    assert_eq!(c.inval_batches_received, 1);
+    assert_eq!(c.invalidations_received, 1);
+    // Strong consistency: the next fetch transfers the new version.
+    let fresh = proxy
+        .fetch(client(7), url(0), SimTime::from_secs(10))
+        .unwrap();
+    assert_eq!(fresh.kind, FetchKind::Fetched);
+    assert_eq!(fresh.meta.last_modified(), SimTime::from_secs(5));
 }
 
 #[test]
@@ -215,6 +312,7 @@ fn volume_lease_expiry_forces_renewal_over_tcp() {
         doc_sizes: vec![ByteSize::from_kib(8); 8],
         protocol: cfg.clone(),
         doc_scale: 100,
+        inval_batch: None,
     })
     .unwrap();
     let proxy = NetProxy::spawn(origin.addr(), &cfg, 0, 1, ByteSize::from_mib(16)).unwrap();
@@ -245,6 +343,7 @@ fn volume_lease_renewal_piggybacks_missed_invalidations_over_tcp() {
         doc_sizes: vec![ByteSize::from_kib(8); 8],
         protocol: cfg.clone(),
         doc_scale: 100,
+        inval_batch: None,
     })
     .unwrap();
     let proxy = NetProxy::spawn(origin.addr(), &cfg, 0, 1, ByteSize::from_mib(16)).unwrap();

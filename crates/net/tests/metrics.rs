@@ -13,6 +13,7 @@ fn spawn_origin(cfg: &ProtocolConfig) -> NetOrigin {
         doc_sizes: vec![ByteSize::from_kib(8); 32],
         protocol: cfg.clone(),
         doc_scale: 100,
+        inval_batch: None,
     })
     .expect("origin spawn")
 }

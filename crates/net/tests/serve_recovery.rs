@@ -22,6 +22,7 @@ fn origin_config(cfg: &ProtocolConfig) -> OriginConfig {
         doc_sizes: vec![ByteSize::from_kib(8); 32],
         protocol: cfg.clone(),
         doc_scale: 100,
+        inval_batch: None,
     }
 }
 

@@ -22,6 +22,7 @@ fn concurrent_browsers_and_modifier_converge() {
         doc_sizes: vec![ByteSize::from_kib(8); DOCS as usize],
         protocol: cfg.clone(),
         doc_scale: 100,
+        inval_batch: None,
     })
     .expect("origin");
     let addr = origin.addr();

@@ -26,9 +26,12 @@ pub mod msg;
 pub mod wire;
 pub mod zero;
 
-pub use msg::{CoordMsg, GetRequest, HttpMsg, Message, Reply, ReplyStatus, RequestId};
+pub use msg::{
+    BatchAckEntry, BatchEntry, CoordMsg, GetRequest, HttpMsg, Message, Reply, ReplyStatus,
+    RequestId,
+};
 pub use wire::{decode, encode, WireError};
 pub use zero::{
-    codec_sweep, decode_frame, decode_ref, CodecStats, FrameReader, HttpMsgRef, ReplyRef,
-    ReplyStatusRef,
+    codec_sweep, decode_frame, decode_ref, CodecStats, FrameReader, HttpMsgRef,
+    InvalidateBatchAckRef, InvalidateBatchRef, ReplyRef, ReplyStatusRef,
 };

@@ -117,6 +117,27 @@ pub struct Reply {
     pub volume_lease: Option<SimTime>,
 }
 
+/// One `(document, client)` entry of a batched invalidation round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BatchEntry {
+    /// The modified document.
+    pub url: Url,
+    /// The real client whose copy must be dropped.
+    pub client: ClientId,
+}
+
+/// One entry of a batch acknowledgement: the invalidated copy plus its
+/// §7 hit-metering report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BatchAckEntry {
+    /// The document whose invalidation is being acknowledged.
+    pub url: Url,
+    /// The acknowledging client.
+    pub client: ClientId,
+    /// Unreported cache hits on the copy that was just deleted.
+    pub cache_hits: u64,
+}
+
 /// The HTTP-level messages of the consistency protocols.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HttpMsg {
@@ -138,6 +159,28 @@ pub enum HttpMsg {
     InvalidateServer {
         /// The recovered origin server.
         server: ServerId,
+    },
+    /// Origin → proxy: one coalesced round of the batched invalidation
+    /// proposer — every stale `(document, client)` copy this proxy's
+    /// partition holds for `server`, in one wire message instead of one
+    /// `INVALIDATE <url>` per copy. Every entry's URL lives on `server`,
+    /// and the list is never empty (an empty round is simply not sent).
+    InvalidateBatch {
+        /// The origin whose proposer flushed this round.
+        server: ServerId,
+        /// The coalesced `(document, client)` entries, sorted.
+        entries: Vec<BatchEntry>,
+    },
+    /// Proxy → origin: acknowledges a whole [`HttpMsg::InvalidateBatch`]
+    /// round — delivered reliably like [`HttpMsg::InvalidateServerAck`] —
+    /// carrying the per-entry §7 hit reports so the accelerator can clean
+    /// its site lists and merge metering exactly as per-entry
+    /// [`HttpMsg::InvalAck`]s would have.
+    InvalidateBatchAck {
+        /// The origin being acknowledged.
+        server: ServerId,
+        /// Per-entry acknowledgements, in the round's order.
+        entries: Vec<BatchAckEntry>,
     },
     /// Proxy → origin: acknowledges receipt of an `InvalidateServer` bulk
     /// message. The recovery invalidation must be delivered reliably —
@@ -234,6 +277,14 @@ pub mod sizes {
     pub const INVALIDATE_SERVER_SIZE: u64 = 128;
     /// An invalidation acknowledgement (TCP ack analogue).
     pub const INVAL_ACK_SIZE: u64 = 64;
+    /// The header portion of a batched `INVALIDATE` round (entries extra).
+    pub const INVAL_BATCH_BASE_SIZE: u64 = 128;
+    /// Extra bytes per `(document, client)` entry in a batched round.
+    pub const INVAL_BATCH_ENTRY_SIZE: u64 = 16;
+    /// The header portion of a batch acknowledgement (entries extra).
+    pub const INVAL_BATCH_ACK_BASE_SIZE: u64 = 64;
+    /// Extra bytes per entry in a batch acknowledgement.
+    pub const INVAL_BATCH_ACK_ENTRY_SIZE: u64 = 16;
     /// A modifier check-in notification.
     pub const NOTIFY_SIZE: u64 = 128;
     /// A proxy's invalidation-channel registration.
@@ -261,6 +312,12 @@ impl HttpMsg {
                 base + PIGGYBACK_ENTRY_SIZE * r.piggyback.len() as u64
             }
             HttpMsg::Invalidate { .. } => INVALIDATE_SIZE,
+            HttpMsg::InvalidateBatch { entries, .. } => {
+                INVAL_BATCH_BASE_SIZE + INVAL_BATCH_ENTRY_SIZE * entries.len() as u64
+            }
+            HttpMsg::InvalidateBatchAck { entries, .. } => {
+                INVAL_BATCH_ACK_BASE_SIZE + INVAL_BATCH_ACK_ENTRY_SIZE * entries.len() as u64
+            }
             HttpMsg::InvalidateServer { .. } => INVALIDATE_SERVER_SIZE,
             HttpMsg::InvalidateServerAck { .. } => INVAL_ACK_SIZE,
             HttpMsg::InvalAck { .. } => INVAL_ACK_SIZE,
@@ -393,6 +450,37 @@ mod tests {
             volume_lease: None,
         });
         assert_eq!(nm.wire_size(), ByteSize::from_bytes(sizes::REPLY304_SIZE));
+    }
+
+    #[test]
+    fn batch_wire_size_amortises_per_write_fanout() {
+        let entries: Vec<BatchEntry> = (0..10)
+            .map(|d| BatchEntry {
+                url: Url::new(ServerId::new(0), d),
+                client: ClientId::from_raw(d),
+            })
+            .collect();
+        let batch = HttpMsg::InvalidateBatch {
+            server: ServerId::new(0),
+            entries: entries.clone(),
+        };
+        let per_write: u64 = entries.len() as u64 * sizes::INVALIDATE_SIZE;
+        assert!(
+            batch.wire_size().as_u64() < per_write,
+            "a 10-entry batch must cost fewer bytes than 10 INVALIDATEs"
+        );
+        let ack = HttpMsg::InvalidateBatchAck {
+            server: ServerId::new(0),
+            entries: entries
+                .iter()
+                .map(|e| BatchAckEntry {
+                    url: e.url,
+                    client: e.client,
+                    cache_hits: 1,
+                })
+                .collect(),
+        };
+        assert!(ack.wire_size().as_u64() < entries.len() as u64 * sizes::INVAL_ACK_SIZE + 128);
     }
 
     #[test]

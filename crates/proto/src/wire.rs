@@ -35,7 +35,7 @@
 //! # Ok::<(), wcc_proto::WireError>(())
 //! ```
 
-use crate::msg::{GetRequest, HttpMsg, Reply, ReplyStatus, RequestId};
+use crate::msg::{BatchAckEntry, BatchEntry, GetRequest, HttpMsg, Reply, ReplyStatus, RequestId};
 use std::collections::HashMap;
 use std::fmt;
 use std::io::{BufRead, Write};
@@ -166,6 +166,36 @@ pub fn encode(msg: &HttpMsg) -> Vec<u8> {
             put!(out, "X-Server: {}\r\n", server.index());
             put!(out, "\r\n");
         }
+        HttpMsg::InvalidateBatch { server, entries } => {
+            // Same `*` target as the bulk form; the `X-Batch` entry list is
+            // what distinguishes a proposer round from a recovery
+            // invalidation. An empty round is never sent (it would decode
+            // as the bulk form).
+            debug_assert!(!entries.is_empty(), "batch rounds are never empty");
+            put!(out, "INVALIDATE * HTTP/1.0\r\n");
+            put!(out, "X-Server: {}\r\n", server.index());
+            put!(out, "X-Batch: ");
+            for (i, e) in entries.iter().enumerate() {
+                if i > 0 {
+                    put!(out, ",");
+                }
+                put!(out, "{}:{}", e.url.doc(), e.client);
+            }
+            put!(out, "\r\n\r\n");
+        }
+        HttpMsg::InvalidateBatchAck { server, entries } => {
+            debug_assert!(!entries.is_empty(), "batch acks are never empty");
+            put!(out, "ACK * HTTP/1.0\r\n");
+            put!(out, "X-Server: {}\r\n", server.index());
+            put!(out, "X-Batch: ");
+            for (i, e) in entries.iter().enumerate() {
+                if i > 0 {
+                    put!(out, ",");
+                }
+                put!(out, "{}:{}:{}", e.url.doc(), e.client, e.cache_hits);
+            }
+            put!(out, "\r\n\r\n");
+        }
         HttpMsg::InvalidateServerAck { server } => {
             put!(out, "ACK * HTTP/1.0\r\n");
             put!(out, "X-Server: {}\r\n", server.index());
@@ -236,6 +266,50 @@ fn parse_piggyback(
                 .parse()
                 .map(|doc| Url::new(server, doc))
                 .map_err(|_| malformed(format!("bad piggyback entry {d:?}")))
+        })
+        .collect()
+}
+
+/// Parses the `X-Batch` list of an `INVALIDATE *` round: comma-separated
+/// `doc:client` entries, the client as a dotted quad like `X-Client`.
+fn parse_batch(list: &str, server: ServerId) -> Result<Vec<BatchEntry>, WireError> {
+    list.split(',')
+        .map(|e| {
+            let entry = e.trim();
+            let (doc, client) = entry
+                .split_once(':')
+                .ok_or_else(|| malformed(format!("bad batch entry {entry:?}")))?;
+            let doc: u32 = doc
+                .parse()
+                .map_err(|_| malformed(format!("bad batch entry {entry:?}")))?;
+            let client: ClientId = client
+                .parse()
+                .map_err(|_| malformed(format!("bad batch entry {entry:?}")))?;
+            Ok(BatchEntry {
+                url: Url::new(server, doc),
+                client,
+            })
+        })
+        .collect()
+}
+
+/// Parses the `X-Batch` list of an `ACK *` round: comma-separated
+/// `doc:client:hits` entries.
+fn parse_batch_ack(list: &str, server: ServerId) -> Result<Vec<BatchAckEntry>, WireError> {
+    list.split(',')
+        .map(|e| {
+            let entry = e.trim();
+            let bad = || malformed(format!("bad batch ack entry {entry:?}"));
+            let (doc, rest) = entry.split_once(':').ok_or_else(bad)?;
+            let (client, hits) = rest.split_once(':').ok_or_else(bad)?;
+            let doc: u32 = doc.parse().map_err(|_| bad())?;
+            let client: ClientId = client.parse().map_err(|_| bad())?;
+            let cache_hits: u64 = hits.parse().map_err(|_| bad())?;
+            Ok(BatchAckEntry {
+                url: Url::new(server, doc),
+                client,
+                cache_hits,
+            })
         })
         .collect()
 }
@@ -365,9 +439,14 @@ pub fn decode<R: BufRead>(reader: &mut R) -> Result<HttpMsg, WireError> {
                 .ok_or_else(|| malformed("INVALIDATE without target"))?;
             if target == "*" {
                 let idx = required_u64(&headers, "x-server")? as u32;
-                Ok(HttpMsg::InvalidateServer {
-                    server: ServerId::new(idx),
-                })
+                let server = ServerId::new(idx);
+                if let Some(list) = headers.get("x-batch") {
+                    return Ok(HttpMsg::InvalidateBatch {
+                        server,
+                        entries: parse_batch(list, server)?,
+                    });
+                }
+                Ok(HttpMsg::InvalidateServer { server })
             } else {
                 Ok(HttpMsg::Invalidate {
                     url: url_from(&headers, target)?,
@@ -379,9 +458,14 @@ pub fn decode<R: BufRead>(reader: &mut R) -> Result<HttpMsg, WireError> {
             let path = parts.next().ok_or_else(|| malformed("ACK without path"))?;
             if path == "*" {
                 let idx = required_u64(&headers, "x-server")? as u32;
-                return Ok(HttpMsg::InvalidateServerAck {
-                    server: ServerId::new(idx),
-                });
+                let server = ServerId::new(idx);
+                if let Some(list) = headers.get("x-batch") {
+                    return Ok(HttpMsg::InvalidateBatchAck {
+                        server,
+                        entries: parse_batch_ack(list, server)?,
+                    });
+                }
+                return Ok(HttpMsg::InvalidateServerAck { server });
             }
             Ok(HttpMsg::InvalAck {
                 url: url_from(&headers, path)?,
@@ -562,6 +646,70 @@ mod tests {
             partition: 2,
             partitions: 4,
         });
+    }
+
+    #[test]
+    fn invalidate_batch_round_trips() {
+        let server = ServerId::new(3);
+        round_trip(HttpMsg::InvalidateBatch {
+            server,
+            entries: vec![
+                BatchEntry {
+                    url: Url::new(server, 5),
+                    client: ClientId::from_ip([10, 0, 0, 1]),
+                },
+                BatchEntry {
+                    url: Url::new(server, 5),
+                    client: ClientId::from_ip([10, 0, 0, 2]),
+                },
+                BatchEntry {
+                    url: Url::new(server, 99),
+                    client: sample_client(),
+                },
+            ],
+        });
+        round_trip(HttpMsg::InvalidateBatchAck {
+            server,
+            entries: vec![
+                BatchAckEntry {
+                    url: Url::new(server, 5),
+                    client: ClientId::from_ip([10, 0, 0, 1]),
+                    cache_hits: 0,
+                },
+                BatchAckEntry {
+                    url: Url::new(server, 99),
+                    client: sample_client(),
+                    cache_hits: 41,
+                },
+            ],
+        });
+        // A single-entry batch still takes the batch form, not the bulk one.
+        round_trip(HttpMsg::InvalidateBatch {
+            server,
+            entries: vec![BatchEntry {
+                url: Url::new(server, 0),
+                client: ClientId::from_raw(0),
+            }],
+        });
+    }
+
+    #[test]
+    fn malformed_batch_entries_rejected() {
+        for bad in [
+            "INVALIDATE * HTTP/1.0\r\nX-Server: 1\r\nX-Batch: \r\n\r\n",
+            "INVALIDATE * HTTP/1.0\r\nX-Server: 1\r\nX-Batch: 5\r\n\r\n",
+            "INVALIDATE * HTTP/1.0\r\nX-Server: 1\r\nX-Batch: x:1.2.3.4\r\n\r\n",
+            "INVALIDATE * HTTP/1.0\r\nX-Server: 1\r\nX-Batch: 5:nope\r\n\r\n",
+            "INVALIDATE * HTTP/1.0\r\nX-Batch: 5:1.2.3.4\r\n\r\n", // no X-Server
+            "ACK * HTTP/1.0\r\nX-Server: 1\r\nX-Batch: 5:1.2.3.4\r\n\r\n", // missing hits
+            "ACK * HTTP/1.0\r\nX-Server: 1\r\nX-Batch: 5:1.2.3.4:zz\r\n\r\n",
+        ] {
+            let mut cursor = bad.as_bytes();
+            assert!(
+                matches!(decode(&mut cursor), Err(WireError::Malformed(_))),
+                "accepted: {bad:?}"
+            );
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! rendering — the proptests in this module's test suite and the fuzz
 //! harness hold the two decoders against each other.
 
-use crate::msg::{GetRequest, HttpMsg, Reply, ReplyStatus, RequestId};
+use crate::msg::{BatchAckEntry, BatchEntry, GetRequest, HttpMsg, Reply, ReplyStatus, RequestId};
 use crate::wire::WireError;
 use std::io::Read;
 use wcc_types::{Body, ByteSize, ClientId, DocMeta, ServerId, SimTime, Url};
@@ -49,6 +49,12 @@ pub enum HttpMsgRef<'buf> {
         /// The recovered origin server.
         server: ServerId,
     },
+    /// Origin → proxy: one coalesced proposer round, the entry list still
+    /// borrowed (validated) text in the receive buffer.
+    InvalidateBatch(InvalidateBatchRef<'buf>),
+    /// Proxy → origin: acknowledgement of a whole proposer round, the
+    /// entry list still borrowed (validated) text in the receive buffer.
+    InvalidateBatchAck(InvalidateBatchAckRef<'buf>),
     /// Proxy → origin: ack of a bulk recovery invalidation.
     InvalidateServerAck {
         /// The recovered origin server being acknowledged.
@@ -156,6 +162,72 @@ impl ReplyRef<'_> {
     }
 }
 
+/// A borrowed proposer round: the origin's identity inline, the
+/// `doc:client` entry list still pointing into the receive buffer.
+///
+/// The list text is validated during decode, so [`entries`] cannot fail;
+/// it stays private to keep that invariant (the same pattern as
+/// [`ReplyRef`]'s piggyback list).
+///
+/// [`entries`]: InvalidateBatchRef::entries
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidateBatchRef<'buf> {
+    /// The origin whose proposer flushed this round.
+    pub server: ServerId,
+    /// Validated `X-Batch` value (comma-separated `doc:client` entries).
+    list: &'buf str,
+}
+
+impl InvalidateBatchRef<'_> {
+    /// The round's entries, parsed from the borrowed text. Infallible: the
+    /// text was validated during decode.
+    pub fn entries(&self) -> Vec<BatchEntry> {
+        let server = self.server;
+        self.list
+            .split(',')
+            .map(|e| {
+                // Infallible: entries were parse-checked at decode time.
+                let (doc, client) = e.trim().split_once(':').expect("batch validated at decode"); // xtask-lint: allow(unwrap)
+                BatchEntry {
+                    url: Url::new(server, doc.parse().expect("batch validated at decode")), // xtask-lint: allow(unwrap)
+                    client: client.parse().expect("batch validated at decode"), // xtask-lint: allow(unwrap)
+                }
+            })
+            .collect()
+    }
+}
+
+/// A borrowed batch acknowledgement: `doc:client:hits` entries still
+/// pointing into the receive buffer, validated during decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidateBatchAckRef<'buf> {
+    /// The origin being acknowledged.
+    pub server: ServerId,
+    /// Validated `X-Batch` value (comma-separated `doc:client:hits`).
+    list: &'buf str,
+}
+
+impl InvalidateBatchAckRef<'_> {
+    /// The acknowledged entries, parsed from the borrowed text.
+    /// Infallible: the text was validated during decode.
+    pub fn entries(&self) -> Vec<BatchAckEntry> {
+        let server = self.server;
+        self.list
+            .split(',')
+            .map(|e| {
+                // Infallible: entries were parse-checked at decode time.
+                let (doc, rest) = e.trim().split_once(':').expect("batch ack validated"); // xtask-lint: allow(unwrap)
+                let (client, hits) = rest.split_once(':').expect("batch ack validated"); // xtask-lint: allow(unwrap)
+                BatchAckEntry {
+                    url: Url::new(server, doc.parse().expect("batch ack validated")), // xtask-lint: allow(unwrap)
+                    client: client.parse().expect("batch ack validated"), // xtask-lint: allow(unwrap)
+                    cache_hits: hits.parse().expect("batch ack validated"), // xtask-lint: allow(unwrap)
+                }
+            })
+            .collect()
+    }
+}
+
 impl HttpMsgRef<'_> {
     /// `true` if materialising this message copies bulk data out of the
     /// buffer (`200` bodies; every other variant is already inline).
@@ -182,6 +254,14 @@ impl HttpMsgRef<'_> {
             HttpMsgRef::InvalidateServer { server } => {
                 HttpMsg::InvalidateServer { server: *server }
             }
+            HttpMsgRef::InvalidateBatch(b) => HttpMsg::InvalidateBatch {
+                server: b.server,
+                entries: b.entries(),
+            },
+            HttpMsgRef::InvalidateBatchAck(a) => HttpMsg::InvalidateBatchAck {
+                server: a.server,
+                entries: a.entries(),
+            },
             HttpMsgRef::InvalidateServerAck { server } => {
                 HttpMsg::InvalidateServerAck { server: *server }
             }
@@ -432,8 +512,14 @@ pub fn decode_frame(buf: &[u8], eof: bool) -> Result<Option<(HttpMsgRef<'_>, usi
             let target = parts.next().ok_or_else(invalidate_without_target)?;
             if target == "*" {
                 let idx = required_u64(headers, "x-server")? as u32;
-                HttpMsgRef::InvalidateServer {
-                    server: ServerId::new(idx),
+                let server = ServerId::new(idx);
+                if let Some(list) = headers.get("x-batch") {
+                    HttpMsgRef::InvalidateBatch(InvalidateBatchRef {
+                        server,
+                        list: validated_batch(list)?,
+                    })
+                } else {
+                    HttpMsgRef::InvalidateServer { server }
                 }
             } else {
                 HttpMsgRef::Invalidate {
@@ -446,8 +532,14 @@ pub fn decode_frame(buf: &[u8], eof: bool) -> Result<Option<(HttpMsgRef<'_>, usi
             let path = parts.next().ok_or_else(ack_without_path)?;
             if path == "*" {
                 let idx = required_u64(headers, "x-server")? as u32;
-                HttpMsgRef::InvalidateServerAck {
-                    server: ServerId::new(idx),
+                let server = ServerId::new(idx);
+                if let Some(list) = headers.get("x-batch") {
+                    HttpMsgRef::InvalidateBatchAck(InvalidateBatchAckRef {
+                        server,
+                        list: validated_batch_ack(list)?,
+                    })
+                } else {
+                    HttpMsgRef::InvalidateServerAck { server }
                 }
             } else {
                 HttpMsgRef::InvalAck {
@@ -552,6 +644,40 @@ fn validated_piggyback(headers: Headers<'_>) -> Result<Option<&str>, WireError> 
         }
     }
     Ok(Some(list))
+}
+
+/// Validates the `X-Batch` list of an `INVALIDATE *` round without
+/// materialising the entries, so [`InvalidateBatchRef::entries`] can parse
+/// it infallibly later. Mirrors the owned decoder's `parse_batch` errors.
+fn validated_batch(list: &str) -> Result<&str, WireError> {
+    for e in list.split(',') {
+        let entry = e.trim();
+        let ok = entry.split_once(':').is_some_and(|(doc, client)| {
+            doc.parse::<u32>().is_ok() && client.parse::<ClientId>().is_ok()
+        });
+        if !ok {
+            return Err(bad_batch_entry(entry));
+        }
+    }
+    Ok(list)
+}
+
+/// Validates the `X-Batch` list of an `ACK *` round; mirrors the owned
+/// decoder's `parse_batch_ack` errors.
+fn validated_batch_ack(list: &str) -> Result<&str, WireError> {
+    for e in list.split(',') {
+        let entry = e.trim();
+        let ok = entry.split_once(':').is_some_and(|(doc, rest)| {
+            doc.parse::<u32>().is_ok()
+                && rest.split_once(':').is_some_and(|(client, hits)| {
+                    client.parse::<ClientId>().is_ok() && hits.parse::<u64>().is_ok()
+                })
+        });
+        if !ok {
+            return Err(bad_batch_ack_entry(entry));
+        }
+    }
+    Ok(list)
 }
 
 // ---------------------------------------------------------------------------
@@ -709,6 +835,16 @@ fn bad_hit_count() -> WireError {
 #[cold]
 fn bad_piggyback(entry: &str) -> WireError {
     WireError::Malformed(format!("bad piggyback entry {entry:?}")) // xtask-lint: allow(hot-loop-alloc)
+}
+
+#[cold]
+fn bad_batch_entry(entry: &str) -> WireError {
+    WireError::Malformed(format!("bad batch entry {entry:?}")) // xtask-lint: allow(hot-loop-alloc)
+}
+
+#[cold]
+fn bad_batch_ack_entry(entry: &str) -> WireError {
+    WireError::Malformed(format!("bad batch ack entry {entry:?}")) // xtask-lint: allow(hot-loop-alloc)
 }
 
 /// Pulls frames off a [`Read`] stream through a persistent buffer, decoding
@@ -931,6 +1067,34 @@ mod tests {
             HttpMsg::InvalidateServer {
                 server: ServerId::new(9),
             },
+            HttpMsg::InvalidateBatch {
+                server: ServerId::new(3),
+                entries: vec![
+                    BatchEntry {
+                        url: Url::new(ServerId::new(3), 5),
+                        client: ClientId::from_ip([10, 0, 0, 1]),
+                    },
+                    BatchEntry {
+                        url: Url::new(ServerId::new(3), 99),
+                        client: sample_client(),
+                    },
+                ],
+            },
+            HttpMsg::InvalidateBatchAck {
+                server: ServerId::new(3),
+                entries: vec![
+                    BatchAckEntry {
+                        url: Url::new(ServerId::new(3), 5),
+                        client: ClientId::from_ip([10, 0, 0, 1]),
+                        cache_hits: 0,
+                    },
+                    BatchAckEntry {
+                        url: Url::new(ServerId::new(3), 99),
+                        client: sample_client(),
+                        cache_hits: 17,
+                    },
+                ],
+            },
             HttpMsg::InvalidateServerAck {
                 server: ServerId::new(9),
             },
@@ -1033,6 +1197,12 @@ mod tests {
             b"GET /doc/1 HTTP/1.0\r\nHost: server0\r\nX-Client: 1.2.3.4\r\nX-Request-Id: 0\r\nX-Hit-Count: moo\r\n\r\n",
             b"\xff\xfe GET\r\n\r\n", // invalid UTF-8 in the start line
             b"GET /doc/1 HTTP/1.0\r\nHost: \xff\xfe\r\n\r\n", // ... in a header
+            b"INVALIDATE * HTTP/1.0\r\nX-Server: 1\r\nX-Batch: \r\n\r\n",
+            b"INVALIDATE * HTTP/1.0\r\nX-Server: 1\r\nX-Batch: 5\r\n\r\n",
+            b"INVALIDATE * HTTP/1.0\r\nX-Server: 1\r\nX-Batch: 5:1.2.3.4,x:1.2.3.4\r\n\r\n",
+            b"INVALIDATE * HTTP/1.0\r\nX-Batch: 5:1.2.3.4\r\n\r\n", // no X-Server
+            b"ACK * HTTP/1.0\r\nX-Server: 1\r\nX-Batch: 5:1.2.3.4\r\n\r\n", // missing hits
+            b"ACK * HTTP/1.0\r\nX-Server: 1\r\nX-Batch: 5:1.2.3.4:zz\r\n\r\n",
         ] {
             assert_same_as_owned(bad);
         }

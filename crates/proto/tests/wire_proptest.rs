@@ -3,7 +3,10 @@
 //! on successes, on truncations and on corrupted bytes.
 
 use proptest::prelude::*;
-use wcc_proto::{decode, decode_ref, encode, GetRequest, HttpMsg, Reply, ReplyStatus, RequestId};
+use wcc_proto::{
+    decode, decode_ref, encode, BatchAckEntry, BatchEntry, GetRequest, HttpMsg, Reply, ReplyStatus,
+    RequestId,
+};
 use wcc_types::{Body, ByteSize, ClientId, DocMeta, ServerId, SimTime, Url};
 
 fn url_strategy() -> impl Strategy<Value = Url> {
@@ -91,6 +94,41 @@ fn msg_strategy() -> impl Strategy<Value = HttpMsg> {
         (0u32..64).prop_map(|s| HttpMsg::InvalidateServerAck {
             server: ServerId::new(s)
         }),
+        (
+            0u32..64,
+            proptest::collection::vec((0u32..10_000, any::<u32>()), 1..8),
+        )
+            .prop_map(|(s, entries)| {
+                let server = ServerId::new(s);
+                HttpMsg::InvalidateBatch {
+                    server,
+                    entries: entries
+                        .into_iter()
+                        .map(|(d, c)| BatchEntry {
+                            url: Url::new(server, d),
+                            client: ClientId::from_raw(c),
+                        })
+                        .collect(),
+                }
+            }),
+        (
+            0u32..64,
+            proptest::collection::vec((0u32..10_000, any::<u32>(), any::<u32>()), 1..8),
+        )
+            .prop_map(|(s, entries)| {
+                let server = ServerId::new(s);
+                HttpMsg::InvalidateBatchAck {
+                    server,
+                    entries: entries
+                        .into_iter()
+                        .map(|(d, c, h)| BatchAckEntry {
+                            url: Url::new(server, d),
+                            client: ClientId::from_raw(c),
+                            cache_hits: h as u64,
+                        })
+                        .collect(),
+                }
+            }),
         Just(HttpMsg::MetricsGet),
         (url_strategy(), client_strategy(), any::<u32>()).prop_map(|(url, client, hits)| {
             HttpMsg::InvalAck {

@@ -48,5 +48,7 @@ pub use failure::{
     partition_scenario, proxy_crash_scenario, server_crash_scenario,
     server_crash_under_partition_scenario, FailureOutcome,
 };
-pub use parallel::{effective_jobs, effective_shards, run_batch, run_trio_jobs};
+pub use parallel::{
+    auto_shards, effective_jobs, effective_shards, host_cores, run_batch, run_trio_jobs,
+};
 pub use wcc_audit::{AuditReport, Violation};

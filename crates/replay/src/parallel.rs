@@ -90,6 +90,26 @@ pub fn effective_shards(shards: Option<usize>) -> usize {
     1
 }
 
+/// The host's core count (`available_parallelism`, floor 1).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// The `--shards auto` resolution: `min(requested, host_cores)`, never
+/// below 1.
+///
+/// Engine shards run on worker threads, so shards beyond the cores that
+/// can actually execute them are pure overhead — the per-window barrier
+/// tax stays while the parallelism is fictional (two shards on the 1-core
+/// CI container measured ~3× the sequential wall time). Explicit
+/// `--shards N` is never capped: oversubscribed counts remain valid for
+/// byte-identity testing, just not for speed.
+pub fn auto_shards(requested: usize) -> usize {
+    requested.min(host_cores()).max(1)
+}
+
 /// Applies `f` to every item on `jobs` worker threads, returning the
 /// results **in input order**.
 ///
@@ -200,6 +220,18 @@ mod tests {
         // Zero falls through; without WCC_SHARDS the default is 1.
         // (Environment-variable resolution is covered by the CLI tests.)
         assert!(effective_shards(Some(0)) >= 1);
+    }
+
+    #[test]
+    fn auto_shards_caps_at_host_cores() {
+        let cores = host_cores();
+        assert!(cores >= 1);
+        // A request within the core budget passes through untouched; a
+        // request beyond it is capped — never oversubscribed, never 0.
+        assert_eq!(auto_shards(1), 1);
+        assert_eq!(auto_shards(cores), cores);
+        assert_eq!(auto_shards(cores + 7), cores);
+        assert_eq!(auto_shards(0), 1);
     }
 
     #[test]

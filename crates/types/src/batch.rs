@@ -1,0 +1,68 @@
+//! Thresholds for the batched invalidation proposer.
+//!
+//! The proposer accumulates pending invalidations at each origin and fans
+//! out one multi-URL `INVALIDATE` round per proxy when any threshold trips:
+//! a count of coalesced `(document, client)` entries, the age of the oldest
+//! pending entry, or the wire bytes a per-write fan-out of the queue would
+//! have cost. Repeated writes to the same URL merge into a single round, so
+//! a write storm on a hot document pays one message per proxy instead of
+//! one per write.
+
+use crate::{ByteSize, SimDuration};
+
+/// Fire thresholds for the batched invalidation proposer. A flush happens
+/// as soon as *any* threshold is reached; the age bound guarantees every
+/// enqueued invalidation leaves the origin within `max_age` even when the
+/// queue stays small.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalBatchConfig {
+    /// Flush when this many coalesced `(document, client)` entries are
+    /// pending.
+    pub max_entries: usize,
+    /// Flush when the oldest pending entry has waited this long. This
+    /// bounds the extra write-completion latency batching can add.
+    pub max_age: SimDuration,
+    /// Flush when a per-write fan-out of the pending queue would have cost
+    /// this many wire bytes.
+    pub max_bytes: ByteSize,
+}
+
+impl InvalBatchConfig {
+    /// A config with the given count threshold and the default age / byte
+    /// bounds — what `wcc replay --inval-batch N` constructs.
+    pub fn with_max_entries(max_entries: usize) -> InvalBatchConfig {
+        InvalBatchConfig {
+            max_entries: max_entries.max(1),
+            ..InvalBatchConfig::default()
+        }
+    }
+}
+
+impl Default for InvalBatchConfig {
+    fn default() -> InvalBatchConfig {
+        InvalBatchConfig {
+            max_entries: 8,
+            max_age: SimDuration::from_micros(50_000),
+            max_bytes: ByteSize::from_kib(4),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = InvalBatchConfig::default();
+        assert!(c.max_entries >= 1);
+        assert!(c.max_age > SimDuration::from_micros(0));
+        assert!(c.max_bytes > ByteSize::from_bytes(0));
+    }
+
+    #[test]
+    fn with_max_entries_clamps_zero() {
+        assert_eq!(InvalBatchConfig::with_max_entries(0).max_entries, 1);
+        assert_eq!(InvalBatchConfig::with_max_entries(16).max_entries, 16);
+    }
+}

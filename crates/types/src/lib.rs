@@ -30,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod bytesize;
 mod event;
 mod hash;
@@ -37,6 +38,7 @@ mod id;
 mod time;
 mod url;
 
+pub use batch::InvalBatchConfig;
 pub use bytesize::ByteSize;
 pub use event::AuditEvent;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};

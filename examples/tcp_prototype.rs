@@ -19,6 +19,7 @@ fn main() -> std::io::Result<()> {
         doc_sizes: vec![ByteSize::from_kib(21); 64],
         protocol: cfg.clone(),
         doc_scale: 100,
+        inval_batch: None,
     })?;
     println!("origin + accelerator listening on {}", origin.addr());
 

@@ -3,10 +3,11 @@
 //! ```text
 //! wcc replay  --trace epa --protocol invalidation [--lifetime-days N]
 //!             [--scale N] [--seed N] [--wan] [--decoupled] [--hierarchy]
-//!             [--shared] [--lease-days N] [--cache-mib N] [--shards N]
-//!             [--trace-out PATH] [--metrics]
+//!             [--shared] [--lease-days N] [--adaptive-lease] [--cache-mib N]
+//!             [--inval-batch N] [--shards N|auto] [--trace-out PATH]
+//!             [--metrics]
 //! wcc replay  --family flash-crowd [--protocol NAME] [--scale N] [--seed N]
-//!             [--shards N] [--audit]          # city-scale scenario families
+//!             [--shards N|auto] [--audit]     # city-scale scenario families
 //! wcc trio    --trace sask [--scale N] [--seed N] [--jobs N]  # Tables 3/4 block
 //! wcc trace   <path>                                # analyse a --trace-out log
 //! wcc summary [--scale N] [--seed N]                # Table 2
@@ -23,6 +24,17 @@
 //! `--shards N` (or `WCC_SHARDS`) splits a *single* replay across engine
 //! shards running on worker threads (conservative lookahead windows); the
 //! output is byte-identical at any shard count. Default 1 (sequential).
+//! `--shards auto` requests the standard 8-shard engine configuration
+//! capped at the host's core count — on a 1-core box it resolves to a
+//! plain sequential replay instead of paying the barrier tax for
+//! parallelism the host cannot deliver.
+//!
+//! `--inval-batch N` turns on the batched invalidation proposer with a
+//! count threshold of `N` entries (age and byte thresholds at their
+//! defaults); `--adaptive-lease` derives per-document lease durations from
+//! read/write counters instead of one fixed length. Family replays bound
+//! the adaptive cap by the tightest per-client freshness deadline the
+//! workload carries.
 //!
 //! `--trace-out PATH` records every request and invalidation lifetime as
 //! structured span events (sim-time keyed, deterministic) and dumps them as
@@ -35,7 +47,7 @@
 use std::net::SocketAddr;
 use std::process::ExitCode;
 use webcache::bench::serve::{self as serve_bench, ServeBenchConfig};
-use webcache::core::{ProtocolConfig, ProtocolKind};
+use webcache::core::{AdaptiveLeaseConfig, ProtocolConfig, ProtocolKind};
 use webcache::fuzz::{fuzz, FuzzConfig};
 use webcache::httpsim::{CacheSharing, Deployment, DeploymentOptions, InvalSendMode, Topology};
 use webcache::net::{scrape, NetOrigin, NetProxy, OriginConfig};
@@ -47,7 +59,7 @@ use webcache::simnet::NetworkConfig;
 use webcache::traces::clf::parse_clf;
 use webcache::traces::family::{self, FamilyConfig, WorkloadFamily};
 use webcache::traces::{synthetic, ModSchedule, TraceSpec, TraceSummary};
-use webcache::types::{ByteSize, ClientId, ServerId, SimDuration, SimTime, Url};
+use webcache::types::{ByteSize, ClientId, InvalBatchConfig, ServerId, SimDuration, SimTime, Url};
 
 struct Args {
     positional: Vec<String>,
@@ -95,7 +107,7 @@ impl Args {
 }
 
 fn usage() -> &'static str {
-    "usage:\n  wcc replay  --trace NAME --protocol NAME [--lifetime-days N] [--scale N]\n              [--seed N] [--wan] [--decoupled] [--hierarchy] [--shared]\n              [--lease-days N] [--volume-mins N] [--cache-mib N] [--audit]\n              [--shards N] [--trace-out PATH] [--metrics]\n  wcc replay  --family NAME [--protocol NAME] [--scale N] [--seed N]\n              [--shards N] [--audit]   # families: zipf-federation,\n              flash-crowd, breaking-news, real-time-feed, archival-scan\n  wcc trio    --trace NAME [--scale N] [--seed N] [--jobs N]\n  wcc compare --trace NAME --protocols a,b,c [--scale N] [--seed N] [--jobs N]\n  wcc trace   PATH\n  wcc summary [--scale N] [--seed N]\n  wcc clf     PATH [--protocol NAME]\n  wcc fuzz    [--iters N] [--seed N] [--shrink] [--inject-stale] [--repro PATH]\n              [--jobs N]\n  wcc serve   [--role pair|origin|proxy] [--origin ADDR] [--port N] [--docs N]\n              [--doc-scale N] [--protocol NAME] [--cache-mib N]\n              [--port-file PATH] [--state-file PATH] [--config PATH]\n              [--self-check]        # SIGHUP reloads --config; SIGTERM drains\n  wcc bench serve [--connections N] [--requests N] [--docs N] [--protocol NAME]\n              [--soak-secs N] [--restart] [--in-process] [--out PATH]\n  wcc protocols"
+    "usage:\n  wcc replay  --trace NAME --protocol NAME [--lifetime-days N] [--scale N]\n              [--seed N] [--wan] [--decoupled] [--hierarchy] [--shared]\n              [--lease-days N] [--volume-mins N] [--adaptive-lease]\n              [--cache-mib N] [--audit] [--inval-batch N] [--shards N|auto]\n              [--trace-out PATH] [--metrics]\n  wcc replay  --family NAME [--protocol NAME] [--scale N] [--seed N]\n              [--shards N|auto] [--audit]   # families: zipf-federation,\n              flash-crowd, breaking-news, real-time-feed, archival-scan\n  wcc trio    --trace NAME [--scale N] [--seed N] [--jobs N]\n  wcc compare --trace NAME --protocols a,b,c [--scale N] [--seed N] [--jobs N]\n  wcc trace   PATH\n  wcc summary [--scale N] [--seed N]\n  wcc clf     PATH [--protocol NAME]\n  wcc fuzz    [--iters N] [--seed N] [--shrink] [--inject-stale] [--repro PATH]\n              [--jobs N]\n  wcc serve   [--role pair|origin|proxy] [--origin ADDR] [--port N] [--docs N]\n              [--doc-scale N] [--protocol NAME] [--cache-mib N]\n              [--port-file PATH] [--state-file PATH] [--config PATH]\n              [--self-check]        # SIGHUP reloads --config; SIGTERM drains\n  wcc bench serve [--connections N] [--requests N] [--docs N] [--protocol NAME]\n              [--soak-secs N] [--restart] [--in-process] [--out PATH]\n  wcc protocols"
 }
 
 fn spec_for(args: &Args) -> Result<TraceSpec, String> {
@@ -125,6 +137,9 @@ fn protocol_for(args: &Args) -> Result<ProtocolConfig, String> {
             .map_err(|_| "--volume-mins expects a number".to_string())?;
         cfg = cfg.with_volume_lease(SimDuration::from_mins(mins));
     }
+    if args.flag("adaptive-lease") {
+        cfg = cfg.with_adaptive_lease(AdaptiveLeaseConfig::default());
+    }
     Ok(cfg)
 }
 
@@ -152,6 +167,10 @@ fn options_for(args: &Args) -> Result<DeploymentOptions, String> {
             .map_err(|_| "--cache-mib expects a number".to_string())?;
         options.cache_capacity = ByteSize::from_mib(mib.max(1));
     }
+    if args.value("inval-batch").is_some() {
+        let entries = args.num("inval-batch", 0)? as usize;
+        options.inval_batch = Some(InvalBatchConfig::with_max_entries(entries));
+    }
     Ok(options)
 }
 
@@ -164,7 +183,12 @@ fn jobs_for(args: &Args) -> Result<Option<usize>, String> {
 }
 
 /// `--shards N` resolved through `WCC_SHARDS` (default 1, sequential).
+/// `--shards auto` requests the acceptance 8-shard configuration capped at
+/// the host's core count (`min(8, host_cores)`) — sequential on one core.
 fn shards_for(args: &Args) -> Result<usize, String> {
+    if args.value("shards") == Some("auto") {
+        return Ok(webcache::replay::auto_shards(8));
+    }
     let explicit = match args.value("shards") {
         None => None,
         Some(_) => Some(args.num("shards", 0)? as usize),
@@ -242,12 +266,19 @@ fn cmd_replay_family(args: &Args, name: &str) -> Result<(), String> {
     let scale = args.num("scale", 1)?.max(1);
     let seed = args.num("seed", 1997)?;
     let cfg = FamilyConfig::city(family).scaled_down(scale);
-    let protocol = protocol_for(args)?;
+    let mut protocol = protocol_for(args)?;
     let options = options_for(args)?;
     let want_audit = options.audit;
     let shards = shards_for(args)?;
 
     let workload = family::generate(&cfg, seed);
+    // Per-client freshness deadlines spread over [0.5, 1.5]× the family's
+    // base, so an adaptively stretched lease must stay within half the base
+    // or it could promise freshness past the tightest client's budget.
+    if let (Some(lease), Some(base)) = (protocol.adaptive_lease, workload.freshness_deadline) {
+        let tightest = SimDuration::from_micros(base.as_micros() / 2);
+        protocol = protocol.with_adaptive_lease(lease.with_cap(lease.cap.min(tightest)));
+    }
     let mut deployment = Deployment::build_multi(&workload.workloads, &protocol, options);
     deployment.run_sharded(shards);
     let report = ReplayReport {
@@ -634,6 +665,7 @@ fn serve_self_check() -> Result<(), String> {
         doc_sizes: vec![ByteSize::from_kib(8); 8],
         protocol: protocol.clone(),
         doc_scale: 100,
+        inval_batch: None,
     })
     .map_err(e)?;
     let proxy =
@@ -707,6 +739,7 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         doc_sizes: vec![ByteSize::from_kib(8); docs],
         protocol: protocol.clone(),
         doc_scale,
+        inval_batch: None,
     };
 
     let (origin, proxy) = match role {

@@ -71,6 +71,16 @@ const CORPUS: &[u64] = &[
     0x23aaceb50f8f45be, // zipf-federation, adaptive-ttl, 2 faults
     0xed34dd8c16152b28, // zipf-federation, invalidation, 3 faults
     0xb4bb9b81b6e79bf7, // zipf-federation, poll-every-time, 4 origins
+    // -- coverage: batched invalidation proposer --------------------------
+    // Each seed enables the proposer at a different count threshold and
+    // overlaps batch rounds with partitions or outages, so the staleness
+    // and write-liveness oracles cover the coalescing fan-out path.
+    0x538454127b093a7e, // entries=4, invalidation, batch round overlaps a partition
+    0x9e3779b97f4a22f8, // entries=2, two-tier-lease + adaptive lease, archival-scan, 3 faults
+    0xa40a9584ad25fc9d, // entries=4, two-tier-lease + adaptive lease, zipf-federation, 3 faults
+    0x43d91e8ef8a4d808, // entries=8, invalidation + adaptive lease, archival-scan, 3 faults
+    0xd0ec054665290918, // entries=16, two-tier-lease + adaptive lease, zipf-federation, 6 origins
+    0xa0ac6ae1c541794b, // entries=32, lease-invalidation + adaptive lease, flash-crowd
 ];
 
 #[test]
@@ -128,6 +138,27 @@ fn corpus_covers_every_workload_family_with_the_paper_trio() {
                 family.name()
             );
         }
+    }
+}
+
+#[test]
+fn corpus_covers_batched_proposer_thresholds() {
+    let mut thresholds: Vec<usize> = CORPUS
+        .iter()
+        .filter_map(|&seed| {
+            Scenario::generate(seed)
+                .options
+                .inval_batch
+                .map(|b| b.max_entries)
+        })
+        .collect();
+    thresholds.sort_unstable();
+    thresholds.dedup();
+    for want in [2usize, 4, 8, 16, 32] {
+        assert!(
+            thresholds.contains(&want),
+            "corpus lost proposer coverage at max_entries={want} (have {thresholds:?})"
+        );
     }
 }
 

@@ -30,6 +30,7 @@ fn crosscheck(kind: ProtocolKind) {
         doc_sizes: trace.doc_sizes.clone(),
         protocol: cfg.clone(),
         doc_scale: 100,
+        inval_batch: None,
     })
     .expect("origin");
     let proxy = NetProxy::spawn(origin.addr(), &cfg, 0, 1, ByteSize::from_gib(4)).expect("proxy");

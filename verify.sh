@@ -47,6 +47,13 @@ echo "==> wcc replay --shards 2 (smoke)"
 # the batched cross-shard window delivery end to end.
 ./target/release/wcc replay --trace epa --protocol invalidation --scale 20 --shards 2
 
+echo "==> wcc replay --inval-batch 8 (smoke)"
+# Batched invalidation proposer: per-write fan-out coalesced into
+# InvalidateBatch rounds (count threshold 8) with adaptive per-document
+# leases; the replay must still report zero consistency violations.
+./target/release/wcc replay --trace epa --protocol invalidation --scale 20 \
+  --inval-batch 8 --adaptive-lease
+
 echo "==> wcc replay --family (smoke)"
 # Scenario-family path: the flash-crowd federation replayed sharded. The
 # nightly workflow sweeps all five families sequential-vs-sharded; this
